@@ -1,0 +1,67 @@
+// Ablation: OR rules end to end (Appendix C.2, Programs 7-10). On the
+// multimodal biometric workload — photo histograms OR fingerprint sets —
+// adaLSH splits each function's budget across one table group per modality.
+// The bench compares adaLSH against Pairs and against single-modality
+// filtering, showing (a) the OR construction preserves accuracy while a
+// single modality cannot, and (b) the usual speedup survives composite
+// rules.
+//
+//   ablation_or_rule [--k=5] [--records=2000]
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "datagen/multimodal.h"
+#include "eval/metrics.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace adalsh;        // NOLINT: bench brevity
+  using namespace adalsh::bench; // NOLINT: bench brevity
+  Flags flags(argc, argv);
+  int k = static_cast<int>(flags.GetInt("k", 5));
+  size_t records = static_cast<size_t>(flags.GetInt("records", 2000));
+  flags.CheckNoUnusedFlags();
+
+  MultiModalConfig data_config;
+  data_config.num_records = records;
+  data_config.num_entities = std::max<size_t>(20, records / 10);
+  data_config.seed = kDataSeed;
+  GeneratedDataset workload = GenerateMultiModal(data_config);
+  GroundTruth truth = workload.dataset.BuildGroundTruth();
+
+  PrintExperimentHeader(std::cout, "Ablation (App. C.2)",
+                        "OR rule on the multimodal workload (" +
+                            std::to_string(records) + " records, k = " +
+                            std::to_string(k) + ")");
+
+  ResultTable table({"method", "rule", "seconds", "f1_gold"});
+  auto add_row = [&](const std::string& method, const std::string& rule_name,
+                     const FilterOutput& output) {
+    table.AddRow({method, rule_name, Secs(output.stats.filtering_seconds),
+                  FormatDouble(GoldAccuracy(output.clusters, truth, k).f1,
+                               3)});
+  };
+
+  add_row("adaLSH", "photo OR fingerprint", RunAdaLsh(workload, k));
+  add_row("Pairs", "photo OR fingerprint", RunPairs(workload, k));
+
+  // Single-modality ablations: same records, one leaf of the OR only.
+  for (size_t branch = 0; branch < 2; ++branch) {
+    GeneratedDataset single(Dataset("view"),
+                            workload.rule.children()[branch]);
+    // Reuse the same dataset records by re-adding them (Dataset is the
+    // record store; rule selects the modality).
+    for (RecordId r = 0; r < workload.dataset.num_records(); ++r) {
+      single.dataset.AddRecord(workload.dataset.record(r),
+                               workload.dataset.entity_assignment()[r]);
+    }
+    add_row("adaLSH", branch == 0 ? "photo only" : "fingerprint only",
+            RunAdaLsh(single, k));
+  }
+  table.Print(std::cout);
+  std::cout << "\nExpected shape: the OR rule reaches high F1; either "
+               "modality alone is visibly worse (bad captures split "
+               "entities); adaLSH beats Pairs on time at equal F1.\n";
+  return 0;
+}

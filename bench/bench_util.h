@@ -1,0 +1,60 @@
+#ifndef ADALSH_BENCH_BENCH_UTIL_H_
+#define ADALSH_BENCH_BENCH_UTIL_H_
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "core/adaptive_lsh.h"
+#include "core/lsh_blocking.h"
+#include "core/pairs_baseline.h"
+#include "datagen/generated_dataset.h"
+#include "eval/experiment.h"
+
+namespace adalsh {
+namespace bench {
+
+/// Default seeds so every figure binary reproduces the same workloads.
+constexpr uint64_t kDataSeed = 42;
+constexpr uint64_t kMethodSeed = 7;
+
+/// Runs adaLSH with the paper's default configuration (Exponential budget
+/// starting at 20 hash functions; Section 7's "adaLSH").
+inline FilterOutput RunAdaLsh(const GeneratedDataset& workload, int k,
+                              int max_budget = 5120,
+                              double pairwise_noise_factor = 1.0,
+                              BudgetStrategy strategy =
+                                  BudgetStrategy::Exponential()) {
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = max_budget;
+  config.sequence.strategy = strategy;
+  config.pairwise_noise_factor = pairwise_noise_factor;
+  config.seed = kMethodSeed;
+  AdaptiveLsh method(workload.dataset, workload.rule, config);
+  return method.Run(k);
+}
+
+/// Runs the LSH-X blocking baseline (apply_pairwise=false gives LSH-X-nP).
+inline FilterOutput RunLshX(const GeneratedDataset& workload, int k, int x,
+                            bool apply_pairwise = true) {
+  LshBlockingConfig config;
+  config.num_hashes = x;
+  config.apply_pairwise = apply_pairwise;
+  config.seed = kMethodSeed;
+  LshBlocking method(workload.dataset, workload.rule, config);
+  return method.Run(k);
+}
+
+/// Runs the Pairs baseline.
+inline FilterOutput RunPairs(const GeneratedDataset& workload, int k) {
+  PairsBaseline method(workload.dataset, workload.rule);
+  return method.Run(k);
+}
+
+/// Seconds with millisecond resolution for table cells.
+inline std::string Secs(double seconds) { return FormatDouble(seconds, 3); }
+
+}  // namespace bench
+}  // namespace adalsh
+
+#endif  // ADALSH_BENCH_BENCH_UTIL_H_

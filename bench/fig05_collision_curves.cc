@@ -1,0 +1,70 @@
+// Figures 5 and 7: collision-probability curves of (w, z)-schemes.
+//
+// Fig. 5 plots 1 - (1 - p^w(x))^z for (w=1,z=1), (15,20), (30,70) against
+// the cosine distance in degrees. Fig. 7 plots the Example 5 candidates
+// (15,140), (30,70), (60,35) for budget 2100, and this bench additionally
+// reports which candidates satisfy the Eq. (3) threshold constraint and the
+// scheme the optimizer actually picks.
+
+#include <iostream>
+
+#include "core/scheme_optimizer.h"
+#include "distance/collision_model.h"
+#include "eval/experiment.h"
+#include "util/flags.h"
+
+int main(int argc, char** argv) {
+  using namespace adalsh;  // NOLINT: bench brevity
+  Flags flags(argc, argv);
+  flags.CheckNoUnusedFlags();
+  CollisionModel p = LinearCollisionModel();
+
+  PrintExperimentHeader(std::cout, "Figure 5",
+                        "P[same bucket in >=1 table] vs cosine distance");
+  {
+    ResultTable table({"angle_deg", "w=1,z=1", "w=15,z=20", "w=30,z=70"});
+    for (double degrees : {5, 10, 15, 20, 25, 30, 40, 55, 80, 120, 180}) {
+      double x = degrees / 180.0;
+      table.AddRow({FormatDouble(degrees, 0),
+                    FormatDouble(SchemeCollisionProbability(p, x, 1, 1), 4),
+                    FormatDouble(SchemeCollisionProbability(p, x, 15, 20), 4),
+                    FormatDouble(SchemeCollisionProbability(p, x, 30, 70), 4)});
+    }
+    table.Print(std::cout);
+  }
+
+  PrintExperimentHeader(
+      std::cout, "Figure 7",
+      "Example 5 candidates for budget 2100, d_thr = 15 deg, eps = 0.001");
+  {
+    ResultTable table(
+        {"angle_deg", "w=15,z=140", "w=30,z=70", "w=60,z=35"});
+    for (double degrees : {5, 10, 15, 20, 30, 45, 60, 90, 180}) {
+      double x = degrees / 180.0;
+      table.AddRow(
+          {FormatDouble(degrees, 0),
+           FormatDouble(SchemeCollisionProbability(p, x, 15, 140), 4),
+           FormatDouble(SchemeCollisionProbability(p, x, 30, 70), 4),
+           FormatDouble(SchemeCollisionProbability(p, x, 60, 35), 4)});
+    }
+    table.Print(std::cout);
+
+    double dthr = 15.0 / 180.0;
+    double eps = 0.001;
+    std::cout << "\nConstraint (Eq. 3) at d_thr, 1-eps = " << (1 - eps)
+              << ":\n";
+    for (auto [w, z] : {std::pair{15, 140}, {30, 70}, {60, 35}}) {
+      double prob = SchemeCollisionProbability(p, dthr, w, z);
+      std::cout << "  (w=" << w << ",z=" << z << "): P(d_thr)="
+                << FormatDouble(prob, 5)
+                << (prob >= 1 - eps ? "  satisfied" : "  VIOLATED") << "\n";
+    }
+    OptimizerUnit unit;
+    unit.p = p;
+    unit.threshold = dthr;
+    WzScheme chosen = OptimizeSingleScheme(unit, 2100, OptimizerConfig{});
+    std::cout << "Optimizer choice for budget 2100: " << chosen.ToString()
+              << " objective=" << FormatDouble(chosen.objective, 5) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,72 @@
+// Micro-benchmarks for the raw LSH hashing substrate: per-hash throughput of
+// MinHash (token sets of varying size) and random hyperplanes (dense vectors
+// of varying dimension). These are the unit costs the Definition 3 cost model
+// calibrates.
+
+#include <benchmark/benchmark.h>
+
+#include "lsh/minhash.h"
+#include "lsh/random_hyperplane.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+Record TokenRecordOfSize(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<uint64_t> tokens;
+  tokens.reserve(size);
+  for (size_t i = 0; i < size; ++i) tokens.push_back(rng.Next());
+  std::vector<Field> fields;
+  fields.push_back(Field::TokenSet(std::move(tokens)));
+  return Record(std::move(fields));
+}
+
+Record DenseRecordOfDim(size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(dim);
+  for (float& v : values) v = static_cast<float>(rng.NextGaussian());
+  std::vector<Field> fields;
+  fields.push_back(Field::DenseVector(std::move(values)));
+  return Record(std::move(fields));
+}
+
+void BM_MinHash(benchmark::State& state) {
+  size_t set_size = static_cast<size_t>(state.range(0));
+  Record record = TokenRecordOfSize(set_size, 1);
+  MinHashFamily family(0, 42);
+  constexpr size_t kBatch = 64;
+  std::vector<uint64_t> out(kBatch);
+  size_t offset = 0;
+  for (auto _ : state) {
+    family.HashRange(record, offset, offset + kBatch, out.data());
+    benchmark::DoNotOptimize(out.data());
+    offset += kBatch;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_MinHash)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_RandomHyperplane(benchmark::State& state) {
+  size_t dim = static_cast<size_t>(state.range(0));
+  Record record = DenseRecordOfDim(dim, 2);
+  RandomHyperplaneFamily family(0, dim, 42);
+  constexpr size_t kBatch = 64;
+  std::vector<uint64_t> out(kBatch);
+  // Pre-materialize a pool of hyperplanes, then cycle over it so the
+  // benchmark measures hashing, not parameter generation.
+  constexpr size_t kPool = 4096;
+  std::vector<uint64_t> warmup(kPool);
+  family.HashRange(record, 0, kPool, warmup.data());
+  size_t offset = 0;
+  for (auto _ : state) {
+    family.HashRange(record, offset, offset + kBatch, out.data());
+    benchmark::DoNotOptimize(out.data());
+    offset = (offset + kBatch) % (kPool - kBatch);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+}
+BENCHMARK(BM_RandomHyperplane)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace adalsh

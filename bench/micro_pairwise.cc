@@ -1,0 +1,84 @@
+// Micro-benchmarks for the exact side of the system: pairwise rule
+// evaluations (the cost_P unit of Definition 3) and the full P function with
+// transitive-closure skipping.
+
+#include <benchmark/benchmark.h>
+
+#include "core/pairwise.h"
+#include "datagen/cora_like.h"
+#include "datagen/spotsigs_like.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+const GeneratedDataset& SpotSigsWorkload() {
+  static GeneratedDataset* workload = [] {
+    SpotSigsLikeConfig config;
+    config.num_story_entities = 20;
+    config.records_in_stories = 300;
+    config.num_singletons = 200;
+    config.seed = 1;
+    return new GeneratedDataset(GenerateSpotSigsLike(config));
+  }();
+  return *workload;
+}
+
+const GeneratedDataset& CoraWorkload() {
+  static GeneratedDataset* workload = [] {
+    CoraLikeConfig config;
+    config.num_entities = 60;
+    config.num_records = 500;
+    config.seed = 1;
+    return new GeneratedDataset(GenerateCoraLike(config));
+  }();
+  return *workload;
+}
+
+void BM_RuleEvaluationSpotSigs(benchmark::State& state) {
+  const GeneratedDataset& workload = SpotSigsWorkload();
+  Rng rng(3);
+  size_t n = workload.dataset.num_records();
+  int matches = 0;
+  for (auto _ : state) {
+    RecordId a = static_cast<RecordId>(rng.NextBelow(n));
+    RecordId b = static_cast<RecordId>(rng.NextBelow(n));
+    matches += workload.rule.Matches(workload.dataset.record(a),
+                                     workload.dataset.record(b));
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_RuleEvaluationSpotSigs);
+
+void BM_RuleEvaluationCora(benchmark::State& state) {
+  const GeneratedDataset& workload = CoraWorkload();
+  Rng rng(4);
+  size_t n = workload.dataset.num_records();
+  int matches = 0;
+  for (auto _ : state) {
+    RecordId a = static_cast<RecordId>(rng.NextBelow(n));
+    RecordId b = static_cast<RecordId>(rng.NextBelow(n));
+    matches += workload.rule.Matches(workload.dataset.record(a),
+                                     workload.dataset.record(b));
+    benchmark::DoNotOptimize(matches);
+  }
+}
+BENCHMARK(BM_RuleEvaluationCora);
+
+void BM_PairwiseFunction(benchmark::State& state) {
+  const GeneratedDataset& workload = CoraWorkload();
+  size_t n = static_cast<size_t>(state.range(0));
+  std::vector<RecordId> records;
+  for (size_t r = 0; r < n; ++r) records.push_back(static_cast<RecordId>(r));
+  for (auto _ : state) {
+    ParentPointerForest forest;
+    PairwiseComputer pairwise(workload.dataset, workload.rule);
+    benchmark::DoNotOptimize(pairwise.Apply(records, &forest));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * (n - 1) / 2));
+}
+BENCHMARK(BM_PairwiseFunction)->Arg(50)->Arg(200)->Arg(500);
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,58 @@
+#include "clustering/bin_index.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/numeric.h"
+
+namespace adalsh {
+
+BinIndex::BinIndex(size_t max_records) {
+  size_t bin_count =
+      max_records == 0 ? 1 : static_cast<size_t>(FloorLog2(max_records)) + 1;
+  bins_.resize(bin_count);
+}
+
+void BinIndex::Insert(NodeId root, uint32_t leaf_count) {
+  ADALSH_CHECK_GE(leaf_count, 1u);
+  int bin = FloorLog2(leaf_count);
+  ADALSH_CHECK_LT(static_cast<size_t>(bin), bins_.size())
+      << "cluster larger than the BinIndex capacity";
+  bins_[bin].push_back({root, leaf_count});
+  highest_nonempty_ = std::max(highest_nonempty_, bin);
+  ++size_;
+}
+
+void BinIndex::FixHighest() {
+  while (highest_nonempty_ >= 0 && bins_[highest_nonempty_].empty()) {
+    --highest_nonempty_;
+  }
+}
+
+NodeId BinIndex::PopLargest() {
+  ADALSH_CHECK(!empty()) << "PopLargest on an empty BinIndex";
+  FixHighest();
+  std::vector<Entry>& bin = bins_[highest_nonempty_];
+  size_t best = 0;
+  for (size_t i = 1; i < bin.size(); ++i) {
+    if (bin[i].leaf_count > bin[best].leaf_count) best = i;
+  }
+  NodeId root = bin[best].root;
+  bin[best] = bin.back();
+  bin.pop_back();
+  --size_;
+  FixHighest();
+  return root;
+}
+
+uint32_t BinIndex::LargestCount() const {
+  if (empty()) return 0;
+  int b = highest_nonempty_;
+  while (b >= 0 && bins_[b].empty()) --b;
+  ADALSH_CHECK_GE(b, 0);
+  uint32_t best = 0;
+  for (const Entry& e : bins_[b]) best = std::max(best, e.leaf_count);
+  return best;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,49 @@
+#ifndef ADALSH_CLUSTERING_BIN_INDEX_H_
+#define ADALSH_CLUSTERING_BIN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+
+namespace adalsh {
+
+/// The bin-based structure of Appendix B.1/B.4: an array of ~log2(|R|) bins;
+/// the root of a tree with x leaves lives in bin floor(log2(x)). Inserting is
+/// O(1); extracting the largest cluster scans the highest non-empty bin,
+/// which holds few clusters in practice (cluster sizes are skewed), and
+/// removes the largest tree in it.
+class BinIndex {
+ public:
+  /// `max_records` bounds cluster sizes (bin count is log2(max_records)+1).
+  explicit BinIndex(size_t max_records);
+
+  /// Inserts a tree root with the given leaf count.
+  void Insert(NodeId root, uint32_t leaf_count);
+
+  /// Removes and returns the root of the largest cluster; aborts when empty.
+  NodeId PopLargest();
+
+  /// Leaf count of the current largest cluster without removing it;
+  /// 0 when empty.
+  uint32_t LargestCount() const;
+
+  bool empty() const { return size_ == 0; }
+  size_t size() const { return size_; }
+
+ private:
+  struct Entry {
+    NodeId root;
+    uint32_t leaf_count;
+  };
+
+  std::vector<std::vector<Entry>> bins_;
+  size_t size_ = 0;
+  int highest_nonempty_ = -1;  // index of highest possibly-non-empty bin
+
+  void FixHighest();
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CLUSTERING_BIN_INDEX_H_

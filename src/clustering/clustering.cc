@@ -1,0 +1,41 @@
+#include "clustering/clustering.h"
+
+#include <algorithm>
+
+namespace adalsh {
+
+void Clustering::SortBySizeDescending() {
+  std::stable_sort(clusters.begin(), clusters.end(),
+                   [](const std::vector<RecordId>& a,
+                      const std::vector<RecordId>& b) {
+                     return a.size() > b.size();
+                   });
+}
+
+size_t Clustering::TotalRecords() const {
+  size_t total = 0;
+  for (const std::vector<RecordId>& c : clusters) total += c.size();
+  return total;
+}
+
+std::vector<RecordId> Clustering::UnionOfTopClusters(size_t k) const {
+  std::vector<RecordId> result;
+  size_t limit = std::min(k, clusters.size());
+  for (size_t i = 0; i < limit; ++i) {
+    result.insert(result.end(), clusters[i].begin(), clusters[i].end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+Clustering MaterializeClusters(const ParentPointerForest& forest,
+                               const std::vector<NodeId>& roots) {
+  Clustering clustering;
+  clustering.clusters.reserve(roots.size());
+  for (NodeId root : roots) {
+    clustering.clusters.push_back(forest.Leaves(root));
+  }
+  return clustering;
+}
+
+}  // namespace adalsh

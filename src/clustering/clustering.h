@@ -1,0 +1,35 @@
+#ifndef ADALSH_CLUSTERING_CLUSTERING_H_
+#define ADALSH_CLUSTERING_CLUSTERING_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+#include "record/record.h"
+
+namespace adalsh {
+
+/// A materialized clustering: a list of clusters, each a list of record ids.
+/// Used as the output type of the filtering stage (the "k largest clusters"
+/// of Algorithm 1) and as the interchange format for the metric suite.
+struct Clustering {
+  std::vector<std::vector<RecordId>> clusters;
+
+  /// Sorts clusters by descending size (stable; ties keep insertion order).
+  void SortBySizeDescending();
+
+  /// Total number of records across all clusters.
+  size_t TotalRecords() const;
+
+  /// Union of the records in the first `k` clusters, sorted ascending —
+  /// the filtering-stage output set O of Section 2.1. `k` is clamped.
+  std::vector<RecordId> UnionOfTopClusters(size_t k) const;
+};
+
+/// Materializes the clusters rooted at `roots` from the forest.
+Clustering MaterializeClusters(const ParentPointerForest& forest,
+                               const std::vector<NodeId>& roots);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CLUSTERING_CLUSTERING_H_

@@ -1,0 +1,224 @@
+#include "core/adaptive_lsh.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "clustering/bin_index.h"
+#include "core/pairwise.h"
+#include "core/transitive_hash_function.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adalsh {
+namespace {
+
+/// Marker in the per-record last-function array for "P was applied".
+constexpr int kLastFunctionPairwise = -2;
+
+}  // namespace
+
+AdaptiveLsh::AdaptiveLsh(const Dataset& dataset, const MatchRule& rule,
+                         const AdaptiveLshConfig& config)
+    : dataset_(&dataset),
+      rule_(rule),
+      config_(config),
+      sequence_([&] {
+        StatusOr<FunctionSequence> built =
+            FunctionSequence::Build(rule, dataset.record(0), config.sequence);
+        ADALSH_CHECK(built.ok()) << built.status().ToString();
+        return std::move(built).value();
+      }()),
+      cost_model_(CostModel::Calibrate(dataset, rule,
+                                       config.calibration_samples,
+                                       config.seed)) {
+  cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
+}
+
+FilterOutput AdaptiveLsh::Run(int k) {
+  return Run(k, [](size_t, const std::vector<RecordId>&) {});
+}
+
+FilterOutput AdaptiveLsh::Run(
+    int k, const std::function<void(size_t rank, const std::vector<RecordId>&)>&
+               on_cluster) {
+  ADALSH_CHECK_GE(k, 1);
+  const size_t num_records = dataset_->num_records();
+  const int last_function = static_cast<int>(sequence_.size()) - 1;
+
+  Timer timer;
+  ParentPointerForest forest;
+  HashEngine engine(*dataset_, sequence_.structure(), config_.seed);
+  TransitiveHasher hasher(&engine, &forest, num_records);
+  PairwiseComputer pairwise(*dataset_, rule_);
+  // Hashes computed by discarded throwaway engines (incremental-reuse
+  // ablation only).
+  uint64_t ablated_hashes = 0;
+
+  // last_fn[r]: sequence index of the last function applied to r, or
+  // kLastFunctionPairwise once P has treated it (Definition 3 accounting).
+  std::vector<int> last_fn(num_records, 0);
+
+  FilterStats stats;
+
+  auto is_final = [&](NodeId root) {
+    int producer = forest.Producer(root);
+    return producer == kProducerPairwise || producer == last_function;
+  };
+
+  Rng jump_rng(DeriveSeed(config_.seed, 0xd2aa));
+  uint64_t jump_sampling_evals = 0;
+
+  // Lines 4-10 of Algorithm 1: refine one cluster with the next function in
+  // the sequence, or with P when the cost model prefers it.
+  auto process_cluster = [&](NodeId root) {
+    std::vector<RecordId> records = forest.Leaves(root);
+    int producer = forest.Producer(root);
+    int next = producer + 1;
+    std::vector<NodeId> new_roots;
+    bool jump;
+    if (config_.jump_model == JumpModel::kSampledPurity) {
+      uint64_t evals = 0;
+      jump = cost_model_.ShouldJumpToPairwiseSampled(
+          *dataset_, rule_, records, sequence_.budget(producer),
+          sequence_.budget(next), &jump_rng, /*sample_pairs=*/20, &evals);
+      jump_sampling_evals += evals;
+    } else {
+      jump = cost_model_.ShouldJumpToPairwise(sequence_.budget(producer),
+                                              sequence_.budget(next),
+                                              records.size());
+    }
+    if (jump) {
+      new_roots = pairwise.Apply(records, &forest);  // Line 6
+      for (RecordId r : records) last_fn[r] = kLastFunctionPairwise;
+    } else if (config_.ablate_incremental_reuse) {
+      // Ablation: a throwaway engine recomputes every hash from scratch.
+      HashEngine fresh_engine(*dataset_, sequence_.structure(), config_.seed);
+      TransitiveHasher fresh_hasher(&fresh_engine, &forest, num_records);
+      new_roots = fresh_hasher.Apply(records, sequence_.plan(next), next);
+      ablated_hashes += fresh_engine.total_hashes_computed();
+      for (RecordId r : records) last_fn[r] = next;
+    } else {
+      new_roots = hasher.Apply(records, sequence_.plan(next), next);  // Line 8
+      for (RecordId r : records) last_fn[r] = next;
+    }
+    ++stats.rounds;
+    return new_roots;
+  };
+
+  // Line 1: H_1 on the whole dataset.
+  std::vector<NodeId> initial =
+      hasher.Apply(dataset_->AllRecordIds(), sequence_.plan(0), 0);
+  stats.rounds = 1;
+
+  std::vector<NodeId> finals;
+  if (config_.selection == SelectionStrategy::kLargestFirst) {
+    // Fast path: the bin-based structure of Appendix B.4 pops the largest
+    // cluster in O(size of the top bin); pops are non-increasing in size, so
+    // finals accumulate already ranked (Appendix B.5).
+    BinIndex bins(num_records);
+    for (NodeId root : initial) bins.Insert(root, forest.LeafCount(root));
+    while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+      NodeId root = bins.PopLargest();  // Line 3 (Largest-First)
+      if (is_final(root)) {
+        finals.push_back(root);
+        on_cluster(finals.size() - 1, forest.Leaves(root));
+        continue;
+      }
+      for (NodeId new_root : process_cluster(root)) {
+        bins.Insert(new_root, forest.LeafCount(new_root));
+      }
+    }
+  } else {
+    // Ablation path (see SelectionStrategy): arbitrary selection order with
+    // the family-of-algorithms termination rule — stop once the k largest
+    // clusters overall are final.
+    Rng selector(DeriveSeed(config_.seed, 0xab1a7e));
+    std::vector<NodeId> pending;
+    auto route = [&](NodeId root) {
+      if (is_final(root)) {
+        finals.push_back(root);
+      } else {
+        pending.push_back(root);
+      }
+    };
+    for (NodeId root : initial) route(root);
+    while (!pending.empty()) {
+      // Termination: the k-th largest final dominates every pending cluster.
+      uint32_t max_pending = 0;
+      for (NodeId root : pending) {
+        max_pending = std::max(max_pending, forest.LeafCount(root));
+      }
+      if (finals.size() >= static_cast<size_t>(k)) {
+        std::vector<uint32_t> final_sizes;
+        final_sizes.reserve(finals.size());
+        for (NodeId root : finals) final_sizes.push_back(forest.LeafCount(root));
+        std::nth_element(final_sizes.begin(), final_sizes.begin() + (k - 1),
+                         final_sizes.end(), std::greater<uint32_t>());
+        if (final_sizes[k - 1] >= max_pending) break;
+      }
+      size_t pick = 0;
+      switch (config_.selection) {
+        case SelectionStrategy::kLargestFirst:
+          ADALSH_CHECK(false);
+          break;
+        case SelectionStrategy::kSmallestFirst: {
+          for (size_t i = 1; i < pending.size(); ++i) {
+            if (forest.LeafCount(pending[i]) <
+                forest.LeafCount(pending[pick])) {
+              pick = i;
+            }
+          }
+          break;
+        }
+        case SelectionStrategy::kFifo:
+          pick = 0;
+          break;
+        case SelectionStrategy::kRandom:
+          pick = selector.NextBelow(pending.size());
+          break;
+      }
+      NodeId root = pending[pick];
+      pending[pick] = pending.back();
+      pending.pop_back();
+      for (NodeId new_root : process_cluster(root)) route(new_root);
+    }
+    // Rank finals and emit incremental callbacks in rank order.
+    std::sort(finals.begin(), finals.end(), [&](NodeId a, NodeId b) {
+      return forest.LeafCount(a) > forest.LeafCount(b);
+    });
+    if (finals.size() > static_cast<size_t>(k)) finals.resize(k);
+    for (size_t rank = 0; rank < finals.size(); ++rank) {
+      on_cluster(rank, forest.Leaves(finals[rank]));
+    }
+  }
+
+  FilterOutput output;
+  output.clusters = MaterializeClusters(forest, finals);
+  // Pops are non-increasing in size on the fast path, so finals are already
+  // ranked; the sort is a stable no-op kept as a safety net.
+  output.clusters.SortBySizeDescending();
+
+  stats.filtering_seconds = timer.ElapsedSeconds();
+  stats.pairwise_similarities =
+      pairwise.total_similarities() + jump_sampling_evals;
+  stats.hashes_computed = engine.total_hashes_computed() + ablated_hashes;
+  stats.records_last_hashed_at.assign(sequence_.size(), 0);
+  for (RecordId r = 0; r < num_records; ++r) {
+    if (last_fn[r] == kLastFunctionPairwise) {
+      ++stats.records_finished_by_pairwise;
+    } else {
+      ++stats.records_last_hashed_at[last_fn[r]];
+    }
+  }
+  // Definition 3: sum_i n_i * cost_i + n_P * cost_P, evaluated from the
+  // engine's exact hash count plus the exact P similarity count.
+  stats.modeled_cost =
+      cost_model_.cost_per_hash() * static_cast<double>(stats.hashes_computed) +
+      cost_model_.cost_per_pair() *
+          static_cast<double>(stats.pairwise_similarities);
+  output.stats = std::move(stats);
+  return output;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,64 @@
+#include "core/budget_strategy.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+BudgetStrategy BudgetStrategy::Exponential(int start, double multiplier) {
+  ADALSH_CHECK_GE(start, 1);
+  ADALSH_CHECK_GT(multiplier, 1.0);
+  BudgetStrategy strategy;
+  strategy.mode = Mode::kExponential;
+  strategy.start = start;
+  strategy.multiplier = multiplier;
+  return strategy;
+}
+
+BudgetStrategy BudgetStrategy::Linear(int step) {
+  ADALSH_CHECK_GE(step, 1);
+  BudgetStrategy strategy;
+  strategy.mode = Mode::kLinear;
+  strategy.step = step;
+  return strategy;
+}
+
+int BudgetStrategy::BudgetAt(int i) const {
+  ADALSH_CHECK_GE(i, 0);
+  if (mode == Mode::kExponential) {
+    double value = start * std::pow(multiplier, i);
+    return static_cast<int>(std::lround(value));
+  }
+  return step * (i + 1);
+}
+
+std::vector<int> BudgetStrategy::SequenceBudgets(int max_budget) const {
+  ADALSH_CHECK_GE(max_budget, 1);
+  std::vector<int> budgets;
+  for (int i = 0;; ++i) {
+    int budget = BudgetAt(i);
+    if (budget >= max_budget) {
+      budgets.push_back(max_budget);
+      break;
+    }
+    // Guard against a non-growing schedule looping forever.
+    ADALSH_CHECK(budgets.empty() || budget > budgets.back())
+        << "budget schedule must be strictly increasing";
+    budgets.push_back(budget);
+  }
+  return budgets;
+}
+
+std::string BudgetStrategy::ToString() const {
+  std::ostringstream out;
+  if (mode == Mode::kExponential) {
+    out << "expo(start=" << start << ",x" << multiplier << ")";
+  } else {
+    out << "lin" << step;
+  }
+  return out.str();
+}
+
+}  // namespace adalsh

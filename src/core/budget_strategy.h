@@ -1,0 +1,42 @@
+#ifndef ADALSH_CORE_BUDGET_STRATEGY_H_
+#define ADALSH_CORE_BUDGET_STRATEGY_H_
+
+#include <string>
+#include <vector>
+
+namespace adalsh {
+
+/// How the hash-function budget grows along the sequence H_1 ... H_L
+/// (Section 5.2).
+struct BudgetStrategy {
+  enum class Mode {
+    /// budget_i = start * multiplier^(i-1). The paper's default: start at 20
+    /// and double ("the first function applies 20 hash functions, the second
+    /// 40, the third 80, and so on").
+    kExponential,
+    /// budget_i = step * i (lin320: 320, 640, 960, ...).
+    kLinear,
+  };
+
+  Mode mode = Mode::kExponential;
+  int start = 20;        // exponential: budget of H_1
+  double multiplier = 2; // exponential: growth factor
+  int step = 320;        // linear: increment (and budget of H_1)
+
+  /// The paper's default Exponential(20, 2).
+  static BudgetStrategy Exponential(int start = 20, double multiplier = 2.0);
+  static BudgetStrategy Linear(int step);
+
+  /// Budget of the i-th function (0-based).
+  int BudgetAt(int i) const;
+
+  /// Budgets of the full sequence: strictly increasing values up to the first
+  /// one >= max_budget (clamped to max_budget), which becomes H_L.
+  std::vector<int> SequenceBudgets(int max_budget) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_BUDGET_STRATEGY_H_

@@ -1,0 +1,131 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "lsh/composite_scheme.h"
+#include "lsh/hash_family.h"
+#include "lsh/weighted_field_family.h"
+#include "util/check.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adalsh {
+
+double CostModel::PairwiseCost(uint64_t n) const {
+  return pairwise_noise_factor_ * cost_per_pair_ *
+         static_cast<double>(PairCount(n));
+}
+
+bool CostModel::ShouldJumpToPairwise(int budget_from, int budget_to,
+                                     uint64_t cluster_size) const {
+  double upgrade = HashUpgradeCost(budget_from, budget_to) *
+                   static_cast<double>(cluster_size);
+  return upgrade >= PairwiseCost(cluster_size);
+}
+
+bool CostModel::ShouldJumpToPairwiseSampled(
+    const Dataset& dataset, const MatchRule& rule,
+    const std::vector<RecordId>& cluster, int budget_from, int budget_to,
+    Rng* rng, int sample_pairs, uint64_t* sample_evals_out) const {
+  ADALSH_CHECK(rng != nullptr);
+  if (sample_evals_out != nullptr) *sample_evals_out = 0;
+  size_t n = cluster.size();
+  // Small clusters: sampling costs as much as it saves.
+  if (n < 10 || sample_pairs < 1) {
+    return ShouldJumpToPairwise(budget_from, budget_to, n);
+  }
+  int matches = 0;
+  for (int s = 0; s < sample_pairs; ++s) {
+    size_t i = rng->NextBelow(n);
+    size_t j = rng->NextBelow(n - 1);
+    if (j >= i) ++j;
+    matches += rule.Matches(dataset.record(cluster[i]),
+                            dataset.record(cluster[j])) ? 1 : 0;
+  }
+  if (sample_evals_out != nullptr) {
+    *sample_evals_out = static_cast<uint64_t>(sample_pairs);
+  }
+  double match_fraction =
+      static_cast<double>(matches) / static_cast<double>(sample_pairs);
+  // Transitive closure collapses the matching mass after ~one linear pass;
+  // the residual non-matching core still pays its quadratic share.
+  uint64_t residual = static_cast<uint64_t>(
+      std::llround(static_cast<double>(n) * (1.0 - match_fraction)));
+  double estimated_p = pairwise_noise_factor_ * cost_per_pair_ *
+                       static_cast<double>(PairCount(residual) + n);
+  double upgrade =
+      HashUpgradeCost(budget_from, budget_to) * static_cast<double>(n);
+  return upgrade >= estimated_p;
+}
+
+CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
+                               int samples, uint64_t seed) {
+  ADALSH_CHECK_GT(samples, 0);
+  ADALSH_CHECK_GE(dataset.num_records(), 2u);
+  Rng rng(DeriveSeed(seed, 0x0c057));
+
+  // --- Pairwise cost: all pairs within a random pool of `samples` records.
+  // P runs over the records of one cluster, revisiting the same features
+  // many times (hot caches); timing isolated random pairs instead would
+  // over-estimate cost_P by the cold-access penalty and defer P far past its
+  // actual break-even point (Line 5 of Algorithm 1).
+  std::vector<RecordId> pool;
+  pool.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    pool.push_back(static_cast<RecordId>(rng.NextBelow(dataset.num_records())));
+  }
+  // Volatile sink so the evaluation is not optimized away.
+  volatile int match_count = 0;
+  uint64_t pair_evals = 0;
+  Timer pair_timer;
+  for (size_t i = 0; i < pool.size(); ++i) {
+    const Record& left = dataset.record(pool[i]);
+    for (size_t j = i + 1; j < pool.size(); ++j) {
+      match_count =
+          match_count + (rule.Matches(left, dataset.record(pool[j])) ? 1 : 0);
+      ++pair_evals;
+    }
+  }
+  double cost_per_pair =
+      pair_timer.ElapsedSeconds() / static_cast<double>(pair_evals);
+
+  // --- Hash cost: time batches of raw hashes on throwaway families. ---
+  StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
+  ADALSH_CHECK(structure.ok()) << structure.status().ToString();
+  constexpr int kHashesPerProbe = 32;
+  std::vector<std::unique_ptr<HashFamily>> families;
+  for (const HashUnitSpec& unit : structure->units) {
+    families.push_back(MakeFamilyForFields(unit.fields, unit.weights,
+                                           dataset.record(0),
+                                           DeriveSeed(seed, 0xfa111)));
+  }
+  // Warm up lazy per-function parameters (hyperplane normals) so their
+  // one-time materialization does not inflate the estimate.
+  std::vector<uint64_t> sink(kHashesPerProbe);
+  for (auto& family : families) {
+    family->HashRange(dataset.record(0), 0, kHashesPerProbe, sink.data());
+  }
+
+  std::vector<RecordId> probe_records;
+  probe_records.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    probe_records.push_back(
+        static_cast<RecordId>(rng.NextBelow(dataset.num_records())));
+  }
+  uint64_t total_hashes = 0;
+  Timer hash_timer;
+  for (RecordId r : probe_records) {
+    for (auto& family : families) {
+      family->HashRange(dataset.record(r), 0, kHashesPerProbe, sink.data());
+      total_hashes += kHashesPerProbe;
+    }
+  }
+  double cost_per_hash = hash_timer.ElapsedSeconds() /
+                         static_cast<double>(total_hashes);
+  return CostModel(cost_per_hash, cost_per_pair);
+}
+
+}  // namespace adalsh

@@ -1,0 +1,105 @@
+#ifndef ADALSH_CORE_COST_MODEL_H_
+#define ADALSH_CORE_COST_MODEL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "distance/rule.h"
+#include "record/dataset.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+/// How Line 5 of Algorithm 1 estimates the cost of applying P to a cluster.
+enum class JumpModel {
+  /// The paper's model (Definition 3): cost_P * C(|C|, 2). Deliberately
+  /// conservative — it ignores the transitive-closure skipping of Appendix
+  /// B.3, under which P on an (almost) pure cluster costs ~|C| evaluations,
+  /// not C(|C|, 2).
+  kConservative,
+
+  /// The Appendix D.2 direction ("an algorithm could benefit ... when it
+  /// keeps estimates of the sizes of sub-clusters inside each cluster"):
+  /// sample a few random pairs inside the cluster, estimate the match
+  /// fraction m, and model P's closure-skipped cost as
+  ///   cost_P * (C(round(|C|*(1-m)), 2) + |C|) —
+  /// the residual non-matching core plus one linear pass. The sampling cost
+  /// (a handful of rule evaluations) is charged to the run. Large pure
+  /// clusters — the paper's image scenario, where "applying P on the top-1
+  /// entity often takes more than 50% of the execution time" — jump to P
+  /// much earlier under this model.
+  kSampledPurity,
+};
+
+/// The cost model of Definition 3, with unit costs calibrated by sampling:
+///   * applying function H_i (budget_i hash functions) to a set S costs
+///     cost_i * |S|, where cost_i = cost_per_hash * budget_i;
+///   * upgrading a record from H_j to H_i costs cost_i - cost_j (incremental
+///     computation);
+///   * applying the pairwise function P to S costs cost_P * C(|S|, 2).
+///
+/// `pairwise_noise_factor` scales the P estimate to reproduce the
+/// noise-sensitivity study of Appendix E.2 (Fig. 21): a factor below 1
+/// under-estimates P (applied sooner, on larger clusters) and above 1
+/// over-estimates it (deferred to smaller clusters).
+class CostModel {
+ public:
+  CostModel(double cost_per_hash, double cost_per_pair)
+      : cost_per_hash_(cost_per_hash), cost_per_pair_(cost_per_pair) {}
+
+  /// Estimates unit costs by timing `samples` rule evaluations on random
+  /// record pairs and `samples` batched hash computations on random records
+  /// (the paper calibrates with 100 samples of each). The probe hashes are
+  /// computed on throwaway families so the caller's caches are untouched.
+  static CostModel Calibrate(const Dataset& dataset, const MatchRule& rule,
+                             int samples, uint64_t seed);
+
+  /// Cost of applying a budget-b function to one record from scratch.
+  double HashCost(int budget) const { return cost_per_hash_ * budget; }
+
+  /// Incremental cost of moving one record from a budget-a to a budget-b
+  /// function (b >= a).
+  double HashUpgradeCost(int budget_from, int budget_to) const {
+    return cost_per_hash_ * (budget_to - budget_from);
+  }
+
+  /// Modeled cost of P on a set of n records (with the noise factor).
+  double PairwiseCost(uint64_t n) const;
+
+  /// Line 5 of Algorithm 1 under the conservative model: true when upgrading
+  /// the cluster to the next function costs at least as much as running P on
+  /// it, i.e. (cost_{t+1} - cost_t) * |C| >= cost_P * C(|C|, 2).
+  bool ShouldJumpToPairwise(int budget_from, int budget_to,
+                            uint64_t cluster_size) const;
+
+  /// Line 5 under JumpModel::kSampledPurity: estimates the cluster's match
+  /// fraction from `sample_pairs` random in-cluster rule evaluations and
+  /// compares the upgrade cost against the closure-skipped P estimate (see
+  /// JumpModel). `rng` drives the sampling; `*sample_evals_out` (optional)
+  /// receives the number of rule evaluations spent, which the caller should
+  /// charge to the run's pairwise count. Falls back to the conservative rule
+  /// for clusters too small to sample meaningfully.
+  bool ShouldJumpToPairwiseSampled(const Dataset& dataset,
+                                   const MatchRule& rule,
+                                   const std::vector<RecordId>& cluster,
+                                   int budget_from, int budget_to, Rng* rng,
+                                   int sample_pairs = 20,
+                                   uint64_t* sample_evals_out = nullptr) const;
+
+  double cost_per_hash() const { return cost_per_hash_; }
+  double cost_per_pair() const { return cost_per_pair_; }
+
+  void set_pairwise_noise_factor(double factor) {
+    pairwise_noise_factor_ = factor;
+  }
+  double pairwise_noise_factor() const { return pairwise_noise_factor_; }
+
+ private:
+  double cost_per_hash_;
+  double cost_per_pair_;
+  double pairwise_noise_factor_ = 1.0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_COST_MODEL_H_

@@ -1,0 +1,49 @@
+#ifndef ADALSH_CORE_FILTER_OUTPUT_H_
+#define ADALSH_CORE_FILTER_OUTPUT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "clustering/clustering.h"
+
+namespace adalsh {
+
+/// Execution accounting shared by all filtering methods (adaLSH, LSH-X,
+/// LSH-X-nP, Pairs). Times are wall-clock; counters feed the Definition 3
+/// cost expression sum_i n_i * cost_i + n_P * cost_P.
+struct FilterStats {
+  /// Wall-clock seconds of the filtering stage (the paper's Execution Time).
+  double filtering_seconds = 0.0;
+
+  /// Rounds of Algorithm 1's main loop (1 for the non-adaptive methods).
+  size_t rounds = 0;
+
+  /// Rule evaluations performed by P invocations (n_P).
+  uint64_t pairwise_similarities = 0;
+
+  /// Raw LSH hash evaluations across all records and units.
+  uint64_t hashes_computed = 0;
+
+  /// records_last_hashed_at[i] = number of records whose last applied
+  /// sequence function was H_i (the n_i of Definition 3); records whose last
+  /// treatment was P are in records_finished_by_pairwise.
+  std::vector<size_t> records_last_hashed_at;
+  size_t records_finished_by_pairwise = 0;
+
+  /// The Definition 3 cost of the run under the method's cost model
+  /// (0 when the method used no model).
+  double modeled_cost = 0.0;
+};
+
+/// Result of a filtering method: the requested clusters, ranked by
+/// descending size, plus execution stats. UnionOfTopClusters(k) gives the
+/// filtering output set O of Section 2.1.
+struct FilterOutput {
+  Clustering clusters;
+  FilterStats stats;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_FILTER_OUTPUT_H_

@@ -1,0 +1,56 @@
+#include "core/function_sequence.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+StatusOr<FunctionSequence> FunctionSequence::Build(
+    const MatchRule& rule, const Record& prototype,
+    const SequenceConfig& config) {
+  Status valid = rule.Validate(prototype);
+  if (!valid.ok()) return valid;
+  StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
+  if (!structure.ok()) return structure.status();
+
+  FunctionSequence sequence;
+  sequence.structure_ = std::move(structure).value();
+
+  std::vector<int> budgets = config.strategy.SequenceBudgets(config.max_budget);
+  ADALSH_CHECK(!budgets.empty());
+  for (size_t i = 0; i < budgets.size(); ++i) {
+    const CompositeScheme* previous =
+        i == 0 ? nullptr : &sequence.schemes_[i - 1];
+    CompositeScheme scheme = OptimizeComposite(
+        sequence.structure_, budgets[i], config.optimizer, previous);
+    sequence.plans_.push_back(BuildPlan(sequence.structure_, scheme));
+    sequence.schemes_.push_back(std::move(scheme));
+  }
+  return sequence;
+}
+
+const SchemePlan& FunctionSequence::plan(size_t i) const {
+  ADALSH_CHECK_LT(i, plans_.size());
+  return plans_[i];
+}
+
+const CompositeScheme& FunctionSequence::scheme(size_t i) const {
+  ADALSH_CHECK_LT(i, schemes_.size());
+  return schemes_[i];
+}
+
+int FunctionSequence::budget(size_t i) const {
+  return scheme(i).budget();
+}
+
+std::string FunctionSequence::DebugString() const {
+  std::ostringstream out;
+  for (size_t i = 0; i < schemes_.size(); ++i) {
+    out << "H_" << (i + 1) << ": budget=" << schemes_[i].budget() << " "
+        << schemes_[i].ToString() << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace adalsh

@@ -1,0 +1,67 @@
+#ifndef ADALSH_CORE_FUNCTION_SEQUENCE_H_
+#define ADALSH_CORE_FUNCTION_SEQUENCE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/budget_strategy.h"
+#include "core/scheme_optimizer.h"
+#include "distance/rule.h"
+#include "lsh/composite_scheme.h"
+#include "util/status.h"
+
+namespace adalsh {
+
+/// Configuration of the transitive-hashing-function sequence H_1 ... H_L
+/// (Section 5): a budget schedule plus the per-function scheme optimization.
+struct SequenceConfig {
+  BudgetStrategy strategy = BudgetStrategy::Exponential();
+
+  /// Budget of the final function H_L; the schedule stops at the first value
+  /// >= max_budget (clamped). H_L outcomes are terminal for Algorithm 1, so
+  /// this should be at least the budget a well-tuned standalone LSH would
+  /// use (~1000+ for the paper's settings).
+  int max_budget = 5120;
+
+  OptimizerConfig optimizer;
+};
+
+/// The designed sequence: per-function composite schemes and executable table
+/// plans, with Appendix C.1's monotonic w constraints threaded between
+/// consecutive functions so every cached hash is reused.
+class FunctionSequence {
+ public:
+  /// Compiles `rule` (validated against `prototype`) and optimizes one scheme
+  /// per budget in the schedule. InvalidArgument if the rule cannot be hashed
+  /// (see CompileRuleForHashing).
+  static StatusOr<FunctionSequence> Build(const MatchRule& rule,
+                                          const Record& prototype,
+                                          const SequenceConfig& config);
+
+  /// L — number of functions in the sequence.
+  size_t size() const { return plans_.size(); }
+
+  const SchemePlan& plan(size_t i) const;
+  const CompositeScheme& scheme(size_t i) const;
+
+  /// Actual hash budget of H_i (the optimized scheme's total, which can
+  /// deviate from the nominal schedule by rounding).
+  int budget(size_t i) const;
+
+  const RuleHashStructure& structure() const { return structure_; }
+
+  /// One line per function: budget and scheme.
+  std::string DebugString() const;
+
+ private:
+  FunctionSequence() = default;
+
+  RuleHashStructure structure_;
+  std::vector<CompositeScheme> schemes_;
+  std::vector<SchemePlan> plans_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_FUNCTION_SEQUENCE_H_

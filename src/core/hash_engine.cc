@@ -1,0 +1,49 @@
+#include "core/hash_engine.h"
+
+#include "lsh/weighted_field_family.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+HashEngine::HashEngine(const Dataset& dataset, RuleHashStructure structure,
+                       uint64_t seed)
+    : dataset_(&dataset), structure_(std::move(structure)) {
+  ADALSH_CHECK_GT(dataset.num_records(), 0u);
+  caches_.reserve(structure_.units.size());
+  for (size_t u = 0; u < structure_.units.size(); ++u) {
+    const HashUnitSpec& unit = structure_.units[u];
+    caches_.emplace_back(
+        MakeFamilyForFields(unit.fields, unit.weights, dataset.record(0),
+                            DeriveSeed(seed, 0xa110c + u)),
+        dataset.num_records());
+  }
+}
+
+void HashEngine::EnsureHashes(RecordId r, const SchemePlan& plan) {
+  ADALSH_CHECK_EQ(plan.hashes_per_unit.size(), caches_.size());
+  const Record& record = dataset_->record(r);
+  for (size_t u = 0; u < caches_.size(); ++u) {
+    if (plan.hashes_per_unit[u] > 0) {
+      caches_[u].Ensure(record, r, plan.hashes_per_unit[u]);
+    }
+  }
+}
+
+uint64_t HashEngine::TableKey(RecordId r, const TablePlan& table) const {
+  uint64_t key = 0x5ca1ab1e0adab1e5ULL;
+  for (const TablePart& part : table.parts) {
+    key = caches_[part.unit].CombineRange(r, part.begin, part.end, key);
+  }
+  return key;
+}
+
+uint64_t HashEngine::total_hashes_computed() const {
+  uint64_t total = 0;
+  for (const HashCache& cache : caches_) {
+    total += cache.total_hashes_computed();
+  }
+  return total;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,49 @@
+#ifndef ADALSH_CORE_HASH_ENGINE_H_
+#define ADALSH_CORE_HASH_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "lsh/composite_scheme.h"
+#include "lsh/hash_cache.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// Owns one HashCache per hash unit of a compiled rule and turns cached raw
+/// hashes into table bucket keys. A single engine is shared by every
+/// transitive hashing function in a run, which is what makes the sequence
+/// incremental: H_{i+1}'s plan asks for a longer prefix of the same per-unit
+/// streams H_i already computed.
+class HashEngine {
+ public:
+  /// `structure` must come from CompileRuleForHashing on the rule used by
+  /// the run; `seed` determines all hash functions.
+  HashEngine(const Dataset& dataset, RuleHashStructure structure,
+             uint64_t seed);
+
+  HashEngine(const HashEngine&) = delete;
+  HashEngine& operator=(const HashEngine&) = delete;
+
+  /// Ensures record r's caches cover every prefix `plan` needs.
+  void EnsureHashes(RecordId r, const SchemePlan& plan);
+
+  /// Bucket key of record r for one table of `plan`. EnsureHashes must have
+  /// covered the plan for r.
+  uint64_t TableKey(RecordId r, const TablePlan& table) const;
+
+  /// Total raw hash evaluations across all units (cost accounting).
+  uint64_t total_hashes_computed() const;
+
+  const RuleHashStructure& structure() const { return structure_; }
+  const Dataset& dataset() const { return *dataset_; }
+
+ private:
+  const Dataset* dataset_;
+  RuleHashStructure structure_;
+  std::vector<HashCache> caches_;  // one per unit
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_HASH_ENGINE_H_

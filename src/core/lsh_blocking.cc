@@ -1,0 +1,83 @@
+#include "core/lsh_blocking.h"
+
+#include <utility>
+
+#include "clustering/bin_index.h"
+#include "core/hash_engine.h"
+#include "core/pairwise.h"
+#include "core/transitive_hash_function.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adalsh {
+
+LshBlocking::LshBlocking(const Dataset& dataset, const MatchRule& rule,
+                         const LshBlockingConfig& config)
+    : dataset_(&dataset), rule_(rule), config_(config) {
+  ADALSH_CHECK_GE(config.num_hashes, 1);
+  Status valid = rule.Validate(dataset.record(0));
+  ADALSH_CHECK(valid.ok()) << valid.ToString();
+  StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
+  ADALSH_CHECK(structure.ok()) << structure.status().ToString();
+  structure_ = std::move(structure).value();
+  scheme_ = OptimizeComposite(structure_, config.num_hashes, config.optimizer,
+                              /*previous=*/nullptr);
+  plan_ = BuildPlan(structure_, scheme_);
+}
+
+FilterOutput LshBlocking::Run(int k) {
+  ADALSH_CHECK_GE(k, 1);
+  const size_t num_records = dataset_->num_records();
+
+  Timer timer;
+  ParentPointerForest forest;
+  HashEngine engine(*dataset_, structure_, config_.seed);
+  TransitiveHasher hasher(&engine, &forest, num_records);
+  PairwiseComputer pairwise(*dataset_, rule_);
+
+  FilterStats stats;
+  stats.records_last_hashed_at.assign(1, num_records);
+
+  // Stage 1: apply all X hash functions to every record.
+  std::vector<NodeId> roots =
+      hasher.Apply(dataset_->AllRecordIds(), plan_, 0);
+  stats.rounds = 1;
+
+  std::vector<NodeId> finals;
+  if (!config_.apply_pairwise) {
+    // LSH-X-nP: trust the stage-1 clusters; return the k largest.
+    BinIndex bins(num_records);
+    for (NodeId root : roots) bins.Insert(root, forest.LeafCount(root));
+    while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+      finals.push_back(bins.PopLargest());
+    }
+  } else {
+    // Stage 2: verify clusters with P, largest first, until the k largest
+    // verified clusters dominate everything unverified (optimization (1)).
+    BinIndex bins(num_records);
+    for (NodeId root : roots) bins.Insert(root, forest.LeafCount(root));
+    while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+      NodeId root = bins.PopLargest();
+      if (forest.Producer(root) == kProducerPairwise) {
+        finals.push_back(root);
+        continue;
+      }
+      std::vector<RecordId> records = forest.Leaves(root);
+      stats.records_finished_by_pairwise += records.size();
+      std::vector<NodeId> verified = pairwise.Apply(records, &forest);
+      ++stats.rounds;
+      for (NodeId v : verified) bins.Insert(v, forest.LeafCount(v));
+    }
+  }
+
+  FilterOutput output;
+  output.clusters = MaterializeClusters(forest, finals);
+  output.clusters.SortBySizeDescending();
+  stats.filtering_seconds = timer.ElapsedSeconds();
+  stats.pairwise_similarities = pairwise.total_similarities();
+  stats.hashes_computed = engine.total_hashes_computed();
+  output.stats = std::move(stats);
+  return output;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,43 @@
+#include "core/pairs_baseline.h"
+
+#include <utility>
+
+#include "clustering/bin_index.h"
+#include "core/pairwise.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adalsh {
+
+PairsBaseline::PairsBaseline(const Dataset& dataset, const MatchRule& rule)
+    : dataset_(&dataset), rule_(rule) {
+  Status valid = rule.Validate(dataset.record(0));
+  ADALSH_CHECK(valid.ok()) << valid.ToString();
+}
+
+FilterOutput PairsBaseline::Run(int k) {
+  ADALSH_CHECK_GE(k, 1);
+  Timer timer;
+  ParentPointerForest forest;
+  PairwiseComputer pairwise(*dataset_, rule_);
+  std::vector<NodeId> roots =
+      pairwise.Apply(dataset_->AllRecordIds(), &forest);
+
+  BinIndex bins(dataset_->num_records());
+  for (NodeId root : roots) bins.Insert(root, forest.LeafCount(root));
+  std::vector<NodeId> finals;
+  while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+    finals.push_back(bins.PopLargest());
+  }
+
+  FilterOutput output;
+  output.clusters = MaterializeClusters(forest, finals);
+  output.clusters.SortBySizeDescending();
+  output.stats.filtering_seconds = timer.ElapsedSeconds();
+  output.stats.rounds = 1;
+  output.stats.pairwise_similarities = pairwise.total_similarities();
+  output.stats.records_finished_by_pairwise = dataset_->num_records();
+  return output;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,32 @@
+#ifndef ADALSH_CORE_PAIRS_BASELINE_H_
+#define ADALSH_CORE_PAIRS_BASELINE_H_
+
+#include "core/filter_output.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// The Pairs baseline (Section 6.1.1): the pairwise computation function P
+/// applied to the whole dataset — the traditional transitive-closure
+/// algorithm — with the transitive-closure skipping optimization and the
+/// shared data structures. Quadratic in |R|; the yardstick the filtering
+/// methods are measured against.
+class PairsBaseline {
+ public:
+  PairsBaseline(const Dataset& dataset, const MatchRule& rule);
+
+  PairsBaseline(const PairsBaseline&) = delete;
+  PairsBaseline& operator=(const PairsBaseline&) = delete;
+
+  /// Resolves the whole dataset exactly and returns the k largest clusters.
+  FilterOutput Run(int k);
+
+ private:
+  const Dataset* dataset_;
+  MatchRule rule_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_PAIRS_BASELINE_H_

@@ -1,0 +1,42 @@
+#include "core/pairwise.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+PairwiseComputer::PairwiseComputer(const Dataset& dataset,
+                                   const MatchRule& rule)
+    : dataset_(&dataset), rule_(&rule) {}
+
+std::vector<NodeId> PairwiseComputer::Apply(
+    const std::vector<RecordId>& records, ParentPointerForest* forest) {
+  ADALSH_CHECK(forest != nullptr);
+  // Every record starts in its own tree.
+  std::vector<NodeId> leaf_of(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    forest->MakeTree(records[i], kProducerPairwise, &leaf_of[i]);
+  }
+  for (size_t i = 0; i < records.size(); ++i) {
+    const Record& record_i = dataset_->record(records[i]);
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      NodeId root_i = forest->FindRoot(leaf_of[i]);
+      NodeId root_j = forest->FindRoot(leaf_of[j]);
+      if (root_i == root_j) continue;  // transitively closed already
+      ++total_similarities_;
+      if (rule_->Matches(record_i, dataset_->record(records[j]))) {
+        forest->Merge(root_i, root_j);
+      }
+    }
+  }
+  std::vector<NodeId> roots;
+  std::unordered_set<NodeId> seen;
+  for (NodeId leaf : leaf_of) {
+    NodeId root = forest->FindRoot(leaf);
+    if (seen.insert(root).second) roots.push_back(root);
+  }
+  return roots;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,41 @@
+#ifndef ADALSH_CORE_PAIRWISE_H_
+#define ADALSH_CORE_PAIRWISE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// The pairwise computation function P (Definition 2) with the
+/// transitive-closure optimization of Appendix B.3: records already in the
+/// same tree skip their distance computation. Output trees are tagged with
+/// kProducerPairwise, which Algorithm 1's termination rule treats as final.
+class PairwiseComputer {
+ public:
+  PairwiseComputer(const Dataset& dataset, const MatchRule& rule);
+
+  PairwiseComputer(const PairwiseComputer&) = delete;
+  PairwiseComputer& operator=(const PairwiseComputer&) = delete;
+
+  /// Splits `records` into the connected components of the exact match graph,
+  /// building trees in `forest`. Returns the component roots.
+  std::vector<NodeId> Apply(const std::vector<RecordId>& records,
+                            ParentPointerForest* forest);
+
+  /// Rule evaluations actually performed (pairs skipped via transitive
+  /// closure are not counted) — the n_P of the Definition 3 cost accounting.
+  uint64_t total_similarities() const { return total_similarities_; }
+
+ private:
+  const Dataset* dataset_;
+  const MatchRule* rule_;
+  uint64_t total_similarities_ = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_PAIRWISE_H_

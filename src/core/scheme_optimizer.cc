@@ -1,0 +1,360 @@
+#include "core/scheme_optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+#include "util/numeric.h"
+
+namespace adalsh {
+namespace {
+
+/// Collision probability of one AND group at per-unit distances x:
+/// 1 - (1 - prod_u p_u(x_u)^{w_u})^z * [single-unit remainder correction].
+double GroupProbability(const std::vector<OptimizerUnit>& units,
+                        const std::vector<int>& w, int z, int w_rem,
+                        const std::vector<double>& x) {
+  double product = 1.0;
+  for (size_t u = 0; u < units.size(); ++u) {
+    product *= PowInt(units[u].p(x[u]), static_cast<uint64_t>(w[u]));
+  }
+  double miss = PowInt(1.0 - product, static_cast<uint64_t>(z));
+  if (w_rem > 0) {
+    ADALSH_CHECK_EQ(units.size(), 1u);
+    miss *= 1.0 - PowInt(units[0].p(x[0]), static_cast<uint64_t>(w_rem));
+  }
+  return 1.0 - miss;
+}
+
+/// True when the group satisfies the distance-threshold constraint (Eq. 3 /
+/// Eq. 6): collision probability at the per-unit thresholds >= 1 - epsilon.
+/// p(x) monotone non-increasing makes the thresholds the binding point.
+bool GroupFeasible(const std::vector<OptimizerUnit>& units,
+                   const std::vector<int>& w, int z, int w_rem,
+                   double epsilon) {
+  std::vector<double> at_thresholds(units.size());
+  for (size_t u = 0; u < units.size(); ++u) {
+    at_thresholds[u] = units[u].threshold;
+  }
+  return GroupProbability(units, w, z, w_rem, at_thresholds) >= 1.0 - epsilon;
+}
+
+/// Group objective (Eq. 1 / Eq. 4): integral of the collision probability
+/// over the unit hypercube of distances, by nested Simpson integration.
+double GroupObjective(const std::vector<OptimizerUnit>& units,
+                      const std::vector<int>& w, int z, int w_rem,
+                      int intervals) {
+  size_t n = units.size();
+  if (n == 1) {
+    return SimpsonIntegrate(
+        [&](double x) { return GroupProbability(units, w, z, w_rem, {x}); },
+        0.0, 1.0, intervals);
+  }
+  if (n == 2) {
+    return SimpsonIntegrate2D(
+        [&](double x0, double x1) {
+          return GroupProbability(units, w, z, w_rem, {x0, x1});
+        },
+        0.0, 1.0, 0.0, 1.0, intervals);
+  }
+  // n >= 3: recursive nested Simpson with a reduced per-axis resolution.
+  int per_axis = std::max(4, intervals / static_cast<int>(n));
+  std::vector<double> x(n, 0.0);
+  std::function<double(size_t)> integrate_axis = [&](size_t axis) -> double {
+    return SimpsonIntegrate(
+        [&](double value) {
+          x[axis] = value;
+          if (axis + 1 == n) return GroupProbability(units, w, z, w_rem, x);
+          return integrate_axis(axis + 1);
+        },
+        0.0, 1.0, per_axis);
+  };
+  return integrate_axis(0);
+}
+
+/// Smallest viable budget for a group: one table of min_w hashes per unit.
+int MinimalGroupBudget(const std::vector<OptimizerUnit>& units) {
+  int total = 0;
+  for (const OptimizerUnit& unit : units) total += std::max(1, unit.min_w);
+  return total;
+}
+
+/// Multi-unit AND search by coordinate descent over the per-unit counts, with
+/// two starts (most-conservative corner and balanced point). Exhaustive in
+/// each coordinate; the budget fixes z = budget / sum(w).
+GroupScheme OptimizeMultiUnitGroup(const std::vector<OptimizerUnit>& units,
+                                   int budget, const OptimizerConfig& config) {
+  size_t n = units.size();
+  std::vector<int> min_w(n);
+  int min_total = 0;
+  for (size_t u = 0; u < n; ++u) {
+    min_w[u] = std::max(1, units[u].min_w);
+    min_total += min_w[u];
+  }
+
+  GroupScheme fallback;
+  fallback.w = min_w;
+  fallback.z = std::max(1, budget / min_total);
+  fallback.w_rem = 0;
+  fallback.constraint_met =
+      GroupFeasible(units, fallback.w, fallback.z, 0, config.epsilon);
+  fallback.objective =
+      GroupObjective(units, fallback.w, fallback.z, 0, config.final_intervals);
+  if (budget < min_total) {
+    // Not enough budget for even one full table: run the single conservative
+    // table anyway (slightly over budget); typical only for tiny early
+    // functions in a sequence.
+    fallback.z = 1;
+    fallback.constraint_met =
+        GroupFeasible(units, fallback.w, 1, 0, config.epsilon);
+    fallback.objective =
+        GroupObjective(units, fallback.w, 1, 0, config.final_intervals);
+    return fallback;
+  }
+
+  int cap = std::min(config.max_w, budget);
+  auto evaluate = [&](const std::vector<int>& w, int intervals,
+                      bool* feasible) -> double {
+    int total = 0;
+    for (int wu : w) total += wu;
+    if (total > budget) {
+      *feasible = false;
+      return std::numeric_limits<double>::infinity();
+    }
+    int z = budget / total;
+    *feasible = GroupFeasible(units, w, z, 0, config.epsilon);
+    if (!*feasible) return std::numeric_limits<double>::infinity();
+    return GroupObjective(units, w, z, 0, intervals);
+  };
+
+  // Two starting points.
+  std::vector<std::vector<int>> starts;
+  starts.push_back(min_w);
+  std::vector<int> balanced(n);
+  for (size_t u = 0; u < n; ++u) {
+    balanced[u] = std::max(min_w[u],
+                           std::min(cap, budget / (4 * static_cast<int>(n))));
+  }
+  starts.push_back(balanced);
+
+  std::vector<int> best_w = min_w;
+  bool best_feasible = false;
+  double best_objective = std::numeric_limits<double>::infinity();
+
+  for (std::vector<int>& w : starts) {
+    bool feasible = false;
+    double objective = evaluate(w, config.search_intervals, &feasible);
+    for (int sweep = 0; sweep < 4; ++sweep) {
+      bool improved = false;
+      for (size_t u = 0; u < n; ++u) {
+        int original = w[u];
+        int local_best = original;
+        for (int candidate = min_w[u]; candidate <= cap; ++candidate) {
+          if (candidate == original) continue;
+          w[u] = candidate;
+          bool cand_feasible = false;
+          double cand_objective =
+              evaluate(w, config.search_intervals, &cand_feasible);
+          // Feasible beats infeasible; among feasible, lower objective wins.
+          if (cand_feasible &&
+              (!feasible || cand_objective < objective - 1e-15)) {
+            feasible = true;
+            objective = cand_objective;
+            local_best = candidate;
+            improved = true;
+          }
+        }
+        w[u] = local_best;
+      }
+      if (!improved) break;
+    }
+    if (feasible && (!best_feasible || objective < best_objective)) {
+      best_feasible = true;
+      best_objective = objective;
+      best_w = w;
+    }
+  }
+
+  if (!best_feasible) {
+    fallback.constraint_met = false;
+    return fallback;
+  }
+  GroupScheme result;
+  result.w = best_w;
+  int total = 0;
+  for (int wu : best_w) total += wu;
+  result.z = budget / total;
+  result.w_rem = 0;
+  result.constraint_met = true;
+  result.objective =
+      GroupObjective(units, best_w, result.z, 0, config.final_intervals);
+  return result;
+}
+
+}  // namespace
+
+WzScheme OptimizeSingleScheme(const OptimizerUnit& unit, int budget,
+                              const OptimizerConfig& config) {
+  ADALSH_CHECK_GE(budget, 1);
+  std::vector<OptimizerUnit> units = {unit};
+  int min_w = std::max(1, std::min(unit.min_w, budget));
+  int cap = std::min(config.max_w, budget);
+
+  // Feasibility scan: the constraint check is O(1), so scan every w.
+  std::vector<int> feasible;
+  for (int w = min_w; w <= cap; ++w) {
+    int z = budget / w;
+    int w_rem = budget - w * z;
+    if (GroupFeasible(units, {w}, z, w_rem, config.epsilon)) {
+      feasible.push_back(w);
+    }
+  }
+
+  WzScheme result;
+  if (feasible.empty()) {
+    result.w = min_w;
+    result.z = budget / min_w;
+    result.w_rem = budget - result.w * result.z;
+    result.constraint_met = false;
+    result.objective = GroupObjective(units, {result.w}, result.z,
+                                      result.w_rem, config.final_intervals);
+    return result;
+  }
+
+  // Objective evaluation for the largest feasible candidates (see header).
+  size_t first = feasible.size() > static_cast<size_t>(config.objective_candidates)
+                     ? feasible.size() - config.objective_candidates
+                     : 0;
+  int best_w = feasible.back();
+  double best_objective = std::numeric_limits<double>::infinity();
+  for (size_t i = first; i < feasible.size(); ++i) {
+    int w = feasible[i];
+    int z = budget / w;
+    int w_rem = budget - w * z;
+    double objective =
+        GroupObjective(units, {w}, z, w_rem, config.search_intervals);
+    if (objective < best_objective) {
+      best_objective = objective;
+      best_w = w;
+    }
+  }
+  result.w = best_w;
+  result.z = budget / best_w;
+  result.w_rem = budget - result.w * result.z;
+  result.constraint_met = true;
+  result.objective = GroupObjective(units, {result.w}, result.z, result.w_rem,
+                                    config.final_intervals);
+  return result;
+}
+
+GroupScheme OptimizeAndGroup(const std::vector<OptimizerUnit>& units,
+                             int budget, const OptimizerConfig& config) {
+  ADALSH_CHECK(!units.empty());
+  if (units.size() == 1) {
+    WzScheme single = OptimizeSingleScheme(units[0], budget, config);
+    GroupScheme group;
+    group.w = {single.w};
+    group.z = single.z;
+    group.w_rem = single.w_rem;
+    group.constraint_met = single.constraint_met;
+    group.objective = single.objective;
+    return group;
+  }
+  return OptimizeMultiUnitGroup(units, budget, config);
+}
+
+CompositeScheme OptimizeComposite(const RuleHashStructure& structure,
+                                  int budget, const OptimizerConfig& config,
+                                  const CompositeScheme* previous) {
+  ADALSH_CHECK(!structure.groups.empty());
+  if (previous != nullptr) {
+    ADALSH_CHECK_EQ(previous->groups.size(), structure.groups.size());
+  }
+
+  // Materialize optimizer units per group, carrying min_w from `previous`.
+  std::vector<std::vector<OptimizerUnit>> group_units(structure.groups.size());
+  for (size_t g = 0; g < structure.groups.size(); ++g) {
+    for (size_t u = 0; u < structure.groups[g].size(); ++u) {
+      const HashUnitSpec& spec = structure.units[structure.groups[g][u]];
+      OptimizerUnit unit;
+      // All shipped families are linear; a custom-family hook would key off
+      // field kinds here (CollisionModelForFieldKind).
+      unit.p = LinearCollisionModel();
+      unit.threshold = spec.threshold;
+      unit.min_w = previous != nullptr ? previous->groups[g].w[u] : 1;
+      group_units[g].push_back(std::move(unit));
+    }
+  }
+
+  CompositeScheme scheme;
+  scheme.groups.resize(structure.groups.size());
+
+  if (structure.groups.size() == 1) {
+    scheme.groups[0] = OptimizeAndGroup(group_units[0], budget, config);
+    return scheme;
+  }
+
+  if (structure.groups.size() == 2) {
+    // Programs (7)-(10): the OR objective factorizes across groups, so each
+    // budget split reduces to two independent group programs; scan splits.
+    double best_score = std::numeric_limits<double>::infinity();
+    bool best_met = false;
+    bool have_best = false;
+    int min0 = MinimalGroupBudget(group_units[0]);
+    int min1 = MinimalGroupBudget(group_units[1]);
+    for (int step = 1; step < config.or_split_steps; ++step) {
+      int b0 = budget * step / config.or_split_steps;
+      b0 = std::clamp(b0, std::min(min0, budget - min1), budget - min1);
+      int b1 = budget - b0;
+      if (b0 < 1 || b1 < 1) continue;
+      GroupScheme g0 = OptimizeAndGroup(group_units[0], b0, config);
+      GroupScheme g1 = OptimizeAndGroup(group_units[1], b1, config);
+      bool met = g0.constraint_met && g1.constraint_met;
+      // Combined objective: 1 - (1 - obj0)(1 - obj1).
+      double score = 1.0 - (1.0 - g0.objective) * (1.0 - g1.objective);
+      if (!have_best || (met && !best_met) ||
+          (met == best_met && score < best_score)) {
+        have_best = true;
+        best_met = met;
+        best_score = score;
+        scheme.groups[0] = std::move(g0);
+        scheme.groups[1] = std::move(g1);
+      }
+    }
+    ADALSH_CHECK(have_best) << "OR budget split found no viable allocation";
+    return scheme;
+  }
+
+  // 3+ groups: equal split (rare; see DESIGN.md).
+  int share = std::max(1, budget / static_cast<int>(structure.groups.size()));
+  for (size_t g = 0; g < structure.groups.size(); ++g) {
+    scheme.groups[g] = OptimizeAndGroup(group_units[g], share, config);
+  }
+  return scheme;
+}
+
+double CompositeCollisionProbability(const RuleHashStructure& structure,
+                                     const CompositeScheme& scheme,
+                                     const std::vector<double>& x) {
+  ADALSH_CHECK_EQ(x.size(), structure.units.size());
+  ADALSH_CHECK_EQ(scheme.groups.size(), structure.groups.size());
+  double miss_all = 1.0;
+  for (size_t g = 0; g < structure.groups.size(); ++g) {
+    const GroupScheme& group = scheme.groups[g];
+    std::vector<OptimizerUnit> units;
+    std::vector<double> xs;
+    for (int unit_index : structure.groups[g]) {
+      OptimizerUnit unit;
+      unit.p = LinearCollisionModel();
+      unit.threshold = structure.units[unit_index].threshold;
+      units.push_back(std::move(unit));
+      xs.push_back(x[unit_index]);
+    }
+    double prob = GroupProbability(units, group.w, group.z, group.w_rem, xs);
+    miss_all *= 1.0 - prob;
+  }
+  return 1.0 - miss_all;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,82 @@
+#ifndef ADALSH_CORE_SCHEME_OPTIMIZER_H_
+#define ADALSH_CORE_SCHEME_OPTIMIZER_H_
+
+#include <vector>
+
+#include "distance/collision_model.h"
+#include "lsh/composite_scheme.h"
+#include "lsh/scheme.h"
+
+namespace adalsh {
+
+/// Tuning knobs for the scheme-selection programs of Section 5.1 and
+/// Appendix C. Defaults follow the paper (epsilon = 0.001, Example 5).
+struct OptimizerConfig {
+  /// Parameter eps of the distance-threshold constraint (Eq. 3):
+  /// collision probability at the threshold must be at least 1 - epsilon.
+  double epsilon = 0.001;
+
+  /// Simpson subintervals (per axis) for objective evaluation during search.
+  int search_intervals = 24;
+
+  /// Simpson subintervals for the reported objective of the chosen scheme.
+  int final_intervals = 128;
+
+  /// Cap on any single w during search (guards degenerate scans).
+  int max_w = 4096;
+
+  /// How many of the largest feasible w values get an exact objective
+  /// evaluation in the single-unit program. The objective is monotone
+  /// decreasing in w for exact divisors; the remainder correction perturbs
+  /// that only locally, so evaluating the largest feasible candidates finds
+  /// the optimum (see DESIGN.md).
+  int objective_candidates = 64;
+
+  /// Number of budget-split candidates per group pair in the OR program.
+  int or_split_steps = 32;
+};
+
+/// One hashable unit as the optimizer sees it: its collision model p(x)
+/// (assumed monotone non-increasing), its distance threshold, and a lower
+/// bound on w carried over from the previous function in the sequence
+/// (Appendix C.1's w >= w' constraint, which maximizes hash reuse).
+struct OptimizerUnit {
+  CollisionModel p;
+  double threshold = 0.0;
+  int min_w = 1;
+};
+
+/// Program (1)-(3): selects the (w, z)-scheme for a single unit under
+/// `budget` total hash functions, including the paper's non-integer budget/w
+/// remainder handling. If no feasible w exists the most conservative scheme
+/// (w = min_w) is returned with constraint_met = false.
+WzScheme OptimizeSingleScheme(const OptimizerUnit& unit, int budget,
+                              const OptimizerConfig& config);
+
+/// Programs (4)-(6) generalized to n units (Appendix C.1 / C.4): selects the
+/// per-unit hash counts w[u] and the table count z for one AND group. Exact
+/// exhaustive search for 1-2 units; coordinate descent for more. Single-unit
+/// groups use the remainder table; multi-unit groups use z = budget /
+/// sum(w) and may leave < sum(w) budget unused.
+GroupScheme OptimizeAndGroup(const std::vector<OptimizerUnit>& units,
+                             int budget, const OptimizerConfig& config);
+
+/// Full composite optimization: per-group AND programs plus the OR budget
+/// split of Programs (7)-(10) (the OR objective factorizes across groups, so
+/// each split candidate reduces to independent group programs — see
+/// DESIGN.md). `previous` (nullable) supplies per-unit minimum w values from
+/// the previous function in the sequence.
+CompositeScheme OptimizeComposite(const RuleHashStructure& structure,
+                                  int budget, const OptimizerConfig& config,
+                                  const CompositeScheme* previous);
+
+/// The collision curve of a whole composite scheme at per-unit distances
+/// `x` (one entry per unit): probability that two records at those distances
+/// share at least one bucket. Exposed for tests and the Fig. 5/7 bench.
+double CompositeCollisionProbability(const RuleHashStructure& structure,
+                                     const CompositeScheme& scheme,
+                                     const std::vector<double>& x);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_SCHEME_OPTIMIZER_H_

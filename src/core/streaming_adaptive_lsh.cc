@@ -1,0 +1,143 @@
+#include "core/streaming_adaptive_lsh.h"
+
+#include <unordered_set>
+#include <utility>
+
+#include "clustering/bin_index.h"
+#include "clustering/clustering.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adalsh {
+
+StreamingAdaptiveLsh::StreamingAdaptiveLsh(const Dataset& dataset,
+                                           const MatchRule& rule,
+                                           const AdaptiveLshConfig& config)
+    : dataset_(&dataset),
+      rule_(rule),
+      config_(config),
+      sequence_([&] {
+        StatusOr<FunctionSequence> built =
+            FunctionSequence::Build(rule, dataset.record(0), config.sequence);
+        ADALSH_CHECK(built.ok()) << built.status().ToString();
+        return std::move(built).value();
+      }()),
+      cost_model_(CostModel::Calibrate(dataset, rule,
+                                       config.calibration_samples,
+                                       config.seed)),
+      engine_(dataset, sequence_.structure(), config.seed),
+      hasher_(&engine_, &forest_, dataset.num_records()),
+      pairwise_(dataset, rule) {
+  cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
+  level1_tables_.resize(sequence_.plan(0).tables.size());
+  leaf_of_.assign(dataset.num_records(), kInvalidNode);
+}
+
+void StreamingAdaptiveLsh::ReindexLeaves(NodeId root) {
+  forest_.ForEachLeafNode(
+      root, [this](RecordId r, NodeId leaf) { leaf_of_[r] = leaf; });
+}
+
+void StreamingAdaptiveLsh::Add(RecordId r) {
+  ADALSH_CHECK_LT(r, dataset_->num_records());
+  ADALSH_CHECK_EQ(leaf_of_[r], kInvalidNode) << "record added twice";
+  const SchemePlan& plan = sequence_.plan(0);
+  engine_.EnsureHashes(r, plan);
+  ++num_added_;
+
+  bool merged_any = false;
+  for (size_t t = 0; t < plan.tables.size(); ++t) {
+    uint64_t key = engine_.TableKey(r, plan.tables[t]);
+    auto [it, inserted] = level1_tables_[t].try_emplace(key, r);
+    if (inserted) {
+      if (leaf_of_[r] == kInvalidNode) {
+        forest_.MakeTree(r, /*producer=*/0, &leaf_of_[r]);
+      }
+      continue;
+    }
+    RecordId other = it->second;
+    NodeId other_root = forest_.FindRoot(leaf_of_[other]);
+    if (leaf_of_[r] == kInvalidNode) {
+      leaf_of_[r] = forest_.AddLeaf(other_root, r);
+      // New member joined on level-1 evidence: the cluster must be
+      // re-verified by a later TopK().
+      forest_.SetProducer(other_root, 0);
+      merged_any = true;
+    } else {
+      NodeId my_root = forest_.FindRoot(leaf_of_[r]);
+      if (my_root != other_root) {
+        NodeId survivor = forest_.Merge(my_root, other_root);
+        forest_.SetProducer(survivor, 0);
+        merged_any = true;
+      }
+    }
+    it->second = r;
+  }
+  if (plan.tables.empty() && leaf_of_[r] == kInvalidNode) {
+    forest_.MakeTree(r, 0, &leaf_of_[r]);
+  }
+  arrivals_merged_ += merged_any ? 1 : 0;
+}
+
+FilterOutput StreamingAdaptiveLsh::TopK(int k) {
+  ADALSH_CHECK_GE(k, 1);
+  ADALSH_CHECK_GT(num_added_, 0u) << "TopK before any Add";
+  Timer timer;
+  const int last_function = static_cast<int>(sequence_.size()) - 1;
+
+  // Current clusters: distinct roots over all added records.
+  BinIndex bins(dataset_->num_records());
+  {
+    std::unordered_set<NodeId> seen;
+    for (RecordId r = 0; r < leaf_of_.size(); ++r) {
+      if (leaf_of_[r] == kInvalidNode) continue;
+      NodeId root = forest_.FindRoot(leaf_of_[r]);
+      if (seen.insert(root).second) {
+        bins.Insert(root, forest_.LeafCount(root));
+      }
+    }
+  }
+
+  FilterStats stats;
+  stats.records_last_hashed_at.assign(sequence_.size(), 0);
+  uint64_t sims_before = pairwise_.total_similarities();
+  uint64_t hashes_before = engine_.total_hashes_computed();
+
+  std::vector<NodeId> finals;
+  while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+    NodeId root = bins.PopLargest();
+    int producer = forest_.Producer(root);
+    if (producer == kProducerPairwise || producer == last_function) {
+      finals.push_back(root);
+      continue;
+    }
+    std::vector<RecordId> records = forest_.Leaves(root);
+    int next = producer + 1;
+    std::vector<NodeId> new_roots;
+    if (cost_model_.ShouldJumpToPairwise(sequence_.budget(producer),
+                                         sequence_.budget(next),
+                                         records.size())) {
+      new_roots = pairwise_.Apply(records, &forest_);
+    } else {
+      new_roots = hasher_.Apply(records, sequence_.plan(next), next);
+    }
+    ++stats.rounds;
+    for (NodeId new_root : new_roots) {
+      // Track the new leaves so future arrivals and TopK calls resolve the
+      // current cluster of every record.
+      ReindexLeaves(new_root);
+      bins.Insert(new_root, forest_.LeafCount(new_root));
+    }
+  }
+
+  FilterOutput output;
+  output.clusters = MaterializeClusters(forest_, finals);
+  output.clusters.SortBySizeDescending();
+  stats.filtering_seconds = timer.ElapsedSeconds();
+  stats.pairwise_similarities = pairwise_.total_similarities() - sims_before;
+  stats.hashes_computed = engine_.total_hashes_computed() - hashes_before;
+  output.stats = std::move(stats);
+  return output;
+}
+
+}  // namespace adalsh

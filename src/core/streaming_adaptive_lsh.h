@@ -1,0 +1,105 @@
+#ifndef ADALSH_CORE_STREAMING_ADAPTIVE_LSH_H_
+#define ADALSH_CORE_STREAMING_ADAPTIVE_LSH_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adaptive_lsh.h"
+#include "core/cost_model.h"
+#include "core/filter_output.h"
+#include "core/function_sequence.h"
+#include "core/hash_engine.h"
+#include "core/pairwise.h"
+#include "core/transitive_hash_function.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// Online Adaptive LSH — the paper's first future-work direction (Section 9):
+/// "adaLSH can offer large performance gains in online settings, where we do
+/// not have a fixed dataset and input records arrive dynamically".
+///
+/// Records are ingested one at a time with Add(); TopK(k) can be asked at any
+/// point and runs the Algorithm 1 refinement loop on the *current* cluster
+/// state. The design follows the paper's sketch ("decide, for a new record,
+/// between applying hashing or comparing with existing clusters"):
+///
+///   * One set of H_1 tables is kept alive across the whole stream; a new
+///     record is hashed with the cheapest function only and merged into the
+///     clusters it collides with. Cost per arrival: budget_1 hash functions.
+///   * A cluster that absorbs new records has its verification level reset
+///     to H_1 (the new membership evidence is only level-1), so a later
+///     TopK() re-verifies it — conservative, never silently wrong.
+///   * TopK() runs exactly the batch refinement loop (Largest-First, cost
+///     model, jump-to-P), reusing every hash value computed by previous
+///     calls: a TopK() after a few arrivals costs little more than the
+///     arrivals themselves.
+///
+/// The dataset acts as the record store; Add() takes ids of records already
+/// present in it (each id at most once).
+class StreamingAdaptiveLsh {
+ public:
+  StreamingAdaptiveLsh(const Dataset& dataset, const MatchRule& rule,
+                       const AdaptiveLshConfig& config);
+
+  StreamingAdaptiveLsh(const StreamingAdaptiveLsh&) = delete;
+  StreamingAdaptiveLsh& operator=(const StreamingAdaptiveLsh&) = delete;
+
+  /// Ingests record r: applies H_1's hash functions and merges r into the
+  /// clusters sharing a bucket. O(budget_1) hashes plus table operations.
+  void Add(RecordId r);
+
+  /// Runs the adaptive refinement loop over the current clusters and returns
+  /// the k largest (all verified by H_L or P as in Algorithm 1). Idempotent:
+  /// calling again without new arrivals reuses all verification work.
+  FilterOutput TopK(int k);
+
+  /// Number of records ingested so far.
+  size_t num_added() const { return num_added_; }
+
+  /// Cumulative hash evaluations across all arrivals and TopK calls.
+  uint64_t total_hashes_computed() const {
+    return engine_.total_hashes_computed();
+  }
+
+  /// Cumulative rule evaluations across all TopK calls.
+  uint64_t total_similarities() const {
+    return pairwise_.total_similarities();
+  }
+
+  const FunctionSequence& sequence() const { return sequence_; }
+  const CostModel& cost_model() const { return cost_model_; }
+
+ private:
+  /// Refreshes leaf_of_ for every record under `root`.
+  void ReindexLeaves(NodeId root);
+
+  const Dataset* dataset_;
+  MatchRule rule_;
+  AdaptiveLshConfig config_;
+  FunctionSequence sequence_;
+  CostModel cost_model_;
+
+  HashEngine engine_;
+  ParentPointerForest forest_;
+  TransitiveHasher hasher_;
+  PairwiseComputer pairwise_;
+
+  /// Persistent H_1 tables: bucket key -> record last added (Appendix B.2's
+  /// bucket representation, kept alive across the stream).
+  std::vector<std::unordered_map<uint64_t, RecordId>> level1_tables_;
+
+  /// Record -> its current leaf node (kInvalidNode until added).
+  std::vector<NodeId> leaf_of_;
+  size_t num_added_ = 0;
+
+  /// Cumulative stream statistics (hashes are tracked by the engine).
+  uint64_t arrivals_merged_ = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_STREAMING_ADAPTIVE_LSH_H_

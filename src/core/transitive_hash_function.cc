@@ -1,0 +1,84 @@
+#include "core/transitive_hash_function.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+TransitiveHasher::TransitiveHasher(HashEngine* engine,
+                                   ParentPointerForest* forest,
+                                   size_t num_records)
+    : engine_(engine), forest_(forest) {
+  ADALSH_CHECK(engine != nullptr && forest != nullptr);
+  leaf_of_.assign(num_records, kInvalidNode);
+  leaf_epoch_.assign(num_records, 0);
+}
+
+std::vector<NodeId> TransitiveHasher::Apply(
+    const std::vector<RecordId>& records, const SchemePlan& plan,
+    int producer) {
+  ++epoch_;
+  ADALSH_CHECK_NE(epoch_, 0u) << "epoch counter wrapped";
+
+  // Fresh tables for this invocation; buckets remember only the last-added
+  // record (Appendix B.2).
+  std::vector<std::unordered_map<uint64_t, RecordId>> tables(
+      plan.tables.size());
+  for (auto& table : tables) table.reserve(records.size() * 2);
+
+  auto has_leaf = [this](RecordId r) { return leaf_epoch_[r] == epoch_; };
+
+  for (RecordId r : records) {
+    engine_->EnsureHashes(r, plan);
+    for (size_t t = 0; t < plan.tables.size(); ++t) {
+      uint64_t key = engine_->TableKey(r, plan.tables[t]);
+      auto [it, inserted] = tables[t].try_emplace(key, r);
+      if (inserted) {
+        // Cases 1/2 (Fig. 19a): empty bucket. Create r's tree if it has none;
+        // either way r is now the bucket's last-added record.
+        if (!has_leaf(r)) {
+          NodeId leaf = kInvalidNode;
+          forest_->MakeTree(r, producer, &leaf);
+          leaf_of_[r] = leaf;
+          leaf_epoch_[r] = epoch_;
+        }
+        continue;
+      }
+      RecordId other = it->second;
+      ADALSH_CHECK(has_leaf(other));
+      NodeId other_root = forest_->FindRoot(leaf_of_[other]);
+      if (!has_leaf(r)) {
+        // Case 3 (Fig. 19b): join the bucket's tree as a fresh leaf.
+        leaf_of_[r] = forest_->AddLeaf(other_root, r);
+        leaf_epoch_[r] = epoch_;
+      } else {
+        // Case 4 (Fig. 19c): merge the two trees if they differ.
+        NodeId my_root = forest_->FindRoot(leaf_of_[r]);
+        if (my_root != other_root) forest_->Merge(my_root, other_root);
+      }
+      it->second = r;  // r is now the record last added to this bucket
+    }
+    if (plan.tables.empty() && !has_leaf(r)) {
+      // Degenerate plan with no tables: every record is its own cluster.
+      NodeId leaf = kInvalidNode;
+      forest_->MakeTree(r, producer, &leaf);
+      leaf_of_[r] = leaf;
+      leaf_epoch_[r] = epoch_;
+    }
+  }
+
+  // Collect the distinct roots of the invocation's trees.
+  std::vector<NodeId> roots;
+  std::unordered_set<NodeId> seen;
+  seen.reserve(records.size());
+  for (RecordId r : records) {
+    ADALSH_CHECK(has_leaf(r));
+    NodeId root = forest_->FindRoot(leaf_of_[r]);
+    if (seen.insert(root).second) roots.push_back(root);
+  }
+  return roots;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,49 @@
+#ifndef ADALSH_CORE_TRANSITIVE_HASH_FUNCTION_H_
+#define ADALSH_CORE_TRANSITIVE_HASH_FUNCTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+#include "core/hash_engine.h"
+#include "lsh/composite_scheme.h"
+
+namespace adalsh {
+
+/// Applies transitive hashing functions (Definition 1) with the efficient
+/// implementation of Appendix B.2:
+///   * each invocation uses fresh hash tables (so clusters from different
+///     invocations never merge);
+///   * every bucket stores only the record last added to it;
+///   * record/tree bookkeeping follows the four cases of Fig. 19, building
+///     parent-pointer trees in the shared forest.
+///
+/// One TransitiveHasher is reused for all invocations in a run; it keeps the
+/// epoch-stamped record->leaf scratch map so per-invocation setup is O(1).
+class TransitiveHasher {
+ public:
+  TransitiveHasher(HashEngine* engine, ParentPointerForest* forest,
+                   size_t num_records);
+
+  TransitiveHasher(const TransitiveHasher&) = delete;
+  TransitiveHasher& operator=(const TransitiveHasher&) = delete;
+
+  /// Applies the function described by `plan` to `records`, producing one new
+  /// tree per output cluster, each tagged with `producer` (the function's
+  /// 0-based sequence index). Returns the new roots. Hash computation goes
+  /// through the engine's caches, so values computed by earlier functions are
+  /// reused (incremental computation, Appendix B.2).
+  std::vector<NodeId> Apply(const std::vector<RecordId>& records,
+                            const SchemePlan& plan, int producer);
+
+ private:
+  HashEngine* engine_;
+  ParentPointerForest* forest_;
+  std::vector<NodeId> leaf_of_;      // valid when leaf_epoch_[r] == epoch_
+  std::vector<uint32_t> leaf_epoch_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_TRANSITIVE_HASH_FUNCTION_H_

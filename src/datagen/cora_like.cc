@@ -1,0 +1,138 @@
+#include "datagen/cora_like.h"
+
+#include <string>
+#include <vector>
+
+#include "datagen/vocabulary.h"
+#include "datagen/zipf.h"
+#include "text/shingle.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+/// A canonical publication from which citation-string records are derived.
+struct Publication {
+  std::vector<std::string> title_words;
+  std::vector<std::pair<std::string, std::string>> authors;  // first, last
+  std::vector<std::string> venue_words;
+  int year = 0;
+  int volume = 0;
+  int first_page = 0;
+};
+
+Publication MakePublication(const CoraLikeConfig& config,
+                            const Vocabulary& vocab,
+                            const std::vector<std::string>& venues, Rng* rng) {
+  Publication pub;
+  int title_len =
+      static_cast<int>(rng->NextInRange(config.title_words_min,
+                                        config.title_words_max));
+  for (int i = 0; i < title_len; ++i) pub.title_words.push_back(vocab.Sample(rng));
+  int author_count =
+      static_cast<int>(rng->NextInRange(config.authors_min, config.authors_max));
+  for (int i = 0; i < author_count; ++i) {
+    pub.authors.emplace_back(vocab.Sample(rng), vocab.Sample(rng));
+  }
+  // Venue phrase: a shared venue prefix plus qualifier words.
+  pub.venue_words.push_back(venues[rng->NextBelow(venues.size())]);
+  int venue_len = static_cast<int>(
+      rng->NextInRange(config.venue_words_min, config.venue_words_max));
+  for (int i = 1; i < venue_len; ++i) pub.venue_words.push_back(vocab.Sample(rng));
+  pub.year = static_cast<int>(rng->NextInRange(1985, 2016));
+  pub.volume = static_cast<int>(rng->NextInRange(1, 40));
+  pub.first_page = static_cast<int>(rng->NextInRange(1, 900));
+  return pub;
+}
+
+/// Renders one noisy citation string's three fields from the canonical
+/// publication (the corruption model: word drops, typos, abbreviations).
+Record MakeCitationRecord(const CoraLikeConfig& config, const Publication& pub,
+                          Rng* rng, const std::string& label) {
+  // --- Title: drop/typo words; tokens are word unigrams. ---
+  std::string title;
+  for (const std::string& word : pub.title_words) {
+    if (rng->NextBernoulli(config.title_word_drop_prob)) continue;
+    std::string w = word;
+    if (rng->NextBernoulli(config.title_typo_prob)) ApplyTypo(&w, rng);
+    if (!title.empty()) title.push_back(' ');
+    title += w;
+  }
+
+  // --- Authors: optional first-name abbreviation, rare typos. ---
+  std::string authors;
+  for (const auto& [first, last] : pub.authors) {
+    std::string f = first;
+    if (rng->NextBernoulli(config.author_abbreviate_prob)) {
+      f = f.substr(0, 1);
+    }
+    std::string l = last;
+    if (rng->NextBernoulli(config.author_typo_prob)) ApplyTypo(&l, rng);
+    if (!authors.empty()) authors.push_back(' ');
+    authors += f;
+    authors.push_back(' ');
+    authors += l;
+  }
+
+  // --- Rest: venue words (droppable/abbreviable) + numeric facts. ---
+  std::string rest;
+  for (const std::string& word : pub.venue_words) {
+    if (rng->NextBernoulli(config.venue_word_drop_prob)) continue;
+    std::string w = word;
+    if (w.size() > 3 && rng->NextBernoulli(config.venue_abbreviate_prob)) {
+      w = w.substr(0, 3);
+    }
+    if (!rest.empty()) rest.push_back(' ');
+    rest += w;
+  }
+  int first_page = pub.first_page;
+  if (rng->NextBernoulli(config.pages_jitter_prob)) {
+    first_page += static_cast<int>(rng->NextInRange(-2, 2));
+  }
+  rest += " y" + std::to_string(pub.year);
+  rest += " v" + std::to_string(pub.volume);
+  rest += " p" + std::to_string(first_page);
+
+  std::vector<Field> fields;
+  fields.push_back(Field::TokenSet(WordShingles(title, 1)));
+  fields.push_back(Field::TokenSet(WordShingles(authors, 1)));
+  fields.push_back(Field::TokenSet(WordShingles(rest, 1)));
+  return Record(std::move(fields), label);
+}
+
+}  // namespace
+
+MatchRule CoraRule(double title_author_avg_sim, double rest_sim) {
+  return MatchRule::And(
+      {MatchRule::WeightedAverage({0, 1}, {0.5, 0.5},
+                                  1.0 - title_author_avg_sim),
+       MatchRule::Leaf(2, 1.0 - rest_sim)});
+}
+
+GeneratedDataset GenerateCoraLike(const CoraLikeConfig& config) {
+  Rng rng(DeriveSeed(config.seed, 0xc04a));
+  Vocabulary vocab(config.vocabulary_size, DeriveSeed(config.seed, 1));
+  Vocabulary venue_vocab(config.venue_count, DeriveSeed(config.seed, 2));
+  std::vector<std::string> venues;
+  for (size_t v = 0; v < venue_vocab.size(); ++v) {
+    venues.push_back(venue_vocab.word(v));
+  }
+
+  std::vector<size_t> sizes = ZipfClusterSizes(
+      config.num_entities, config.num_records, config.zipf_exponent);
+
+  Dataset dataset("CoraLike");
+  for (size_t e = 0; e < sizes.size(); ++e) {
+    Publication pub = MakePublication(config, vocab, venues, &rng);
+    for (size_t r = 0; r < sizes[e]; ++r) {
+      std::string label =
+          "pub" + std::to_string(e) + "/cite" + std::to_string(r);
+      dataset.AddRecord(MakeCitationRecord(config, pub, &rng, label),
+                        static_cast<EntityId>(e));
+    }
+  }
+  return GeneratedDataset(std::move(dataset), CoraRule());
+}
+
+}  // namespace adalsh

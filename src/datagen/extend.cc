@@ -1,0 +1,33 @@
+#include "datagen/extend.h"
+
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+Dataset ExtendByResampling(const Dataset& base, size_t factor, uint64_t seed) {
+  ADALSH_CHECK_GE(factor, 1u);
+  ADALSH_CHECK_GT(base.num_records(), 0u);
+  Dataset extended(base.name() + (factor > 1
+                                      ? std::to_string(factor) + "x"
+                                      : ""));
+  for (RecordId r = 0; r < base.num_records(); ++r) {
+    extended.AddRecord(base.record(r), base.entity_assignment()[r]);
+  }
+
+  // Index records by entity for uniform-entity / uniform-record sampling.
+  GroundTruth truth = base.BuildGroundTruth();
+  Rng rng(DeriveSeed(seed, 0xe47e4d));
+  size_t to_add = (factor - 1) * base.num_records();
+  for (size_t i = 0; i < to_add; ++i) {
+    size_t entity_rank = rng.NextBelow(truth.num_entities());
+    const std::vector<RecordId>& cluster = truth.cluster(entity_rank);
+    RecordId sample = cluster[rng.NextBelow(cluster.size())];
+    extended.AddRecord(base.record(sample), base.entity_assignment()[sample]);
+  }
+  return extended;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,23 @@
+#ifndef ADALSH_DATAGEN_EXTEND_H_
+#define ADALSH_DATAGEN_EXTEND_H_
+
+#include <cstdint>
+
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// The paper's dataset-extension procedure (Section 6.3, used for the 2x/4x/
+/// 8x versions of Cora and SpotSigs): "we uniformly at random select an
+/// entity a and uniformly at random pick a record ra referring to the
+/// selected entity a, for each record added to the dataset".
+///
+/// Returns a dataset with factor * |base| records: the base records followed
+/// by (factor - 1) * |base| resampled copies. factor == 1 returns a plain
+/// copy. Note the procedure flattens the entity-size skew (every entity is
+/// picked uniformly), exactly as in the paper.
+Dataset ExtendByResampling(const Dataset& base, size_t factor, uint64_t seed);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DATAGEN_EXTEND_H_

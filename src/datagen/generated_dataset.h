@@ -1,0 +1,22 @@
+#ifndef ADALSH_DATAGEN_GENERATED_DATASET_H_
+#define ADALSH_DATAGEN_GENERATED_DATASET_H_
+
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// A generated workload: records with ground truth plus the match rule the
+/// paper pairs with that dataset (a dataset without its rule is not a
+/// runnable experiment).
+struct GeneratedDataset {
+  Dataset dataset;
+  MatchRule rule;
+
+  GeneratedDataset(Dataset dataset_in, MatchRule rule_in)
+      : dataset(std::move(dataset_in)), rule(std::move(rule_in)) {}
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DATAGEN_GENERATED_DATASET_H_

@@ -1,0 +1,89 @@
+#include "datagen/multimodal.h"
+
+#include <string>
+#include <vector>
+
+#include "datagen/popular_images.h"
+#include "datagen/zipf.h"
+#include "distance/cosine.h"
+#include "image/histogram.h"
+#include "image/transforms.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+constexpr int kHistogramBins = 4;  // 64-dimensional photo feature
+
+std::vector<uint64_t> SampleFingerprint(const std::vector<uint64_t>& minutiae,
+                                        double keep_fraction, Rng* rng) {
+  std::vector<uint64_t> capture;
+  for (uint64_t m : minutiae) {
+    if (rng->NextBernoulli(keep_fraction)) capture.push_back(m);
+  }
+  if (capture.empty()) capture.push_back(minutiae.front());
+  // A couple of spurious minutiae from sensor noise.
+  capture.push_back(rng->Next());
+  capture.push_back(rng->Next());
+  return capture;
+}
+
+}  // namespace
+
+GeneratedDataset GenerateMultiModal(const MultiModalConfig& config) {
+  Rng rng(DeriveSeed(config.seed, 0x3417));
+  ImagePatternConfig pattern;
+  RandomTransformConfig transform = PopularImagesConfig::DefaultTransform();
+
+  std::vector<size_t> sizes = ZipfClusterSizes(
+      config.num_entities, config.num_records, config.zipf_exponent);
+
+  Dataset dataset("MultiModal");
+  for (size_t e = 0; e < sizes.size(); ++e) {
+    Image base = GenerateRandomImage(pattern, &rng);
+    std::vector<uint64_t> minutiae;
+    for (size_t m = 0; m < config.minutiae_per_person; ++m) {
+      minutiae.push_back(rng.Next());
+    }
+    for (size_t r = 0; r < sizes[e]; ++r) {
+      bool bad_photo = rng.NextBernoulli(config.bad_photo_prob);
+      // Never degrade both modalities of one record: the OR rule could not
+      // recover it and the ground truth would be unreachable by design.
+      bool bad_fingerprint =
+          !bad_photo && rng.NextBernoulli(config.bad_fingerprint_prob);
+
+      Image photo_source =
+          bad_photo ? GenerateRandomImage(pattern, &rng) : base;
+      Image photo = r == 0 && !bad_photo
+                        ? photo_source
+                        : RandomTransform(photo_source, transform, &rng);
+
+      std::vector<uint64_t> fingerprint;
+      if (bad_fingerprint) {
+        for (int m = 0; m < 8; ++m) fingerprint.push_back(rng.Next());
+      } else {
+        fingerprint =
+            SampleFingerprint(minutiae, config.minutiae_keep_fraction, &rng);
+      }
+
+      std::vector<Field> fields;
+      fields.push_back(
+          Field::DenseVector(RgbHistogram(photo, kHistogramBins)));
+      fields.push_back(Field::TokenSet(std::move(fingerprint)));
+      std::string label = "person" + std::to_string(e) + "/capture" +
+                          std::to_string(r) + (bad_photo ? "(photo-)" : "") +
+                          (bad_fingerprint ? "(fp-)" : "");
+      dataset.AddRecord(Record(std::move(fields), label),
+                        static_cast<EntityId>(e));
+    }
+  }
+
+  MatchRule rule = MatchRule::Or(
+      {MatchRule::Leaf(
+           0, DegreesToNormalizedAngle(config.photo_threshold_degrees)),
+       MatchRule::Leaf(1, 1.0 - config.fingerprint_sim_threshold)});
+  return GeneratedDataset(std::move(dataset), std::move(rule));
+}
+
+}  // namespace adalsh

@@ -1,0 +1,52 @@
+#ifndef ADALSH_DATAGEN_MULTIMODAL_H_
+#define ADALSH_DATAGEN_MULTIMODAL_H_
+
+#include <cstdint>
+
+#include "datagen/generated_dataset.h"
+
+namespace adalsh {
+
+/// A biometric-style workload exercising OR rules (Appendix C.2) end to end
+/// — the paper's example: "each record consists of a person photo and
+/// fingerprints ... two records would be considered a match if the photos'
+/// distance was lower than the first threshold, OR if the fingerprints'
+/// distance was lower than the second threshold".
+///
+/// Each record has two fields:
+///   field 0: a "photo" — RGB histogram of a transformed copy of the
+///            person's base image (dense, cosine distance);
+///   field 1: a "fingerprint" — a noisy subset of the person's minutiae
+///            token set (Jaccard distance).
+/// A fraction of records has an unusable photo (someone else's image — e.g.
+/// an occluded capture) and a fraction has a degraded fingerprint; the OR
+/// rule still matches them through the other modality, so *neither* field
+/// alone resolves the entities. Rule:
+///   Or(Leaf(photo, angle_thr), Leaf(fingerprint, jaccard_thr)).
+struct MultiModalConfig {
+  size_t num_entities = 80;
+  size_t num_records = 800;
+  double zipf_exponent = 0.9;
+
+  /// Photo channel.
+  double photo_threshold_degrees = 4.0;
+  /// Probability a record's photo is unusable (random other image).
+  double bad_photo_prob = 0.15;
+
+  /// Fingerprint channel.
+  size_t minutiae_per_person = 60;
+  /// Fraction of the person's minutiae present in a good capture.
+  double minutiae_keep_fraction = 0.85;
+  /// Probability a record's fingerprint is degraded (tiny random subset).
+  double bad_fingerprint_prob = 0.15;
+  double fingerprint_sim_threshold = 0.5;
+
+  uint64_t seed = 42;
+};
+
+/// Generates the dataset; deterministic in config.seed.
+GeneratedDataset GenerateMultiModal(const MultiModalConfig& config);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DATAGEN_MULTIMODAL_H_

@@ -1,0 +1,65 @@
+#include "datagen/popular_images.h"
+
+#include <string>
+#include <vector>
+
+#include "datagen/zipf.h"
+#include "distance/cosine.h"
+#include "image/histogram.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+RandomTransformConfig PopularImagesConfig::DefaultTransform() {
+  RandomTransformConfig transform;
+  transform.min_keep_fraction = 0.975;
+  transform.min_scale = 0.95;
+  transform.max_scale = 1.05;
+  transform.max_shift_fraction = 0.012;
+  return transform;
+}
+
+double PopularImagesConfig::OffsetForExponent(double exponent) {
+  // Anchors: (1.05, 5.0) -> top1 ~450, (1.1, 2.0) -> ~800, (1.2, 0.5) ->
+  // ~1700 for 10000 records over 500 entities. Piecewise-linear between.
+  if (exponent <= 1.05) return 5.0;
+  if (exponent <= 1.1) return 5.0 + (exponent - 1.05) / 0.05 * (2.0 - 5.0);
+  if (exponent <= 1.2) return 2.0 + (exponent - 1.1) / 0.1 * (0.5 - 2.0);
+  return 0.5;
+}
+
+GeneratedDataset GeneratePopularImages(const PopularImagesConfig& config) {
+  Rng rng(DeriveSeed(config.seed, 0x1fa6e));
+  double offset = config.zipf_offset >= 0.0
+                      ? config.zipf_offset
+                      : PopularImagesConfig::OffsetForExponent(
+                            config.zipf_exponent);
+  std::vector<size_t> sizes =
+      ZipfClusterSizes(config.num_entities, config.num_records,
+                       config.zipf_exponent, offset);
+
+  Dataset dataset("PopularImages");
+  for (size_t e = 0; e < sizes.size(); ++e) {
+    Image original = GenerateRandomImage(config.pattern, &rng);
+    for (size_t r = 0; r < sizes[e]; ++r) {
+      // The first record is the original; the rest are transformed shares.
+      Image version = r == 0
+                          ? original
+                          : RandomTransform(original, config.transform, &rng);
+      std::vector<Field> fields;
+      fields.push_back(Field::DenseVector(
+          RgbHistogram(version, config.histogram_bins_per_channel)));
+      std::string label =
+          "image" + std::to_string(e) + "/share" + std::to_string(r);
+      dataset.AddRecord(Record(std::move(fields), label),
+                        static_cast<EntityId>(e));
+    }
+  }
+
+  MatchRule rule = MatchRule::Leaf(
+      0, DegreesToNormalizedAngle(config.angle_threshold_degrees));
+  return GeneratedDataset(std::move(dataset), std::move(rule));
+}
+
+}  // namespace adalsh

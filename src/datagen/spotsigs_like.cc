@@ -1,0 +1,188 @@
+#include "datagen/spotsigs_like.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "datagen/vocabulary.h"
+#include "datagen/zipf.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+/// An article is a list of sentences; a sentence is a list of tokens.
+using Sentence = std::vector<std::string>;
+using Article = std::vector<Sentence>;
+
+std::vector<std::string> AntecedentList(const SpotSigConfig& spotsig) {
+  return std::vector<std::string>(spotsig.antecedents.begin(),
+                                  spotsig.antecedents.end());
+}
+
+Sentence MakeSentence(const SpotSigsLikeConfig& config, const Vocabulary& vocab,
+                      const std::vector<std::string>& antecedents, Rng* rng) {
+  Sentence sentence;
+  int length = static_cast<int>(
+      rng->NextInRange(config.sentence_words_min, config.sentence_words_max));
+  for (int i = 0; i < length; ++i) {
+    if (rng->NextBernoulli(config.antecedent_prob)) {
+      sentence.push_back(antecedents[rng->NextBelow(antecedents.size())]);
+    } else {
+      sentence.push_back(vocab.Sample(rng));
+    }
+  }
+  return sentence;
+}
+
+/// Per-site boilerplate pools (see header comment).
+std::vector<std::vector<Sentence>> MakeSitePools(
+    const SpotSigsLikeConfig& config, const Vocabulary& vocab,
+    const std::vector<std::string>& antecedents, Rng* rng) {
+  std::vector<std::vector<Sentence>> pools(config.num_sites);
+  for (std::vector<Sentence>& pool : pools) {
+    pool.reserve(config.site_stock_sentences);
+    for (size_t s = 0; s < config.site_stock_sentences; ++s) {
+      pool.push_back(MakeSentence(config, vocab, antecedents, rng));
+    }
+  }
+  return pools;
+}
+
+/// An article body (no boilerplate yet).
+Article MakeArticle(const SpotSigsLikeConfig& config, const Vocabulary& vocab,
+                    const std::vector<std::string>& antecedents, Rng* rng) {
+  Article article;
+  int sentences = static_cast<int>(
+      rng->NextInRange(config.sentences_min, config.sentences_max));
+  for (int s = 0; s < sentences; ++s) {
+    article.push_back(MakeSentence(config, vocab, antecedents, rng));
+  }
+  return article;
+}
+
+/// Appends the publishing site's boilerplate to an article body:
+/// stock_fraction of the body length, drawn from the site's pool.
+Article PublishOnSite(const SpotSigsLikeConfig& config, const Article& body,
+                      const std::vector<Sentence>& site_pool, Rng* rng) {
+  Article published = body;
+  size_t stock_count = std::max<size_t>(
+      1, static_cast<size_t>(body.size() * config.stock_fraction));
+  for (size_t s = 0; s < stock_count; ++s) {
+    published.push_back(site_pool[rng->NextBelow(site_pool.size())]);
+  }
+  return published;
+}
+
+/// A near-duplicate copy of an article body: drop some sentences, replace
+/// some tokens — the paper's "slight adjustments"; the publishing site's
+/// boilerplate is added separately by PublishOnSite.
+Article MakeNearDuplicate(const SpotSigsLikeConfig& config,
+                          const Article& original, const Vocabulary& vocab,
+                          Rng* rng) {
+  Article copy;
+  for (const Sentence& sentence : original) {
+    if (rng->NextBernoulli(config.sentence_drop_prob)) continue;
+    Sentence s = sentence;
+    for (std::string& token : s) {
+      if (rng->NextBernoulli(config.token_replace_prob)) {
+        token = vocab.Sample(rng);
+      }
+    }
+    copy.push_back(std::move(s));
+  }
+  if (copy.empty()) copy.push_back(original.front());
+  return copy;
+}
+
+std::string RenderArticle(const Article& article) {
+  std::string text;
+  for (const Sentence& sentence : article) {
+    for (const std::string& token : sentence) {
+      if (!text.empty()) text.push_back(' ');
+      text += token;
+    }
+    text.push_back('.');
+  }
+  return text;
+}
+
+Record MakeRecord(const SpotSigsLikeConfig& config, const Article& article,
+                  const std::string& label) {
+  std::vector<uint64_t> signatures =
+      SpotSignatures(RenderArticle(article), config.spotsig);
+  std::vector<Field> fields;
+  fields.push_back(Field::TokenSet(std::move(signatures)));
+  return Record(std::move(fields), label);
+}
+
+}  // namespace
+
+GeneratedDataset GenerateSpotSigsLike(const SpotSigsLikeConfig& config) {
+  ADALSH_CHECK_GE(config.num_story_entities, 1u);
+  Rng rng(DeriveSeed(config.seed, 0x5707));
+  Vocabulary vocab(config.vocabulary_size, DeriveSeed(config.seed, 3));
+  std::vector<std::string> antecedents = AntecedentList(config.spotsig);
+  ADALSH_CHECK(!antecedents.empty());
+
+  Dataset dataset("SpotSigsLike");
+  EntityId next_entity = 0;
+  std::vector<std::vector<Sentence>> site_pools =
+      MakeSitePools(config, vocab, antecedents, &rng);
+  auto random_site = [&]() -> const std::vector<Sentence>& {
+    return site_pools[rng.NextBelow(site_pools.size())];
+  };
+
+  // Duplicated stories with Zipf-distributed copy counts; every copy is
+  // published on a (random) site and picks up that site's boilerplate.
+  std::vector<size_t> sizes =
+      ZipfClusterSizes(config.num_story_entities, config.records_in_stories,
+                       config.zipf_exponent);
+  for (size_t e = 0; e < sizes.size(); ++e) {
+    Article original = MakeArticle(config, vocab, antecedents, &rng);
+    // An optional major rewrite of the story (see header): same entity in
+    // ground truth, but below the match threshold against the original.
+    bool has_rewrite = rng.NextBernoulli(config.second_revision_prob);
+    Article rewrite;
+    if (has_rewrite) {
+      rewrite = original;
+      for (Sentence& sentence : rewrite) {
+        if (rng.NextBernoulli(config.revision_rewrite_fraction)) {
+          sentence = MakeSentence(config, vocab, antecedents, &rng);
+        }
+      }
+    }
+    for (size_t r = 0; r < sizes[e]; ++r) {
+      bool from_rewrite =
+          has_rewrite && r > 0 &&
+          rng.NextBernoulli(config.second_revision_share);
+      const Article& base = from_rewrite ? rewrite : original;
+      // The first copy is the original body; the rest are perturbed.
+      Article body =
+          r == 0 ? original : MakeNearDuplicate(config, base, vocab, &rng);
+      Article published = PublishOnSite(config, body, random_site(), &rng);
+      std::string label = "story" + std::to_string(e) +
+                          (from_rewrite ? "rev2" : "") + "/site" +
+                          std::to_string(r);
+      dataset.AddRecord(MakeRecord(config, published, label), next_entity);
+    }
+    ++next_entity;
+  }
+
+  // Unrelated singleton articles, also published on the shared sites.
+  for (size_t s = 0; s < config.num_singletons; ++s) {
+    Article article = PublishOnSite(
+        config, MakeArticle(config, vocab, antecedents, &rng), random_site(),
+        &rng);
+    dataset.AddRecord(
+        MakeRecord(config, article, "single" + std::to_string(s)),
+        next_entity);
+    ++next_entity;
+  }
+
+  MatchRule rule = MatchRule::Leaf(0, 1.0 - config.jaccard_sim_threshold);
+  return GeneratedDataset(std::move(dataset), std::move(rule));
+}
+
+}  // namespace adalsh

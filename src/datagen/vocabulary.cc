@@ -1,0 +1,65 @@
+#include "datagen/vocabulary.h"
+
+#include <unordered_set>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+/// Alternating consonant/vowel syllables: readable in example output and
+/// cheap to generate without collisions.
+std::string MakeWord(Rng* rng) {
+  static constexpr char kConsonants[] = "bcdfghklmnprstvz";
+  static constexpr char kVowels[] = "aeiou";
+  size_t syllables = 2 + rng->NextBelow(3);
+  std::string word;
+  for (size_t s = 0; s < syllables; ++s) {
+    word.push_back(kConsonants[rng->NextBelow(sizeof(kConsonants) - 1)]);
+    word.push_back(kVowels[rng->NextBelow(sizeof(kVowels) - 1)]);
+  }
+  if (rng->NextBernoulli(0.3)) {
+    word.push_back(kConsonants[rng->NextBelow(sizeof(kConsonants) - 1)]);
+  }
+  return word;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(size_t num_words, uint64_t seed) {
+  ADALSH_CHECK_GE(num_words, 1u);
+  Rng rng(DeriveSeed(seed, 0x70cab));
+  std::unordered_set<std::string> seen;
+  words_.reserve(num_words);
+  while (words_.size() < num_words) {
+    std::string word = MakeWord(&rng);
+    if (seen.insert(word).second) words_.push_back(std::move(word));
+  }
+}
+
+const std::string& Vocabulary::word(size_t index) const {
+  ADALSH_CHECK_LT(index, words_.size());
+  return words_[index];
+}
+
+const std::string& Vocabulary::Sample(Rng* rng) const {
+  return words_[rng->NextBelow(words_.size())];
+}
+
+std::string Vocabulary::SamplePhrase(Rng* rng, size_t count) const {
+  std::string phrase;
+  for (size_t i = 0; i < count; ++i) {
+    if (i > 0) phrase.push_back(' ');
+    phrase += Sample(rng);
+  }
+  return phrase;
+}
+
+void ApplyTypo(std::string* word, Rng* rng) {
+  if (word->empty()) return;
+  static constexpr char kLetters[] = "abcdefghijklmnopqrstuvwxyz";
+  size_t position = rng->NextBelow(word->size());
+  (*word)[position] = kLetters[rng->NextBelow(sizeof(kLetters) - 1)];
+}
+
+}  // namespace adalsh

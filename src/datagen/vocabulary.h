@@ -1,0 +1,37 @@
+#ifndef ADALSH_DATAGEN_VOCABULARY_H_
+#define ADALSH_DATAGEN_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace adalsh {
+
+/// A deterministic synthetic vocabulary: pronounceable lowercase words used
+/// by the text data generators (titles, author names, article bodies). Words
+/// are pairwise distinct.
+class Vocabulary {
+ public:
+  Vocabulary(size_t num_words, uint64_t seed);
+
+  size_t size() const { return words_.size(); }
+  const std::string& word(size_t index) const;
+
+  /// Uniformly random word.
+  const std::string& Sample(Rng* rng) const;
+
+  /// `count` uniformly random words joined by spaces.
+  std::string SamplePhrase(Rng* rng, size_t count) const;
+
+ private:
+  std::vector<std::string> words_;
+};
+
+/// Mutates one random character of `word` (a "typo"); no-op on empty input.
+void ApplyTypo(std::string* word, Rng* rng);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DATAGEN_VOCABULARY_H_

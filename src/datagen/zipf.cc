@@ -1,0 +1,71 @@
+#include "datagen/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+std::vector<size_t> ZipfClusterSizes(size_t num_entities, size_t total_records,
+                                     double exponent, double offset) {
+  ADALSH_CHECK_GE(num_entities, 1u);
+  ADALSH_CHECK_GE(total_records, num_entities);
+  ADALSH_CHECK_GT(exponent, 0.0);
+  ADALSH_CHECK_GE(offset, 0.0);
+
+  std::vector<double> weights(num_entities);
+  double weight_sum = 0.0;
+  for (size_t i = 0; i < num_entities; ++i) {
+    weights[i] = std::pow(static_cast<double>(i + 1) + offset, -exponent);
+    weight_sum += weights[i];
+  }
+
+  // Largest-remainder apportionment: floor every quota (min 1), then hand the
+  // leftover records to the largest fractional parts. This keeps the realized
+  // sizes within one record of the ideal power law instead of piling all
+  // rounding drift onto one entity.
+  std::vector<size_t> sizes(num_entities);
+  std::vector<std::pair<double, size_t>> remainders(num_entities);
+  size_t assigned = 0;
+  for (size_t i = 0; i < num_entities; ++i) {
+    double quota =
+        weights[i] / weight_sum * static_cast<double>(total_records);
+    size_t size = static_cast<size_t>(std::floor(quota));
+    if (size < 1) size = 1;
+    sizes[i] = size;
+    remainders[i] = {quota - std::floor(quota), i};
+    assigned += size;
+  }
+  if (assigned < total_records) {
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;  // deterministic ties: head first
+              });
+    size_t leftover = total_records - assigned;
+    for (size_t j = 0; leftover > 0; j = (j + 1) % num_entities) {
+      ++sizes[remainders[j].second];
+      --leftover;
+    }
+  } else if (assigned > total_records) {
+    // Flooring at 1 over-assigned (tiny tail quotas): trim from the head,
+    // which has records to spare.
+    size_t excess = assigned - total_records;
+    for (size_t i = 0; excess > 0; i = (i + 1) % num_entities) {
+      if (sizes[i] > 1) {
+        --sizes[i];
+        --excess;
+      }
+    }
+  }
+
+  // Keep the descending invariant despite the drift adjustment.
+  for (size_t i = 1; i < num_entities; ++i) {
+    ADALSH_CHECK_GE(sizes[i - 1] + 1, sizes[i]);  // allow equality
+  }
+  return sizes;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,26 @@
+#ifndef ADALSH_DATAGEN_ZIPF_H_
+#define ADALSH_DATAGEN_ZIPF_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adalsh {
+
+/// Entity sizes for the paper's workloads: "in most of these applications
+/// ... entity sizes follow a Zipfian distribution" (Section 1) and the
+/// PopularImages datasets use exponents 1.05 / 1.1 / 1.2 (Section 7.4.2).
+///
+/// Returns `num_entities` sizes, descending, with size_i proportional to
+/// (i + 1 + offset)^-exponent (Zipf-Mandelbrot; offset 0 is plain Zipf),
+/// scaled to sum to exactly total_records and floored at 1. The offset
+/// dampens the head: the paper's PopularImages datasets report top-1 sizes
+/// (~500 / ~1000 / ~1700 of 10000 for exponents 1.05 / 1.1 / 1.2) that a
+/// plain Zipf cannot produce simultaneously; see
+/// PopularImagesConfig::OffsetForExponent.
+std::vector<size_t> ZipfClusterSizes(size_t num_entities, size_t total_records,
+                                     double exponent, double offset = 0.0);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DATAGEN_ZIPF_H_

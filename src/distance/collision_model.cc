@@ -1,0 +1,39 @@
+#include "distance/collision_model.h"
+
+#include "util/check.h"
+#include "util/numeric.h"
+
+namespace adalsh {
+
+CollisionModel LinearCollisionModel() {
+  return [](double x) { return 1.0 - x; };
+}
+
+CollisionModel CollisionModelForFieldKind(Field::Kind kind) {
+  switch (kind) {
+    case Field::Kind::kDenseVector:  // random hyperplanes
+    case Field::Kind::kTokenSet:     // MinHash
+      return LinearCollisionModel();
+  }
+  ADALSH_CHECK(false) << "unknown field kind";
+  return LinearCollisionModel();
+}
+
+double SchemeCollisionProbability(const CollisionModel& p, double x, int w,
+                                  int z) {
+  return SchemeCollisionProbabilityWithRemainder(p, x, w, z, 0);
+}
+
+double SchemeCollisionProbabilityWithRemainder(const CollisionModel& p,
+                                               double x, int w, int z,
+                                               int w_rem) {
+  ADALSH_CHECK_GE(w, 1);
+  ADALSH_CHECK_GE(z, 0);
+  ADALSH_CHECK_GE(w_rem, 0);
+  double px = p(x);
+  double miss = PowInt(1.0 - PowInt(px, w), z);
+  if (w_rem > 0) miss *= 1.0 - PowInt(px, w_rem);
+  return 1.0 - miss;
+}
+
+}  // namespace adalsh

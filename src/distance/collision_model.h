@@ -1,0 +1,43 @@
+#ifndef ADALSH_DISTANCE_COLLISION_MODEL_H_
+#define ADALSH_DISTANCE_COLLISION_MODEL_H_
+
+#include <functional>
+
+#include "record/field.h"
+
+namespace adalsh {
+
+/// p(x): the probability that a single hash function drawn from the field's
+/// locality-sensitive family gives equal values for two records at distance
+/// x in [0, 1] (Section 5.1). For both families the library ships —
+/// random hyperplanes under normalized-angle distance (Example 6) and
+/// MinHash under Jaccard distance — p(x) = 1 - x, but the optimizer accepts
+/// any model so alternative families can be plugged in.
+using CollisionModel = std::function<double(double)>;
+
+/// p(x) = 1 - x: the model for random hyperplanes (cosine) and MinHash
+/// (Jaccard).
+CollisionModel LinearCollisionModel();
+
+/// The collision model of the canonical family for a field kind. Both kinds
+/// currently map to the linear model; this is the single place that would
+/// change if a family with a different p(x) were added.
+CollisionModel CollisionModelForFieldKind(Field::Kind kind);
+
+/// Probability that two records at distance x hash to the same bucket in at
+/// least one table of a (w, z)-scheme: 1 - (1 - p(x)^w)^z (Example 3 /
+/// Appendix A's AND-OR construction).
+double SchemeCollisionProbability(const CollisionModel& p, double x, int w,
+                                  int z);
+
+/// Same with the paper's non-integer-budget correction (Section 5.1): with
+/// z = floor(budget / w) full tables plus one partial table of w_rem < w
+/// functions, the probability becomes 1 - (1 - p^w)^z * (1 - p^w_rem).
+/// w_rem == 0 reduces to the plain (w, z) expression.
+double SchemeCollisionProbabilityWithRemainder(const CollisionModel& p,
+                                               double x, int w, int z,
+                                               int w_rem);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_COLLISION_MODEL_H_

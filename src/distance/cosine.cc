@@ -1,0 +1,32 @@
+#include "distance/cosine.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+double CosineDistance(const std::vector<float>& a,
+                      const std::vector<float>& b) {
+  ADALSH_CHECK_EQ(a.size(), b.size());
+  double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+    norm_a += static_cast<double>(a[i]) * a[i];
+    norm_b += static_cast<double>(b[i]) * b[i];
+  }
+  if (norm_a == 0.0 && norm_b == 0.0) return 0.0;
+  if (norm_a == 0.0 || norm_b == 0.0) return 1.0;
+  double cosine = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine) / M_PI;
+}
+
+double DegreesToNormalizedAngle(double degrees) { return degrees / 180.0; }
+
+double NormalizedAngleToDegrees(double normalized) {
+  return normalized * 180.0;
+}
+
+}  // namespace adalsh

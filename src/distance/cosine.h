@@ -1,0 +1,26 @@
+#ifndef ADALSH_DISTANCE_COSINE_H_
+#define ADALSH_DISTANCE_COSINE_H_
+
+#include <vector>
+
+namespace adalsh {
+
+/// Cosine (angular) distance between two dense vectors, normalized to [0, 1]:
+/// the angle between the vectors divided by 180 degrees (Example 5's
+/// "normalized angle" x = theta / 180). This is the distance under which the
+/// random-hyperplane family has collision probability p(x) = 1 - x.
+///
+/// Edge cases: if both vectors are zero the distance is 0; if exactly one is
+/// zero the distance is 1 (maximally far).
+double CosineDistance(const std::vector<float>& a, const std::vector<float>& b);
+
+/// Converts an angle threshold in degrees (the paper uses 2/3/5-degree image
+/// thresholds) to the normalized-angle distance used throughout the library.
+double DegreesToNormalizedAngle(double degrees);
+
+/// Inverse of DegreesToNormalizedAngle.
+double NormalizedAngleToDegrees(double normalized);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_COSINE_H_

@@ -1,0 +1,72 @@
+#include "distance/jaccard.h"
+
+namespace adalsh {
+
+double JaccardSimilarity(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t i = 0, j = 0, intersection = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) / static_cast<double>(union_size);
+}
+
+double JaccardDistance(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b) {
+  return 1.0 - JaccardSimilarity(a, b);
+}
+
+bool JaccardSimilarityAtLeast(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b,
+                              double min_sim) {
+  if (min_sim <= 0.0) return true;
+  if (a.empty() || b.empty()) return JaccardSimilarity(a, b) >= min_sim;
+  // Size-ratio prefilter: J <= min(|A|,|B|) / max(|A|,|B|).
+  size_t smaller = a.size() < b.size() ? a.size() : b.size();
+  size_t larger = a.size() + b.size() - smaller;
+  if (static_cast<double>(smaller) <
+      min_sim * static_cast<double>(larger) - 1e-12) {
+    return false;
+  }
+  size_t i = 0, j = 0, intersection = 0;
+  size_t check_countdown = 32;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++intersection;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+    if (--check_countdown == 0) {
+      check_countdown = 32;
+      // Optimistic bound: every remaining element of the smaller tail also
+      // lands in the intersection.
+      size_t rem_a = a.size() - i, rem_b = b.size() - j;
+      size_t rem = rem_a < rem_b ? rem_a : rem_b;
+      size_t best_intersection = intersection + rem;
+      size_t union_then = a.size() + b.size() - best_intersection;
+      if (static_cast<double>(best_intersection) <
+          min_sim * static_cast<double>(union_then) - 1e-12) {
+        return false;
+      }
+    }
+  }
+  size_t union_size = a.size() + b.size() - intersection;
+  return static_cast<double>(intersection) >=
+         min_sim * static_cast<double>(union_size) - 1e-12;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,32 @@
+#ifndef ADALSH_DISTANCE_JACCARD_H_
+#define ADALSH_DISTANCE_JACCARD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adalsh {
+
+/// Jaccard similarity |A ∩ B| / |A ∪ B| of two sorted, deduplicated token
+/// vectors (as produced by Field::TokenSet). Two empty sets are defined to
+/// have similarity 1.
+double JaccardSimilarity(const std::vector<uint64_t>& a,
+                         const std::vector<uint64_t>& b);
+
+/// Jaccard distance 1 - similarity, the distance under which MinHash has
+/// collision probability p(x) = 1 - x.
+double JaccardDistance(const std::vector<uint64_t>& a,
+                       const std::vector<uint64_t>& b);
+
+/// Exactly equivalent to JaccardSimilarity(a, b) >= min_sim, but abandons the
+/// merge as soon as the remaining elements cannot reach the bound anymore:
+/// the dominant cost of the pairwise computation function P is evaluating
+/// far-apart pairs, and those are rejected after a fraction of the merge.
+/// Two cheap prefilters run first: the size-ratio bound
+/// |A ∩ B| / |A ∪ B| <= min(|A|,|B|) / max(|A|,|B|), and empty-set handling.
+bool JaccardSimilarityAtLeast(const std::vector<uint64_t>& a,
+                              const std::vector<uint64_t>& b, double min_sim);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_JACCARD_H_

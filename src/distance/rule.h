@@ -1,0 +1,88 @@
+#ifndef ADALSH_DISTANCE_RULE_H_
+#define ADALSH_DISTANCE_RULE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "record/record.h"
+#include "util/status.h"
+
+namespace adalsh {
+
+/// Distance between two fields of the same kind, normalized to [0, 1]:
+/// normalized-angle cosine distance for dense vectors, Jaccard distance for
+/// token sets. Aborts if the kinds differ.
+double FieldDistance(const Field& a, const Field& b);
+
+/// A record-matching rule (Section 3 and Appendix C). Two records are a
+/// match — i.e. are considered to refer to the same entity by the filtering
+/// stage — when the rule holds. Rules form a small combinator tree:
+///
+///   * Leaf(f, d):          distance on field f is at most d.
+///   * WeightedAverage:     the weighted average of several field distances
+///                          is at most d (Appendix C.3).
+///   * And(rules):          all sub-rules hold (Appendix C.1).
+///   * Or(rules):           at least one sub-rule holds (Appendix C.2).
+///
+/// Thresholds are *distances* in [0, 1]; e.g. the paper's "Jaccard similarity
+/// at least 0.4" is Leaf(f, 0.6).
+///
+/// Matching is also closed transitively by the clustering machinery
+/// (Section 3): MatchRule only defines the pairwise predicate.
+class MatchRule {
+ public:
+  enum class Type { kLeaf, kWeightedAverage, kAnd, kOr };
+
+  /// Single-field threshold rule.
+  static MatchRule Leaf(FieldId field, double threshold);
+
+  /// Weighted-average rule over `fields` with weights summing to 1.
+  static MatchRule WeightedAverage(std::vector<FieldId> fields,
+                                   std::vector<double> weights,
+                                   double threshold);
+
+  /// Conjunction / disjunction of sub-rules.
+  static MatchRule And(std::vector<MatchRule> children);
+  static MatchRule Or(std::vector<MatchRule> children);
+
+  Type type() const { return type_; }
+  bool is_leaf_like() const {
+    return type_ == Type::kLeaf || type_ == Type::kWeightedAverage;
+  }
+
+  /// True iff the rule holds for the record pair.
+  bool Matches(const Record& a, const Record& b) const;
+
+  /// The (possibly weighted-average) distance of a leaf-like rule; aborts on
+  /// And/Or rules, whose "distance" is not a single number.
+  double Distance(const Record& a, const Record& b) const;
+
+  /// Leaf-like accessors (abort on And/Or).
+  double threshold() const;
+  const std::vector<FieldId>& fields() const;
+  const std::vector<double>& weights() const;
+
+  /// Children of And/Or rules (abort on leaf-like rules).
+  const std::vector<MatchRule>& children() const;
+
+  /// Checks the rule against a record's schema: field ids in range, weights
+  /// valid, thresholds in [0, 1].
+  Status Validate(const Record& prototype) const;
+
+  /// e.g. "And(WeightedAvg({0,1},{0.5,0.5})<=0.3, Leaf(2)<=0.8)".
+  std::string DebugString() const;
+
+ private:
+  MatchRule() = default;
+
+  Type type_ = Type::kLeaf;
+  std::vector<FieldId> fields_;
+  std::vector<double> weights_;
+  double threshold_ = 0.0;
+  std::vector<MatchRule> children_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_RULE_H_

@@ -1,0 +1,34 @@
+#ifndef ADALSH_DISTANCE_RULE_PARSER_H_
+#define ADALSH_DISTANCE_RULE_PARSER_H_
+
+#include <string>
+
+#include "distance/rule.h"
+#include "util/status.h"
+
+namespace adalsh {
+
+/// Parses the textual rule DSL used by the CLI and configuration files into
+/// a MatchRule. Grammar (whitespace-insensitive, case-insensitive keywords):
+///
+///   rule  := leaf | wavg | and | or
+///   leaf  := "leaf(" field ";" threshold ")"
+///   wavg  := "wavg(" field ("," field)+ ";" weight ("," weight)+ ";"
+///            threshold ")"
+///   and   := "and(" rule ("," rule)+ ")"
+///   or    := "or("  rule ("," rule)+ ")"
+///
+/// Thresholds are *distances* in [0, 1]. Examples:
+///
+///   leaf(0; 0.6)                       — Jaccard/cosine distance <= 0.6
+///   and(wavg(0,1; 0.5,0.5; 0.3), leaf(2; 0.8))   — the paper's Cora rule
+///   or(leaf(0; 0.022), leaf(1; 0.5))             — multimodal OR rule
+///
+/// Returns InvalidArgument with a position-annotated message on malformed
+/// input. Structural validation against a record schema is the caller's job
+/// (MatchRule::Validate).
+StatusOr<MatchRule> ParseRule(const std::string& text);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_RULE_PARSER_H_

@@ -1,0 +1,84 @@
+#include "eval/er_pipeline.h"
+
+#include <limits>
+
+#include "clustering/parent_pointer_forest.h"
+#include "core/pairwise.h"
+#include "util/check.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adalsh {
+namespace {
+
+/// Collects the leaf-like components of a rule tree (a composite rule has no
+/// single distance; the medoid uses the mean over components).
+void CollectLeafLike(const MatchRule& rule, std::vector<const MatchRule*>* out) {
+  if (rule.is_leaf_like()) {
+    out->push_back(&rule);
+    return;
+  }
+  for (const MatchRule& child : rule.children()) CollectLeafLike(child, out);
+}
+
+double MeanComponentDistance(const std::vector<const MatchRule*>& components,
+                             const Record& a, const Record& b) {
+  double sum = 0.0;
+  for (const MatchRule* component : components) {
+    sum += component->Distance(a, b);
+  }
+  return sum / static_cast<double>(components.size());
+}
+
+}  // namespace
+
+ErResult ResolveExact(const Dataset& dataset, const MatchRule& rule,
+                      const std::vector<RecordId>& records) {
+  Timer timer;
+  ParentPointerForest forest;
+  PairwiseComputer pairwise(dataset, rule);
+  std::vector<NodeId> roots = pairwise.Apply(records, &forest);
+  ErResult result;
+  result.clusters = MaterializeClusters(forest, roots);
+  result.clusters.SortBySizeDescending();
+  result.similarities = pairwise.total_similarities();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+RecordId ClusterMedoid(const Dataset& dataset, const MatchRule& rule,
+                       const std::vector<RecordId>& cluster,
+                       size_t sample_limit) {
+  ADALSH_CHECK(!cluster.empty());
+  if (cluster.size() == 1) return cluster[0];
+  std::vector<const MatchRule*> components;
+  CollectLeafLike(rule, &components);
+  ADALSH_CHECK(!components.empty());
+
+  // Sample the comparison set when the cluster is large.
+  std::vector<RecordId> probes = cluster;
+  if (probes.size() > sample_limit) {
+    Rng rng(0xed01d ^ cluster[0]);
+    rng.Shuffle(&probes);
+    probes.resize(sample_limit);
+  }
+
+  RecordId best = cluster[0];
+  double best_total = std::numeric_limits<double>::infinity();
+  for (RecordId candidate : cluster) {
+    const Record& record = dataset.record(candidate);
+    double total = 0.0;
+    for (RecordId probe : probes) {
+      if (probe == candidate) continue;
+      total += MeanComponentDistance(components, record, dataset.record(probe));
+      if (total >= best_total) break;  // cannot beat the incumbent
+    }
+    if (total < best_total) {
+      best_total = total;
+      best = candidate;
+    }
+  }
+  return best;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,46 @@
+#ifndef ADALSH_EVAL_ER_PIPELINE_H_
+#define ADALSH_EVAL_ER_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "clustering/clustering.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// The downstream half of the paper's Figure 1 workflow: after the filtering
+/// stage shrinks the dataset, an ER algorithm resolves the kept records and
+/// aggregation produces a per-entity summary. The filtering output is small,
+/// so the ER algorithm "can afford a quadratic (or even higher) cost".
+
+/// Result of running exact ER over a record subset.
+struct ErResult {
+  /// Connected components of the exact match graph, ranked by size.
+  Clustering clusters;
+  /// Rule evaluations performed (skipping transitively closed pairs).
+  uint64_t similarities = 0;
+  /// Wall-clock seconds.
+  double seconds = 0.0;
+};
+
+/// Exact entity resolution on `records`: computes the match graph under
+/// `rule` (with transitive closure) and returns its components — the
+/// "benchmark ER algorithm" of Section 6.2.2, runnable.
+ErResult ResolveExact(const Dataset& dataset, const MatchRule& rule,
+                      const std::vector<RecordId>& records);
+
+/// Per-entity aggregation: the medoid of a cluster — the record minimizing
+/// the total rule distance to the other members (sampled above
+/// `sample_limit` members to stay near-linear). The paper's examples
+/// aggregate clusters into summaries (the most complete article version, a
+/// customer's merged contact info); the medoid is the generic stand-in.
+RecordId ClusterMedoid(const Dataset& dataset, const MatchRule& rule,
+                       const std::vector<RecordId>& cluster,
+                       size_t sample_limit = 64);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_EVAL_ER_PIPELINE_H_

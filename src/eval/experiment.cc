@@ -1,0 +1,96 @@
+#include "eval/experiment.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "datagen/cora_like.h"
+#include "datagen/extend.h"
+#include "datagen/popular_images.h"
+#include "datagen/spotsigs_like.h"
+#include "util/check.h"
+
+namespace adalsh {
+
+ResultTable::ResultTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  ADALSH_CHECK(!headers_.empty());
+}
+
+void ResultTable::AddRow(std::vector<std::string> cells) {
+  ADALSH_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ResultTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c == 0 ? "| " : " | ") << std::left << std::setw(widths[c])
+          << row[c];
+    }
+    out << " |\n";
+  };
+  print_row(headers_);
+  out << "|";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+GeneratedDataset MakeCoraWorkload(size_t scale, uint64_t seed) {
+  CoraLikeConfig config;
+  config.seed = seed;
+  GeneratedDataset base = GenerateCoraLike(config);
+  if (scale == 1) return base;
+  Dataset extended = ExtendByResampling(base.dataset, scale, seed + 17);
+  return GeneratedDataset(std::move(extended), base.rule);
+}
+
+GeneratedDataset MakeSpotSigsWorkload(size_t scale, uint64_t seed) {
+  return MakeSpotSigsWorkload(scale, 0.4, seed);
+}
+
+GeneratedDataset MakeSpotSigsWorkload(size_t scale,
+                                      double jaccard_sim_threshold,
+                                      uint64_t seed) {
+  SpotSigsLikeConfig config;
+  config.seed = seed;
+  config.jaccard_sim_threshold = jaccard_sim_threshold;
+  GeneratedDataset base = GenerateSpotSigsLike(config);
+  if (scale == 1) return base;
+  Dataset extended = ExtendByResampling(base.dataset, scale, seed + 23);
+  return GeneratedDataset(std::move(extended), base.rule);
+}
+
+GeneratedDataset MakePopularImagesWorkload(double zipf_exponent,
+                                           double threshold_degrees,
+                                           size_t num_records, uint64_t seed) {
+  PopularImagesConfig config;
+  config.zipf_exponent = zipf_exponent;
+  config.angle_threshold_degrees = threshold_degrees;
+  config.num_records = num_records;
+  config.seed = seed;
+  return GeneratePopularImages(config);
+}
+
+void PrintExperimentHeader(std::ostream& out, const std::string& figure,
+                           const std::string& description) {
+  out << "\n=== " << figure << " — " << description << " ===\n";
+}
+
+}  // namespace adalsh

@@ -1,0 +1,50 @@
+#ifndef ADALSH_EVAL_EXPERIMENT_H_
+#define ADALSH_EVAL_EXPERIMENT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "datagen/generated_dataset.h"
+
+namespace adalsh {
+
+/// Aligned-column table printer used by the bench binaries to emit the
+/// series behind each paper figure.
+class ResultTable {
+ public:
+  explicit ResultTable(std::vector<std::string> headers);
+
+  /// Adds a row; must have as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Prints with a header rule, columns padded to content width.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting for table cells.
+std::string FormatDouble(double value, int precision = 3);
+
+/// Scaled workload constructors for the sweep experiments: the base
+/// generated dataset extended `scale`x with the paper's resampling procedure
+/// (Section 6.3), paired with its rule. scale == 1 is the base dataset.
+GeneratedDataset MakeCoraWorkload(size_t scale, uint64_t seed);
+GeneratedDataset MakeSpotSigsWorkload(size_t scale, uint64_t seed);
+GeneratedDataset MakeSpotSigsWorkload(size_t scale, double jaccard_sim_threshold,
+                                      uint64_t seed);
+GeneratedDataset MakePopularImagesWorkload(double zipf_exponent,
+                                           double threshold_degrees,
+                                           size_t num_records, uint64_t seed);
+
+/// Prints a standard experiment banner (figure id, dataset, parameters).
+void PrintExperimentHeader(std::ostream& out, const std::string& figure,
+                           const std::string& description);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_EVAL_EXPERIMENT_H_

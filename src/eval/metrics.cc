@@ -1,0 +1,99 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+/// Intersection size of two sorted vectors.
+size_t IntersectionSize(const std::vector<RecordId>& a,
+                        const std::vector<RecordId>& b) {
+  size_t i = 0, j = 0, count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<RecordId> SortedUnionOfPrefix(
+    const std::vector<std::vector<RecordId>>& clusters, size_t prefix) {
+  std::vector<RecordId> result;
+  for (size_t i = 0; i < std::min(prefix, clusters.size()); ++i) {
+    result.insert(result.end(), clusters[i].begin(), clusters[i].end());
+  }
+  std::sort(result.begin(), result.end());
+  result.erase(std::unique(result.begin(), result.end()), result.end());
+  return result;
+}
+
+RankedAccuracy RankedPrefixAccuracy(
+    const std::vector<std::vector<RecordId>>& output,
+    const std::vector<std::vector<RecordId>>& reference, size_t k) {
+  ADALSH_CHECK_GE(k, 1u);
+  double precision_sum = 0.0;
+  double recall_sum = 0.0;
+  for (size_t i = 1; i <= k; ++i) {
+    std::vector<RecordId> out_prefix = SortedUnionOfPrefix(output, i);
+    std::vector<RecordId> ref_prefix = SortedUnionOfPrefix(reference, i);
+    size_t overlap = IntersectionSize(out_prefix, ref_prefix);
+    precision_sum += out_prefix.empty()
+                         ? 0.0
+                         : static_cast<double>(overlap) / out_prefix.size();
+    recall_sum += ref_prefix.empty()
+                      ? 0.0
+                      : static_cast<double>(overlap) / ref_prefix.size();
+  }
+  RankedAccuracy result;
+  result.map = precision_sum / static_cast<double>(k);
+  result.mar = recall_sum / static_cast<double>(k);
+  return result;
+}
+
+}  // namespace
+
+SetAccuracy ComputeSetAccuracy(const std::vector<RecordId>& output,
+                               const std::vector<RecordId>& reference) {
+  SetAccuracy accuracy;
+  size_t overlap = IntersectionSize(output, reference);
+  if (!output.empty()) {
+    accuracy.precision = static_cast<double>(overlap) / output.size();
+  }
+  if (!reference.empty()) {
+    accuracy.recall = static_cast<double>(overlap) / reference.size();
+  }
+  if (accuracy.precision + accuracy.recall > 0.0) {
+    accuracy.f1 = 2.0 * accuracy.precision * accuracy.recall /
+                  (accuracy.precision + accuracy.recall);
+  }
+  return accuracy;
+}
+
+SetAccuracy GoldAccuracy(const Clustering& output, const GroundTruth& truth,
+                         size_t k) {
+  std::vector<RecordId> records =
+      output.UnionOfTopClusters(output.clusters.size());
+  return ComputeSetAccuracy(records, truth.TopKRecords(k));
+}
+
+RankedAccuracy ComputeRankedAccuracy(const Clustering& output,
+                                     const GroundTruth& truth, size_t k) {
+  return RankedPrefixAccuracy(output.clusters, truth.clusters(), k);
+}
+
+RankedAccuracy ComputeRankedAccuracyAgainst(const Clustering& output,
+                                            const Clustering& reference,
+                                            size_t k) {
+  return RankedPrefixAccuracy(output.clusters, reference.clusters, k);
+}
+
+}  // namespace adalsh

@@ -1,0 +1,56 @@
+#ifndef ADALSH_EVAL_METRICS_H_
+#define ADALSH_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "clustering/clustering.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// Set-level accuracy (Section 2.1): the filtering output treated as one set
+/// of records O, compared against a reference set O*.
+struct SetAccuracy {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Precision/recall/F1 of `output` against `reference`. Inputs are sorted,
+/// deduplicated record-id vectors (as produced by UnionOfTopClusters /
+/// GroundTruth::TopKRecords). Empty output yields zero precision; empty
+/// reference yields zero recall; F1 is 0 when both P and R are 0.
+SetAccuracy ComputeSetAccuracy(const std::vector<RecordId>& output,
+                               const std::vector<RecordId>& reference);
+
+/// "Gold" metrics (Section 6.2.1): all records of `output` against the
+/// ground-truth top-k records O*.
+SetAccuracy GoldAccuracy(const Clustering& output, const GroundTruth& truth,
+                         size_t k);
+
+/// Ranked-cluster accuracy (Section 6.2.1): mean Average Precision and
+/// Recall over cluster-rank prefixes. For prefix i (1-based, up to k):
+///   P_i = |O_i ∩ G_i| / |O_i|,   R_i = |O_i ∩ G_i| / |G_i|,
+/// where O_i is the union of the output's top-i clusters and G_i the union of
+/// the ground truth's top-i clusters; mAP/mAR are their means over i = 1..k.
+/// Reproduces the paper's worked example (mAP 0.775, mAR 0.9). Missing
+/// output clusters (fewer than k) contribute their prefix with O_i frozen.
+struct RankedAccuracy {
+  double map = 0.0;
+  double mar = 0.0;
+};
+
+RankedAccuracy ComputeRankedAccuracy(const Clustering& output,
+                                     const GroundTruth& truth, size_t k);
+
+/// Same prefix metrics against an arbitrary reference clustering (ranked by
+/// size) instead of ground truth — used for the F1-target study of Appendix
+/// E.1 where the reference is the Pairs outcome.
+RankedAccuracy ComputeRankedAccuracyAgainst(const Clustering& output,
+                                            const Clustering& reference,
+                                            size_t k);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_EVAL_METRICS_H_

@@ -1,0 +1,62 @@
+#include "eval/speedup.h"
+
+#include "util/check.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adalsh {
+
+SpeedupModel SpeedupModel::Measure(const Dataset& dataset,
+                                   const MatchRule& rule, int samples,
+                                   uint64_t seed) {
+  ADALSH_CHECK_GT(samples, 0);
+  ADALSH_CHECK_GE(dataset.num_records(), 2u);
+  Rng rng(DeriveSeed(seed, 0x5beed));
+  std::vector<std::pair<RecordId, RecordId>> pairs;
+  pairs.reserve(samples);
+  for (int i = 0; i < samples; ++i) {
+    RecordId a = static_cast<RecordId>(rng.NextBelow(dataset.num_records()));
+    RecordId b = static_cast<RecordId>(rng.NextBelow(dataset.num_records()));
+    if (a == b) b = (b + 1) % dataset.num_records();
+    pairs.emplace_back(a, b);
+  }
+  volatile int sink = 0;
+  Timer timer;
+  for (const auto& [a, b] : pairs) {
+    sink = sink + (rule.Matches(dataset.record(a), dataset.record(b)) ? 1 : 0);
+  }
+  return SpeedupModel(timer.ElapsedSeconds() / samples);
+}
+
+double SpeedupModel::WholeTime(size_t n) const {
+  return cost_per_similarity_ * static_cast<double>(PairCount(n));
+}
+
+double SpeedupModel::ReducedTime(size_t n_out) const {
+  return cost_per_similarity_ * static_cast<double>(PairCount(n_out));
+}
+
+double SpeedupModel::RecoveryTime(size_t n_out, size_t n) const {
+  ADALSH_CHECK_LE(n_out, n);
+  return cost_per_similarity_ * static_cast<double>(n_out) *
+         static_cast<double>(n - n_out);
+}
+
+double SpeedupModel::SpeedupWithoutRecovery(double filtering_seconds, size_t n,
+                                            size_t n_out) const {
+  return WholeTime(n) / (filtering_seconds + ReducedTime(n_out));
+}
+
+double SpeedupModel::SpeedupWithRecovery(double filtering_seconds, size_t n,
+                                         size_t n_out) const {
+  return WholeTime(n) /
+         (filtering_seconds + ReducedTime(n_out) + RecoveryTime(n_out, n));
+}
+
+double DatasetReductionPercent(size_t n_out, size_t n) {
+  ADALSH_CHECK_GT(n, 0u);
+  return 100.0 * static_cast<double>(n_out) / static_cast<double>(n);
+}
+
+}  // namespace adalsh

@@ -1,0 +1,58 @@
+#ifndef ADALSH_EVAL_SPEEDUP_H_
+#define ADALSH_EVAL_SPEEDUP_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// The benchmark-ER performance model of Section 6.2.2. The paper measures
+/// end-to-end speedups against a "benchmark ER algorithm" that computes all
+/// pairwise similarities (and a "benchmark recovery algorithm" that compares
+/// every kept record with every excluded one); this class implements exactly
+/// those formulas with a measured per-similarity cost.
+class SpeedupModel {
+ public:
+  explicit SpeedupModel(double cost_per_similarity)
+      : cost_per_similarity_(cost_per_similarity) {}
+
+  /// Measures the per-similarity cost by timing `samples` rule evaluations
+  /// on random record pairs.
+  static SpeedupModel Measure(const Dataset& dataset, const MatchRule& rule,
+                              int samples, uint64_t seed);
+
+  /// WholeTime: benchmark ER on all n records — cost * C(n, 2).
+  double WholeTime(size_t n) const;
+
+  /// ReducedTime: benchmark ER on the filtering output — cost * C(n_out, 2).
+  double ReducedTime(size_t n_out) const;
+
+  /// RecoveryTime: every kept record against every excluded record —
+  /// cost * n_out * (n - n_out).
+  double RecoveryTime(size_t n_out, size_t n) const;
+
+  /// WholeTime / (FilteringTime + ReducedTime).
+  double SpeedupWithoutRecovery(double filtering_seconds, size_t n,
+                                size_t n_out) const;
+
+  /// WholeTime / (FilteringTime + ReducedTime + RecoveryTime).
+  double SpeedupWithRecovery(double filtering_seconds, size_t n,
+                             size_t n_out) const;
+
+  double cost_per_similarity() const { return cost_per_similarity_; }
+
+ private:
+  double cost_per_similarity_;
+};
+
+/// Dataset Reduction (Section 6.2.2): filtering-output size as a percentage
+/// of the dataset ("if the filtering output is 100 of 1000 records, the
+/// reduction percentage is 10%").
+double DatasetReductionPercent(size_t n_out, size_t n);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_EVAL_SPEEDUP_H_

@@ -1,0 +1,28 @@
+#include "image/histogram.h"
+
+#include "util/check.h"
+
+namespace adalsh {
+
+std::vector<float> RgbHistogram(const Image& image, int bins_per_channel) {
+  ADALSH_CHECK_GE(bins_per_channel, 1);
+  ADALSH_CHECK_LE(bins_per_channel, 256);
+  size_t num_bins = static_cast<size_t>(bins_per_channel) * bins_per_channel *
+                    bins_per_channel;
+  std::vector<float> histogram(num_bins, 0.0f);
+  const std::vector<uint8_t>& pixels = image.pixels();
+  size_t pixel_count = pixels.size() / 3;
+  for (size_t p = 0; p < pixel_count; ++p) {
+    int r = pixels[p * 3] * bins_per_channel / 256;
+    int g = pixels[p * 3 + 1] * bins_per_channel / 256;
+    int b = pixels[p * 3 + 2] * bins_per_channel / 256;
+    size_t bin = (static_cast<size_t>(r) * bins_per_channel + g) *
+                     bins_per_channel + b;
+    histogram[bin] += 1.0f;
+  }
+  float inv = pixel_count > 0 ? 1.0f / static_cast<float>(pixel_count) : 0.0f;
+  for (float& value : histogram) value *= inv;
+  return histogram;
+}
+
+}  // namespace adalsh

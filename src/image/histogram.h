@@ -1,0 +1,22 @@
+#ifndef ADALSH_IMAGE_HISTOGRAM_H_
+#define ADALSH_IMAGE_HISTOGRAM_H_
+
+#include <vector>
+
+#include "image/image.h"
+
+namespace adalsh {
+
+/// RGB color histogram, the paper's image feature: "for each histogram
+/// bucket, we count the number of pixels with an RGB value that is within
+/// the bucket RGB limits. The RGB histogram forms a vector."
+///
+/// The color cube is partitioned into bins_per_channel^3 buckets; the result
+/// has that many entries in R-major order. Counts are normalized by the
+/// pixel count so images of different sizes are comparable (cosine distance
+/// is scale-invariant anyway; normalization just keeps values well ranged).
+std::vector<float> RgbHistogram(const Image& image, int bins_per_channel);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_IMAGE_HISTOGRAM_H_

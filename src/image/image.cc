@@ -1,0 +1,83 @@
+#include "image/image.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+Image::Image(int width, int height) : width_(width), height_(height) {
+  ADALSH_CHECK_GT(width, 0);
+  ADALSH_CHECK_GT(height, 0);
+  pixels_.assign(static_cast<size_t>(width) * height * 3, 0);
+}
+
+uint8_t Image::at(int x, int y, int channel) const {
+  ADALSH_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_ && channel >= 0 &&
+               channel < 3);
+  return pixels_[(static_cast<size_t>(y) * width_ + x) * 3 + channel];
+}
+
+void Image::set(int x, int y, uint8_t r, uint8_t g, uint8_t b) {
+  ADALSH_CHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+  size_t base = (static_cast<size_t>(y) * width_ + x) * 3;
+  pixels_[base] = r;
+  pixels_[base + 1] = g;
+  pixels_[base + 2] = b;
+}
+
+Image GenerateRandomImage(const ImagePatternConfig& config, Rng* rng) {
+  ADALSH_CHECK(rng != nullptr);
+  ADALSH_CHECK_LE(config.min_rectangles, config.max_rectangles);
+  Image image(config.width, config.height);
+
+  // Background color.
+  uint8_t bg[3];
+  for (uint8_t& c : bg) c = static_cast<uint8_t>(rng->NextBelow(256));
+  for (int y = 0; y < config.height; ++y) {
+    for (int x = 0; x < config.width; ++x) {
+      image.set(x, y, bg[0], bg[1], bg[2]);
+    }
+  }
+
+  // Optional linear gradient blended over the background.
+  if (config.add_gradient) {
+    uint8_t grad[3];
+    for (uint8_t& c : grad) c = static_cast<uint8_t>(rng->NextBelow(256));
+    bool horizontal = rng->NextBernoulli(0.5);
+    for (int y = 0; y < config.height; ++y) {
+      for (int x = 0; x < config.width; ++x) {
+        double t = horizontal ? static_cast<double>(x) / (config.width - 1)
+                              : static_cast<double>(y) / (config.height - 1);
+        uint8_t rgb[3];
+        for (int c = 0; c < 3; ++c) {
+          rgb[c] = static_cast<uint8_t>((1.0 - t * 0.5) * image.at(x, y, c) +
+                                        t * 0.5 * grad[c]);
+        }
+        image.set(x, y, rgb[0], rgb[1], rgb[2]);
+      }
+    }
+  }
+
+  // Random filled rectangles.
+  int64_t rectangles =
+      rng->NextInRange(config.min_rectangles, config.max_rectangles);
+  for (int64_t i = 0; i < rectangles; ++i) {
+    int x0 = static_cast<int>(rng->NextBelow(config.width));
+    int y0 = static_cast<int>(rng->NextBelow(config.height));
+    int w = 1 + static_cast<int>(rng->NextBelow(config.width / 2));
+    int h = 1 + static_cast<int>(rng->NextBelow(config.height / 2));
+    uint8_t rgb[3];
+    for (uint8_t& c : rgb) c = static_cast<uint8_t>(rng->NextBelow(256));
+    int x1 = std::min(config.width, x0 + w);
+    int y1 = std::min(config.height, y0 + h);
+    for (int y = y0; y < y1; ++y) {
+      for (int x = x0; x < x1; ++x) {
+        image.set(x, y, rgb[0], rgb[1], rgb[2]);
+      }
+    }
+  }
+  return image;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,105 @@
+#include "image/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+Image Crop(const Image& source, int x0, int y0, int width, int height) {
+  ADALSH_CHECK(x0 >= 0 && y0 >= 0 && width > 0 && height > 0 &&
+               x0 + width <= source.width() && y0 + height <= source.height())
+      << "crop rectangle out of bounds";
+  Image result(width, height);
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      result.set(x, y, source.at(x0 + x, y0 + y, 0), source.at(x0 + x, y0 + y, 1),
+                 source.at(x0 + x, y0 + y, 2));
+    }
+  }
+  return result;
+}
+
+Image ScaleBilinear(const Image& source, int new_width, int new_height) {
+  ADALSH_CHECK(new_width > 0 && new_height > 0);
+  Image result(new_width, new_height);
+  double sx = static_cast<double>(source.width()) / new_width;
+  double sy = static_cast<double>(source.height()) / new_height;
+  for (int y = 0; y < new_height; ++y) {
+    double fy = (y + 0.5) * sy - 0.5;
+    int y0 = std::clamp(static_cast<int>(std::floor(fy)), 0, source.height() - 1);
+    int y1 = std::min(y0 + 1, source.height() - 1);
+    double ty = std::clamp(fy - y0, 0.0, 1.0);
+    for (int x = 0; x < new_width; ++x) {
+      double fx = (x + 0.5) * sx - 0.5;
+      int x0 = std::clamp(static_cast<int>(std::floor(fx)), 0, source.width() - 1);
+      int x1 = std::min(x0 + 1, source.width() - 1);
+      double tx = std::clamp(fx - x0, 0.0, 1.0);
+      uint8_t rgb[3];
+      for (int c = 0; c < 3; ++c) {
+        double top = source.at(x0, y0, c) * (1 - tx) + source.at(x1, y0, c) * tx;
+        double bottom =
+            source.at(x0, y1, c) * (1 - tx) + source.at(x1, y1, c) * tx;
+        rgb[c] = static_cast<uint8_t>(
+            std::clamp(top * (1 - ty) + bottom * ty, 0.0, 255.0));
+      }
+      result.set(x, y, rgb[0], rgb[1], rgb[2]);
+    }
+  }
+  return result;
+}
+
+Image Recenter(const Image& source, int dx, int dy) {
+  Image result(source.width(), source.height());
+  for (int y = 0; y < source.height(); ++y) {
+    int sy = std::clamp(y - dy, 0, source.height() - 1);
+    for (int x = 0; x < source.width(); ++x) {
+      int sx = std::clamp(x - dx, 0, source.width() - 1);
+      result.set(x, y, source.at(sx, sy, 0), source.at(sx, sy, 1),
+                 source.at(sx, sy, 2));
+    }
+  }
+  return result;
+}
+
+Image RandomTransform(const Image& source, const RandomTransformConfig& config,
+                      Rng* rng) {
+  ADALSH_CHECK(rng != nullptr);
+  ADALSH_CHECK(config.min_keep_fraction > 0.0 &&
+               config.min_keep_fraction <= 1.0);
+  ADALSH_CHECK(config.min_scale > 0.0 && config.min_scale <= config.max_scale);
+
+  // Random crop.
+  double keep_x =
+      config.min_keep_fraction + rng->NextDouble() * (1.0 - config.min_keep_fraction);
+  double keep_y =
+      config.min_keep_fraction + rng->NextDouble() * (1.0 - config.min_keep_fraction);
+  int crop_w = std::max(1, static_cast<int>(std::lround(source.width() * keep_x)));
+  int crop_h = std::max(1, static_cast<int>(std::lround(source.height() * keep_y)));
+  int x0 = crop_w < source.width()
+               ? static_cast<int>(rng->NextBelow(source.width() - crop_w + 1))
+               : 0;
+  int y0 = crop_h < source.height()
+               ? static_cast<int>(rng->NextBelow(source.height() - crop_h + 1))
+               : 0;
+  Image cropped = Crop(source, x0, y0, crop_w, crop_h);
+
+  // Random scale.
+  double scale =
+      config.min_scale + rng->NextDouble() * (config.max_scale - config.min_scale);
+  int new_w = std::max(1, static_cast<int>(std::lround(crop_w * scale)));
+  int new_h = std::max(1, static_cast<int>(std::lround(crop_h * scale)));
+  Image scaled = ScaleBilinear(cropped, new_w, new_h);
+
+  // Random recenter.
+  int max_dx =
+      static_cast<int>(std::lround(new_w * config.max_shift_fraction));
+  int max_dy =
+      static_cast<int>(std::lround(new_h * config.max_shift_fraction));
+  int dx = max_dx > 0 ? static_cast<int>(rng->NextInRange(-max_dx, max_dx)) : 0;
+  int dy = max_dy > 0 ? static_cast<int>(rng->NextInRange(-max_dy, max_dy)) : 0;
+  return Recenter(scaled, dx, dy);
+}
+
+}  // namespace adalsh

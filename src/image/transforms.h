@@ -1,0 +1,43 @@
+#ifndef ADALSH_IMAGE_TRANSFORMS_H_
+#define ADALSH_IMAGE_TRANSFORMS_H_
+
+#include "image/image.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+/// The transformations the paper's PopularImages dataset applies to original
+/// images to create records: "random cropping, scaling, re-centering".
+/// Crops and shifts are kept mild so a transformed copy's RGB histogram stays
+/// within a few degrees of the original — the regime the paper's 2/3/5-degree
+/// thresholds probe.
+
+/// Axis-aligned crop; the rectangle must lie inside the image.
+Image Crop(const Image& source, int x0, int y0, int width, int height);
+
+/// Bilinear rescale to the requested size.
+Image ScaleBilinear(const Image& source, int new_width, int new_height);
+
+/// Translates content by (dx, dy), clamping samples at the borders (the
+/// revealed band repeats the nearest edge pixels).
+Image Recenter(const Image& source, int dx, int dy);
+
+/// Parameters for the random record-transformation pipeline.
+struct RandomTransformConfig {
+  /// Crop keeps at least this fraction of each axis.
+  double min_keep_fraction = 0.90;
+  /// Scale factor range applied after the crop.
+  double min_scale = 0.75;
+  double max_scale = 1.25;
+  /// Maximum recenter shift as a fraction of each axis.
+  double max_shift_fraction = 0.05;
+};
+
+/// Applies random crop -> scale -> recenter, mirroring the paper's record
+/// generation for image entities.
+Image RandomTransform(const Image& source, const RandomTransformConfig& config,
+                      Rng* rng);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_IMAGE_TRANSFORMS_H_

@@ -1,0 +1,77 @@
+#include "io/csv.h"
+
+namespace adalsh {
+
+StatusOr<bool> CsvReader::ReadRow(std::vector<std::string>* fields) {
+  fields->clear();
+  int c = in_->get();
+  if (c == EOF) return false;
+  ++line_;
+  std::string current;
+  bool in_quotes = false;
+  bool row_done = false;
+  while (!row_done) {
+    if (c == EOF) {
+      if (in_quotes) {
+        return Status::InvalidArgument("unterminated quote at line " +
+                                       std::to_string(line_));
+      }
+      break;
+    }
+    char ch = static_cast<char>(c);
+    if (in_quotes) {
+      if (ch == '"') {
+        if (in_->peek() == '"') {
+          current.push_back('"');
+          in_->get();
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current.push_back(ch);
+        if (ch == '\n') ++line_;
+      }
+    } else if (ch == '"' && current.empty()) {
+      in_quotes = true;
+    } else if (ch == delimiter_) {
+      fields->push_back(std::move(current));
+      current.clear();
+    } else if (ch == '\n') {
+      row_done = true;
+      break;
+    } else if (ch == '\r') {
+      // Swallow; the following \n (if any) ends the row.
+    } else {
+      current.push_back(ch);
+    }
+    c = in_->get();
+  }
+  fields->push_back(std::move(current));
+  return true;
+}
+
+void WriteCsvRow(std::ostream* out, const std::vector<std::string>& fields,
+                 char delimiter) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out->put(delimiter);
+    const std::string& field = fields[i];
+    bool needs_quotes =
+        field.find(delimiter) != std::string::npos ||
+        field.find('"') != std::string::npos ||
+        field.find('\n') != std::string::npos ||
+        field.find('\r') != std::string::npos;
+    if (!needs_quotes) {
+      *out << field;
+      continue;
+    }
+    out->put('"');
+    for (char ch : field) {
+      if (ch == '"') out->put('"');
+      out->put(ch);
+    }
+    out->put('"');
+  }
+  out->put('\n');
+}
+
+}  // namespace adalsh

@@ -1,0 +1,187 @@
+#include "io/dataset_loader.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <unordered_map>
+
+#include "io/csv.h"
+#include "text/shingle.h"
+#include "text/spot_signatures.h"
+
+namespace adalsh {
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string part;
+  std::istringstream in(s);
+  while (std::getline(in, part, ',')) parts.push_back(part);
+  return parts;
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return "";
+  size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+StatusOr<std::vector<float>> ParseDenseVector(const std::string& text,
+                                              size_t line) {
+  std::vector<float> values;
+  const char* cursor = text.c_str();
+  while (*cursor != '\0') {
+    if (*cursor == ' ' || *cursor == ';' || *cursor == '\t') {
+      ++cursor;
+      continue;
+    }
+    char* end = nullptr;
+    float value = std::strtof(cursor, &end);
+    if (end == cursor) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line) +
+          ": vector column is not numeric near '" + std::string(cursor) +
+          "'");
+    }
+    values.push_back(value);
+    cursor = end;
+  }
+  if (values.empty()) {
+    return Status::InvalidArgument("line " + std::to_string(line) +
+                                   ": empty vector column");
+  }
+  return values;
+}
+
+}  // namespace
+
+StatusOr<std::vector<ColumnSpec>> ParseColumnSpecs(const std::string& spec) {
+  std::vector<ColumnSpec> specs;
+  for (const std::string& raw : SplitCommas(spec)) {
+    std::string token = Trim(raw);
+    ColumnSpec column;
+    if (token == "label") {
+      column.kind = ColumnSpec::Kind::kLabel;
+    } else if (token == "entity") {
+      column.kind = ColumnSpec::Kind::kEntity;
+    } else if (token == "spotsigs") {
+      column.kind = ColumnSpec::Kind::kTextSpotSigs;
+    } else if (token == "vector") {
+      column.kind = ColumnSpec::Kind::kDenseVector;
+    } else if (token == "ignore") {
+      column.kind = ColumnSpec::Kind::kIgnore;
+    } else if (token.rfind("text", 0) == 0) {
+      column.kind = ColumnSpec::Kind::kTextShingles;
+      std::string suffix = token.substr(4);
+      if (!suffix.empty()) {
+        char* end = nullptr;
+        long n = std::strtol(suffix.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1 || n > 16) {
+          return Status::InvalidArgument("bad column spec token '" + token +
+                                         "'");
+        }
+        column.shingle_size = static_cast<int>(n);
+      }
+    } else {
+      return Status::InvalidArgument("bad column spec token '" + token + "'");
+    }
+    specs.push_back(column);
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("empty column spec");
+  }
+  return specs;
+}
+
+StatusOr<Dataset> LoadCsvDataset(std::istream* in,
+                                 const std::vector<ColumnSpec>& specs,
+                                 bool has_header, const std::string& name) {
+  Dataset dataset(name);
+  CsvReader reader(in);
+  std::vector<std::string> row;
+  std::unordered_map<std::string, EntityId> entity_ids;
+  SpotSigConfig spotsig_config;
+
+  bool first = true;
+  for (;;) {
+    StatusOr<bool> more = reader.ReadRow(&row);
+    if (!more.ok()) return more.status();
+    if (!*more) break;
+    if (first && has_header) {
+      first = false;
+      continue;
+    }
+    first = false;
+    if (row.size() != specs.size()) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(reader.line()) + ": expected " +
+          std::to_string(specs.size()) + " columns, got " +
+          std::to_string(row.size()));
+    }
+    std::vector<Field> fields;
+    std::string label;
+    std::string entity_key;
+    bool has_entity = false;
+    for (size_t c = 0; c < specs.size(); ++c) {
+      switch (specs[c].kind) {
+        case ColumnSpec::Kind::kLabel:
+          label = row[c];
+          break;
+        case ColumnSpec::Kind::kEntity:
+          entity_key = row[c];
+          has_entity = true;
+          break;
+        case ColumnSpec::Kind::kTextShingles:
+          fields.push_back(Field::TokenSet(
+              WordShingles(row[c], specs[c].shingle_size)));
+          break;
+        case ColumnSpec::Kind::kTextSpotSigs:
+          fields.push_back(
+              Field::TokenSet(SpotSignatures(row[c], spotsig_config)));
+          break;
+        case ColumnSpec::Kind::kDenseVector: {
+          StatusOr<std::vector<float>> values =
+              ParseDenseVector(row[c], reader.line());
+          if (!values.ok()) return values.status();
+          fields.push_back(Field::DenseVector(std::move(values).value()));
+          break;
+        }
+        case ColumnSpec::Kind::kIgnore:
+          break;
+      }
+    }
+    if (fields.empty()) {
+      return Status::InvalidArgument(
+          "column spec declares no feature columns");
+    }
+    // Dense fields must be uniform-dimensional across the file.
+    if (dataset.num_records() > 0) {
+      const Record& prototype = dataset.record(0);
+      for (FieldId f = 0; f < fields.size(); ++f) {
+        if (fields[f].is_dense() &&
+            fields[f].size() != prototype.field(f).size()) {
+          return Status::InvalidArgument(
+              "line " + std::to_string(reader.line()) + ": vector column " +
+              std::to_string(f) + " has dimension " +
+              std::to_string(fields[f].size()) + " but earlier rows had " +
+              std::to_string(prototype.field(f).size()));
+        }
+      }
+    }
+    EntityId entity;
+    if (has_entity) {
+      auto [it, inserted] = entity_ids.try_emplace(
+          entity_key, static_cast<EntityId>(entity_ids.size()));
+      entity = it->second;
+    } else {
+      entity = static_cast<EntityId>(dataset.num_records());
+    }
+    dataset.AddRecord(Record(std::move(fields), label), entity);
+  }
+  if (dataset.num_records() == 0) {
+    return Status::InvalidArgument("input contains no records");
+  }
+  return dataset;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,44 @@
+#ifndef ADALSH_IO_DATASET_LOADER_H_
+#define ADALSH_IO_DATASET_LOADER_H_
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "record/dataset.h"
+#include "util/status.h"
+
+namespace adalsh {
+
+/// How one CSV column maps into the record model.
+struct ColumnSpec {
+  enum class Kind {
+    kLabel,         // record display label (not a feature)
+    kEntity,        // ground-truth entity key (string; mapped to dense ids)
+    kTextShingles,  // token-set field: word n-shingles of the text
+    kTextSpotSigs,  // token-set field: spot signatures of the text
+    kDenseVector,   // dense field: ';'- or space-separated floats
+    kIgnore,        // skipped
+  };
+  Kind kind = Kind::kIgnore;
+  int shingle_size = 1;  // for kTextShingles
+};
+
+/// Parses a comma-separated column-spec string, one token per CSV column:
+///   label | entity | text | textN (N-word shingles, e.g. text2) |
+///   spotsigs | vector | ignore
+/// Example for a citation file: "entity,text,text,text".
+StatusOr<std::vector<ColumnSpec>> ParseColumnSpecs(const std::string& spec);
+
+/// Loads a CSV stream into a Dataset under `specs` (one spec per column;
+/// rows with a different column count are an error). With a kEntity column,
+/// ground truth comes from the file; otherwise every record becomes its own
+/// entity (filtering still works; gold metrics become meaningless).
+/// `has_header` skips the first row.
+StatusOr<Dataset> LoadCsvDataset(std::istream* in,
+                                 const std::vector<ColumnSpec>& specs,
+                                 bool has_header, const std::string& name);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_IO_DATASET_LOADER_H_

@@ -1,0 +1,140 @@
+#include "lsh/composite_scheme.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+HashUnitSpec UnitFromLeafLike(const MatchRule& rule) {
+  ADALSH_CHECK(rule.is_leaf_like());
+  HashUnitSpec unit;
+  unit.fields = rule.fields();
+  unit.weights = rule.weights();
+  unit.threshold = rule.threshold();
+  return unit;
+}
+
+}  // namespace
+
+StatusOr<RuleHashStructure> CompileRuleForHashing(const MatchRule& rule) {
+  RuleHashStructure structure;
+
+  auto add_group_for = [&structure](const MatchRule& branch) -> Status {
+    std::vector<int> group;
+    if (branch.is_leaf_like()) {
+      group.push_back(static_cast<int>(structure.units.size()));
+      structure.units.push_back(UnitFromLeafLike(branch));
+    } else if (branch.type() == MatchRule::Type::kAnd) {
+      for (const MatchRule& child : branch.children()) {
+        if (!child.is_leaf_like()) {
+          return Status::InvalidArgument(
+              "hashing supports And() of leaf-like rules only; got nested "
+              "composite: " +
+              child.DebugString());
+        }
+        group.push_back(static_cast<int>(structure.units.size()));
+        structure.units.push_back(UnitFromLeafLike(child));
+      }
+    } else {
+      return Status::InvalidArgument(
+          "hashing supports Or() of leaf-like or And() branches only; got: " +
+          branch.DebugString());
+    }
+    structure.groups.push_back(std::move(group));
+    return Status::Ok();
+  };
+
+  if (rule.type() == MatchRule::Type::kOr) {
+    for (const MatchRule& branch : rule.children()) {
+      Status status = add_group_for(branch);
+      if (!status.ok()) return status;
+    }
+  } else {
+    Status status = add_group_for(rule);
+    if (!status.ok()) return status;
+  }
+  return structure;
+}
+
+int GroupScheme::budget() const {
+  int per_table = hashes_per_table();
+  return per_table * z + w_rem;
+}
+
+int GroupScheme::hashes_per_table() const {
+  int per_table = 0;
+  for (int wu : w) per_table += wu;
+  return per_table;
+}
+
+int CompositeScheme::budget() const {
+  int total = 0;
+  for (const GroupScheme& group : groups) total += group.budget();
+  return total;
+}
+
+std::string CompositeScheme::ToString() const {
+  std::ostringstream out;
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (g > 0) out << " | ";
+    const GroupScheme& group = groups[g];
+    out << "(w=";
+    for (size_t u = 0; u < group.w.size(); ++u) {
+      if (u > 0) out << "+";
+      out << group.w[u];
+    }
+    out << ",z=" << group.z;
+    if (group.w_rem > 0) out << ",rem=" << group.w_rem;
+    if (!group.constraint_met) out << ",unconstrained";
+    out << ")";
+  }
+  return out.str();
+}
+
+size_t SchemePlan::total_hashes() const {
+  size_t total = 0;
+  for (size_t count : hashes_per_unit) total += count;
+  return total;
+}
+
+SchemePlan BuildPlan(const RuleHashStructure& structure,
+                     const CompositeScheme& scheme) {
+  ADALSH_CHECK_EQ(structure.groups.size(), scheme.groups.size());
+  SchemePlan plan;
+  plan.hashes_per_unit.assign(structure.units.size(), 0);
+
+  for (size_t g = 0; g < structure.groups.size(); ++g) {
+    const std::vector<int>& units = structure.groups[g];
+    const GroupScheme& group = scheme.groups[g];
+    ADALSH_CHECK_EQ(units.size(), group.w.size());
+    if (group.w_rem > 0) {
+      ADALSH_CHECK_EQ(units.size(), 1u)
+          << "partial tables are only defined for single-unit groups";
+    }
+    for (int t = 0; t < group.z; ++t) {
+      TablePlan table;
+      for (size_t u = 0; u < units.size(); ++u) {
+        int unit = units[u];
+        size_t begin = plan.hashes_per_unit[unit];
+        size_t end = begin + static_cast<size_t>(group.w[u]);
+        table.parts.push_back({unit, begin, end});
+        plan.hashes_per_unit[unit] = end;
+      }
+      plan.tables.push_back(std::move(table));
+    }
+    if (group.w_rem > 0) {
+      int unit = units[0];
+      TablePlan table;
+      size_t begin = plan.hashes_per_unit[unit];
+      size_t end = begin + static_cast<size_t>(group.w_rem);
+      table.parts.push_back({unit, begin, end});
+      plan.hashes_per_unit[unit] = end;
+      plan.tables.push_back(std::move(table));
+    }
+  }
+  return plan;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,92 @@
+#ifndef ADALSH_LSH_COMPOSITE_SCHEME_H_
+#define ADALSH_LSH_COMPOSITE_SCHEME_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "distance/rule.h"
+#include "util/status.h"
+
+namespace adalsh {
+
+/// One hashable component of a match rule: a single field or a
+/// weighted-average combination of fields (Definition 7), with the component's
+/// own distance threshold. Units are what the AND/OR-construction composes.
+struct HashUnitSpec {
+  std::vector<FieldId> fields;
+  std::vector<double> weights;
+  double threshold = 0.0;
+};
+
+/// The hashing shape of a match rule (Appendix C): a disjunction of
+/// conjunctions of units.
+///   * Leaf / WeightedAverage  -> 1 group with 1 unit.
+///   * And(leaf-likes)         -> 1 group with one unit per child (C.1: every
+///                                table concatenates hashes from all units).
+///   * Or(children)            -> one group per child (C.2: each group gets
+///                                its own tables), where each child is
+///                                leaf-like or an And of leaf-likes.
+struct RuleHashStructure {
+  std::vector<HashUnitSpec> units;
+  /// groups[g] lists the unit indices AND-ed inside group g's tables.
+  std::vector<std::vector<int>> groups;
+};
+
+/// Compiles a rule into its hash structure. Returns InvalidArgument for
+/// shapes outside Or-of-And-of-leaf-like (e.g. an Or nested inside an And),
+/// which the paper's construction does not cover.
+StatusOr<RuleHashStructure> CompileRuleForHashing(const MatchRule& rule);
+
+/// Chosen parameters for one group: z tables, each keyed by w[u] hash values
+/// of the group's u-th unit; single-unit groups may carry one extra partial
+/// table of w_rem values (the Section 5.1 non-integer-budget correction).
+struct GroupScheme {
+  std::vector<int> w;
+  int z = 0;
+  int w_rem = 0;
+  bool constraint_met = true;
+  /// Group objective value (the integral the optimizer minimized).
+  double objective = 0.0;
+
+  int budget() const;
+  int hashes_per_table() const;
+};
+
+/// Full parameterization of one transitive hashing function.
+struct CompositeScheme {
+  std::vector<GroupScheme> groups;
+
+  /// Total hash functions across all groups (the function's budget).
+  int budget() const;
+  std::string ToString() const;
+};
+
+/// An executable table layout: which hash-function indices of which unit form
+/// each table's bucket key. Unit indices are assigned consecutively from 0,
+/// so a later (larger) scheme's plan reuses every index an earlier plan used —
+/// the incremental-computation property at the plan level.
+struct TablePart {
+  int unit;
+  size_t begin;
+  size_t end;
+};
+struct TablePlan {
+  std::vector<TablePart> parts;
+};
+struct SchemePlan {
+  std::vector<TablePlan> tables;
+  /// Total function indices consumed per unit (prefix length each record's
+  /// cache must cover).
+  std::vector<size_t> hashes_per_unit;
+
+  size_t total_hashes() const;
+};
+
+/// Lays out `scheme`'s tables over `structure`'s units.
+SchemePlan BuildPlan(const RuleHashStructure& structure,
+                     const CompositeScheme& scheme);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_LSH_COMPOSITE_SCHEME_H_

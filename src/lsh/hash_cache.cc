@@ -1,0 +1,78 @@
+#include "lsh/hash_cache.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+HashCache::HashCache(std::unique_ptr<HashFamily> family, size_t num_records)
+    : family_(std::move(family)) {
+  ADALSH_CHECK(family_ != nullptr);
+  binary_ = family_->is_binary();
+  if (binary_) {
+    bits_.resize(num_records);
+  } else {
+    values_.resize(num_records);
+  }
+  computed_.assign(num_records, 0);
+}
+
+void HashCache::Ensure(const Record& record, RecordId r, size_t count) {
+  ADALSH_CHECK_LT(r, computed_.size());
+  size_t have = computed_[r];
+  if (have >= count) return;
+  scratch_.resize(count - have);
+  family_->HashRange(record, have, count, scratch_.data());
+  total_computed_ += count - have;
+  if (binary_) {
+    std::vector<uint64_t>& blocks = bits_[r];
+    blocks.resize((count + 63) / 64, 0);
+    for (size_t j = have; j < count; ++j) {
+      if (scratch_[j - have] & 1) blocks[j / 64] |= uint64_t{1} << (j % 64);
+    }
+  } else {
+    std::vector<uint32_t>& vals = values_[r];
+    vals.resize(count);
+    for (size_t j = have; j < count; ++j) {
+      vals[j] = static_cast<uint32_t>(SplitMix64(scratch_[j - have]));
+    }
+  }
+  computed_[r] = count;
+}
+
+uint64_t HashCache::CombineRange(RecordId r, size_t begin, size_t end,
+                                 uint64_t key) const {
+  ADALSH_CHECK_LT(r, computed_.size());
+  ADALSH_CHECK_LE(end, computed_[r]) << "CombineRange past computed prefix";
+  if (binary_) {
+    const std::vector<uint64_t>& blocks = bits_[r];
+    // Fold whole and partial 64-bit blocks of the bit range.
+    size_t j = begin;
+    while (j < end) {
+      size_t block = j / 64;
+      size_t bit = j % 64;
+      size_t take = std::min<size_t>(64 - bit, end - j);
+      uint64_t chunk = blocks[block] >> bit;
+      if (take < 64) chunk &= (uint64_t{1} << take) - 1;
+      key = SplitMix64(key ^ chunk);
+      j += take;
+    }
+    return key;
+  }
+  const std::vector<uint32_t>& vals = values_[r];
+  for (size_t j = begin; j < end; ++j) {
+    key = SplitMix64(key ^ vals[j]);
+  }
+  return key;
+}
+
+uint64_t HashCache::ValueForTest(RecordId r, size_t j) const {
+  ADALSH_CHECK_LT(r, computed_.size());
+  ADALSH_CHECK_LT(j, computed_[r]);
+  if (binary_) return (bits_[r][j / 64] >> (j % 64)) & 1;
+  return values_[r][j];
+}
+
+}  // namespace adalsh

@@ -1,0 +1,73 @@
+#ifndef ADALSH_LSH_HASH_CACHE_H_
+#define ADALSH_LSH_HASH_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "lsh/hash_family.h"
+#include "record/record.h"
+
+namespace adalsh {
+
+/// Per-record cache of one hash family's raw values — the mechanism behind
+/// the sequence's incremental-computation property (Section 2.2, Property 4
+/// and Appendix B.2): "the computation of hashes is incremental and uses the
+/// hashes computed from the previous function in the sequence".
+///
+/// Each record owns a growing prefix of the family's function stream. A
+/// transitive hashing function asks the cache to Ensure() the prefix it
+/// needs; anything already computed by earlier functions is reused for free.
+///
+/// Storage is compressed: binary families (random hyperplanes) pack one bit
+/// per value; wide families (MinHash) keep 32 mixed bits per value, which
+/// preserves equality semantics with 2^-32 per-function false-collision
+/// probability — negligible next to the LSH scheme's own design error.
+class HashCache {
+ public:
+  HashCache(std::unique_ptr<HashFamily> family, size_t num_records);
+
+  HashCache(const HashCache&) = delete;
+  HashCache& operator=(const HashCache&) = delete;
+  HashCache(HashCache&&) = default;
+
+  /// Ensures values [0, count) are computed for record r. `record` must be
+  /// the dataset record with id r.
+  void Ensure(const Record& record, RecordId r, size_t count);
+
+  /// Number of values computed so far for record r.
+  size_t computed_count(RecordId r) const { return computed_[r]; }
+
+  /// Folds values [begin, end) of record r into a running bucket key.
+  /// Requires Ensure(record, r, end) to have happened. Two records receive
+  /// equal results iff (with overwhelming probability) their raw values agree
+  /// on the whole range — this builds the AND-construction's concatenated
+  /// bucket index.
+  uint64_t CombineRange(RecordId r, size_t begin, size_t end,
+                        uint64_t key) const;
+
+  /// Total raw hash evaluations performed through this cache (cost metric:
+  /// the "number of hash functions applied" the paper's cost model counts).
+  uint64_t total_hashes_computed() const { return total_computed_; }
+
+  bool is_binary() const { return binary_; }
+
+  /// Direct value access for tests: the stored (packed/mixed) value of
+  /// function j for record r.
+  uint64_t ValueForTest(RecordId r, size_t j) const;
+
+ private:
+  std::unique_ptr<HashFamily> family_;
+  bool binary_;
+  /// binary: bit-packed blocks per record; wide: 32-bit mixed values.
+  std::vector<std::vector<uint64_t>> bits_;
+  std::vector<std::vector<uint32_t>> values_;
+  std::vector<size_t> computed_;
+  std::vector<uint64_t> scratch_;
+  uint64_t total_computed_ = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_LSH_HASH_CACHE_H_

@@ -1,0 +1,37 @@
+#ifndef ADALSH_LSH_HASH_FAMILY_H_
+#define ADALSH_LSH_HASH_FAMILY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "record/record.h"
+
+namespace adalsh {
+
+/// An indexed locality-sensitive hash family (Appendix A, Definition 4):
+/// an unbounded stream of hash functions h_0, h_1, ... drawn deterministically
+/// from the family's seed. The stream view is what makes the sequence's
+/// *incremental computation* property (Section 2.2, Property 4) natural:
+/// function H_i consumes the first w_i*z_i raw hashes of each record and
+/// H_{i+1} extends the same stream, so earlier work is never repeated.
+class HashFamily {
+ public:
+  virtual ~HashFamily() = default;
+
+  /// Computes raw hash values for function indices [begin, end) applied to
+  /// `record`, writing end-begin values into `out`. Implementations lazily
+  /// materialize per-index function parameters, so indices may grow without
+  /// bound.
+  virtual void HashRange(const Record& record, size_t begin, size_t end,
+                         uint64_t* out) = 0;
+
+  /// True when every raw hash value is a single bit (random hyperplanes).
+  /// Callers may then pack cached values.
+  virtual bool is_binary() const = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_LSH_HASH_FAMILY_H_

@@ -1,0 +1,30 @@
+#include "lsh/minhash.h"
+
+#include <limits>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+MinHashFamily::MinHashFamily(FieldId field, uint64_t seed)
+    : field_(field), seed_(seed) {}
+
+void MinHashFamily::HashRange(const Record& record, size_t begin, size_t end,
+                              uint64_t* out) {
+  ADALSH_CHECK_LE(begin, end);
+  const std::vector<uint64_t>& tokens = record.field(field_).tokens();
+  for (size_t j = begin; j < end; ++j) {
+    uint64_t function_seed = DeriveSeed(seed_, j);
+    uint64_t min_value = std::numeric_limits<uint64_t>::max();
+    for (uint64_t token : tokens) {
+      uint64_t value = SplitMix64(token ^ function_seed);
+      if (value < min_value) min_value = value;
+    }
+    // The empty set gets a sentinel that still compares equal across records,
+    // which is the right semantics: two empty sets have Jaccard distance 0.
+    out[j - begin] = min_value;
+  }
+}
+
+}  // namespace adalsh

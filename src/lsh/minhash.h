@@ -1,0 +1,33 @@
+#ifndef ADALSH_LSH_MINHASH_H_
+#define ADALSH_LSH_MINHASH_H_
+
+#include "lsh/hash_family.h"
+#include "record/record.h"
+
+namespace adalsh {
+
+/// The MinHash family for Jaccard distance (Broder et al., cited as [8]):
+/// hash function j applies a random permutation pi_j to the token universe
+/// and maps a set S to min(pi_j(S)). Two sets collide under a uniformly drawn
+/// function with probability equal to their Jaccard similarity, i.e.
+/// p(x) = 1 - x for Jaccard distance x.
+///
+/// The permutation is approximated by the strongly-mixing keyed hash
+/// t -> SplitMix64(t XOR seed_j), which is the standard practical choice.
+class MinHashFamily : public HashFamily {
+ public:
+  MinHashFamily(FieldId field, uint64_t seed);
+
+  void HashRange(const Record& record, size_t begin, size_t end,
+                 uint64_t* out) override;
+
+  bool is_binary() const override { return false; }
+
+ private:
+  FieldId field_;
+  uint64_t seed_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_LSH_MINHASH_H_

@@ -1,0 +1,43 @@
+#include "lsh/random_hyperplane.h"
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+RandomHyperplaneFamily::RandomHyperplaneFamily(FieldId field, size_t dim,
+                                               uint64_t seed)
+    : field_(field), dim_(dim), seed_(seed) {
+  ADALSH_CHECK_GT(dim, 0u);
+}
+
+void RandomHyperplaneFamily::EnsureMaterialized(size_t count) {
+  while (hyperplanes_.size() < count) {
+    // Each hyperplane gets its own derived seed so materialization order
+    // (and batching) cannot change the functions.
+    Rng rng(DeriveSeed(seed_, hyperplanes_.size()));
+    std::vector<float> normal(dim_);
+    for (float& component : normal) {
+      component = static_cast<float>(rng.NextGaussian());
+    }
+    hyperplanes_.push_back(std::move(normal));
+  }
+}
+
+void RandomHyperplaneFamily::HashRange(const Record& record, size_t begin,
+                                       size_t end, uint64_t* out) {
+  ADALSH_CHECK_LE(begin, end);
+  EnsureMaterialized(end);
+  const std::vector<float>& vec = record.field(field_).dense();
+  ADALSH_CHECK_EQ(vec.size(), dim_);
+  for (size_t j = begin; j < end; ++j) {
+    const std::vector<float>& normal = hyperplanes_[j];
+    double dot = 0.0;
+    for (size_t d = 0; d < dim_; ++d) {
+      dot += static_cast<double>(normal[d]) * vec[d];
+    }
+    out[j - begin] = dot >= 0.0 ? 1 : 0;
+  }
+}
+
+}  // namespace adalsh

@@ -1,0 +1,42 @@
+#ifndef ADALSH_LSH_RANDOM_HYPERPLANE_H_
+#define ADALSH_LSH_RANDOM_HYPERPLANE_H_
+
+#include <vector>
+
+#include "lsh/hash_family.h"
+#include "record/record.h"
+
+namespace adalsh {
+
+/// The random-hyperplane family for cosine distance (Examples 2 and 6): hash
+/// function j is a random hyperplane through the origin (a Gaussian normal
+/// vector); the hash value is which side of the hyperplane the record's
+/// vector lies on (0/1). For two records at normalized angle x, a uniformly
+/// drawn function collides with probability p(x) = 1 - x.
+class RandomHyperplaneFamily : public HashFamily {
+ public:
+  /// `field` selects the dense field hashed by this family; `dim` is its
+  /// dimensionality; `seed` determines the hyperplanes.
+  RandomHyperplaneFamily(FieldId field, size_t dim, uint64_t seed);
+
+  void HashRange(const Record& record, size_t begin, size_t end,
+                 uint64_t* out) override;
+
+  bool is_binary() const override { return true; }
+
+  /// Number of hyperplanes materialized so far (for tests).
+  size_t num_materialized() const { return hyperplanes_.size(); }
+
+ private:
+  void EnsureMaterialized(size_t count);
+
+  FieldId field_;
+  size_t dim_;
+  uint64_t seed_;
+  /// Hyperplane normals, row-major, each of length dim_.
+  std::vector<std::vector<float>> hyperplanes_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_LSH_RANDOM_HYPERPLANE_H_

@@ -1,0 +1,16 @@
+#include "lsh/scheme.h"
+
+#include <sstream>
+
+namespace adalsh {
+
+std::string WzScheme::ToString() const {
+  std::ostringstream out;
+  out << "(w=" << w << ",z=" << z;
+  if (w_rem > 0) out << ",rem=" << w_rem;
+  if (!constraint_met) out << ",unconstrained";
+  out << ")";
+  return out.str();
+}
+
+}  // namespace adalsh

@@ -1,0 +1,43 @@
+#ifndef ADALSH_LSH_SCHEME_H_
+#define ADALSH_LSH_SCHEME_H_
+
+#include <cstddef>
+#include <string>
+
+namespace adalsh {
+
+/// A (w, z)-scheme (Section 3 / Appendix A): z hash tables, each keyed by the
+/// concatenation of w hash values (AND-construction within a table,
+/// OR-construction across tables). Two records collide if they share a bucket
+/// in at least one table: probability 1 - (1 - p(x)^w)^z.
+///
+/// `w_rem` implements the paper's non-integer budget/w handling (Section
+/// 5.1): one extra partial table keyed by w_rem < w hash values, so the total
+/// number of hash functions is exactly w*z + w_rem = budget.
+struct WzScheme {
+  int w = 1;
+  int z = 0;
+  int w_rem = 0;
+
+  /// Whether the distance-threshold constraint (Eq. 3) was satisfiable for
+  /// this budget. When false the optimizer returned the most conservative
+  /// feasible scheme (smallest allowed w) and recall guarantees are weaker —
+  /// expected for the tiny budgets of the first functions in a sequence.
+  bool constraint_met = true;
+
+  /// Value of the optimization objective (Eq. 1) at the solution.
+  double objective = 0.0;
+
+  /// Total hash functions consumed: w*z + w_rem.
+  int budget() const { return w * z + w_rem; }
+
+  /// Number of tables including the partial one.
+  int num_tables() const { return z + (w_rem > 0 ? 1 : 0); }
+
+  /// e.g. "(w=30,z=70)" or "(w=30,z=69,rem=21)".
+  std::string ToString() const;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_LSH_SCHEME_H_

@@ -1,0 +1,83 @@
+#include "lsh/weighted_field_family.h"
+
+#include <cmath>
+
+#include "lsh/minhash.h"
+#include "lsh/random_hyperplane.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+
+WeightedFieldFamily::WeightedFieldFamily(
+    std::vector<std::unique_ptr<HashFamily>> families,
+    std::vector<double> weights, uint64_t seed)
+    : families_(std::move(families)), seed_(seed) {
+  ADALSH_CHECK(!families_.empty());
+  ADALSH_CHECK_EQ(families_.size(), weights.size());
+  double total = 0.0;
+  for (double w : weights) {
+    ADALSH_CHECK_GT(w, 0.0);
+    total += w;
+    cumulative_weights_.push_back(total);
+  }
+  ADALSH_CHECK(std::abs(total - 1.0) < 1e-9) << "weights must sum to 1";
+  cumulative_weights_.back() = 1.0;  // guard against rounding
+  all_binary_ = true;
+  for (const auto& family : families_) {
+    if (!family->is_binary()) all_binary_ = false;
+  }
+}
+
+size_t WeightedFieldFamily::FieldPickForIndex(size_t j) const {
+  // Deterministic uniform draw in [0,1) from the function index.
+  double u = static_cast<double>(DeriveSeed(seed_, j) >> 11) * 0x1.0p-53;
+  for (size_t i = 0; i < cumulative_weights_.size(); ++i) {
+    if (u < cumulative_weights_[i]) return i;
+  }
+  return cumulative_weights_.size() - 1;
+}
+
+void WeightedFieldFamily::HashRange(const Record& record, size_t begin,
+                                    size_t end, uint64_t* out) {
+  for (size_t j = begin; j < end; ++j) {
+    size_t pick = FieldPickForIndex(j);
+    // Delegate to the picked family's function with the same index; sibling
+    // families are independently seeded so index reuse is harmless.
+    families_[pick]->HashRange(record, j, j + 1, &out[j - begin]);
+    if (all_binary_) continue;
+    // Mix the field pick into non-binary values so that, in the astronomically
+    // unlikely event two fields' functions collide numerically, records still
+    // only match when the *same* field produced the value. (Binary values are
+    // compared per-position within a table key, where the pick is already
+    // fixed by the index, and must stay 0/1 for packing.)
+    out[j - begin] = SplitMix64(out[j - begin] ^ DeriveSeed(seed_, pick));
+  }
+}
+
+std::unique_ptr<HashFamily> MakeFamilyForFields(
+    const std::vector<FieldId>& fields, const std::vector<double>& weights,
+    const Record& prototype, uint64_t seed) {
+  ADALSH_CHECK(!fields.empty());
+  ADALSH_CHECK_EQ(fields.size(), weights.size());
+
+  auto make_single = [&](FieldId f, uint64_t s) -> std::unique_ptr<HashFamily> {
+    const Field& field = prototype.field(f);
+    if (field.is_dense()) {
+      return std::make_unique<RandomHyperplaneFamily>(f, field.size(), s);
+    }
+    return std::make_unique<MinHashFamily>(f, s);
+  };
+
+  if (fields.size() == 1) return make_single(fields[0], seed);
+
+  std::vector<std::unique_ptr<HashFamily>> families;
+  families.reserve(fields.size());
+  for (size_t i = 0; i < fields.size(); ++i) {
+    families.push_back(make_single(fields[i], DeriveSeed(seed, 1000 + i)));
+  }
+  return std::make_unique<WeightedFieldFamily>(std::move(families), weights,
+                                               DeriveSeed(seed, 999));
+}
+
+}  // namespace adalsh

@@ -1,0 +1,94 @@
+#include "record/dataset.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+GroundTruth::GroundTruth(std::vector<EntityId> entity_of)
+    : entity_of_(std::move(entity_of)) {
+  EntityId max_entity = 0;
+  for (EntityId e : entity_of_) max_entity = std::max(max_entity, e);
+  size_t num_entities = entity_of_.empty() ? 0 : max_entity + 1;
+
+  std::vector<std::vector<RecordId>> by_entity(num_entities);
+  for (RecordId r = 0; r < entity_of_.size(); ++r) {
+    by_entity[entity_of_[r]].push_back(r);
+  }
+  for (size_t e = 0; e < num_entities; ++e) {
+    ADALSH_CHECK(!by_entity[e].empty())
+        << "entity ids must be dense; entity " << e << " has no records";
+  }
+
+  // Order clusters by descending size, ties by entity id.
+  std::vector<EntityId> order(num_entities);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](EntityId a, EntityId b) {
+    return by_entity[a].size() > by_entity[b].size();
+  });
+
+  clusters_.reserve(num_entities);
+  rank_of_entity_.assign(num_entities, 0);
+  entity_rank_to_id_.reserve(num_entities);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    EntityId e = order[rank];
+    rank_of_entity_[e] = rank;
+    entity_rank_to_id_.push_back(e);
+    clusters_.push_back(std::move(by_entity[e]));
+  }
+}
+
+EntityId GroundTruth::entity_of(RecordId r) const {
+  ADALSH_CHECK_LT(r, entity_of_.size());
+  return entity_of_[r];
+}
+
+const std::vector<RecordId>& GroundTruth::cluster(size_t rank) const {
+  ADALSH_CHECK_LT(rank, clusters_.size());
+  return clusters_[rank];
+}
+
+std::vector<RecordId> GroundTruth::TopKRecords(size_t k) const {
+  std::vector<RecordId> result;
+  size_t limit = std::min(k, clusters_.size());
+  for (size_t i = 0; i < limit; ++i) {
+    result.insert(result.end(), clusters_[i].begin(), clusters_[i].end());
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+size_t GroundTruth::rank_of_entity(EntityId e) const {
+  ADALSH_CHECK_LT(e, rank_of_entity_.size());
+  return rank_of_entity_[e];
+}
+
+EntityId GroundTruth::entity_at_rank(size_t rank) const {
+  ADALSH_CHECK_LT(rank, entity_rank_to_id_.size());
+  return entity_rank_to_id_[rank];
+}
+
+RecordId Dataset::AddRecord(Record record, EntityId entity) {
+  records_.push_back(std::move(record));
+  entities_.push_back(entity);
+  return static_cast<RecordId>(records_.size() - 1);
+}
+
+const Record& Dataset::record(RecordId r) const {
+  ADALSH_CHECK_LT(r, records_.size());
+  return records_[r];
+}
+
+GroundTruth Dataset::BuildGroundTruth() const {
+  return GroundTruth(entities_);
+}
+
+std::vector<RecordId> Dataset::AllRecordIds() const {
+  std::vector<RecordId> ids(num_records());
+  std::iota(ids.begin(), ids.end(), 0);
+  return ids;
+}
+
+}  // namespace adalsh

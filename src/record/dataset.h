@@ -1,0 +1,94 @@
+#ifndef ADALSH_RECORD_DATASET_H_
+#define ADALSH_RECORD_DATASET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "record/record.h"
+
+namespace adalsh {
+
+/// Identifier of a ground-truth entity within a Dataset.
+using EntityId = uint32_t;
+
+/// The ground-truth clustering C* = {C*_1, ..., C*_|C*|} (Section 2.1):
+/// one cluster of record ids per entity, ordered by descending cluster size
+/// (ties broken by entity id for determinism), so cluster(0) is the top-1
+/// entity.
+class GroundTruth {
+ public:
+  /// Builds from a per-record entity assignment. `entity_of[r]` is the entity
+  /// of record r; entity ids must be dense [0, num_entities).
+  explicit GroundTruth(std::vector<EntityId> entity_of);
+
+  size_t num_records() const { return entity_of_.size(); }
+  size_t num_entities() const { return clusters_.size(); }
+
+  /// Entity of a record.
+  EntityId entity_of(RecordId r) const;
+
+  /// The i-th largest ground-truth cluster (0-based).
+  const std::vector<RecordId>& cluster(size_t rank) const;
+
+  /// All clusters, descending by size.
+  const std::vector<std::vector<RecordId>>& clusters() const {
+    return clusters_;
+  }
+
+  /// O* — union of records in the k largest clusters (Section 2.1),
+  /// as a sorted vector of record ids. k is clamped to num_entities().
+  std::vector<RecordId> TopKRecords(size_t k) const;
+
+  /// Rank (0-based, by descending size) of the cluster of entity `e`.
+  size_t rank_of_entity(EntityId e) const;
+
+  /// Entity whose cluster has the given rank (inverse of rank_of_entity).
+  EntityId entity_at_rank(size_t rank) const;
+
+ private:
+  std::vector<EntityId> entity_of_;
+  std::vector<std::vector<RecordId>> clusters_;  // descending by size
+  std::vector<size_t> rank_of_entity_;
+  std::vector<EntityId> entity_rank_to_id_;
+};
+
+/// A dataset: records plus ground truth and a human-readable name.
+/// Records are immutable once added; algorithms address them by RecordId.
+class Dataset {
+ public:
+  explicit Dataset(std::string name) : name_(std::move(name)) {}
+
+  Dataset(const Dataset&) = delete;
+  Dataset& operator=(const Dataset&) = delete;
+  Dataset(Dataset&&) = default;
+  Dataset& operator=(Dataset&&) = default;
+
+  /// Appends a record with its ground-truth entity; returns its RecordId.
+  RecordId AddRecord(Record record, EntityId entity);
+
+  size_t num_records() const { return records_.size(); }
+  const Record& record(RecordId r) const;
+  const std::string& name() const { return name_; }
+
+  /// Entity assignment as added (used to build GroundTruth and by the
+  /// dataset-extension procedure of Section 6.3).
+  const std::vector<EntityId>& entity_assignment() const { return entities_; }
+
+  /// Builds the ground-truth clustering over all records added so far.
+  GroundTruth BuildGroundTruth() const;
+
+  /// All record ids [0, num_records()), the filtering-stage input set R.
+  std::vector<RecordId> AllRecordIds() const;
+
+ private:
+  std::string name_;
+  std::vector<Record> records_;
+  std::vector<EntityId> entities_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_RECORD_DATASET_H_

@@ -1,0 +1,33 @@
+#include "record/field.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+Field Field::DenseVector(std::vector<float> values) {
+  return Field(Kind::kDenseVector, std::move(values), {});
+}
+
+Field Field::TokenSet(std::vector<uint64_t> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return Field(Kind::kTokenSet, {}, std::move(tokens));
+}
+
+const std::vector<float>& Field::dense() const {
+  ADALSH_CHECK(is_dense()) << "field is not a dense vector";
+  return dense_;
+}
+
+const std::vector<uint64_t>& Field::tokens() const {
+  ADALSH_CHECK(is_token_set()) << "field is not a token set";
+  return tokens_;
+}
+
+size_t Field::size() const {
+  return is_dense() ? dense_.size() : tokens_.size();
+}
+
+}  // namespace adalsh

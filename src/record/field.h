@@ -1,0 +1,54 @@
+#ifndef ADALSH_RECORD_FIELD_H_
+#define ADALSH_RECORD_FIELD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adalsh {
+
+/// A high-dimensional feature value for one record field.
+///
+/// The paper's records are feature vectors produced by an application-specific
+/// extraction step: RGB histograms for images (dense vectors compared under
+/// cosine distance) and shingle / spot-signature sets for text (token sets
+/// compared under Jaccard distance). Field is a tagged union of the two.
+class Field {
+ public:
+  enum class Kind { kDenseVector, kTokenSet };
+
+  /// A dense feature vector (e.g. an RGB histogram). Not required to be
+  /// normalized; cosine distance normalizes internally.
+  static Field DenseVector(std::vector<float> values);
+
+  /// A set of 64-bit token ids (e.g. hashed shingles). The input need not be
+  /// sorted or deduplicated; the constructor canonicalizes it so that Jaccard
+  /// computations can use linear merges.
+  static Field TokenSet(std::vector<uint64_t> tokens);
+
+  Kind kind() const { return kind_; }
+  bool is_dense() const { return kind_ == Kind::kDenseVector; }
+  bool is_token_set() const { return kind_ == Kind::kTokenSet; }
+
+  /// Dense payload; aborts if kind() != kDenseVector.
+  const std::vector<float>& dense() const;
+
+  /// Sorted, deduplicated token payload; aborts if kind() != kTokenSet.
+  const std::vector<uint64_t>& tokens() const;
+
+  /// Dimensionality: vector length or set cardinality.
+  size_t size() const;
+
+ private:
+  Field(Kind kind, std::vector<float> dense, std::vector<uint64_t> tokens)
+      : kind_(kind), dense_(std::move(dense)), tokens_(std::move(tokens)) {}
+
+  Kind kind_;
+  std::vector<float> dense_;
+  std::vector<uint64_t> tokens_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_RECORD_FIELD_H_

@@ -1,0 +1,12 @@
+#include "record/record.h"
+
+#include "util/check.h"
+
+namespace adalsh {
+
+const Field& Record::field(FieldId f) const {
+  ADALSH_CHECK_LT(f, fields_.size());
+  return fields_[f];
+}
+
+}  // namespace adalsh

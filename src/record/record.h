@@ -1,0 +1,38 @@
+#ifndef ADALSH_RECORD_RECORD_H_
+#define ADALSH_RECORD_RECORD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "record/field.h"
+
+namespace adalsh {
+
+/// Index of a record within its Dataset. RecordIds are dense [0, |R|).
+using RecordId = uint32_t;
+
+/// Index of a field within a record's schema.
+using FieldId = uint32_t;
+
+/// One record: an ordered list of fields matching the dataset schema, plus an
+/// optional display label for examples and debugging output.
+class Record {
+ public:
+  explicit Record(std::vector<Field> fields, std::string label = "")
+      : fields_(std::move(fields)), label_(std::move(label)) {}
+
+  const Field& field(FieldId f) const;
+  size_t num_fields() const { return fields_.size(); }
+  const std::string& label() const { return label_; }
+
+ private:
+  std::vector<Field> fields_;
+  std::string label_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_RECORD_RECORD_H_

@@ -1,0 +1,39 @@
+#include "text/shingle.h"
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace adalsh {
+
+std::vector<uint64_t> WordShingles(const std::string& text, int n) {
+  ADALSH_CHECK_GE(n, 1);
+  std::vector<std::string> tokens = Tokenize(text);
+  std::vector<uint64_t> shingles;
+  if (tokens.empty()) return shingles;
+  if (tokens.size() < static_cast<size_t>(n)) {
+    shingles.push_back(HashTokenSequence(tokens, 0, tokens.size()));
+    return shingles;
+  }
+  shingles.reserve(tokens.size() - n + 1);
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    shingles.push_back(HashTokenSequence(tokens, i, i + n));
+  }
+  return shingles;
+}
+
+std::vector<uint64_t> CharShingles(const std::string& text, int k) {
+  ADALSH_CHECK_GE(k, 1);
+  std::vector<uint64_t> shingles;
+  if (text.empty()) return shingles;
+  if (text.size() < static_cast<size_t>(k)) {
+    shingles.push_back(HashToken(text));
+    return shingles;
+  }
+  shingles.reserve(text.size() - k + 1);
+  for (size_t i = 0; i + k <= text.size(); ++i) {
+    shingles.push_back(HashToken(text.substr(i, k)));
+  }
+  return shingles;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,26 @@
+#ifndef ADALSH_TEXT_SHINGLE_H_
+#define ADALSH_TEXT_SHINGLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adalsh {
+
+/// Shingling turns a document into a set of hashed n-grams so that set
+/// similarity (Jaccard) approximates textual similarity (Broder et al.'s
+/// syntactic clustering, cited by the paper as the basis of its Cora
+/// features: "we create three sets of shingles for each record").
+
+/// Hashed word n-grams of `text` (tokenized with Tokenize). A document
+/// shorter than `n` tokens yields a single shingle covering all its tokens,
+/// so no non-empty document maps to the empty set.
+std::vector<uint64_t> WordShingles(const std::string& text, int n);
+
+/// Hashed overlapping character k-grams of `text` (no tokenization; useful
+/// for short fields like author lists where word shingles are too coarse).
+std::vector<uint64_t> CharShingles(const std::string& text, int k);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_TEXT_SHINGLE_H_

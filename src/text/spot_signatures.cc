@@ -1,0 +1,59 @@
+#include "text/spot_signatures.h"
+
+#include "text/tokenizer.h"
+#include "util/check.h"
+
+namespace adalsh {
+
+std::unordered_set<std::string> SpotSigConfig::DefaultAntecedents() {
+  return {"a",  "an",  "the",  "is",  "are", "was",  "were", "do",
+          "did", "to",  "be",   "of",  "and", "that", "have", "it",
+          "in",  "for", "with", "on",  "as",  "at",   "by",   "this"};
+}
+
+std::vector<uint64_t> SpotSignatures(const std::string& text,
+                                     const SpotSigConfig& config) {
+  ADALSH_CHECK_GE(config.chain_length, 1);
+  ADALSH_CHECK_GE(config.spot_distance, 1);
+  std::vector<std::string> tokens = Tokenize(text);
+
+  // Precompute, for every position, whether the token is an antecedent, and
+  // the list of non-antecedent token indices (chains skip antecedents).
+  std::vector<bool> is_antecedent(tokens.size());
+  std::vector<size_t> content_positions;  // indices of non-antecedent tokens
+  std::vector<size_t> next_content_rank(tokens.size() + 1, 0);
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    is_antecedent[i] = config.antecedents.count(tokens[i]) > 0;
+    if (!is_antecedent[i]) content_positions.push_back(i);
+  }
+  // next_content_rank[i]: number of content tokens strictly before i — lets
+  // us find the first content token at or after a given position in O(1).
+  size_t rank = 0;
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    next_content_rank[i] = rank;
+    if (i < tokens.size() && !is_antecedent[i]) ++rank;
+  }
+
+  std::vector<uint64_t> signatures;
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    if (!is_antecedent[i]) continue;
+    // Chain starts at the first content token after position i, then steps by
+    // spot_distance through the content-token list.
+    size_t start_rank = next_content_rank[i + 1];
+    size_t last_rank =
+        start_rank + static_cast<size_t>(config.spot_distance) *
+                         (static_cast<size_t>(config.chain_length) - 1);
+    if (last_rank >= content_positions.size()) continue;
+    std::vector<std::string> chain;
+    chain.reserve(static_cast<size_t>(config.chain_length) + 1);
+    chain.push_back(tokens[i]);  // the antecedent anchors the signature
+    for (int c = 0; c < config.chain_length; ++c) {
+      size_t r = start_rank + static_cast<size_t>(config.spot_distance) * c;
+      chain.push_back(tokens[content_positions[r]]);
+    }
+    signatures.push_back(HashTokenSequence(chain, 0, chain.size()));
+  }
+  return signatures;
+}
+
+}  // namespace adalsh

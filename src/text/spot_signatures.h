@@ -1,0 +1,42 @@
+#ifndef ADALSH_TEXT_SPOT_SIGNATURES_H_
+#define ADALSH_TEXT_SPOT_SIGNATURES_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace adalsh {
+
+/// Configuration for spot-signature extraction (Theobald et al., SIGIR'08 —
+/// the feature extraction the paper's SpotSigs dataset uses: "the main body
+/// of each article is transformed to a set of spot signatures").
+///
+/// A spot signature anchors at an occurrence of an *antecedent* (a frequent
+/// stop word) and chains the next `chain_length` non-antecedent tokens,
+/// skipping `spot_distance - 1` non-antecedent tokens between consecutive
+/// chain elements.
+struct SpotSigConfig {
+  /// Antecedent stop words. Defaults to the common English function words
+  /// used in the SpotSigs paper's experiments.
+  std::unordered_set<std::string> antecedents = DefaultAntecedents();
+
+  /// Number of tokens chained after the antecedent.
+  int chain_length = 3;
+
+  /// Step between chained tokens (1 = consecutive non-antecedent tokens).
+  int spot_distance = 1;
+
+  static std::unordered_set<std::string> DefaultAntecedents();
+};
+
+/// Extracts the set of hashed spot signatures of `text`. Documents produce
+/// one signature per antecedent occurrence that has enough following tokens;
+/// the result is a multiset reduced to a set by the Field::TokenSet
+/// canonicalization downstream.
+std::vector<uint64_t> SpotSignatures(const std::string& text,
+                                     const SpotSigConfig& config);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_TEXT_SPOT_SIGNATURES_H_

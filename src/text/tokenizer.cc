@@ -1,0 +1,53 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t FnvStep(uint64_t state, unsigned char byte) {
+  return (state ^ byte) * kFnvPrime;
+}
+
+}  // namespace
+
+std::vector<std::string> Tokenize(const std::string& text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (char c : text) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      current.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+uint64_t HashToken(const std::string& token) {
+  uint64_t state = kFnvOffset;
+  for (char c : token) state = FnvStep(state, static_cast<unsigned char>(c));
+  return state;
+}
+
+uint64_t HashTokenSequence(const std::vector<std::string>& tokens,
+                           size_t begin, size_t end) {
+  ADALSH_CHECK_LE(begin, end);
+  ADALSH_CHECK_LE(end, tokens.size());
+  uint64_t state = kFnvOffset;
+  for (size_t i = begin; i < end; ++i) {
+    for (char c : tokens[i]) state = FnvStep(state, static_cast<unsigned char>(c));
+    state = FnvStep(state, 0x1f);  // token separator
+  }
+  return state;
+}
+
+}  // namespace adalsh

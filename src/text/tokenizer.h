@@ -1,0 +1,26 @@
+#ifndef ADALSH_TEXT_TOKENIZER_H_
+#define ADALSH_TEXT_TOKENIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adalsh {
+
+/// Splits `text` into lowercase word tokens: maximal runs of alphanumeric
+/// characters; everything else is a separator. "Verroios, H. 2017" ->
+/// ["verroios", "h", "2017"].
+std::vector<std::string> Tokenize(const std::string& text);
+
+/// Stable 64-bit FNV-1a hash of a string. All text features (shingles, spot
+/// signatures) are reduced to token ids with this hash so that Jaccard
+/// computations operate on integers.
+uint64_t HashToken(const std::string& token);
+
+/// Hash of a token sequence (order-sensitive), used for n-gram features.
+uint64_t HashTokenSequence(const std::vector<std::string>& tokens,
+                           size_t begin, size_t end);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_TEXT_TOKENIZER_H_

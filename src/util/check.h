@@ -1,0 +1,61 @@
+#ifndef ADALSH_UTIL_CHECK_H_
+#define ADALSH_UTIL_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+namespace adalsh {
+namespace internal_check {
+
+/// Aborts the process after printing `message` with source location context.
+/// Used by the ADALSH_CHECK family; never returns.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr,
+                              const std::string& message);
+
+/// Stream-style message collector so call sites can write
+/// `ADALSH_CHECK(x) << "context " << v;`.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  CheckMessageBuilder(const CheckMessageBuilder&) = delete;
+  CheckMessageBuilder& operator=(const CheckMessageBuilder&) = delete;
+
+  [[noreturn]] ~CheckMessageBuilder() {
+    CheckFailed(file_, line_, expr_, stream_.str());
+  }
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_check
+}  // namespace adalsh
+
+/// Fatal assertion for invariants and programmer errors. Enabled in all build
+/// modes: the library's correctness arguments (e.g. tree invariants in the
+/// parent-pointer forest) rely on these firing in release benchmarks too.
+#define ADALSH_CHECK(condition)                                       \
+  if (condition) {                                                    \
+  } else /* NOLINT */                                                 \
+    ::adalsh::internal_check::CheckMessageBuilder(__FILE__, __LINE__, \
+                                                  #condition)
+
+#define ADALSH_CHECK_EQ(a, b) ADALSH_CHECK((a) == (b))
+#define ADALSH_CHECK_NE(a, b) ADALSH_CHECK((a) != (b))
+#define ADALSH_CHECK_LT(a, b) ADALSH_CHECK((a) < (b))
+#define ADALSH_CHECK_LE(a, b) ADALSH_CHECK((a) <= (b))
+#define ADALSH_CHECK_GT(a, b) ADALSH_CHECK((a) > (b))
+#define ADALSH_CHECK_GE(a, b) ADALSH_CHECK((a) >= (b))
+
+#endif  // ADALSH_UTIL_CHECK_H_

@@ -1,0 +1,122 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string current;
+  std::istringstream in(s);
+  while (std::getline(in, current, ',')) parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+Flags::Flags(int argc, char** argv) {
+  if (argc > 0) program_name_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    ADALSH_CHECK(StartsWith(arg, "--"))
+        << "unexpected positional argument '" << arg << "'";
+    arg = arg.substr(2);
+    size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && !StartsWith(argv[i + 1], "--")) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+const std::string* Flags::Find(const std::string& name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return nullptr;
+  used_[name] = true;
+  return &it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t default_value) {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) return default_value;
+  char* end = nullptr;
+  int64_t value = std::strtoll(raw->c_str(), &end, 10);
+  ADALSH_CHECK(end != nullptr && *end == '\0' && !raw->empty())
+      << "--" << name << "=" << *raw << " is not an integer";
+  return value;
+}
+
+double Flags::GetDouble(const std::string& name, double default_value) {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) return default_value;
+  char* end = nullptr;
+  double value = std::strtod(raw->c_str(), &end);
+  ADALSH_CHECK(end != nullptr && *end == '\0' && !raw->empty())
+      << "--" << name << "=" << *raw << " is not a number";
+  return value;
+}
+
+bool Flags::GetBool(const std::string& name, bool default_value) {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) return default_value;
+  if (*raw == "true" || *raw == "1") return true;
+  if (*raw == "false" || *raw == "0") return false;
+  ADALSH_CHECK(false) << "--" << name << "=" << *raw << " is not a boolean";
+  return default_value;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& default_value) {
+  const std::string* raw = Find(name);
+  return raw == nullptr ? default_value : *raw;
+}
+
+std::vector<int64_t> Flags::GetIntList(
+    const std::string& name, const std::vector<int64_t>& default_value) {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) return default_value;
+  std::vector<int64_t> result;
+  for (const std::string& part : SplitCommas(*raw)) {
+    char* end = nullptr;
+    result.push_back(std::strtoll(part.c_str(), &end, 10));
+    ADALSH_CHECK(end != nullptr && *end == '\0' && !part.empty())
+        << "--" << name << ": '" << part << "' is not an integer";
+  }
+  return result;
+}
+
+std::vector<double> Flags::GetDoubleList(
+    const std::string& name, const std::vector<double>& default_value) {
+  const std::string* raw = Find(name);
+  if (raw == nullptr) return default_value;
+  std::vector<double> result;
+  for (const std::string& part : SplitCommas(*raw)) {
+    char* end = nullptr;
+    result.push_back(std::strtod(part.c_str(), &end));
+    ADALSH_CHECK(end != nullptr && *end == '\0' && !part.empty())
+        << "--" << name << ": '" << part << "' is not a number";
+  }
+  return result;
+}
+
+void Flags::CheckNoUnusedFlags() const {
+  for (const auto& [name, value] : values_) {
+    auto it = used_.find(name);
+    ADALSH_CHECK(it != used_.end() && it->second)
+        << program_name_ << ": unknown flag --" << name;
+  }
+}
+
+}  // namespace adalsh

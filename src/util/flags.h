@@ -1,0 +1,49 @@
+#ifndef ADALSH_UTIL_FLAGS_H_
+#define ADALSH_UTIL_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace adalsh {
+
+/// Minimal `--key=value` / `--key value` command-line parser for the bench
+/// and example binaries. Not a general flags library: every binary declares
+/// the flags it reads through the typed getters, and unknown flags abort with
+/// a clear message so sweep scripts fail loudly on typos.
+class Flags {
+ public:
+  /// Parses argv. Recognized forms: `--name=value`, `--name value`, and bare
+  /// `--name` (boolean true). Aborts on malformed arguments.
+  Flags(int argc, char** argv);
+
+  /// Typed getters with defaults. Abort if the value does not parse.
+  int64_t GetInt(const std::string& name, int64_t default_value);
+  double GetDouble(const std::string& name, double default_value);
+  bool GetBool(const std::string& name, bool default_value);
+  std::string GetString(const std::string& name,
+                        const std::string& default_value);
+
+  /// Comma-separated integer list (e.g. `--ks=2,5,10,20`).
+  std::vector<int64_t> GetIntList(const std::string& name,
+                                  const std::vector<int64_t>& default_value);
+  /// Comma-separated double list (e.g. `--thresholds=0.3,0.4,0.5`).
+  std::vector<double> GetDoubleList(const std::string& name,
+                                    const std::vector<double>& default_value);
+
+  /// Aborts if any parsed flag was never read by a getter. Call after all
+  /// getters to catch misspelled flags.
+  void CheckNoUnusedFlags() const;
+
+ private:
+  const std::string* Find(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> used_;
+  std::string program_name_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_UTIL_FLAGS_H_

@@ -1,0 +1,49 @@
+#include "util/numeric.h"
+
+#include "util/check.h"
+
+namespace adalsh {
+
+double SimpsonIntegrate(const std::function<double(double)>& f, double a,
+                        double b, int intervals) {
+  ADALSH_CHECK_GT(intervals, 0);
+  int n = intervals + (intervals % 2);  // Simpson needs an even count.
+  double h = (b - a) / n;
+  double sum = f(a) + f(b);
+  for (int i = 1; i < n; ++i) {
+    double x = a + h * i;
+    sum += f(x) * ((i % 2 == 1) ? 4.0 : 2.0);
+  }
+  return sum * h / 3.0;
+}
+
+double SimpsonIntegrate2D(const std::function<double(double, double)>& f,
+                          double ax, double bx, double ay, double by,
+                          int intervals) {
+  return SimpsonIntegrate(
+      [&](double y) {
+        return SimpsonIntegrate([&](double x) { return f(x, y); }, ax, bx,
+                                intervals);
+      },
+      ay, by, intervals);
+}
+
+double PowInt(double base, uint64_t exp) {
+  double result = 1.0;
+  double factor = base;
+  while (exp != 0) {
+    if (exp & 1) result *= factor;
+    factor *= factor;
+    exp >>= 1;
+  }
+  return result;
+}
+
+uint64_t PairCount(uint64_t n) { return n < 2 ? 0 : n * (n - 1) / 2; }
+
+int FloorLog2(uint64_t x) {
+  ADALSH_CHECK_GE(x, 1u);
+  return 63 - __builtin_clzll(x);
+}
+
+}  // namespace adalsh

@@ -1,0 +1,38 @@
+#ifndef ADALSH_UTIL_NUMERIC_H_
+#define ADALSH_UTIL_NUMERIC_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace adalsh {
+
+/// Numerical-integration helpers for the (w,z)-scheme optimization programs
+/// of Section 5.1 and Appendix C: the objective functions are integrals of
+/// smooth collision-probability curves over [0,1] (or [0,1]^2), evaluated by
+/// composite Simpson rules.
+
+/// Integrates `f` over [a, b] with composite Simpson using `intervals`
+/// subintervals (rounded up to an even count).
+double SimpsonIntegrate(const std::function<double(double)>& f, double a,
+                        double b, int intervals);
+
+/// Integrates `f(x, y)` over [ax, bx] x [ay, by] with a tensor-product
+/// Simpson rule using `intervals` subintervals per axis.
+double SimpsonIntegrate2D(const std::function<double(double, double)>& f,
+                          double ax, double bx, double ay, double by,
+                          int intervals);
+
+/// pow(base, exp) for non-negative integer exponents by repeated squaring;
+/// the optimizer evaluates p(x)^w for w up to several thousand and this is
+/// both faster and more deterministic across libm versions than std::pow.
+double PowInt(double base, uint64_t exp);
+
+/// Number of unordered pairs in a set of n elements: n*(n-1)/2.
+uint64_t PairCount(uint64_t n);
+
+/// floor(log2(x)) for x >= 1.
+int FloorLog2(uint64_t x);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_UTIL_NUMERIC_H_

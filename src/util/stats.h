@@ -1,0 +1,44 @@
+#ifndef ADALSH_UTIL_STATS_H_
+#define ADALSH_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace adalsh {
+
+/// Streaming mean/variance accumulator (Welford). Used by the cost-model
+/// calibration and the experiment harness's repeated-trial reporting.
+class RunningStats {
+ public:
+  RunningStats() = default;
+
+  void Add(double value);
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `values`; 0 for an empty vector.
+double Mean(const std::vector<double>& values);
+
+/// Median of `values` (average of middle two for even sizes); 0 when empty.
+double Median(std::vector<double> values);
+
+/// p-th percentile (0..100) by linear interpolation; 0 when empty.
+double Percentile(std::vector<double> values, double p);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_UTIL_STATS_H_

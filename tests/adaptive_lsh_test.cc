@@ -1,0 +1,209 @@
+#include "core/adaptive_lsh.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+AdaptiveLshConfig SmallConfig() {
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 640;
+  config.calibration_samples = 30;
+  config.seed = 3;
+  return config;
+}
+
+TEST(AdaptiveLshTest, FindsTopKClusters) {
+  GeneratedDataset generated =
+      test::MakePlantedDataset({30, 20, 10, 5, 2, 1, 1, 1}, 7);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, SmallConfig());
+  FilterOutput output = adalsh.Run(3);
+  ASSERT_EQ(output.clusters.clusters.size(), 3u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 30u);
+  EXPECT_EQ(output.clusters.clusters[1].size(), 20u);
+  EXPECT_EQ(output.clusters.clusters[2].size(), 10u);
+  // The records are the right ones, not just the right counts.
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(output.clusters.UnionOfTopClusters(3), truth.TopKRecords(3));
+}
+
+TEST(AdaptiveLshTest, StatsAreConsistent) {
+  GeneratedDataset generated = test::MakePlantedDataset({20, 10, 5, 1, 1}, 9);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, SmallConfig());
+  FilterOutput output = adalsh.Run(2);
+  const FilterStats& stats = output.stats;
+  EXPECT_GT(stats.rounds, 0u);
+  EXPECT_GT(stats.hashes_computed, 0u);
+  // Every record is accounted to exactly one last function (or P).
+  size_t accounted = stats.records_finished_by_pairwise;
+  for (size_t n : stats.records_last_hashed_at) accounted += n;
+  EXPECT_EQ(accounted, generated.dataset.num_records());
+  EXPECT_GT(stats.modeled_cost, 0.0);
+  EXPECT_GE(stats.filtering_seconds, 0.0);
+}
+
+TEST(AdaptiveLshTest, MostRecordsStopEarly) {
+  // The paper's central claim: the vast majority of records only see the
+  // first functions of the sequence.
+  std::vector<size_t> sizes = {25, 15};
+  for (int i = 0; i < 150; ++i) sizes.push_back(1);  // sparse background
+  GeneratedDataset generated = test::MakePlantedDataset(sizes, 11);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, SmallConfig());
+  FilterOutput output = adalsh.Run(2);
+  // Records stopping at H_1 or H_2 (or jumping to P as singletons after
+  // H_1) dominate: fewer than half the records reach deep functions.
+  size_t deep = 0;
+  for (size_t i = 2; i < output.stats.records_last_hashed_at.size(); ++i) {
+    deep += output.stats.records_last_hashed_at[i];
+  }
+  EXPECT_LT(deep, generated.dataset.num_records() / 4);
+}
+
+TEST(AdaptiveLshTest, BkLargerThanKReturnsMoreClusters) {
+  GeneratedDataset generated =
+      test::MakePlantedDataset({10, 8, 6, 4, 2, 1}, 13);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, SmallConfig());
+  FilterOutput bk_output = adalsh.Run(5);
+  EXPECT_EQ(bk_output.clusters.clusters.size(), 5u);
+  EXPECT_GE(bk_output.clusters.TotalRecords(),
+            adalsh.Run(2).clusters.TotalRecords());
+}
+
+TEST(AdaptiveLshTest, KLargerThanClusterCount) {
+  GeneratedDataset generated = test::MakePlantedDataset({4, 2}, 15);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, SmallConfig());
+  FilterOutput output = adalsh.Run(10);
+  // Only two clusters exist.
+  EXPECT_EQ(output.clusters.clusters.size(), 2u);
+}
+
+TEST(AdaptiveLshTest, IncrementalModeEmitsRanksInOrder) {
+  GeneratedDataset generated =
+      test::MakePlantedDataset({12, 9, 6, 3, 1}, 17);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, SmallConfig());
+  std::vector<size_t> ranks;
+  std::vector<size_t> sizes;
+  FilterOutput output =
+      adalsh.Run(3, [&](size_t rank, const std::vector<RecordId>& records) {
+        ranks.push_back(rank);
+        sizes.push_back(records.size());
+      });
+  ASSERT_EQ(ranks.size(), 3u);
+  EXPECT_EQ(ranks, (std::vector<size_t>{0, 1, 2}));
+  // Theorem 2: clusters are emitted largest-first.
+  EXPECT_TRUE(std::is_sorted(sizes.rbegin(), sizes.rend()));
+  // Incremental output matches the batch result.
+  EXPECT_EQ(sizes[0], output.clusters.clusters[0].size());
+}
+
+TEST(AdaptiveLshTest, DeterministicAcrossRuns) {
+  GeneratedDataset generated = test::MakePlantedDataset({15, 10, 5, 1}, 19);
+  AdaptiveLshConfig config = SmallConfig();
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput a = adalsh.Run(2);
+  FilterOutput b = adalsh.Run(2);
+  ASSERT_EQ(a.clusters.clusters.size(), b.clusters.clusters.size());
+  for (size_t i = 0; i < a.clusters.clusters.size(); ++i) {
+    EXPECT_EQ(test::SortedCluster(a.clusters.clusters[i]),
+              test::SortedCluster(b.clusters.clusters[i]));
+  }
+}
+
+TEST(AdaptiveLshTest, AllSelectionStrategiesAgreeOnOutput) {
+  // Theorem 1's family: any selection order terminates with the same top-k
+  // (only the cost differs). The output sets must coincide.
+  GeneratedDataset generated =
+      test::MakePlantedDataset({14, 9, 5, 2, 1, 1}, 23);
+  std::vector<RecordId> reference;
+  for (SelectionStrategy strategy :
+       {SelectionStrategy::kLargestFirst, SelectionStrategy::kSmallestFirst,
+        SelectionStrategy::kFifo, SelectionStrategy::kRandom}) {
+    AdaptiveLshConfig config = SmallConfig();
+    config.selection = strategy;
+    AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+    FilterOutput output = adalsh.Run(3);
+    std::vector<RecordId> records = output.clusters.UnionOfTopClusters(3);
+    if (reference.empty()) {
+      reference = records;
+    } else {
+      EXPECT_EQ(records, reference)
+          << "strategy " << static_cast<int>(strategy);
+    }
+  }
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(reference, truth.TopKRecords(3));
+}
+
+TEST(AdaptiveLshTest, LargestFirstDoesLeastWork) {
+  // Theorem 1 empirically: Largest-First's modeled cost is minimal among
+  // the selection strategies (up to the shared H_1 pass).
+  std::vector<size_t> sizes = {30, 20, 10};
+  for (int i = 0; i < 80; ++i) sizes.push_back(1);
+  GeneratedDataset generated = test::MakePlantedDataset(sizes, 29);
+  auto run_cost = [&](SelectionStrategy strategy) {
+    AdaptiveLshConfig config = SmallConfig();
+    config.selection = strategy;
+    AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+    FilterOutput output = adalsh.Run(2);
+    return output.stats.hashes_computed +
+           output.stats.pairwise_similarities;
+  };
+  uint64_t largest = run_cost(SelectionStrategy::kLargestFirst);
+  EXPECT_LE(largest, run_cost(SelectionStrategy::kSmallestFirst));
+  EXPECT_LE(largest, run_cost(SelectionStrategy::kFifo));
+}
+
+TEST(AdaptiveLshTest, IncrementalReuseAblationSameAnswerMoreHashes) {
+  GeneratedDataset generated = test::MakePlantedDataset({12, 8, 4, 1, 1}, 31);
+  AdaptiveLshConfig config = SmallConfig();
+  // Over-estimate P's cost so clusters climb the hashing sequence (the
+  // ablation only differs when H_{i+1} applications happen).
+  config.pairwise_noise_factor = 50.0;
+  AdaptiveLsh with_reuse(generated.dataset, generated.rule, config);
+  config.ablate_incremental_reuse = true;
+  AdaptiveLsh without_reuse(generated.dataset, generated.rule, config);
+  FilterOutput reuse = with_reuse.Run(2);
+  FilterOutput no_reuse = without_reuse.Run(2);
+  EXPECT_EQ(reuse.clusters.UnionOfTopClusters(2),
+            no_reuse.clusters.UnionOfTopClusters(2));
+  EXPECT_GT(no_reuse.stats.hashes_computed, reuse.stats.hashes_computed);
+}
+
+TEST(AdaptiveLshTest, SampledPurityJumpModelSameAnswer) {
+  GeneratedDataset generated =
+      test::MakePlantedDataset({40, 15, 6, 1, 1}, 37);
+  AdaptiveLshConfig config = SmallConfig();
+  AdaptiveLsh conservative(generated.dataset, generated.rule, config);
+  config.jump_model = JumpModel::kSampledPurity;
+  AdaptiveLsh sampled(generated.dataset, generated.rule, config);
+  FilterOutput a = conservative.Run(2);
+  FilterOutput b = sampled.Run(2);
+  EXPECT_EQ(a.clusters.UnionOfTopClusters(2), b.clusters.UnionOfTopClusters(2));
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(b.clusters.UnionOfTopClusters(2), truth.TopKRecords(2));
+  // The pure 40-record top cluster resolves by P earlier under sampling, so
+  // the sampled variant never hashes more.
+  EXPECT_LE(b.stats.hashes_computed, a.stats.hashes_computed);
+}
+
+TEST(AdaptiveLshTest, NoiseFactorStillCorrect) {
+  // Fig. 21's robustness claim: noisy cost models change the execution
+  // schedule, not the answer.
+  GeneratedDataset generated = test::MakePlantedDataset({12, 8, 4, 1, 1}, 21);
+  for (double nf : {0.2, 0.5, 2.0, 5.0}) {
+    AdaptiveLshConfig config = SmallConfig();
+    config.pairwise_noise_factor = nf;
+    AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+    FilterOutput output = adalsh.Run(2);
+    ASSERT_EQ(output.clusters.clusters.size(), 2u) << "nf " << nf;
+    EXPECT_EQ(output.clusters.clusters[0].size(), 12u) << "nf " << nf;
+    EXPECT_EQ(output.clusters.clusters[1].size(), 8u) << "nf " << nf;
+  }
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,78 @@
+#include "clustering/bin_index.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(BinIndexTest, EmptyBehaviour) {
+  BinIndex bins(100);
+  EXPECT_TRUE(bins.empty());
+  EXPECT_EQ(bins.size(), 0u);
+  EXPECT_EQ(bins.LargestCount(), 0u);
+}
+
+TEST(BinIndexTest, PopLargestOrder) {
+  BinIndex bins(100);
+  bins.Insert(/*root=*/1, /*leaf_count=*/5);
+  bins.Insert(2, 50);
+  bins.Insert(3, 1);
+  bins.Insert(4, 12);
+  EXPECT_EQ(bins.LargestCount(), 50u);
+  EXPECT_EQ(bins.PopLargest(), 2);
+  EXPECT_EQ(bins.PopLargest(), 4);
+  EXPECT_EQ(bins.PopLargest(), 1);
+  EXPECT_EQ(bins.PopLargest(), 3);
+  EXPECT_TRUE(bins.empty());
+}
+
+TEST(BinIndexTest, LargestWithinSameBin) {
+  // 9, 12, 15 all live in bin floor(log2)=3; the max must win.
+  BinIndex bins(100);
+  bins.Insert(1, 9);
+  bins.Insert(2, 15);
+  bins.Insert(3, 12);
+  EXPECT_EQ(bins.PopLargest(), 2);
+  EXPECT_EQ(bins.PopLargest(), 3);
+  EXPECT_EQ(bins.PopLargest(), 1);
+}
+
+TEST(BinIndexTest, InterleavedInsertPop) {
+  BinIndex bins(1000);
+  bins.Insert(1, 600);
+  EXPECT_EQ(bins.PopLargest(), 1);
+  bins.Insert(2, 4);
+  bins.Insert(3, 300);  // smaller clusters inserted after a big pop
+  EXPECT_EQ(bins.PopLargest(), 3);
+  bins.Insert(4, 2);
+  EXPECT_EQ(bins.PopLargest(), 2);
+  EXPECT_EQ(bins.PopLargest(), 4);
+}
+
+TEST(BinIndexTest, SizeTracksOperations) {
+  BinIndex bins(64);
+  for (uint32_t c = 1; c <= 10; ++c) bins.Insert(static_cast<NodeId>(c), c);
+  EXPECT_EQ(bins.size(), 10u);
+  bins.PopLargest();
+  bins.PopLargest();
+  EXPECT_EQ(bins.size(), 8u);
+}
+
+TEST(BinIndexTest, SingletonCapacity) {
+  BinIndex bins(1);
+  bins.Insert(1, 1);
+  EXPECT_EQ(bins.PopLargest(), 1);
+}
+
+TEST(BinIndexDeathTest, PopEmptyAborts) {
+  BinIndex bins(10);
+  EXPECT_DEATH(bins.PopLargest(), "empty");
+}
+
+TEST(BinIndexDeathTest, OverCapacityAborts) {
+  BinIndex bins(8);  // bins up to floor(log2(8)) = 3
+  EXPECT_DEATH(bins.Insert(1, 16), "capacity");
+}
+
+}  // namespace
+}  // namespace adalsh

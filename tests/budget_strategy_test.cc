@@ -1,0 +1,63 @@
+#include "core/budget_strategy.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(BudgetStrategyTest, ExponentialDefaults) {
+  BudgetStrategy expo = BudgetStrategy::Exponential();
+  // The paper's default: 20, 40, 80, ...
+  EXPECT_EQ(expo.BudgetAt(0), 20);
+  EXPECT_EQ(expo.BudgetAt(1), 40);
+  EXPECT_EQ(expo.BudgetAt(2), 80);
+  EXPECT_EQ(expo.BudgetAt(5), 640);
+}
+
+TEST(BudgetStrategyTest, ExponentialCustomMultiplier) {
+  BudgetStrategy expo = BudgetStrategy::Exponential(10, 3.0);
+  EXPECT_EQ(expo.BudgetAt(0), 10);
+  EXPECT_EQ(expo.BudgetAt(1), 30);
+  EXPECT_EQ(expo.BudgetAt(2), 90);
+}
+
+TEST(BudgetStrategyTest, LinearSchedule) {
+  BudgetStrategy linear = BudgetStrategy::Linear(320);
+  EXPECT_EQ(linear.BudgetAt(0), 320);
+  EXPECT_EQ(linear.BudgetAt(1), 640);
+  EXPECT_EQ(linear.BudgetAt(2), 960);
+}
+
+TEST(BudgetStrategyTest, SequenceBudgetsClampToMax) {
+  BudgetStrategy expo = BudgetStrategy::Exponential();
+  std::vector<int> budgets = expo.SequenceBudgets(5120);
+  ASSERT_EQ(budgets.size(), 9u);  // 20..2560 then 5120
+  EXPECT_EQ(budgets.front(), 20);
+  EXPECT_EQ(budgets.back(), 5120);
+  for (size_t i = 1; i < budgets.size(); ++i) {
+    EXPECT_GT(budgets[i], budgets[i - 1]);
+  }
+}
+
+TEST(BudgetStrategyTest, SequenceWithNonAlignedMax) {
+  BudgetStrategy expo = BudgetStrategy::Exponential();
+  std::vector<int> budgets = expo.SequenceBudgets(1000);
+  // 20, 40, ..., 640, then clamp 1280 -> 1000.
+  EXPECT_EQ(budgets.back(), 1000);
+  EXPECT_EQ(budgets[budgets.size() - 2], 640);
+}
+
+TEST(BudgetStrategyTest, MaxSmallerThanStartGivesSingleFunction) {
+  BudgetStrategy expo = BudgetStrategy::Exponential(20, 2.0);
+  std::vector<int> budgets = expo.SequenceBudgets(10);
+  ASSERT_EQ(budgets.size(), 1u);
+  EXPECT_EQ(budgets[0], 10);
+}
+
+TEST(BudgetStrategyTest, ToStringShapes) {
+  EXPECT_EQ(BudgetStrategy::Exponential().ToString(), "expo(start=20,x2)");
+  EXPECT_EQ(BudgetStrategy::Linear(640).ToString(), "lin640");
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,53 @@
+#include "clustering/clustering.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(ClusteringTest, SortBySizeDescending) {
+  Clustering clustering;
+  clustering.clusters = {{1}, {2, 3, 4}, {5, 6}};
+  clustering.SortBySizeDescending();
+  EXPECT_EQ(clustering.clusters[0].size(), 3u);
+  EXPECT_EQ(clustering.clusters[1].size(), 2u);
+  EXPECT_EQ(clustering.clusters[2].size(), 1u);
+}
+
+TEST(ClusteringTest, SortIsStableOnTies) {
+  Clustering clustering;
+  clustering.clusters = {{1, 2}, {3, 4}, {5}};
+  clustering.SortBySizeDescending();
+  EXPECT_EQ(clustering.clusters[0], (std::vector<RecordId>{1, 2}));
+  EXPECT_EQ(clustering.clusters[1], (std::vector<RecordId>{3, 4}));
+}
+
+TEST(ClusteringTest, TotalRecords) {
+  Clustering clustering;
+  clustering.clusters = {{1, 2}, {3}, {}};
+  EXPECT_EQ(clustering.TotalRecords(), 3u);
+}
+
+TEST(ClusteringTest, UnionOfTopClusters) {
+  Clustering clustering;
+  clustering.clusters = {{4, 2}, {9, 1}, {7}};
+  EXPECT_EQ(clustering.UnionOfTopClusters(1), (std::vector<RecordId>{2, 4}));
+  EXPECT_EQ(clustering.UnionOfTopClusters(2),
+            (std::vector<RecordId>{1, 2, 4, 9}));
+  // k beyond the cluster count is clamped.
+  EXPECT_EQ(clustering.UnionOfTopClusters(10).size(), 5u);
+}
+
+TEST(ClusteringTest, MaterializeFromForest) {
+  ParentPointerForest forest;
+  NodeId a = forest.MakeTree(1, 0);
+  forest.AddLeaf(a, 2);
+  NodeId b = forest.MakeTree(3, 0);
+  Clustering clustering = MaterializeClusters(forest, {a, b});
+  ASSERT_EQ(clustering.clusters.size(), 2u);
+  EXPECT_EQ(clustering.clusters[0], (std::vector<RecordId>{1, 2}));
+  EXPECT_EQ(clustering.clusters[1], (std::vector<RecordId>{3}));
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,91 @@
+#include "distance/collision_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(CollisionModelTest, LinearModel) {
+  CollisionModel p = LinearCollisionModel();
+  EXPECT_DOUBLE_EQ(p(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(p(0.25), 0.75);
+  EXPECT_DOUBLE_EQ(p(1.0), 0.0);
+}
+
+TEST(CollisionModelTest, BothFieldKindsAreLinear) {
+  EXPECT_DOUBLE_EQ(CollisionModelForFieldKind(Field::Kind::kDenseVector)(0.3),
+                   0.7);
+  EXPECT_DOUBLE_EQ(CollisionModelForFieldKind(Field::Kind::kTokenSet)(0.3),
+                   0.7);
+}
+
+TEST(SchemeCollisionTest, PaperExample3) {
+  // Example 3: two tables (z=2), three hash functions each (w=3); for angle
+  // theta the probability is 1 - (1 - (1 - theta/180)^3)^2.
+  CollisionModel p = LinearCollisionModel();
+  for (double theta : {15.0, 30.0, 60.0, 120.0}) {
+    double x = theta / 180.0;
+    double expected =
+        1.0 - std::pow(1.0 - std::pow(1.0 - x, 3.0), 2.0);
+    EXPECT_NEAR(SchemeCollisionProbability(p, x, 3, 2), expected, 1e-12)
+        << "theta " << theta;
+  }
+}
+
+TEST(SchemeCollisionTest, ZeroDistanceAlwaysCollides) {
+  CollisionModel p = LinearCollisionModel();
+  EXPECT_DOUBLE_EQ(SchemeCollisionProbability(p, 0.0, 30, 70), 1.0);
+}
+
+TEST(SchemeCollisionTest, MaxDistanceNeverCollides) {
+  CollisionModel p = LinearCollisionModel();
+  EXPECT_DOUBLE_EQ(SchemeCollisionProbability(p, 1.0, 30, 70), 0.0);
+}
+
+TEST(SchemeCollisionTest, MoreTablesIncreaseProbability) {
+  CollisionModel p = LinearCollisionModel();
+  double x = 0.2;
+  EXPECT_LT(SchemeCollisionProbability(p, x, 10, 5),
+            SchemeCollisionProbability(p, x, 10, 50));
+}
+
+TEST(SchemeCollisionTest, MoreHashesPerTableDecreaseProbability) {
+  CollisionModel p = LinearCollisionModel();
+  double x = 0.2;
+  EXPECT_GT(SchemeCollisionProbability(p, x, 5, 10),
+            SchemeCollisionProbability(p, x, 50, 10));
+}
+
+TEST(SchemeCollisionTest, RemainderMatchesPaperFormula) {
+  // 1 - (1 - p^w)^z * (1 - p^w') with w=10, z=3, w'=4 at x=0.1.
+  CollisionModel p = LinearCollisionModel();
+  double x = 0.1;
+  double pw = std::pow(0.9, 10.0);
+  double pr = std::pow(0.9, 4.0);
+  double expected = 1.0 - std::pow(1.0 - pw, 3.0) * (1.0 - pr);
+  EXPECT_NEAR(SchemeCollisionProbabilityWithRemainder(p, x, 10, 3, 4),
+              expected, 1e-12);
+}
+
+TEST(SchemeCollisionTest, ZeroRemainderReducesToPlain) {
+  CollisionModel p = LinearCollisionModel();
+  EXPECT_DOUBLE_EQ(SchemeCollisionProbabilityWithRemainder(p, 0.3, 8, 5, 0),
+                   SchemeCollisionProbability(p, 0.3, 8, 5));
+}
+
+TEST(SchemeCollisionTest, Figure5CurveOrdering) {
+  // Fig. 5: at 55 degrees the (w=30, z=70) curve is far below the
+  // (w=15, z=20) curve; at 15 degrees both are near 1.
+  CollisionModel p = LinearCollisionModel();
+  double at_55 = 55.0 / 180.0;
+  EXPECT_LT(SchemeCollisionProbability(p, at_55, 30, 70), 0.01);
+  EXPECT_GT(SchemeCollisionProbability(p, at_55, 15, 20), 0.05);
+  double at_15 = 15.0 / 180.0;
+  EXPECT_GT(SchemeCollisionProbability(p, at_15, 15, 20), 0.95);
+  EXPECT_GT(SchemeCollisionProbability(p, at_15, 30, 70), 0.95);
+}
+
+}  // namespace
+}  // namespace adalsh

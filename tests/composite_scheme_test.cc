@@ -1,0 +1,148 @@
+#include "lsh/composite_scheme.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(CompileRuleTest, LeafIsOneUnitOneGroup) {
+  StatusOr<RuleHashStructure> structure =
+      CompileRuleForHashing(MatchRule::Leaf(0, 0.5));
+  ASSERT_TRUE(structure.ok());
+  EXPECT_EQ(structure->units.size(), 1u);
+  EXPECT_EQ(structure->groups, (std::vector<std::vector<int>>{{0}}));
+  EXPECT_DOUBLE_EQ(structure->units[0].threshold, 0.5);
+}
+
+TEST(CompileRuleTest, WeightedAverageIsOneUnit) {
+  StatusOr<RuleHashStructure> structure = CompileRuleForHashing(
+      MatchRule::WeightedAverage({0, 1}, {0.5, 0.5}, 0.3));
+  ASSERT_TRUE(structure.ok());
+  EXPECT_EQ(structure->units.size(), 1u);
+  EXPECT_EQ(structure->units[0].fields, (std::vector<FieldId>{0, 1}));
+}
+
+TEST(CompileRuleTest, AndMakesOneGroupManyUnits) {
+  MatchRule rule =
+      MatchRule::And({MatchRule::WeightedAverage({0, 1}, {0.5, 0.5}, 0.3),
+                      MatchRule::Leaf(2, 0.8)});
+  StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
+  ASSERT_TRUE(structure.ok());
+  EXPECT_EQ(structure->units.size(), 2u);
+  EXPECT_EQ(structure->groups, (std::vector<std::vector<int>>{{0, 1}}));
+}
+
+TEST(CompileRuleTest, OrMakesGroupPerBranch) {
+  MatchRule rule = MatchRule::Or(
+      {MatchRule::Leaf(0, 0.5),
+       MatchRule::And({MatchRule::Leaf(1, 0.4), MatchRule::Leaf(2, 0.6)})});
+  StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
+  ASSERT_TRUE(structure.ok());
+  EXPECT_EQ(structure->units.size(), 3u);
+  EXPECT_EQ(structure->groups,
+            (std::vector<std::vector<int>>{{0}, {1, 2}}));
+}
+
+TEST(CompileRuleTest, NestedOrInsideAndRejected) {
+  MatchRule rule = MatchRule::And(
+      {MatchRule::Leaf(0, 0.5),
+       MatchRule::Or({MatchRule::Leaf(1, 0.5), MatchRule::Leaf(2, 0.5)})});
+  EXPECT_FALSE(CompileRuleForHashing(rule).ok());
+}
+
+TEST(CompileRuleTest, OrOfOrRejected) {
+  MatchRule inner = MatchRule::Or({MatchRule::Leaf(0, 0.5)});
+  EXPECT_FALSE(CompileRuleForHashing(MatchRule::Or({inner})).ok());
+}
+
+TEST(GroupSchemeTest, BudgetArithmetic) {
+  GroupScheme group;
+  group.w = {10, 5};
+  group.z = 4;
+  EXPECT_EQ(group.hashes_per_table(), 15);
+  EXPECT_EQ(group.budget(), 60);
+  group.w = {10};
+  group.w_rem = 3;
+  EXPECT_EQ(group.budget(), 43);
+}
+
+TEST(BuildPlanTest, SingleGroupLayout) {
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.5});
+  structure.groups = {{0}};
+  CompositeScheme scheme;
+  GroupScheme group;
+  group.w = {3};
+  group.z = 2;
+  group.w_rem = 1;
+  scheme.groups.push_back(group);
+  SchemePlan plan = BuildPlan(structure, scheme);
+  ASSERT_EQ(plan.tables.size(), 3u);  // 2 full + 1 partial
+  EXPECT_EQ(plan.tables[0].parts[0].begin, 0u);
+  EXPECT_EQ(plan.tables[0].parts[0].end, 3u);
+  EXPECT_EQ(plan.tables[1].parts[0].begin, 3u);
+  EXPECT_EQ(plan.tables[1].parts[0].end, 6u);
+  EXPECT_EQ(plan.tables[2].parts[0].begin, 6u);
+  EXPECT_EQ(plan.tables[2].parts[0].end, 7u);
+  EXPECT_EQ(plan.hashes_per_unit, (std::vector<size_t>{7}));
+  EXPECT_EQ(plan.total_hashes(), 7u);
+}
+
+TEST(BuildPlanTest, AndGroupInterleavesUnits) {
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.3});
+  structure.units.push_back({{1}, {1.0}, 0.8});
+  structure.groups = {{0, 1}};
+  CompositeScheme scheme;
+  GroupScheme group;
+  group.w = {4, 2};
+  group.z = 3;
+  scheme.groups.push_back(group);
+  SchemePlan plan = BuildPlan(structure, scheme);
+  ASSERT_EQ(plan.tables.size(), 3u);
+  for (int t = 0; t < 3; ++t) {
+    ASSERT_EQ(plan.tables[t].parts.size(), 2u);
+    EXPECT_EQ(plan.tables[t].parts[0].unit, 0);
+    EXPECT_EQ(plan.tables[t].parts[0].end - plan.tables[t].parts[0].begin, 4u);
+    EXPECT_EQ(plan.tables[t].parts[1].unit, 1);
+    EXPECT_EQ(plan.tables[t].parts[1].end - plan.tables[t].parts[1].begin, 2u);
+  }
+  EXPECT_EQ(plan.hashes_per_unit, (std::vector<size_t>{12, 6}));
+}
+
+TEST(BuildPlanTest, LargerSchemeReusesPrefixIndices) {
+  // Incremental-computation at plan level: a bigger scheme's per-unit index
+  // consumption is a superset prefix of a smaller one's.
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.5});
+  structure.groups = {{0}};
+  CompositeScheme small, large;
+  GroupScheme gs;
+  gs.w = {2};
+  gs.z = 5;
+  small.groups.push_back(gs);
+  gs.w = {4};
+  gs.z = 10;
+  large.groups.push_back(gs);
+  SchemePlan small_plan = BuildPlan(structure, small);
+  SchemePlan large_plan = BuildPlan(structure, large);
+  EXPECT_LE(small_plan.hashes_per_unit[0], large_plan.hashes_per_unit[0]);
+}
+
+TEST(CompositeSchemeTest, ToStringShapes) {
+  CompositeScheme scheme;
+  GroupScheme g1;
+  g1.w = {30};
+  g1.z = 70;
+  scheme.groups.push_back(g1);
+  EXPECT_EQ(scheme.ToString(), "(w=30,z=70)");
+  GroupScheme g2;
+  g2.w = {4, 2};
+  g2.z = 3;
+  g2.constraint_met = false;
+  scheme.groups.push_back(g2);
+  EXPECT_EQ(scheme.ToString(), "(w=30,z=70) | (w=4+2,z=3,unconstrained)");
+}
+
+}  // namespace
+}  // namespace adalsh

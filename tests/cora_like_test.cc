@@ -1,0 +1,103 @@
+#include "datagen/cora_like.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+CoraLikeConfig SmallConfig() {
+  CoraLikeConfig config;
+  config.num_entities = 40;
+  config.num_records = 400;
+  config.seed = 11;
+  return config;
+}
+
+TEST(CoraLikeTest, ShapeAndSchema) {
+  GeneratedDataset generated = GenerateCoraLike(SmallConfig());
+  EXPECT_EQ(generated.dataset.num_records(), 400u);
+  EXPECT_EQ(generated.dataset.record(0).num_fields(), 3u);
+  for (FieldId f = 0; f < 3; ++f) {
+    EXPECT_TRUE(generated.dataset.record(0).field(f).is_token_set());
+  }
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(truth.num_entities(), 40u);
+}
+
+TEST(CoraLikeTest, Deterministic) {
+  GeneratedDataset a = GenerateCoraLike(SmallConfig());
+  GeneratedDataset b = GenerateCoraLike(SmallConfig());
+  ASSERT_EQ(a.dataset.num_records(), b.dataset.num_records());
+  for (RecordId r = 0; r < a.dataset.num_records(); ++r) {
+    EXPECT_EQ(a.dataset.record(r).field(0).tokens(),
+              b.dataset.record(r).field(0).tokens());
+  }
+}
+
+TEST(CoraLikeTest, RuleValidatesAgainstSchema) {
+  GeneratedDataset generated = GenerateCoraLike(SmallConfig());
+  EXPECT_TRUE(generated.rule.Validate(generated.dataset.record(0)).ok());
+}
+
+TEST(CoraLikeTest, WithinEntityPairsMostlyMatch) {
+  GeneratedDataset generated = GenerateCoraLike(SmallConfig());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  const std::vector<RecordId>& top = truth.cluster(0);
+  ASSERT_GE(top.size(), 5u);
+  int matches = 0, pairs = 0;
+  for (size_t i = 0; i < top.size(); ++i) {
+    for (size_t j = i + 1; j < top.size(); ++j) {
+      ++pairs;
+      matches += generated.rule.Matches(generated.dataset.record(top[i]),
+                                        generated.dataset.record(top[j]));
+    }
+  }
+  // The corruption model keeps most same-entity citation pairs above the
+  // rule thresholds (transitivity closes the rest).
+  EXPECT_GT(static_cast<double>(matches) / pairs, 0.7);
+}
+
+TEST(CoraLikeTest, CrossEntityPairsAlmostNeverMatch) {
+  GeneratedDataset generated = GenerateCoraLike(SmallConfig());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  Rng rng(3);
+  int matches = 0;
+  constexpr int kPairs = 500;
+  for (int i = 0; i < kPairs; ++i) {
+    RecordId a = static_cast<RecordId>(
+        rng.NextBelow(generated.dataset.num_records()));
+    RecordId b = static_cast<RecordId>(
+        rng.NextBelow(generated.dataset.num_records()));
+    if (truth.entity_of(a) == truth.entity_of(b)) continue;
+    matches += generated.rule.Matches(generated.dataset.record(a),
+                                      generated.dataset.record(b));
+  }
+  EXPECT_LE(matches, 2);
+}
+
+TEST(CoraLikeTest, CoraRuleShape) {
+  MatchRule rule = CoraRule();
+  ASSERT_EQ(rule.type(), MatchRule::Type::kAnd);
+  ASSERT_EQ(rule.children().size(), 2u);
+  EXPECT_EQ(rule.children()[0].type(), MatchRule::Type::kWeightedAverage);
+  EXPECT_NEAR(rule.children()[0].threshold(), 0.3, 1e-12);
+  EXPECT_EQ(rule.children()[1].type(), MatchRule::Type::kLeaf);
+  EXPECT_NEAR(rule.children()[1].threshold(), 0.8, 1e-12);
+}
+
+TEST(CoraLikeTest, TopEntityIsSmallShareOfDataset) {
+  // The Section 7.2 regime: the top entity is a few percent of the records.
+  CoraLikeConfig config;  // defaults: 250 entities, 2000 records
+  config.seed = 5;
+  GeneratedDataset generated = GenerateCoraLike(config);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  double share = static_cast<double>(truth.cluster(0).size()) /
+                 generated.dataset.num_records();
+  EXPECT_LT(share, 0.12);
+  EXPECT_GT(share, 0.02);
+}
+
+}  // namespace
+}  // namespace adalsh

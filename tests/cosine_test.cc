@@ -1,0 +1,64 @@
+#include "distance/cosine.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(CosineDistanceTest, IdenticalVectors) {
+  EXPECT_NEAR(CosineDistance({1, 2, 3}, {1, 2, 3}), 0.0, 1e-9);
+}
+
+TEST(CosineDistanceTest, ScaleInvariant) {
+  EXPECT_NEAR(CosineDistance({1, 2, 3}, {2, 4, 6}), 0.0, 1e-9);
+}
+
+TEST(CosineDistanceTest, OrthogonalVectors) {
+  // 90 degrees -> normalized 0.5.
+  EXPECT_NEAR(CosineDistance({1, 0}, {0, 1}), 0.5, 1e-9);
+}
+
+TEST(CosineDistanceTest, OppositeVectors) {
+  // 180 degrees -> normalized 1.0.
+  EXPECT_NEAR(CosineDistance({1, 0}, {-1, 0}), 1.0, 1e-9);
+}
+
+TEST(CosineDistanceTest, FortyFiveDegrees) {
+  EXPECT_NEAR(CosineDistance({1, 0}, {1, 1}), 0.25, 1e-6);
+}
+
+TEST(CosineDistanceTest, ZeroVectors) {
+  EXPECT_DOUBLE_EQ(CosineDistance({0, 0}, {0, 0}), 0.0);
+  EXPECT_DOUBLE_EQ(CosineDistance({0, 0}, {1, 0}), 1.0);
+  EXPECT_DOUBLE_EQ(CosineDistance({1, 0}, {0, 0}), 1.0);
+}
+
+TEST(CosineDistanceTest, Symmetric) {
+  std::vector<float> a = {0.3f, 0.8f, 0.1f, 0.9f};
+  std::vector<float> b = {0.7f, 0.2f, 0.5f, 0.4f};
+  EXPECT_DOUBLE_EQ(CosineDistance(a, b), CosineDistance(b, a));
+}
+
+TEST(CosineDistanceDeathTest, DimensionMismatch) {
+  EXPECT_DEATH(CosineDistance({1, 2}, {1, 2, 3}), "");
+}
+
+TEST(DegreeConversionTest, RoundTrip) {
+  EXPECT_DOUBLE_EQ(DegreesToNormalizedAngle(15.0), 15.0 / 180.0);
+  EXPECT_DOUBLE_EQ(NormalizedAngleToDegrees(DegreesToNormalizedAngle(3.0)),
+                   3.0);
+}
+
+TEST(DegreeConversionTest, MatchesDistance) {
+  // Vectors 30 degrees apart (Example 2's r1, r2 geometry).
+  double theta = 30.0 * M_PI / 180.0;
+  std::vector<float> a = {1.0f, 0.0f};
+  std::vector<float> b = {static_cast<float>(std::cos(theta)),
+                          static_cast<float>(std::sin(theta))};
+  EXPECT_NEAR(CosineDistance(a, b), DegreesToNormalizedAngle(30.0), 1e-6);
+}
+
+}  // namespace
+}  // namespace adalsh

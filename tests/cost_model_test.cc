@@ -1,0 +1,99 @@
+#include "core/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+TEST(CostModelTest, CostArithmetic) {
+  CostModel model(/*cost_per_hash=*/2.0, /*cost_per_pair=*/10.0);
+  EXPECT_DOUBLE_EQ(model.HashCost(20), 40.0);
+  EXPECT_DOUBLE_EQ(model.HashUpgradeCost(20, 40), 40.0);
+  EXPECT_DOUBLE_EQ(model.PairwiseCost(5), 100.0);  // 10 pairs * 10
+  EXPECT_DOUBLE_EQ(model.PairwiseCost(1), 0.0);
+}
+
+TEST(CostModelTest, JumpDecisionLine5) {
+  // (cost_{t+1} - cost_t) * |C| >= cost_P * C(|C|, 2)
+  CostModel model(1.0, 1.0);
+  // Upgrade 20 -> 40 on 5 records: 100 >= 10 -> jump to P.
+  EXPECT_TRUE(model.ShouldJumpToPairwise(20, 40, 5));
+  // On 200 records: 4000 >= 19900? No -> keep hashing.
+  EXPECT_FALSE(model.ShouldJumpToPairwise(20, 40, 200));
+}
+
+TEST(CostModelTest, SingletonAlwaysJumps) {
+  CostModel model(1.0, 1e9);
+  EXPECT_TRUE(model.ShouldJumpToPairwise(20, 40, 1));
+}
+
+TEST(CostModelTest, NoiseFactorShiftsDecision) {
+  CostModel model(1.0, 1.0);
+  // Boundary case: upgrade cost 20*n vs pairs n(n-1)/2 — crossover ~41.
+  EXPECT_TRUE(model.ShouldJumpToPairwise(20, 40, 40));
+  model.set_pairwise_noise_factor(5.0);  // over-estimate P cost
+  EXPECT_FALSE(model.ShouldJumpToPairwise(20, 40, 40));
+  model.set_pairwise_noise_factor(0.2);  // under-estimate P cost
+  EXPECT_TRUE(model.ShouldJumpToPairwise(20, 40, 150));
+}
+
+TEST(CostModelTest, SampledPurityJumpsEarlierOnPureClusters) {
+  // A large pure cluster: conservative model says "keep hashing" for a small
+  // upgrade, but the sampled model sees ~100% match fraction and a nearly
+  // linear closure-skipped P cost, so it jumps.
+  GeneratedDataset generated = test::MakePlantedDataset({200}, 3);
+  CostModel model(/*cost_per_hash=*/1.0, /*cost_per_pair=*/1.0);
+  std::vector<RecordId> cluster = generated.dataset.AllRecordIds();
+  // Upgrade 20 -> 40: 20 * 200 = 4000. Conservative P: C(200,2) = 19900.
+  EXPECT_FALSE(model.ShouldJumpToPairwise(20, 40, cluster.size()));
+  Rng rng(1);
+  uint64_t evals = 0;
+  EXPECT_TRUE(model.ShouldJumpToPairwiseSampled(
+      generated.dataset, generated.rule, cluster, 20, 40, &rng, 20, &evals));
+  EXPECT_EQ(evals, 20u);
+}
+
+TEST(CostModelTest, SampledPurityConservativeOnMixedClusters) {
+  // A cluster that is actually many unrelated entities: match fraction ~0,
+  // so the sampled estimate degenerates to the conservative one.
+  GeneratedDataset generated =
+      test::MakePlantedDataset(std::vector<size_t>(100, 1), 5);
+  CostModel model(1.0, 1.0);
+  std::vector<RecordId> cluster = generated.dataset.AllRecordIds();
+  Rng rng(2);
+  // Upgrade 20 -> 40 on 100 records: 2000 < C(100,2) = 4950 -> no jump
+  // under either model.
+  EXPECT_FALSE(model.ShouldJumpToPairwise(20, 40, cluster.size()));
+  EXPECT_FALSE(model.ShouldJumpToPairwiseSampled(
+      generated.dataset, generated.rule, cluster, 20, 40, &rng));
+}
+
+TEST(CostModelTest, SampledPurityFallsBackOnTinyClusters) {
+  GeneratedDataset generated = test::MakePlantedDataset({5}, 7);
+  CostModel model(1.0, 1.0);
+  std::vector<RecordId> cluster = generated.dataset.AllRecordIds();
+  Rng rng(3);
+  uint64_t evals = 99;
+  bool sampled = model.ShouldJumpToPairwiseSampled(
+      generated.dataset, generated.rule, cluster, 20, 40, &rng, 20, &evals);
+  EXPECT_EQ(sampled, model.ShouldJumpToPairwise(20, 40, cluster.size()));
+  EXPECT_EQ(evals, 0u);  // no sampling spent
+}
+
+TEST(CostModelTest, CalibrationProducesPositiveCosts) {
+  GeneratedDataset generated = test::MakePlantedDataset({10, 10, 5}, 3);
+  CostModel model =
+      CostModel::Calibrate(generated.dataset, generated.rule, 50, 1);
+  EXPECT_GT(model.cost_per_hash(), 0.0);
+  EXPECT_GT(model.cost_per_pair(), 0.0);
+  // A pairwise rule evaluation on token sets costs more than one raw hash of
+  // a well-batched family... not guaranteed on all machines, but both should
+  // be well under a millisecond.
+  EXPECT_LT(model.cost_per_hash(), 1e-3);
+  EXPECT_LT(model.cost_per_pair(), 1e-3);
+}
+
+}  // namespace
+}  // namespace adalsh

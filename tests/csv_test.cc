@@ -1,0 +1,92 @@
+#include "io/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+std::vector<std::vector<std::string>> ReadAll(const std::string& text) {
+  std::istringstream in(text);
+  CsvReader reader(&in);
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  for (;;) {
+    StatusOr<bool> more = reader.ReadRow(&row);
+    EXPECT_TRUE(more.ok()) << more.status().ToString();
+    if (!more.ok() || !*more) break;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+TEST(CsvReaderTest, SimpleRows) {
+  auto rows = ReadAll("a,b,c\n1,2,3\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvReaderTest, MissingFinalNewline) {
+  auto rows = ReadAll("a,b\nc,d");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvReaderTest, QuotedFields) {
+  auto rows = ReadAll("\"hello, world\",plain\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "hello, world");
+  EXPECT_EQ(rows[0][1], "plain");
+}
+
+TEST(CsvReaderTest, EscapedQuotes) {
+  auto rows = ReadAll("\"say \"\"hi\"\"\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "say \"hi\"");
+}
+
+TEST(CsvReaderTest, NewlineInsideQuotes) {
+  auto rows = ReadAll("\"two\nlines\",x\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], "two\nlines");
+}
+
+TEST(CsvReaderTest, CrLfRows) {
+  auto rows = ReadAll("a,b\r\nc,d\r\n");
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(CsvReaderTest, EmptyFields) {
+  auto rows = ReadAll(",,\n");
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(CsvReaderTest, UnterminatedQuoteIsError) {
+  std::istringstream in("\"oops\n");
+  CsvReader reader(&in);
+  std::vector<std::string> row;
+  StatusOr<bool> more = reader.ReadRow(&row);
+  EXPECT_FALSE(more.ok());
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  std::ostringstream out;
+  WriteCsvRow(&out, {"plain", "with,comma", "with\"quote", "multi\nline"});
+  auto rows = ReadAll(out.str());
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"plain", "with,comma",
+                                               "with\"quote", "multi\nline"}));
+}
+
+TEST(CsvWriteTest, CustomDelimiter) {
+  std::ostringstream out;
+  WriteCsvRow(&out, {"a", "b"}, '\t');
+  EXPECT_EQ(out.str(), "a\tb\n");
+}
+
+}  // namespace
+}  // namespace adalsh

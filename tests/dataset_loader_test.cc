@@ -1,0 +1,105 @@
+#include "io/dataset_loader.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(ColumnSpecTest, ParsesAllKinds) {
+  StatusOr<std::vector<ColumnSpec>> specs =
+      ParseColumnSpecs("label,entity,text,text3,spotsigs,vector,ignore");
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  ASSERT_EQ(specs->size(), 7u);
+  EXPECT_EQ((*specs)[0].kind, ColumnSpec::Kind::kLabel);
+  EXPECT_EQ((*specs)[1].kind, ColumnSpec::Kind::kEntity);
+  EXPECT_EQ((*specs)[2].kind, ColumnSpec::Kind::kTextShingles);
+  EXPECT_EQ((*specs)[2].shingle_size, 1);
+  EXPECT_EQ((*specs)[3].kind, ColumnSpec::Kind::kTextShingles);
+  EXPECT_EQ((*specs)[3].shingle_size, 3);
+  EXPECT_EQ((*specs)[4].kind, ColumnSpec::Kind::kTextSpotSigs);
+  EXPECT_EQ((*specs)[5].kind, ColumnSpec::Kind::kDenseVector);
+  EXPECT_EQ((*specs)[6].kind, ColumnSpec::Kind::kIgnore);
+}
+
+TEST(ColumnSpecTest, RejectsUnknownTokens) {
+  EXPECT_FALSE(ParseColumnSpecs("text,whatever").ok());
+  EXPECT_FALSE(ParseColumnSpecs("").ok());
+  EXPECT_FALSE(ParseColumnSpecs("text0").ok());
+  EXPECT_FALSE(ParseColumnSpecs("text99").ok());
+}
+
+TEST(DatasetLoaderTest, LoadsTextAndEntity) {
+  std::istringstream in(
+      "id,story\n"
+      "s1,the quick brown fox jumps\n"
+      "s1,the quick brown fox leaps\n"
+      "s2,completely different words here\n");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("entity,text");
+  ASSERT_TRUE(specs.ok());
+  StatusOr<Dataset> dataset =
+      LoadCsvDataset(&in, *specs, /*has_header=*/true, "test");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->num_records(), 3u);
+  GroundTruth truth = dataset->BuildGroundTruth();
+  EXPECT_EQ(truth.num_entities(), 2u);
+  EXPECT_EQ(truth.cluster(0).size(), 2u);
+  // Features: records of s1 share most word shingles.
+  EXPECT_GT(dataset->record(0).field(0).size(), 3u);
+}
+
+TEST(DatasetLoaderTest, LoadsDenseVectors) {
+  std::istringstream in(
+      "a,0.1;0.2;0.3\n"
+      "b,0.4 0.5 0.6\n");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("label,vector");
+  ASSERT_TRUE(specs.ok());
+  StatusOr<Dataset> dataset = LoadCsvDataset(&in, *specs, false, "vec");
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->record(0).field(0).dense(),
+            (std::vector<float>{0.1f, 0.2f, 0.3f}));
+  EXPECT_EQ(dataset->record(1).field(0).dense(),
+            (std::vector<float>{0.4f, 0.5f, 0.6f}));
+  EXPECT_EQ(dataset->record(0).label(), "a");
+}
+
+TEST(DatasetLoaderTest, NoEntityColumnMakesSingletons) {
+  std::istringstream in("one two\nthree four\n");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("text");
+  StatusOr<Dataset> dataset = LoadCsvDataset(&in, *specs, false, "x");
+  ASSERT_TRUE(dataset.ok());
+  GroundTruth truth = dataset->BuildGroundTruth();
+  EXPECT_EQ(truth.num_entities(), 2u);
+}
+
+TEST(DatasetLoaderTest, ColumnCountMismatchIsError) {
+  std::istringstream in("a,b\nc\n");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("text,text");
+  StatusOr<Dataset> dataset = LoadCsvDataset(&in, *specs, false, "x");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(DatasetLoaderTest, RaggedVectorsAreError) {
+  std::istringstream in("0.1;0.2\n0.3;0.4;0.5\n");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("vector");
+  StatusOr<Dataset> dataset = LoadCsvDataset(&in, *specs, false, "x");
+  EXPECT_FALSE(dataset.ok());
+  EXPECT_NE(dataset.status().message().find("dimension"), std::string::npos);
+}
+
+TEST(DatasetLoaderTest, NonNumericVectorIsError) {
+  std::istringstream in("0.1;zebra\n");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("vector");
+  EXPECT_FALSE(LoadCsvDataset(&in, *specs, false, "x").ok());
+}
+
+TEST(DatasetLoaderTest, EmptyInputIsError) {
+  std::istringstream in("");
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs("text");
+  EXPECT_FALSE(LoadCsvDataset(&in, *specs, false, "x").ok());
+}
+
+}  // namespace
+}  // namespace adalsh

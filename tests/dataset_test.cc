@@ -1,0 +1,80 @@
+#include "record/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+Record OneFieldRecord(uint64_t token) {
+  std::vector<Field> fields;
+  fields.push_back(Field::TokenSet({token}));
+  return Record(std::move(fields));
+}
+
+/// Entities: 0 has 3 records, 1 has 1, 2 has 2 -> ranks: 0, 2, 1.
+Dataset MakeDataset() {
+  Dataset dataset("test");
+  dataset.AddRecord(OneFieldRecord(0), 0);
+  dataset.AddRecord(OneFieldRecord(1), 0);
+  dataset.AddRecord(OneFieldRecord(2), 1);
+  dataset.AddRecord(OneFieldRecord(3), 2);
+  dataset.AddRecord(OneFieldRecord(4), 0);
+  dataset.AddRecord(OneFieldRecord(5), 2);
+  return dataset;
+}
+
+TEST(DatasetTest, BasicAccessors) {
+  Dataset dataset = MakeDataset();
+  EXPECT_EQ(dataset.num_records(), 6u);
+  EXPECT_EQ(dataset.name(), "test");
+  EXPECT_EQ(dataset.AllRecordIds().size(), 6u);
+  EXPECT_EQ(dataset.AllRecordIds()[0], 0u);
+  EXPECT_EQ(dataset.AllRecordIds()[5], 5u);
+}
+
+TEST(GroundTruthTest, ClustersOrderedBySize) {
+  GroundTruth truth = MakeDataset().BuildGroundTruth();
+  EXPECT_EQ(truth.num_entities(), 3u);
+  EXPECT_EQ(truth.cluster(0).size(), 3u);  // entity 0
+  EXPECT_EQ(truth.cluster(1).size(), 2u);  // entity 2
+  EXPECT_EQ(truth.cluster(2).size(), 1u);  // entity 1
+}
+
+TEST(GroundTruthTest, EntityOfAndRanks) {
+  GroundTruth truth = MakeDataset().BuildGroundTruth();
+  EXPECT_EQ(truth.entity_of(0), 0u);
+  EXPECT_EQ(truth.entity_of(3), 2u);
+  EXPECT_EQ(truth.rank_of_entity(0), 0u);
+  EXPECT_EQ(truth.rank_of_entity(2), 1u);
+  EXPECT_EQ(truth.rank_of_entity(1), 2u);
+  EXPECT_EQ(truth.entity_at_rank(0), 0u);
+  EXPECT_EQ(truth.entity_at_rank(2), 1u);
+}
+
+TEST(GroundTruthTest, TopKRecords) {
+  GroundTruth truth = MakeDataset().BuildGroundTruth();
+  EXPECT_EQ(truth.TopKRecords(1), (std::vector<RecordId>{0, 1, 4}));
+  EXPECT_EQ(truth.TopKRecords(2), (std::vector<RecordId>{0, 1, 3, 4, 5}));
+  // k beyond the entity count is clamped.
+  EXPECT_EQ(truth.TopKRecords(10).size(), 6u);
+}
+
+TEST(GroundTruthTest, TieBreakIsDeterministic) {
+  Dataset dataset("ties");
+  dataset.AddRecord(OneFieldRecord(0), 0);
+  dataset.AddRecord(OneFieldRecord(1), 1);
+  GroundTruth truth = dataset.BuildGroundTruth();
+  // Equal sizes: entity id order.
+  EXPECT_EQ(truth.entity_at_rank(0), 0u);
+  EXPECT_EQ(truth.entity_at_rank(1), 1u);
+}
+
+TEST(GroundTruthDeathTest, SparseEntityIdsAbort) {
+  Dataset dataset("sparse");
+  dataset.AddRecord(OneFieldRecord(0), 0);
+  dataset.AddRecord(OneFieldRecord(1), 2);  // entity 1 missing
+  EXPECT_DEATH(dataset.BuildGroundTruth(), "dense");
+}
+
+}  // namespace
+}  // namespace adalsh

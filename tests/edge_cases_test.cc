@@ -1,0 +1,146 @@
+// Edge-case coverage for the full pipeline: degenerate datasets and extreme
+// parameters every module must survive.
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "core/lsh_blocking.h"
+#include "core/pairs_baseline.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+AdaptiveLshConfig TinyConfig() {
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 160;
+  config.calibration_samples = 10;
+  config.seed = 2;
+  return config;
+}
+
+TEST(EdgeCasesTest, AllSingletonDataset) {
+  std::vector<size_t> sizes(50, 1);
+  GeneratedDataset generated = test::MakePlantedDataset(sizes, 3);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, TinyConfig());
+  FilterOutput output = adalsh.Run(5);
+  ASSERT_EQ(output.clusters.clusters.size(), 5u);
+  for (const auto& cluster : output.clusters.clusters) {
+    EXPECT_EQ(cluster.size(), 1u);
+  }
+}
+
+TEST(EdgeCasesTest, SingleEntityDataset) {
+  GeneratedDataset generated = test::MakePlantedDataset({30}, 5);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, TinyConfig());
+  FilterOutput output = adalsh.Run(1);
+  ASSERT_EQ(output.clusters.clusters.size(), 1u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 30u);
+}
+
+TEST(EdgeCasesTest, TwoRecordDataset) {
+  GeneratedDataset generated = test::MakePlantedDataset({2}, 7);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, TinyConfig());
+  FilterOutput output = adalsh.Run(1);
+  EXPECT_EQ(output.clusters.TotalRecords(), 2u);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  EXPECT_EQ(pairs.Run(1).clusters.TotalRecords(), 2u);
+}
+
+TEST(EdgeCasesTest, IdenticalRecords) {
+  // Many byte-identical records: one cluster, every method agrees.
+  Dataset dataset("identical");
+  for (int i = 0; i < 20; ++i) {
+    std::vector<Field> fields;
+    fields.push_back(Field::TokenSet({1, 2, 3, 4, 5}));
+    dataset.AddRecord(Record(std::move(fields)), 0);
+  }
+  MatchRule rule = MatchRule::Leaf(0, 0.5);
+  GeneratedDataset generated(std::move(dataset), rule);
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, TinyConfig());
+  FilterOutput output = adalsh.Run(1);
+  ASSERT_EQ(output.clusters.clusters.size(), 1u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 20u);
+}
+
+TEST(EdgeCasesTest, EmptyTokenSets) {
+  // Records with empty feature sets: they are all pairwise "identical"
+  // (Jaccard distance 0) and must cluster together without crashing.
+  Dataset dataset("empty");
+  for (int i = 0; i < 5; ++i) {
+    std::vector<Field> fields;
+    fields.push_back(Field::TokenSet({}));
+    dataset.AddRecord(Record(std::move(fields)), 0);
+  }
+  std::vector<Field> fields;
+  fields.push_back(Field::TokenSet({1, 2, 3}));
+  dataset.AddRecord(Record(std::move(fields)), 1);
+  MatchRule rule = MatchRule::Leaf(0, 0.5);
+  GeneratedDataset generated(std::move(dataset), rule);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput output = pairs.Run(1);
+  ASSERT_EQ(output.clusters.clusters.size(), 1u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 5u);
+}
+
+TEST(EdgeCasesTest, ThresholdZeroAndOne) {
+  GeneratedDataset generated = test::MakePlantedDataset({6, 4}, 9);
+  // Distance threshold 0: only identical records match.
+  MatchRule exact = MatchRule::Leaf(0, 0.0);
+  PairsBaseline strict(generated.dataset, exact);
+  FilterOutput strict_out = strict.Run(10);
+  for (const auto& cluster : strict_out.clusters.clusters) {
+    EXPECT_EQ(cluster.size(), 1u);
+  }
+  // Distance threshold 1: everything matches.
+  MatchRule loose = MatchRule::Leaf(0, 1.0);
+  PairsBaseline all(generated.dataset, loose);
+  FilterOutput all_out = all.Run(1);
+  EXPECT_EQ(all_out.clusters.clusters[0].size(), 10u);
+}
+
+TEST(EdgeCasesTest, TinyMaxBudgetSequence) {
+  // A one-function sequence (L = 1): every H_1 outcome is final.
+  GeneratedDataset generated = test::MakePlantedDataset({8, 4}, 11);
+  AdaptiveLshConfig config = TinyConfig();
+  config.sequence.max_budget = 20;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  EXPECT_EQ(adalsh.sequence().size(), 1u);
+  FilterOutput output = adalsh.Run(2);
+  EXPECT_GE(output.clusters.clusters.size(), 1u);
+}
+
+TEST(EdgeCasesTest, LshBlockingTinyBudget) {
+  GeneratedDataset generated = test::MakePlantedDataset({8, 4, 1, 1}, 13);
+  LshBlockingConfig config;
+  config.num_hashes = 4;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  FilterOutput output = blocking.Run(2);
+  // With P verification even a terrible stage 1 resolves exactly.
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(output.clusters.UnionOfTopClusters(2), truth.TopKRecords(2));
+}
+
+TEST(EdgeCasesTest, DenseZeroVectors) {
+  // Zero vectors are maximally far from everything but each other.
+  Dataset dataset("zeros");
+  auto add_dense = [&](std::vector<float> v, EntityId e) {
+    std::vector<Field> fields;
+    fields.push_back(Field::DenseVector(std::move(v)));
+    dataset.AddRecord(Record(std::move(fields)), e);
+  };
+  add_dense({0, 0, 0}, 0);
+  add_dense({0, 0, 0}, 0);
+  add_dense({1, 2, 3}, 1);
+  add_dense({1, 2, 3.01f}, 1);
+  MatchRule rule = MatchRule::Leaf(0, 0.05);
+  GeneratedDataset generated(std::move(dataset), rule);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput output = pairs.Run(2);
+  ASSERT_EQ(output.clusters.clusters.size(), 2u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 2u);
+  EXPECT_EQ(output.clusters.clusters[1].size(), 2u);
+}
+
+}  // namespace
+}  // namespace adalsh

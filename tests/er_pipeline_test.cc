@@ -1,0 +1,82 @@
+#include "eval/er_pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+TEST(ResolveExactTest, ResolvesSubsetExactly) {
+  GeneratedDataset generated = test::MakePlantedDataset({8, 5, 2}, 3);
+  ErResult result = ResolveExact(generated.dataset, generated.rule,
+                                 generated.dataset.AllRecordIds());
+  ASSERT_EQ(result.clusters.clusters.size(), 3u);
+  EXPECT_EQ(result.clusters.clusters[0].size(), 8u);
+  EXPECT_EQ(result.clusters.clusters[1].size(), 5u);
+  EXPECT_GT(result.similarities, 0u);
+}
+
+TEST(ResolveExactTest, FullPipelineFilterThenResolve) {
+  // The Figure 1 workflow: filter for top-k, then ER the reduced set.
+  GeneratedDataset generated =
+      test::MakePlantedDataset({20, 12, 6, 1, 1, 1, 1}, 5);
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 640;
+  config.calibration_samples = 20;
+  config.seed = 1;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput filtered = adalsh.Run(2);
+  ErResult resolved = ResolveExact(generated.dataset, generated.rule,
+                                   filtered.clusters.UnionOfTopClusters(2));
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(resolved.clusters.UnionOfTopClusters(2), truth.TopKRecords(2));
+  // ER on the reduced set costs far less than on the whole dataset.
+  EXPECT_LT(resolved.similarities, 42u * 41u / 2u);
+}
+
+TEST(ClusterMedoidTest, PicksCentralRecord) {
+  // Three near-identical records plus one farther outlier in the cluster:
+  // the medoid must not be the outlier.
+  Dataset dataset("medoid");
+  auto add = [&](std::vector<uint64_t> tokens) {
+    std::vector<Field> fields;
+    fields.push_back(Field::TokenSet(std::move(tokens)));
+    dataset.AddRecord(Record(std::move(fields)), 0);
+  };
+  add({1, 2, 3, 4, 5, 6, 7, 8});
+  add({1, 2, 3, 4, 5, 6, 7, 9});
+  add({1, 2, 3, 4, 5, 6, 7, 10});
+  add({1, 2, 3, 40, 50, 60, 70, 80});  // outlier
+  MatchRule rule = MatchRule::Leaf(0, 0.9);
+  RecordId medoid = ClusterMedoid(dataset, rule, {0, 1, 2, 3});
+  EXPECT_NE(medoid, 3u);
+}
+
+TEST(ClusterMedoidTest, SingletonAndPair) {
+  GeneratedDataset generated = test::MakePlantedDataset({2}, 7);
+  EXPECT_EQ(ClusterMedoid(generated.dataset, generated.rule, {1}), 1u);
+  RecordId medoid = ClusterMedoid(generated.dataset, generated.rule, {0, 1});
+  EXPECT_TRUE(medoid == 0 || medoid == 1);
+}
+
+TEST(ClusterMedoidTest, WorksWithCompositeRules) {
+  GeneratedDataset generated = test::MakePlantedDataset({4}, 9);
+  MatchRule composite = MatchRule::And(
+      {MatchRule::Leaf(0, 0.5), MatchRule::Leaf(0, 0.9)});
+  RecordId medoid =
+      ClusterMedoid(generated.dataset, composite, {0, 1, 2, 3});
+  EXPECT_LT(medoid, 4u);
+}
+
+TEST(ClusterMedoidTest, SamplingPathDeterministic) {
+  GeneratedDataset generated = test::MakePlantedDataset({100}, 11);
+  std::vector<RecordId> cluster = generated.dataset.AllRecordIds();
+  RecordId a = ClusterMedoid(generated.dataset, generated.rule, cluster, 16);
+  RecordId b = ClusterMedoid(generated.dataset, generated.rule, cluster, 16);
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,52 @@
+#include "eval/experiment.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(ResultTableTest, AlignedOutput) {
+  ResultTable table({"k", "method", "seconds"});
+  table.AddRow({"2", "adaLSH", "0.015"});
+  table.AddRow({"10", "LSH1280", "1.250"});
+  std::ostringstream out;
+  table.Print(out);
+  std::string text = out.str();
+  EXPECT_NE(text.find("| k "), std::string::npos);
+  EXPECT_NE(text.find("adaLSH"), std::string::npos);
+  EXPECT_NE(text.find("|---"), std::string::npos);
+}
+
+TEST(ResultTableDeathTest, RowArityMismatch) {
+  ResultTable table({"a", "b"});
+  EXPECT_DEATH(table.AddRow({"1"}), "");
+}
+
+TEST(FormatDoubleTest, Precision) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatDouble(0.5, 3), "0.500");
+}
+
+TEST(WorkloadTest, CoraScales) {
+  GeneratedDataset base = MakeCoraWorkload(1, 42);
+  GeneratedDataset doubled = MakeCoraWorkload(2, 42);
+  EXPECT_EQ(doubled.dataset.num_records(), 2 * base.dataset.num_records());
+  EXPECT_TRUE(doubled.rule.Validate(doubled.dataset.record(0)).ok());
+}
+
+TEST(WorkloadTest, SpotSigsThresholdVariant) {
+  GeneratedDataset strict = MakeSpotSigsWorkload(1, 0.5, 42);
+  EXPECT_NEAR(strict.rule.threshold(), 0.5, 1e-12);
+}
+
+TEST(WorkloadTest, PopularImagesParameters) {
+  GeneratedDataset generated =
+      MakePopularImagesWorkload(1.1, 5.0, 500, 42);
+  EXPECT_EQ(generated.dataset.num_records(), 500u);
+  EXPECT_NEAR(generated.rule.threshold(), 5.0 / 180.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace adalsh

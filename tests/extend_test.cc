@@ -1,0 +1,84 @@
+#include "datagen/extend.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+Dataset SmallDataset() {
+  Dataset dataset("base");
+  for (int e = 0; e < 3; ++e) {
+    for (int r = 0; r <= e; ++r) {  // sizes 1, 2, 3
+      std::vector<Field> fields;
+      fields.push_back(Field::TokenSet({static_cast<uint64_t>(e * 10 + r)}));
+      dataset.AddRecord(Record(std::move(fields)), e);
+    }
+  }
+  return dataset;
+}
+
+TEST(ExtendTest, FactorOneIsCopy) {
+  Dataset base = SmallDataset();
+  Dataset copy = ExtendByResampling(base, 1, 99);
+  EXPECT_EQ(copy.num_records(), base.num_records());
+  EXPECT_EQ(copy.entity_assignment(), base.entity_assignment());
+}
+
+TEST(ExtendTest, FactorScalesRecordCount) {
+  Dataset base = SmallDataset();
+  EXPECT_EQ(ExtendByResampling(base, 2, 99).num_records(), 12u);
+  EXPECT_EQ(ExtendByResampling(base, 4, 99).num_records(), 24u);
+  EXPECT_EQ(ExtendByResampling(base, 8, 99).num_records(), 48u);
+}
+
+TEST(ExtendTest, PrefixIsBaseDataset) {
+  Dataset base = SmallDataset();
+  Dataset extended = ExtendByResampling(base, 2, 99);
+  for (RecordId r = 0; r < base.num_records(); ++r) {
+    EXPECT_EQ(extended.entity_assignment()[r], base.entity_assignment()[r]);
+    EXPECT_EQ(extended.record(r).field(0).tokens(),
+              base.record(r).field(0).tokens());
+  }
+}
+
+TEST(ExtendTest, AddedRecordsAreCopiesOfBaseRecords) {
+  Dataset base = SmallDataset();
+  Dataset extended = ExtendByResampling(base, 3, 5);
+  for (RecordId r = base.num_records(); r < extended.num_records(); ++r) {
+    EntityId e = extended.entity_assignment()[r];
+    // The copied record's token must belong to that entity's base records.
+    uint64_t token = extended.record(r).field(0).tokens()[0];
+    EXPECT_EQ(token / 10, e);
+  }
+}
+
+TEST(ExtendTest, NameCarriesFactor) {
+  Dataset base = SmallDataset();
+  EXPECT_EQ(ExtendByResampling(base, 4, 1).name(), "base4x");
+  EXPECT_EQ(ExtendByResampling(base, 1, 1).name(), "base");
+}
+
+TEST(ExtendTest, Deterministic) {
+  Dataset base = SmallDataset();
+  Dataset a = ExtendByResampling(base, 2, 7);
+  Dataset b = ExtendByResampling(base, 2, 7);
+  EXPECT_EQ(a.entity_assignment(), b.entity_assignment());
+}
+
+TEST(ExtendTest, UniformEntitySamplingFlattensSkew) {
+  // With uniform entity picks, every entity gains ~the same record count.
+  Dataset base = SmallDataset();
+  Dataset extended = ExtendByResampling(base, 200, 13);
+  std::vector<size_t> counts(3, 0);
+  for (RecordId r = base.num_records(); r < extended.num_records(); ++r) {
+    ++counts[extended.entity_assignment()[r]];
+  }
+  size_t total = extended.num_records() - base.num_records();
+  for (size_t c : counts) {
+    EXPECT_GT(c, total / 4);
+    EXPECT_LT(c, total / 2);
+  }
+}
+
+}  // namespace
+}  // namespace adalsh

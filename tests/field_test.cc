@@ -1,0 +1,38 @@
+#include "record/field.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(FieldTest, DenseVectorRoundTrip) {
+  Field field = Field::DenseVector({1.0f, 2.0f, 3.0f});
+  EXPECT_TRUE(field.is_dense());
+  EXPECT_FALSE(field.is_token_set());
+  EXPECT_EQ(field.kind(), Field::Kind::kDenseVector);
+  EXPECT_EQ(field.dense(), (std::vector<float>{1.0f, 2.0f, 3.0f}));
+  EXPECT_EQ(field.size(), 3u);
+}
+
+TEST(FieldTest, TokenSetIsSortedAndDeduplicated) {
+  Field field = Field::TokenSet({5, 3, 5, 1, 3});
+  EXPECT_TRUE(field.is_token_set());
+  EXPECT_EQ(field.tokens(), (std::vector<uint64_t>{1, 3, 5}));
+  EXPECT_EQ(field.size(), 3u);
+}
+
+TEST(FieldTest, EmptyTokenSet) {
+  Field field = Field::TokenSet({});
+  EXPECT_TRUE(field.tokens().empty());
+  EXPECT_EQ(field.size(), 0u);
+}
+
+TEST(FieldDeathTest, WrongAccessorAborts) {
+  Field dense = Field::DenseVector({1.0f});
+  Field tokens = Field::TokenSet({1});
+  EXPECT_DEATH(dense.tokens(), "not a token set");
+  EXPECT_DEATH(tokens.dense(), "not a dense vector");
+}
+
+}  // namespace
+}  // namespace adalsh

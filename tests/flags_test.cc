@@ -1,0 +1,87 @@
+#include "util/flags.h"
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+/// Builds argv from literals (argv[0] is the program name).
+class ArgvBuilder {
+ public:
+  explicit ArgvBuilder(std::vector<std::string> args)
+      : storage_(std::move(args)) {
+    storage_.insert(storage_.begin(), "test_binary");
+    for (std::string& s : storage_) pointers_.push_back(s.data());
+  }
+  int argc() { return static_cast<int>(pointers_.size()); }
+  char** argv() { return pointers_.data(); }
+
+ private:
+  std::vector<std::string> storage_;
+  std::vector<char*> pointers_;
+};
+
+TEST(FlagsTest, EqualsForm) {
+  ArgvBuilder args({"--k=10", "--threshold=0.4"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("k", 0), 10);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("threshold", 0.0), 0.4);
+  flags.CheckNoUnusedFlags();
+}
+
+TEST(FlagsTest, SpaceForm) {
+  ArgvBuilder args({"--scale", "4"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("scale", 1), 4);
+}
+
+TEST(FlagsTest, BareBooleanFlag) {
+  ArgvBuilder args({"--quick"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_TRUE(flags.GetBool("quick", false));
+}
+
+TEST(FlagsTest, DefaultsWhenAbsent) {
+  ArgvBuilder args({});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetInt("k", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("x", 1.5), 1.5);
+  EXPECT_FALSE(flags.GetBool("quick", false));
+  EXPECT_EQ(flags.GetString("name", "default"), "default");
+}
+
+TEST(FlagsTest, IntList) {
+  ArgvBuilder args({"--ks=2,5,10,20"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetIntList("ks", {}),
+            (std::vector<int64_t>{2, 5, 10, 20}));
+}
+
+TEST(FlagsTest, DoubleList) {
+  ArgvBuilder args({"--thresholds=0.3,0.4,0.5"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_EQ(flags.GetDoubleList("thresholds", {}),
+            (std::vector<double>{0.3, 0.4, 0.5}));
+}
+
+TEST(FlagsDeathTest, UnusedFlagAborts) {
+  ArgvBuilder args({"--typo=3"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_DEATH(flags.CheckNoUnusedFlags(), "unknown flag --typo");
+}
+
+TEST(FlagsDeathTest, NonNumericIntAborts) {
+  ArgvBuilder args({"--k=abc"});
+  Flags flags(args.argc(), args.argv());
+  EXPECT_DEATH(flags.GetInt("k", 0), "not an integer");
+}
+
+TEST(FlagsDeathTest, PositionalArgumentAborts) {
+  ArgvBuilder args({"positional"});
+  EXPECT_DEATH(Flags(args.argc(), args.argv()), "positional");
+}
+
+}  // namespace
+}  // namespace adalsh

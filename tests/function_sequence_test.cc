@@ -1,0 +1,125 @@
+#include "core/function_sequence.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/cora_like.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+TEST(FunctionSequenceTest, BuildsExponentialSequence) {
+  GeneratedDataset generated = test::MakePlantedDataset({5, 3}, 1);
+  SequenceConfig config;
+  config.max_budget = 640;
+  StatusOr<FunctionSequence> sequence = FunctionSequence::Build(
+      generated.rule, generated.dataset.record(0), config);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->size(), 6u);  // 20, 40, 80, 160, 320, 640
+  for (size_t i = 0; i < sequence->size(); ++i) {
+    EXPECT_EQ(sequence->budget(i), 20 << i);
+  }
+}
+
+TEST(FunctionSequenceTest, IncreasingCostProperty) {
+  // Property 3: budgets strictly increase along the sequence.
+  GeneratedDataset generated = test::MakePlantedDataset({5}, 2);
+  SequenceConfig config;
+  config.max_budget = 1280;
+  FunctionSequence sequence =
+      FunctionSequence::Build(generated.rule, generated.dataset.record(0),
+                              config)
+          .value();
+  for (size_t i = 1; i < sequence.size(); ++i) {
+    EXPECT_GT(sequence.budget(i), sequence.budget(i - 1));
+    EXPECT_GE(sequence.plan(i).total_hashes(),
+              sequence.plan(i - 1).total_hashes());
+  }
+}
+
+TEST(FunctionSequenceTest, MonotoneWAlongSequence) {
+  // Appendix C.1: per-unit w never decreases between consecutive functions.
+  GeneratedDataset generated = test::MakePlantedDataset({5}, 3);
+  SequenceConfig config;
+  config.max_budget = 2560;
+  FunctionSequence sequence =
+      FunctionSequence::Build(generated.rule, generated.dataset.record(0),
+                              config)
+          .value();
+  for (size_t i = 1; i < sequence.size(); ++i) {
+    const CompositeScheme& prev = sequence.scheme(i - 1);
+    const CompositeScheme& cur = sequence.scheme(i);
+    for (size_t g = 0; g < cur.groups.size(); ++g) {
+      for (size_t u = 0; u < cur.groups[g].w.size(); ++u) {
+        EXPECT_GE(cur.groups[g].w[u], prev.groups[g].w[u])
+            << "function " << i << " group " << g << " unit " << u;
+      }
+    }
+  }
+}
+
+TEST(FunctionSequenceTest, CoraRuleBuilds) {
+  // The multi-field AND rule must compile into a 2-unit single group.
+  CoraLikeConfig cora_config;
+  cora_config.num_entities = 10;
+  cora_config.num_records = 50;
+  GeneratedDataset generated = GenerateCoraLike(cora_config);
+  SequenceConfig config;
+  config.max_budget = 320;
+  StatusOr<FunctionSequence> sequence = FunctionSequence::Build(
+      generated.rule, generated.dataset.record(0), config);
+  ASSERT_TRUE(sequence.ok());
+  EXPECT_EQ(sequence->structure().units.size(), 2u);
+  EXPECT_EQ(sequence->structure().groups.size(), 1u);
+}
+
+TEST(FunctionSequenceTest, InvalidRuleRejected) {
+  GeneratedDataset generated = test::MakePlantedDataset({3}, 4);
+  SequenceConfig config;
+  // Rule references a missing field.
+  StatusOr<FunctionSequence> sequence = FunctionSequence::Build(
+      MatchRule::Leaf(7, 0.5), generated.dataset.record(0), config);
+  EXPECT_FALSE(sequence.ok());
+}
+
+TEST(FunctionSequenceTest, UnhashableRuleRejected) {
+  GeneratedDataset generated = test::MakePlantedDataset({3}, 5);
+  SequenceConfig config;
+  MatchRule nested = MatchRule::And(
+      {MatchRule::Leaf(0, 0.5),
+       MatchRule::Or({MatchRule::Leaf(0, 0.4), MatchRule::Leaf(0, 0.3)})});
+  StatusOr<FunctionSequence> sequence = FunctionSequence::Build(
+      nested, generated.dataset.record(0), config);
+  EXPECT_FALSE(sequence.ok());
+  EXPECT_EQ(sequence.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FunctionSequenceTest, LinearStrategy) {
+  GeneratedDataset generated = test::MakePlantedDataset({3}, 6);
+  SequenceConfig config;
+  config.strategy = BudgetStrategy::Linear(320);
+  config.max_budget = 1280;
+  FunctionSequence sequence =
+      FunctionSequence::Build(generated.rule, generated.dataset.record(0),
+                              config)
+          .value();
+  ASSERT_EQ(sequence.size(), 4u);
+  EXPECT_EQ(sequence.budget(0), 320);
+  EXPECT_EQ(sequence.budget(3), 1280);
+}
+
+TEST(FunctionSequenceTest, DebugStringListsFunctions) {
+  GeneratedDataset generated = test::MakePlantedDataset({3}, 7);
+  SequenceConfig config;
+  config.max_budget = 80;
+  FunctionSequence sequence =
+      FunctionSequence::Build(generated.rule, generated.dataset.record(0),
+                              config)
+          .value();
+  std::string debug = sequence.DebugString();
+  EXPECT_NE(debug.find("H_1"), std::string::npos);
+  EXPECT_NE(debug.find("H_3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adalsh

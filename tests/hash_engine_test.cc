@@ -1,0 +1,86 @@
+#include "core/hash_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scheme_optimizer.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+struct EngineFixture {
+  GeneratedDataset generated;
+  RuleHashStructure structure;
+  SchemePlan plan;
+
+  explicit EngineFixture(int budget, uint64_t seed = 3)
+      : generated(test::MakePlantedDataset({6, 4}, seed)),
+        structure(CompileRuleForHashing(generated.rule).value()),
+        plan(BuildPlan(structure, OptimizeComposite(structure, budget,
+                                                    OptimizerConfig{},
+                                                    nullptr))) {}
+};
+
+TEST(HashEngineTest, TableKeysEqualForIdenticalRecords) {
+  // Records 0 and 1 differ; a record compared with itself must key equal.
+  EngineFixture fixture(80);
+  HashEngine engine(fixture.generated.dataset, fixture.structure, 7);
+  engine.EnsureHashes(0, fixture.plan);
+  for (const TablePlan& table : fixture.plan.tables) {
+    EXPECT_EQ(engine.TableKey(0, table), engine.TableKey(0, table));
+  }
+}
+
+TEST(HashEngineTest, SimilarRecordsShareSomeTables) {
+  // Planted same-entity records (J ~0.8) share at least one bucket under a
+  // generous scheme; different entities share none.
+  EngineFixture fixture(160);
+  HashEngine engine(fixture.generated.dataset, fixture.structure, 7);
+  engine.EnsureHashes(0, fixture.plan);
+  engine.EnsureHashes(1, fixture.plan);  // same entity as 0
+  engine.EnsureHashes(6, fixture.plan);  // different entity
+  int same_entity_collisions = 0, cross_entity_collisions = 0;
+  for (const TablePlan& table : fixture.plan.tables) {
+    same_entity_collisions +=
+        (engine.TableKey(0, table) == engine.TableKey(1, table));
+    cross_entity_collisions +=
+        (engine.TableKey(0, table) == engine.TableKey(6, table));
+  }
+  EXPECT_GT(same_entity_collisions, 0);
+  EXPECT_EQ(cross_entity_collisions, 0);
+}
+
+TEST(HashEngineTest, HashCountTracksEnsures) {
+  EngineFixture fixture(40);
+  HashEngine engine(fixture.generated.dataset, fixture.structure, 7);
+  EXPECT_EQ(engine.total_hashes_computed(), 0u);
+  engine.EnsureHashes(0, fixture.plan);
+  EXPECT_EQ(engine.total_hashes_computed(), fixture.plan.total_hashes());
+  // Idempotent.
+  engine.EnsureHashes(0, fixture.plan);
+  EXPECT_EQ(engine.total_hashes_computed(), fixture.plan.total_hashes());
+  engine.EnsureHashes(1, fixture.plan);
+  EXPECT_EQ(engine.total_hashes_computed(), 2 * fixture.plan.total_hashes());
+}
+
+TEST(HashEngineTest, SeedChangesKeys) {
+  EngineFixture fixture(40);
+  HashEngine a(fixture.generated.dataset, fixture.structure, 1);
+  HashEngine b(fixture.generated.dataset, fixture.structure, 2);
+  a.EnsureHashes(0, fixture.plan);
+  b.EnsureHashes(0, fixture.plan);
+  bool any_differ = false;
+  for (const TablePlan& table : fixture.plan.tables) {
+    any_differ |= (a.TableKey(0, table) != b.TableKey(0, table));
+  }
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(HashEngineDeathTest, KeyBeforeEnsureAborts) {
+  EngineFixture fixture(40);
+  HashEngine engine(fixture.generated.dataset, fixture.structure, 7);
+  EXPECT_DEATH(engine.TableKey(0, fixture.plan.tables[0]), "");
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,151 @@
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "distance/cosine.h"
+#include "distance/jaccard.h"
+#include "lsh/minhash.h"
+#include "lsh/random_hyperplane.h"
+#include "lsh/weighted_field_family.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+Record DenseRecord(std::vector<float> v) {
+  std::vector<Field> fields;
+  fields.push_back(Field::DenseVector(std::move(v)));
+  return Record(std::move(fields));
+}
+
+Record TokenRecord(std::vector<uint64_t> tokens) {
+  std::vector<Field> fields;
+  fields.push_back(Field::TokenSet(std::move(tokens)));
+  return Record(std::move(fields));
+}
+
+double CollisionRate(HashFamily* family, const Record& a, const Record& b,
+                     size_t count) {
+  std::vector<uint64_t> ha(count), hb(count);
+  family->HashRange(a, 0, count, ha.data());
+  family->HashRange(b, 0, count, hb.data());
+  size_t equal = 0;
+  for (size_t i = 0; i < count; ++i) equal += (ha[i] == hb[i]);
+  return static_cast<double>(equal) / count;
+}
+
+TEST(RandomHyperplaneTest, DeterministicAndBatchIndependent) {
+  RandomHyperplaneFamily family(0, 3, 42);
+  Record r = DenseRecord({0.3f, -0.7f, 0.2f});
+  std::vector<uint64_t> all(32);
+  family.HashRange(r, 0, 32, all.data());
+  // Recomputing a sub-range gives identical values.
+  RandomHyperplaneFamily family2(0, 3, 42);
+  std::vector<uint64_t> part(8);
+  family2.HashRange(r, 8, 16, part.data());
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(part[i], all[8 + i]);
+}
+
+TEST(RandomHyperplaneTest, BinaryOutputs) {
+  RandomHyperplaneFamily family(0, 4, 1);
+  Record r = DenseRecord({1.0f, 2.0f, -1.0f, 0.5f});
+  std::vector<uint64_t> h(64);
+  family.HashRange(r, 0, 64, h.data());
+  for (uint64_t v : h) EXPECT_LE(v, 1u);
+  EXPECT_TRUE(family.is_binary());
+}
+
+TEST(RandomHyperplaneTest, CollisionRateMatchesAngle) {
+  // Example 6: collision probability is 1 - theta/180.
+  for (double degrees : {10.0, 30.0, 60.0, 90.0}) {
+    double theta = degrees * M_PI / 180.0;
+    Record a = DenseRecord({1.0f, 0.0f});
+    Record b = DenseRecord({static_cast<float>(std::cos(theta)),
+                            static_cast<float>(std::sin(theta))});
+    RandomHyperplaneFamily family(0, 2, 123);
+    double rate = CollisionRate(&family, a, b, 4000);
+    EXPECT_NEAR(rate, 1.0 - degrees / 180.0, 0.03) << degrees << " degrees";
+  }
+}
+
+TEST(RandomHyperplaneTest, IdenticalVectorsAlwaysCollide) {
+  RandomHyperplaneFamily family(0, 8, 5);
+  Record a = DenseRecord({1, 2, 3, 4, 5, 6, 7, 8});
+  EXPECT_DOUBLE_EQ(CollisionRate(&family, a, a, 256), 1.0);
+}
+
+TEST(MinHashTest, CollisionRateMatchesJaccard) {
+  // MinHash collides with probability equal to the Jaccard similarity.
+  Record a = TokenRecord({1, 2, 3, 4, 5, 6, 7, 8});
+  Record b = TokenRecord({5, 6, 7, 8, 9, 10, 11, 12});  // J = 4/12 = 1/3
+  MinHashFamily family(0, 99);
+  double rate = CollisionRate(&family, a, b, 6000);
+  EXPECT_NEAR(rate, 1.0 / 3.0, 0.03);
+  EXPECT_FALSE(family.is_binary());
+}
+
+TEST(MinHashTest, DisjointSetsNeverCollideInPractice) {
+  Record a = TokenRecord({1, 2, 3});
+  Record b = TokenRecord({4, 5, 6});
+  MinHashFamily family(0, 7);
+  EXPECT_LT(CollisionRate(&family, a, b, 1000), 0.01);
+}
+
+TEST(MinHashTest, Deterministic) {
+  Record a = TokenRecord({10, 20, 30});
+  MinHashFamily f1(0, 3), f2(0, 3);
+  std::vector<uint64_t> h1(16), h2(16);
+  f1.HashRange(a, 0, 16, h1.data());
+  f2.HashRange(a, 0, 16, h2.data());
+  EXPECT_EQ(h1, h2);
+}
+
+TEST(WeightedFieldFamilyTest, PicksFollowWeights) {
+  std::vector<std::unique_ptr<HashFamily>> subs;
+  subs.push_back(std::make_unique<MinHashFamily>(0, 1));
+  subs.push_back(std::make_unique<MinHashFamily>(1, 2));
+  WeightedFieldFamily family(std::move(subs), {0.8, 0.2}, 55);
+  size_t picked_first = 0;
+  constexpr size_t kSamples = 5000;
+  for (size_t j = 0; j < kSamples; ++j) {
+    picked_first += (family.FieldPickForIndex(j) == 0);
+  }
+  EXPECT_NEAR(static_cast<double>(picked_first) / kSamples, 0.8, 0.02);
+}
+
+TEST(WeightedFieldFamilyTest, CollisionRateIsWeightedAverage) {
+  // Theorem 3: collision probability = 1 - weighted average distance.
+  // Field 0: J = 1/3 (distance 2/3); field 1: identical (distance 0).
+  auto make_record = [](std::vector<uint64_t> f0) {
+    std::vector<Field> fields;
+    fields.push_back(Field::TokenSet(std::move(f0)));
+    fields.push_back(Field::TokenSet({100, 200, 300}));
+    return Record(std::move(fields));
+  };
+  Record a = make_record({1, 2, 3, 4, 5, 6, 7, 8});
+  Record b = make_record({5, 6, 7, 8, 9, 10, 11, 12});
+  std::vector<std::unique_ptr<HashFamily>> subs;
+  subs.push_back(std::make_unique<MinHashFamily>(0, 11));
+  subs.push_back(std::make_unique<MinHashFamily>(1, 12));
+  WeightedFieldFamily family(std::move(subs), {0.5, 0.5}, 13);
+  double expected = 1.0 - (0.5 * (2.0 / 3.0) + 0.5 * 0.0);
+  EXPECT_NEAR(CollisionRate(&family, a, b, 6000), expected, 0.03);
+}
+
+TEST(MakeFamilyForFieldsTest, DispatchesOnKind) {
+  std::vector<Field> fields;
+  fields.push_back(Field::DenseVector({1.0f, 2.0f}));
+  fields.push_back(Field::TokenSet({1, 2}));
+  Record prototype(std::move(fields));
+  auto dense_family = MakeFamilyForFields({0}, {1.0}, prototype, 1);
+  EXPECT_TRUE(dense_family->is_binary());
+  auto token_family = MakeFamilyForFields({1}, {1.0}, prototype, 1);
+  EXPECT_FALSE(token_family->is_binary());
+  auto mixed = MakeFamilyForFields({0, 1}, {0.5, 0.5}, prototype, 1);
+  EXPECT_FALSE(mixed->is_binary());
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,61 @@
+#include "image/histogram.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(HistogramTest, SizeIsBinsCubed) {
+  Image image(4, 4);
+  EXPECT_EQ(RgbHistogram(image, 2).size(), 8u);
+  EXPECT_EQ(RgbHistogram(image, 4).size(), 64u);
+  EXPECT_EQ(RgbHistogram(image, 8).size(), 512u);
+}
+
+TEST(HistogramTest, SumsToOne) {
+  Image image(5, 7);
+  image.set(0, 0, 255, 255, 255);
+  image.set(1, 1, 7, 200, 99);
+  std::vector<float> histogram = RgbHistogram(image, 4);
+  double sum = std::accumulate(histogram.begin(), histogram.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(HistogramTest, BlackImageInFirstBin) {
+  Image image(3, 3);
+  std::vector<float> histogram = RgbHistogram(image, 4);
+  EXPECT_FLOAT_EQ(histogram[0], 1.0f);
+}
+
+TEST(HistogramTest, WhiteImageInLastBin) {
+  Image image(3, 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 3; ++x) image.set(x, y, 255, 255, 255);
+  }
+  std::vector<float> histogram = RgbHistogram(image, 4);
+  EXPECT_FLOAT_EQ(histogram.back(), 1.0f);
+}
+
+TEST(HistogramTest, BinIndexRMajor) {
+  // A pure red pixel (255,0,0) with 2 bins lands in bin r=1,g=0,b=0 -> 4.
+  Image image(1, 1);
+  image.set(0, 0, 255, 0, 0);
+  std::vector<float> histogram = RgbHistogram(image, 2);
+  EXPECT_FLOAT_EQ(histogram[4], 1.0f);
+}
+
+TEST(HistogramTest, SizeInvariantForUniformContent) {
+  Image small(4, 4), large(16, 16);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 4; ++x) small.set(x, y, 100, 100, 100);
+  }
+  for (int y = 0; y < 16; ++y) {
+    for (int x = 0; x < 16; ++x) large.set(x, y, 100, 100, 100);
+  }
+  EXPECT_EQ(RgbHistogram(small, 4), RgbHistogram(large, 4));
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,76 @@
+#include "image/image.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(ImageTest, StartsBlack) {
+  Image image(4, 3);
+  EXPECT_EQ(image.width(), 4);
+  EXPECT_EQ(image.height(), 3);
+  for (int y = 0; y < 3; ++y) {
+    for (int x = 0; x < 4; ++x) {
+      for (int c = 0; c < 3; ++c) EXPECT_EQ(image.at(x, y, c), 0);
+    }
+  }
+}
+
+TEST(ImageTest, SetAndGet) {
+  Image image(2, 2);
+  image.set(1, 0, 10, 20, 30);
+  EXPECT_EQ(image.at(1, 0, 0), 10);
+  EXPECT_EQ(image.at(1, 0, 1), 20);
+  EXPECT_EQ(image.at(1, 0, 2), 30);
+  EXPECT_EQ(image.at(0, 0, 0), 0);
+}
+
+TEST(ImageTest, PixelBufferLayout) {
+  Image image(2, 1);
+  image.set(0, 0, 1, 2, 3);
+  image.set(1, 0, 4, 5, 6);
+  EXPECT_EQ(image.pixels(),
+            (std::vector<uint8_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(ImageDeathTest, OutOfBoundsAborts) {
+  Image image(2, 2);
+  EXPECT_DEATH(image.at(2, 0, 0), "");
+  EXPECT_DEATH(image.at(0, 0, 3), "");
+}
+
+TEST(GenerateRandomImageTest, DeterministicPerSeed) {
+  ImagePatternConfig config;
+  config.width = 16;
+  config.height = 16;
+  Rng rng_a(7), rng_b(7);
+  Image a = GenerateRandomImage(config, &rng_a);
+  Image b = GenerateRandomImage(config, &rng_b);
+  EXPECT_EQ(a.pixels(), b.pixels());
+}
+
+TEST(GenerateRandomImageTest, DifferentSeedsDiffer) {
+  ImagePatternConfig config;
+  config.width = 16;
+  config.height = 16;
+  Rng rng_a(7), rng_b(8);
+  Image a = GenerateRandomImage(config, &rng_a);
+  Image b = GenerateRandomImage(config, &rng_b);
+  EXPECT_NE(a.pixels(), b.pixels());
+}
+
+TEST(GenerateRandomImageTest, NotUniform) {
+  ImagePatternConfig config;
+  Rng rng(11);
+  Image image = GenerateRandomImage(config, &rng);
+  // At least two distinct pixel values must appear.
+  bool found_diff = false;
+  const std::vector<uint8_t>& pixels = image.pixels();
+  for (size_t i = 3; i < pixels.size() && !found_diff; i += 3) {
+    found_diff = pixels[i] != pixels[0] || pixels[i + 1] != pixels[1];
+  }
+  EXPECT_TRUE(found_diff);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,165 @@
+// End-to-end tests: the full filtering pipeline (adaLSH, LSH-X, Pairs) on
+// the three generated workload families, checked against ground truth with
+// the paper's metrics.
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "core/lsh_blocking.h"
+#include "core/pairs_baseline.h"
+#include "datagen/cora_like.h"
+#include "datagen/popular_images.h"
+#include "datagen/spotsigs_like.h"
+#include "eval/metrics.h"
+#include "eval/recovery.h"
+
+namespace adalsh {
+namespace {
+
+AdaptiveLshConfig FastAdaptiveConfig() {
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 1280;
+  config.calibration_samples = 30;
+  config.seed = 5;
+  return config;
+}
+
+TEST(IntegrationTest, CoraLikeAdaptiveMatchesGroundTruth) {
+  CoraLikeConfig data_config;
+  data_config.num_entities = 80;
+  data_config.num_records = 600;
+  data_config.seed = 1;
+  GeneratedDataset generated = GenerateCoraLike(data_config);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  FilterOutput output = adalsh.Run(5);
+  SetAccuracy gold = GoldAccuracy(output.clusters, truth, 5);
+  EXPECT_GT(gold.f1, 0.85) << "P=" << gold.precision << " R=" << gold.recall;
+}
+
+TEST(IntegrationTest, CoraLikeAdaptiveMatchesPairs) {
+  // adaLSH's headline accuracy claim: same outcome as exact Pairs.
+  CoraLikeConfig data_config;
+  data_config.num_entities = 60;
+  data_config.num_records = 400;
+  data_config.seed = 2;
+  GeneratedDataset generated = GenerateCoraLike(data_config);
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  FilterOutput adaptive = adalsh.Run(5);
+  PairsBaseline pairs_method(generated.dataset, generated.rule);
+  FilterOutput pairs = pairs_method.Run(5);
+
+  SetAccuracy against_pairs =
+      ComputeSetAccuracy(adaptive.clusters.UnionOfTopClusters(5),
+                         pairs.clusters.UnionOfTopClusters(5));
+  EXPECT_GT(against_pairs.f1, 0.95);
+}
+
+TEST(IntegrationTest, SpotSigsLikeAllMethodsAgree) {
+  SpotSigsLikeConfig data_config;
+  data_config.num_story_entities = 20;
+  data_config.records_in_stories = 250;
+  data_config.num_singletons = 150;
+  data_config.seed = 3;
+  GeneratedDataset generated = GenerateSpotSigsLike(data_config);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  FilterOutput adaptive = adalsh.Run(5);
+  LshBlockingConfig blocking_config;
+  blocking_config.num_hashes = 640;
+  LshBlocking blocking(generated.dataset, generated.rule, blocking_config);
+  FilterOutput blocked = blocking.Run(5);
+  PairsBaseline pairs_method(generated.dataset, generated.rule);
+  FilterOutput pairs = pairs_method.Run(5);
+
+  EXPECT_GT(ComputeSetAccuracy(adaptive.clusters.UnionOfTopClusters(5),
+                               pairs.clusters.UnionOfTopClusters(5))
+                .f1,
+            0.95);
+  EXPECT_GT(ComputeSetAccuracy(blocked.clusters.UnionOfTopClusters(5),
+                               pairs.clusters.UnionOfTopClusters(5))
+                .f1,
+            0.95);
+  EXPECT_GT(GoldAccuracy(adaptive.clusters, truth, 5).f1, 0.7);
+}
+
+TEST(IntegrationTest, PopularImagesAdaptive) {
+  PopularImagesConfig data_config;
+  data_config.num_entities = 50;
+  data_config.num_records = 700;
+  data_config.angle_threshold_degrees = 3.0;
+  data_config.seed = 4;
+  GeneratedDataset generated = GeneratePopularImages(data_config);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  FilterOutput output = adalsh.Run(5);
+  SetAccuracy gold = GoldAccuracy(output.clusters, truth, 5);
+  EXPECT_GT(gold.recall, 0.6) << "P=" << gold.precision;
+  EXPECT_GT(gold.f1, 0.5);
+}
+
+TEST(IntegrationTest, BkImprovesRecallOnSpotSigs) {
+  // Section 7.3: returning bk > k clusters raises Recall Gold.
+  SpotSigsLikeConfig data_config;
+  data_config.num_story_entities = 15;
+  data_config.records_in_stories = 200;
+  data_config.num_singletons = 100;
+  data_config.seed = 6;
+  GeneratedDataset generated = GenerateSpotSigsLike(data_config);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  std::vector<RecordId> gold_k = truth.TopKRecords(5);
+  FilterOutput at_k = adalsh.Run(5);
+  FilterOutput at_bk = adalsh.Run(10);
+  double recall_k =
+      ComputeSetAccuracy(at_k.clusters.UnionOfTopClusters(5), gold_k).recall;
+  double recall_bk =
+      ComputeSetAccuracy(at_bk.clusters.UnionOfTopClusters(10), gold_k).recall;
+  EXPECT_GE(recall_bk, recall_k - 1e-12);
+}
+
+TEST(IntegrationTest, RecoveryReachesPerfectRankedAccuracy) {
+  CoraLikeConfig data_config;
+  data_config.num_entities = 40;
+  data_config.num_records = 300;
+  data_config.seed = 7;
+  GeneratedDataset generated = GenerateCoraLike(data_config);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  FilterOutput output = adalsh.Run(8);
+  Clustering recovered =
+      PerfectRecovery(output.clusters.UnionOfTopClusters(8), truth);
+  RankedAccuracy ranked = ComputeRankedAccuracy(recovered, truth, 4);
+  // With bk = 2k the top-k entities are all touched, so perfect recovery
+  // reconstructs them exactly.
+  EXPECT_GT(ranked.map, 0.95);
+  EXPECT_GT(ranked.mar, 0.95);
+}
+
+TEST(IntegrationTest, AdaptiveDoesLessHashWorkThanBlocking) {
+  // The mechanism behind the speedup: adaLSH computes far fewer hashes.
+  SpotSigsLikeConfig data_config;
+  data_config.num_story_entities = 15;
+  data_config.records_in_stories = 150;
+  data_config.num_singletons = 150;
+  data_config.seed = 8;
+  GeneratedDataset generated = GenerateSpotSigsLike(data_config);
+
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, FastAdaptiveConfig());
+  FilterOutput adaptive = adalsh.Run(5);
+  LshBlockingConfig blocking_config;
+  blocking_config.num_hashes = 1280;
+  LshBlocking blocking(generated.dataset, generated.rule, blocking_config);
+  FilterOutput blocked = blocking.Run(5);
+  EXPECT_LT(adaptive.stats.hashes_computed,
+            blocked.stats.hashes_computed / 2);
+}
+
+}  // namespace
+}  // namespace adalsh

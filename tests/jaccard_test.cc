@@ -1,0 +1,92 @@
+#include "distance/jaccard.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(JaccardTest, IdenticalSets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(JaccardTest, DisjointSets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardDistance({1, 2}, {3, 4}), 1.0);
+}
+
+TEST(JaccardTest, PartialOverlap) {
+  // |{2,3}| / |{1,2,3,4}| = 0.5.
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2, 3}, {2, 3, 4}), 0.5);
+}
+
+TEST(JaccardTest, SubsetRelation) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1, 2}, {1, 2, 3, 4}), 0.5);
+}
+
+TEST(JaccardTest, EmptySets) {
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({}, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSimilarity({1}, {}), 0.0);
+}
+
+TEST(JaccardTest, Symmetric) {
+  std::vector<uint64_t> a = {1, 5, 9, 13};
+  std::vector<uint64_t> b = {1, 9, 21};
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), JaccardSimilarity(b, a));
+}
+
+TEST(JaccardAtLeastTest, MatchesExactComputation) {
+  // Property check: the early-exit predicate agrees with the exact value on
+  // random set pairs across thresholds.
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<uint64_t> a, b;
+    size_t na = 1 + next() % 120, nb = 1 + next() % 120;
+    for (size_t i = 0; i < na; ++i) a.push_back(next() % 200);
+    for (size_t i = 0; i < nb; ++i) b.push_back(next() % 200);
+    std::sort(a.begin(), a.end());
+    a.erase(std::unique(a.begin(), a.end()), a.end());
+    std::sort(b.begin(), b.end());
+    b.erase(std::unique(b.begin(), b.end()), b.end());
+    double sim = JaccardSimilarity(a, b);
+    for (double threshold : {0.1, 0.3, 0.4, 0.5, 0.8}) {
+      if (std::abs(sim - threshold) < 1e-9) continue;  // boundary ties
+      EXPECT_EQ(JaccardSimilarityAtLeast(a, b, threshold), sim >= threshold)
+          << "trial " << trial << " sim " << sim << " thr " << threshold;
+    }
+  }
+}
+
+TEST(JaccardAtLeastTest, EdgeCases) {
+  EXPECT_TRUE(JaccardSimilarityAtLeast({1, 2}, {3, 4}, 0.0));
+  EXPECT_FALSE(JaccardSimilarityAtLeast({1, 2}, {3, 4}, 0.1));
+  EXPECT_TRUE(JaccardSimilarityAtLeast({}, {}, 1.0));
+  EXPECT_FALSE(JaccardSimilarityAtLeast({}, {1}, 0.5));
+  // Size-ratio prefilter: |A|=2, |B|=10 caps J at 0.2.
+  EXPECT_FALSE(JaccardSimilarityAtLeast({1, 2},
+                                        {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+                                        0.3));
+  EXPECT_TRUE(JaccardSimilarityAtLeast({1, 2},
+                                       {1, 2, 3, 4, 5, 6, 7, 8, 9, 10},
+                                       0.2));
+}
+
+TEST(JaccardTest, Triangleish) {
+  // Jaccard distance is a metric: check a triangle instance.
+  std::vector<uint64_t> a = {1, 2, 3};
+  std::vector<uint64_t> b = {2, 3, 4};
+  std::vector<uint64_t> c = {3, 4, 5};
+  EXPECT_LE(JaccardDistance(a, c),
+            JaccardDistance(a, b) + JaccardDistance(b, c) + 1e-12);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,95 @@
+#include "core/lsh_blocking.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+TEST(LshBlockingTest, FindsTopKClusters) {
+  GeneratedDataset generated =
+      test::MakePlantedDataset({25, 15, 8, 3, 1, 1}, 3);
+  LshBlockingConfig config;
+  config.num_hashes = 640;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  FilterOutput output = blocking.Run(3);
+  ASSERT_EQ(output.clusters.clusters.size(), 3u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 25u);
+  EXPECT_EQ(output.clusters.clusters[1].size(), 15u);
+  EXPECT_EQ(output.clusters.clusters[2].size(), 8u);
+}
+
+TEST(LshBlockingTest, VerifiedClustersAreExact) {
+  GeneratedDataset generated = test::MakePlantedDataset({10, 10, 5}, 5);
+  LshBlockingConfig config;
+  config.num_hashes = 320;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  FilterOutput output = blocking.Run(2);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(output.clusters.UnionOfTopClusters(2), truth.TopKRecords(2));
+  // Verification implies some pairwise work happened.
+  EXPECT_GT(output.stats.pairwise_similarities, 0u);
+}
+
+TEST(LshBlockingTest, SchemeRespectsBudget) {
+  GeneratedDataset generated = test::MakePlantedDataset({5, 3}, 7);
+  LshBlockingConfig config;
+  config.num_hashes = 1280;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  EXPECT_LE(blocking.scheme().budget(), 1280);
+  EXPECT_GE(blocking.scheme().budget(), 1280 - 64);  // nearly consumed
+}
+
+TEST(LshBlockingTest, AllRecordsHashedAtFullBudget) {
+  // Unlike adaLSH, LSH-X pays the whole budget on every record.
+  GeneratedDataset generated = test::MakePlantedDataset({8, 4, 2, 1, 1}, 9);
+  LshBlockingConfig config;
+  config.num_hashes = 320;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  FilterOutput output = blocking.Run(2);
+  EXPECT_EQ(output.stats.hashes_computed,
+            static_cast<uint64_t>(blocking.scheme().budget()) *
+                generated.dataset.num_records());
+}
+
+TEST(LshBlockingTest, NoPairwiseVariantSkipsVerification) {
+  GeneratedDataset generated = test::MakePlantedDataset({12, 6, 3}, 11);
+  LshBlockingConfig config;
+  config.num_hashes = 320;
+  config.apply_pairwise = false;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  FilterOutput output = blocking.Run(2);
+  EXPECT_EQ(output.stats.pairwise_similarities, 0u);
+  EXPECT_EQ(output.clusters.clusters.size(), 2u);
+}
+
+TEST(LshBlockingTest, NoPairwiseLowBudgetMayMergeEntities) {
+  // With P disabled and a large budget the stage-1 clusters match the
+  // verified ones on this easy dataset.
+  GeneratedDataset generated = test::MakePlantedDataset({10, 5, 2, 1}, 13);
+  LshBlockingConfig np_config;
+  np_config.num_hashes = 640;
+  np_config.apply_pairwise = false;
+  LshBlocking np(generated.dataset, generated.rule, np_config);
+  FilterOutput np_output = np.Run(2);
+  LshBlockingConfig verified_config;
+  verified_config.num_hashes = 640;
+  LshBlocking verified(generated.dataset, generated.rule, verified_config);
+  FilterOutput verified_output = verified.Run(2);
+  EXPECT_EQ(np_output.clusters.UnionOfTopClusters(2),
+            verified_output.clusters.UnionOfTopClusters(2));
+}
+
+TEST(LshBlockingTest, DeterministicPerSeed) {
+  GeneratedDataset generated = test::MakePlantedDataset({10, 5}, 15);
+  LshBlockingConfig config;
+  config.num_hashes = 160;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  FilterOutput a = blocking.Run(1);
+  FilterOutput b = blocking.Run(1);
+  EXPECT_EQ(a.clusters.UnionOfTopClusters(1), b.clusters.UnionOfTopClusters(1));
+}
+
+}  // namespace
+}  // namespace adalsh

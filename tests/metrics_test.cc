@@ -1,0 +1,104 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(SetAccuracyTest, PerfectMatch) {
+  SetAccuracy accuracy = ComputeSetAccuracy({1, 2, 3}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(accuracy.precision, 1.0);
+  EXPECT_DOUBLE_EQ(accuracy.recall, 1.0);
+  EXPECT_DOUBLE_EQ(accuracy.f1, 1.0);
+}
+
+TEST(SetAccuracyTest, PartialOverlap) {
+  // Output {1,2,3,4}, truth {3,4,5,6}: P = 0.5, R = 0.5, F1 = 0.5.
+  SetAccuracy accuracy = ComputeSetAccuracy({1, 2, 3, 4}, {3, 4, 5, 6});
+  EXPECT_DOUBLE_EQ(accuracy.precision, 0.5);
+  EXPECT_DOUBLE_EQ(accuracy.recall, 0.5);
+  EXPECT_DOUBLE_EQ(accuracy.f1, 0.5);
+}
+
+TEST(SetAccuracyTest, AsymmetricSizes) {
+  // Output {1,2}, truth {1,2,3,4}: P = 1, R = 0.5, F1 = 2/3.
+  SetAccuracy accuracy = ComputeSetAccuracy({1, 2}, {1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(accuracy.precision, 1.0);
+  EXPECT_DOUBLE_EQ(accuracy.recall, 0.5);
+  EXPECT_NEAR(accuracy.f1, 2.0 / 3.0, 1e-12);
+}
+
+TEST(SetAccuracyTest, EmptyCases) {
+  SetAccuracy no_output = ComputeSetAccuracy({}, {1, 2});
+  EXPECT_DOUBLE_EQ(no_output.precision, 0.0);
+  EXPECT_DOUBLE_EQ(no_output.recall, 0.0);
+  EXPECT_DOUBLE_EQ(no_output.f1, 0.0);
+  SetAccuracy disjoint = ComputeSetAccuracy({1}, {2});
+  EXPECT_DOUBLE_EQ(disjoint.f1, 0.0);
+}
+
+TEST(GoldAccuracyTest, AgainstGroundTruth) {
+  // Truth: entity 0 -> {0,1,2}, entity 1 -> {3,4}; top-1 = {0,1,2}.
+  GroundTruth truth({0, 0, 0, 1, 1});
+  Clustering output;
+  output.clusters = {{0, 1, 3}};  // 2 of top-1 plus a stray
+  SetAccuracy accuracy = GoldAccuracy(output, truth, 1);
+  EXPECT_NEAR(accuracy.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(accuracy.recall, 2.0 / 3.0, 1e-12);
+}
+
+TEST(RankedAccuracyTest, PaperWorkedExample) {
+  // Section 6.2.1: C = {{a,b,c,f},{e}}, C* = {{a,b,c},{e,g}} ->
+  // mAP = 0.775, mAR = 0.9. Encode a=0 b=1 c=2 f=3 e=4 g=5.
+  GroundTruth truth({0, 0, 0, 2, 1, 1});  // f is its own entity (2)
+  // truth clusters by size: {a,b,c} then {e,g} then {f}.
+  Clustering output;
+  output.clusters = {{0, 1, 2, 3}, {4}};
+  RankedAccuracy ranked = ComputeRankedAccuracy(output, truth, 2);
+  EXPECT_NEAR(ranked.map, 0.775, 1e-12);
+  EXPECT_NEAR(ranked.mar, 0.9, 1e-12);
+}
+
+TEST(RankedAccuracyTest, PerfectOutput) {
+  GroundTruth truth({0, 0, 0, 1, 1, 2});
+  Clustering output;
+  output.clusters = {{0, 1, 2}, {3, 4}, {5}};
+  RankedAccuracy ranked = ComputeRankedAccuracy(output, truth, 3);
+  EXPECT_DOUBLE_EQ(ranked.map, 1.0);
+  EXPECT_DOUBLE_EQ(ranked.mar, 1.0);
+}
+
+TEST(RankedAccuracyTest, MissingClustersHurtRecall) {
+  GroundTruth truth({0, 0, 0, 1, 1, 2});
+  Clustering output;
+  output.clusters = {{0, 1, 2}};  // only the top-1 cluster found
+  RankedAccuracy ranked = ComputeRankedAccuracy(output, truth, 2);
+  EXPECT_DOUBLE_EQ(ranked.map, 1.0);  // what was returned is pure
+  // R_1 = 1, R_2 = 3/5.
+  EXPECT_NEAR(ranked.mar, (1.0 + 0.6) / 2.0, 1e-12);
+}
+
+TEST(RankedAccuracyTest, HigherRanksWeighMore) {
+  // An error in the top cluster hurts more than the same error lower down.
+  GroundTruth truth({0, 0, 0, 1, 1, 2});
+  Clustering error_on_top;
+  error_on_top.clusters = {{0, 1, 5}, {3, 4}};  // stray in rank-1 cluster
+  Clustering error_below;
+  error_below.clusters = {{0, 1, 2}, {3, 5}};  // stray in rank-2 cluster
+  RankedAccuracy top = ComputeRankedAccuracy(error_on_top, truth, 2);
+  RankedAccuracy below = ComputeRankedAccuracy(error_below, truth, 2);
+  EXPECT_LT(top.map, below.map);
+}
+
+TEST(RankedAccuracyAgainstTest, ReferenceClustering) {
+  Clustering reference;
+  reference.clusters = {{0, 1, 2}, {3, 4}};
+  Clustering output;
+  output.clusters = {{0, 1, 2}, {3, 4}};
+  RankedAccuracy ranked = ComputeRankedAccuracyAgainst(output, reference, 2);
+  EXPECT_DOUBLE_EQ(ranked.map, 1.0);
+  EXPECT_DOUBLE_EQ(ranked.mar, 1.0);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,119 @@
+#include "datagen/multimodal.h"
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "core/lsh_blocking.h"
+#include "core/pairs_baseline.h"
+#include "eval/metrics.h"
+
+namespace adalsh {
+namespace {
+
+MultiModalConfig SmallConfig() {
+  MultiModalConfig config;
+  config.num_entities = 15;
+  config.num_records = 150;
+  config.seed = 7;
+  return config;
+}
+
+TEST(MultiModalTest, ShapeAndSchema) {
+  GeneratedDataset generated = GenerateMultiModal(SmallConfig());
+  EXPECT_EQ(generated.dataset.num_records(), 150u);
+  const Record& record = generated.dataset.record(0);
+  ASSERT_EQ(record.num_fields(), 2u);
+  EXPECT_TRUE(record.field(0).is_dense());
+  EXPECT_TRUE(record.field(1).is_token_set());
+  EXPECT_EQ(generated.rule.type(), MatchRule::Type::kOr);
+}
+
+TEST(MultiModalTest, Deterministic) {
+  GeneratedDataset a = GenerateMultiModal(SmallConfig());
+  GeneratedDataset b = GenerateMultiModal(SmallConfig());
+  for (RecordId r = 0; r < a.dataset.num_records(); ++r) {
+    EXPECT_EQ(a.dataset.record(r).field(1).tokens(),
+              b.dataset.record(r).field(1).tokens());
+  }
+}
+
+TEST(MultiModalTest, NeitherModalityAloneSuffices) {
+  // Some within-entity pairs fail the photo leaf, some fail the fingerprint
+  // leaf, but the OR rule holds for (almost) all of them.
+  GeneratedDataset generated = GenerateMultiModal(SmallConfig());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  MatchRule photo_only = MatchRule::Leaf(0, generated.rule.children()[0].threshold());
+  MatchRule fp_only = MatchRule::Leaf(1, generated.rule.children()[1].threshold());
+  const std::vector<RecordId>& top = truth.cluster(0);
+  ASSERT_GE(top.size(), 8u);
+  int photo_fail = 0, fp_fail = 0, or_match = 0, pairs = 0;
+  for (size_t i = 0; i < top.size() && i < 15; ++i) {
+    for (size_t j = i + 1; j < top.size() && j < 15; ++j) {
+      const Record& a = generated.dataset.record(top[i]);
+      const Record& b = generated.dataset.record(top[j]);
+      photo_fail += !photo_only.Matches(a, b);
+      fp_fail += !fp_only.Matches(a, b);
+      or_match += generated.rule.Matches(a, b);
+      ++pairs;
+    }
+  }
+  EXPECT_GT(photo_fail, 0);
+  EXPECT_GT(fp_fail, 0);
+  EXPECT_GT(static_cast<double>(or_match) / pairs, 0.85);
+}
+
+TEST(MultiModalTest, CrossEntityPairsDoNotMatch) {
+  GeneratedDataset generated = GenerateMultiModal(SmallConfig());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  int matches = 0, pairs = 0;
+  for (RecordId a = 0; a < 80; ++a) {
+    for (RecordId b = a + 1; b < 80; ++b) {
+      if (truth.entity_of(a) == truth.entity_of(b)) continue;
+      matches += generated.rule.Matches(generated.dataset.record(a),
+                                        generated.dataset.record(b));
+      ++pairs;
+    }
+  }
+  ASSERT_GT(pairs, 100);
+  EXPECT_LE(matches, pairs / 100);
+}
+
+TEST(MultiModalTest, LshBlockingHandlesOrRule) {
+  // The OR budget split (Programs 7-10) also drives the one-shot baseline.
+  GeneratedDataset generated = GenerateMultiModal(SmallConfig());
+  LshBlockingConfig config;
+  config.num_hashes = 640;
+  LshBlocking blocking(generated.dataset, generated.rule, config);
+  ASSERT_EQ(blocking.scheme().groups.size(), 2u);  // one group per modality
+  EXPECT_GE(blocking.scheme().groups[0].budget(), 1);
+  EXPECT_GE(blocking.scheme().groups[1].budget(), 1);
+  FilterOutput output = blocking.Run(3);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput exact = pairs.Run(3);
+  EXPECT_GT(ComputeSetAccuracy(output.clusters.UnionOfTopClusters(3),
+                               exact.clusters.UnionOfTopClusters(3))
+                .f1,
+            0.9);
+}
+
+TEST(MultiModalTest, AdaptiveLshHandlesOrRule) {
+  // End-to-end through the OR hashing construction (Programs 7-10).
+  GeneratedDataset generated = GenerateMultiModal(SmallConfig());
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 1280;
+  config.calibration_samples = 20;
+  config.seed = 3;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput adaptive = adalsh.Run(3);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput exact = pairs.Run(3);
+  SetAccuracy vs_exact =
+      ComputeSetAccuracy(adaptive.clusters.UnionOfTopClusters(3),
+                         exact.clusters.UnionOfTopClusters(3));
+  EXPECT_GT(vs_exact.f1, 0.9);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_GT(GoldAccuracy(adaptive.clusters, truth, 3).f1, 0.8);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,76 @@
+#include "util/numeric.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(SimpsonTest, IntegratesPolynomialExactly) {
+  // Simpson is exact for cubics.
+  auto cubic = [](double x) { return x * x * x - 2 * x + 1; };
+  // Integral over [0,2]: x^4/4 - x^2 + x = 4 - 4 + 2 = 2.
+  EXPECT_NEAR(SimpsonIntegrate(cubic, 0.0, 2.0, 4), 2.0, 1e-12);
+}
+
+TEST(SimpsonTest, IntegratesTranscendental) {
+  EXPECT_NEAR(SimpsonIntegrate([](double x) { return std::sin(x); }, 0.0,
+                               M_PI, 64),
+              2.0, 1e-6);
+}
+
+TEST(SimpsonTest, OddIntervalCountRoundsUp) {
+  // 3 intervals rounds to 4; result should still be correct.
+  EXPECT_NEAR(SimpsonIntegrate([](double x) { return x; }, 0.0, 1.0, 3), 0.5,
+              1e-12);
+}
+
+TEST(Simpson2DTest, SeparableProduct) {
+  // Integral of x*y over unit square = 1/4.
+  EXPECT_NEAR(SimpsonIntegrate2D([](double x, double y) { return x * y; },
+                                 0.0, 1.0, 0.0, 1.0, 8),
+              0.25, 1e-12);
+}
+
+TEST(Simpson2DTest, NonSeparable) {
+  // Integral of (x + y)^2 over unit square = 7/6.
+  EXPECT_NEAR(SimpsonIntegrate2D(
+                  [](double x, double y) { return (x + y) * (x + y); }, 0.0,
+                  1.0, 0.0, 1.0, 16),
+              7.0 / 6.0, 1e-9);
+}
+
+TEST(PowIntTest, MatchesStdPow) {
+  for (uint64_t e : {0ull, 1ull, 2ull, 7ull, 30ull, 140ull, 1000ull}) {
+    EXPECT_NEAR(PowInt(0.9167, e), std::pow(0.9167, static_cast<double>(e)),
+                1e-9)
+        << "exponent " << e;
+  }
+}
+
+TEST(PowIntTest, ZeroAndOneBases) {
+  EXPECT_DOUBLE_EQ(PowInt(0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(PowInt(0.0, 5), 0.0);
+  EXPECT_DOUBLE_EQ(PowInt(1.0, 1000000), 1.0);
+}
+
+TEST(PairCountTest, SmallValues) {
+  EXPECT_EQ(PairCount(0), 0u);
+  EXPECT_EQ(PairCount(1), 0u);
+  EXPECT_EQ(PairCount(2), 1u);
+  EXPECT_EQ(PairCount(5), 10u);
+  EXPECT_EQ(PairCount(100000), 4999950000u);
+}
+
+TEST(FloorLog2Test, PowersAndBetween) {
+  EXPECT_EQ(FloorLog2(1), 0);
+  EXPECT_EQ(FloorLog2(2), 1);
+  EXPECT_EQ(FloorLog2(3), 1);
+  EXPECT_EQ(FloorLog2(4), 2);
+  EXPECT_EQ(FloorLog2(1023), 9);
+  EXPECT_EQ(FloorLog2(1024), 10);
+}
+
+}  // namespace
+}  // namespace adalsh

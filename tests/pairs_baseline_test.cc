@@ -1,0 +1,47 @@
+#include "core/pairs_baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/numeric.h"
+
+namespace adalsh {
+namespace {
+
+TEST(PairsBaselineTest, ExactTopK) {
+  GeneratedDataset generated =
+      test::MakePlantedDataset({20, 12, 7, 3, 1, 1}, 3);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput output = pairs.Run(3);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  ASSERT_EQ(output.clusters.clusters.size(), 3u);
+  EXPECT_EQ(output.clusters.UnionOfTopClusters(3), truth.TopKRecords(3));
+}
+
+TEST(PairsBaselineTest, SimilarityCountBounded) {
+  GeneratedDataset generated = test::MakePlantedDataset({10, 10}, 5);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput output = pairs.Run(1);
+  EXPECT_LE(output.stats.pairwise_similarities, PairCount(20));
+  EXPECT_GT(output.stats.pairwise_similarities, 0u);
+  EXPECT_EQ(output.stats.records_finished_by_pairwise, 20u);
+}
+
+TEST(PairsBaselineTest, KOne) {
+  GeneratedDataset generated = test::MakePlantedDataset({9, 4, 2}, 7);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput output = pairs.Run(1);
+  ASSERT_EQ(output.clusters.clusters.size(), 1u);
+  EXPECT_EQ(output.clusters.clusters[0].size(), 9u);
+}
+
+TEST(PairsBaselineTest, AllClustersWhenKHuge) {
+  GeneratedDataset generated = test::MakePlantedDataset({5, 3, 1}, 9);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput output = pairs.Run(100);
+  EXPECT_EQ(output.clusters.clusters.size(), 3u);
+  EXPECT_EQ(output.clusters.TotalRecords(), 9u);
+}
+
+}  // namespace
+}  // namespace adalsh

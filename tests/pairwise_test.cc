@@ -1,0 +1,81 @@
+#include "core/pairwise.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "util/numeric.h"
+
+namespace adalsh {
+namespace {
+
+TEST(PairwiseTest, RecoversExactClusters) {
+  GeneratedDataset generated = test::MakePlantedDataset({8, 5, 3, 1}, 3);
+  PairwiseComputer pairwise(generated.dataset, generated.rule);
+  ParentPointerForest forest;
+  std::vector<NodeId> roots =
+      pairwise.Apply(generated.dataset.AllRecordIds(), &forest);
+  std::vector<size_t> sizes;
+  for (NodeId root : roots) sizes.push_back(forest.LeafCount(root));
+  std::sort(sizes.rbegin(), sizes.rend());
+  EXPECT_EQ(sizes, (std::vector<size_t>{8, 5, 3, 1}));
+}
+
+TEST(PairwiseTest, ProducerIsPairwise) {
+  GeneratedDataset generated = test::MakePlantedDataset({3, 2}, 5);
+  PairwiseComputer pairwise(generated.dataset, generated.rule);
+  ParentPointerForest forest;
+  std::vector<NodeId> roots =
+      pairwise.Apply(generated.dataset.AllRecordIds(), &forest);
+  for (NodeId root : roots) {
+    EXPECT_EQ(forest.Producer(root), kProducerPairwise);
+  }
+}
+
+TEST(PairwiseTest, TransitiveClosureSkipsPairs) {
+  // With clusters present, skipped same-tree pairs reduce the similarity
+  // count below C(n, 2).
+  GeneratedDataset generated = test::MakePlantedDataset({10, 10}, 7);
+  PairwiseComputer pairwise(generated.dataset, generated.rule);
+  ParentPointerForest forest;
+  pairwise.Apply(generated.dataset.AllRecordIds(), &forest);
+  uint64_t all_pairs = PairCount(20);
+  EXPECT_LT(pairwise.total_similarities(), all_pairs);
+  EXPECT_GT(pairwise.total_similarities(), 0u);
+}
+
+TEST(PairwiseTest, SingletonInput) {
+  GeneratedDataset generated = test::MakePlantedDataset({1}, 9);
+  PairwiseComputer pairwise(generated.dataset, generated.rule);
+  ParentPointerForest forest;
+  std::vector<NodeId> roots = pairwise.Apply({0}, &forest);
+  ASSERT_EQ(roots.size(), 1u);
+  EXPECT_EQ(forest.LeafCount(roots[0]), 1u);
+  EXPECT_EQ(pairwise.total_similarities(), 0u);
+}
+
+TEST(PairwiseTest, SubsetApplication) {
+  GeneratedDataset generated = test::MakePlantedDataset({4, 4}, 11);
+  PairwiseComputer pairwise(generated.dataset, generated.rule);
+  ParentPointerForest forest;
+  // Mix two records of each entity.
+  std::vector<NodeId> roots = pairwise.Apply({0, 1, 4, 5}, &forest);
+  std::vector<size_t> sizes;
+  for (NodeId root : roots) sizes.push_back(forest.LeafCount(root));
+  std::sort(sizes.rbegin(), sizes.rend());
+  EXPECT_EQ(sizes, (std::vector<size_t>{2, 2}));
+}
+
+TEST(PairwiseTest, CountsAccumulateAcrossInvocations) {
+  GeneratedDataset generated = test::MakePlantedDataset({3, 3}, 13);
+  PairwiseComputer pairwise(generated.dataset, generated.rule);
+  ParentPointerForest forest;
+  pairwise.Apply({0, 1, 2}, &forest);
+  uint64_t first = pairwise.total_similarities();
+  pairwise.Apply({3, 4, 5}, &forest);
+  EXPECT_GT(pairwise.total_similarities(), first);
+}
+
+}  // namespace
+}  // namespace adalsh

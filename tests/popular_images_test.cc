@@ -1,0 +1,96 @@
+#include "datagen/popular_images.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/cosine.h"
+#include "distance/rule.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+PopularImagesConfig SmallConfig() {
+  PopularImagesConfig config;
+  config.num_entities = 20;
+  config.num_records = 200;
+  config.seed = 31;
+  return config;
+}
+
+TEST(PopularImagesTest, ShapeAndSchema) {
+  GeneratedDataset generated = GeneratePopularImages(SmallConfig());
+  EXPECT_EQ(generated.dataset.num_records(), 200u);
+  EXPECT_EQ(generated.dataset.record(0).num_fields(), 1u);
+  EXPECT_TRUE(generated.dataset.record(0).field(0).is_dense());
+  EXPECT_EQ(generated.dataset.record(0).field(0).size(), 64u);  // 4^3 bins
+}
+
+TEST(PopularImagesTest, Deterministic) {
+  GeneratedDataset a = GeneratePopularImages(SmallConfig());
+  GeneratedDataset b = GeneratePopularImages(SmallConfig());
+  for (RecordId r = 0; r < a.dataset.num_records(); ++r) {
+    EXPECT_EQ(a.dataset.record(r).field(0).dense(),
+              b.dataset.record(r).field(0).dense());
+  }
+}
+
+TEST(PopularImagesTest, WithinEntityDistancesAreSmall) {
+  GeneratedDataset generated = GeneratePopularImages(SmallConfig());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  const std::vector<RecordId>& top = truth.cluster(0);
+  ASSERT_GE(top.size(), 5u);
+  // Record 0 of the cluster is the untransformed original; copies stay
+  // within a few degrees of it.
+  int close = 0, total = 0;
+  for (size_t i = 1; i < top.size() && i < 20; ++i) {
+    double degrees = NormalizedAngleToDegrees(
+        CosineDistance(generated.dataset.record(top[0]).field(0).dense(),
+                       generated.dataset.record(top[i]).field(0).dense()));
+    ++total;
+    close += (degrees < 5.0);
+  }
+  EXPECT_GT(static_cast<double>(close) / total, 0.8);
+}
+
+TEST(PopularImagesTest, CrossEntityDistancesAreLarge) {
+  GeneratedDataset generated = GeneratePopularImages(SmallConfig());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  Rng rng(7);
+  int far = 0, total = 0;
+  for (int i = 0; i < 200; ++i) {
+    RecordId a = static_cast<RecordId>(
+        rng.NextBelow(generated.dataset.num_records()));
+    RecordId b = static_cast<RecordId>(
+        rng.NextBelow(generated.dataset.num_records()));
+    if (truth.entity_of(a) == truth.entity_of(b)) continue;
+    double degrees = NormalizedAngleToDegrees(
+        CosineDistance(generated.dataset.record(a).field(0).dense(),
+                       generated.dataset.record(b).field(0).dense()));
+    ++total;
+    far += (degrees > 5.0);
+  }
+  ASSERT_GT(total, 100);
+  EXPECT_GT(static_cast<double>(far) / total, 0.95);
+}
+
+TEST(PopularImagesTest, ZipfExponentControlsTopSize) {
+  PopularImagesConfig flat = SmallConfig();
+  flat.zipf_exponent = 1.05;
+  PopularImagesConfig steep = SmallConfig();
+  steep.zipf_exponent = 1.2;
+  GroundTruth flat_truth =
+      GeneratePopularImages(flat).dataset.BuildGroundTruth();
+  GroundTruth steep_truth =
+      GeneratePopularImages(steep).dataset.BuildGroundTruth();
+  EXPECT_GT(steep_truth.cluster(0).size(), flat_truth.cluster(0).size());
+}
+
+TEST(PopularImagesTest, RuleThresholdInDegrees) {
+  PopularImagesConfig config = SmallConfig();
+  config.angle_threshold_degrees = 5.0;
+  GeneratedDataset generated = GeneratePopularImages(config);
+  EXPECT_NEAR(generated.rule.threshold(), 5.0 / 180.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace adalsh

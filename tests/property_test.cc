@@ -1,0 +1,300 @@
+// Parameterized property sweeps over the library's probabilistic guarantees:
+// LSH collision curves vs analytic predictions, the sequence properties of
+// Section 2.2, and Largest-First behaviour.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "core/pairs_baseline.h"
+#include "core/scheme_optimizer.h"
+#include "core/transitive_hash_function.h"
+#include "datagen/spotsigs_like.h"
+#include "distance/cosine.h"
+#include "eval/metrics.h"
+#include "lsh/minhash.h"
+#include "lsh/random_hyperplane.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Collision-rate sweep: empirical (w, z)-scheme bucket collisions must track
+// the analytic 1 - (1 - p^w)^z curve (Fig. 5 / Fig. 7).
+// ---------------------------------------------------------------------------
+
+class SchemeCollisionSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(SchemeCollisionSweep, EmpiricalMatchesAnalytic) {
+  auto [w, z, degrees] = GetParam();
+  double x = DegreesToNormalizedAngle(degrees);
+  double theta = degrees * M_PI / 180.0;
+
+  // Build the two vectors at the target angle and count shared buckets over
+  // many independent scheme instantiations.
+  std::vector<Field> fa, fb;
+  fa.push_back(Field::DenseVector({1.0f, 0.0f}));
+  fb.push_back(Field::DenseVector({static_cast<float>(std::cos(theta)),
+                                   static_cast<float>(std::sin(theta))}));
+  Record a(std::move(fa)), b(std::move(fb));
+
+  constexpr int kTrials = 300;
+  int collisions = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    RandomHyperplaneFamily family(0, 2, 1000 + trial);
+    std::vector<uint64_t> ha(w * z), hb(w * z);
+    family.HashRange(a, 0, w * z, ha.data());
+    family.HashRange(b, 0, w * z, hb.data());
+    bool shared = false;
+    for (int t = 0; t < z && !shared; ++t) {
+      bool table_equal = true;
+      for (int j = 0; j < w; ++j) {
+        if (ha[t * w + j] != hb[t * w + j]) {
+          table_equal = false;
+          break;
+        }
+      }
+      shared = table_equal;
+    }
+    collisions += shared;
+  }
+  double empirical = static_cast<double>(collisions) / kTrials;
+  double analytic =
+      SchemeCollisionProbability(LinearCollisionModel(), x, w, z);
+  EXPECT_NEAR(empirical, analytic, 0.08)
+      << "w=" << w << " z=" << z << " angle=" << degrees;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WzAngles, SchemeCollisionSweep,
+    ::testing::Values(std::make_tuple(1, 1, 30.0), std::make_tuple(4, 4, 15.0),
+                      std::make_tuple(4, 4, 45.0), std::make_tuple(8, 2, 20.0),
+                      std::make_tuple(2, 8, 60.0),
+                      std::make_tuple(6, 10, 30.0)));
+
+// ---------------------------------------------------------------------------
+// Optimizer sweep: for every budget, the chosen scheme satisfies the
+// threshold constraint whenever it reports constraint_met, consumes the
+// budget exactly, and tighter thresholds never get a larger objective.
+// ---------------------------------------------------------------------------
+
+class OptimizerBudgetSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerBudgetSweep, SchemeSatisfiesConstraint) {
+  int budget = GetParam();
+  OptimizerConfig config;
+  for (double threshold : {0.05, 0.1, 0.2, 0.4, 0.6}) {
+    OptimizerUnit unit;
+    unit.p = LinearCollisionModel();
+    unit.threshold = threshold;
+    WzScheme scheme = OptimizeSingleScheme(unit, budget, config);
+    EXPECT_EQ(scheme.budget(), budget);
+    if (scheme.constraint_met) {
+      double prob = SchemeCollisionProbabilityWithRemainder(
+          LinearCollisionModel(), threshold, scheme.w, scheme.z, scheme.w_rem);
+      EXPECT_GE(prob, 1.0 - config.epsilon)
+          << "budget=" << budget << " thr=" << threshold;
+    }
+  }
+}
+
+TEST_P(OptimizerBudgetSweep, TighterThresholdSharperScheme) {
+  int budget = GetParam();
+  OptimizerConfig config;
+  OptimizerUnit tight, loose;
+  tight.p = loose.p = LinearCollisionModel();
+  tight.threshold = 0.05;
+  loose.threshold = 0.5;
+  WzScheme tight_scheme = OptimizeSingleScheme(tight, budget, config);
+  WzScheme loose_scheme = OptimizeSingleScheme(loose, budget, config);
+  if (tight_scheme.constraint_met && loose_scheme.constraint_met) {
+    EXPECT_GE(tight_scheme.w, loose_scheme.w);
+    EXPECT_LE(tight_scheme.objective, loose_scheme.objective + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, OptimizerBudgetSweep,
+                         ::testing::Values(20, 40, 80, 160, 320, 640, 1280,
+                                           2560));
+
+// ---------------------------------------------------------------------------
+// Sequence-property sweep (Section 2.2) on planted datasets of varying skew:
+// increasing accuracy along the sequence and adaLSH == exact output.
+// ---------------------------------------------------------------------------
+
+class SequencePropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SequencePropertySweep, LaterFunctionsRefineClusters) {
+  uint64_t seed = GetParam();
+  GeneratedDataset generated =
+      test::MakePlantedDataset({12, 8, 6, 4, 2, 1, 1}, seed);
+  RuleHashStructure structure =
+      CompileRuleForHashing(generated.rule).value();
+  HashEngine engine(generated.dataset, structure, seed);
+  ParentPointerForest forest;
+  TransitiveHasher hasher(&engine, &forest,
+                          generated.dataset.num_records());
+  OptimizerConfig opt;
+  size_t previous_clusters = 0;
+  CompositeScheme previous_scheme;
+  for (int i = 0; i < 5; ++i) {
+    int budget = 20 << i;
+    CompositeScheme scheme = OptimizeComposite(
+        structure, budget, opt, i == 0 ? nullptr : &previous_scheme);
+    SchemePlan plan = BuildPlan(structure, scheme);
+    std::vector<NodeId> roots =
+        hasher.Apply(generated.dataset.AllRecordIds(), plan, i);
+    // Property 2 (increasing accuracy): false merges only shrink, so the
+    // cluster count is non-decreasing along the sequence.
+    EXPECT_GE(roots.size(), previous_clusters) << "function " << i;
+    previous_clusters = roots.size();
+    previous_scheme = scheme;
+  }
+  // The final function resolves the planted clustering (7 clusters).
+  EXPECT_EQ(previous_clusters, 7u);
+}
+
+TEST_P(SequencePropertySweep, AdaptiveMatchesExactTopK) {
+  uint64_t seed = GetParam();
+  GeneratedDataset generated =
+      test::MakePlantedDataset({18, 12, 7, 3, 1, 1, 1}, seed);
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 640;
+  config.calibration_samples = 20;
+  config.seed = seed;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput output = adalsh.Run(3);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(output.clusters.UnionOfTopClusters(3), truth.TopKRecords(3))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SequencePropertySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// MinHash collision sweep across similarity levels.
+// ---------------------------------------------------------------------------
+
+class MinHashSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MinHashSweep, CollisionRateEqualsJaccard) {
+  int shared = GetParam();  // 0..8 shared of 8+8-shared union
+  std::vector<uint64_t> ta, tb;
+  for (int i = 0; i < 8; ++i) ta.push_back(i);
+  for (int i = 8 - shared; i < 16 - shared; ++i) tb.push_back(i);
+  std::vector<Field> fa, fb;
+  fa.push_back(Field::TokenSet(ta));
+  fb.push_back(Field::TokenSet(tb));
+  Record a(std::move(fa)), b(std::move(fb));
+  MinHashFamily family(0, 77);
+  constexpr size_t kCount = 5000;
+  std::vector<uint64_t> ha(kCount), hb(kCount);
+  family.HashRange(a, 0, kCount, ha.data());
+  family.HashRange(b, 0, kCount, hb.data());
+  size_t equal = 0;
+  for (size_t i = 0; i < kCount; ++i) equal += (ha[i] == hb[i]);
+  double expected = static_cast<double>(shared) / (16 - shared);
+  EXPECT_NEAR(static_cast<double>(equal) / kCount, expected, 0.03)
+      << "shared " << shared;
+}
+
+INSTANTIATE_TEST_SUITE_P(SharedTokens, MinHashSweep,
+                         ::testing::Values(0, 2, 4, 6, 8));
+
+// ---------------------------------------------------------------------------
+// Theorem 2 / incremental-mode prefix consistency: running with a larger k
+// yields the same top-k' clusters (as record sets) for every k' below it,
+// and the incremental callbacks arrive in rank order.
+// ---------------------------------------------------------------------------
+
+class PrefixConsistencySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrefixConsistencySweep, LargerKPreservesPrefix) {
+  int k_small = GetParam();
+  GeneratedDataset generated =
+      test::MakePlantedDataset({16, 11, 7, 5, 3, 2, 1, 1}, 41);
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 640;
+  config.calibration_samples = 20;
+  config.seed = 9;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput big = adalsh.Run(6);
+  FilterOutput small = adalsh.Run(k_small);
+  EXPECT_EQ(small.clusters.UnionOfTopClusters(k_small),
+            big.clusters.UnionOfTopClusters(k_small))
+      << "k' = " << k_small;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallKs, PrefixConsistencySweep,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// F1-target sweep (Appendix E.1's metric): across seeds, adaLSH's output
+// matches the exact Pairs outcome almost perfectly — "adaLSH always gives
+// the same (or a very slightly different) outcome as Pairs".
+// ---------------------------------------------------------------------------
+
+class F1TargetSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(F1TargetSweep, AdaptiveMatchesPairsOutcome) {
+  uint64_t seed = GetParam();
+  SpotSigsLikeConfig data_config;
+  data_config.num_story_entities = 12;
+  data_config.records_in_stories = 160;
+  data_config.num_singletons = 120;
+  data_config.seed = seed;
+  GeneratedDataset generated = GenerateSpotSigsLike(data_config);
+
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 1280;
+  config.calibration_samples = 20;
+  config.seed = seed;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput adaptive = adalsh.Run(5);
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput exact = pairs.Run(5);
+  SetAccuracy f1_target =
+      ComputeSetAccuracy(adaptive.clusters.UnionOfTopClusters(5),
+                         exact.clusters.UnionOfTopClusters(5));
+  // Size ties at the k-th rank can swap equally-valid clusters between
+  // methods, so the bound leaves tie room.
+  EXPECT_GT(f1_target.f1, 0.85) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, F1TargetSweep,
+                         ::testing::Values(101, 102, 103, 104));
+
+// ---------------------------------------------------------------------------
+// Optimizer sweep over the Cora-shaped AND structure: per-budget feasibility
+// and monotone per-unit w along a doubling schedule.
+// ---------------------------------------------------------------------------
+
+class AndProgramSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(AndProgramSweep, FeasibleAndWithinBudget) {
+  int budget = GetParam();
+  OptimizerConfig config;
+  OptimizerUnit title_author;
+  title_author.p = LinearCollisionModel();
+  title_author.threshold = 0.3;
+  OptimizerUnit rest;
+  rest.p = LinearCollisionModel();
+  rest.threshold = 0.8;
+  GroupScheme group = OptimizeAndGroup({title_author, rest}, budget, config);
+  EXPECT_LE(group.budget(), budget + group.hashes_per_table());
+  ASSERT_EQ(group.w.size(), 2u);
+  EXPECT_GE(group.w[0], 1);
+  EXPECT_GE(group.w[1], 1);
+  EXPECT_GE(group.z, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, AndProgramSweep,
+                         ::testing::Values(20, 40, 80, 320, 1280));
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,111 @@
+#include "eval/recovery.h"
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+// Entities: 0 -> {0,1,2,3}, 1 -> {4,5,6}, 2 -> {7,8}, 3 -> {9}.
+GroundTruth MakeTruth() {
+  return GroundTruth({0, 0, 0, 0, 1, 1, 1, 2, 2, 3});
+}
+
+TEST(RecoveryTest, PullsBackMissingRecordsOfTouchedEntities) {
+  GroundTruth truth = MakeTruth();
+  // Output has only part of entity 0 and part of entity 1.
+  Clustering recovered = PerfectRecovery({0, 1, 4}, truth);
+  ASSERT_EQ(recovered.clusters.size(), 2u);
+  EXPECT_EQ(recovered.clusters[0], (std::vector<RecordId>{0, 1, 2, 3}));
+  EXPECT_EQ(recovered.clusters[1], (std::vector<RecordId>{4, 5, 6}));
+}
+
+TEST(RecoveryTest, UntouchedEntitiesAreUnrecoverable) {
+  GroundTruth truth = MakeTruth();
+  // Entity 2 has no record in the output: it cannot be recovered.
+  Clustering recovered = PerfectRecovery({0, 9}, truth);
+  ASSERT_EQ(recovered.clusters.size(), 2u);
+  EXPECT_EQ(recovered.clusters[0].size(), 4u);  // entity 0
+  EXPECT_EQ(recovered.clusters[1], (std::vector<RecordId>{9}));
+}
+
+TEST(RecoveryTest, EmptyOutput) {
+  GroundTruth truth = MakeTruth();
+  Clustering recovered = PerfectRecovery({}, truth);
+  EXPECT_TRUE(recovered.clusters.empty());
+}
+
+TEST(RecoveryTest, RecoveryBoostsAccuracyMetrics) {
+  GroundTruth truth = MakeTruth();
+  // A lossy filtering output for k = 2: half of each top entity.
+  std::vector<RecordId> output = {0, 1, 4};
+  Clustering raw;
+  raw.clusters = {{0, 1}, {4}};
+  RankedAccuracy before = ComputeRankedAccuracy(raw, truth, 2);
+  Clustering recovered = PerfectRecovery(output, truth);
+  RankedAccuracy after = ComputeRankedAccuracy(recovered, truth, 2);
+  EXPECT_GT(after.mar, before.mar);
+  EXPECT_DOUBLE_EQ(after.map, 1.0);
+  EXPECT_DOUBLE_EQ(after.mar, 1.0);
+}
+
+TEST(RunRecoveryProcessTest, PullsBackMatchingRecords) {
+  // Planted dataset; filtering output holds only part of the top cluster.
+  GeneratedDataset generated = test::MakePlantedDataset({8, 4}, 3);
+  Clustering filtered;
+  filtered.clusters = {{0, 1, 2, 3}};  // half of entity 0
+  RecoveryResult result =
+      RunRecoveryProcess(generated.dataset, generated.rule, filtered);
+  // All 8 entity-0 records recovered; entity 1 untouched (no cluster seed).
+  ASSERT_EQ(result.clusters.clusters.size(), 1u);
+  EXPECT_EQ(result.clusters.clusters[0],
+            (std::vector<RecordId>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(result.recovered_records, 4u);
+  EXPECT_GT(result.similarities, 0u);
+}
+
+TEST(RunRecoveryProcessTest, AssignsToHighestRankedMatchingCluster) {
+  GeneratedDataset generated = test::MakePlantedDataset({6, 6}, 5);
+  Clustering filtered;
+  filtered.clusters = {{0, 1, 2}, {6, 7, 8}};
+  RecoveryResult result =
+      RunRecoveryProcess(generated.dataset, generated.rule, filtered);
+  // Records 3..5 join the first cluster, 9..11 the second.
+  ASSERT_EQ(result.clusters.clusters.size(), 2u);
+  EXPECT_EQ(result.clusters.clusters[0].size(), 6u);
+  EXPECT_EQ(result.clusters.clusters[1].size(), 6u);
+  EXPECT_EQ(result.recovered_records, 6u);
+}
+
+TEST(RunRecoveryProcessTest, CostBoundedByBenchmarkFormula) {
+  GeneratedDataset generated = test::MakePlantedDataset({5, 5, 5}, 7);
+  Clustering filtered;
+  filtered.clusters = {{0, 1, 2, 3, 4}};
+  RecoveryResult result =
+      RunRecoveryProcess(generated.dataset, generated.rule, filtered);
+  // Benchmark recovery compares |O| x (|R| - |O|) pairs at most.
+  EXPECT_LE(result.similarities, 5u * 10u);
+}
+
+TEST(RunRecoveryProcessTest, NoExcludedRecordsIsNoOp) {
+  GeneratedDataset generated = test::MakePlantedDataset({3}, 9);
+  Clustering filtered;
+  filtered.clusters = {{0, 1, 2}};
+  RecoveryResult result =
+      RunRecoveryProcess(generated.dataset, generated.rule, filtered);
+  EXPECT_EQ(result.recovered_records, 0u);
+  EXPECT_EQ(result.similarities, 0u);
+}
+
+TEST(RecoveryTest, RankedBySizeDescending) {
+  GroundTruth truth = MakeTruth();
+  Clustering recovered = PerfectRecovery({9, 7, 0}, truth);
+  ASSERT_EQ(recovered.clusters.size(), 3u);
+  EXPECT_GE(recovered.clusters[0].size(), recovered.clusters[1].size());
+  EXPECT_GE(recovered.clusters[1].size(), recovered.clusters[2].size());
+}
+
+}  // namespace
+}  // namespace adalsh

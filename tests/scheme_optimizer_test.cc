@@ -1,0 +1,177 @@
+#include "core/scheme_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "util/numeric.h"
+
+namespace adalsh {
+namespace {
+
+OptimizerUnit LinearUnit(double threshold, int min_w = 1) {
+  OptimizerUnit unit;
+  unit.p = LinearCollisionModel();
+  unit.threshold = threshold;
+  unit.min_w = min_w;
+  return unit;
+}
+
+TEST(OptimizeSingleTest, Example5Setting) {
+  // Example 5: cosine distance, d_thr = 15/180, eps = 0.001, budget 2100.
+  // Under Eq. (1)-(3) the optimum is the largest feasible w (~27-30); the
+  // infeasible side is large w like 60 (collision prob at the threshold
+  // ~0.17 for (60, 35)).
+  OptimizerConfig config;
+  WzScheme scheme =
+      OptimizeSingleScheme(LinearUnit(15.0 / 180.0), 2100, config);
+  EXPECT_TRUE(scheme.constraint_met);
+  EXPECT_GE(scheme.w, 20);
+  EXPECT_LE(scheme.w, 35);
+  EXPECT_EQ(scheme.budget(), 2100);
+  // The chosen scheme satisfies the threshold constraint.
+  double prob = SchemeCollisionProbabilityWithRemainder(
+      LinearCollisionModel(), 15.0 / 180.0, scheme.w, scheme.z, scheme.w_rem);
+  EXPECT_GE(prob, 1.0 - config.epsilon);
+}
+
+TEST(OptimizeSingleTest, InfeasibleCandidatesExcluded) {
+  // (60, 35) violates the Example 5 constraint; the optimizer must not
+  // return any w whose scheme misses it.
+  OptimizerConfig config;
+  WzScheme scheme =
+      OptimizeSingleScheme(LinearUnit(15.0 / 180.0), 2100, config);
+  EXPECT_LT(SchemeCollisionProbability(LinearCollisionModel(), 15.0 / 180.0,
+                                       60, 35),
+            1.0 - config.epsilon);
+  EXPECT_NE(scheme.w, 60);
+}
+
+TEST(OptimizeSingleTest, LargerBudgetNoWorseObjective) {
+  OptimizerConfig config;
+  WzScheme small = OptimizeSingleScheme(LinearUnit(0.1), 320, config);
+  WzScheme large = OptimizeSingleScheme(LinearUnit(0.1), 2560, config);
+  EXPECT_LE(large.objective, small.objective + 1e-9);
+}
+
+TEST(OptimizeSingleTest, BudgetFullyConsumed) {
+  OptimizerConfig config;
+  for (int budget : {20, 37, 100, 640, 1280}) {
+    WzScheme scheme = OptimizeSingleScheme(LinearUnit(0.2), budget, config);
+    EXPECT_EQ(scheme.budget(), budget) << "budget " << budget;
+  }
+}
+
+TEST(OptimizeSingleTest, TightThresholdLooseBudgetFallsBack) {
+  // A very loose threshold (large d_thr) with a small budget cannot satisfy
+  // eps; the optimizer degrades to the most conservative feasible w.
+  OptimizerConfig config;
+  WzScheme scheme = OptimizeSingleScheme(LinearUnit(0.9), 8, config);
+  if (!scheme.constraint_met) {
+    EXPECT_EQ(scheme.w, 1);
+  }
+}
+
+TEST(OptimizeSingleTest, MinWRespected) {
+  OptimizerConfig config;
+  WzScheme scheme =
+      OptimizeSingleScheme(LinearUnit(0.05, /*min_w=*/10), 640, config);
+  EXPECT_GE(scheme.w, 10);
+}
+
+TEST(OptimizeAndTest, TwoUnitGroupFeasible) {
+  // Cora-like thresholds: 0.3 and 0.8.
+  OptimizerConfig config;
+  GroupScheme group = OptimizeAndGroup(
+      {LinearUnit(0.3), LinearUnit(0.8)}, 1280, config);
+  ASSERT_EQ(group.w.size(), 2u);
+  EXPECT_GE(group.z, 1);
+  EXPECT_LE(group.budget(), 1280);
+  if (group.constraint_met) {
+    // Verify the constraint at the thresholds directly.
+    double product = PowInt(0.7, group.w[0]) * PowInt(0.2, group.w[1]);
+    double prob = 1.0 - PowInt(1.0 - product, group.z);
+    EXPECT_GE(prob, 1.0 - config.epsilon);
+  }
+}
+
+TEST(OptimizeAndTest, LooseUnitGetsFewHashes) {
+  // The 0.8-threshold unit retains collision prob 0.2 per hash; piling
+  // hashes on it kills the constraint, so it should get far fewer than the
+  // tight 0.1-threshold unit gets tables' worth of sharpness.
+  OptimizerConfig config;
+  GroupScheme group =
+      OptimizeAndGroup({LinearUnit(0.1), LinearUnit(0.8)}, 2000, config);
+  if (group.constraint_met) {
+    EXPECT_GE(group.w[0], group.w[1]);
+  }
+}
+
+TEST(OptimizeCompositeTest, SingleGroupMatchesAndProgram) {
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.2});
+  structure.groups = {{0}};
+  OptimizerConfig config;
+  CompositeScheme scheme =
+      OptimizeComposite(structure, 640, config, nullptr);
+  ASSERT_EQ(scheme.groups.size(), 1u);
+  EXPECT_EQ(scheme.groups[0].budget(), 640);
+}
+
+TEST(OptimizeCompositeTest, PreviousSchemeBoundsW) {
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.1});
+  structure.groups = {{0}};
+  OptimizerConfig config;
+  CompositeScheme first = OptimizeComposite(structure, 80, config, nullptr);
+  CompositeScheme second = OptimizeComposite(structure, 160, config, &first);
+  EXPECT_GE(second.groups[0].w[0], first.groups[0].w[0]);
+}
+
+TEST(OptimizeCompositeTest, OrSplitsBudgetAcrossGroups) {
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.2});
+  structure.units.push_back({{1}, {1.0}, 0.3});
+  structure.groups = {{0}, {1}};
+  OptimizerConfig config;
+  CompositeScheme scheme =
+      OptimizeComposite(structure, 1000, config, nullptr);
+  ASSERT_EQ(scheme.groups.size(), 2u);
+  EXPECT_GE(scheme.groups[0].budget(), 1);
+  EXPECT_GE(scheme.groups[1].budget(), 1);
+  EXPECT_LE(scheme.budget(), 1000);
+}
+
+TEST(CompositeCollisionProbabilityTest, MonotoneInDistance) {
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.2});
+  structure.groups = {{0}};
+  OptimizerConfig config;
+  CompositeScheme scheme = OptimizeComposite(structure, 320, config, nullptr);
+  double last = 1.1;
+  for (double x : {0.0, 0.1, 0.2, 0.4, 0.8, 1.0}) {
+    double prob = CompositeCollisionProbability(structure, scheme, {x});
+    EXPECT_LE(prob, last + 1e-12);
+    last = prob;
+  }
+  EXPECT_NEAR(CompositeCollisionProbability(structure, scheme, {0.0}), 1.0,
+              1e-9);
+}
+
+TEST(CompositeCollisionProbabilityTest, OrGroupsCombine) {
+  // Two groups: overall probability must exceed each group alone.
+  RuleHashStructure structure;
+  structure.units.push_back({{0}, {1.0}, 0.2});
+  structure.units.push_back({{1}, {1.0}, 0.2});
+  structure.groups = {{0}, {1}};
+  CompositeScheme scheme;
+  GroupScheme g;
+  g.w = {4};
+  g.z = 10;
+  scheme.groups = {g, g};
+  double both = CompositeCollisionProbability(structure, scheme, {0.3, 0.3});
+  double one_far = CompositeCollisionProbability(structure, scheme, {0.3, 1.0});
+  EXPECT_GT(both, one_far);
+  EXPECT_GT(one_far, 0.0);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,142 @@
+// Shape regression tests: deterministic counter-based assertions that pin
+// the workload geometry the paper's figures depend on. If a generator or
+// algorithm change breaks one of these, the corresponding bench figure will
+// have lost its paper shape (wall-clock benches themselves are too noisy to
+// assert in unit tests).
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "core/lsh_blocking.h"
+#include "core/pairs_baseline.h"
+#include "datagen/spotsigs_like.h"
+#include "eval/metrics.h"
+#include "eval/recovery.h"
+
+namespace adalsh {
+namespace {
+
+SpotSigsLikeConfig MiniSpotSigs(uint64_t seed = 42) {
+  SpotSigsLikeConfig config;
+  config.num_story_entities = 20;
+  config.records_in_stories = 400;
+  config.num_singletons = 300;
+  config.seed = seed;
+  return config;
+}
+
+TEST(ShapeTest, UnderBudgetedLshPaysInVerification) {
+  // Fig. 15's U-shape, left side: LSH20's stage-1 clusters glue same-site
+  // articles together, so its P verification does far more work than a
+  // well-budgeted scheme's.
+  GeneratedDataset generated = GenerateSpotSigsLike(MiniSpotSigs());
+  LshBlockingConfig small;
+  small.num_hashes = 20;
+  LshBlockingConfig mid;
+  mid.num_hashes = 320;
+  FilterOutput lsh20 =
+      LshBlocking(generated.dataset, generated.rule, small).Run(10);
+  FilterOutput lsh320 =
+      LshBlocking(generated.dataset, generated.rule, mid).Run(10);
+  EXPECT_GT(lsh20.stats.pairwise_similarities,
+            3 * lsh320.stats.pairwise_similarities);
+}
+
+TEST(ShapeTest, OverBudgetedLshPaysInHashing) {
+  // Fig. 15's U-shape, right side: LSH2560 hashes 8x more than LSH320 for
+  // the same answer.
+  GeneratedDataset generated = GenerateSpotSigsLike(MiniSpotSigs());
+  LshBlockingConfig mid;
+  mid.num_hashes = 320;
+  LshBlockingConfig large;
+  large.num_hashes = 2560;
+  FilterOutput lsh320 =
+      LshBlocking(generated.dataset, generated.rule, mid).Run(10);
+  FilterOutput lsh2560 =
+      LshBlocking(generated.dataset, generated.rule, large).Run(10);
+  EXPECT_GT(lsh2560.stats.hashes_computed,
+            6 * lsh320.stats.hashes_computed);
+  EXPECT_EQ(lsh2560.clusters.UnionOfTopClusters(10),
+            lsh320.clusters.UnionOfTopClusters(10));
+}
+
+TEST(ShapeTest, AdaptiveHashWorkBetweenTheExtremes) {
+  // The Fig. 9 mechanism: adaLSH's hash count sits far below LSH1280's.
+  GeneratedDataset generated = GenerateSpotSigsLike(MiniSpotSigs());
+  AdaptiveLshConfig config;
+  config.calibration_samples = 30;
+  config.seed = 3;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  FilterOutput adaptive = adalsh.Run(10);
+  LshBlockingConfig big;
+  big.num_hashes = 1280;
+  FilterOutput lsh1280 =
+      LshBlocking(generated.dataset, generated.rule, big).Run(10);
+  EXPECT_LT(adaptive.stats.hashes_computed,
+            lsh1280.stats.hashes_computed / 2);
+}
+
+TEST(ShapeTest, RevisionsSplitStoriesUnderTheRule) {
+  // Fig. 10(b)/11 driver: ground truth holds whole stories, but the 0.4
+  // rule separates major revisions — exact resolution yields MORE clusters
+  // than entities, and F1 Gold at small k dips below 1.
+  GeneratedDataset generated = GenerateSpotSigsLike(MiniSpotSigs());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  PairsBaseline pairs(generated.dataset, generated.rule);
+  FilterOutput exact = pairs.Run(1000000);
+  EXPECT_GT(exact.clusters.clusters.size(), truth.num_entities());
+  SetAccuracy gold = GoldAccuracy(pairs.Run(5).clusters, truth, 5);
+  EXPECT_LT(gold.f1, 0.999);
+  EXPECT_GT(gold.f1, 0.6);
+}
+
+TEST(ShapeTest, BkThenRecoveryRestoresSplitStories) {
+  // Fig. 14 driver: perfect recovery over a bk output reconstructs the
+  // split stories exactly.
+  GeneratedDataset generated = GenerateSpotSigsLike(MiniSpotSigs());
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  AdaptiveLshConfig config;
+  config.calibration_samples = 30;
+  config.seed = 5;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  int k = 5;
+  FilterOutput at_bk = adalsh.Run(3 * k);
+  Clustering recovered =
+      PerfectRecovery(at_bk.clusters.UnionOfTopClusters(3 * k), truth);
+  RankedAccuracy ranked = ComputeRankedAccuracy(recovered, truth, k);
+  EXPECT_GT(ranked.map, 0.99);
+  EXPECT_GT(ranked.mar, 0.99);
+  // And recall improves over the plain k output.
+  FilterOutput at_k = adalsh.Run(k);
+  double recall_k = ComputeSetAccuracy(at_k.clusters.UnionOfTopClusters(k),
+                                       truth.TopKRecords(k))
+                        .recall;
+  double recall_bk =
+      ComputeSetAccuracy(at_bk.clusters.UnionOfTopClusters(3 * k),
+                         truth.TopKRecords(k))
+          .recall;
+  EXPECT_GT(recall_bk, recall_k);
+}
+
+TEST(ShapeTest, CostNoiseUnderEstimateCausesEarlyPairwise) {
+  // Fig. 21 driver: nf = 1/5 under-estimates P, so P runs sooner and on
+  // larger clusters — strictly more pairwise work, same answer.
+  GeneratedDataset generated = GenerateSpotSigsLike(MiniSpotSigs());
+  auto run = [&](double nf) {
+    AdaptiveLshConfig config;
+    config.calibration_samples = 30;
+    config.seed = 7;
+    config.pairwise_noise_factor = nf;
+    AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+    return adalsh.Run(10);
+  };
+  FilterOutput clean = run(1.0);
+  FilterOutput under = run(0.2);
+  EXPECT_GT(under.stats.pairwise_similarities,
+            clean.stats.pairwise_similarities);
+  EXPECT_EQ(under.clusters.UnionOfTopClusters(10),
+            clean.clusters.UnionOfTopClusters(10));
+}
+
+}  // namespace
+}  // namespace adalsh

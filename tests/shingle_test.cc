@@ -1,0 +1,63 @@
+#include "text/shingle.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "text/tokenizer.h"
+
+namespace adalsh {
+namespace {
+
+TEST(WordShinglesTest, UnigramsAreTokenHashes) {
+  std::vector<uint64_t> shingles = WordShingles("alpha beta gamma", 1);
+  ASSERT_EQ(shingles.size(), 3u);
+}
+
+TEST(WordShinglesTest, BigramCount) {
+  EXPECT_EQ(WordShingles("a b c d", 2).size(), 3u);
+  EXPECT_EQ(WordShingles("a b c d e", 3).size(), 3u);
+}
+
+TEST(WordShinglesTest, ShortDocumentGetsOneShingle) {
+  EXPECT_EQ(WordShingles("single", 3).size(), 1u);
+  EXPECT_EQ(WordShingles("two words", 3).size(), 1u);
+}
+
+TEST(WordShinglesTest, EmptyDocument) {
+  EXPECT_TRUE(WordShingles("", 2).empty());
+}
+
+TEST(WordShinglesTest, SameTextSameShingles) {
+  EXPECT_EQ(WordShingles("the quick brown fox", 2),
+            WordShingles("The quick. Brown, FOX", 2));
+}
+
+TEST(WordShinglesTest, DifferentTextDiffers) {
+  std::vector<uint64_t> a = WordShingles("the quick brown fox", 2);
+  std::vector<uint64_t> b = WordShingles("the quick brown cat", 2);
+  EXPECT_NE(a, b);
+  // They still share the leading bigram.
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<uint64_t> shared;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(shared));
+  EXPECT_FALSE(shared.empty());
+}
+
+TEST(CharShinglesTest, CountAndDeterminism) {
+  EXPECT_EQ(CharShingles("abcdef", 4).size(), 3u);
+  EXPECT_EQ(CharShingles("abcdef", 4), CharShingles("abcdef", 4));
+}
+
+TEST(CharShinglesTest, ShortTextGetsOneShingle) {
+  EXPECT_EQ(CharShingles("ab", 4).size(), 1u);
+}
+
+TEST(CharShinglesTest, EmptyText) {
+  EXPECT_TRUE(CharShingles("", 3).empty());
+}
+
+}  // namespace
+}  // namespace adalsh

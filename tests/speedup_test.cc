@@ -1,0 +1,58 @@
+#include "eval/speedup.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+TEST(SpeedupModelTest, TimeFormulas) {
+  SpeedupModel model(/*cost_per_similarity=*/2.0);
+  EXPECT_DOUBLE_EQ(model.WholeTime(100), 2.0 * 4950);
+  EXPECT_DOUBLE_EQ(model.ReducedTime(10), 2.0 * 45);
+  EXPECT_DOUBLE_EQ(model.RecoveryTime(10, 100), 2.0 * 10 * 90);
+}
+
+TEST(SpeedupModelTest, SpeedupFormulas) {
+  SpeedupModel model(1.0);
+  // Whole = 4950; filtering 50s; reduced = 45 -> speedup ~52.1.
+  double without = model.SpeedupWithoutRecovery(50.0, 100, 10);
+  EXPECT_NEAR(without, 4950.0 / (50.0 + 45.0), 1e-9);
+  double with = model.SpeedupWithRecovery(50.0, 100, 10);
+  EXPECT_NEAR(with, 4950.0 / (50.0 + 45.0 + 900.0), 1e-9);
+  EXPECT_LT(with, without);
+}
+
+TEST(SpeedupModelTest, BiggerOutputLowersSpeedup) {
+  SpeedupModel model(1.0);
+  EXPECT_GT(model.SpeedupWithoutRecovery(1.0, 1000, 50),
+            model.SpeedupWithoutRecovery(1.0, 1000, 500));
+}
+
+TEST(SpeedupModelTest, QuadraticGrowthFavorsFiltering) {
+  // The paper's scaling claim: with the top-k output staying near-constant
+  // while the dataset grows, WholeTime grows quadratically but filtering
+  // (linear) plus ReducedTime (constant) do not — speedup rises.
+  SpeedupModel model(1.0);
+  double small = model.SpeedupWithoutRecovery(10.0, 1000, 100);
+  double large = model.SpeedupWithoutRecovery(80.0, 8000, 100);
+  EXPECT_GT(large, 10 * small);
+}
+
+TEST(SpeedupModelTest, MeasureIsPositive) {
+  GeneratedDataset generated = test::MakePlantedDataset({5, 5}, 1);
+  SpeedupModel model =
+      SpeedupModel::Measure(generated.dataset, generated.rule, 50, 2);
+  EXPECT_GT(model.cost_per_similarity(), 0.0);
+  EXPECT_LT(model.cost_per_similarity(), 1e-3);
+}
+
+TEST(DatasetReductionTest, Percentage) {
+  EXPECT_DOUBLE_EQ(DatasetReductionPercent(100, 1000), 10.0);
+  EXPECT_DOUBLE_EQ(DatasetReductionPercent(0, 10), 0.0);
+  EXPECT_DOUBLE_EQ(DatasetReductionPercent(10, 10), 100.0);
+}
+
+}  // namespace
+}  // namespace adalsh

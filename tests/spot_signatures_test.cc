@@ -1,0 +1,84 @@
+#include "text/spot_signatures.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+SpotSigConfig SmallConfig() {
+  SpotSigConfig config;
+  config.antecedents = {"the", "a", "is"};
+  config.chain_length = 2;
+  config.spot_distance = 1;
+  return config;
+}
+
+TEST(SpotSignaturesTest, AnchorsAtAntecedents) {
+  // "the quick fox" -> one signature anchored at "the" chaining quick, fox.
+  std::vector<uint64_t> sigs = SpotSignatures("the quick fox", SmallConfig());
+  EXPECT_EQ(sigs.size(), 1u);
+}
+
+TEST(SpotSignaturesTest, SkipsAnchorsWithoutEnoughTokens) {
+  // "quick the fox": only one content token after "the" — no signature.
+  EXPECT_TRUE(SpotSignatures("quick the fox", SmallConfig()).empty());
+}
+
+TEST(SpotSignaturesTest, ChainSkipsAntecedents) {
+  // "the a quick fox": chain after "the" skips "a" and uses quick, fox; the
+  // "a" anchor also yields quick, fox — but with a different antecedent, so
+  // the signatures differ.
+  std::vector<uint64_t> sigs =
+      SpotSignatures("the a quick fox", SmallConfig());
+  EXPECT_EQ(sigs.size(), 2u);
+  EXPECT_NE(sigs[0], sigs[1]);
+}
+
+TEST(SpotSignaturesTest, SpotDistanceSkipsContent) {
+  SpotSigConfig config = SmallConfig();
+  config.spot_distance = 2;
+  // "the w1 w2 w3": chain = w1, w3.
+  std::vector<uint64_t> with_skip =
+      SpotSignatures("the w1 w2 w3", config);
+  ASSERT_EQ(with_skip.size(), 1u);
+  // Same signature as chaining w1, w3 directly at distance 1.
+  SpotSigConfig direct = SmallConfig();
+  std::vector<uint64_t> reference = SpotSignatures("the w1 w3", direct);
+  ASSERT_EQ(reference.size(), 1u);
+  EXPECT_EQ(with_skip[0], reference[0]);
+}
+
+TEST(SpotSignaturesTest, NearDuplicatesShareMostSignatures) {
+  SpotSigConfig config;  // default antecedents, chain 3
+  std::string original =
+      "the committee was quick to dismiss a report that the numbers were "
+      "wrong and that the analysis did have a flaw in the model of the "
+      "economy with a small bias in the data";
+  // One word changed near the end.
+  std::string near_duplicate =
+      "the committee was quick to dismiss a report that the numbers were "
+      "wrong and that the analysis did have a flaw in the model of the "
+      "economy with a small bias in the sample";
+  std::vector<uint64_t> a = SpotSignatures(original, config);
+  std::vector<uint64_t> b = SpotSignatures(near_duplicate, config);
+  ASSERT_GT(a.size(), 5u);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<uint64_t> shared;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(shared));
+  EXPECT_GT(shared.size() * 2, a.size());  // more than half shared
+}
+
+TEST(SpotSignaturesTest, DefaultAntecedentsNonEmpty) {
+  EXPECT_FALSE(SpotSigConfig::DefaultAntecedents().empty());
+}
+
+TEST(SpotSignaturesTest, EmptyText) {
+  EXPECT_TRUE(SpotSignatures("", SmallConfig()).empty());
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,56 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats stats;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.Add(v);
+  EXPECT_EQ(stats.count(), 8u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  // Sample variance with n-1 = 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats stats;
+  stats.Add(3.5);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 3.5);
+  EXPECT_DOUBLE_EQ(stats.max(), 3.5);
+}
+
+TEST(MeanTest, Basic) {
+  EXPECT_DOUBLE_EQ(Mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Median({4.0, 1.0, 2.0, 3.0}), 2.5);
+  EXPECT_DOUBLE_EQ(Median({}), 0.0);
+}
+
+TEST(PercentileTest, Interpolates) {
+  std::vector<double> values = {10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(Percentile(values, 0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 100), 50.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 50), 30.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 25), 20.0);
+  EXPECT_DOUBLE_EQ(Percentile(values, 62.5), 35.0);
+}
+
+}  // namespace
+}  // namespace adalsh

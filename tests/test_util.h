@@ -1,0 +1,59 @@
+#ifndef ADALSH_TESTS_TEST_UTIL_H_
+#define ADALSH_TESTS_TEST_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "datagen/generated_dataset.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace test {
+
+/// Builds a planted-cluster token-set dataset: `cluster_sizes[e]` records per
+/// entity, each sharing a large entity-specific core of tokens and differing
+/// in a small noise fraction, so within-entity Jaccard similarity is ~0.8 and
+/// cross-entity similarity is ~0. Single field; matched by Leaf(0, 0.5).
+inline GeneratedDataset MakePlantedDataset(
+    const std::vector<size_t>& cluster_sizes, uint64_t seed,
+    double rule_threshold = 0.5) {
+  Rng rng(DeriveSeed(seed, 0x7e57));
+  Dataset dataset("planted");
+  uint64_t next_token = 1;
+  for (size_t e = 0; e < cluster_sizes.size(); ++e) {
+    // 40-token core per entity.
+    std::vector<uint64_t> core;
+    for (int t = 0; t < 40; ++t) core.push_back(next_token++);
+    for (size_t r = 0; r < cluster_sizes[e]; ++r) {
+      std::vector<uint64_t> tokens = core;
+      // Drop two core tokens and add two fresh noise tokens (~0.82 sim).
+      tokens[rng.NextBelow(tokens.size())] = next_token++;
+      tokens[rng.NextBelow(tokens.size())] = next_token++;
+      std::vector<Field> fields;
+      fields.push_back(Field::TokenSet(std::move(tokens)));
+      dataset.AddRecord(
+          Record(std::move(fields),
+                 "e" + std::to_string(e) + "r" + std::to_string(r)),
+          static_cast<EntityId>(e));
+    }
+  }
+  return GeneratedDataset(std::move(dataset),
+                          MatchRule::Leaf(0, rule_threshold));
+}
+
+/// Sorted record ids of a clustering's cluster `i` (clusters are emitted in
+/// leaf-chain order, tests usually want set semantics).
+inline std::vector<RecordId> SortedCluster(
+    const std::vector<RecordId>& cluster) {
+  std::vector<RecordId> sorted = cluster;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
+}
+
+}  // namespace test
+}  // namespace adalsh
+
+#endif  // ADALSH_TESTS_TEST_UTIL_H_

@@ -1,0 +1,293 @@
+// Brute-force verification of the paper's theoretical claims on small
+// instances:
+//   * Theorem 1: among all cluster-selection orders obeying the
+//     family-of-algorithms rules (no jump-ahead, no early termination),
+//     Largest-First achieves the minimum Definition-3 cost.
+//   * The Section 5.1 optimizer returns the (near-)minimal-objective
+//     feasible (w, z)-scheme, verified by exhaustive enumeration.
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/scheme_optimizer.h"
+#include "util/check.h"
+#include "util/numeric.h"
+
+namespace adalsh {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A tiny abstract execution instance (Appendix D.1's notion): every cluster
+// is a node in a split tree; applying the next function splits it into its
+// children, identically for every algorithm. Definition 3 costs.
+// ---------------------------------------------------------------------------
+
+struct AbstractCluster {
+  size_t size = 0;
+  int level = 0;  // sequence index of the function that produced it
+  bool final_by_p = false;
+  std::vector<int> children;  // indices into the instance's node pool
+};
+
+struct AbstractInstance {
+  std::vector<AbstractCluster> nodes;
+  std::vector<int> roots;            // clusters after H_1
+  std::vector<double> cost;          // cost_i per record for H_i
+  double cost_p = 1.0;               // per pairwise similarity
+  int last_level = 0;                // index of H_L
+  int k = 1;
+
+  bool JumpToP(const AbstractCluster& c) const {
+    double upgrade = (cost[c.level + 1] - cost[c.level]) *
+                     static_cast<double>(c.size);
+    return upgrade >= cost_p * static_cast<double>(PairCount(c.size));
+  }
+
+  bool IsFinal(const AbstractCluster& c) const {
+    return c.final_by_p || c.level == last_level;
+  }
+};
+
+/// Exhaustive minimum cost over all selection orders; also returns the cost
+/// Largest-First incurs. State = multiset of live cluster indices (as a
+/// sorted vector, memoized).
+class OrderSearch {
+ public:
+  explicit OrderSearch(const AbstractInstance& instance)
+      : instance_(instance) {}
+
+  double MinCost() { return Search(Canonical(instance_.roots)); }
+
+  double LargestFirstCost() {
+    std::vector<int> live = instance_.roots;
+    double total = 0.0;
+    for (;;) {
+      if (Terminated(live)) return total;
+      // Pick the largest non-final cluster (finals are set aside, exactly as
+      // Algorithm 1's finals array). Size ties are not covered by the
+      // theorem's proof — equal-size clusters at different sequence levels
+      // genuinely differ in remaining cost — so ties break toward the
+      // further-advanced cluster (less residual work), mirroring what an
+      // implementation gets from processing newer fragments first.
+      int pick = -1;
+      for (size_t i = 0; i < live.size(); ++i) {
+        const AbstractCluster& c = instance_.nodes[live[i]];
+        if (instance_.IsFinal(c)) continue;
+        if (pick < 0) {
+          pick = static_cast<int>(i);
+          continue;
+        }
+        const AbstractCluster& best = instance_.nodes[live[pick]];
+        if (c.size > best.size ||
+            (c.size == best.size && c.level > best.level)) {
+          pick = static_cast<int>(i);
+        }
+      }
+      ADALSH_CHECK_GE(pick, 0);
+      total += Expand(&live, pick);
+    }
+  }
+
+ private:
+  /// Whether the k largest live clusters are all final. Size ties resolve in
+  /// favor of finals (popping order under ties is arbitrary in Algorithm 1;
+  /// both searches must use the same convention): terminated when at least k
+  /// finals exist and no non-final is strictly larger than the k-th final.
+  bool Terminated(const std::vector<int>& live) const {
+    std::vector<size_t> final_sizes;
+    size_t max_nonfinal = 0;
+    for (int index : live) {
+      const AbstractCluster& c = instance_.nodes[index];
+      if (instance_.IsFinal(c)) {
+        final_sizes.push_back(c.size);
+      } else {
+        max_nonfinal = std::max(max_nonfinal, c.size);
+      }
+    }
+    size_t k = static_cast<size_t>(instance_.k);
+    if (final_sizes.size() + (max_nonfinal > 0 ? 1 : 0) < k) {
+      // Fewer clusters than k can ever exist: terminated when none pending.
+      return max_nonfinal == 0;
+    }
+    if (final_sizes.size() < k) return false;
+    std::nth_element(final_sizes.begin(), final_sizes.begin() + (k - 1),
+                     final_sizes.end(), std::greater<size_t>());
+    return final_sizes[k - 1] >= max_nonfinal;
+  }
+
+  /// Processes live[pick]; returns the step cost and splices in children.
+  double Expand(std::vector<int>* live, int pick) const {
+    int index = (*live)[pick];
+    const AbstractCluster& c = instance_.nodes[index];
+    (*live)[pick] = live->back();
+    live->pop_back();
+    double step;
+    if (instance_.JumpToP(c)) {
+      step = instance_.cost_p * static_cast<double>(PairCount(c.size));
+      // P resolves the cluster exactly: model its outcome as the leaves of
+      // the split subtree, all final.
+      CollectLeaves(index, live);
+      return step;
+    }
+    step = (instance_.cost[c.level + 1] - instance_.cost[c.level]) *
+           static_cast<double>(c.size);
+    for (int child : c.children) live->push_back(child);
+    return step;
+  }
+
+  /// P's outcome: the fully split leaves under `index` — the exact
+  /// clustering, identical for every algorithm (childless nodes sit at the
+  /// terminal level, so IsFinal holds for them).
+  void CollectLeaves(int index, std::vector<int>* live) const {
+    const AbstractCluster& c = instance_.nodes[index];
+    if (c.children.empty()) {
+      live->push_back(index);
+      return;
+    }
+    for (int child : c.children) CollectLeaves(child, live);
+  }
+
+  std::vector<int> Canonical(std::vector<int> live) const {
+    std::sort(live.begin(), live.end());
+    return live;
+  }
+
+  double Search(const std::vector<int>& live) {
+    auto memo = memo_.find(live);
+    if (memo != memo_.end()) return memo->second;
+    if (Terminated(live)) {
+      memo_[live] = 0.0;
+      return 0.0;
+    }
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < live.size(); ++i) {
+      if (instance_.IsFinal(instance_.nodes[live[i]])) continue;
+      std::vector<int> next = live;
+      double step = Expand(&next, static_cast<int>(i));
+      best = std::min(best, step + Search(Canonical(next)));
+    }
+    // If every live cluster is final but Terminated() was false, the k
+    // largest include a non-final — impossible when all are final.
+    ADALSH_CHECK(best < std::numeric_limits<double>::infinity());
+    memo_[live] = best;
+    return best;
+  }
+
+  const AbstractInstance& instance_;
+  std::map<std::vector<int>, double> memo_;
+};
+
+/// Builds a 3-level instance: H_1 yields `roots` clusters; each splits per
+/// `splits` at H_2; H_3 is terminal (everything separates into leaves of
+/// size 1 at the last level unless resolved by P first).
+AbstractInstance MakeInstance(const std::vector<size_t>& root_sizes, int k,
+                              double cost_p) {
+  AbstractInstance instance;
+  instance.cost = {1.0, 3.0, 9.0};  // cost_1 < cost_2 < cost_3 per record
+  instance.cost_p = cost_p;
+  instance.last_level = 2;
+  instance.k = k;
+  for (size_t size : root_sizes) {
+    // Level-1 cluster of `size` splits at level 2 into halves, which split
+    // at level 3 into a (size/2) core and singletons.
+    AbstractCluster root;
+    root.size = size;
+    root.level = 0;
+    int root_index = static_cast<int>(instance.nodes.size());
+    instance.nodes.push_back(root);
+    size_t half = size / 2;
+    std::vector<size_t> level2 = half > 0 && half < size
+                                     ? std::vector<size_t>{half, size - half}
+                                     : std::vector<size_t>{size};
+    for (size_t l2 : level2) {
+      AbstractCluster mid;
+      mid.size = l2;
+      mid.level = 1;
+      int mid_index = static_cast<int>(instance.nodes.size());
+      instance.nodes.push_back(mid);
+      instance.nodes[root_index].children.push_back(mid_index);
+      // Level 3: one core cluster (terminal).
+      AbstractCluster leaf;
+      leaf.size = l2;
+      leaf.level = 2;
+      int leaf_index = static_cast<int>(instance.nodes.size());
+      instance.nodes.push_back(leaf);
+      instance.nodes[mid_index].children.push_back(leaf_index);
+    }
+    instance.roots.push_back(root_index);
+  }
+  return instance;
+}
+
+class Theorem1Sweep
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(Theorem1Sweep, LargestFirstMatchesBruteForceOptimum) {
+  auto [k, cost_p] = GetParam();
+  AbstractInstance instance = MakeInstance({9, 6, 4, 2}, k, cost_p);
+  OrderSearch search(instance);
+  double brute = search.MinCost();
+  double largest_first = search.LargestFirstCost();
+  EXPECT_NEAR(largest_first, brute, 1e-9)
+      << "k=" << k << " cost_p=" << cost_p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, Theorem1Sweep,
+    ::testing::Values(std::make_tuple(1, 0.5), std::make_tuple(1, 5.0),
+                      std::make_tuple(2, 0.5), std::make_tuple(2, 2.0),
+                      std::make_tuple(3, 1.0)));
+
+// ---------------------------------------------------------------------------
+// Optimizer vs exhaustive enumeration for small budgets.
+// ---------------------------------------------------------------------------
+
+class OptimizerBruteForceSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(OptimizerBruteForceSweep, NearOptimalObjective) {
+  int budget = GetParam();
+  OptimizerConfig config;
+  CollisionModel p = LinearCollisionModel();
+  for (double threshold : {0.1, 0.3, 0.5}) {
+    // Brute force over every w.
+    double best_objective = std::numeric_limits<double>::infinity();
+    bool any_feasible = false;
+    for (int w = 1; w <= budget; ++w) {
+      int z = budget / w;
+      int rem = budget - w * z;
+      double prob_at_thr =
+          SchemeCollisionProbabilityWithRemainder(p, threshold, w, z, rem);
+      if (prob_at_thr < 1.0 - config.epsilon) continue;
+      any_feasible = true;
+      double objective = SimpsonIntegrate(
+          [&](double x) {
+            return SchemeCollisionProbabilityWithRemainder(p, x, w, z, rem);
+          },
+          0.0, 1.0, config.final_intervals);
+      best_objective = std::min(best_objective, objective);
+    }
+    OptimizerUnit unit;
+    unit.p = p;
+    unit.threshold = threshold;
+    WzScheme scheme = OptimizeSingleScheme(unit, budget, config);
+    if (!any_feasible) {
+      EXPECT_FALSE(scheme.constraint_met);
+      continue;
+    }
+    ASSERT_TRUE(scheme.constraint_met) << "thr " << threshold;
+    // Within 2% of the exhaustive optimum (the search integrates coarsely).
+    EXPECT_LE(scheme.objective, best_objective * 1.02 + 1e-6)
+        << "budget " << budget << " thr " << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, OptimizerBruteForceSweep,
+                         ::testing::Values(10, 20, 33, 64, 100));
+
+}  // namespace
+}  // namespace adalsh

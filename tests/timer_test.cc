@@ -1,0 +1,36 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(TimerTest, ElapsedIsNonNegativeAndMonotone) {
+  Timer timer;
+  double first = timer.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Burn a little CPU.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink = sink + 1e-9;
+  double second = timer.ElapsedSeconds();
+  EXPECT_GE(second, first);
+}
+
+TEST(TimerTest, ResetRestarts) {
+  Timer timer;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 1000000; ++i) sink = sink + 1e-9;
+  double before = timer.ElapsedSeconds();
+  timer.Reset();
+  EXPECT_LT(timer.ElapsedSeconds(), before + 1e-3);
+}
+
+TEST(TimerTest, MillisMatchesSeconds) {
+  Timer timer;
+  double seconds = timer.ElapsedSeconds();
+  double millis = timer.ElapsedMillis();
+  EXPECT_GE(millis, seconds * 1e3 * 0.5);  // coarse: both sampled closely
+}
+
+}  // namespace
+}  // namespace adalsh

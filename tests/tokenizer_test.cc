@@ -1,0 +1,50 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(TokenizerTest, SplitsAndLowercases) {
+  EXPECT_EQ(Tokenize("Verroios, H. 2017"),
+            (std::vector<std::string>{"verroios", "h", "2017"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnly) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize(" .,;--! ").empty());
+}
+
+TEST(TokenizerTest, AlnumRunsStayTogether) {
+  EXPECT_EQ(Tokenize("top-k ER2017x"),
+            (std::vector<std::string>{"top", "k", "er2017x"}));
+}
+
+TEST(HashTokenTest, DeterministicAndDistinct) {
+  EXPECT_EQ(HashToken("abc"), HashToken("abc"));
+  EXPECT_NE(HashToken("abc"), HashToken("abd"));
+  EXPECT_NE(HashToken("abc"), HashToken("ab"));
+}
+
+TEST(HashTokenSequenceTest, OrderSensitive) {
+  std::vector<std::string> ab = {"a", "b"};
+  std::vector<std::string> ba = {"b", "a"};
+  EXPECT_NE(HashTokenSequence(ab, 0, 2), HashTokenSequence(ba, 0, 2));
+}
+
+TEST(HashTokenSequenceTest, SeparatorPreventsGluing) {
+  // ["ab","c"] must differ from ["a","bc"].
+  std::vector<std::string> x = {"ab", "c"};
+  std::vector<std::string> y = {"a", "bc"};
+  EXPECT_NE(HashTokenSequence(x, 0, 2), HashTokenSequence(y, 0, 2));
+}
+
+TEST(HashTokenSequenceTest, SubrangeMatchesEqualTokens) {
+  std::vector<std::string> long_seq = {"x", "a", "b", "y"};
+  std::vector<std::string> short_seq = {"a", "b"};
+  EXPECT_EQ(HashTokenSequence(long_seq, 1, 3),
+            HashTokenSequence(short_seq, 0, 2));
+}
+
+}  // namespace
+}  // namespace adalsh

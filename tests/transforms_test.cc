@@ -1,0 +1,103 @@
+#include "image/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "distance/cosine.h"
+#include "image/histogram.h"
+
+namespace adalsh {
+namespace {
+
+Image MakeCheckerboard(int size) {
+  Image image(size, size);
+  for (int y = 0; y < size; ++y) {
+    for (int x = 0; x < size; ++x) {
+      uint8_t v = ((x / 4 + y / 4) % 2) ? 200 : 40;
+      image.set(x, y, v, static_cast<uint8_t>(255 - v), 128);
+    }
+  }
+  return image;
+}
+
+TEST(CropTest, ExtractsRegion) {
+  Image image = MakeCheckerboard(16);
+  Image crop = Crop(image, 2, 3, 5, 4);
+  EXPECT_EQ(crop.width(), 5);
+  EXPECT_EQ(crop.height(), 4);
+  EXPECT_EQ(crop.at(0, 0, 0), image.at(2, 3, 0));
+  EXPECT_EQ(crop.at(4, 3, 1), image.at(6, 6, 1));
+}
+
+TEST(CropDeathTest, OutOfBoundsAborts) {
+  Image image = MakeCheckerboard(8);
+  EXPECT_DEATH(Crop(image, 4, 4, 8, 8), "out of bounds");
+}
+
+TEST(ScaleTest, IdentityScaleKeepsSize) {
+  Image image = MakeCheckerboard(16);
+  Image scaled = ScaleBilinear(image, 16, 16);
+  EXPECT_EQ(scaled.width(), 16);
+  EXPECT_EQ(scaled.height(), 16);
+}
+
+TEST(ScaleTest, UniformImageStaysUniform) {
+  Image image(8, 8);
+  for (int y = 0; y < 8; ++y) {
+    for (int x = 0; x < 8; ++x) image.set(x, y, 100, 150, 200);
+  }
+  Image scaled = ScaleBilinear(image, 13, 5);
+  for (int y = 0; y < 5; ++y) {
+    for (int x = 0; x < 13; ++x) {
+      EXPECT_EQ(scaled.at(x, y, 0), 100);
+      EXPECT_EQ(scaled.at(x, y, 1), 150);
+      EXPECT_EQ(scaled.at(x, y, 2), 200);
+    }
+  }
+}
+
+TEST(RecenterTest, ShiftsContent) {
+  Image image(4, 4);
+  image.set(1, 1, 255, 0, 0);
+  Image shifted = Recenter(image, 1, 2);
+  EXPECT_EQ(shifted.at(2, 3, 0), 255);
+}
+
+TEST(RecenterTest, ZeroShiftIsIdentity) {
+  Image image = MakeCheckerboard(8);
+  Image shifted = Recenter(image, 0, 0);
+  EXPECT_EQ(shifted.pixels(), image.pixels());
+}
+
+TEST(RandomTransformTest, MildTransformKeepsHistogramClose) {
+  ImagePatternConfig pattern;
+  Rng rng(3);
+  Image original = GenerateRandomImage(pattern, &rng);
+  RandomTransformConfig config;
+  config.min_keep_fraction = 0.975;
+  config.min_scale = 0.95;
+  config.max_scale = 1.05;
+  config.max_shift_fraction = 0.012;
+  std::vector<float> h_orig = RgbHistogram(original, 4);
+  double worst = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    Image copy = RandomTransform(original, config, &rng);
+    double distance = CosineDistance(h_orig, RgbHistogram(copy, 4));
+    worst = std::max(worst, distance);
+  }
+  // Mild transforms stay within a few degrees of the original.
+  EXPECT_LT(NormalizedAngleToDegrees(worst), 6.0);
+}
+
+TEST(RandomTransformTest, Deterministic) {
+  ImagePatternConfig pattern;
+  Rng gen_rng(5);
+  Image original = GenerateRandomImage(pattern, &gen_rng);
+  RandomTransformConfig config;
+  Rng a(9), b(9);
+  Image ta = RandomTransform(original, config, &a);
+  Image tb = RandomTransform(original, config, &b);
+  EXPECT_EQ(ta.pixels(), tb.pixels());
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,70 @@
+#include "datagen/vocabulary.h"
+
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(VocabularyTest, WordsAreDistinct) {
+  Vocabulary vocab(500, 1);
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    EXPECT_TRUE(seen.insert(vocab.word(i)).second) << vocab.word(i);
+  }
+  EXPECT_EQ(vocab.size(), 500u);
+}
+
+TEST(VocabularyTest, DeterministicPerSeed) {
+  Vocabulary a(100, 7), b(100, 7), c(100, 8);
+  EXPECT_EQ(a.word(0), b.word(0));
+  EXPECT_EQ(a.word(99), b.word(99));
+  bool any_differ = false;
+  for (size_t i = 0; i < 100; ++i) any_differ |= (a.word(i) != c.word(i));
+  EXPECT_TRUE(any_differ);
+}
+
+TEST(VocabularyTest, WordsAreLowercaseAlpha) {
+  Vocabulary vocab(50, 3);
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    for (char c : vocab.word(i)) {
+      EXPECT_TRUE(c >= 'a' && c <= 'z') << vocab.word(i);
+    }
+    EXPECT_GE(vocab.word(i).size(), 3u);
+  }
+}
+
+TEST(VocabularyTest, SamplePhraseWordCount) {
+  Vocabulary vocab(50, 5);
+  Rng rng(1);
+  std::string phrase = vocab.SamplePhrase(&rng, 4);
+  int spaces = 0;
+  for (char c : phrase) spaces += (c == ' ');
+  EXPECT_EQ(spaces, 3);
+}
+
+TEST(ApplyTypoTest, ChangesAtMostOneChar) {
+  Rng rng(9);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string original = "example";
+    std::string mutated = original;
+    ApplyTypo(&mutated, &rng);
+    EXPECT_EQ(mutated.size(), original.size());
+    int diffs = 0;
+    for (size_t i = 0; i < original.size(); ++i) {
+      diffs += (original[i] != mutated[i]);
+    }
+    EXPECT_LE(diffs, 1);
+  }
+}
+
+TEST(ApplyTypoTest, EmptyStringIsNoOp) {
+  Rng rng(9);
+  std::string empty;
+  ApplyTypo(&empty, &rng);
+  EXPECT_TRUE(empty.empty());
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -1,0 +1,56 @@
+#include "datagen/zipf.h"
+
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(ZipfTest, TotalIsExact) {
+  for (double exponent : {0.75, 1.05, 1.1, 1.2}) {
+    std::vector<size_t> sizes = ZipfClusterSizes(500, 10000, exponent);
+    EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), size_t{0}), 10000u)
+        << "exponent " << exponent;
+  }
+}
+
+TEST(ZipfTest, SizesDescendAndPositive) {
+  std::vector<size_t> sizes = ZipfClusterSizes(100, 2000, 1.1);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_GE(sizes[i], 1u);
+    if (i > 0) {
+      EXPECT_LE(sizes[i], sizes[i - 1] + 1);
+    }
+  }
+}
+
+TEST(ZipfTest, HigherExponentConcentratesTop) {
+  // The Section 7.4.2 property: higher exponent -> larger top entities.
+  std::vector<size_t> flat = ZipfClusterSizes(500, 10000, 1.05);
+  std::vector<size_t> steep = ZipfClusterSizes(500, 10000, 1.2);
+  EXPECT_GT(steep[0], flat[0]);
+  EXPECT_GT(steep[1], flat[1]);
+}
+
+TEST(ZipfTest, RatioRoughlyPowerLaw) {
+  std::vector<size_t> sizes = ZipfClusterSizes(500, 100000, 1.0);
+  // size_1 / size_2 ~ 2 for exponent 1.
+  double ratio = static_cast<double>(sizes[0]) / sizes[1];
+  EXPECT_GT(ratio, 1.7);
+  EXPECT_LT(ratio, 2.3);
+}
+
+TEST(ZipfTest, AllSingletonsWhenTotalEqualsEntities) {
+  std::vector<size_t> sizes = ZipfClusterSizes(50, 50, 1.1);
+  for (size_t s : sizes) EXPECT_EQ(s, 1u);
+}
+
+TEST(ZipfTest, SingleEntityTakesAll) {
+  std::vector<size_t> sizes = ZipfClusterSizes(1, 123, 1.5);
+  ASSERT_EQ(sizes.size(), 1u);
+  EXPECT_EQ(sizes[0], 123u);
+}
+
+}  // namespace
+}  // namespace adalsh
