@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_jump_model.dir/ablation_jump_model.cc.o"
+  "CMakeFiles/ablation_jump_model.dir/ablation_jump_model.cc.o.d"
+  "ablation_jump_model"
+  "ablation_jump_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_jump_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

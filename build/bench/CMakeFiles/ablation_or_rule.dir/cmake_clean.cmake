@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_or_rule.dir/ablation_or_rule.cc.o"
+  "CMakeFiles/ablation_or_rule.dir/ablation_or_rule.cc.o.d"
+  "ablation_or_rule"
+  "ablation_or_rule.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_or_rule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

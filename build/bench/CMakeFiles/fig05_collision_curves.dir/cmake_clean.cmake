@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_collision_curves.dir/fig05_collision_curves.cc.o"
+  "CMakeFiles/fig05_collision_curves.dir/fig05_collision_curves.cc.o.d"
+  "fig05_collision_curves"
+  "fig05_collision_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_collision_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

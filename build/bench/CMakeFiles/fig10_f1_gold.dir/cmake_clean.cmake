@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_f1_gold.dir/fig10_f1_gold.cc.o"
+  "CMakeFiles/fig10_f1_gold.dir/fig10_f1_gold.cc.o.d"
+  "fig10_f1_gold"
+  "fig10_f1_gold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_f1_gold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_precision_recall_bk.dir/fig11_precision_recall_bk.cc.o"
+  "CMakeFiles/fig11_precision_recall_bk.dir/fig11_precision_recall_bk.cc.o.d"
+  "fig11_precision_recall_bk"
+  "fig11_precision_recall_bk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_precision_recall_bk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_precision_recall_bk.
+# This may be replaced when dependencies are built.

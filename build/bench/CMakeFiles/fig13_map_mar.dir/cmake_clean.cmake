@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_map_mar.dir/fig13_map_mar.cc.o"
+  "CMakeFiles/fig13_map_mar.dir/fig13_map_mar.cc.o.d"
+  "fig13_map_mar"
+  "fig13_map_mar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_map_mar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

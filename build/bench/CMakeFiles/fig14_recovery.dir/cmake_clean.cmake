@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_recovery.dir/fig14_recovery.cc.o"
+  "CMakeFiles/fig14_recovery.dir/fig14_recovery.cc.o.d"
+  "fig14_recovery"
+  "fig14_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

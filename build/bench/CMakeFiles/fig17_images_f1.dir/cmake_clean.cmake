@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_images_f1.dir/fig17_images_f1.cc.o"
+  "CMakeFiles/fig17_images_f1.dir/fig17_images_f1.cc.o.d"
+  "fig17_images_f1"
+  "fig17_images_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_images_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

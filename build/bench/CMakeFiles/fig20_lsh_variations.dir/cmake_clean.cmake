@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_lsh_variations.dir/fig20_lsh_variations.cc.o"
+  "CMakeFiles/fig20_lsh_variations.dir/fig20_lsh_variations.cc.o.d"
+  "fig20_lsh_variations"
+  "fig20_lsh_variations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_lsh_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_cost_noise.dir/fig21_cost_noise.cc.o"
+  "CMakeFiles/fig21_cost_noise.dir/fig21_cost_noise.cc.o.d"
+  "fig21_cost_noise"
+  "fig21_cost_noise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_cost_noise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_budget_modes.dir/fig22_budget_modes.cc.o"
+  "CMakeFiles/fig22_budget_modes.dir/fig22_budget_modes.cc.o.d"
+  "fig22_budget_modes"
+  "fig22_budget_modes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_budget_modes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_pairwise.dir/micro_pairwise.cc.o"
+  "CMakeFiles/micro_pairwise.dir/micro_pairwise.cc.o.d"
+  "micro_pairwise"
+  "micro_pairwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_pairwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_dedup.dir/news_dedup.cpp.o"
+  "CMakeFiles/news_dedup.dir/news_dedup.cpp.o.d"
+  "news_dedup"
+  "news_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/publications_topk.dir/publications_topk.cpp.o"
+  "CMakeFiles/publications_topk.dir/publications_topk.cpp.o.d"
+  "publications_topk"
+  "publications_topk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/publications_topk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/viral_images.cpp" "examples/CMakeFiles/viral_images.dir/viral_images.cpp.o" "gcc" "examples/CMakeFiles/viral_images.dir/viral_images.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viral_images.dir/viral_images.cpp.o"
+  "CMakeFiles/viral_images.dir/viral_images.cpp.o.d"
+  "viral_images"
+  "viral_images.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viral_images.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

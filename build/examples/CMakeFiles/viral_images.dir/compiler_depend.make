@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for viral_images.
+# This may be replaced when dependencies are built.

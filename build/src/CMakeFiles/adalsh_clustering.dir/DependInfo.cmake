@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/bin_index.cc" "src/CMakeFiles/adalsh_clustering.dir/clustering/bin_index.cc.o" "gcc" "src/CMakeFiles/adalsh_clustering.dir/clustering/bin_index.cc.o.d"
+  "/root/repo/src/clustering/clustering.cc" "src/CMakeFiles/adalsh_clustering.dir/clustering/clustering.cc.o" "gcc" "src/CMakeFiles/adalsh_clustering.dir/clustering/clustering.cc.o.d"
+  "/root/repo/src/clustering/parent_pointer_forest.cc" "src/CMakeFiles/adalsh_clustering.dir/clustering/parent_pointer_forest.cc.o" "gcc" "src/CMakeFiles/adalsh_clustering.dir/clustering/parent_pointer_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_clustering.dir/clustering/bin_index.cc.o"
+  "CMakeFiles/adalsh_clustering.dir/clustering/bin_index.cc.o.d"
+  "CMakeFiles/adalsh_clustering.dir/clustering/clustering.cc.o"
+  "CMakeFiles/adalsh_clustering.dir/clustering/clustering.cc.o.d"
+  "CMakeFiles/adalsh_clustering.dir/clustering/parent_pointer_forest.cc.o"
+  "CMakeFiles/adalsh_clustering.dir/clustering/parent_pointer_forest.cc.o.d"
+  "libadalsh_clustering.a"
+  "libadalsh_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/adaptive_lsh.cc" "src/CMakeFiles/adalsh_core.dir/core/adaptive_lsh.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/adaptive_lsh.cc.o.d"
+  "/root/repo/src/core/budget_strategy.cc" "src/CMakeFiles/adalsh_core.dir/core/budget_strategy.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/budget_strategy.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/adalsh_core.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/function_sequence.cc" "src/CMakeFiles/adalsh_core.dir/core/function_sequence.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/function_sequence.cc.o.d"
+  "/root/repo/src/core/hash_engine.cc" "src/CMakeFiles/adalsh_core.dir/core/hash_engine.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/hash_engine.cc.o.d"
+  "/root/repo/src/core/lsh_blocking.cc" "src/CMakeFiles/adalsh_core.dir/core/lsh_blocking.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/lsh_blocking.cc.o.d"
+  "/root/repo/src/core/pairs_baseline.cc" "src/CMakeFiles/adalsh_core.dir/core/pairs_baseline.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/pairs_baseline.cc.o.d"
+  "/root/repo/src/core/pairwise.cc" "src/CMakeFiles/adalsh_core.dir/core/pairwise.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/pairwise.cc.o.d"
+  "/root/repo/src/core/scheme_optimizer.cc" "src/CMakeFiles/adalsh_core.dir/core/scheme_optimizer.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/scheme_optimizer.cc.o.d"
+  "/root/repo/src/core/streaming_adaptive_lsh.cc" "src/CMakeFiles/adalsh_core.dir/core/streaming_adaptive_lsh.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/streaming_adaptive_lsh.cc.o.d"
+  "/root/repo/src/core/transitive_hash_function.cc" "src/CMakeFiles/adalsh_core.dir/core/transitive_hash_function.cc.o" "gcc" "src/CMakeFiles/adalsh_core.dir/core/transitive_hash_function.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

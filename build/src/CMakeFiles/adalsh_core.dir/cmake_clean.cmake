@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_core.dir/core/adaptive_lsh.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/adaptive_lsh.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/budget_strategy.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/budget_strategy.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/cost_model.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/cost_model.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/function_sequence.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/function_sequence.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/hash_engine.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/hash_engine.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/lsh_blocking.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/lsh_blocking.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/pairs_baseline.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/pairs_baseline.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/pairwise.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/pairwise.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/scheme_optimizer.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/scheme_optimizer.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/streaming_adaptive_lsh.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/streaming_adaptive_lsh.cc.o.d"
+  "CMakeFiles/adalsh_core.dir/core/transitive_hash_function.cc.o"
+  "CMakeFiles/adalsh_core.dir/core/transitive_hash_function.cc.o.d"
+  "libadalsh_core.a"
+  "libadalsh_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/cora_like.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/cora_like.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/cora_like.cc.o.d"
+  "/root/repo/src/datagen/extend.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/extend.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/extend.cc.o.d"
+  "/root/repo/src/datagen/multimodal.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/multimodal.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/multimodal.cc.o.d"
+  "/root/repo/src/datagen/popular_images.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/popular_images.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/popular_images.cc.o.d"
+  "/root/repo/src/datagen/spotsigs_like.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/spotsigs_like.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/spotsigs_like.cc.o.d"
+  "/root/repo/src/datagen/vocabulary.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/vocabulary.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/vocabulary.cc.o.d"
+  "/root/repo/src/datagen/zipf.cc" "src/CMakeFiles/adalsh_datagen.dir/datagen/zipf.cc.o" "gcc" "src/CMakeFiles/adalsh_datagen.dir/datagen/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_datagen.dir/datagen/cora_like.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/cora_like.cc.o.d"
+  "CMakeFiles/adalsh_datagen.dir/datagen/extend.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/extend.cc.o.d"
+  "CMakeFiles/adalsh_datagen.dir/datagen/multimodal.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/multimodal.cc.o.d"
+  "CMakeFiles/adalsh_datagen.dir/datagen/popular_images.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/popular_images.cc.o.d"
+  "CMakeFiles/adalsh_datagen.dir/datagen/spotsigs_like.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/spotsigs_like.cc.o.d"
+  "CMakeFiles/adalsh_datagen.dir/datagen/vocabulary.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/vocabulary.cc.o.d"
+  "CMakeFiles/adalsh_datagen.dir/datagen/zipf.cc.o"
+  "CMakeFiles/adalsh_datagen.dir/datagen/zipf.cc.o.d"
+  "libadalsh_datagen.a"
+  "libadalsh_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

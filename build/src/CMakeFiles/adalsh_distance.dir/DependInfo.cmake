@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/distance/collision_model.cc" "src/CMakeFiles/adalsh_distance.dir/distance/collision_model.cc.o" "gcc" "src/CMakeFiles/adalsh_distance.dir/distance/collision_model.cc.o.d"
+  "/root/repo/src/distance/cosine.cc" "src/CMakeFiles/adalsh_distance.dir/distance/cosine.cc.o" "gcc" "src/CMakeFiles/adalsh_distance.dir/distance/cosine.cc.o.d"
+  "/root/repo/src/distance/jaccard.cc" "src/CMakeFiles/adalsh_distance.dir/distance/jaccard.cc.o" "gcc" "src/CMakeFiles/adalsh_distance.dir/distance/jaccard.cc.o.d"
+  "/root/repo/src/distance/rule.cc" "src/CMakeFiles/adalsh_distance.dir/distance/rule.cc.o" "gcc" "src/CMakeFiles/adalsh_distance.dir/distance/rule.cc.o.d"
+  "/root/repo/src/distance/rule_parser.cc" "src/CMakeFiles/adalsh_distance.dir/distance/rule_parser.cc.o" "gcc" "src/CMakeFiles/adalsh_distance.dir/distance/rule_parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_distance.dir/distance/collision_model.cc.o"
+  "CMakeFiles/adalsh_distance.dir/distance/collision_model.cc.o.d"
+  "CMakeFiles/adalsh_distance.dir/distance/cosine.cc.o"
+  "CMakeFiles/adalsh_distance.dir/distance/cosine.cc.o.d"
+  "CMakeFiles/adalsh_distance.dir/distance/jaccard.cc.o"
+  "CMakeFiles/adalsh_distance.dir/distance/jaccard.cc.o.d"
+  "CMakeFiles/adalsh_distance.dir/distance/rule.cc.o"
+  "CMakeFiles/adalsh_distance.dir/distance/rule.cc.o.d"
+  "CMakeFiles/adalsh_distance.dir/distance/rule_parser.cc.o"
+  "CMakeFiles/adalsh_distance.dir/distance/rule_parser.cc.o.d"
+  "libadalsh_distance.a"
+  "libadalsh_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

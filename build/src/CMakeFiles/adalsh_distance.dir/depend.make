@@ -1,0 +1,2 @@
+# Empty dependencies file for adalsh_distance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/er_pipeline.cc" "src/CMakeFiles/adalsh_eval.dir/eval/er_pipeline.cc.o" "gcc" "src/CMakeFiles/adalsh_eval.dir/eval/er_pipeline.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/adalsh_eval.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/adalsh_eval.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/adalsh_eval.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/adalsh_eval.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/recovery.cc" "src/CMakeFiles/adalsh_eval.dir/eval/recovery.cc.o" "gcc" "src/CMakeFiles/adalsh_eval.dir/eval/recovery.cc.o.d"
+  "/root/repo/src/eval/speedup.cc" "src/CMakeFiles/adalsh_eval.dir/eval/speedup.cc.o" "gcc" "src/CMakeFiles/adalsh_eval.dir/eval/speedup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_lsh.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

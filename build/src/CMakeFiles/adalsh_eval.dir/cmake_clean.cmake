@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_eval.dir/eval/er_pipeline.cc.o"
+  "CMakeFiles/adalsh_eval.dir/eval/er_pipeline.cc.o.d"
+  "CMakeFiles/adalsh_eval.dir/eval/experiment.cc.o"
+  "CMakeFiles/adalsh_eval.dir/eval/experiment.cc.o.d"
+  "CMakeFiles/adalsh_eval.dir/eval/metrics.cc.o"
+  "CMakeFiles/adalsh_eval.dir/eval/metrics.cc.o.d"
+  "CMakeFiles/adalsh_eval.dir/eval/recovery.cc.o"
+  "CMakeFiles/adalsh_eval.dir/eval/recovery.cc.o.d"
+  "CMakeFiles/adalsh_eval.dir/eval/speedup.cc.o"
+  "CMakeFiles/adalsh_eval.dir/eval/speedup.cc.o.d"
+  "libadalsh_eval.a"
+  "libadalsh_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adalsh_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/histogram.cc" "src/CMakeFiles/adalsh_image.dir/image/histogram.cc.o" "gcc" "src/CMakeFiles/adalsh_image.dir/image/histogram.cc.o.d"
+  "/root/repo/src/image/image.cc" "src/CMakeFiles/adalsh_image.dir/image/image.cc.o" "gcc" "src/CMakeFiles/adalsh_image.dir/image/image.cc.o.d"
+  "/root/repo/src/image/transforms.cc" "src/CMakeFiles/adalsh_image.dir/image/transforms.cc.o" "gcc" "src/CMakeFiles/adalsh_image.dir/image/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

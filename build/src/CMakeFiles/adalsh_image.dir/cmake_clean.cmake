@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_image.dir/image/histogram.cc.o"
+  "CMakeFiles/adalsh_image.dir/image/histogram.cc.o.d"
+  "CMakeFiles/adalsh_image.dir/image/image.cc.o"
+  "CMakeFiles/adalsh_image.dir/image/image.cc.o.d"
+  "CMakeFiles/adalsh_image.dir/image/transforms.cc.o"
+  "CMakeFiles/adalsh_image.dir/image/transforms.cc.o.d"
+  "libadalsh_image.a"
+  "libadalsh_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

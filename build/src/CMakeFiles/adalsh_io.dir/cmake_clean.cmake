@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_io.dir/io/csv.cc.o"
+  "CMakeFiles/adalsh_io.dir/io/csv.cc.o.d"
+  "CMakeFiles/adalsh_io.dir/io/dataset_loader.cc.o"
+  "CMakeFiles/adalsh_io.dir/io/dataset_loader.cc.o.d"
+  "libadalsh_io.a"
+  "libadalsh_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

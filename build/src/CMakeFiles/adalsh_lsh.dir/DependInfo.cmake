@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lsh/composite_scheme.cc" "src/CMakeFiles/adalsh_lsh.dir/lsh/composite_scheme.cc.o" "gcc" "src/CMakeFiles/adalsh_lsh.dir/lsh/composite_scheme.cc.o.d"
+  "/root/repo/src/lsh/hash_cache.cc" "src/CMakeFiles/adalsh_lsh.dir/lsh/hash_cache.cc.o" "gcc" "src/CMakeFiles/adalsh_lsh.dir/lsh/hash_cache.cc.o.d"
+  "/root/repo/src/lsh/minhash.cc" "src/CMakeFiles/adalsh_lsh.dir/lsh/minhash.cc.o" "gcc" "src/CMakeFiles/adalsh_lsh.dir/lsh/minhash.cc.o.d"
+  "/root/repo/src/lsh/random_hyperplane.cc" "src/CMakeFiles/adalsh_lsh.dir/lsh/random_hyperplane.cc.o" "gcc" "src/CMakeFiles/adalsh_lsh.dir/lsh/random_hyperplane.cc.o.d"
+  "/root/repo/src/lsh/scheme.cc" "src/CMakeFiles/adalsh_lsh.dir/lsh/scheme.cc.o" "gcc" "src/CMakeFiles/adalsh_lsh.dir/lsh/scheme.cc.o.d"
+  "/root/repo/src/lsh/weighted_field_family.cc" "src/CMakeFiles/adalsh_lsh.dir/lsh/weighted_field_family.cc.o" "gcc" "src/CMakeFiles/adalsh_lsh.dir/lsh/weighted_field_family.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_distance.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_record.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_lsh.dir/lsh/composite_scheme.cc.o"
+  "CMakeFiles/adalsh_lsh.dir/lsh/composite_scheme.cc.o.d"
+  "CMakeFiles/adalsh_lsh.dir/lsh/hash_cache.cc.o"
+  "CMakeFiles/adalsh_lsh.dir/lsh/hash_cache.cc.o.d"
+  "CMakeFiles/adalsh_lsh.dir/lsh/minhash.cc.o"
+  "CMakeFiles/adalsh_lsh.dir/lsh/minhash.cc.o.d"
+  "CMakeFiles/adalsh_lsh.dir/lsh/random_hyperplane.cc.o"
+  "CMakeFiles/adalsh_lsh.dir/lsh/random_hyperplane.cc.o.d"
+  "CMakeFiles/adalsh_lsh.dir/lsh/scheme.cc.o"
+  "CMakeFiles/adalsh_lsh.dir/lsh/scheme.cc.o.d"
+  "CMakeFiles/adalsh_lsh.dir/lsh/weighted_field_family.cc.o"
+  "CMakeFiles/adalsh_lsh.dir/lsh/weighted_field_family.cc.o.d"
+  "libadalsh_lsh.a"
+  "libadalsh_lsh.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_lsh.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/record/dataset.cc" "src/CMakeFiles/adalsh_record.dir/record/dataset.cc.o" "gcc" "src/CMakeFiles/adalsh_record.dir/record/dataset.cc.o.d"
+  "/root/repo/src/record/field.cc" "src/CMakeFiles/adalsh_record.dir/record/field.cc.o" "gcc" "src/CMakeFiles/adalsh_record.dir/record/field.cc.o.d"
+  "/root/repo/src/record/record.cc" "src/CMakeFiles/adalsh_record.dir/record/record.cc.o" "gcc" "src/CMakeFiles/adalsh_record.dir/record/record.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/adalsh_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

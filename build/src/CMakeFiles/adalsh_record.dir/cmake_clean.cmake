@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_record.dir/record/dataset.cc.o"
+  "CMakeFiles/adalsh_record.dir/record/dataset.cc.o.d"
+  "CMakeFiles/adalsh_record.dir/record/field.cc.o"
+  "CMakeFiles/adalsh_record.dir/record/field.cc.o.d"
+  "CMakeFiles/adalsh_record.dir/record/record.cc.o"
+  "CMakeFiles/adalsh_record.dir/record/record.cc.o.d"
+  "libadalsh_record.a"
+  "libadalsh_record.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_record.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

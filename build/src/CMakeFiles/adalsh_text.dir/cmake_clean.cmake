@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_text.dir/text/shingle.cc.o"
+  "CMakeFiles/adalsh_text.dir/text/shingle.cc.o.d"
+  "CMakeFiles/adalsh_text.dir/text/spot_signatures.cc.o"
+  "CMakeFiles/adalsh_text.dir/text/spot_signatures.cc.o.d"
+  "CMakeFiles/adalsh_text.dir/text/tokenizer.cc.o"
+  "CMakeFiles/adalsh_text.dir/text/tokenizer.cc.o.d"
+  "libadalsh_text.a"
+  "libadalsh_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_util.dir/util/check.cc.o"
+  "CMakeFiles/adalsh_util.dir/util/check.cc.o.d"
+  "CMakeFiles/adalsh_util.dir/util/flags.cc.o"
+  "CMakeFiles/adalsh_util.dir/util/flags.cc.o.d"
+  "CMakeFiles/adalsh_util.dir/util/numeric.cc.o"
+  "CMakeFiles/adalsh_util.dir/util/numeric.cc.o.d"
+  "CMakeFiles/adalsh_util.dir/util/rng.cc.o"
+  "CMakeFiles/adalsh_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/adalsh_util.dir/util/stats.cc.o"
+  "CMakeFiles/adalsh_util.dir/util/stats.cc.o.d"
+  "CMakeFiles/adalsh_util.dir/util/status.cc.o"
+  "CMakeFiles/adalsh_util.dir/util/status.cc.o.d"
+  "libadalsh_util.a"
+  "libadalsh_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

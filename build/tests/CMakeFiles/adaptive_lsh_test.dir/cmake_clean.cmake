@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_lsh_test.dir/adaptive_lsh_test.cc.o"
+  "CMakeFiles/adaptive_lsh_test.dir/adaptive_lsh_test.cc.o.d"
+  "adaptive_lsh_test"
+  "adaptive_lsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bin_index_test.dir/bin_index_test.cc.o"
+  "CMakeFiles/bin_index_test.dir/bin_index_test.cc.o.d"
+  "bin_index_test"
+  "bin_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bin_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

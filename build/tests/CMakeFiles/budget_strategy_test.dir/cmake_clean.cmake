@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/budget_strategy_test.dir/budget_strategy_test.cc.o"
+  "CMakeFiles/budget_strategy_test.dir/budget_strategy_test.cc.o.d"
+  "budget_strategy_test"
+  "budget_strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/budget_strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

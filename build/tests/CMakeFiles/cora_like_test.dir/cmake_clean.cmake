@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cora_like_test.dir/cora_like_test.cc.o"
+  "CMakeFiles/cora_like_test.dir/cora_like_test.cc.o.d"
+  "cora_like_test"
+  "cora_like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cora_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

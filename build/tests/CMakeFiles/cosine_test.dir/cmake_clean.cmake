@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cosine_test.dir/cosine_test.cc.o"
+  "CMakeFiles/cosine_test.dir/cosine_test.cc.o.d"
+  "cosine_test"
+  "cosine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cosine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

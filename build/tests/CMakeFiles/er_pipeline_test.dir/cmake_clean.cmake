@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/er_pipeline_test.dir/er_pipeline_test.cc.o"
+  "CMakeFiles/er_pipeline_test.dir/er_pipeline_test.cc.o.d"
+  "er_pipeline_test"
+  "er_pipeline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/er_pipeline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/function_sequence_test.dir/function_sequence_test.cc.o"
+  "CMakeFiles/function_sequence_test.dir/function_sequence_test.cc.o.d"
+  "function_sequence_test"
+  "function_sequence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/function_sequence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

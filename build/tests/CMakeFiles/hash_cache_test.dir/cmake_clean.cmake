@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_cache_test.dir/hash_cache_test.cc.o"
+  "CMakeFiles/hash_cache_test.dir/hash_cache_test.cc.o.d"
+  "hash_cache_test"
+  "hash_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

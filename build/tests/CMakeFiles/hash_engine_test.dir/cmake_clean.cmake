@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hash_engine_test.dir/hash_engine_test.cc.o"
+  "CMakeFiles/hash_engine_test.dir/hash_engine_test.cc.o.d"
+  "hash_engine_test"
+  "hash_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hash_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

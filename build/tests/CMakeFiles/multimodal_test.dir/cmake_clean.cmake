@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multimodal_test.dir/multimodal_test.cc.o"
+  "CMakeFiles/multimodal_test.dir/multimodal_test.cc.o.d"
+  "multimodal_test"
+  "multimodal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multimodal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairs_baseline_test.dir/pairs_baseline_test.cc.o"
+  "CMakeFiles/pairs_baseline_test.dir/pairs_baseline_test.cc.o.d"
+  "pairs_baseline_test"
+  "pairs_baseline_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairs_baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parent_pointer_forest_test.dir/parent_pointer_forest_test.cc.o"
+  "CMakeFiles/parent_pointer_forest_test.dir/parent_pointer_forest_test.cc.o.d"
+  "parent_pointer_forest_test"
+  "parent_pointer_forest_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parent_pointer_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/popular_images_test.dir/popular_images_test.cc.o"
+  "CMakeFiles/popular_images_test.dir/popular_images_test.cc.o.d"
+  "popular_images_test"
+  "popular_images_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/popular_images_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

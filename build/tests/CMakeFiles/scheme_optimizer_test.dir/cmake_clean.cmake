@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_optimizer_test.dir/scheme_optimizer_test.cc.o"
+  "CMakeFiles/scheme_optimizer_test.dir/scheme_optimizer_test.cc.o.d"
+  "scheme_optimizer_test"
+  "scheme_optimizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_optimizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

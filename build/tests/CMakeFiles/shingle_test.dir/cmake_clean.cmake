@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shingle_test.dir/shingle_test.cc.o"
+  "CMakeFiles/shingle_test.dir/shingle_test.cc.o.d"
+  "shingle_test"
+  "shingle_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shingle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_signatures_test.dir/spot_signatures_test.cc.o"
+  "CMakeFiles/spot_signatures_test.dir/spot_signatures_test.cc.o.d"
+  "spot_signatures_test"
+  "spot_signatures_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_signatures_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spotsigs_like_test.dir/spotsigs_like_test.cc.o"
+  "CMakeFiles/spotsigs_like_test.dir/spotsigs_like_test.cc.o.d"
+  "spotsigs_like_test"
+  "spotsigs_like_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spotsigs_like_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_adaptive_lsh_test.dir/streaming_adaptive_lsh_test.cc.o"
+  "CMakeFiles/streaming_adaptive_lsh_test.dir/streaming_adaptive_lsh_test.cc.o.d"
+  "streaming_adaptive_lsh_test"
+  "streaming_adaptive_lsh_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_adaptive_lsh_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

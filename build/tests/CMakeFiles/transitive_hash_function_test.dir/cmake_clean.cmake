@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transitive_hash_function_test.dir/transitive_hash_function_test.cc.o"
+  "CMakeFiles/transitive_hash_function_test.dir/transitive_hash_function_test.cc.o.d"
+  "transitive_hash_function_test"
+  "transitive_hash_function_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transitive_hash_function_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

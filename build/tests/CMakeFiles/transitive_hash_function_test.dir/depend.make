@@ -1,0 +1,2 @@
+# Empty dependencies file for transitive_hash_function_test.
+# This may be replaced when dependencies are built.

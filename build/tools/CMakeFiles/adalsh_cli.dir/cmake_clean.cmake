@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adalsh_cli.dir/adalsh_cli.cc.o"
+  "CMakeFiles/adalsh_cli.dir/adalsh_cli.cc.o.d"
+  "adalsh_cli"
+  "adalsh_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adalsh_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
