@@ -1,13 +1,20 @@
 // Micro-benchmarks for the raw LSH hashing substrate: per-hash throughput of
 // MinHash (token sets of varying size) and random hyperplanes (dense vectors
 // of varying dimension). These are the unit costs the Definition 3 cost model
-// calibrates.
+// calibrates. BM_EngineHashingThreads additionally sweeps the worker-thread
+// count over the full Cora-like hash hot path (engine + caches), so
+// BENCH_*.json runs capture the parallel speedup trajectory: compare
+// items_per_second (records hashed per second) across /threads:1..8.
 
 #include <benchmark/benchmark.h>
 
+#include "core/hash_engine.h"
+#include "datagen/cora_like.h"
+#include "lsh/composite_scheme.h"
 #include "lsh/minhash.h"
 #include "lsh/random_hyperplane.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace adalsh {
 namespace {
@@ -67,6 +74,68 @@ void BM_RandomHyperplane(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
 }
 BENCHMARK(BM_RandomHyperplane)->Arg(64)->Arg(512);
+
+void BM_EngineHashingThreads(benchmark::State& state) {
+  const int threads = static_cast<int>(state.range(0));
+
+  // The Cora-like workload the paper's Section 7.2 experiments hash; built
+  // once and shared across thread counts so the sweep is apples-to-apples.
+  static const GeneratedDataset* generated = [] {
+    CoraLikeConfig config;
+    config.num_entities = 120;
+    config.num_records = 1000;
+    config.seed = 7;
+    return new GeneratedDataset(GenerateCoraLike(config));
+  }();
+  static const RuleHashStructure* structure = [] {
+    StatusOr<RuleHashStructure> compiled =
+        CompileRuleForHashing(generated->rule);
+    return new RuleHashStructure(std::move(compiled).value());
+  }();
+
+  const std::vector<RecordId> ids = generated->dataset.AllRecordIds();
+  ThreadPool pool(threads);
+
+  // Each iteration extends every record's per-unit prefix by kStep hashes —
+  // the exact incremental work pattern of a sequence step. The engine is
+  // recycled once prefixes hit kMaxPrefix so memory stays bounded.
+  constexpr size_t kStep = 16;
+  constexpr size_t kMaxPrefix = 2048;
+  auto fresh_engine = [&] {
+    return new HashEngine(generated->dataset, *structure, /*seed=*/42);
+  };
+  HashEngine* engine = fresh_engine();
+  SchemePlan plan;
+  plan.hashes_per_unit.assign(structure->units.size(), 0);
+  size_t target = 0;
+
+  for (auto _ : state) {
+    if (target + kStep > kMaxPrefix) {
+      state.PauseTiming();
+      delete engine;
+      engine = fresh_engine();
+      target = 0;
+      state.ResumeTiming();
+    }
+    target += kStep;
+    for (size_t& prefix : plan.hashes_per_unit) prefix = target;
+    engine->EnsureHashesParallel(
+        std::span<const RecordId>(ids.data(), ids.size()), plan,
+        threads > 1 ? &pool : nullptr);
+  }
+  delete engine;
+
+  // Records hashed per second (each iteration re-covers every record).
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(ids.size()));
+}
+BENCHMARK(BM_EngineHashingThreads)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->ArgName("threads")
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace adalsh

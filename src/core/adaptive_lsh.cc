@@ -8,6 +8,7 @@
 #include "core/transitive_hash_function.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace adalsh {
@@ -29,9 +30,11 @@ AdaptiveLsh::AdaptiveLsh(const Dataset& dataset, const MatchRule& rule,
         ADALSH_CHECK(built.ok()) << built.status().ToString();
         return std::move(built).value();
       }()),
-      cost_model_(CostModel::Calibrate(dataset, rule,
-                                       config.calibration_samples,
-                                       config.seed)) {
+      cost_model_([&] {
+        ScopedThreadPool pool(config.threads);
+        return CostModel::Calibrate(dataset, rule, config.calibration_samples,
+                                    config.seed, pool.get());
+      }()) {
   cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
 }
 
@@ -48,8 +51,9 @@ FilterOutput AdaptiveLsh::Run(
 
   Timer timer;
   ParentPointerForest forest;
+  ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, sequence_.structure(), config_.seed);
-  TransitiveHasher hasher(&engine, &forest, num_records);
+  TransitiveHasher hasher(&engine, &forest, num_records, pool.get());
   PairwiseComputer pairwise(*dataset_, rule_);
   // Hashes computed by discarded throwaway engines (incremental-reuse
   // ablation only).
@@ -94,7 +98,8 @@ FilterOutput AdaptiveLsh::Run(
     } else if (config_.ablate_incremental_reuse) {
       // Ablation: a throwaway engine recomputes every hash from scratch.
       HashEngine fresh_engine(*dataset_, sequence_.structure(), config_.seed);
-      TransitiveHasher fresh_hasher(&fresh_engine, &forest, num_records);
+      TransitiveHasher fresh_hasher(&fresh_engine, &forest, num_records,
+                                    pool.get());
       new_roots = fresh_hasher.Apply(records, sequence_.plan(next), next);
       ablated_hashes += fresh_engine.total_hashes_computed();
       for (RecordId r : records) last_fn[r] = next;

@@ -52,6 +52,12 @@ struct AdaptiveLshConfig {
   /// Noise factor applied to the cost model's P estimate (Fig. 21 study).
   double pairwise_noise_factor = 1.0;
 
+  /// Worker threads for the hash hot path and calibration: 0 uses the global
+  /// pool (--threads / hardware concurrency), 1 is strictly serial, N > 1
+  /// uses a private pool. Results are byte-identical at any setting
+  /// (docs/threading.md).
+  int threads = 0;
+
   /// Seed for all hash functions and calibration sampling.
   uint64_t seed = 1;
 };

@@ -1,5 +1,7 @@
 #include "core/cost_model.h"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <memory>
 #include <vector>
@@ -62,7 +64,7 @@ bool CostModel::ShouldJumpToPairwiseSampled(
 }
 
 CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
-                               int samples, uint64_t seed) {
+                               int samples, uint64_t seed, ThreadPool* pool) {
   ADALSH_CHECK_GT(samples, 0);
   ADALSH_CHECK_GE(dataset.num_records(), 2u);
   Rng rng(DeriveSeed(seed, 0x0c057));
@@ -72,23 +74,29 @@ CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
   // many times (hot caches); timing isolated random pairs instead would
   // over-estimate cost_P by the cold-access penalty and defer P far past its
   // actual break-even point (Line 5 of Algorithm 1).
-  std::vector<RecordId> pool;
-  pool.reserve(samples);
+  std::vector<RecordId> record_pool;
+  record_pool.reserve(samples);
   for (int i = 0; i < samples; ++i) {
-    pool.push_back(static_cast<RecordId>(rng.NextBelow(dataset.num_records())));
+    record_pool.push_back(
+        static_cast<RecordId>(rng.NextBelow(dataset.num_records())));
   }
-  // Volatile sink so the evaluation is not optimized away.
-  volatile int match_count = 0;
-  uint64_t pair_evals = 0;
+  // Atomic sink so the evaluations are not optimized away (and so worker
+  // chunks can accumulate without a race).
+  std::atomic<int> match_count{0};
+  const size_t pool_size = record_pool.size();
+  const uint64_t pair_evals = PairCount(pool_size);
   Timer pair_timer;
-  for (size_t i = 0; i < pool.size(); ++i) {
-    const Record& left = dataset.record(pool[i]);
-    for (size_t j = i + 1; j < pool.size(); ++j) {
-      match_count =
-          match_count + (rule.Matches(left, dataset.record(pool[j])) ? 1 : 0);
-      ++pair_evals;
+  ParallelFor(pool, pool_size, [&](size_t begin, size_t end) {
+    int local_matches = 0;
+    for (size_t i = begin; i < end; ++i) {
+      const Record& left = dataset.record(record_pool[i]);
+      for (size_t j = i + 1; j < pool_size; ++j) {
+        local_matches +=
+            rule.Matches(left, dataset.record(record_pool[j])) ? 1 : 0;
+      }
     }
-  }
+    match_count.fetch_add(local_matches, std::memory_order_relaxed);
+  });
   double cost_per_pair =
       pair_timer.ElapsedSeconds() / static_cast<double>(pair_evals);
 
@@ -96,18 +104,6 @@ CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
   StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
   ADALSH_CHECK(structure.ok()) << structure.status().ToString();
   constexpr int kHashesPerProbe = 32;
-  std::vector<std::unique_ptr<HashFamily>> families;
-  for (const HashUnitSpec& unit : structure->units) {
-    families.push_back(MakeFamilyForFields(unit.fields, unit.weights,
-                                           dataset.record(0),
-                                           DeriveSeed(seed, 0xfa111)));
-  }
-  // Warm up lazy per-function parameters (hyperplane normals) so their
-  // one-time materialization does not inflate the estimate.
-  std::vector<uint64_t> sink(kHashesPerProbe);
-  for (auto& family : families) {
-    family->HashRange(dataset.record(0), 0, kHashesPerProbe, sink.data());
-  }
 
   std::vector<RecordId> probe_records;
   probe_records.reserve(samples);
@@ -115,14 +111,44 @@ CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
     probe_records.push_back(
         static_cast<RecordId>(rng.NextBelow(dataset.num_records())));
   }
-  uint64_t total_hashes = 0;
-  Timer hash_timer;
-  for (RecordId r : probe_records) {
-    for (auto& family : families) {
-      family->HashRange(dataset.record(r), 0, kHashesPerProbe, sink.data());
-      total_hashes += kHashesPerProbe;
+
+  // One family set per worker slice (families lazily materialize parameters,
+  // so they must not be shared across threads), each warmed up before the
+  // timer starts so one-time materialization does not inflate the estimate.
+  const size_t num_slices =
+      pool == nullptr
+          ? 1
+          : std::min<size_t>(pool->num_threads(), probe_records.size());
+  std::vector<std::vector<std::unique_ptr<HashFamily>>> family_sets(
+      num_slices);
+  for (auto& families : family_sets) {
+    std::vector<uint64_t> sink(kHashesPerProbe);
+    for (const HashUnitSpec& unit : structure->units) {
+      families.push_back(MakeFamilyForFields(unit.fields, unit.weights,
+                                             dataset.record(0),
+                                             DeriveSeed(seed, 0xfa111)));
+      families.back()->HashRange(dataset.record(0), 0, kHashesPerProbe,
+                                 sink.data());
     }
   }
+
+  const uint64_t total_hashes = static_cast<uint64_t>(probe_records.size()) *
+                                structure->units.size() * kHashesPerProbe;
+  Timer hash_timer;
+  ParallelFor(pool, num_slices, [&](size_t slice_begin, size_t slice_end) {
+    std::vector<uint64_t> sink(kHashesPerProbe);
+    for (size_t s = slice_begin; s < slice_end; ++s) {
+      // Slice s probes records [s*n/S, (s+1)*n/S) with its own families.
+      size_t lo = probe_records.size() * s / num_slices;
+      size_t hi = probe_records.size() * (s + 1) / num_slices;
+      for (size_t i = lo; i < hi; ++i) {
+        for (auto& family : family_sets[s]) {
+          family->HashRange(dataset.record(probe_records[i]), 0,
+                            kHashesPerProbe, sink.data());
+        }
+      }
+    }
+  });
   double cost_per_hash = hash_timer.ElapsedSeconds() /
                          static_cast<double>(total_hashes);
   return CostModel(cost_per_hash, cost_per_pair);

@@ -7,6 +7,7 @@
 #include "distance/rule.h"
 #include "record/dataset.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace adalsh {
 
@@ -51,8 +52,14 @@ class CostModel {
   /// record pairs and `samples` batched hash computations on random records
   /// (the paper calibrates with 100 samples of each). The probe hashes are
   /// computed on throwaway families so the caller's caches are untouched.
+  /// When `pool` is non-null both probe loops run on it, so the estimated
+  /// unit costs reflect the per-thread throughput the parallel hot path will
+  /// actually see (both costs scale by the same concurrency, preserving the
+  /// hash/pairwise ratio Line 5 compares). The sampled records are identical
+  /// at any thread count.
   static CostModel Calibrate(const Dataset& dataset, const MatchRule& rule,
-                             int samples, uint64_t seed);
+                             int samples, uint64_t seed,
+                             ThreadPool* pool = nullptr);
 
   /// Cost of applying a budget-b function to one record from scratch.
   double HashCost(int budget) const { return cost_per_hash_ * budget; }

@@ -30,6 +30,24 @@ void HashEngine::EnsureHashes(RecordId r, const SchemePlan& plan) {
   }
 }
 
+void HashEngine::PreparePlan(const SchemePlan& plan) {
+  ADALSH_CHECK_EQ(plan.hashes_per_unit.size(), caches_.size());
+  for (size_t u = 0; u < caches_.size(); ++u) {
+    if (plan.hashes_per_unit[u] > 0) {
+      caches_[u].Prepare(plan.hashes_per_unit[u]);
+    }
+  }
+}
+
+void HashEngine::EnsureHashesParallel(std::span<const RecordId> records,
+                                      const SchemePlan& plan,
+                                      ThreadPool* pool) {
+  PreparePlan(plan);
+  ParallelFor(pool, records.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) EnsureHashes(records[i], plan);
+  });
+}
+
 uint64_t HashEngine::TableKey(RecordId r, const TablePlan& table) const {
   uint64_t key = 0x5ca1ab1e0adab1e5ULL;
   for (const TablePart& part : table.parts) {

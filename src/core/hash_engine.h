@@ -2,11 +2,13 @@
 #define ADALSH_CORE_HASH_ENGINE_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "lsh/composite_scheme.h"
 #include "lsh/hash_cache.h"
 #include "record/dataset.h"
+#include "util/thread_pool.h"
 
 namespace adalsh {
 
@@ -27,6 +29,21 @@ class HashEngine {
 
   /// Ensures record r's caches cover every prefix `plan` needs.
   void EnsureHashes(RecordId r, const SchemePlan& plan);
+
+  /// Batch form: ensures every record in `records` covers `plan`,
+  /// partitioning the records across `pool`'s workers (serial when `pool` is
+  /// null). Safe because each record owns independent cache slots; family
+  /// parameters are Prepare()d before forking. The total hash count is
+  /// identical to calling EnsureHashes serially — per-record prefix
+  /// extensions are order-independent.
+  void EnsureHashesParallel(std::span<const RecordId> records,
+                            const SchemePlan& plan, ThreadPool* pool);
+
+  /// Serially materializes every unit's family parameters up to the prefix
+  /// `plan` needs. After this, EnsureHashes calls covered by `plan` may run
+  /// concurrently for distinct records (EnsureHashesParallel does both steps;
+  /// this is for callers that fold hashing into their own ParallelFor).
+  void PreparePlan(const SchemePlan& plan);
 
   /// Bucket key of record r for one table of `plan`. EnsureHashes must have
   /// covered the plan for r.

@@ -7,6 +7,7 @@
 #include "core/pairwise.h"
 #include "core/transitive_hash_function.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace adalsh {
@@ -31,8 +32,9 @@ FilterOutput LshBlocking::Run(int k) {
 
   Timer timer;
   ParentPointerForest forest;
+  ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, structure_, config_.seed);
-  TransitiveHasher hasher(&engine, &forest, num_records);
+  TransitiveHasher hasher(&engine, &forest, num_records, pool.get());
   PairwiseComputer pairwise(*dataset_, rule_);
 
   FilterStats stats;

@@ -23,6 +23,11 @@ struct LshBlockingConfig {
 
   OptimizerConfig optimizer;
 
+  /// Worker threads for stage 1's hashing (same semantics as
+  /// AdaptiveLshConfig::threads): 0 = global pool, 1 = serial, N > 1 =
+  /// private pool. Output is identical at any setting.
+  int threads = 0;
+
   uint64_t seed = 1;
 };
 

@@ -16,6 +16,7 @@ StreamingAdaptiveLsh::StreamingAdaptiveLsh(const Dataset& dataset,
     : dataset_(&dataset),
       rule_(rule),
       config_(config),
+      pool_(config.threads),
       sequence_([&] {
         StatusOr<FunctionSequence> built =
             FunctionSequence::Build(rule, dataset.record(0), config.sequence);
@@ -24,9 +25,9 @@ StreamingAdaptiveLsh::StreamingAdaptiveLsh(const Dataset& dataset,
       }()),
       cost_model_(CostModel::Calibrate(dataset, rule,
                                        config.calibration_samples,
-                                       config.seed)),
+                                       config.seed, pool_.get())),
       engine_(dataset, sequence_.structure(), config.seed),
-      hasher_(&engine_, &forest_, dataset.num_records()),
+      hasher_(&engine_, &forest_, dataset.num_records(), pool_.get()),
       pairwise_(dataset, rule) {
   cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
   level1_tables_.resize(sequence_.plan(0).tables.size());

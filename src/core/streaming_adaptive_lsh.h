@@ -15,6 +15,7 @@
 #include "core/transitive_hash_function.h"
 #include "distance/rule.h"
 #include "record/dataset.h"
+#include "util/thread_pool.h"
 
 namespace adalsh {
 
@@ -80,6 +81,9 @@ class StreamingAdaptiveLsh {
   const Dataset* dataset_;
   MatchRule rule_;
   AdaptiveLshConfig config_;
+  /// Resolved from config_.threads; outlives hasher_, which borrows it for
+  /// the TopK() refinement loop's hash hot path.
+  ScopedThreadPool pool_;
   FunctionSequence sequence_;
   CostModel cost_model_;
 

@@ -1,16 +1,26 @@
 #include "core/transitive_hash_function.h"
 
+#include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "util/check.h"
 
 namespace adalsh {
+namespace {
+
+/// Records whose keys are computed per fork/join region. Bounds the key
+/// buffer to kKeyBlock * num_tables values no matter how large the dataset
+/// is, while keeping each fork large enough to amortize the join.
+constexpr size_t kKeyBlock = 8192;
+
+}  // namespace
 
 TransitiveHasher::TransitiveHasher(HashEngine* engine,
                                    ParentPointerForest* forest,
-                                   size_t num_records)
-    : engine_(engine), forest_(forest) {
+                                   size_t num_records, ThreadPool* pool)
+    : engine_(engine), forest_(forest), pool_(pool) {
   ADALSH_CHECK(engine != nullptr && forest != nullptr);
   leaf_of_.assign(num_records, kInvalidNode);
   leaf_epoch_.assign(num_records, 0);
@@ -30,42 +40,67 @@ std::vector<NodeId> TransitiveHasher::Apply(
 
   auto has_leaf = [this](RecordId r) { return leaf_epoch_[r] == epoch_; };
 
-  for (RecordId r : records) {
-    engine_->EnsureHashes(r, plan);
-    for (size_t t = 0; t < plan.tables.size(); ++t) {
-      uint64_t key = engine_->TableKey(r, plan.tables[t]);
-      auto [it, inserted] = tables[t].try_emplace(key, r);
-      if (inserted) {
-        // Cases 1/2 (Fig. 19a): empty bucket. Create r's tree if it has none;
-        // either way r is now the bucket's last-added record.
-        if (!has_leaf(r)) {
-          NodeId leaf = kInvalidNode;
-          forest_->MakeTree(r, producer, &leaf);
-          leaf_of_[r] = leaf;
-          leaf_epoch_[r] = epoch_;
+  const size_t num_tables = plan.tables.size();
+  engine_->PreparePlan(plan);
+
+  for (size_t base = 0; base < records.size(); base += kKeyBlock) {
+    const size_t count = std::min(kKeyBlock, records.size() - base);
+    std::span<const RecordId> block(records.data() + base, count);
+
+    // Hot path, fanned out over the pool: per-record hash prefixes and all
+    // bucket keys of the block. Each record's cache slots are touched by
+    // exactly one worker; the fork/join below orders these writes before the
+    // merge reads them.
+    key_block_.resize(count * num_tables);
+    ParallelFor(pool_, count, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        engine_->EnsureHashes(block[i], plan);
+        for (size_t t = 0; t < num_tables; ++t) {
+          key_block_[i * num_tables + t] =
+              engine_->TableKey(block[i], plan.tables[t]);
         }
-        continue;
       }
-      RecordId other = it->second;
-      ADALSH_CHECK(has_leaf(other));
-      NodeId other_root = forest_->FindRoot(leaf_of_[other]);
-      if (!has_leaf(r)) {
-        // Case 3 (Fig. 19b): join the bucket's tree as a fresh leaf.
-        leaf_of_[r] = forest_->AddLeaf(other_root, r);
+    });
+
+    // Stateful merge over precomputed keys: strictly serial, in record order,
+    // so any thread count reproduces the single-threaded forest exactly.
+    for (size_t i = 0; i < count; ++i) {
+      RecordId r = block[i];
+      for (size_t t = 0; t < num_tables; ++t) {
+        uint64_t key = key_block_[i * num_tables + t];
+        auto [it, inserted] = tables[t].try_emplace(key, r);
+        if (inserted) {
+          // Cases 1/2 (Fig. 19a): empty bucket. Create r's tree if it has
+          // none; either way r is now the bucket's last-added record.
+          if (!has_leaf(r)) {
+            NodeId leaf = kInvalidNode;
+            forest_->MakeTree(r, producer, &leaf);
+            leaf_of_[r] = leaf;
+            leaf_epoch_[r] = epoch_;
+          }
+          continue;
+        }
+        RecordId other = it->second;
+        ADALSH_CHECK(has_leaf(other));
+        NodeId other_root = forest_->FindRoot(leaf_of_[other]);
+        if (!has_leaf(r)) {
+          // Case 3 (Fig. 19b): join the bucket's tree as a fresh leaf.
+          leaf_of_[r] = forest_->AddLeaf(other_root, r);
+          leaf_epoch_[r] = epoch_;
+        } else {
+          // Case 4 (Fig. 19c): merge the two trees if they differ.
+          NodeId my_root = forest_->FindRoot(leaf_of_[r]);
+          if (my_root != other_root) forest_->Merge(my_root, other_root);
+        }
+        it->second = r;  // r is now the record last added to this bucket
+      }
+      if (plan.tables.empty() && !has_leaf(r)) {
+        // Degenerate plan with no tables: every record is its own cluster.
+        NodeId leaf = kInvalidNode;
+        forest_->MakeTree(r, producer, &leaf);
+        leaf_of_[r] = leaf;
         leaf_epoch_[r] = epoch_;
-      } else {
-        // Case 4 (Fig. 19c): merge the two trees if they differ.
-        NodeId my_root = forest_->FindRoot(leaf_of_[r]);
-        if (my_root != other_root) forest_->Merge(my_root, other_root);
       }
-      it->second = r;  // r is now the record last added to this bucket
-    }
-    if (plan.tables.empty() && !has_leaf(r)) {
-      // Degenerate plan with no tables: every record is its own cluster.
-      NodeId leaf = kInvalidNode;
-      forest_->MakeTree(r, producer, &leaf);
-      leaf_of_[r] = leaf;
-      leaf_epoch_[r] = epoch_;
     }
   }
 

@@ -20,10 +20,19 @@ namespace adalsh {
 ///
 /// One TransitiveHasher is reused for all invocations in a run; it keeps the
 /// epoch-stamped record->leaf scratch map so per-invocation setup is O(1).
+///
+/// Parallel execution (docs/threading.md): hash evaluation and bucket-key
+/// construction — the run's hot path — are farmed out to `pool` in blocks of
+/// records, while the bucket/forest merge consumes the precomputed keys
+/// serially in record order. The merge is the only stateful step ("bucket
+/// remembers the last-added record", Fig. 19's four cases), so keeping it
+/// serial makes the output byte-identical to a single-threaded run at any
+/// thread count.
 class TransitiveHasher {
  public:
+  /// `pool` may be null for strictly serial execution.
   TransitiveHasher(HashEngine* engine, ParentPointerForest* forest,
-                   size_t num_records);
+                   size_t num_records, ThreadPool* pool = nullptr);
 
   TransitiveHasher(const TransitiveHasher&) = delete;
   TransitiveHasher& operator=(const TransitiveHasher&) = delete;
@@ -39,8 +48,10 @@ class TransitiveHasher {
  private:
   HashEngine* engine_;
   ParentPointerForest* forest_;
+  ThreadPool* pool_;
   std::vector<NodeId> leaf_of_;      // valid when leaf_epoch_[r] == epoch_
   std::vector<uint32_t> leaf_epoch_;
+  std::vector<uint64_t> key_block_;  // reused per-block key buffer
   uint32_t epoch_ = 0;
 };
 

@@ -19,24 +19,36 @@ HashCache::HashCache(std::unique_ptr<HashFamily> family, size_t num_records)
   computed_.assign(num_records, 0);
 }
 
+HashCache::HashCache(HashCache&& other) noexcept
+    : family_(std::move(other.family_)),
+      binary_(other.binary_),
+      bits_(std::move(other.bits_)),
+      values_(std::move(other.values_)),
+      computed_(std::move(other.computed_)),
+      total_computed_(
+          other.total_computed_.load(std::memory_order_relaxed)) {}
+
 void HashCache::Ensure(const Record& record, RecordId r, size_t count) {
   ADALSH_CHECK_LT(r, computed_.size());
   size_t have = computed_[r];
   if (have >= count) return;
-  scratch_.resize(count - have);
-  family_->HashRange(record, have, count, scratch_.data());
-  total_computed_ += count - have;
+  // Per-thread scratch, not a member: Ensure runs concurrently for distinct
+  // records, and only this buffer would be shared between them.
+  thread_local std::vector<uint64_t> scratch;
+  scratch.resize(count - have);
+  family_->HashRange(record, have, count, scratch.data());
+  total_computed_.fetch_add(count - have, std::memory_order_relaxed);
   if (binary_) {
     std::vector<uint64_t>& blocks = bits_[r];
     blocks.resize((count + 63) / 64, 0);
     for (size_t j = have; j < count; ++j) {
-      if (scratch_[j - have] & 1) blocks[j / 64] |= uint64_t{1} << (j % 64);
+      if (scratch[j - have] & 1) blocks[j / 64] |= uint64_t{1} << (j % 64);
     }
   } else {
     std::vector<uint32_t>& vals = values_[r];
     vals.resize(count);
     for (size_t j = have; j < count; ++j) {
-      vals[j] = static_cast<uint32_t>(SplitMix64(scratch_[j - have]));
+      vals[j] = static_cast<uint32_t>(SplitMix64(scratch[j - have]));
     }
   }
   computed_[r] = count;

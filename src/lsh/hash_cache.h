@@ -1,6 +1,7 @@
 #ifndef ADALSH_LSH_HASH_CACHE_H_
 #define ADALSH_LSH_HASH_CACHE_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -24,17 +25,29 @@ namespace adalsh {
 /// per value; wide families (MinHash) keep 32 mixed bits per value, which
 /// preserves equality semantics with 2^-32 per-function false-collision
 /// probability — negligible next to the LSH scheme's own design error.
+///
+/// Concurrency contract (docs/threading.md): distinct records are independent
+/// slots — Ensure/CombineRange for different RecordIds may run on different
+/// threads concurrently, provided no two threads touch the same record inside
+/// one fork/join region. The only cross-record state is the cost counter,
+/// which is a relaxed atomic (its total is order-independent, so parallel and
+/// serial runs report identical hash counts).
 class HashCache {
  public:
   HashCache(std::unique_ptr<HashFamily> family, size_t num_records);
 
   HashCache(const HashCache&) = delete;
   HashCache& operator=(const HashCache&) = delete;
-  HashCache(HashCache&&) = default;
+  HashCache(HashCache&& other) noexcept;
 
   /// Ensures values [0, count) are computed for record r. `record` must be
   /// the dataset record with id r.
   void Ensure(const Record& record, RecordId r, size_t count);
+
+  /// Materializes the family's parameters for function indices [0, count).
+  /// Must be called (from one thread) before Ensure runs concurrently for
+  /// prefixes up to `count` — see HashFamily::Prepare.
+  void Prepare(size_t count) { family_->Prepare(count); }
 
   /// Number of values computed so far for record r.
   size_t computed_count(RecordId r) const { return computed_[r]; }
@@ -49,7 +62,9 @@ class HashCache {
 
   /// Total raw hash evaluations performed through this cache (cost metric:
   /// the "number of hash functions applied" the paper's cost model counts).
-  uint64_t total_hashes_computed() const { return total_computed_; }
+  uint64_t total_hashes_computed() const {
+    return total_computed_.load(std::memory_order_relaxed);
+  }
 
   bool is_binary() const { return binary_; }
 
@@ -64,8 +79,7 @@ class HashCache {
   std::vector<std::vector<uint64_t>> bits_;
   std::vector<std::vector<uint32_t>> values_;
   std::vector<size_t> computed_;
-  std::vector<uint64_t> scratch_;
-  uint64_t total_computed_ = 0;
+  std::atomic<uint64_t> total_computed_{0};
 };
 
 }  // namespace adalsh

@@ -27,6 +27,13 @@ class HashFamily {
   virtual void HashRange(const Record& record, size_t begin, size_t end,
                          uint64_t* out) = 0;
 
+  /// Materializes per-index function parameters for indices [0, count).
+  /// After Prepare(c), concurrent HashRange calls with end <= c are safe:
+  /// they only read parameter state. Parameters are derived per index, so
+  /// preparing in a different batching than lazy materialization yields the
+  /// same functions. Default: no parameter state, nothing to do.
+  virtual void Prepare(size_t count) { (void)count; }
+
   /// True when every raw hash value is a single bit (random hyperplanes).
   /// Callers may then pack cached values.
   virtual bool is_binary() const = 0;

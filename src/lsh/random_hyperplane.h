@@ -22,6 +22,10 @@ class RandomHyperplaneFamily : public HashFamily {
   void HashRange(const Record& record, size_t begin, size_t end,
                  uint64_t* out) override;
 
+  /// Materializes the first `count` hyperplanes so concurrent HashRange calls
+  /// below that index never mutate `hyperplanes_`.
+  void Prepare(size_t count) override { EnsureMaterialized(count); }
+
   bool is_binary() const override { return true; }
 
   /// Number of hyperplanes materialized so far (for tests).

@@ -26,6 +26,11 @@ class WeightedFieldFamily : public HashFamily {
   void HashRange(const Record& record, size_t begin, size_t end,
                  uint64_t* out) override;
 
+  /// Prepares every sub-family (each is indexed with the same j space).
+  void Prepare(size_t count) override {
+    for (auto& family : families_) family->Prepare(count);
+  }
+
   /// Binary only if every sub-family is binary (otherwise values mix widths
   /// and must be stored wide).
   bool is_binary() const override { return all_binary_; }

@@ -1,0 +1,154 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+thread_local bool t_inside_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  int count = std::max(num_threads, 1);
+  workers_.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  ADALSH_CHECK(task != nullptr);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ADALSH_CHECK(!stop_) << "Submit on a stopping ThreadPool";
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_inside_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // tasks own their exceptions (ParallelFor captures them)
+  }
+}
+
+bool ThreadPool::InsideWorker() { return t_inside_worker; }
+
+int ThreadPool::HardwareConcurrency() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t begin, size_t end)>& body) {
+  if (n == 0) return;
+  if (pool == nullptr || pool->num_threads() <= 1 || n < 2 ||
+      ThreadPool::InsideWorker()) {
+    body(0, n);
+    return;
+  }
+  // A few chunks per worker so uneven per-index costs (records with big
+  // token sets next to singletons) still balance.
+  size_t num_chunks =
+      std::min(n, static_cast<size_t>(pool->num_threads()) * 4);
+  size_t chunk_size = (n + num_chunks - 1) / num_chunks;
+
+  // Fork/join state lives on the caller's stack; safe because we block on
+  // `done` below before returning.
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t remaining = 0;
+  std::exception_ptr first_error;
+
+  for (size_t begin = 0; begin < n; begin += chunk_size) {
+    size_t end = std::min(begin + chunk_size, n);
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      ++remaining;
+    }
+    pool->Submit([&, begin, end] {
+      std::exception_ptr error;
+      try {
+        body(begin, end);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      if (error && !first_error) first_error = error;
+      if (--remaining == 0) cv.notify_one();
+    });
+  }
+
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+namespace {
+
+std::mutex g_global_pool_mu;
+std::unique_ptr<ThreadPool> g_global_pool;
+int g_global_thread_count = 0;  // 0 = hardware concurrency
+
+}  // namespace
+
+ThreadPool* GlobalThreadPool() {
+  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool == nullptr) {
+    int count = g_global_thread_count > 0 ? g_global_thread_count
+                                          : ThreadPool::HardwareConcurrency();
+    g_global_pool = std::make_unique<ThreadPool>(count);
+  }
+  return g_global_pool.get();
+}
+
+void SetGlobalThreadCount(int num_threads) {
+  ADALSH_CHECK_GE(num_threads, 1);
+  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  g_global_thread_count = num_threads;
+  g_global_pool.reset();
+}
+
+int GlobalThreadCount() {
+  std::unique_lock<std::mutex> lock(g_global_pool_mu);
+  if (g_global_pool != nullptr) return g_global_pool->num_threads();
+  return g_global_thread_count > 0 ? g_global_thread_count
+                                   : ThreadPool::HardwareConcurrency();
+}
+
+ScopedThreadPool::ScopedThreadPool(int threads) {
+  if (threads <= 0) {
+    pool_ = GlobalThreadPool();
+  } else if (threads == 1) {
+    pool_ = nullptr;
+  } else {
+    owned_ = std::make_unique<ThreadPool>(threads);
+    pool_ = owned_.get();
+  }
+}
+
+}  // namespace adalsh

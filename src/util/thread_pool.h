@@ -1,0 +1,105 @@
+#ifndef ADALSH_UTIL_THREAD_POOL_H_
+#define ADALSH_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adalsh {
+
+/// Fixed-size worker pool for the data-parallel hot paths (hashing, bucket-key
+/// construction, cost-model calibration). Deliberately minimal: no work
+/// stealing, no task dependencies — every use in the library is a fork/join
+/// ParallelFor over a record range, and keeping the pool this small makes the
+/// determinism argument (docs/threading.md) auditable.
+///
+/// Thread-safety: Submit may be called from any thread. Tasks must not Submit
+/// and then block on their own pool (classic self-deadlock); ParallelFor
+/// guards against this by running inline when invoked from a worker thread.
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains nothing: outstanding tasks are completed before the workers join.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Fire-and-forget; callers needing completion use
+  /// ParallelFor (or their own latch).
+  void Submit(std::function<void()> task);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is a worker of *any* ThreadPool. Used by
+  /// ParallelFor's nested-submit deadlock guard.
+  static bool InsideWorker();
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard allows
+  /// returning 0).
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Splits [0, n) into contiguous half-open subranges, runs
+/// `body(begin, end)` for each on the pool, and blocks until every subrange
+/// completed. Together the subranges partition [0, n): every index is covered
+/// exactly once.
+///
+/// Runs the whole range inline (single call `body(0, n)`) when `pool` is
+/// null, has one thread, `n < 2`, or the caller is itself a pool worker (the
+/// nested-submit deadlock guard). The first exception thrown by any subrange
+/// is rethrown in the calling thread after all subranges finished, so the
+/// pool is always left quiescent.
+void ParallelFor(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t begin, size_t end)>& body);
+
+/// Process-wide default pool, lazily created with SetGlobalThreadCount's
+/// value (or hardware concurrency if never set). All library entry points
+/// with a `threads = 0` config use this pool.
+ThreadPool* GlobalThreadPool();
+
+/// Sets the size of the global pool (>= 1) and drops any existing instance so
+/// the next GlobalThreadPool() call rebuilds it. Call at startup (e.g. from a
+/// --threads flag), not concurrently with running parallel work.
+void SetGlobalThreadCount(int num_threads);
+
+/// The size the global pool has (or will have when first used).
+int GlobalThreadCount();
+
+/// Resolves a per-run `threads` config value to a usable pool:
+///   <= 0  -> the global pool (default),
+///      1  -> nullptr (strictly serial execution),
+///    > 1  -> a private pool of that many workers, owned by this object.
+class ScopedThreadPool {
+ public:
+  explicit ScopedThreadPool(int threads);
+
+  ScopedThreadPool(const ScopedThreadPool&) = delete;
+  ScopedThreadPool& operator=(const ScopedThreadPool&) = delete;
+
+  ThreadPool* get() const { return pool_; }
+
+ private:
+  std::unique_ptr<ThreadPool> owned_;
+  ThreadPool* pool_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_UTIL_THREAD_POOL_H_

@@ -1,0 +1,143 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <future>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace adalsh {
+namespace {
+
+TEST(ThreadPoolTest, StartupAndShutdown) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+  }
+  // Destroying an idle pool must not hang — reaching here is the assertion.
+}
+
+TEST(ThreadPoolTest, ThreadCountClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.num_threads(), 1);
+}
+
+TEST(ThreadPoolTest, SubmitRunsTask) {
+  ThreadPool pool(2);
+  std::promise<int> result;
+  pool.Submit([&result] { result.set_value(41 + 1); });
+  EXPECT_EQ(result.get_future().get(), 42);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after the queue empties
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      for (auto& h : hits) h.store(0);
+      ParallelFor(&pool, n, [&](size_t begin, size_t end) {
+        ASSERT_LE(begin, end);
+        ASSERT_LE(end, n);
+        for (size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+      });
+      for (size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i << " with " << threads
+                                     << " threads, n=" << n;
+      }
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForNullPoolRunsInline) {
+  std::vector<int> hits(100, 0);
+  ParallelFor(nullptr, hits.size(), [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(&pool, 1000,
+                  [](size_t begin, size_t) {
+                    if (begin == 0) throw std::runtime_error("chunk failed");
+                  }),
+      std::runtime_error);
+  // The pool is still usable after an exception: every index covered again.
+  std::atomic<size_t> covered{0};
+  ParallelFor(&pool, 100, [&](size_t begin, size_t end) {
+    covered.fetch_add(end - begin);
+  });
+  EXPECT_EQ(covered.load(), 100u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  // A ParallelFor body that itself calls ParallelFor on the same pool would
+  // deadlock if the inner call submitted and waited (workers waiting on
+  // workers). The guard runs nested calls inline instead.
+  ThreadPool pool(2);
+  std::vector<std::atomic<int>> hits(64);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(&pool, 8, [&](size_t begin, size_t end) {
+    for (size_t outer = begin; outer < end; ++outer) {
+      ParallelFor(&pool, 8, [&](size_t inner_begin, size_t inner_end) {
+        for (size_t inner = inner_begin; inner < inner_end; ++inner) {
+          hits[outer * 8 + inner].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, InsideWorkerReflectsContext) {
+  EXPECT_FALSE(ThreadPool::InsideWorker());
+  ThreadPool pool(1);
+  std::promise<bool> inside;
+  pool.Submit([&inside] { inside.set_value(ThreadPool::InsideWorker()); });
+  EXPECT_TRUE(inside.get_future().get());
+}
+
+TEST(ThreadPoolTest, HardwareConcurrencyIsPositive) {
+  EXPECT_GE(ThreadPool::HardwareConcurrency(), 1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolHonorsConfiguredCount) {
+  SetGlobalThreadCount(3);
+  EXPECT_EQ(GlobalThreadCount(), 3);
+  EXPECT_EQ(GlobalThreadPool()->num_threads(), 3);
+  SetGlobalThreadCount(2);
+  EXPECT_EQ(GlobalThreadPool()->num_threads(), 2);
+}
+
+TEST(ThreadPoolTest, ScopedThreadPoolResolution) {
+  SetGlobalThreadCount(2);
+  ScopedThreadPool global(0);
+  EXPECT_EQ(global.get(), GlobalThreadPool());
+  ScopedThreadPool serial(1);
+  EXPECT_EQ(serial.get(), nullptr);
+  ScopedThreadPool owned(4);
+  ASSERT_NE(owned.get(), nullptr);
+  EXPECT_NE(owned.get(), GlobalThreadPool());
+  EXPECT_EQ(owned.get()->num_threads(), 4);
+}
+
+}  // namespace
+}  // namespace adalsh

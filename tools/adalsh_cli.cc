@@ -5,6 +5,11 @@
 //              --rule="and(wavg(0,1;0.5,0.5;0.3), leaf(2;0.8))"
 //              --k=10 [--method=adalsh|lsh|pairs] [--lsh_x=1280]
 //              [--header] [--bk=10] [--recover] [--output=clusters.csv]
+//              [--threads=N]
+//
+// --threads sizes the worker pool for the hash hot path (default: hardware
+// concurrency). Results are identical at any thread count; see
+// docs/threading.md.
 //
 // Columns (one token per CSV column):
 //   label    record display label        entity   ground-truth key
@@ -28,6 +33,7 @@
 #include "io/csv.h"
 #include "io/dataset_loader.h"
 #include "util/flags.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -53,7 +59,11 @@ int main(int argc, char** argv) {
   bool recover = flags.GetBool("recover", false);
   std::string output_path = flags.GetString("output", "");
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
   flags.CheckNoUnusedFlags();
+
+  if (threads < 0) return Fail("--threads must be >= 1");
+  if (threads > 0) SetGlobalThreadCount(threads);
 
   if (input.empty() || columns.empty() || rule_text.empty()) {
     return Fail(

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Build and run the test suite under a sanitizer.
+#
+#   tools/run_sanitized_tests.sh thread    # ThreadSanitizer  -> build-thread/
+#   tools/run_sanitized_tests.sh address   # AddressSanitizer -> build-address/
+#
+# Extra arguments are forwarded to ctest, e.g. restrict to the concurrency
+# suites while iterating:
+#
+#   tools/run_sanitized_tests.sh thread -R 'thread_pool|parallel_equivalence'
+#
+# The TSan run is the certification required by docs/threading.md for any
+# change to the hash hot path (ThreadPool, HashEngine, HashCache,
+# TransitiveHashFunction, CostModel::Calibrate).
+
+set -euo pipefail
+
+sanitizer="${1:-}"
+case "${sanitizer}" in
+  thread|address) shift ;;
+  *)
+    echo "usage: $0 <thread|address> [ctest args...]" >&2
+    exit 2
+    ;;
+esac
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${repo_root}/build-${sanitizer}"
+
+cmake -S "${repo_root}" -B "${build_dir}" -DADALSH_SANITIZE="${sanitizer}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+# halt_on_error makes a single race/report fail the test immediately instead
+# of scrolling past inside otherwise-green output.
+export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
+export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+
+ctest --test-dir "${build_dir}" --output-on-failure "$@"
