@@ -54,7 +54,7 @@ FilterOutput AdaptiveLsh::Run(
   ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, sequence_.structure(), config_.seed);
   TransitiveHasher hasher(&engine, &forest, num_records, pool.get());
-  PairwiseComputer pairwise(*dataset_, rule_);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get());
   // Hashes computed by discarded throwaway engines (incremental-reuse
   // ablation only).
   uint64_t ablated_hashes = 0;

@@ -6,6 +6,8 @@
 #include <memory>
 #include <vector>
 
+#include "distance/feature_cache.h"
+#include "distance/rule_evaluator.h"
 #include "lsh/composite_scheme.h"
 #include "lsh/hash_family.h"
 #include "lsh/weighted_field_family.h"
@@ -74,12 +76,20 @@ CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
   // many times (hot caches); timing isolated random pairs instead would
   // over-estimate cost_P by the cold-access penalty and defer P far past its
   // actual break-even point (Line 5 of Algorithm 1).
+  //
+  // The probe runs the kernels P actually runs — the compiled RuleEvaluator
+  // over the dataset's FeatureCache — so cost_per_pair tracks the cached
+  // threshold-aware kernels, not the slower MatchRule::Matches path. The
+  // cache/evaluator build is outside the timed region, mirroring P's own
+  // amortization (built once per PairwiseComputer, used across all pairs).
   std::vector<RecordId> record_pool;
   record_pool.reserve(samples);
   for (int i = 0; i < samples; ++i) {
     record_pool.push_back(
         static_cast<RecordId>(rng.NextBelow(dataset.num_records())));
   }
+  FeatureCache feature_cache(dataset);
+  RuleEvaluator evaluator(rule, feature_cache);
   // Atomic sink so the evaluations are not optimized away (and so worker
   // chunks can accumulate without a race).
   std::atomic<int> match_count{0};
@@ -89,10 +99,9 @@ CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
   ParallelFor(pool, pool_size, [&](size_t begin, size_t end) {
     int local_matches = 0;
     for (size_t i = begin; i < end; ++i) {
-      const Record& left = dataset.record(record_pool[i]);
       for (size_t j = i + 1; j < pool_size; ++j) {
         local_matches +=
-            rule.Matches(left, dataset.record(record_pool[j])) ? 1 : 0;
+            evaluator.Matches(record_pool[i], record_pool[j]) ? 1 : 0;
       }
     }
     match_count.fetch_add(local_matches, std::memory_order_relaxed);

@@ -35,7 +35,7 @@ FilterOutput LshBlocking::Run(int k) {
   ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, structure_, config_.seed);
   TransitiveHasher hasher(&engine, &forest, num_records, pool.get());
-  PairwiseComputer pairwise(*dataset_, rule_);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get());
 
   FilterStats stats;
   stats.records_last_hashed_at.assign(1, num_records);

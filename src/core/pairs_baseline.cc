@@ -5,12 +5,14 @@
 #include "clustering/bin_index.h"
 #include "core/pairwise.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace adalsh {
 
-PairsBaseline::PairsBaseline(const Dataset& dataset, const MatchRule& rule)
-    : dataset_(&dataset), rule_(rule) {
+PairsBaseline::PairsBaseline(const Dataset& dataset, const MatchRule& rule,
+                             int threads)
+    : dataset_(&dataset), rule_(rule), threads_(threads) {
   Status valid = rule.Validate(dataset.record(0));
   ADALSH_CHECK(valid.ok()) << valid.ToString();
 }
@@ -18,8 +20,9 @@ PairsBaseline::PairsBaseline(const Dataset& dataset, const MatchRule& rule)
 FilterOutput PairsBaseline::Run(int k) {
   ADALSH_CHECK_GE(k, 1);
   Timer timer;
+  ScopedThreadPool pool(threads_);
   ParentPointerForest forest;
-  PairwiseComputer pairwise(*dataset_, rule_);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get());
   std::vector<NodeId> roots =
       pairwise.Apply(dataset_->AllRecordIds(), &forest);
 

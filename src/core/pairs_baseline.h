@@ -14,7 +14,13 @@ namespace adalsh {
 /// methods are measured against.
 class PairsBaseline {
  public:
-  PairsBaseline(const Dataset& dataset, const MatchRule& rule);
+  /// `threads` sizes the pairwise sweep's worker pool with the usual
+  /// convention (docs/threading.md): 1 = strictly serial (the default,
+  /// matching the baseline's traditional single-threaded formulation),
+  /// 0 = the global pool, N > 1 = a private pool of N workers. Output is
+  /// byte-identical at any setting.
+  PairsBaseline(const Dataset& dataset, const MatchRule& rule,
+                int threads = 1);
 
   PairsBaseline(const PairsBaseline&) = delete;
   PairsBaseline& operator=(const PairsBaseline&) = delete;
@@ -25,6 +31,7 @@ class PairsBaseline {
  private:
   const Dataset* dataset_;
   MatchRule rule_;
+  int threads_;
 };
 
 }  // namespace adalsh

@@ -1,14 +1,37 @@
 #include "core/pairwise.h"
 
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "util/check.h"
 
 namespace adalsh {
+namespace {
+
+// Tile geometry of the parallel triangle sweep. Fixed constants — never
+// derived from the thread count — so the evaluation schedule, and with it
+// every observable output, is a pure function of the input.
+constexpr size_t kRowBlock = 64;  // rows per stripe (snapshot granularity)
+constexpr size_t kColTile = 128;  // columns per parallel work item
+
+// Below this many records one stripe covers everything and the tiling
+// machinery costs more than it saves; run the plain sweep.
+constexpr size_t kSerialCutoff = 2 * kRowBlock;
+
+// Per-pair decision recorded by a tile, consumed by the serial replay.
+enum : uint8_t { kSkipped = 0, kNoMatch = 1, kMatched = 2 };
+
+}  // namespace
 
 PairwiseComputer::PairwiseComputer(const Dataset& dataset,
-                                   const MatchRule& rule)
-    : dataset_(&dataset), rule_(&rule) {}
+                                   const MatchRule& rule, ThreadPool* pool)
+    : dataset_(&dataset),
+      rule_(&rule),
+      cache_(dataset),
+      evaluator_(rule, cache_),
+      pool_(pool) {}
 
 std::vector<NodeId> PairwiseComputer::Apply(
     const std::vector<RecordId>& records, ParentPointerForest* forest) {
@@ -18,17 +41,10 @@ std::vector<NodeId> PairwiseComputer::Apply(
   for (size_t i = 0; i < records.size(); ++i) {
     forest->MakeTree(records[i], kProducerPairwise, &leaf_of[i]);
   }
-  for (size_t i = 0; i < records.size(); ++i) {
-    const Record& record_i = dataset_->record(records[i]);
-    for (size_t j = i + 1; j < records.size(); ++j) {
-      NodeId root_i = forest->FindRoot(leaf_of[i]);
-      NodeId root_j = forest->FindRoot(leaf_of[j]);
-      if (root_i == root_j) continue;  // transitively closed already
-      ++total_similarities_;
-      if (rule_->Matches(record_i, dataset_->record(records[j]))) {
-        forest->Merge(root_i, root_j);
-      }
-    }
+  if (pool_ == nullptr || records.size() < kSerialCutoff) {
+    SweepSerial(records, leaf_of, forest);
+  } else {
+    SweepTiled(records, leaf_of, forest);
   }
   std::vector<NodeId> roots;
   std::unordered_set<NodeId> seen;
@@ -37,6 +53,140 @@ std::vector<NodeId> PairwiseComputer::Apply(
     if (seen.insert(root).second) roots.push_back(root);
   }
   return roots;
+}
+
+void PairwiseComputer::SweepSerial(const std::vector<RecordId>& records,
+                                   const std::vector<NodeId>& leaf_of,
+                                   ParentPointerForest* forest) {
+  for (size_t i = 0; i < records.size(); ++i) {
+    // Row i's root only changes through row i's own merges, so one FindRoot
+    // per row plus Merge's returned survivor replaces a FindRoot per pair.
+    NodeId root_i = forest->FindRoot(leaf_of[i]);
+    for (size_t j = i + 1; j < records.size(); ++j) {
+      NodeId root_j = forest->FindRoot(leaf_of[j]);
+      if (root_i == root_j) continue;  // transitively closed already
+      ++total_similarities_;
+      if (evaluator_.Matches(records[i], records[j])) {
+        root_i = forest->Merge(root_i, root_j);
+      }
+    }
+  }
+}
+
+// Why the replay reproduces the serial sweep byte for byte: a tile skips
+// (i, j) only when the pair is connected through the stripe snapshot or
+// through matches found earlier in canonical order inside the same tile —
+// both subsets of the merges the serial sweep has applied by the time it
+// reaches (i, j) — so every serially-evaluated pair has a recorded decision,
+// and the decision itself is a pure function of the two records. The replay
+// walks canonical order applying exactly the serial sweep's root check
+// against the live forest, so it counts and merges precisely the pairs the
+// serial sweep would: total_similarities_ and the forest are identical at
+// any thread count. (Tiles may evaluate extra pairs the serial sweep skips;
+// the replay's root check discards them and they are never counted.)
+void PairwiseComputer::SweepTiled(const std::vector<RecordId>& records,
+                                  const std::vector<NodeId>& leaf_of,
+                                  ParentPointerForest* forest) {
+  const size_t n = records.size();
+  std::vector<NodeId> snapshot(n);
+  std::vector<uint8_t> decisions(kRowBlock * (n - 1));
+  for (size_t rb = 0; rb < n; rb += kRowBlock) {
+    const size_t re = std::min(rb + kRowBlock, n);
+    const size_t col_begin = rb + 1;
+    if (col_begin >= n) break;
+    const size_t width = n - col_begin;
+    // Read-only snapshot of every root this stripe can touch. The forest is
+    // quiescent here (the previous stripe's replay has finished), so the
+    // concurrent FindRoot walks are safe; below ~4k roots the fork/join
+    // dispatch costs more than the walks and the snapshot runs inline.
+    ParallelFor(n - rb < 4096 ? nullptr : pool_, n - rb,
+                [&](size_t begin, size_t end) {
+                  for (size_t t = rb + begin; t < rb + end; ++t) {
+                    snapshot[t] = forest->FindRoot(leaf_of[t]);
+                  }
+                });
+    const size_t num_tiles = (width + kColTile - 1) / kColTile;
+    ParallelFor(pool_, num_tiles, [&](size_t tile_begin, size_t tile_end) {
+      for (size_t tile = tile_begin; tile < tile_end; ++tile) {
+        EvaluateTile(records, snapshot, rb, re, col_begin + tile * kColTile,
+                     std::min(col_begin + (tile + 1) * kColTile, n), col_begin,
+                     decisions.data());
+      }
+    });
+    // Serial replay in canonical (i, j) order against live roots, with the
+    // same one-FindRoot-per-row caching as SweepSerial (row i's root only
+    // changes through row i's own merges during the serial replay).
+    for (size_t i = rb; i < re; ++i) {
+      const uint8_t* row = decisions.data() + (i - rb) * width;
+      NodeId root_i = forest->FindRoot(leaf_of[i]);
+      for (size_t j = i + 1; j < n; ++j) {
+        const uint8_t cell = row[j - col_begin];
+        if (cell == kSkipped) continue;
+        NodeId root_j = forest->FindRoot(leaf_of[j]);
+        if (root_i == root_j) continue;
+        ++total_similarities_;
+        // Argument order matters: Merge keeps the first root on size ties,
+        // exactly as the serial sweep calls it.
+        if (cell == kMatched) root_i = forest->Merge(root_i, root_j);
+      }
+    }
+  }
+}
+
+void PairwiseComputer::EvaluateTile(const std::vector<RecordId>& records,
+                                    const std::vector<NodeId>& snapshot,
+                                    size_t row_begin, size_t row_end,
+                                    size_t col_tile_begin, size_t col_tile_end,
+                                    size_t col_begin,
+                                    uint8_t* decisions) const {
+  const size_t width = records.size() - col_begin;
+  // Tile-local union-find over snapshot roots: remembers the matches this
+  // tile has already found so later pairs in the same tile keep the
+  // transitive-closure skip. Touches at most kRowBlock + kColTile roots.
+  // The snapshot-root -> local-id hashing happens once per row/column in
+  // this prologue; the pair loop sees only small-array DSU operations.
+  std::unordered_map<NodeId, uint32_t> local_id;
+  local_id.reserve((row_end - row_begin) + (col_tile_end - col_tile_begin));
+  std::vector<uint32_t> parent;
+  auto local_of = [&](NodeId root) {
+    auto [it, inserted] =
+        local_id.try_emplace(root, static_cast<uint32_t>(parent.size()));
+    if (inserted) parent.push_back(it->second);
+    return it->second;
+  };
+  std::vector<uint32_t> row_local(row_end - row_begin);
+  for (size_t i = row_begin; i < row_end; ++i) {
+    row_local[i - row_begin] = local_of(snapshot[i]);
+  }
+  std::vector<uint32_t> col_local(col_tile_end - col_tile_begin);
+  for (size_t j = col_tile_begin; j < col_tile_end; ++j) {
+    col_local[j - col_tile_begin] = local_of(snapshot[j]);
+  }
+  auto find = [&](uint32_t x) {
+    while (parent[x] != x) {
+      parent[x] = parent[parent[x]];
+      x = parent[x];
+    }
+    return x;
+  };
+  for (size_t i = row_begin; i < row_end; ++i) {
+    uint8_t* row = decisions + (i - row_begin) * width;
+    const uint32_t local_i = row_local[i - row_begin];
+    for (size_t j = std::max(i + 1, col_tile_begin); j < col_tile_end; ++j) {
+      const uint32_t ri = find(local_i);
+      const uint32_t rj = find(col_local[j - col_tile_begin]);
+      if (ri == rj) {
+        row[j - col_begin] = kSkipped;
+        continue;
+      }
+      if (evaluator_.Matches(records[i], records[j])) {
+        row[j - col_begin] = kMatched;
+        parent[rj] = ri;
+      } else {
+        row[j - col_begin] = kNoMatch;
+      }
+    }
+  }
 }
 
 }  // namespace adalsh

@@ -5,8 +5,11 @@
 #include <vector>
 
 #include "clustering/parent_pointer_forest.h"
+#include "distance/feature_cache.h"
 #include "distance/rule.h"
+#include "distance/rule_evaluator.h"
 #include "record/dataset.h"
+#include "util/thread_pool.h"
 
 namespace adalsh {
 
@@ -14,9 +17,29 @@ namespace adalsh {
 /// transitive-closure optimization of Appendix B.3: records already in the
 /// same tree skip their distance computation. Output trees are tagged with
 /// kProducerPairwise, which Algorithm 1's termination rule treats as final.
+///
+/// Engine design (docs/threading.md, "Parallel pairwise"): the i<j triangle
+/// is swept in row stripes. Per stripe, the current roots are snapshotted,
+/// the stripe's pairs are split into fixed column tiles evaluated on the
+/// worker pool (rule evaluations are pure: compiled RuleEvaluator over the
+/// per-dataset FeatureCache), and the recorded decisions are replayed
+/// serially in canonical (i, j) order, re-checking live roots before each
+/// merge. Tile boundaries depend only on the input size — never on the
+/// thread count — so forests, clusters and similarity counts are
+/// byte-identical from 1 thread to any N.
+///
+/// Closure skipping survives tiling at two levels: the stripe snapshot skips
+/// pairs connected by earlier stripes, and a tile-local union-find over
+/// snapshot roots skips pairs connected by matches found earlier (in
+/// canonical order) within the same tile. Inputs that fit a single tile
+/// therefore perform exactly the evaluations of the strictly serial sweep.
 class PairwiseComputer {
  public:
-  PairwiseComputer(const Dataset& dataset, const MatchRule& rule);
+  /// `pool` (borrowed, may be null) runs the tile evaluations; null means
+  /// strictly serial. The dataset must outlive the computer and be fully
+  /// built (the FeatureCache holds pointers into its records).
+  PairwiseComputer(const Dataset& dataset, const MatchRule& rule,
+                   ThreadPool* pool = nullptr);
 
   PairwiseComputer(const PairwiseComputer&) = delete;
   PairwiseComputer& operator=(const PairwiseComputer&) = delete;
@@ -28,11 +51,34 @@ class PairwiseComputer {
 
   /// Rule evaluations actually performed (pairs skipped via transitive
   /// closure are not counted) — the n_P of the Definition 3 cost accounting.
+  /// Deterministic for a given input at any thread count.
   uint64_t total_similarities() const { return total_similarities_; }
 
  private:
+  /// The seed's strictly serial sweep (closure check, evaluate, merge per
+  /// pair) — the semantic reference the tiled path must reproduce.
+  void SweepSerial(const std::vector<RecordId>& records,
+                   const std::vector<NodeId>& leaf_of,
+                   ParentPointerForest* forest);
+
+  /// Stripe / tile / replay pipeline; see the class comment.
+  void SweepTiled(const std::vector<RecordId>& records,
+                  const std::vector<NodeId>& leaf_of,
+                  ParentPointerForest* forest);
+
+  /// Evaluates one tile's pairs against the stripe snapshot, recording a
+  /// per-pair decision for the serial replay. Pure with respect to the
+  /// forest; safe to run concurrently with other tiles.
+  void EvaluateTile(const std::vector<RecordId>& records,
+                    const std::vector<NodeId>& snapshot, size_t row_begin,
+                    size_t row_end, size_t col_tile_begin, size_t col_tile_end,
+                    size_t col_begin, uint8_t* decisions) const;
+
   const Dataset* dataset_;
   const MatchRule* rule_;
+  FeatureCache cache_;
+  RuleEvaluator evaluator_;
+  ThreadPool* pool_;
   uint64_t total_similarities_ = 0;
 };
 

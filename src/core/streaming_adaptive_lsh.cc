@@ -28,7 +28,7 @@ StreamingAdaptiveLsh::StreamingAdaptiveLsh(const Dataset& dataset,
                                        config.seed, pool_.get())),
       engine_(dataset, sequence_.structure(), config.seed),
       hasher_(&engine_, &forest_, dataset.num_records(), pool_.get()),
-      pairwise_(dataset, rule) {
+      pairwise_(dataset, rule, pool_.get()) {
   cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
   level1_tables_.resize(sequence_.plan(0).tables.size());
   leaf_of_.assign(dataset.num_records(), kInvalidNode);

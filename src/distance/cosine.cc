@@ -9,7 +9,10 @@ namespace adalsh {
 
 double CosineDistance(const std::vector<float>& a,
                       const std::vector<float>& b) {
-  ADALSH_CHECK_EQ(a.size(), b.size());
+  // Per-pair dimension checks are debug-only: FeatureCache validates each
+  // field's dimensionality once per dataset, and the hot loops must not pay
+  // a branch per pair for it.
+  ADALSH_DCHECK_EQ(a.size(), b.size());
   double dot = 0.0, norm_a = 0.0, norm_b = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {
     dot += static_cast<double>(a[i]) * b[i];
@@ -21,6 +24,71 @@ double CosineDistance(const std::vector<float>& a,
   double cosine = dot / (std::sqrt(norm_a) * std::sqrt(norm_b));
   cosine = std::clamp(cosine, -1.0, 1.0);
   return std::acos(cosine) / M_PI;
+}
+
+double DotProduct(const float* a, const float* b, size_t size) {
+  // Four independent accumulators break the loop-carried add dependency so
+  // the compiler can keep the FMA pipeline full; the final reduction order is
+  // fixed, so the result depends only on `size`.
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  size_t i = 0;
+  for (; i + 4 <= size; i += 4) {
+    s0 += static_cast<double>(a[i]) * b[i];
+    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
+    s2 += static_cast<double>(a[i + 2]) * b[i + 2];
+    s3 += static_cast<double>(a[i + 3]) * b[i + 3];
+  }
+  for (; i < size; ++i) s0 += static_cast<double>(a[i]) * b[i];
+  return (s0 + s1) + (s2 + s3);
+}
+
+double L2Norm(const float* values, size_t size) {
+  double sum = 0.0;
+  for (size_t i = 0; i < size; ++i) {
+    sum += static_cast<double>(values[i]) * values[i];
+  }
+  return std::sqrt(sum);
+}
+
+double CosineDistanceWithNorms(const float* a, const float* b, size_t size,
+                               double norm_a, double norm_b) {
+  if (norm_a == 0.0 && norm_b == 0.0) return 0.0;
+  if (norm_a == 0.0 || norm_b == 0.0) return 1.0;
+  double cosine = DotProduct(a, b, size) / (norm_a * norm_b);
+  cosine = std::clamp(cosine, -1.0, 1.0);
+  return std::acos(cosine) / M_PI;
+}
+
+double CosineBoundForMaxDistance(double max_dist) {
+  return std::cos(M_PI * std::clamp(max_dist, 0.0, 1.0));
+}
+
+bool CosineWithinBound(const float* a, const float* b, size_t size,
+                       double norm_a, double norm_b, double cos_bound) {
+  // Zero-norm edge cases mirror CosineDistance: both zero -> distance 0,
+  // within any valid threshold; one zero -> distance 1, within the threshold
+  // only when it admits everything (cos_bound <= -1 <=> max_dist >= 1).
+  if (norm_a == 0.0 && norm_b == 0.0) return true;
+  if (norm_a == 0.0 || norm_b == 0.0) return cos_bound <= -1.0;
+  // max_dist >= 1 admits every pair; deciding it via the dot product would
+  // re-introduce the clamp edge case for exactly-opposite vectors.
+  if (cos_bound <= -1.0) return true;
+  return DotProduct(a, b, size) >= cos_bound * (norm_a * norm_b);
+}
+
+bool CosineDistanceAtMost(const float* a, const float* b, size_t size,
+                          double norm_a, double norm_b, double max_dist) {
+  if (max_dist < 0.0) return false;
+  return CosineWithinBound(a, b, size, norm_a, norm_b,
+                           CosineBoundForMaxDistance(max_dist));
+}
+
+bool CosineDistanceAtMost(const std::vector<float>& a,
+                          const std::vector<float>& b, double max_dist) {
+  ADALSH_DCHECK_EQ(a.size(), b.size());
+  return CosineDistanceAtMost(a.data(), b.data(), a.size(),
+                              L2Norm(a.data(), a.size()),
+                              L2Norm(b.data(), b.size()), max_dist);
 }
 
 double DegreesToNormalizedAngle(double degrees) { return degrees / 180.0; }

@@ -1,6 +1,7 @@
 #ifndef ADALSH_DISTANCE_COSINE_H_
 #define ADALSH_DISTANCE_COSINE_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace adalsh {
@@ -13,6 +14,44 @@ namespace adalsh {
 /// Edge cases: if both vectors are zero the distance is 0; if exactly one is
 /// zero the distance is 1 (maximally far).
 double CosineDistance(const std::vector<float>& a, const std::vector<float>& b);
+
+/// Unrolled 4-accumulator dot product with double accumulation — the inner
+/// kernel of the cached-norm cosine path. Deterministic: the accumulation
+/// order depends only on `size`, never on the caller or thread.
+double DotProduct(const float* a, const float* b, size_t size);
+
+/// L2 norm of a dense vector, accumulated in the same element order as
+/// CosineDistance's norm terms so cached norms reproduce its arithmetic.
+double L2Norm(const float* values, size_t size);
+
+/// CosineDistance with the two norms precomputed (FeatureCache caches them
+/// per record/field): one DotProduct per pair instead of three accumulations.
+/// Same edge-case contract as CosineDistance.
+double CosineDistanceWithNorms(const float* a, const float* b, size_t size,
+                               double norm_a, double norm_b);
+
+/// The cosine-similarity bound equivalent to a normalized-angle threshold:
+/// CosineDistance(a, b) <= max_dist  <=>  cos(angle) >= cos(pi * max_dist).
+/// Precompute once per rule threshold; acos disappears from the per-pair path.
+double CosineBoundForMaxDistance(double max_dist);
+
+/// True iff the pair's cosine similarity meets a precomputed bound from
+/// CosineBoundForMaxDistance — the hot per-pair predicate: one dot product,
+/// one multiply, one compare. `cos_bound <= -1` encodes "any pair passes"
+/// (max_dist >= 1), which is also what the one-zero-vector edge case needs.
+bool CosineWithinBound(const float* a, const float* b, size_t size,
+                       double norm_a, double norm_b, double cos_bound);
+
+/// Exactly equivalent to CosineDistance(a, b) <= max_dist, mirroring
+/// JaccardSimilarityAtLeast's threshold-aware contract: the monotone acos is
+/// folded into the threshold, so no trig runs per pair. Norms are taken from
+/// the caller's cache (see FeatureCache).
+bool CosineDistanceAtMost(const float* a, const float* b, size_t size,
+                          double norm_a, double norm_b, double max_dist);
+
+/// Convenience overload computing the norms in place (tests, one-off calls).
+bool CosineDistanceAtMost(const std::vector<float>& a,
+                          const std::vector<float>& b, double max_dist);
 
 /// Converts an angle threshold in degrees (the paper uses 2/3/5-degree image
 /// thresholds) to the normalized-angle distance used throughout the library.

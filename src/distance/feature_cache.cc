@@ -1,0 +1,48 @@
+#include "distance/feature_cache.h"
+
+#include "distance/cosine.h"
+#include "util/check.h"
+
+namespace adalsh {
+
+FeatureCache::FeatureCache(const Dataset& dataset)
+    : num_records_(dataset.num_records()) {
+  ADALSH_CHECK_GE(num_records_, 1u) << "FeatureCache over an empty dataset";
+  const Record& prototype = dataset.record(0);
+  fields_.resize(prototype.num_fields());
+  for (FieldId f = 0; f < fields_.size(); ++f) {
+    FieldCache& cache = fields_[f];
+    const Field& proto_field = prototype.field(f);
+    cache.dense = proto_field.is_dense();
+    if (cache.dense) {
+      cache.dim = proto_field.size();
+      cache.dense_ptrs.resize(num_records_);
+      cache.norms.resize(num_records_);
+    } else {
+      cache.token_ptrs.resize(num_records_);
+    }
+  }
+  for (RecordId r = 0; r < num_records_; ++r) {
+    const Record& record = dataset.record(r);
+    ADALSH_CHECK_EQ(record.num_fields(), fields_.size())
+        << "record " << r << " deviates from the schema of record 0";
+    for (FieldId f = 0; f < fields_.size(); ++f) {
+      FieldCache& cache = fields_[f];
+      const Field& field = record.field(f);
+      ADALSH_CHECK_EQ(field.is_dense(), cache.dense)
+          << "record " << r << " field " << f << " kind differs from record 0";
+      if (cache.dense) {
+        ADALSH_CHECK_EQ(field.size(), cache.dim)
+            << "record " << r << " field " << f
+            << " dimensionality differs from record 0";
+        const std::vector<float>& values = field.dense();
+        cache.dense_ptrs[r] = values.data();
+        cache.norms[r] = L2Norm(values.data(), values.size());
+      } else {
+        cache.token_ptrs[r] = &field.tokens();
+      }
+    }
+  }
+}
+
+}  // namespace adalsh

@@ -1,0 +1,73 @@
+#ifndef ADALSH_DISTANCE_FEATURE_CACHE_H_
+#define ADALSH_DISTANCE_FEATURE_CACHE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// Per-dataset cache of everything the pairwise kernels would otherwise
+/// recompute or re-resolve per pair (the dominant waste of the seed P loop):
+///
+///   * one L2 norm per dense field per record, computed once — per-pair
+///     cosine collapses to a single dot product (CosineDistanceWithNorms /
+///     CosineWithinBound);
+///   * direct payload pointers per field per record, so the hot loops never
+///     walk Dataset -> Record -> Field indirections per pair.
+///
+/// Building the cache also validates the dataset's schema once: every record
+/// must have the same field count, field kinds, and dense dimensionalities as
+/// record 0. That single validation is what lets the per-pair
+/// ADALSH_CHECK_EQ in CosineDistance drop to a debug-only ADALSH_DCHECK.
+///
+/// The cache stores pointers into the Dataset's records; the Dataset must
+/// outlive it and not grow while it is alive (Dataset records are immutable
+/// once added, so any fully-built dataset qualifies).
+class FeatureCache {
+ public:
+  explicit FeatureCache(const Dataset& dataset);
+
+  FeatureCache(const FeatureCache&) = delete;
+  FeatureCache& operator=(const FeatureCache&) = delete;
+
+  size_t num_fields() const { return fields_.size(); }
+  size_t num_records() const { return num_records_; }
+
+  /// Field kind, uniform across records (validated at build).
+  bool is_dense(FieldId f) const { return fields_[f].dense; }
+
+  /// Dense dimensionality, uniform across records (validated at build).
+  size_t dim(FieldId f) const { return fields_[f].dim; }
+
+  /// Dense payload of record r's field f.
+  const float* dense(RecordId r, FieldId f) const {
+    return fields_[f].dense_ptrs[r];
+  }
+
+  /// Cached L2 norm of record r's dense field f.
+  double norm(RecordId r, FieldId f) const { return fields_[f].norms[r]; }
+
+  /// Sorted, deduplicated token payload of record r's field f.
+  const std::vector<uint64_t>& tokens(RecordId r, FieldId f) const {
+    return *fields_[f].token_ptrs[r];
+  }
+
+ private:
+  struct FieldCache {
+    bool dense = false;
+    size_t dim = 0;                                   // dense fields only
+    std::vector<const float*> dense_ptrs;             // dense fields only
+    std::vector<double> norms;                        // dense fields only
+    std::vector<const std::vector<uint64_t>*> token_ptrs;  // token fields
+  };
+
+  size_t num_records_;
+  std::vector<FieldCache> fields_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_FEATURE_CACHE_H_

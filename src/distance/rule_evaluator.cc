@@ -1,0 +1,97 @@
+#include "distance/rule_evaluator.h"
+
+#include "distance/cosine.h"
+#include "distance/jaccard.h"
+#include "util/check.h"
+
+namespace adalsh {
+
+RuleEvaluator::RuleEvaluator(const MatchRule& rule, const FeatureCache& cache)
+    : cache_(&cache) {
+  Compile(rule);
+}
+
+size_t RuleEvaluator::Compile(const MatchRule& rule) {
+  size_t index = nodes_.size();
+  nodes_.emplace_back();
+  nodes_[index].type = rule.type();
+  if (rule.is_leaf_like()) {
+    Node& node = nodes_[index];
+    node.threshold = rule.threshold();
+    const std::vector<FieldId>& fields = rule.fields();
+    const std::vector<double>& weights = rule.weights();
+    for (size_t i = 0; i < fields.size(); ++i) {
+      ADALSH_CHECK_LT(fields[i], cache_->num_fields())
+          << "rule references a field missing from the cache's schema";
+      node.fields.push_back(
+          LeafField{fields[i], weights[i], cache_->is_dense(fields[i])});
+    }
+    if (rule.type() == MatchRule::Type::kLeaf) {
+      node.cos_bound = CosineBoundForMaxDistance(node.threshold);
+      node.min_sim = 1.0 - node.threshold;
+    }
+    return index;
+  }
+  // Children append after this node; collect their indices first to avoid
+  // writing through a reference invalidated by vector growth.
+  std::vector<size_t> children;
+  for (const MatchRule& child : rule.children()) {
+    children.push_back(Compile(child));
+  }
+  nodes_[index].children = std::move(children);
+  return index;
+}
+
+bool RuleEvaluator::Matches(RecordId a, RecordId b) const {
+  return MatchesNode(0, a, b);
+}
+
+bool RuleEvaluator::MatchesNode(size_t index, RecordId a, RecordId b) const {
+  const Node& node = nodes_[index];
+  switch (node.type) {
+    case MatchRule::Type::kLeaf: {
+      const LeafField& f = node.fields[0];
+      if (f.dense) {
+        return CosineWithinBound(cache_->dense(a, f.field),
+                                 cache_->dense(b, f.field),
+                                 cache_->dim(f.field), cache_->norm(a, f.field),
+                                 cache_->norm(b, f.field), node.cos_bound);
+      }
+      return JaccardSimilarityAtLeast(cache_->tokens(a, f.field),
+                                      cache_->tokens(b, f.field), node.min_sim);
+    }
+    case MatchRule::Type::kWeightedAverage: {
+      // Distances are accumulated in field order exactly as
+      // MatchRule::Distance does, so when no early exit fires the final
+      // comparison is bit-identical. The early exit is sound because each
+      // remaining term is >= 0: once sum > threshold the full sum is too.
+      double sum = 0.0;
+      for (const LeafField& f : node.fields) {
+        double distance =
+            f.dense ? CosineDistanceWithNorms(
+                          cache_->dense(a, f.field), cache_->dense(b, f.field),
+                          cache_->dim(f.field), cache_->norm(a, f.field),
+                          cache_->norm(b, f.field))
+                    : JaccardDistance(cache_->tokens(a, f.field),
+                                      cache_->tokens(b, f.field));
+        sum += f.weight * distance;
+        if (sum > node.threshold) return false;
+      }
+      return true;
+    }
+    case MatchRule::Type::kAnd:
+      for (size_t child : node.children) {
+        if (!MatchesNode(child, a, b)) return false;
+      }
+      return true;
+    case MatchRule::Type::kOr:
+      for (size_t child : node.children) {
+        if (MatchesNode(child, a, b)) return true;
+      }
+      return false;
+  }
+  ADALSH_CHECK(false) << "unknown rule type";
+  return false;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,70 @@
+#ifndef ADALSH_DISTANCE_RULE_EVALUATOR_H_
+#define ADALSH_DISTANCE_RULE_EVALUATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "distance/feature_cache.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+
+namespace adalsh {
+
+/// The hot-path form of MatchRule::Matches: the rule tree is compiled once
+/// against a FeatureCache, and per-pair evaluation runs on cached norms and
+/// hoisted payload pointers with all per-pair trig and record/field lookups
+/// eliminated. Decisions agree with MatchRule::Matches on every pair (the
+/// acos of the cosine leaf is folded into the threshold, which is exact
+/// because acos is monotone).
+///
+/// Per-node kernels:
+///   * Leaf(dense):      CosineWithinBound with a precompiled cosine bound —
+///                       one dot product, one multiply, one compare.
+///   * Leaf(tokens):     JaccardSimilarityAtLeast with the precompiled
+///                       min-similarity (the existing threshold-aware merge).
+///   * WeightedAverage:  running-bound early exit — remaining field distances
+///                       are >= 0, so the moment the accumulated weighted sum
+///                       exceeds the threshold the best case cannot cross it
+///                       and the remaining fields are abandoned.
+///   * And / Or:         short-circuit over children, as in MatchRule.
+///
+/// Thread-safety: Matches is const and touches only immutable compiled state,
+/// so one evaluator may serve any number of concurrent callers.
+class RuleEvaluator {
+ public:
+  /// Compiles `rule` against `cache`. Both must outlive the evaluator; the
+  /// rule must validate against the cache's dataset schema.
+  RuleEvaluator(const MatchRule& rule, const FeatureCache& cache);
+
+  RuleEvaluator(const RuleEvaluator&) = delete;
+  RuleEvaluator& operator=(const RuleEvaluator&) = delete;
+
+  /// Same decision as rule.Matches(dataset.record(a), dataset.record(b)).
+  bool Matches(RecordId a, RecordId b) const;
+
+ private:
+  struct LeafField {
+    FieldId field = 0;
+    double weight = 1.0;
+    bool dense = false;
+  };
+
+  struct Node {
+    MatchRule::Type type = MatchRule::Type::kLeaf;
+    double threshold = 0.0;
+    double cos_bound = 1.0;  // kLeaf over a dense field
+    double min_sim = 0.0;    // kLeaf over a token field
+    std::vector<LeafField> fields;  // leaf-like nodes
+    std::vector<size_t> children;   // kAnd / kOr
+  };
+
+  size_t Compile(const MatchRule& rule);
+  bool MatchesNode(size_t node, RecordId a, RecordId b) const;
+
+  const FeatureCache* cache_;
+  std::vector<Node> nodes_;  // nodes_[0] is the root
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_DISTANCE_RULE_EVALUATOR_H_

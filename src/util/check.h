@@ -58,4 +58,29 @@ class CheckMessageBuilder {
 #define ADALSH_CHECK_GT(a, b) ADALSH_CHECK((a) > (b))
 #define ADALSH_CHECK_GE(a, b) ADALSH_CHECK((a) >= (b))
 
+/// Debug-only assertion for per-element checks on hot paths (e.g. the
+/// per-pair dimension check in CosineDistance). Active in debug builds (or
+/// when ADALSH_ENABLE_DCHECKS is defined); compiles to nothing in release so
+/// hot loops carry no per-pair overhead. Invariants whose violation release
+/// code cannot survive must stay on ADALSH_CHECK; ADALSH_DCHECK is for
+/// conditions a cheaper once-per-structure validation already guarantees
+/// (e.g. FeatureCache validates field dimensions once per dataset).
+#if !defined(NDEBUG) || defined(ADALSH_ENABLE_DCHECKS)
+#define ADALSH_DCHECK_IS_ON 1
+#define ADALSH_DCHECK(condition) ADALSH_CHECK(condition)
+#else
+#define ADALSH_DCHECK_IS_ON 0
+// `while (false)` keeps the condition and any streamed message compiling (and
+// type-checked) without evaluating them at runtime.
+#define ADALSH_DCHECK(condition) \
+  while (false) ADALSH_CHECK(condition)
+#endif
+
+#define ADALSH_DCHECK_EQ(a, b) ADALSH_DCHECK((a) == (b))
+#define ADALSH_DCHECK_NE(a, b) ADALSH_DCHECK((a) != (b))
+#define ADALSH_DCHECK_LT(a, b) ADALSH_DCHECK((a) < (b))
+#define ADALSH_DCHECK_LE(a, b) ADALSH_DCHECK((a) <= (b))
+#define ADALSH_DCHECK_GT(a, b) ADALSH_DCHECK((a) > (b))
+#define ADALSH_DCHECK_GE(a, b) ADALSH_DCHECK((a) >= (b))
+
 #endif  // ADALSH_UTIL_CHECK_H_

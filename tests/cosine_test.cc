@@ -1,8 +1,11 @@
 #include "distance/cosine.h"
 
 #include <cmath>
+#include <cstdint>
 
 #include <gtest/gtest.h>
+
+#include "util/check.h"
 
 namespace adalsh {
 namespace {
@@ -41,8 +44,81 @@ TEST(CosineDistanceTest, Symmetric) {
   EXPECT_DOUBLE_EQ(CosineDistance(a, b), CosineDistance(b, a));
 }
 
+#if ADALSH_DCHECK_IS_ON
+// The per-pair dimension check is debug-only (ADALSH_DCHECK): FeatureCache
+// validates the schema once per dataset, so release builds skip it on the
+// hot path.
 TEST(CosineDistanceDeathTest, DimensionMismatch) {
   EXPECT_DEATH(CosineDistance({1, 2}, {1, 2, 3}), "");
+}
+#endif
+
+TEST(CosineAtMostTest, AgreesWithDistanceOnRandomPairs) {
+  // Property check: the threshold-aware kernel (cached norms, acos folded
+  // into the bound, unrolled dot product) decides exactly like the scalar
+  // distance away from floating-point boundary ties.
+  uint64_t state = 98765;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 33;
+  };
+  auto next_float = [&]() {
+    return static_cast<float>(next() % 2000) / 1000.0f - 1.0f;
+  };
+  for (int trial = 0; trial < 1000; ++trial) {
+    size_t dim = 1 + next() % 96;
+    std::vector<float> a(dim), b(dim);
+    for (size_t i = 0; i < dim; ++i) {
+      a[i] = next_float();
+      b[i] = next_float();
+    }
+    if (trial % 7 == 0) b = a;           // distance ~0
+    if (trial % 11 == 0) {               // distance ~1
+      for (size_t i = 0; i < dim; ++i) b[i] = -a[i];
+    }
+    double dist = CosineDistance(a, b);
+    for (double max_dist : {0.0, 0.01, 0.1, 0.25, 0.5, 0.9, 1.0}) {
+      if (std::abs(dist - max_dist) < 1e-12) continue;  // boundary ties
+      EXPECT_EQ(CosineDistanceAtMost(a, b, max_dist), dist <= max_dist)
+          << "trial " << trial << " dist " << dist << " max " << max_dist;
+    }
+  }
+}
+
+TEST(CosineAtMostTest, ZeroVectorEdges) {
+  // Mirrors CosineDistance's conventions: both zero -> distance 0, one
+  // zero -> distance 1.
+  EXPECT_TRUE(CosineDistanceAtMost({0, 0}, {0, 0}, 0.0));
+  EXPECT_FALSE(CosineDistanceAtMost({0, 0}, {1, 0}, 0.5));
+  EXPECT_TRUE(CosineDistanceAtMost({0, 0}, {1, 0}, 1.0));
+  EXPECT_FALSE(CosineDistanceAtMost({1, 0}, {0, 0}, 0.999));
+}
+
+TEST(CosineAtMostTest, ThresholdExtremes) {
+  // max_dist >= 1 admits everything (distance is capped at 1), including
+  // exactly opposite vectors whose cosine clamps at -1; max_dist < 0 admits
+  // nothing.
+  EXPECT_TRUE(CosineDistanceAtMost({1, 0}, {-1, 0}, 1.0));
+  EXPECT_TRUE(CosineDistanceAtMost({1, 0}, {0, 1}, 1.0));
+  EXPECT_FALSE(CosineDistanceAtMost({1, 2}, {1, 2}, -0.1));
+  // Identical vectors sit exactly at distance 0.
+  EXPECT_TRUE(CosineDistanceAtMost({3, 4}, {3, 4}, 0.0));
+}
+
+TEST(CosineAtMostTest, CachedNormsMatchScalarPath) {
+  std::vector<float> a = {0.3f, 0.8f, 0.1f, 0.9f};
+  std::vector<float> b = {0.7f, 0.2f, 0.5f, 0.4f};
+  double norm_a = L2Norm(a.data(), a.size());
+  double norm_b = L2Norm(b.data(), b.size());
+  double dist = CosineDistanceWithNorms(a.data(), b.data(), a.size(), norm_a,
+                                        norm_b);
+  EXPECT_NEAR(dist, CosineDistance(a, b), 1e-12);
+  double bound = CosineBoundForMaxDistance(dist + 1e-6);
+  EXPECT_TRUE(CosineWithinBound(a.data(), b.data(), a.size(), norm_a, norm_b,
+                                bound));
+  bound = CosineBoundForMaxDistance(dist - 1e-6);
+  EXPECT_FALSE(CosineWithinBound(a.data(), b.data(), a.size(), norm_a, norm_b,
+                                 bound));
 }
 
 TEST(DegreeConversionTest, RoundTrip) {

@@ -79,6 +79,23 @@ TEST(JaccardAtLeastTest, EdgeCases) {
                                        0.2));
 }
 
+TEST(JaccardAtLeastTest, ExactBoundary) {
+  // The predicate is >= with a 1e-12 absolute slack (so integer-ratio
+  // similarities land on the inclusive side regardless of rounding).
+  // |{1,2}| / |{1,2,3,4}| = 0.5 is exact in binary floating point: exactly
+  // at, one ulp below, and within-slack-above must all match; clearly above
+  // the slack must not.
+  std::vector<uint64_t> a = {1, 2};
+  std::vector<uint64_t> b = {1, 2, 3, 4};
+  EXPECT_TRUE(JaccardSimilarityAtLeast(a, b, 0.5));
+  EXPECT_TRUE(JaccardSimilarityAtLeast(a, b, std::nextafter(0.5, 0.0)));
+  EXPECT_TRUE(JaccardSimilarityAtLeast(a, b, std::nextafter(0.5, 1.0)));
+  EXPECT_FALSE(JaccardSimilarityAtLeast(a, b, 0.5 + 1e-9));
+  // Identical sets sit exactly at similarity 1; disjoint sets exactly at 0.
+  EXPECT_TRUE(JaccardSimilarityAtLeast(a, a, 1.0));
+  EXPECT_FALSE(JaccardSimilarityAtLeast(a, {7, 8}, 1e-9));
+}
+
 TEST(JaccardTest, Triangleish) {
   // Jaccard distance is a metric: check a triangle instance.
   std::vector<uint64_t> a = {1, 2, 3};

@@ -15,8 +15,10 @@
 #include "core/adaptive_lsh.h"
 #include "core/hash_engine.h"
 #include "core/lsh_blocking.h"
+#include "core/pairs_baseline.h"
 #include "datagen/cora_like.h"
 #include "datagen/generated_dataset.h"
+#include "datagen/multimodal.h"
 #include "datagen/spotsigs_like.h"
 #include "lsh/composite_scheme.h"
 #include "test_util.h"
@@ -56,6 +58,12 @@ ComparableOutput Comparable(const FilterOutput& output) {
 /// ratio is representative: one rule evaluation ~ 100 raw hashes.
 CostModel FixedCostModel() { return CostModel(1e-8, 1e-6); }
 
+/// A cost model with hashing four orders of magnitude more expensive than a
+/// rule evaluation: Algorithm 1 jumps to P almost immediately, so nearly all
+/// clustering flows through the parallel pairwise engine (the workload the
+/// tiled sweep must keep deterministic).
+CostModel PairwiseHeavyCostModel() { return CostModel(1e-5, 1e-9); }
+
 GeneratedDataset SmallCoraLike(uint64_t seed) {
   CoraLikeConfig config;
   config.num_entities = 25;
@@ -80,7 +88,9 @@ GeneratedDataset SmallSpotSigsLike(uint64_t seed) {
 
 void ExpectAdaptiveLshInvariantToThreads(const GeneratedDataset& generated,
                                          uint64_t seed, int k,
-                                         const char* dataset_name) {
+                                         const char* dataset_name,
+                                         CostModel cost_model =
+                                             FixedCostModel()) {
   ComparableOutput reference;
   for (int threads : kThreadCounts) {
     AdaptiveLshConfig config;
@@ -89,7 +99,7 @@ void ExpectAdaptiveLshInvariantToThreads(const GeneratedDataset& generated,
     config.seed = seed;
     config.threads = threads;
     AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
-    adalsh.set_cost_model(FixedCostModel());
+    adalsh.set_cost_model(cost_model);
     ComparableOutput output = Comparable(adalsh.Run(k));
     if (threads == 1) {
       reference = output;
@@ -121,6 +131,25 @@ void ExpectLshBlockingInvariantToThreads(const GeneratedDataset& generated,
     } else {
       EXPECT_EQ(output, reference)
           << dataset_name << " seed " << seed << ": LSH-X with " << threads
+          << " threads diverged from the serial run";
+    }
+  }
+}
+
+void ExpectPairsBaselineInvariantToThreads(const GeneratedDataset& generated,
+                                           uint64_t seed, int k,
+                                           const char* dataset_name) {
+  ComparableOutput reference;
+  for (int threads : kThreadCounts) {
+    PairsBaseline pairs(generated.dataset, generated.rule, threads);
+    ComparableOutput output = Comparable(pairs.Run(k));
+    if (threads == 1) {
+      reference = output;
+      ASSERT_GT(reference.pairwise_similarities, 0u);
+      ASSERT_FALSE(reference.clusters.empty());
+    } else {
+      EXPECT_EQ(output, reference)
+          << dataset_name << " seed " << seed << ": Pairs with " << threads
           << " threads diverged from the serial run";
     }
   }
@@ -167,6 +196,61 @@ TEST(ParallelEquivalenceTest, LshBlockingOnPlantedAndCoraLike) {
   for (uint64_t seed : {301, 302}) {
     GeneratedDataset generated = SmallCoraLike(seed);
     ExpectLshBlockingInvariantToThreads(generated, seed, /*k=*/3, "cora-like");
+  }
+}
+
+TEST(ParallelEquivalenceTest, AdaptiveLshPairwiseHeavy) {
+  // With P forced to do nearly all the work (see PairwiseHeavyCostModel),
+  // the tiled pairwise sweep becomes the dominant parallel path; one large
+  // planted cluster pushes it past the serial cutoff into tiling.
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(DeriveSeed(seed, 0xfa57));
+    std::vector<size_t> sizes;
+    sizes.push_back(120 + rng.NextBelow(60));
+    for (int c = 0; c < 4; ++c) sizes.push_back(1 + rng.NextBelow(20));
+    for (int s = 0; s < 30; ++s) sizes.push_back(1);
+    GeneratedDataset generated = test::MakePlantedDataset(sizes, seed);
+    ExpectAdaptiveLshInvariantToThreads(generated, seed, /*k=*/3,
+                                        "planted-pairwise-heavy",
+                                        PairwiseHeavyCostModel());
+  }
+}
+
+TEST(ParallelEquivalenceTest, PairsBaselineOnPlantedClusters) {
+  // 20 randomized planted datasets; the leading cluster spans multiple row
+  // stripes so the tiled engine (not just the serial cutoff) is certified.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    Rng rng(DeriveSeed(seed, 0xba5e));
+    std::vector<size_t> sizes;
+    sizes.push_back(40 + rng.NextBelow(80));
+    for (int c = 0; c < 4; ++c) sizes.push_back(1 + rng.NextBelow(24));
+    for (int s = 0; s < 60; ++s) sizes.push_back(1);
+    GeneratedDataset generated = test::MakePlantedDataset(sizes, seed);
+    ExpectPairsBaselineInvariantToThreads(generated, seed, /*k=*/3, "planted");
+  }
+}
+
+TEST(ParallelEquivalenceTest, PairsBaselineOnGeneratedWorkloads) {
+  for (uint64_t seed : {401, 402}) {
+    GeneratedDataset generated = SmallCoraLike(seed);
+    ExpectPairsBaselineInvariantToThreads(generated, seed, /*k=*/4,
+                                          "cora-like");
+  }
+  for (uint64_t seed : {501}) {
+    GeneratedDataset generated = SmallSpotSigsLike(seed);
+    ExpectPairsBaselineInvariantToThreads(generated, seed, /*k=*/4,
+                                          "spotsigs-like");
+  }
+  // Multimodal exercises the dense cosine kernel and the OR rule inside the
+  // tiled sweep.
+  for (uint64_t seed : {601, 602}) {
+    MultiModalConfig config;
+    config.num_entities = 15;
+    config.num_records = 140;
+    config.seed = seed;
+    GeneratedDataset generated = GenerateMultiModal(config);
+    ExpectPairsBaselineInvariantToThreads(generated, seed, /*k=*/4,
+                                          "multimodal");
   }
 }
 

@@ -1,0 +1,102 @@
+// The compiled hot-path evaluator must decide exactly like the scalar
+// MatchRule::Matches on every rule shape the generators produce: single
+// dense leaf (cosine), single token leaf (Jaccard), and the multimodal OR
+// of both. The FeatureCache it runs on must mirror the dataset.
+
+#include "distance/rule_evaluator.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/cora_like.h"
+#include "datagen/multimodal.h"
+#include "datagen/popular_images.h"
+#include "distance/cosine.h"
+#include "distance/feature_cache.h"
+#include "test_util.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace {
+
+void ExpectAgreesOnRandomPairs(const GeneratedDataset& workload,
+                               const char* name, int trials) {
+  FeatureCache cache(workload.dataset);
+  RuleEvaluator evaluator(workload.rule, cache);
+  const size_t n = workload.dataset.num_records();
+  Rng rng(DeriveSeed(7, 0xe7a1));
+  for (int t = 0; t < trials; ++t) {
+    RecordId a = static_cast<RecordId>(rng.NextBelow(n));
+    RecordId b = static_cast<RecordId>(rng.NextBelow(n));
+    EXPECT_EQ(evaluator.Matches(a, b),
+              workload.rule.Matches(workload.dataset.record(a),
+                                    workload.dataset.record(b)))
+        << name << ": records " << a << ", " << b;
+  }
+}
+
+TEST(RuleEvaluatorTest, AgreesOnDenseCosineLeaf) {
+  PopularImagesConfig config;
+  config.num_entities = 20;
+  config.num_records = 150;
+  config.seed = 5;
+  ExpectAgreesOnRandomPairs(GeneratePopularImages(config), "popular-images",
+                            1000);
+}
+
+TEST(RuleEvaluatorTest, AgreesOnTokenJaccardLeaf) {
+  CoraLikeConfig config;
+  config.num_entities = 25;
+  config.num_records = 150;
+  config.seed = 5;
+  ExpectAgreesOnRandomPairs(GenerateCoraLike(config), "cora-like", 1000);
+}
+
+TEST(RuleEvaluatorTest, AgreesOnMultimodalOrRule) {
+  MultiModalConfig config;
+  config.num_entities = 20;
+  config.num_records = 150;
+  config.seed = 5;
+  ExpectAgreesOnRandomPairs(GenerateMultiModal(config), "multimodal", 1000);
+}
+
+TEST(RuleEvaluatorTest, AgreesOnPlantedTokens) {
+  GeneratedDataset workload = test::MakePlantedDataset({12, 9, 6, 1, 1}, 17);
+  ExpectAgreesOnRandomPairs(workload, "planted", 500);
+}
+
+TEST(FeatureCacheTest, MirrorsDatasetSchemaAndNorms) {
+  MultiModalConfig config;
+  config.num_entities = 8;
+  config.num_records = 40;
+  config.seed = 11;
+  GeneratedDataset workload = GenerateMultiModal(config);
+  FeatureCache cache(workload.dataset);
+
+  const Record& prototype = workload.dataset.record(0);
+  ASSERT_EQ(cache.num_fields(), prototype.num_fields());
+  ASSERT_EQ(cache.num_records(), workload.dataset.num_records());
+  for (FieldId f = 0; f < cache.num_fields(); ++f) {
+    EXPECT_EQ(cache.is_dense(f), prototype.field(f).is_dense());
+  }
+  for (RecordId r = 0; r < cache.num_records(); ++r) {
+    const Record& record = workload.dataset.record(r);
+    for (FieldId f = 0; f < cache.num_fields(); ++f) {
+      const Field& field = record.field(f);
+      if (cache.is_dense(f)) {
+        ASSERT_EQ(cache.dim(f), field.size());
+        EXPECT_EQ(cache.dense(r, f), field.dense().data());
+        EXPECT_DOUBLE_EQ(cache.norm(r, f),
+                         L2Norm(field.dense().data(), field.size()));
+      } else {
+        EXPECT_EQ(&cache.tokens(r, f), &field.tokens());
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adalsh

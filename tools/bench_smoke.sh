@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Smoke test for the pairwise micro-benchmark: runs the binary on a tiny
+# workload and validates that the emitted JSON baseline parses and carries
+# the schema downstream tooling greps for. Wired into ctest as `bench_smoke`.
+#
+# Usage: bench_smoke.sh <micro_pairwise binary> <output json path>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <micro_pairwise binary> <output json path>" >&2
+  exit 2
+fi
+
+binary="$1"
+out="$2"
+
+rm -f "$out"
+"$binary" --smoke --out="$out" > /dev/null
+
+if [[ ! -s "$out" ]]; then
+  echo "FAIL: $out missing or empty" >&2
+  exit 1
+fi
+
+# Structural validation when a JSON parser is available.
+if command -v python3 > /dev/null 2>&1; then
+  python3 -m json.tool "$out" > /dev/null || {
+    echo "FAIL: $out is not valid JSON" >&2
+    exit 1
+  }
+fi
+
+# Schema keys the baseline consumers rely on.
+for key in benchmark workloads kernel scalar_pairs_per_second \
+           cached_pairs_per_second engine threads pairs_per_second \
+           total_similarities; do
+  if ! grep -q "\"$key\"" "$out"; then
+    echo "FAIL: $out lacks key \"$key\"" >&2
+    exit 1
+  fi
+done
+
+echo "bench_smoke OK: $out"
