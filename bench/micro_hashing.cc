@@ -1,20 +1,40 @@
-// Micro-benchmarks for the raw LSH hashing substrate: per-hash throughput of
-// MinHash (token sets of varying size) and random hyperplanes (dense vectors
-// of varying dimension). These are the unit costs the Definition 3 cost model
-// calibrates. BM_EngineHashingThreads additionally sweeps the worker-thread
-// count over the full Cora-like hash hot path (engine + caches), so
-// BENCH_*.json runs capture the parallel speedup trajectory: compare
-// items_per_second (records hashed per second) across /threads:1..8.
+// Micro-benchmarks for the raw LSH hashing substrate, written as a JSON
+// baseline (BENCH_hashing.json) so perf regressions are diffable:
+//
+//   * minhash / hyperplane: per-hash throughput of MinHash (token sets of
+//     varying size) and random hyperplanes (dense vectors of varying
+//     dimension) — the cost_i units the Definition 3 cost model calibrates;
+//   * engine: the full Cora-like hash hot path (engine + caches) across
+//     worker-thread counts, the incremental work pattern of a sequence step,
+//     with a metrics-registry snapshot proving the counter deltas match the
+//     engine's own accounting.
+//
+// Flags:
+//   --out=PATH   where to write the JSON document (default
+//                BENCH_hashing.json in the working directory)
+//   --smoke      tiny workloads and time budgets; used by the hashing_smoke
+//                ctest target to validate the schema, not to measure
 
-#include <benchmark/benchmark.h>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <span>
+#include <vector>
 
+#include "bench_util.h"
 #include "core/hash_engine.h"
 #include "datagen/cora_like.h"
 #include "lsh/composite_scheme.h"
+#include "lsh/hash_family.h"
 #include "lsh/minhash.h"
 #include "lsh/random_hyperplane.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "util/flags.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace adalsh {
 namespace {
@@ -38,104 +58,163 @@ Record DenseRecordOfDim(size_t dim, uint64_t seed) {
   return Record(std::move(fields));
 }
 
-void BM_MinHash(benchmark::State& state) {
-  size_t set_size = static_cast<size_t>(state.range(0));
-  Record record = TokenRecordOfSize(set_size, 1);
-  MinHashFamily family(0, 42);
+// Repeats kBatch-hash HashRange calls on `family` until `min_seconds` of
+// wall clock accumulated; returns hashes per second. `max_offset` bounds the
+// requested prefix so families with materialized parameters (hyperplanes)
+// cycle over a warmed pool instead of growing without bound.
+double MeasureHashesPerSecond(HashFamily* family, const Record& record,
+                              double min_seconds, size_t max_offset) {
   constexpr size_t kBatch = 64;
+  {
+    // Warm up the full parameter pool so the timed loop measures hashing,
+    // not lazy parameter generation.
+    std::vector<uint64_t> warmup(max_offset);
+    family->HashRange(record, 0, max_offset, warmup.data());
+  }
   std::vector<uint64_t> out(kBatch);
   size_t offset = 0;
-  for (auto _ : state) {
-    family.HashRange(record, offset, offset + kBatch, out.data());
-    benchmark::DoNotOptimize(out.data());
-    offset += kBatch;
-  }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
+  uint64_t hashes = 0;
+  Timer timer;
+  do {
+    family->HashRange(record, offset, offset + kBatch, out.data());
+    hashes += kBatch;
+    offset = (offset + kBatch) % (max_offset - kBatch);
+  } while (timer.ElapsedSeconds() < min_seconds);
+  return static_cast<double>(hashes) / timer.ElapsedSeconds();
 }
-BENCHMARK(BM_MinHash)->Arg(16)->Arg(64)->Arg(128)->Arg(256);
 
-void BM_RandomHyperplane(benchmark::State& state) {
-  size_t dim = static_cast<size_t>(state.range(0));
-  Record record = DenseRecordOfDim(dim, 2);
-  RandomHyperplaneFamily family(0, dim, 42);
-  constexpr size_t kBatch = 64;
-  std::vector<uint64_t> out(kBatch);
-  // Pre-materialize a pool of hyperplanes, then cycle over it so the
-  // benchmark measures hashing, not parameter generation.
-  constexpr size_t kPool = 4096;
-  std::vector<uint64_t> warmup(kPool);
-  family.HashRange(record, 0, kPool, warmup.data());
-  size_t offset = 0;
-  for (auto _ : state) {
-    family.HashRange(record, offset, offset + kBatch, out.data());
-    benchmark::DoNotOptimize(out.data());
-    offset = (offset + kBatch) % (kPool - kBatch);
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string out = flags.GetString("out", "BENCH_hashing.json");
+  const bool smoke = flags.GetBool("smoke", false);
+  flags.CheckNoUnusedFlags();
+
+  const double family_seconds = smoke ? 0.01 : 0.3;
+  const double engine_seconds = smoke ? 0.01 : 0.3;
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("benchmark")
+      .String("micro_hashing")
+      .Key("smoke")
+      .Bool(smoke);
+
+  // --- MinHash throughput by token-set size. ---
+  json.Key("minhash").BeginArray();
+  for (size_t set_size : {size_t{16}, size_t{64}, size_t{128}, size_t{256}}) {
+    Record record = TokenRecordOfSize(set_size, 1);
+    MinHashFamily family(0, 42);
+    double rate =
+        MeasureHashesPerSecond(&family, record, family_seconds, 4096);
+    json.BeginObject()
+        .Key("set_size")
+        .Uint(set_size)
+        .Key("hashes_per_second")
+        .Double(rate)
+        .EndObject();
   }
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * kBatch);
-}
-BENCHMARK(BM_RandomHyperplane)->Arg(64)->Arg(512);
+  json.EndArray();
 
-void BM_EngineHashingThreads(benchmark::State& state) {
-  const int threads = static_cast<int>(state.range(0));
+  // --- Random-hyperplane throughput by vector dimension. ---
+  json.Key("hyperplane").BeginArray();
+  for (size_t dim : {size_t{64}, size_t{512}}) {
+    Record record = DenseRecordOfDim(dim, 2);
+    RandomHyperplaneFamily family(0, dim, 42);
+    double rate =
+        MeasureHashesPerSecond(&family, record, family_seconds, 4096);
+    json.BeginObject()
+        .Key("dim")
+        .Uint(dim)
+        .Key("hashes_per_second")
+        .Double(rate)
+        .EndObject();
+  }
+  json.EndArray();
 
-  // The Cora-like workload the paper's Section 7.2 experiments hash; built
-  // once and shared across thread counts so the sweep is apples-to-apples.
-  static const GeneratedDataset* generated = [] {
-    CoraLikeConfig config;
-    config.num_entities = 120;
-    config.num_records = 1000;
-    config.seed = 7;
-    return new GeneratedDataset(GenerateCoraLike(config));
-  }();
-  static const RuleHashStructure* structure = [] {
-    StatusOr<RuleHashStructure> compiled =
-        CompileRuleForHashing(generated->rule);
-    return new RuleHashStructure(std::move(compiled).value());
-  }();
+  // --- Engine: the Cora-like hash hot path across thread counts. Each
+  // iteration extends every record's per-unit prefix by kStep hashes — the
+  // exact incremental work pattern of a sequence step. A MetricsRegistry is
+  // attached so the baseline captures the instrumented counter deltas; the
+  // snapshot's hashes_computed must equal the engine's own accounting. ---
+  CoraLikeConfig config;
+  config.num_entities = smoke ? 12 : 120;
+  config.num_records = smoke ? 100 : 1000;
+  config.seed = bench::kDataSeed;
+  GeneratedDataset generated = GenerateCoraLike(config);
+  StatusOr<RuleHashStructure> structure =
+      CompileRuleForHashing(generated.rule);
+  ADALSH_CHECK(structure.ok()) << structure.status().ToString();
+  const std::vector<RecordId> ids = generated.dataset.AllRecordIds();
 
-  const std::vector<RecordId> ids = generated->dataset.AllRecordIds();
-  ThreadPool pool(threads);
-
-  // Each iteration extends every record's per-unit prefix by kStep hashes —
-  // the exact incremental work pattern of a sequence step. The engine is
-  // recycled once prefixes hit kMaxPrefix so memory stays bounded.
   constexpr size_t kStep = 16;
-  constexpr size_t kMaxPrefix = 2048;
-  auto fresh_engine = [&] {
-    return new HashEngine(generated->dataset, *structure, /*seed=*/42);
-  };
-  HashEngine* engine = fresh_engine();
-  SchemePlan plan;
-  plan.hashes_per_unit.assign(structure->units.size(), 0);
-  size_t target = 0;
+  const size_t max_prefix = smoke ? 64 : 2048;
 
-  for (auto _ : state) {
-    if (target + kStep > kMaxPrefix) {
-      state.PauseTiming();
-      delete engine;
-      engine = fresh_engine();
-      target = 0;
-      state.ResumeTiming();
-    }
-    target += kStep;
-    for (size_t& prefix : plan.hashes_per_unit) prefix = target;
-    engine->EnsureHashesParallel(
-        std::span<const RecordId>(ids.data(), ids.size()), plan,
-        threads > 1 ? &pool : nullptr);
+  MetricsRegistry registry;
+  Instrumentation instr;
+  instr.metrics = &registry;
+
+  json.Key("engine").BeginArray();
+  uint64_t expected_hashes = 0;
+  for (int threads : {1, 2, 4, 8}) {
+    ScopedThreadPool pool(threads);
+    auto engine = std::make_unique<HashEngine>(generated.dataset, *structure,
+                                               /*seed=*/42);
+    engine->set_instrumentation(instr);
+    SchemePlan plan;
+    plan.hashes_per_unit.assign(structure->units.size(), 0);
+    size_t target = 0;
+    uint64_t iterations = 0;
+    Timer timer;
+    do {
+      if (target + kStep > max_prefix) {
+        // Recycle the engine so memory stays bounded; the rebuild is cheap
+        // relative to an iteration and counted against the run like the real
+        // pipeline's setup would be.
+        expected_hashes += engine->total_hashes_computed();
+        engine = std::make_unique<HashEngine>(generated.dataset, *structure,
+                                              /*seed=*/42);
+        engine->set_instrumentation(instr);
+        target = 0;
+      }
+      target += kStep;
+      for (size_t& prefix : plan.hashes_per_unit) prefix = target;
+      engine->EnsureHashesParallel(
+          std::span<const RecordId>(ids.data(), ids.size()), plan,
+          pool.get());
+      ++iterations;
+    } while (timer.ElapsedSeconds() < engine_seconds);
+    double seconds = timer.ElapsedSeconds();
+    expected_hashes += engine->total_hashes_computed();
+    json.BeginObject()
+        .Key("threads")
+        .Int(threads)
+        .Key("iterations")
+        .Uint(iterations)
+        .Key("records_per_second")
+        .Double(static_cast<double>(iterations * ids.size()) / seconds)
+        .EndObject();
   }
-  delete engine;
+  json.EndArray();
 
-  // Records hashed per second (each iteration re-covers every record).
-  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
-                          static_cast<int64_t>(ids.size()));
+  // --- Registry snapshot: the instrumented view of the engine sweep. ---
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ADALSH_CHECK_EQ(snapshot.counters["hashes_computed"], expected_hashes)
+      << "registry counters diverged from the engine's accounting";
+  json.Key("metrics");
+  AppendMetricsSnapshot(snapshot, &json);
+
+  json.EndObject();
+  std::string doc = json.TakeString();
+  std::ofstream file(out);
+  ADALSH_CHECK(file.good()) << "cannot open " << out;
+  file << doc;
+  ADALSH_CHECK(file.good()) << "failed writing " << out;
+  std::cout << doc;
+  std::cout << "wrote " << out << "\n";
+  return 0;
 }
-BENCHMARK(BM_EngineHashingThreads)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
-    ->ArgName("threads")
-    ->UseRealTime();
 
 }  // namespace
 }  // namespace adalsh
+
+int main(int argc, char** argv) { return adalsh::Main(argc, argv); }

@@ -25,6 +25,8 @@
 #include "datagen/popular_images.h"
 #include "distance/feature_cache.h"
 #include "distance/rule_evaluator.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
 #include "util/flags.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -118,18 +120,23 @@ void BenchWorkload(const GeneratedDataset& workload, const std::string& name,
   // rates are comparable across thread counts (the evaluated set is
   // identical by the determinism contract). ---
   std::vector<RecordId> records = workload.dataset.AllRecordIds();
+  auto measure_sweep = [&](PairwiseComputer* computer, uint64_t* sweeps_out) {
+    uint64_t sweeps = 0;
+    Timer timer;
+    do {
+      ParentPointerForest forest;
+      computer->Apply(records, &forest);
+      ++sweeps;
+    } while (timer.ElapsedSeconds() < engine_seconds);
+    *sweeps_out = sweeps;
+    return timer.ElapsedSeconds() / static_cast<double>(sweeps);
+  };
   json->Key("engine").BeginArray();
   for (int64_t threads : thread_counts) {
     ScopedThreadPool pool(static_cast<int>(threads));
     PairwiseComputer computer(workload.dataset, workload.rule, pool.get());
     uint64_t sweeps = 0;
-    Timer timer;
-    do {
-      ParentPointerForest forest;
-      computer.Apply(records, &forest);
-      ++sweeps;
-    } while (timer.ElapsedSeconds() < engine_seconds);
-    double seconds = timer.ElapsedSeconds() / static_cast<double>(sweeps);
+    double seconds = measure_sweep(&computer, &sweeps);
     json->BeginObject()
         .Key("threads")
         .Int(threads)
@@ -141,7 +148,58 @@ void BenchWorkload(const GeneratedDataset& workload, const std::string& name,
         .Uint(computer.total_similarities() / sweeps)
         .EndObject();
   }
-  json->EndArray().EndObject();
+  json->EndArray();
+
+  // --- Instrumentation overhead: the same serial sweep plain vs with a
+  // MetricsRegistry attached. Counters are touched once per Apply (never per
+  // pair), so the ratio should hold within noise of 1.0; the acceptance bound
+  // is <= 3% overhead. The two variants alternate sweep-by-sweep and are
+  // timed with the per-thread CPU clock (the sweeps are serial), so scheduler
+  // preemption and frequency drift cancel out of the ratio. The snapshot is
+  // emitted so the baseline also records the instrumented view's counters. ---
+  {
+    PairwiseComputer plain(workload.dataset, workload.rule, /*pool=*/nullptr);
+    MetricsRegistry registry;
+    Instrumentation instr;
+    instr.metrics = &registry;
+    PairwiseComputer instrumented(workload.dataset, workload.rule,
+                                  /*pool=*/nullptr, instr);
+
+    auto one_sweep = [&](PairwiseComputer* computer) {
+      ParentPointerForest forest;
+      double cpu_before = Timer::ThreadCpuSeconds();
+      Timer timer;
+      computer->Apply(records, &forest);
+      double cpu = Timer::ThreadCpuSeconds() - cpu_before;
+      // Fall back to wall time where the thread CPU clock is unavailable.
+      return cpu > 0.0 ? cpu : timer.ElapsedSeconds();
+    };
+    double plain_total = 0.0;
+    double instr_total = 0.0;
+    uint64_t sweeps = 0;
+    Timer budget;
+    do {
+      plain_total += one_sweep(&plain);
+      instr_total += one_sweep(&instrumented);
+      ++sweeps;
+    } while (budget.ElapsedSeconds() < 2.0 * engine_seconds);
+    double plain_seconds = plain_total / static_cast<double>(sweeps);
+    double instr_seconds = instr_total / static_cast<double>(sweeps);
+
+    MetricsSnapshot snapshot = registry.Snapshot();
+    json->Key("instrumentation")
+        .BeginObject()
+        .Key("plain_seconds_per_sweep")
+        .Double(plain_seconds)
+        .Key("instrumented_seconds_per_sweep")
+        .Double(instr_seconds)
+        .Key("overhead_ratio")
+        .Double(instr_seconds / plain_seconds)
+        .Key("metrics");
+    AppendMetricsSnapshot(snapshot, json);
+    json->EndObject();
+  }
+  json->EndObject();
 }
 
 int Main(int argc, char** argv) {

@@ -3,20 +3,55 @@
 // monitor asks for the current top-k stories. Arrivals only pay the cheapest
 // hashing function; each TopK() reuses all verification work done before.
 //
-//   build/examples/streaming_monitor [--k=3] [--batches=6]
+// The monitor also demonstrates the observability layer (obs/observer.h): a
+// custom Observer narrates every refinement round as it happens, and a
+// MetricsRegistry accumulates counters across the whole stream, printed as a
+// final snapshot.
+//
+//   build/examples/streaming_monitor [--k=3] [--batches=6] [--narrate]
 
 #include <iostream>
 
 #include "core/streaming_adaptive_lsh.h"
 #include "datagen/spotsigs_like.h"
+#include "obs/metrics_registry.h"
+#include "obs/observer.h"
 #include "util/flags.h"
 #include "util/rng.h"
 
+namespace {
+
+using namespace adalsh;  // NOLINT: example brevity
+
+// Narrates each refinement round to stderr: which cluster was picked and
+// what treating it cost. Callbacks fire on the thread driving TopK(), so no
+// locking is needed.
+class RoundNarrator : public Observer {
+ public:
+  void OnRoundStart(const RoundStartInfo& info) override {
+    std::cerr << "    round " << info.round << ": cluster of "
+              << info.cluster_size << " records (level "
+              << info.producer << ") -> ";
+  }
+
+  void OnRoundEnd(const RoundRecord& record) override {
+    if (record.action == RoundAction::kPairwise) {
+      std::cerr << "P, " << record.pairwise_similarities << " similarities";
+    } else {
+      std::cerr << "H_" << record.function_index + 1 << ", "
+                << record.hashes_computed << " hashes";
+    }
+    std::cerr << " (" << record.wall_seconds << "s)\n";
+  }
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  using namespace adalsh;  // NOLINT: example brevity
   Flags flags(argc, argv);
   int k = static_cast<int>(flags.GetInt("k", 3));
   int batches = static_cast<int>(flags.GetInt("batches", 6));
+  bool narrate = flags.GetBool("narrate", false);
   flags.CheckNoUnusedFlags();
 
   // The "future" corpus: we generate it up front (the Dataset is the record
@@ -31,8 +66,12 @@ int main(int argc, char** argv) {
   Rng rng(99);
   rng.Shuffle(&arrival_order);
 
+  MetricsRegistry metrics;
+  RoundNarrator narrator;
   AdaptiveLshConfig config;
   config.seed = 4;
+  config.instrumentation.metrics = &metrics;
+  if (narrate) config.instrumentation.observer = &narrator;
   StreamingAdaptiveLsh monitor(dataset, generated.rule, config);
 
   size_t per_batch = arrival_order.size() / batches;
@@ -51,7 +90,18 @@ int main(int argc, char** argv) {
     }
     std::cout << "\n  [topk cost: " << top.stats.hashes_computed
               << " new hashes, " << top.stats.pairwise_similarities
-              << " new similarities]\n";
+              << " new similarities, " << top.stats.rounds << " rounds]\n";
+  }
+
+  // Whole-stream metrics, aggregated across every TopK() call.
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  std::cout << "stream metrics:\n";
+  for (const auto& [name, value] : snapshot.counters) {
+    std::cout << "  " << name << " = " << value << "\n";
+  }
+  for (const auto& [name, stats] : snapshot.distributions) {
+    std::cout << "  " << name << ": n=" << stats.count()
+              << " mean=" << stats.mean() << " max=" << stats.max() << "\n";
   }
   return 0;
 }

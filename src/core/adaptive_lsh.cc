@@ -6,18 +6,14 @@
 #include "clustering/bin_index.h"
 #include "core/pairwise.h"
 #include "core/transitive_hash_function.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace adalsh {
-namespace {
-
-/// Marker in the per-record last-function array for "P was applied".
-constexpr int kLastFunctionPairwise = -2;
-
-}  // namespace
 
 AdaptiveLsh::AdaptiveLsh(const Dataset& dataset, const MatchRule& rule,
                          const AdaptiveLshConfig& config)
@@ -33,7 +29,8 @@ AdaptiveLsh::AdaptiveLsh(const Dataset& dataset, const MatchRule& rule,
       cost_model_([&] {
         ScopedThreadPool pool(config.threads);
         return CostModel::Calibrate(dataset, rule, config.calibration_samples,
-                                    config.seed, pool.get());
+                                    config.seed, pool.get(),
+                                    config.instrumentation);
       }()) {
   cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
 }
@@ -49,12 +46,17 @@ FilterOutput AdaptiveLsh::Run(
   const size_t num_records = dataset_->num_records();
   const int last_function = static_cast<int>(sequence_.size()) - 1;
 
+  // Sinks are shared with the hasher/pairwise sweeps; TransitiveHasher
+  // reports hash passes at its level, so the engine itself stays
+  // uninstrumented (no double counting).
+  const Instrumentation instr = config_.instrumentation;
+
   Timer timer;
   ParentPointerForest forest;
   ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, sequence_.structure(), config_.seed);
-  TransitiveHasher hasher(&engine, &forest, num_records, pool.get());
-  PairwiseComputer pairwise(*dataset_, rule_, pool.get());
+  TransitiveHasher hasher(&engine, &forest, num_records, pool.get(), instr);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr);
   // Hashes computed by discarded throwaway engines (incremental-reuse
   // ablation only).
   uint64_t ablated_hashes = 0;
@@ -73,12 +75,65 @@ FilterOutput AdaptiveLsh::Run(
   Rng jump_rng(DeriveSeed(config_.seed, 0xd2aa));
   uint64_t jump_sampling_evals = 0;
 
+  // Exact per-round counter sources (the same sources as the run totals, so
+  // the round_records invariants of filter_output.h hold by construction).
+  auto hash_count = [&] {
+    return engine.total_hashes_computed() + ablated_hashes;
+  };
+  auto sim_count = [&] {
+    return pairwise.total_similarities() + jump_sampling_evals;
+  };
+
+  // Closes out a round: fills the counter deltas, appends the record to the
+  // stats and notifies the attached sinks.
+  auto finish_round = [&](RoundRecord round, uint64_t hashes_before,
+                          uint64_t sims_before, double wall_seconds,
+                          TraceRecorder::Span* span) {
+    round.hashes_computed = hash_count() - hashes_before;
+    round.pairwise_similarities = sim_count() - sims_before;
+    round.wall_seconds = wall_seconds;
+    ++stats.rounds;
+    if (span != nullptr) {
+      span->AddArg("round", static_cast<double>(round.round));
+      span->AddArg("cluster_size", static_cast<double>(round.cluster_size));
+      span->AddArg("hashes", static_cast<double>(round.hashes_computed));
+      span->AddArg("pairwise",
+                   static_cast<double>(round.pairwise_similarities));
+    }
+    if (instr.metrics != nullptr) {
+      instr.metrics->AddCounter("rounds", 1);
+      instr.metrics->RecordValue("round_cluster_size",
+                                 static_cast<double>(round.cluster_size));
+      instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+    }
+    stats.round_records.push_back(round);
+    if (instr.observer != nullptr) {
+      instr.observer->OnRoundEnd(stats.round_records.back());
+    }
+  };
+
   // Lines 4-10 of Algorithm 1: refine one cluster with the next function in
   // the sequence, or with P when the cost model prefers it.
   auto process_cluster = [&](NodeId root) {
     std::vector<RecordId> records = forest.Leaves(root);
     int producer = forest.Producer(root);
     int next = producer + 1;
+
+    RoundRecord round;
+    round.round = stats.rounds + 1;
+    round.cluster_size = records.size();
+    const uint64_t hashes_before = hash_count();
+    const uint64_t sims_before = sim_count();
+    Timer round_timer;
+    TraceRecorder::Span round_span(instr.trace, "round", "round");
+    if (instr.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = round.round;
+      start.cluster_size = records.size();
+      start.producer = producer;
+      instr.observer->OnRoundStart(start);
+    }
+
     std::vector<NodeId> new_roots;
     bool jump;
     if (config_.jump_model == JumpModel::kSampledPurity) {
@@ -93,28 +148,70 @@ FilterOutput AdaptiveLsh::Run(
                                               records.size());
     }
     if (jump) {
+      round.action = RoundAction::kPairwise;
+      round.modeled_cost = cost_model_.PairwiseCost(records.size());
+      Timer stage_timer;
       new_roots = pairwise.Apply(records, &forest);  // Line 6
+      round.pairwise_seconds = stage_timer.ElapsedSeconds();
       for (RecordId r : records) last_fn[r] = kLastFunctionPairwise;
     } else if (config_.ablate_incremental_reuse) {
+      round.action = RoundAction::kHash;
+      round.function_index = next;
+      round.modeled_cost =
+          cost_model_.HashUpgradeCost(sequence_.budget(producer),
+                                      sequence_.budget(next)) *
+          static_cast<double>(records.size());
+      Timer stage_timer;
       // Ablation: a throwaway engine recomputes every hash from scratch.
       HashEngine fresh_engine(*dataset_, sequence_.structure(), config_.seed);
       TransitiveHasher fresh_hasher(&fresh_engine, &forest, num_records,
-                                    pool.get());
+                                    pool.get(), instr);
       new_roots = fresh_hasher.Apply(records, sequence_.plan(next), next);
       ablated_hashes += fresh_engine.total_hashes_computed();
+      round.hash_seconds = stage_timer.ElapsedSeconds();
       for (RecordId r : records) last_fn[r] = next;
     } else {
+      round.action = RoundAction::kHash;
+      round.function_index = next;
+      round.modeled_cost =
+          cost_model_.HashUpgradeCost(sequence_.budget(producer),
+                                      sequence_.budget(next)) *
+          static_cast<double>(records.size());
+      Timer stage_timer;
       new_roots = hasher.Apply(records, sequence_.plan(next), next);  // Line 8
+      round.hash_seconds = stage_timer.ElapsedSeconds();
       for (RecordId r : records) last_fn[r] = next;
     }
-    ++stats.rounds;
+    finish_round(std::move(round), hashes_before, sims_before,
+                 round_timer.ElapsedSeconds(), &round_span);
     return new_roots;
   };
 
   // Line 1: H_1 on the whole dataset.
-  std::vector<NodeId> initial =
-      hasher.Apply(dataset_->AllRecordIds(), sequence_.plan(0), 0);
-  stats.rounds = 1;
+  std::vector<NodeId> initial;
+  {
+    RoundRecord round;
+    round.round = 1;
+    round.action = RoundAction::kHash;
+    round.function_index = 0;
+    round.cluster_size = num_records;
+    round.modeled_cost = cost_model_.HashCost(sequence_.budget(0)) *
+                         static_cast<double>(num_records);
+    Timer round_timer;
+    TraceRecorder::Span round_span(instr.trace, "round", "round");
+    if (instr.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = 1;
+      start.cluster_size = num_records;
+      start.producer = -1;
+      instr.observer->OnRoundStart(start);
+    }
+    Timer stage_timer;
+    initial = hasher.Apply(dataset_->AllRecordIds(), sequence_.plan(0), 0);
+    round.hash_seconds = stage_timer.ElapsedSeconds();
+    finish_round(std::move(round), /*hashes_before=*/0, /*sims_before=*/0,
+                 round_timer.ElapsedSeconds(), &round_span);
+  }
 
   std::vector<NodeId> finals;
   if (config_.selection == SelectionStrategy::kLargestFirst) {

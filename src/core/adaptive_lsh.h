@@ -9,6 +9,7 @@
 #include "core/filter_output.h"
 #include "core/function_sequence.h"
 #include "distance/rule.h"
+#include "obs/observer.h"
 #include "record/dataset.h"
 
 namespace adalsh {
@@ -60,6 +61,13 @@ struct AdaptiveLshConfig {
 
   /// Seed for all hash functions and calibration sampling.
   uint64_t seed = 1;
+
+  /// Observability sinks (obs/observer.h), borrowed for the lifetime of the
+  /// AdaptiveLsh object: trace spans per round/hash pass/P sweep, metric
+  /// counters, and Observer callbacks from the thread driving Run(). An
+  /// empty Instrumentation (the default) costs one pointer test per round.
+  /// Per-round RoundRecords land in FilterStats::round_records regardless.
+  Instrumentation instrumentation;
 };
 
 /// Adaptive LSH — Algorithm 1, the paper's primary contribution. Filters a

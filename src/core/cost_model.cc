@@ -11,6 +11,8 @@
 #include "lsh/composite_scheme.h"
 #include "lsh/hash_family.h"
 #include "lsh/weighted_field_family.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -66,9 +68,11 @@ bool CostModel::ShouldJumpToPairwiseSampled(
 }
 
 CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
-                               int samples, uint64_t seed, ThreadPool* pool) {
+                               int samples, uint64_t seed, ThreadPool* pool,
+                               Instrumentation instr) {
   ADALSH_CHECK_GT(samples, 0);
   ADALSH_CHECK_GE(dataset.num_records(), 2u);
+  TraceRecorder::Span span(instr.trace, "calibration", "calibration");
   Rng rng(DeriveSeed(seed, 0x0c057));
 
   // --- Pairwise cost: all pairs within a random pool of `samples` records.
@@ -160,6 +164,18 @@ CostModel CostModel::Calibrate(const Dataset& dataset, const MatchRule& rule,
   });
   double cost_per_hash = hash_timer.ElapsedSeconds() /
                          static_cast<double>(total_hashes);
+
+  if (instr.enabled()) {
+    span.AddArg("samples", static_cast<double>(samples));
+    span.AddArg("pair_evals", static_cast<double>(pair_evals));
+    span.AddArg("hash_evals", static_cast<double>(total_hashes));
+    if (instr.metrics != nullptr) {
+      instr.metrics->AddCounter("calibration_pair_evals", pair_evals);
+      instr.metrics->AddCounter("calibration_hash_evals", total_hashes);
+      instr.metrics->SetGauge("cost_per_hash", cost_per_hash);
+      instr.metrics->SetGauge("cost_per_pair", cost_per_pair);
+    }
+  }
   return CostModel(cost_per_hash, cost_per_pair);
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "distance/rule.h"
+#include "obs/observer.h"
 #include "record/dataset.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -56,10 +57,13 @@ class CostModel {
   /// unit costs reflect the per-thread throughput the parallel hot path will
   /// actually see (both costs scale by the same concurrency, preserving the
   /// hash/pairwise ratio Line 5 compares). The sampled records are identical
-  /// at any thread count.
+  /// at any thread count. `instr` makes the calibration observable: a
+  /// `calibration` trace span, probe-count counters and the resulting unit
+  /// costs as gauges.
   static CostModel Calibrate(const Dataset& dataset, const MatchRule& rule,
                              int samples, uint64_t seed,
-                             ThreadPool* pool = nullptr);
+                             ThreadPool* pool = nullptr,
+                             Instrumentation instr = {});
 
   /// Cost of applying a budget-b function to one record from scratch.
   double HashCost(int budget) const { return cost_per_hash_ * budget; }

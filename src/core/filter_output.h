@@ -6,17 +6,44 @@
 #include <vector>
 
 #include "clustering/clustering.h"
+#include "obs/events.h"
 
 namespace adalsh {
 
+/// Marker in per-record "last function applied" bookkeeping (AdaptiveLsh,
+/// StreamingAdaptiveLsh) for records whose last treatment was the exact
+/// pairwise function P — Definition 3's n_P bucket.
+inline constexpr int kLastFunctionPairwise = -2;
+
 /// Execution accounting shared by all filtering methods (adaLSH, LSH-X,
-/// LSH-X-nP, Pairs). Times are wall-clock; counters feed the Definition 3
-/// cost expression sum_i n_i * cost_i + n_P * cost_P.
+/// LSH-X-nP, Pairs, streaming). Times are wall-clock; counters feed the
+/// Definition 3 cost expression sum_i n_i * cost_i + n_P * cost_P.
+///
+/// Field invariants — identical across every method, asserted in
+/// tests/filter_stats_test.cc:
+///
+///   * rounds == round_records.size(). A "round" is one application of a
+///     hashing function or of P to one record set: AdaptiveLsh counts the
+///     initial H_1 pass plus every Algorithm 1 loop iteration; LSH-X counts
+///     its stage-1 hash pass plus one round per P verification; LSH-X-nP and
+///     Pairs count exactly 1; a streaming TopK counts only the refinement
+///     rounds it ran itself (0 when every cluster was already verified).
+///   * sum over round_records of hashes_computed == hashes_computed, and of
+///     pairwise_similarities == pairwise_similarities: all work is performed
+///     inside some round, and the per-round counters are exact deltas of the
+///     same sources as the totals.
+///   * records_last_hashed_at.size() == number of hashing functions the
+///     method can apply: the sequence length L for adaLSH/streaming, 1 for
+///     LSH-X/LSH-X-nP, 0 for Pairs (which has none).
+///   * sum(records_last_hashed_at) + records_finished_by_pairwise == number
+///     of records treated (the dataset size for batch methods, num_added()
+///     for streaming): every treated record is counted exactly once, under
+///     the last function applied to it.
 struct FilterStats {
   /// Wall-clock seconds of the filtering stage (the paper's Execution Time).
   double filtering_seconds = 0.0;
 
-  /// Rounds of Algorithm 1's main loop (1 for the non-adaptive methods).
+  /// Rounds executed (see the invariants above).
   size_t rounds = 0;
 
   /// Rule evaluations performed by P invocations (n_P).
@@ -34,6 +61,12 @@ struct FilterStats {
   /// The Definition 3 cost of the run under the method's cost model
   /// (0 when the method used no model).
   double modeled_cost = 0.0;
+
+  /// Per-round accounting, in execution order (obs/events.h). Always
+  /// populated — collection is a handful of counter/clock reads per round —
+  /// and the substrate of the obs run report's modeled-vs-measured cost
+  /// diagnostics.
+  std::vector<RoundRecord> round_records;
 };
 
 /// Result of a filtering method: the requested clusters, ranked by

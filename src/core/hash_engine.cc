@@ -1,6 +1,8 @@
 #include "core/hash_engine.h"
 
 #include "lsh/weighted_field_family.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
 #include "util/rng.h"
 
@@ -42,10 +44,22 @@ void HashEngine::PreparePlan(const SchemePlan& plan) {
 void HashEngine::EnsureHashesParallel(std::span<const RecordId> records,
                                       const SchemePlan& plan,
                                       ThreadPool* pool) {
+  const bool observed = instr_.enabled();
+  const uint64_t hashes_before = observed ? total_hashes_computed() : 0;
+  TraceRecorder::Span span(instr_.trace, "hash_pass", "hash");
   PreparePlan(plan);
   ParallelFor(pool, records.size(), [&](size_t begin, size_t end) {
     for (size_t i = begin; i < end; ++i) EnsureHashes(records[i], plan);
   });
+  if (observed) {
+    const uint64_t hashes = total_hashes_computed() - hashes_before;
+    span.AddArg("records", static_cast<double>(records.size()));
+    span.AddArg("hashes", static_cast<double>(hashes));
+    if (instr_.metrics != nullptr) {
+      instr_.metrics->AddCounter("hashes_computed", hashes);
+      instr_.metrics->AddCounter("hash_passes", 1);
+    }
+  }
 }
 
 uint64_t HashEngine::TableKey(RecordId r, const TablePlan& table) const {

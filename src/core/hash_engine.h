@@ -7,6 +7,7 @@
 
 #include "lsh/composite_scheme.h"
 #include "lsh/hash_cache.h"
+#include "obs/observer.h"
 #include "record/dataset.h"
 #include "util/thread_pool.h"
 
@@ -52,6 +53,12 @@ class HashEngine {
   /// Total raw hash evaluations across all units (cost accounting).
   uint64_t total_hashes_computed() const;
 
+  /// Attaches observability sinks: EnsureHashesParallel emits a `hash_pass`
+  /// trace span and a `hashes_computed` counter delta. Callers that drive
+  /// EnsureHashes through their own loops (TransitiveHasher) report at their
+  /// level instead, so counters are never double-counted.
+  void set_instrumentation(Instrumentation instr) { instr_ = instr; }
+
   const RuleHashStructure& structure() const { return structure_; }
   const Dataset& dataset() const { return *dataset_; }
 
@@ -59,6 +66,7 @@ class HashEngine {
   const Dataset* dataset_;
   RuleHashStructure structure_;
   std::vector<HashCache> caches_;  // one per unit
+  Instrumentation instr_;
 };
 
 }  // namespace adalsh

@@ -6,6 +6,8 @@
 #include "core/hash_engine.h"
 #include "core/pairwise.h"
 #include "core/transitive_hash_function.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -29,21 +31,61 @@ LshBlocking::LshBlocking(const Dataset& dataset, const MatchRule& rule,
 FilterOutput LshBlocking::Run(int k) {
   ADALSH_CHECK_GE(k, 1);
   const size_t num_records = dataset_->num_records();
+  const Instrumentation instr = config_.instrumentation;
 
   Timer timer;
   ParentPointerForest forest;
   ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, structure_, config_.seed);
-  TransitiveHasher hasher(&engine, &forest, num_records, pool.get());
-  PairwiseComputer pairwise(*dataset_, rule_, pool.get());
+  TransitiveHasher hasher(&engine, &forest, num_records, pool.get(), instr);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr);
 
   FilterStats stats;
   stats.records_last_hashed_at.assign(1, num_records);
 
+  // Closes out a round against the exact counter sources (see the
+  // round_records invariants in filter_output.h).
+  auto finish_round = [&](RoundRecord round, uint64_t hashes_before,
+                          uint64_t sims_before, double wall_seconds) {
+    round.hashes_computed = engine.total_hashes_computed() - hashes_before;
+    round.pairwise_similarities =
+        pairwise.total_similarities() - sims_before;
+    round.wall_seconds = wall_seconds;
+    ++stats.rounds;
+    if (instr.metrics != nullptr) {
+      instr.metrics->AddCounter("rounds", 1);
+      instr.metrics->RecordValue("round_cluster_size",
+                                 static_cast<double>(round.cluster_size));
+      instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+    }
+    stats.round_records.push_back(round);
+    if (instr.observer != nullptr) {
+      instr.observer->OnRoundEnd(stats.round_records.back());
+    }
+  };
+
   // Stage 1: apply all X hash functions to every record.
-  std::vector<NodeId> roots =
-      hasher.Apply(dataset_->AllRecordIds(), plan_, 0);
-  stats.rounds = 1;
+  std::vector<NodeId> roots;
+  {
+    RoundRecord round;
+    round.round = 1;
+    round.action = RoundAction::kHash;
+    round.function_index = 0;
+    round.cluster_size = num_records;
+    Timer round_timer;
+    TraceRecorder::Span round_span(instr.trace, "round", "round");
+    if (instr.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = 1;
+      start.cluster_size = num_records;
+      start.producer = -1;
+      instr.observer->OnRoundStart(start);
+    }
+    roots = hasher.Apply(dataset_->AllRecordIds(), plan_, 0);
+    round.hash_seconds = round_timer.ElapsedSeconds();
+    finish_round(std::move(round), /*hashes_before=*/0, /*sims_before=*/0,
+                 round_timer.ElapsedSeconds());
+  }
 
   std::vector<NodeId> finals;
   if (!config_.apply_pairwise) {
@@ -65,9 +107,32 @@ FilterOutput LshBlocking::Run(int k) {
         continue;
       }
       std::vector<RecordId> records = forest.Leaves(root);
+      // Verified records move from the H_1 bucket of Definition 3's
+      // accounting to the P bucket — each record is counted exactly once,
+      // under the last function applied to it.
+      ADALSH_CHECK_GE(stats.records_last_hashed_at[0], records.size());
+      stats.records_last_hashed_at[0] -= records.size();
       stats.records_finished_by_pairwise += records.size();
+
+      RoundRecord round;
+      round.round = stats.rounds + 1;
+      round.action = RoundAction::kPairwise;
+      round.cluster_size = records.size();
+      const uint64_t hashes_before = engine.total_hashes_computed();
+      const uint64_t sims_before = pairwise.total_similarities();
+      Timer round_timer;
+      TraceRecorder::Span round_span(instr.trace, "round", "round");
+      if (instr.observer != nullptr) {
+        RoundStartInfo start;
+        start.round = round.round;
+        start.cluster_size = records.size();
+        start.producer = 0;
+        instr.observer->OnRoundStart(start);
+      }
       std::vector<NodeId> verified = pairwise.Apply(records, &forest);
-      ++stats.rounds;
+      round.pairwise_seconds = round_timer.ElapsedSeconds();
+      finish_round(std::move(round), hashes_before, sims_before,
+                   round_timer.ElapsedSeconds());
       for (NodeId v : verified) bins.Insert(v, forest.LeafCount(v));
     }
   }

@@ -6,6 +6,7 @@
 #include "core/filter_output.h"
 #include "core/scheme_optimizer.h"
 #include "distance/rule.h"
+#include "obs/observer.h"
 #include "record/dataset.h"
 
 namespace adalsh {
@@ -29,6 +30,10 @@ struct LshBlockingConfig {
   int threads = 0;
 
   uint64_t seed = 1;
+
+  /// Observability sinks (obs/observer.h); same contract as
+  /// AdaptiveLshConfig::instrumentation.
+  Instrumentation instrumentation;
 };
 
 /// The traditional LSH blocking approach adapted to top-k filtering, with the

@@ -4,6 +4,8 @@
 
 #include "clustering/bin_index.h"
 #include "core/pairwise.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
@@ -11,8 +13,8 @@
 namespace adalsh {
 
 PairsBaseline::PairsBaseline(const Dataset& dataset, const MatchRule& rule,
-                             int threads)
-    : dataset_(&dataset), rule_(rule), threads_(threads) {
+                             int threads, Instrumentation instr)
+    : dataset_(&dataset), rule_(rule), threads_(threads), instr_(instr) {
   Status valid = rule.Validate(dataset.record(0));
   ADALSH_CHECK(valid.ok()) << valid.ToString();
 }
@@ -22,9 +24,29 @@ FilterOutput PairsBaseline::Run(int k) {
   Timer timer;
   ScopedThreadPool pool(threads_);
   ParentPointerForest forest;
-  PairwiseComputer pairwise(*dataset_, rule_, pool.get());
-  std::vector<NodeId> roots =
-      pairwise.Apply(dataset_->AllRecordIds(), &forest);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr_);
+
+  // The single round: P over the whole dataset.
+  RoundRecord round;
+  round.round = 1;
+  round.action = RoundAction::kPairwise;
+  round.cluster_size = dataset_->num_records();
+  Timer round_timer;
+  std::vector<NodeId> roots;
+  {
+    TraceRecorder::Span round_span(instr_.trace, "round", "round");
+    if (instr_.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = 1;
+      start.cluster_size = dataset_->num_records();
+      start.producer = -1;
+      instr_.observer->OnRoundStart(start);
+    }
+    roots = pairwise.Apply(dataset_->AllRecordIds(), &forest);
+  }
+  round.pairwise_similarities = pairwise.total_similarities();
+  round.wall_seconds = round_timer.ElapsedSeconds();
+  round.pairwise_seconds = round.wall_seconds;
 
   BinIndex bins(dataset_->num_records());
   for (NodeId root : roots) bins.Insert(root, forest.LeafCount(root));
@@ -39,7 +61,19 @@ FilterOutput PairsBaseline::Run(int k) {
   output.stats.filtering_seconds = timer.ElapsedSeconds();
   output.stats.rounds = 1;
   output.stats.pairwise_similarities = pairwise.total_similarities();
+  // Pairs has no hashing functions: records_last_hashed_at stays empty and
+  // every record finishes under P (invariants in filter_output.h).
   output.stats.records_finished_by_pairwise = dataset_->num_records();
+  output.stats.round_records.push_back(round);
+  if (instr_.observer != nullptr) {
+    instr_.observer->OnRoundEnd(output.stats.round_records.back());
+  }
+  if (instr_.metrics != nullptr) {
+    instr_.metrics->AddCounter("rounds", 1);
+    instr_.metrics->RecordValue("round_cluster_size",
+                                static_cast<double>(round.cluster_size));
+    instr_.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+  }
   return output;
 }
 

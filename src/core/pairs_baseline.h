@@ -3,6 +3,7 @@
 
 #include "core/filter_output.h"
 #include "distance/rule.h"
+#include "obs/observer.h"
 #include "record/dataset.h"
 
 namespace adalsh {
@@ -20,7 +21,7 @@ class PairsBaseline {
   /// 0 = the global pool, N > 1 = a private pool of N workers. Output is
   /// byte-identical at any setting.
   PairsBaseline(const Dataset& dataset, const MatchRule& rule,
-                int threads = 1);
+                int threads = 1, Instrumentation instr = {});
 
   PairsBaseline(const PairsBaseline&) = delete;
   PairsBaseline& operator=(const PairsBaseline&) = delete;
@@ -32,6 +33,7 @@ class PairsBaseline {
   const Dataset* dataset_;
   MatchRule rule_;
   int threads_;
+  Instrumentation instr_;
 };
 
 }  // namespace adalsh

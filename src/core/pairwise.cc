@@ -5,7 +5,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace adalsh {
 namespace {
@@ -26,16 +29,22 @@ enum : uint8_t { kSkipped = 0, kNoMatch = 1, kMatched = 2 };
 }  // namespace
 
 PairwiseComputer::PairwiseComputer(const Dataset& dataset,
-                                   const MatchRule& rule, ThreadPool* pool)
+                                   const MatchRule& rule, ThreadPool* pool,
+                                   Instrumentation instr)
     : dataset_(&dataset),
       rule_(&rule),
       cache_(dataset),
       evaluator_(rule, cache_),
-      pool_(pool) {}
+      pool_(pool),
+      instr_(instr) {}
 
 std::vector<NodeId> PairwiseComputer::Apply(
     const std::vector<RecordId>& records, ParentPointerForest* forest) {
   ADALSH_CHECK(forest != nullptr);
+  const bool observed = instr_.enabled();
+  const uint64_t similarities_before = total_similarities_;
+  Timer timer;  // read only when observed
+  TraceRecorder::Span span(instr_.trace, "pairwise_sweep", "pairwise");
   // Every record starts in its own tree.
   std::vector<NodeId> leaf_of(records.size());
   for (size_t i = 0; i < records.size(); ++i) {
@@ -51,6 +60,26 @@ std::vector<NodeId> PairwiseComputer::Apply(
   for (NodeId leaf : leaf_of) {
     NodeId root = forest->FindRoot(leaf);
     if (seen.insert(root).second) roots.push_back(root);
+  }
+  if (observed) {
+    const uint64_t similarities = total_similarities_ - similarities_before;
+    span.AddArg("records", static_cast<double>(records.size()));
+    span.AddArg("similarities", static_cast<double>(similarities));
+    span.AddArg("clusters_out", static_cast<double>(roots.size()));
+    if (instr_.metrics != nullptr) {
+      instr_.metrics->AddCounter("pairwise_similarities", similarities);
+      instr_.metrics->AddCounter("pairwise_batches", 1);
+      instr_.metrics->RecordValue("pairwise_batch_records",
+                                  static_cast<double>(records.size()));
+    }
+    if (instr_.observer != nullptr) {
+      PairwiseBatchInfo info;
+      info.records = records.size();
+      info.similarities = similarities;
+      info.clusters_out = roots.size();
+      info.seconds = timer.ElapsedSeconds();
+      instr_.observer->OnPairwiseBatch(info);
+    }
   }
   return roots;
 }

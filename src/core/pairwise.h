@@ -8,6 +8,7 @@
 #include "distance/feature_cache.h"
 #include "distance/rule.h"
 #include "distance/rule_evaluator.h"
+#include "obs/observer.h"
 #include "record/dataset.h"
 #include "util/thread_pool.h"
 
@@ -37,9 +38,13 @@ class PairwiseComputer {
  public:
   /// `pool` (borrowed, may be null) runs the tile evaluations; null means
   /// strictly serial. The dataset must outlive the computer and be fully
-  /// built (the FeatureCache holds pointers into its records).
+  /// built (the FeatureCache holds pointers into its records). `instr`
+  /// attaches observability sinks: each Apply emits a `pairwise_sweep` trace
+  /// span, an Observer::OnPairwiseBatch event and metric counters. With the
+  /// default (empty) instrumentation the only cost is one boolean test per
+  /// Apply — nothing per pair.
   PairwiseComputer(const Dataset& dataset, const MatchRule& rule,
-                   ThreadPool* pool = nullptr);
+                   ThreadPool* pool = nullptr, Instrumentation instr = {});
 
   PairwiseComputer(const PairwiseComputer&) = delete;
   PairwiseComputer& operator=(const PairwiseComputer&) = delete;
@@ -79,6 +84,7 @@ class PairwiseComputer {
   FeatureCache cache_;
   RuleEvaluator evaluator_;
   ThreadPool* pool_;
+  Instrumentation instr_;
   uint64_t total_similarities_ = 0;
 };
 

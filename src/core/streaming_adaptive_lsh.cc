@@ -5,6 +5,8 @@
 
 #include "clustering/bin_index.h"
 #include "clustering/clustering.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
 #include "util/timer.h"
 
@@ -25,13 +27,16 @@ StreamingAdaptiveLsh::StreamingAdaptiveLsh(const Dataset& dataset,
       }()),
       cost_model_(CostModel::Calibrate(dataset, rule,
                                        config.calibration_samples,
-                                       config.seed, pool_.get())),
+                                       config.seed, pool_.get(),
+                                       config.instrumentation)),
       engine_(dataset, sequence_.structure(), config.seed),
-      hasher_(&engine_, &forest_, dataset.num_records(), pool_.get()),
-      pairwise_(dataset, rule, pool_.get()) {
+      hasher_(&engine_, &forest_, dataset.num_records(), pool_.get(),
+              config.instrumentation),
+      pairwise_(dataset, rule, pool_.get(), config.instrumentation) {
   cost_model_.set_pairwise_noise_factor(config.pairwise_noise_factor);
   level1_tables_.resize(sequence_.plan(0).tables.size());
   leaf_of_.assign(dataset.num_records(), kInvalidNode);
+  last_fn_.assign(dataset.num_records(), 0);
 }
 
 void StreamingAdaptiveLsh::ReindexLeaves(NodeId root) {
@@ -44,6 +49,7 @@ void StreamingAdaptiveLsh::Add(RecordId r) {
   ADALSH_CHECK_EQ(leaf_of_[r], kInvalidNode) << "record added twice";
   const SchemePlan& plan = sequence_.plan(0);
   engine_.EnsureHashes(r, plan);
+  last_fn_[r] = 0;  // arrival evidence is level-1 only
   ++num_added_;
 
   bool merged_any = false;
@@ -99,8 +105,8 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
     }
   }
 
+  const Instrumentation instr = config_.instrumentation;
   FilterStats stats;
-  stats.records_last_hashed_at.assign(sequence_.size(), 0);
   uint64_t sims_before = pairwise_.total_similarities();
   uint64_t hashes_before = engine_.total_hashes_computed();
 
@@ -114,15 +120,59 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
     }
     std::vector<RecordId> records = forest_.Leaves(root);
     int next = producer + 1;
+
+    RoundRecord round;
+    round.round = stats.rounds + 1;
+    round.cluster_size = records.size();
+    const uint64_t round_hashes_before = engine_.total_hashes_computed();
+    const uint64_t round_sims_before = pairwise_.total_similarities();
+    Timer round_timer;
+    TraceRecorder::Span round_span(instr.trace, "round", "round");
+    if (instr.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = round.round;
+      start.cluster_size = records.size();
+      start.producer = producer;
+      instr.observer->OnRoundStart(start);
+    }
+
     std::vector<NodeId> new_roots;
     if (cost_model_.ShouldJumpToPairwise(sequence_.budget(producer),
                                          sequence_.budget(next),
                                          records.size())) {
+      round.action = RoundAction::kPairwise;
+      round.modeled_cost = cost_model_.PairwiseCost(records.size());
       new_roots = pairwise_.Apply(records, &forest_);
+      round.pairwise_seconds = round_timer.ElapsedSeconds();
+      for (RecordId r : records) last_fn_[r] = kLastFunctionPairwise;
     } else {
+      round.action = RoundAction::kHash;
+      round.function_index = next;
+      round.modeled_cost =
+          cost_model_.HashUpgradeCost(sequence_.budget(producer),
+                                      sequence_.budget(next)) *
+          static_cast<double>(records.size());
       new_roots = hasher_.Apply(records, sequence_.plan(next), next);
+      round.hash_seconds = round_timer.ElapsedSeconds();
+      for (RecordId r : records) last_fn_[r] = next;
     }
+    round.hashes_computed =
+        engine_.total_hashes_computed() - round_hashes_before;
+    round.pairwise_similarities =
+        pairwise_.total_similarities() - round_sims_before;
+    round.wall_seconds = round_timer.ElapsedSeconds();
     ++stats.rounds;
+    if (instr.metrics != nullptr) {
+      instr.metrics->AddCounter("rounds", 1);
+      instr.metrics->RecordValue("round_cluster_size",
+                                 static_cast<double>(round.cluster_size));
+      instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+    }
+    stats.round_records.push_back(round);
+    if (instr.observer != nullptr) {
+      instr.observer->OnRoundEnd(stats.round_records.back());
+    }
+
     for (NodeId new_root : new_roots) {
       // Track the new leaves so future arrivals and TopK calls resolve the
       // current cluster of every record.
@@ -137,6 +187,21 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
   stats.filtering_seconds = timer.ElapsedSeconds();
   stats.pairwise_similarities = pairwise_.total_similarities() - sims_before;
   stats.hashes_computed = engine_.total_hashes_computed() - hashes_before;
+  // Definition 3 snapshot over every added record: each is counted exactly
+  // once, under the last function applied to it (filter_output.h invariants).
+  stats.records_last_hashed_at.assign(sequence_.size(), 0);
+  for (RecordId r = 0; r < leaf_of_.size(); ++r) {
+    if (leaf_of_[r] == kInvalidNode) continue;
+    if (last_fn_[r] == kLastFunctionPairwise) {
+      ++stats.records_finished_by_pairwise;
+    } else {
+      ++stats.records_last_hashed_at[last_fn_[r]];
+    }
+  }
+  stats.modeled_cost =
+      cost_model_.cost_per_hash() * static_cast<double>(stats.hashes_computed) +
+      cost_model_.cost_per_pair() *
+          static_cast<double>(stats.pairwise_similarities);
   output.stats = std::move(stats);
   return output;
 }

@@ -98,6 +98,12 @@ class StreamingAdaptiveLsh {
 
   /// Record -> its current leaf node (kInvalidNode until added).
   std::vector<NodeId> leaf_of_;
+
+  /// Record -> sequence index of the last function applied to it (0 on Add,
+  /// updated by TopK refinement rounds, kLastFunctionPairwise once P treated
+  /// it). Only meaningful for added records; feeds the Definition 3
+  /// records_last_hashed_at accounting of every TopK call.
+  std::vector<int> last_fn_;
   size_t num_added_ = 0;
 
   /// Cumulative stream statistics (hashes are tracked by the engine).

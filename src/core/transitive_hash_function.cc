@@ -5,7 +5,10 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace adalsh {
 namespace {
@@ -19,8 +22,9 @@ constexpr size_t kKeyBlock = 8192;
 
 TransitiveHasher::TransitiveHasher(HashEngine* engine,
                                    ParentPointerForest* forest,
-                                   size_t num_records, ThreadPool* pool)
-    : engine_(engine), forest_(forest), pool_(pool) {
+                                   size_t num_records, ThreadPool* pool,
+                                   Instrumentation instr)
+    : engine_(engine), forest_(forest), pool_(pool), instr_(instr) {
   ADALSH_CHECK(engine != nullptr && forest != nullptr);
   leaf_of_.assign(num_records, kInvalidNode);
   leaf_epoch_.assign(num_records, 0);
@@ -31,6 +35,11 @@ std::vector<NodeId> TransitiveHasher::Apply(
     int producer) {
   ++epoch_;
   ADALSH_CHECK_NE(epoch_, 0u) << "epoch counter wrapped";
+
+  const bool observed = instr_.enabled();
+  const uint64_t hashes_before = engine_->total_hashes_computed();
+  Timer timer;  // read only when observed
+  TraceRecorder::Span span(instr_.trace, "hash_pass", "hash");
 
   // Fresh tables for this invocation; buckets remember only the last-added
   // record (Appendix B.2).
@@ -64,6 +73,8 @@ std::vector<NodeId> TransitiveHasher::Apply(
 
     // Stateful merge over precomputed keys: strictly serial, in record order,
     // so any thread count reproduces the single-threaded forest exactly.
+    TraceRecorder::Span merge_span(instr_.trace, "merge", "hash");
+    merge_span.AddArg("records", static_cast<double>(count));
     for (size_t i = 0; i < count; ++i) {
       RecordId r = block[i];
       for (size_t t = 0; t < num_tables; ++t) {
@@ -112,6 +123,29 @@ std::vector<NodeId> TransitiveHasher::Apply(
     ADALSH_CHECK(has_leaf(r));
     NodeId root = forest_->FindRoot(leaf_of_[r]);
     if (seen.insert(root).second) roots.push_back(root);
+  }
+
+  if (observed) {
+    const uint64_t hashes = engine_->total_hashes_computed() - hashes_before;
+    span.AddArg("function_index", static_cast<double>(producer));
+    span.AddArg("records", static_cast<double>(records.size()));
+    span.AddArg("hashes", static_cast<double>(hashes));
+    span.AddArg("clusters_out", static_cast<double>(roots.size()));
+    if (instr_.metrics != nullptr) {
+      instr_.metrics->AddCounter("hashes_computed", hashes);
+      instr_.metrics->AddCounter("hash_passes", 1);
+      instr_.metrics->RecordValue("hash_pass_records",
+                                  static_cast<double>(records.size()));
+    }
+    if (instr_.observer != nullptr) {
+      FunctionApplyInfo info;
+      info.function_index = producer;
+      info.records = records.size();
+      info.hashes_computed = hashes;
+      info.clusters_out = roots.size();
+      info.seconds = timer.ElapsedSeconds();
+      instr_.observer->OnFunctionApplied(info);
+    }
   }
   return roots;
 }

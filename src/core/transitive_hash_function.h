@@ -7,6 +7,7 @@
 #include "clustering/parent_pointer_forest.h"
 #include "core/hash_engine.h"
 #include "lsh/composite_scheme.h"
+#include "obs/observer.h"
 
 namespace adalsh {
 
@@ -30,9 +31,14 @@ namespace adalsh {
 /// thread count.
 class TransitiveHasher {
  public:
-  /// `pool` may be null for strictly serial execution.
+  /// `pool` may be null for strictly serial execution. `instr` attaches
+  /// observability sinks: each Apply emits a `hash_pass` trace span (plus a
+  /// `merge` span per serial merge block), an Observer::OnFunctionApplied
+  /// event and metric counters; empty instrumentation costs one boolean test
+  /// per Apply.
   TransitiveHasher(HashEngine* engine, ParentPointerForest* forest,
-                   size_t num_records, ThreadPool* pool = nullptr);
+                   size_t num_records, ThreadPool* pool = nullptr,
+                   Instrumentation instr = {});
 
   TransitiveHasher(const TransitiveHasher&) = delete;
   TransitiveHasher& operator=(const TransitiveHasher&) = delete;
@@ -49,6 +55,7 @@ class TransitiveHasher {
   HashEngine* engine_;
   ParentPointerForest* forest_;
   ThreadPool* pool_;
+  Instrumentation instr_;
   std::vector<NodeId> leaf_of_;      // valid when leaf_epoch_[r] == epoch_
   std::vector<uint32_t> leaf_epoch_;
   std::vector<uint64_t> key_block_;  // reused per-block key buffer

@@ -1,0 +1,59 @@
+#ifndef ADALSH_OBS_EVENTS_H_
+#define ADALSH_OBS_EVENTS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adalsh {
+
+/// What a round of Algorithm 1's loop (or a non-adaptive method's stage) did
+/// to the cluster it treated.
+enum class RoundAction {
+  kHash,      // applied the next transitive hashing function H_i
+  kPairwise,  // applied the exact pairwise function P
+};
+
+/// Per-round accounting record kept in FilterStats::round_records — one per
+/// FilterStats::rounds, in execution order. Counters are exact deltas of the
+/// same sources as the run totals, so summing a field over all records
+/// reproduces the corresponding total (asserted in tests; see the invariants
+/// in core/filter_output.h).
+struct RoundRecord {
+  /// 1-based round index (matches its position in round_records).
+  size_t round = 0;
+
+  RoundAction action = RoundAction::kHash;
+
+  /// Sequence index of the applied function for kHash; -1 for kPairwise.
+  int function_index = -1;
+
+  /// Records in the cluster this round treated.
+  size_t cluster_size = 0;
+
+  /// Raw LSH hash evaluations performed by this round.
+  uint64_t hashes_computed = 0;
+
+  /// Rule evaluations performed by this round (P sweeps and, for the
+  /// sampled-purity jump model, the in-cluster sampling probes).
+  uint64_t pairwise_similarities = 0;
+
+  /// Wall-clock seconds of the whole round, and of its hashing / pairwise
+  /// stage (the remainder is selection + merge bookkeeping).
+  double wall_seconds = 0.0;
+  double hash_seconds = 0.0;
+  double pairwise_seconds = 0.0;
+
+  /// What the method's cost model predicted this round would cost, in the
+  /// model's unit (seconds, since unit costs are calibrated in seconds).
+  /// 0 when the method ran without a model (LSH-X, Pairs).
+  double modeled_cost = 0.0;
+
+  /// Measured minus modeled cost — the per-round diagnostic of how far
+  /// Definition 3's accounting is from wall-clock reality. Meaningful only
+  /// when modeled_cost is nonzero.
+  double CostDelta() const { return wall_seconds - modeled_cost; }
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_EVENTS_H_

@@ -1,0 +1,145 @@
+#ifndef ADALSH_OBS_JSON_WRITER_H_
+#define ADALSH_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace adalsh {
+
+/// Streaming JSON writer shared by the observability exporters (Chrome
+/// traces, run reports) and the bench baselines (BENCH_*.json): comma
+/// placement and nesting are tracked so call sites read like the document.
+/// No dependencies, no DOM — every emitter writes a few thousand values at
+/// most. Promoted from bench/bench_util.h when the obs layer grew its own
+/// exporters.
+///
+/// Usage:
+///   JsonWriter json;
+///   json.BeginObject().Key("threads").Int(8).Key("runs").BeginArray();
+///   json.Double(0.5).Double(0.25).EndArray().EndObject();
+///   std::string doc = json.TakeString();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject() { return OpenScope('{'); }
+  JsonWriter& EndObject() { return CloseScope('}'); }
+  JsonWriter& BeginArray() { return OpenScope('['); }
+  JsonWriter& EndArray() { return CloseScope(']'); }
+
+  /// Emits `"name":`; the next call must produce the value.
+  JsonWriter& Key(const std::string& name) {
+    Separate();
+    Escaped(name);
+    out_ += ':';
+    after_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    Separate();
+    Escaped(value);
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& Uint(uint64_t value) {
+    Separate();
+    out_ += std::to_string(value);
+    return *this;
+  }
+
+  JsonWriter& Bool(bool value) {
+    Separate();
+    out_ += value ? "true" : "false";
+    return *this;
+  }
+
+  /// %.17g round-trips every double; non-finite values have no JSON
+  /// representation and are emitted as null.
+  JsonWriter& Double(double value) {
+    Separate();
+    if (std::isfinite(value)) {
+      char buffer[32];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+      out_ += buffer;
+    } else {
+      out_ += "null";
+    }
+    return *this;
+  }
+
+  /// The finished document. All scopes must be closed.
+  std::string TakeString() {
+    ADALSH_CHECK(scopes_.empty()) << "unclosed JSON scope";
+    out_ += '\n';
+    return std::move(out_);
+  }
+
+ private:
+  JsonWriter& OpenScope(char open) {
+    Separate();
+    out_ += open;
+    scopes_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& CloseScope(char close) {
+    ADALSH_CHECK(!scopes_.empty()) << "unbalanced JSON scope";
+    ADALSH_CHECK(!after_key_) << "JSON key without a value";
+    scopes_.pop_back();
+    out_ += close;
+    return *this;
+  }
+
+  // Writes the separating comma for the second and later items of the
+  // enclosing scope; a value directly after Key() never separates.
+  void Separate() {
+    if (after_key_) {
+      after_key_ = false;
+      return;
+    }
+    if (!scopes_.empty()) {
+      if (scopes_.back()) out_ += ',';
+      scopes_.back() = true;
+    }
+  }
+
+  void Escaped(const std::string& text) {
+    out_ += '"';
+    for (char c : text) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buffer[8];
+            std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+            out_ += buffer;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> scopes_;  // per open scope: "has at least one item"
+  bool after_key_ = false;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_JSON_WRITER_H_

@@ -1,0 +1,79 @@
+#include "obs/metrics_registry.h"
+
+#include <atomic>
+#include <utility>
+
+namespace adalsh {
+namespace {
+
+/// Process-unique registry ids; never reused, so thread-local shard caches
+/// keyed by id can never confuse a destroyed registry with a live one.
+std::atomic<uint64_t> g_next_registry_id{1};
+
+/// Per-thread cache of (registry id -> shard owned by that registry).
+/// Registries are few and long-lived relative to updates, so a flat vector
+/// scan beats a hash map here.
+thread_local std::vector<std::pair<uint64_t, void*>> t_shard_cache;
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : id_(g_next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() const {
+  for (const auto& [id, shard] : t_shard_cache) {
+    if (id == id_) return static_cast<Shard*>(shard);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* shard = shards_.back().get();
+  lock.unlock();
+  t_shard_cache.emplace_back(id_, shard);
+  return shard;
+}
+
+void MetricsRegistry::AddCounter(std::string_view name, uint64_t delta) {
+  Shard* shard = LocalShard();
+  std::unique_lock<std::mutex> lock(shard->mu);
+  shard->counters[std::string(name)] += delta;
+}
+
+void MetricsRegistry::SetGauge(std::string_view name, double value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  gauges_[std::string(name)] = value;
+}
+
+void MetricsRegistry::RecordValue(std::string_view name, double value) {
+  Shard* shard = LocalShard();
+  std::unique_lock<std::mutex> lock(shard->mu);
+  shard->distributions[std::string(name)].Add(value);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  // Copy the shard pointer list under the central lock, then read each
+  // shard under its own lock (shards keep their contents — snapshots are
+  // cumulative); shards are never destroyed before the registry, so the
+  // pointers stay valid.
+  std::vector<Shard*> shards;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shards.reserve(shards_.size());
+    for (const auto& shard : shards_) shards.push_back(shard.get());
+    snapshot.gauges = gauges_;
+  }
+  for (Shard* shard : shards) {
+    std::unique_lock<std::mutex> lock(shard->mu);
+    for (const auto& [name, value] : shard->counters) {
+      snapshot.counters[name] += value;
+    }
+    for (const auto& [name, stats] : shard->distributions) {
+      snapshot.distributions[name].Merge(stats);
+    }
+  }
+  return snapshot;
+}
+
+}  // namespace adalsh

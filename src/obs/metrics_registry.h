@@ -1,0 +1,84 @@
+#ifndef ADALSH_OBS_METRICS_REGISTRY_H_
+#define ADALSH_OBS_METRICS_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace adalsh {
+
+/// Point-in-time aggregation of a MetricsRegistry. Maps are ordered so
+/// exports and golden tests are deterministic.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  /// Value distributions (RunningStats merged across shards).
+  std::map<std::string, RunningStats> distributions;
+};
+
+/// Registry of named counters, gauges and value distributions shared by the
+/// filtering pipeline's instrumentation (docs/observability.md lists the
+/// metric taxonomy).
+///
+/// Thread-safety: updates go to a per-thread shard — each shard is written by
+/// exactly one thread and carries its own mutex, locked uncontended on the
+/// hot path and only ever fought over by Snapshot() — so concurrent updates
+/// from pool workers never share cache lines or spin on a central lock, and
+/// the whole scheme is TSan-clean by construction. Snapshot() locks each
+/// shard in turn and sums, so counts are exact: every update that
+/// happened-before the snapshot is included.
+///
+/// Gauges are last-write-wins and rare (configuration values, end-of-run
+/// readings); they live behind the central mutex instead of sharding, which
+/// would have no meaningful "last" across shards.
+class MetricsRegistry {
+ public:
+  MetricsRegistry();
+  ~MetricsRegistry();
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Adds `delta` to the named counter (creating it at zero).
+  void AddCounter(std::string_view name, uint64_t delta = 1);
+
+  /// Sets the named gauge to `value` (last write wins).
+  void SetGauge(std::string_view name, double value);
+
+  /// Folds `value` into the named distribution (RunningStats: count, mean,
+  /// stddev, min, max).
+  void RecordValue(std::string_view name, double value);
+
+  /// Aggregates all shards. Safe to call concurrently with updates; the
+  /// result includes every update that completed before the call.
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<std::string, uint64_t> counters;
+    std::unordered_map<std::string, RunningStats> distributions;
+  };
+
+  /// The calling thread's shard, created on first use and cached in a
+  /// thread_local keyed by the registry's process-unique id (ids are never
+  /// reused, so a stale cache entry for a destroyed registry can never be
+  /// matched by a live one).
+  Shard* LocalShard() const;
+
+  const uint64_t id_;
+  mutable std::mutex mu_;  // guards shards_ growth and gauges_
+  mutable std::vector<std::unique_ptr<Shard>> shards_;
+  std::map<std::string, double> gauges_;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_METRICS_REGISTRY_H_

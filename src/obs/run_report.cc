@@ -1,0 +1,109 @@
+#include "obs/run_report.h"
+
+#include "core/filter_output.h"
+
+namespace adalsh {
+
+void AppendMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* json) {
+  json->BeginObject().Key("counters").BeginObject();
+  for (const auto& [name, value] : snapshot.counters) {
+    json->Key(name).Uint(value);
+  }
+  json->EndObject().Key("gauges").BeginObject();
+  for (const auto& [name, value] : snapshot.gauges) {
+    json->Key(name).Double(value);
+  }
+  json->EndObject().Key("distributions").BeginObject();
+  for (const auto& [name, stats] : snapshot.distributions) {
+    json->Key(name)
+        .BeginObject()
+        .Key("count")
+        .Uint(stats.count())
+        .Key("mean")
+        .Double(stats.mean())
+        .Key("stddev")
+        .Double(stats.stddev())
+        .Key("min")
+        .Double(stats.min())
+        .Key("max")
+        .Double(stats.max())
+        .EndObject();
+  }
+  json->EndObject().EndObject();
+}
+
+std::string WriteRunReportJson(const FilterStats& stats,
+                               const RunReportOptions& options,
+                               const MetricsSnapshot* metrics) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("schema")
+      .String("adalsh-run-report-v1")
+      .Key("method")
+      .String(options.method)
+      .Key("dataset")
+      .String(options.dataset)
+      .Key("k")
+      .Int(options.k)
+      .Key("num_records")
+      .Uint(options.num_records)
+      .Key("threads")
+      .Int(options.threads);
+
+  json.Key("totals")
+      .BeginObject()
+      .Key("filtering_seconds")
+      .Double(stats.filtering_seconds)
+      .Key("rounds")
+      .Uint(stats.rounds)
+      .Key("pairwise_similarities")
+      .Uint(stats.pairwise_similarities)
+      .Key("hashes_computed")
+      .Uint(stats.hashes_computed)
+      .Key("records_finished_by_pairwise")
+      .Uint(stats.records_finished_by_pairwise)
+      .Key("modeled_cost")
+      .Double(stats.modeled_cost)
+      .EndObject();
+
+  json.Key("records_last_hashed_at").BeginArray();
+  for (size_t n : stats.records_last_hashed_at) json.Uint(n);
+  json.EndArray();
+
+  json.Key("rounds_detail").BeginArray();
+  for (const RoundRecord& record : stats.round_records) {
+    json.BeginObject()
+        .Key("round")
+        .Uint(record.round)
+        .Key("action")
+        .String(record.action == RoundAction::kPairwise ? "pairwise" : "hash")
+        .Key("function_index")
+        .Int(record.function_index)
+        .Key("cluster_size")
+        .Uint(record.cluster_size)
+        .Key("hashes_computed")
+        .Uint(record.hashes_computed)
+        .Key("pairwise_similarities")
+        .Uint(record.pairwise_similarities)
+        .Key("wall_seconds")
+        .Double(record.wall_seconds)
+        .Key("hash_seconds")
+        .Double(record.hash_seconds)
+        .Key("pairwise_seconds")
+        .Double(record.pairwise_seconds)
+        .Key("modeled_cost")
+        .Double(record.modeled_cost)
+        .Key("cost_delta")
+        .Double(record.CostDelta())
+        .EndObject();
+  }
+  json.EndArray();
+
+  if (metrics != nullptr) {
+    json.Key("metrics");
+    AppendMetricsSnapshot(*metrics, &json);
+  }
+  return json.EndObject().TakeString();
+}
+
+}  // namespace adalsh

@@ -1,0 +1,40 @@
+#ifndef ADALSH_OBS_RUN_REPORT_H_
+#define ADALSH_OBS_RUN_REPORT_H_
+
+#include <cstddef>
+#include <string>
+
+#include "obs/json_writer.h"
+#include "obs/metrics_registry.h"
+
+namespace adalsh {
+
+struct FilterStats;  // core/filter_output.h (header-only accounting struct)
+
+/// Run context stamped into the report header.
+struct RunReportOptions {
+  std::string method;   // "adalsh", "lsh", "pairs", "streaming", ...
+  std::string dataset;  // dataset name/path (may be empty)
+  int k = 0;
+  size_t num_records = 0;
+  int threads = 0;  // resolved worker-thread count (0 = global default)
+};
+
+/// Writes a MetricsSnapshot as a JSON object value ({"counters": {...},
+/// "gauges": {...}, "distributions": {...}}) into `json`, which must be
+/// positioned where a value is expected. Shared by the run report and the
+/// BENCH_*.json baselines.
+void AppendMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* json);
+
+/// The compact machine-readable run report (schema "adalsh-run-report-v1",
+/// documented in docs/observability.md): run context, FilterStats totals,
+/// one entry per round with counters/stage-times/modeled-vs-measured cost,
+/// and optionally a metrics snapshot. Per-round counters sum exactly to the
+/// totals (the invariant documented in core/filter_output.h).
+std::string WriteRunReportJson(const FilterStats& stats,
+                               const RunReportOptions& options,
+                               const MetricsSnapshot* metrics = nullptr);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_RUN_REPORT_H_

@@ -1,0 +1,147 @@
+#include "obs/trace_recorder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "obs/json_writer.h"
+#include "util/timer.h"
+
+namespace adalsh {
+
+TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+
+double TraceRecorder::NowSeconds() const {
+  return SecondsSince(std::chrono::steady_clock::now());
+}
+
+double TraceRecorder::SecondsSince(
+    std::chrono::steady_clock::time_point tp) const {
+  return std::chrono::duration<double>(tp - epoch_).count();
+}
+
+void TraceRecorder::AddSpan(SpanRecord span) {
+  std::unique_lock<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+size_t TraceRecorder::num_spans() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+std::vector<TraceRecorder::SpanRecord> TraceRecorder::Spans() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  std::vector<SpanRecord> spans = Spans();
+  // Stable export order: by start time, then lane. The format does not
+  // require it, but sorted output makes traces diffable and the nesting
+  // tests straightforward.
+  std::stable_sort(spans.begin(), spans.end(),
+                   [](const SpanRecord& a, const SpanRecord& b) {
+                     if (a.start_seconds != b.start_seconds) {
+                       return a.start_seconds < b.start_seconds;
+                     }
+                     return a.lane < b.lane;
+                   });
+  std::set<int> lanes;
+  for (const SpanRecord& span : spans) lanes.insert(span.lane);
+
+  JsonWriter json;
+  json.BeginObject().Key("displayTimeUnit").String("ms");
+  json.Key("traceEvents").BeginArray();
+  for (int lane : lanes) {
+    json.BeginObject()
+        .Key("name")
+        .String("thread_name")
+        .Key("ph")
+        .String("M")
+        .Key("pid")
+        .Int(1)
+        .Key("tid")
+        .Int(lane)
+        .Key("args")
+        .BeginObject()
+        .Key("name")
+        .String(lane == 0 ? "main" : "worker-" + std::to_string(lane))
+        .EndObject()
+        .EndObject();
+  }
+  for (const SpanRecord& span : spans) {
+    json.BeginObject()
+        .Key("name")
+        .String(span.name)
+        .Key("cat")
+        .String(span.category)
+        .Key("ph")
+        .String("X")
+        .Key("pid")
+        .Int(1)
+        .Key("tid")
+        .Int(span.lane)
+        .Key("ts")
+        .Double(span.start_seconds * 1e6)
+        .Key("dur")
+        .Double(span.duration_seconds * 1e6)
+        .Key("args")
+        .BeginObject()
+        .Key("cpu_ms")
+        .Double(span.cpu_seconds * 1e3);
+    for (const auto& [key, value] : span.args) {
+      json.Key(key).Double(value);
+    }
+    json.EndObject().EndObject();
+  }
+  json.EndArray().EndObject();
+  return json.TakeString();
+}
+
+TraceRecorder::Span::Span(TraceRecorder* recorder, const char* name,
+                          const char* category)
+    : recorder_(recorder) {
+  if (recorder_ == nullptr) return;
+  record_.name = name;
+  record_.category = category;
+  record_.lane = CurrentThreadLane();
+  record_.start_seconds = recorder_->NowSeconds();
+  cpu_start_ = Timer::ThreadCpuSeconds();
+}
+
+TraceRecorder::Span::~Span() {
+  if (recorder_ == nullptr) return;
+  record_.duration_seconds = recorder_->NowSeconds() - record_.start_seconds;
+  record_.cpu_seconds = Timer::ThreadCpuSeconds() - cpu_start_;
+  recorder_->AddSpan(std::move(record_));
+}
+
+void TraceRecorder::Span::AddArg(const char* key, double value) {
+  if (recorder_ == nullptr) return;
+  record_.args.emplace_back(key, value);
+}
+
+ScopedParallelForTrace::ScopedParallelForTrace(TraceRecorder* recorder)
+    : recorder_(recorder) {
+  if (recorder_ != nullptr) previous_ = SetParallelForTracer(this);
+}
+
+ScopedParallelForTrace::~ScopedParallelForTrace() {
+  if (recorder_ != nullptr) SetParallelForTracer(previous_);
+}
+
+void ScopedParallelForTrace::OnChunk(const ParallelForChunk& chunk) {
+  TraceRecorder::SpanRecord span;
+  span.name = "parallel_chunk";
+  span.category = "worker";
+  span.lane = chunk.lane;
+  span.start_seconds = recorder_->SecondsSince(chunk.start_time);
+  span.duration_seconds = recorder_->SecondsSince(chunk.end_time) -
+                          span.start_seconds;
+  span.cpu_seconds = chunk.cpu_seconds;
+  span.args.emplace_back("begin", static_cast<double>(chunk.begin));
+  span.args.emplace_back("end", static_cast<double>(chunk.end));
+  recorder_->AddSpan(std::move(span));
+}
+
+}  // namespace adalsh

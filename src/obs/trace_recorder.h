@@ -1,0 +1,117 @@
+#ifndef ADALSH_OBS_TRACE_RECORDER_H_
+#define ADALSH_OBS_TRACE_RECORDER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace adalsh {
+
+/// Collects timestamped spans from a filtering run and exports them as
+/// Chrome trace_event JSON, loadable in chrome://tracing or
+/// https://ui.perfetto.dev. The span taxonomy (`round`, `hash_pass`,
+/// `pairwise_sweep`, `merge`, `calibration`, `parallel_chunk`) is documented
+/// in docs/observability.md.
+///
+/// Spans are stamped with the recording thread's lane (CurrentThreadLane()),
+/// so work executed on pool workers renders as per-worker lanes, and with
+/// both wall and thread-cpu duration, so a span's parallel efficiency /
+/// scheduling delay is visible directly in the trace.
+///
+/// Thread-safety: AddSpan appends under a mutex. Spans are coarse (rounds,
+/// stage passes, ParallelFor subranges — never per pair or per hash), so the
+/// lock is uncontended in practice; hot loops stay untouched.
+class TraceRecorder {
+ public:
+  /// One completed span. Times are seconds relative to the recorder's
+  /// construction (the trace epoch).
+  struct SpanRecord {
+    std::string name;
+    std::string category;
+    double start_seconds = 0.0;
+    double duration_seconds = 0.0;
+    /// CLOCK_THREAD_CPUTIME_ID consumed by the recording thread inside the
+    /// span; cpu/wall is the span's busy fraction.
+    double cpu_seconds = 0.0;
+    int lane = 0;
+    /// Numeric annotations exported into the event's "args".
+    std::vector<std::pair<std::string, double>> args;
+  };
+
+  TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Seconds since the trace epoch.
+  double NowSeconds() const;
+
+  /// Converts a raw steady_clock point into epoch-relative seconds (used by
+  /// the ParallelFor chunk adapter, whose timestamps are taken in util).
+  double SecondsSince(std::chrono::steady_clock::time_point tp) const;
+
+  void AddSpan(SpanRecord span);
+
+  size_t num_spans() const;
+
+  /// Snapshot of all recorded spans (tests and exporters).
+  std::vector<SpanRecord> Spans() const;
+
+  /// The full trace as Chrome trace_event JSON ("X" complete events, one
+  /// lane per recording thread, thread_name metadata per lane). Timestamps
+  /// are microseconds as the format requires.
+  std::string ToChromeTraceJson() const;
+
+  /// RAII span: records wall + cpu time from construction to destruction on
+  /// the calling thread. A null recorder makes every operation a no-op, so
+  /// call sites need no branching.
+  class Span {
+   public:
+    Span(TraceRecorder* recorder, const char* name, const char* category);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attaches a numeric annotation (no-op without a recorder).
+    void AddArg(const char* key, double value);
+
+   private:
+    TraceRecorder* recorder_;
+    SpanRecord record_;
+    double cpu_start_ = 0.0;
+  };
+
+ private:
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// Installs a process-global ParallelFor tracer that records every executed
+/// subrange as a `parallel_chunk` span of `recorder`, giving parallel stages
+/// per-worker lanes in the exported trace. Restores the previously installed
+/// tracer on destruction. A null recorder installs nothing.
+class ScopedParallelForTrace : public ParallelForTracer {
+ public:
+  explicit ScopedParallelForTrace(TraceRecorder* recorder);
+  ~ScopedParallelForTrace() override;
+
+  ScopedParallelForTrace(const ScopedParallelForTrace&) = delete;
+  ScopedParallelForTrace& operator=(const ScopedParallelForTrace&) = delete;
+
+  void OnChunk(const ParallelForChunk& chunk) override;
+
+ private:
+  TraceRecorder* recorder_;
+  ParallelForTracer* previous_ = nullptr;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_TRACE_RECORDER_H_

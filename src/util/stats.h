@@ -14,6 +14,11 @@ class RunningStats {
 
   void Add(double value);
 
+  /// Folds another accumulator in, as if every sample of `other` had been
+  /// Add()ed here (Chan et al.'s parallel variance combination). Used by the
+  /// obs MetricsRegistry to aggregate per-thread shards on snapshot.
+  void Merge(const RunningStats& other);
+
   size_t count() const { return count_; }
   double mean() const { return count_ == 0 ? 0.0 : mean_; }
   /// Sample variance (n-1 denominator); 0 for fewer than two samples.

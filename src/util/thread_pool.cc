@@ -6,13 +6,56 @@
 #include <utility>
 
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace adalsh {
 namespace {
 
 thread_local bool t_inside_worker = false;
 
+std::atomic<int> g_next_lane{0};
+thread_local int t_lane = -1;
+
+std::atomic<ParallelForTracer*> g_parallel_for_tracer{nullptr};
+
+/// Runs `body(begin, end)` and reports the subrange to `tracer` (may be
+/// null). The report happens even when the body throws, so traces of failed
+/// runs still show where time went.
+void RunChunk(const std::function<void(size_t, size_t)>& body, size_t begin,
+              size_t end, ParallelForTracer* tracer) {
+  if (tracer == nullptr) {
+    body(begin, end);
+    return;
+  }
+  ParallelForChunk chunk;
+  chunk.begin = begin;
+  chunk.end = end;
+  chunk.lane = CurrentThreadLane();
+  chunk.start_time = std::chrono::steady_clock::now();
+  const double cpu_before = Timer::ThreadCpuSeconds();
+  try {
+    body(begin, end);
+  } catch (...) {
+    chunk.end_time = std::chrono::steady_clock::now();
+    chunk.cpu_seconds = Timer::ThreadCpuSeconds() - cpu_before;
+    tracer->OnChunk(chunk);
+    throw;
+  }
+  chunk.end_time = std::chrono::steady_clock::now();
+  chunk.cpu_seconds = Timer::ThreadCpuSeconds() - cpu_before;
+  tracer->OnChunk(chunk);
+}
+
 }  // namespace
+
+int CurrentThreadLane() {
+  if (t_lane < 0) t_lane = g_next_lane.fetch_add(1, std::memory_order_relaxed);
+  return t_lane;
+}
+
+ParallelForTracer* SetParallelForTracer(ParallelForTracer* tracer) {
+  return g_parallel_for_tracer.exchange(tracer, std::memory_order_acq_rel);
+}
 
 ThreadPool::ThreadPool(int num_threads) {
   int count = std::max(num_threads, 1);
@@ -66,9 +109,11 @@ int ThreadPool::HardwareConcurrency() {
 void ParallelFor(ThreadPool* pool, size_t n,
                  const std::function<void(size_t begin, size_t end)>& body) {
   if (n == 0) return;
+  ParallelForTracer* tracer =
+      g_parallel_for_tracer.load(std::memory_order_acquire);
   if (pool == nullptr || pool->num_threads() <= 1 || n < 2 ||
       ThreadPool::InsideWorker()) {
-    body(0, n);
+    RunChunk(body, 0, n, tracer);
     return;
   }
   // A few chunks per worker so uneven per-index costs (records with big
@@ -93,7 +138,7 @@ void ParallelFor(ThreadPool* pool, size_t n,
     pool->Submit([&, begin, end] {
       std::exception_ptr error;
       try {
-        body(begin, end);
+        RunChunk(body, begin, end, tracer);
       } catch (...) {
         error = std::current_exception();
       }

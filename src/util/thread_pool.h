@@ -1,6 +1,7 @@
 #ifndef ADALSH_UTIL_THREAD_POOL_H_
 #define ADALSH_UTIL_THREAD_POOL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -55,6 +56,42 @@ class ThreadPool {
   std::condition_variable cv_;
   bool stop_ = false;
 };
+
+/// Stable small integer identifying the calling thread for trace lanes:
+/// assigned on first call, never reused, distinct across all threads of the
+/// process (pool workers and external threads alike). The first caller —
+/// in practice the main thread — gets lane 0.
+int CurrentThreadLane();
+
+/// One executed ParallelFor subrange, as reported to a ParallelForTracer.
+/// Times are raw steady_clock points (the tracer owns the epoch); cpu_seconds
+/// is the worker thread's CLOCK_THREAD_CPUTIME_ID spent inside the body, so
+/// consumers can derive per-lane parallel efficiency.
+struct ParallelForChunk {
+  size_t begin = 0;
+  size_t end = 0;
+  int lane = 0;  // CurrentThreadLane() of the executing thread
+  std::chrono::steady_clock::time_point start_time;
+  std::chrono::steady_clock::time_point end_time;
+  double cpu_seconds = 0.0;
+};
+
+/// Observer of ParallelFor execution, called once per subrange *from the
+/// executing thread* (implementations must be thread-safe). Install with
+/// SetParallelForTracer; the obs layer's ScopedParallelForTrace adapts this
+/// into per-worker-lane spans of a TraceRecorder.
+class ParallelForTracer {
+ public:
+  virtual ~ParallelForTracer() = default;
+  virtual void OnChunk(const ParallelForChunk& chunk) = 0;
+};
+
+/// Installs the process-global ParallelFor tracer (nullptr uninstalls).
+/// When no tracer is installed ParallelFor pays one relaxed atomic load per
+/// call and nothing per subrange. Not intended for concurrent installation
+/// with running parallel work; returns the previously installed tracer so
+/// scoped installers can restore it.
+ParallelForTracer* SetParallelForTracer(ParallelForTracer* tracer);
 
 /// Splits [0, n) into contiguous half-open subranges, runs
 /// `body(begin, end)` for each on the pool, and blocks until every subrange

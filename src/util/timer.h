@@ -2,6 +2,7 @@
 #define ADALSH_UTIL_TIMER_H_
 
 #include <chrono>
+#include <ctime>
 
 namespace adalsh {
 
@@ -21,6 +22,22 @@ class Timer {
 
   /// Milliseconds elapsed since construction or the last Reset().
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// CPU seconds consumed by the *calling thread* so far
+  /// (CLOCK_THREAD_CPUTIME_ID). Differencing two readings around a region
+  /// gives its cpu time; comparing that against wall time exposes the
+  /// parallel efficiency of a stage (obs trace spans report both). Returns 0
+  /// on platforms without a per-thread cpu clock.
+  static double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0.0;
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+#else
+    return 0.0;
+#endif
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

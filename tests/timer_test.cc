@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
 namespace adalsh {
 namespace {
 
@@ -30,6 +34,36 @@ TEST(TimerTest, MillisMatchesSeconds) {
   double seconds = timer.ElapsedSeconds();
   double millis = timer.ElapsedMillis();
   EXPECT_GE(millis, seconds * 1e3 * 0.5);  // coarse: both sampled closely
+}
+
+TEST(TimerTest, ThreadCpuSecondsAdvancesUnderWork) {
+  double before = Timer::ThreadCpuSeconds();
+  EXPECT_GE(before, 0.0);
+  volatile double sink = 0.0;
+  for (int i = 0; i < 5000000; ++i) sink = sink + 1e-9;
+  double after = Timer::ThreadCpuSeconds();
+  // Monotone on this thread; strictly positive progress is not guaranteed on
+  // platforms where the clock is unavailable (the fallback returns 0).
+  EXPECT_GE(after, before);
+}
+
+TEST(TimerTest, ThreadCpuTracksOnlyThisThread) {
+  // A busy-spinning sibling thread must not inflate this thread's CPU clock:
+  // the calling thread sleeps, so its own CPU delta stays far below the wall
+  // time the sibling burned.
+  // (The unsupported-clock fallback returns a constant 0, which also
+  // satisfies the bound.)
+  double cpu_before = Timer::ThreadCpuSeconds();
+  std::atomic<bool> stop{false};
+  std::thread burner([&] {
+    volatile double sink = 0.0;
+    while (!stop.load(std::memory_order_relaxed)) sink = sink + 1e-9;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  stop.store(true, std::memory_order_relaxed);
+  burner.join();
+  double cpu_delta = Timer::ThreadCpuSeconds() - cpu_before;
+  EXPECT_LT(cpu_delta, 0.045);  // slept through most of the 50ms window
 }
 
 }  // namespace

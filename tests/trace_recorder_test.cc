@@ -1,0 +1,153 @@
+#include "obs/trace_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace adalsh {
+namespace {
+
+// Minimal structural JSON validator: walks the document, checking balanced
+// braces/brackets and string quoting outside of strings. Good enough to
+// catch comma/nesting bugs in the exporter without a JSON library.
+bool IsStructurallyValidJson(const std::string& doc) {
+  std::vector<char> stack;
+  bool in_string = false;
+  bool escaped = false;
+  for (char c : doc) {
+    if (in_string) {
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return stack.empty() && !in_string;
+}
+
+TEST(TraceRecorderTest, SpanRecordsWallAndArgs) {
+  TraceRecorder recorder;
+  {
+    TraceRecorder::Span span(&recorder, "round", "round");
+    span.AddArg("cluster_size", 42.0);
+  }
+  ASSERT_EQ(recorder.num_spans(), 1u);
+  TraceRecorder::SpanRecord span = recorder.Spans()[0];
+  EXPECT_EQ(span.name, "round");
+  EXPECT_EQ(span.category, "round");
+  EXPECT_GE(span.start_seconds, 0.0);
+  EXPECT_GE(span.duration_seconds, 0.0);
+  ASSERT_EQ(span.args.size(), 1u);
+  EXPECT_EQ(span.args[0].first, "cluster_size");
+  EXPECT_DOUBLE_EQ(span.args[0].second, 42.0);
+}
+
+TEST(TraceRecorderTest, NullRecorderIsNoOp) {
+  TraceRecorder::Span span(nullptr, "round", "round");
+  span.AddArg("ignored", 1.0);
+  // Nothing to assert beyond "does not crash"; the null recorder contract is
+  // what lets call sites skip branching.
+}
+
+TEST(TraceRecorderTest, ExportIsWellFormedJson) {
+  TraceRecorder recorder;
+  {
+    TraceRecorder::Span outer(&recorder, "round", "round");
+    TraceRecorder::Span inner(&recorder, "hash_pass", "hash");
+    inner.AddArg("hashes", 128.0);
+    // Names with JSON-hostile characters must be escaped by the exporter.
+    TraceRecorder::Span hostile(&recorder, "we\"ird\\name", "cat");
+  }
+  std::string doc = recorder.ToChromeTraceJson();
+  EXPECT_TRUE(IsStructurallyValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(doc.find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_NE(doc.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(doc.find("thread_name"), std::string::npos);
+  EXPECT_NE(doc.find("we\\\"ird\\\\name"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, NestedSpansAreMonotonicallyContained) {
+  // RAII spans on one thread close inner-before-outer, so in export order
+  // (sorted by start) each later span on the same lane either nests inside
+  // or starts after the earlier one — never partially overlaps.
+  TraceRecorder recorder;
+  {
+    TraceRecorder::Span round(&recorder, "round", "round");
+    { TraceRecorder::Span hash(&recorder, "hash_pass", "hash"); }
+    { TraceRecorder::Span sweep(&recorder, "pairwise_sweep", "pairwise"); }
+  }
+  std::vector<TraceRecorder::SpanRecord> spans = recorder.Spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const auto& round = spans[2];  // destroyed last, recorded last
+  EXPECT_EQ(round.name, "round");
+  for (size_t i = 0; i < 2; ++i) {
+    EXPECT_GE(spans[i].start_seconds, round.start_seconds);
+    EXPECT_LE(spans[i].start_seconds + spans[i].duration_seconds,
+              round.start_seconds + round.duration_seconds + 1e-9);
+  }
+  // The two inner spans are disjoint and in order.
+  EXPECT_LE(spans[0].start_seconds + spans[0].duration_seconds,
+            spans[1].start_seconds + 1e-9);
+}
+
+TEST(TraceRecorderTest, ParallelForChunksGetWorkerLanes) {
+  TraceRecorder recorder;
+  {
+    ScopedParallelForTrace scope(&recorder);
+    ThreadPool pool(2);
+    ParallelFor(&pool, 1000, [](size_t begin, size_t end) {
+      volatile double sink = 0.0;
+      for (size_t i = begin; i < end; ++i) sink = sink + 1e-9;
+    });
+  }
+  std::vector<TraceRecorder::SpanRecord> spans = recorder.Spans();
+  ASSERT_FALSE(spans.empty());
+  size_t covered = 0;
+  for (const auto& span : spans) {
+    EXPECT_EQ(span.name, "parallel_chunk");
+    ASSERT_EQ(span.args.size(), 2u);
+    covered += static_cast<size_t>(span.args[1].second - span.args[0].second);
+  }
+  EXPECT_EQ(covered, 1000u);  // chunks partition the range exactly
+  // The exported JSON carries a thread_name metadata record per lane.
+  std::string doc = recorder.ToChromeTraceJson();
+  EXPECT_TRUE(IsStructurallyValidJson(doc)) << doc;
+  EXPECT_NE(doc.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(TraceRecorderTest, ConcurrentAddSpanIsSafe) {
+  TraceRecorder recorder;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&recorder] {
+      for (int i = 0; i < 250; ++i) {
+        TraceRecorder::Span span(&recorder, "span", "test");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(recorder.num_spans(), 1000u);
+}
+
+}  // namespace
+}  // namespace adalsh

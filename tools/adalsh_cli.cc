@@ -5,11 +5,20 @@
 //              --rule="and(wavg(0,1;0.5,0.5;0.3), leaf(2;0.8))"
 //              --k=10 [--method=adalsh|lsh|pairs] [--lsh_x=1280]
 //              [--header] [--bk=10] [--recover] [--output=clusters.csv]
-//              [--threads=N]
+//              [--threads=N] [--trace-out=trace.json]
+//              [--stats-json=report.json]
 //
 // --threads sizes the worker pool for the hash hot path (default: hardware
 // concurrency). Results are identical at any thread count; see
 // docs/threading.md.
+//
+// --trace-out writes a Chrome trace_event JSON of the run (open in
+// chrome://tracing or https://ui.perfetto.dev): one span per round / hash
+// pass / pairwise sweep plus per-worker ParallelFor lanes. --stats-json
+// writes the machine-readable run report (schema "adalsh-run-report-v1",
+// docs/observability.md) with per-round counters and a metrics snapshot.
+// Either flag enables instrumentation; with neither, the run is
+// uninstrumented (zero overhead).
 //
 // Columns (one token per CSV column):
 //   label    record display label        entity   ground-truth key
@@ -23,6 +32,8 @@
 
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <optional>
 
 #include "core/adaptive_lsh.h"
 #include "core/lsh_blocking.h"
@@ -32,6 +43,9 @@
 #include "eval/recovery.h"
 #include "io/csv.h"
 #include "io/dataset_loader.h"
+#include "obs/metrics_registry.h"
+#include "obs/run_report.h"
+#include "obs/trace_recorder.h"
 #include "util/flags.h"
 #include "util/thread_pool.h"
 
@@ -60,6 +74,8 @@ int main(int argc, char** argv) {
   std::string output_path = flags.GetString("output", "");
   uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   int threads = static_cast<int>(flags.GetInt("threads", 0));
+  std::string trace_path = flags.GetString("trace-out", "");
+  std::string stats_json_path = flags.GetString("stats-json", "");
   flags.CheckNoUnusedFlags();
 
   if (threads < 0) return Fail("--threads must be >= 1");
@@ -90,24 +106,65 @@ int main(int argc, char** argv) {
   if (!valid.ok()) return Fail("rule does not fit the schema: " +
                                valid.ToString());
 
+  // --- Observability sinks (only when an export was requested). ---
+  const bool instrumented = !trace_path.empty() || !stats_json_path.empty();
+  std::unique_ptr<MetricsRegistry> metrics;
+  std::unique_ptr<TraceRecorder> trace;
+  std::optional<ScopedParallelForTrace> parallel_trace;
+  Instrumentation instr;
+  if (instrumented) {
+    metrics = std::make_unique<MetricsRegistry>();
+    instr.metrics = metrics.get();
+    if (!trace_path.empty()) {
+      trace = std::make_unique<TraceRecorder>();
+      instr.trace = trace.get();
+      parallel_trace.emplace(trace.get());  // per-worker ParallelFor lanes
+    }
+  }
+
   // --- Filter. ---
   FilterOutput result;
   if (method == "adalsh") {
     AdaptiveLshConfig config;
     config.seed = seed;
+    config.instrumentation = instr;
     AdaptiveLsh adalsh(dataset, *rule, config);
     result = adalsh.Run(bk);
   } else if (method == "lsh") {
     LshBlockingConfig config;
     config.num_hashes = lsh_x;
     config.seed = seed;
+    config.instrumentation = instr;
     LshBlocking blocking(dataset, *rule, config);
     result = blocking.Run(bk);
   } else if (method == "pairs") {
-    PairsBaseline pairs(dataset, *rule);
+    PairsBaseline pairs(dataset, *rule, /*threads=*/1, instr);
     result = pairs.Run(bk);
   } else {
     return Fail("unknown --method '" + method + "'");
+  }
+
+  // --- Observability exports. ---
+  parallel_trace.reset();  // stop recording before exporting
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) return Fail("cannot write " + trace_path);
+    trace_file << trace->ToChromeTraceJson();
+    std::cerr << "trace: " << trace->num_spans() << " spans -> " << trace_path
+              << "\n";
+  }
+  if (!stats_json_path.empty()) {
+    RunReportOptions report_options;
+    report_options.method = method;
+    report_options.dataset = input;
+    report_options.k = k;
+    report_options.num_records = dataset.num_records();
+    report_options.threads = threads;
+    MetricsSnapshot snapshot = metrics->Snapshot();
+    std::ofstream report_file(stats_json_path);
+    if (!report_file) return Fail("cannot write " + stats_json_path);
+    report_file << WriteRunReportJson(result.stats, report_options, &snapshot);
+    std::cerr << "run report -> " << stats_json_path << "\n";
   }
 
   Clustering clusters = result.clusters;

@@ -1,18 +1,27 @@
 #!/usr/bin/env bash
-# Smoke test for the pairwise micro-benchmark: runs the binary on a tiny
-# workload and validates that the emitted JSON baseline parses and carries
-# the schema downstream tooling greps for. Wired into ctest as `bench_smoke`.
+# Smoke test for the JSON-emitting micro-benchmarks: runs the binary on a
+# tiny workload and validates that the emitted JSON baseline parses and
+# carries the schema downstream tooling greps for. Wired into ctest as
+# `bench_smoke` (micro_pairwise) and `hashing_smoke` (micro_hashing).
 #
-# Usage: bench_smoke.sh <micro_pairwise binary> <output json path>
+# Usage: bench_smoke.sh <bench binary> <output json path> [schema keys...]
+# With no explicit keys, the micro_pairwise key list is checked.
 set -euo pipefail
 
-if [[ $# -ne 2 ]]; then
-  echo "usage: $0 <micro_pairwise binary> <output json path>" >&2
+if [[ $# -lt 2 ]]; then
+  echo "usage: $0 <bench binary> <output json path> [schema keys...]" >&2
   exit 2
 fi
 
 binary="$1"
 out="$2"
+shift 2
+keys=("$@")
+if [[ ${#keys[@]} -eq 0 ]]; then
+  keys=(benchmark workloads kernel scalar_pairs_per_second
+        cached_pairs_per_second engine threads pairs_per_second
+        total_similarities)
+fi
 
 rm -f "$out"
 "$binary" --smoke --out="$out" > /dev/null
@@ -31,9 +40,7 @@ if command -v python3 > /dev/null 2>&1; then
 fi
 
 # Schema keys the baseline consumers rely on.
-for key in benchmark workloads kernel scalar_pairs_per_second \
-           cached_pairs_per_second engine threads pairs_per_second \
-           total_similarities; do
+for key in "${keys[@]}"; do
   if ! grep -q "\"$key\"" "$out"; then
     echo "FAIL: $out lacks key \"$key\"" >&2
     exit 1

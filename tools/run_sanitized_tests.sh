@@ -8,10 +8,13 @@
 # suites while iterating:
 #
 #   tools/run_sanitized_tests.sh thread -R 'thread_pool|parallel_equivalence'
+#   tools/run_sanitized_tests.sh thread -R 'metrics_registry|trace_recorder'
 #
 # The TSan run is the certification required by docs/threading.md for any
 # change to the hash hot path (ThreadPool, HashEngine, HashCache,
-# TransitiveHashFunction, CostModel::Calibrate).
+# TransitiveHashFunction, CostModel::Calibrate) and by docs/observability.md
+# for the obs layer (MetricsRegistry shards, TraceRecorder, the ParallelFor
+# tracer hook).
 
 set -euo pipefail
 

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Smoke test for the CLI's observability exports: runs adalsh_cli with
+# --trace-out/--stats-json on a tiny synthetic dataset and validates that
+#
+#   * the trace is valid Chrome trace_event JSON with traceEvents, at least
+#     one `round` span, and per-worker thread_name lanes;
+#   * the run report is valid JSON with the adalsh-run-report-v1 schema,
+#     per-round detail, and a metrics snapshot.
+#
+# Wired into ctest as `trace_smoke` (mirrors tools/bench_smoke.sh).
+#
+# Usage: trace_smoke.sh <adalsh_cli binary> <scratch dir>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <adalsh_cli binary> <scratch dir>" >&2
+  exit 2
+fi
+
+cli="$1"
+scratch="$2"
+mkdir -p "$scratch"
+csv="$scratch/trace_smoke_records.csv"
+trace="$scratch/trace_smoke_trace.json"
+report="$scratch/trace_smoke_report.json"
+rm -f "$csv" "$trace" "$report"
+
+# Tiny synthetic dataset: a handful of planted entities (rows sharing most
+# words) plus singleton noise, enough for a few refinement rounds.
+python3 - "$csv" <<'EOF'
+import random, sys
+random.seed(42)
+vocab = [f"w{i}" for i in range(300)]
+rows = []
+for e in range(8):
+    base = random.sample(vocab, 30)
+    for r in range(random.randint(4, 12)):
+        words = list(base)
+        for _ in range(random.randint(0, 5)):
+            words[random.randrange(len(words))] = random.choice(vocab)
+        rows.append((f"e{e}", " ".join(words)))
+for s in range(40):
+    rows.append((f"s{s}", " ".join(random.sample(vocab, 30))))
+random.shuffle(rows)
+open(sys.argv[1], "w").writelines(f"{e},{t}\n" for e, t in rows)
+EOF
+
+"$cli" --input="$csv" --columns=entity,text --rule="leaf(0;0.5)" \
+       --k=5 --threads=2 --trace-out="$trace" --stats-json="$report" \
+       > /dev/null 2> "$scratch/trace_smoke_stderr.txt"
+
+for f in "$trace" "$report"; do
+  if [[ ! -s "$f" ]]; then
+    echo "FAIL: $f missing or empty" >&2
+    exit 1
+  fi
+  python3 -m json.tool "$f" > /dev/null || {
+    echo "FAIL: $f is not valid JSON" >&2
+    exit 1
+  }
+done
+
+# Trace: Chrome trace_event envelope, at least one span per taxonomy level
+# we always emit, and named lanes.
+for key in traceEvents displayTimeUnit thread_name round hash_pass; do
+  if ! grep -q "\"$key\"" "$trace"; then
+    echo "FAIL: $trace lacks \"$key\"" >&2
+    exit 1
+  fi
+done
+
+# Report: schema, totals, per-round detail, metrics snapshot — and the
+# per-round counters must sum exactly to the totals.
+for key in adalsh-run-report-v1 totals rounds_detail hashes_computed \
+           pairwise_similarities records_last_hashed_at counters; do
+  if ! grep -q "\"$key\"" "$report"; then
+    echo "FAIL: $report lacks \"$key\"" >&2
+    exit 1
+  fi
+done
+
+python3 - "$report" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+totals = report["totals"]
+rounds = report["rounds_detail"]
+assert len(rounds) == totals["rounds"], (len(rounds), totals["rounds"])
+for field in ("hashes_computed", "pairwise_similarities"):
+    per_round = sum(r[field] for r in rounds)
+    assert per_round == totals[field], (field, per_round, totals[field])
+treated = sum(report["records_last_hashed_at"]) + \
+    totals["records_finished_by_pairwise"]
+assert treated == report["num_records"], (treated, report["num_records"])
+EOF
+
+echo "trace_smoke OK: $trace $report"
