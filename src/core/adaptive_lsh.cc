@@ -1,10 +1,13 @@
 #include "core/adaptive_lsh.h"
 
 #include <algorithm>
+#include <cmath>
+#include <optional>
 #include <utility>
 
 #include "clustering/bin_index.h"
 #include "core/pairwise.h"
+#include "core/termination.h"
 #include "core/transitive_hash_function.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
@@ -15,12 +18,30 @@
 
 namespace adalsh {
 
+Status AdaptiveLshConfig::Validate() const {
+  Status sequence_valid = sequence.Validate();
+  if (!sequence_valid.ok()) return sequence_valid;
+  if (calibration_samples < 1) {
+    return Status::InvalidArgument("calibration_samples must be >= 1");
+  }
+  if (!std::isfinite(pairwise_noise_factor) || pairwise_noise_factor <= 0.0) {
+    return Status::InvalidArgument(
+        "pairwise_noise_factor must be finite and > 0");
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  return budget.Validate();
+}
+
 AdaptiveLsh::AdaptiveLsh(const Dataset& dataset, const MatchRule& rule,
                          const AdaptiveLshConfig& config)
     : dataset_(&dataset),
       rule_(rule),
       config_(config),
       sequence_([&] {
+        Status valid = config.Validate();
+        ADALSH_CHECK(valid.ok()) << valid.ToString();
         StatusOr<FunctionSequence> built =
             FunctionSequence::Build(rule, dataset.record(0), config.sequence);
         ADALSH_CHECK(built.ok()) << built.status().ToString();
@@ -52,11 +73,19 @@ FilterOutput AdaptiveLsh::Run(
   const Instrumentation instr = config_.instrumentation;
 
   Timer timer;
+  // Anytime execution (docs/robustness.md): the effective controller is
+  // armed here, so the deadline excludes construction/calibration. Null when
+  // neither a budget nor an external controller is configured — that path is
+  // bit-identical to the pre-controller behavior.
+  std::optional<RunController> local_controller;
+  RunController* controller =
+      ResolveController(config_.controller, config_.budget, &local_controller);
   ParentPointerForest forest;
   ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, sequence_.structure(), config_.seed);
-  TransitiveHasher hasher(&engine, &forest, num_records, pool.get(), instr);
-  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr);
+  TransitiveHasher hasher(&engine, &forest, num_records, pool.get(), instr,
+                          controller);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr, controller);
   // Hashes computed by discarded throwaway engines (incremental-reuse
   // ablation only).
   uint64_t ablated_hashes = 0;
@@ -82,6 +111,17 @@ FilterOutput AdaptiveLsh::Run(
   };
   auto sim_count = [&] {
     return pairwise.total_similarities() + jump_sampling_evals;
+  };
+
+  // Round-boundary cooperative check (Algorithm 1 loop top). Feeds the
+  // driver-level totals — which include jump-sampling evaluations and
+  // ablated hashes the sweeps cannot see — before asking; the controller
+  // keeps the max of all reports.
+  auto stop_now = [&] {
+    if (controller == nullptr) return false;
+    controller->ReportHashes(hash_count());
+    controller->ReportPairwise(sim_count());
+    return controller->ShouldStop();
   };
 
   // Closes out a round: fills the counter deltas, appends the record to the
@@ -147,13 +187,24 @@ FilterOutput AdaptiveLsh::Run(
                                               sequence_.budget(next),
                                               records.size());
     }
+    // Interruption handling ("discard the round", docs/robustness.md): both
+    // sweep engines build fresh trees and never touch the treated cluster's
+    // own tree, so when a sweep is stopped mid-flight the partial trees are
+    // simply orphaned, last_fn keeps its previous buckets, and the original
+    // root is handed back to the caller unchanged. The round's counter
+    // deltas are real work and are recorded (interrupted = true) so the
+    // FilterStats sum invariants keep holding.
+    bool interrupted = false;
     if (jump) {
       round.action = RoundAction::kPairwise;
       round.modeled_cost = cost_model_.PairwiseCost(records.size());
       Timer stage_timer;
       new_roots = pairwise.Apply(records, &forest);  // Line 6
       round.pairwise_seconds = stage_timer.ElapsedSeconds();
-      for (RecordId r : records) last_fn[r] = kLastFunctionPairwise;
+      interrupted = pairwise.last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn[r] = kLastFunctionPairwise;
+      }
     } else if (config_.ablate_incremental_reuse) {
       round.action = RoundAction::kHash;
       round.function_index = next;
@@ -165,11 +216,14 @@ FilterOutput AdaptiveLsh::Run(
       // Ablation: a throwaway engine recomputes every hash from scratch.
       HashEngine fresh_engine(*dataset_, sequence_.structure(), config_.seed);
       TransitiveHasher fresh_hasher(&fresh_engine, &forest, num_records,
-                                    pool.get(), instr);
+                                    pool.get(), instr, controller);
       new_roots = fresh_hasher.Apply(records, sequence_.plan(next), next);
       ablated_hashes += fresh_engine.total_hashes_computed();
       round.hash_seconds = stage_timer.ElapsedSeconds();
-      for (RecordId r : records) last_fn[r] = next;
+      interrupted = fresh_hasher.last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn[r] = next;
+      }
     } else {
       round.action = RoundAction::kHash;
       round.function_index = next;
@@ -180,16 +234,26 @@ FilterOutput AdaptiveLsh::Run(
       Timer stage_timer;
       new_roots = hasher.Apply(records, sequence_.plan(next), next);  // Line 8
       round.hash_seconds = stage_timer.ElapsedSeconds();
-      for (RecordId r : records) last_fn[r] = next;
+      interrupted = hasher.last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn[r] = next;
+      }
     }
+    round.interrupted = interrupted;
     finish_round(std::move(round), hashes_before, sims_before,
                  round_timer.ElapsedSeconds(), &round_span);
+    if (interrupted) {
+      // The cluster stays at its previous verification level; the caller
+      // re-files it and the stuck controller ends the loop at its next check.
+      new_roots.assign(1, root);
+    }
     return new_roots;
   };
 
-  // Line 1: H_1 on the whole dataset.
+  // Line 1: H_1 on the whole dataset. Skipped entirely when the controller
+  // already fired (pre-round-1 stop: empty best-effort output, zero rounds).
   std::vector<NodeId> initial;
-  {
+  if (!stop_now()) {
     RoundRecord round;
     round.round = 1;
     round.action = RoundAction::kHash;
@@ -209,6 +273,9 @@ FilterOutput AdaptiveLsh::Run(
     Timer stage_timer;
     initial = hasher.Apply(dataset_->AllRecordIds(), sequence_.plan(0), 0);
     round.hash_seconds = stage_timer.ElapsedSeconds();
+    // An interrupted initial pass means no record has a valid H_1 cluster
+    // yet: the run degrades to an empty clustering (initial stays empty).
+    round.interrupted = hasher.last_apply_interrupted();
     finish_round(std::move(round), /*hashes_before=*/0, /*sims_before=*/0,
                  round_timer.ElapsedSeconds(), &round_span);
   }
@@ -221,6 +288,7 @@ FilterOutput AdaptiveLsh::Run(
     BinIndex bins(num_records);
     for (NodeId root : initial) bins.Insert(root, forest.LeafCount(root));
     while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+      if (stop_now()) break;  // round boundary (anytime exit)
       NodeId root = bins.PopLargest();  // Line 3 (Largest-First)
       if (is_final(root)) {
         finals.push_back(root);
@@ -229,6 +297,15 @@ FilterOutput AdaptiveLsh::Run(
       }
       for (NodeId new_root : process_cluster(root)) {
         bins.Insert(new_root, forest.LeafCount(new_root));
+      }
+    }
+    if (controller != nullptr && controller->stopped()) {
+      // Graceful degradation: complete the top-k with the best pending
+      // clusters at whatever verification level they reached. Pops stay
+      // non-increasing, so `finals` remains ranked; the incremental
+      // callback is not fired for these (they are not verified final).
+      while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+        finals.push_back(bins.PopLargest());
       }
     }
   } else {
@@ -246,6 +323,7 @@ FilterOutput AdaptiveLsh::Run(
     };
     for (NodeId root : initial) route(root);
     while (!pending.empty()) {
+      if (stop_now()) break;  // round boundary (anytime exit)
       // Termination: the k-th largest final dominates every pending cluster.
       uint32_t max_pending = 0;
       for (NodeId root : pending) {
@@ -285,22 +363,41 @@ FilterOutput AdaptiveLsh::Run(
       pending.pop_back();
       for (NodeId new_root : process_cluster(root)) route(new_root);
     }
-    // Rank finals and emit incremental callbacks in rank order.
+    if (controller != nullptr && controller->stopped()) {
+      // Graceful degradation: the largest pending clusters fill out the
+      // top-k at their current verification level; the size sort below
+      // ranks them together with the verified finals.
+      std::stable_sort(pending.begin(), pending.end(),
+                       [&](NodeId a, NodeId b) {
+                         return forest.LeafCount(a) > forest.LeafCount(b);
+                       });
+      for (NodeId root : pending) {
+        if (finals.size() >= static_cast<size_t>(k)) break;
+        finals.push_back(root);
+      }
+    }
+    // Rank finals and emit incremental callbacks in rank order (skipping
+    // unverified fill clusters from an early termination).
     std::sort(finals.begin(), finals.end(), [&](NodeId a, NodeId b) {
       return forest.LeafCount(a) > forest.LeafCount(b);
     });
     if (finals.size() > static_cast<size_t>(k)) finals.resize(k);
     for (size_t rank = 0; rank < finals.size(); ++rank) {
-      on_cluster(rank, forest.Leaves(finals[rank]));
+      if (is_final(finals[rank])) on_cluster(rank, forest.Leaves(finals[rank]));
     }
   }
 
   FilterOutput output;
   output.clusters = MaterializeClusters(forest, finals);
+  FillClusterVerification(forest, finals, &stats);
   // Pops are non-increasing in size on the fast path, so finals are already
-  // ranked; the sort is a stable no-op kept as a safety net.
+  // ranked; the sort is a stable no-op kept as a safety net (and keeps
+  // cluster_verification aligned, since stable no-ops preserve order).
   output.clusters.SortBySizeDescending();
 
+  stats.termination_reason = controller != nullptr
+                                 ? controller->reason()
+                                 : TerminationReason::kCompleted;
   stats.filtering_seconds = timer.ElapsedSeconds();
   stats.pairwise_similarities =
       pairwise.total_similarities() + jump_sampling_evals;
@@ -319,6 +416,7 @@ FilterOutput AdaptiveLsh::Run(
       cost_model_.cost_per_hash() * static_cast<double>(stats.hashes_computed) +
       cost_model_.cost_per_pair() *
           static_cast<double>(stats.pairwise_similarities);
+  ReportTermination(instr, stats, output.clusters.clusters.size());
   output.stats = std::move(stats);
   return output;
 }

@@ -11,6 +11,8 @@
 #include "distance/rule.h"
 #include "obs/observer.h"
 #include "record/dataset.h"
+#include "util/run_controller.h"
+#include "util/status.h"
 
 namespace adalsh {
 
@@ -68,6 +70,23 @@ struct AdaptiveLshConfig {
   /// empty Instrumentation (the default) costs one pointer test per round.
   /// Per-round RoundRecords land in FilterStats::round_records regardless.
   Instrumentation instrumentation;
+
+  /// Anytime-execution limits (docs/robustness.md). The default (unlimited)
+  /// budget reproduces the run-to-completion behavior bit for bit; any limit
+  /// makes Run() return a best-effort partial FilterOutput with
+  /// FilterStats::termination_reason set when it fires.
+  RunBudget budget;
+
+  /// Optional externally owned controller (borrowed; may be null). When set
+  /// it overrides `budget` and lets another thread Cancel() the run; Run()
+  /// re-arms it at entry, so its deadline is measured from run start.
+  RunController* controller = nullptr;
+
+  /// Validates every field reachable from user input (sequence design,
+  /// calibration knobs, budget). InvalidArgument with a field-specific
+  /// message on the first violation; OkStatus when a construction from this
+  /// config cannot abort on config grounds.
+  Status Validate() const;
 };
 
 /// Adaptive LSH — Algorithm 1, the paper's primary contribution. Filters a

@@ -7,6 +7,7 @@
 
 #include "clustering/clustering.h"
 #include "obs/events.h"
+#include "util/run_controller.h"
 
 namespace adalsh {
 
@@ -67,6 +68,25 @@ struct FilterStats {
   /// and the substrate of the obs run report's modeled-vs-measured cost
   /// diagnostics.
   std::vector<RoundRecord> round_records;
+
+  /// How the run ended (docs/robustness.md). kCompleted is the normal
+  /// Algorithm 1 termination; anything else marks an anytime partial result
+  /// whose clusters reflect the state after the last fully completed round
+  /// (an interrupted round is discarded except for its counter deltas, which
+  /// stay in round_records so the sum invariants above hold regardless).
+  /// On early termination the per-record accounting is conservative:
+  /// records a discarded round would have re-treated stay in their previous
+  /// bucket, and records never reached by any round are reported under H_1.
+  TerminationReason termination_reason = TerminationReason::kCompleted;
+
+  /// Verification level achieved by each returned cluster, parallel to
+  /// FilterOutput::clusters.clusters: kLastFunctionPairwise for clusters
+  /// certified by the exact pairwise function P, otherwise the 0-based
+  /// sequence index of the last hashing function that produced the cluster
+  /// (L-1 = fully hash-verified). On a completed run every entry is final by
+  /// definition; on early termination the tail entries are the best pending
+  /// clusters at whatever level they had reached.
+  std::vector<int> cluster_verification;
 };
 
 /// Result of a filtering method: the requested clusters, ranked by

@@ -6,9 +6,29 @@
 
 namespace adalsh {
 
+Status SequenceConfig::Validate() const {
+  if (strategy.mode == BudgetStrategy::Mode::kExponential) {
+    if (strategy.start < 1) {
+      return Status::InvalidArgument("budget strategy start must be >= 1");
+    }
+    if (!(strategy.multiplier > 1.0)) {
+      return Status::InvalidArgument(
+          "budget strategy multiplier must be > 1.0");
+    }
+  } else if (strategy.step < 1) {
+    return Status::InvalidArgument("budget strategy step must be >= 1");
+  }
+  if (max_budget < 1) {
+    return Status::InvalidArgument("max_budget must be >= 1");
+  }
+  return optimizer.Validate();
+}
+
 StatusOr<FunctionSequence> FunctionSequence::Build(
     const MatchRule& rule, const Record& prototype,
     const SequenceConfig& config) {
+  Status config_valid = config.Validate();
+  if (!config_valid.ok()) return config_valid;
   Status valid = rule.Validate(prototype);
   if (!valid.ok()) return valid;
   StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);

@@ -25,6 +25,12 @@ struct SequenceConfig {
   int max_budget = 5120;
 
   OptimizerConfig optimizer;
+
+  /// Validates the budget schedule and the optimizer knobs. InvalidArgument
+  /// with a field-specific message on the first violation; checked by
+  /// FunctionSequence::Build so invalid user configs surface as Status
+  /// instead of aborting inside the schedule/optimizer internals.
+  Status Validate() const;
 };
 
 /// The designed sequence: per-function composite schemes and executable table

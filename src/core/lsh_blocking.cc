@@ -1,10 +1,12 @@
 #include "core/lsh_blocking.h"
 
+#include <optional>
 #include <utility>
 
 #include "clustering/bin_index.h"
 #include "core/hash_engine.h"
 #include "core/pairwise.h"
+#include "core/termination.h"
 #include "core/transitive_hash_function.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
@@ -14,10 +16,23 @@
 
 namespace adalsh {
 
+Status LshBlockingConfig::Validate() const {
+  if (num_hashes < 1) {
+    return Status::InvalidArgument("num_hashes must be >= 1");
+  }
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+  Status optimizer_valid = optimizer.Validate();
+  if (!optimizer_valid.ok()) return optimizer_valid;
+  return budget.Validate();
+}
+
 LshBlocking::LshBlocking(const Dataset& dataset, const MatchRule& rule,
                          const LshBlockingConfig& config)
     : dataset_(&dataset), rule_(rule), config_(config) {
-  ADALSH_CHECK_GE(config.num_hashes, 1);
+  Status config_valid = config.Validate();
+  ADALSH_CHECK(config_valid.ok()) << config_valid.ToString();
   Status valid = rule.Validate(dataset.record(0));
   ADALSH_CHECK(valid.ok()) << valid.ToString();
   StatusOr<RuleHashStructure> structure = CompileRuleForHashing(rule);
@@ -34,14 +49,29 @@ FilterOutput LshBlocking::Run(int k) {
   const Instrumentation instr = config_.instrumentation;
 
   Timer timer;
+  // Anytime execution (docs/robustness.md); null controller = pre-existing
+  // run-to-completion behavior, bit for bit.
+  std::optional<RunController> local_controller;
+  RunController* controller =
+      ResolveController(config_.controller, config_.budget, &local_controller);
   ParentPointerForest forest;
   ScopedThreadPool pool(config_.threads);
   HashEngine engine(*dataset_, structure_, config_.seed);
-  TransitiveHasher hasher(&engine, &forest, num_records, pool.get(), instr);
-  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr);
+  TransitiveHasher hasher(&engine, &forest, num_records, pool.get(), instr,
+                          controller);
+  PairwiseComputer pairwise(*dataset_, rule_, pool.get(), instr, controller);
 
   FilterStats stats;
+  // Conservative accounting: every record starts (and, if never verified,
+  // stays) in the stage-1 H bucket.
   stats.records_last_hashed_at.assign(1, num_records);
+
+  auto stop_now = [&] {
+    if (controller == nullptr) return false;
+    controller->ReportHashes(engine.total_hashes_computed());
+    controller->ReportPairwise(pairwise.total_similarities());
+    return controller->ShouldStop();
+  };
 
   // Closes out a round against the exact counter sources (see the
   // round_records invariants in filter_output.h).
@@ -64,9 +94,10 @@ FilterOutput LshBlocking::Run(int k) {
     }
   };
 
-  // Stage 1: apply all X hash functions to every record.
+  // Stage 1: apply all X hash functions to every record. Skipped entirely on
+  // a pre-round-1 stop (empty best-effort output, zero rounds).
   std::vector<NodeId> roots;
-  {
+  if (!stop_now()) {
     RoundRecord round;
     round.round = 1;
     round.action = RoundAction::kHash;
@@ -83,6 +114,9 @@ FilterOutput LshBlocking::Run(int k) {
     }
     roots = hasher.Apply(dataset_->AllRecordIds(), plan_, 0);
     round.hash_seconds = round_timer.ElapsedSeconds();
+    // An interrupted stage 1 leaves `roots` empty: no record has a valid
+    // blocking cluster yet, so the run degrades to an empty clustering.
+    round.interrupted = hasher.last_apply_interrupted();
     finish_round(std::move(round), /*hashes_before=*/0, /*sims_before=*/0,
                  round_timer.ElapsedSeconds());
   }
@@ -101,18 +135,13 @@ FilterOutput LshBlocking::Run(int k) {
     BinIndex bins(num_records);
     for (NodeId root : roots) bins.Insert(root, forest.LeafCount(root));
     while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+      if (stop_now()) break;  // round boundary (anytime exit)
       NodeId root = bins.PopLargest();
       if (forest.Producer(root) == kProducerPairwise) {
         finals.push_back(root);
         continue;
       }
       std::vector<RecordId> records = forest.Leaves(root);
-      // Verified records move from the H_1 bucket of Definition 3's
-      // accounting to the P bucket — each record is counted exactly once,
-      // under the last function applied to it.
-      ADALSH_CHECK_GE(stats.records_last_hashed_at[0], records.size());
-      stats.records_last_hashed_at[0] -= records.size();
-      stats.records_finished_by_pairwise += records.size();
 
       RoundRecord round;
       round.round = stats.rounds + 1;
@@ -131,18 +160,48 @@ FilterOutput LshBlocking::Run(int k) {
       }
       std::vector<NodeId> verified = pairwise.Apply(records, &forest);
       round.pairwise_seconds = round_timer.ElapsedSeconds();
+      const bool interrupted = pairwise.last_apply_interrupted();
+      round.interrupted = interrupted;
+      if (!interrupted) {
+        // Verified records move from the H_1 bucket of Definition 3's
+        // accounting to the P bucket — each record is counted exactly once,
+        // under the last function applied to it. An interrupted verification
+        // is discarded, so its records stay in the H_1 bucket.
+        ADALSH_CHECK_GE(stats.records_last_hashed_at[0], records.size());
+        stats.records_last_hashed_at[0] -= records.size();
+        stats.records_finished_by_pairwise += records.size();
+      }
       finish_round(std::move(round), hashes_before, sims_before,
                    round_timer.ElapsedSeconds());
+      if (interrupted) {
+        // The cluster keeps its stage-1 level; the stuck controller ends the
+        // loop at its next check and the fill below may still return it.
+        bins.Insert(root, forest.LeafCount(root));
+        continue;
+      }
       for (NodeId v : verified) bins.Insert(v, forest.LeafCount(v));
+    }
+    if (controller != nullptr && controller->stopped()) {
+      // Graceful degradation: the largest unverified clusters complete the
+      // top-k at their stage-1 verification level (pops stay non-increasing,
+      // so the ranking is preserved).
+      while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+        finals.push_back(bins.PopLargest());
+      }
     }
   }
 
   FilterOutput output;
   output.clusters = MaterializeClusters(forest, finals);
+  FillClusterVerification(forest, finals, &stats);
   output.clusters.SortBySizeDescending();
+  stats.termination_reason = controller != nullptr
+                                 ? controller->reason()
+                                 : TerminationReason::kCompleted;
   stats.filtering_seconds = timer.ElapsedSeconds();
   stats.pairwise_similarities = pairwise.total_similarities();
   stats.hashes_computed = engine.total_hashes_computed();
+  ReportTermination(instr, stats, output.clusters.clusters.size());
   output.stats = std::move(stats);
   return output;
 }

@@ -8,6 +8,8 @@
 #include "distance/rule.h"
 #include "obs/observer.h"
 #include "record/dataset.h"
+#include "util/run_controller.h"
+#include "util/status.h"
 
 namespace adalsh {
 
@@ -34,6 +36,15 @@ struct LshBlockingConfig {
   /// Observability sinks (obs/observer.h); same contract as
   /// AdaptiveLshConfig::instrumentation.
   Instrumentation instrumentation;
+
+  /// Anytime-execution limits and optional external controller; same
+  /// contract as the AdaptiveLshConfig fields (docs/robustness.md).
+  RunBudget budget;
+  RunController* controller = nullptr;
+
+  /// Validates every user-settable field; InvalidArgument with a
+  /// field-specific message on the first violation.
+  Status Validate() const;
 };
 
 /// The traditional LSH blocking approach adapted to top-k filtering, with the

@@ -5,6 +5,7 @@
 #include "distance/rule.h"
 #include "obs/observer.h"
 #include "record/dataset.h"
+#include "util/run_controller.h"
 
 namespace adalsh {
 
@@ -20,8 +21,15 @@ class PairsBaseline {
   /// matching the baseline's traditional single-threaded formulation),
   /// 0 = the global pool, N > 1 = a private pool of N workers. Output is
   /// byte-identical at any setting.
+  /// `budget` / `controller` attach anytime-execution limits with the same
+  /// contract as the AdaptiveLshConfig fields (docs/robustness.md). Unlike
+  /// the hashing methods, a mid-sweep stop keeps the partial components
+  /// found so far: every merge P has applied is an exact certified match, so
+  /// the partial clustering is a valid under-merged answer (some records
+  /// that belong together are still apart — never the reverse).
   PairsBaseline(const Dataset& dataset, const MatchRule& rule,
-                int threads = 1, Instrumentation instr = {});
+                int threads = 1, Instrumentation instr = {},
+                RunBudget budget = {}, RunController* controller = nullptr);
 
   PairsBaseline(const PairsBaseline&) = delete;
   PairsBaseline& operator=(const PairsBaseline&) = delete;
@@ -34,6 +42,8 @@ class PairsBaseline {
   MatchRule rule_;
   int threads_;
   Instrumentation instr_;
+  RunBudget budget_;
+  RunController* controller_;
 };
 
 }  // namespace adalsh

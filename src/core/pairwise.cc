@@ -8,6 +8,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace adalsh {
@@ -30,17 +31,27 @@ enum : uint8_t { kSkipped = 0, kNoMatch = 1, kMatched = 2 };
 
 PairwiseComputer::PairwiseComputer(const Dataset& dataset,
                                    const MatchRule& rule, ThreadPool* pool,
-                                   Instrumentation instr)
+                                   Instrumentation instr,
+                                   RunController* controller)
     : dataset_(&dataset),
       rule_(&rule),
       cache_(dataset),
       evaluator_(rule, cache_),
       pool_(pool),
-      instr_(instr) {}
+      instr_(instr),
+      controller_(controller) {}
+
+bool PairwiseComputer::StripeCheck() {
+  FaultInjectionPoint(FaultSite::kPairwiseTile);
+  if (controller_ == nullptr) return false;
+  controller_->ReportPairwise(total_similarities_);
+  return controller_->ShouldStop();
+}
 
 std::vector<NodeId> PairwiseComputer::Apply(
     const std::vector<RecordId>& records, ParentPointerForest* forest) {
   ADALSH_CHECK(forest != nullptr);
+  interrupted_ = false;
   const bool observed = instr_.enabled();
   const uint64_t similarities_before = total_similarities_;
   Timer timer;  // read only when observed
@@ -88,6 +99,12 @@ void PairwiseComputer::SweepSerial(const std::vector<RecordId>& records,
                                    const std::vector<NodeId>& leaf_of,
                                    ParentPointerForest* forest) {
   for (size_t i = 0; i < records.size(); ++i) {
+    // Same stripe boundaries as SweepTiled, so a controller stop lands after
+    // an identical completed row prefix at any thread count.
+    if (i % kRowBlock == 0 && StripeCheck()) {
+      interrupted_ = true;
+      return;
+    }
     // Row i's root only changes through row i's own merges, so one FindRoot
     // per row plus Merge's returned survivor replaces a FindRoot per pair.
     NodeId root_i = forest->FindRoot(leaf_of[i]);
@@ -120,6 +137,10 @@ void PairwiseComputer::SweepTiled(const std::vector<RecordId>& records,
   std::vector<NodeId> snapshot(n);
   std::vector<uint8_t> decisions(kRowBlock * (n - 1));
   for (size_t rb = 0; rb < n; rb += kRowBlock) {
+    if (StripeCheck()) {
+      interrupted_ = true;
+      return;
+    }
     const size_t re = std::min(rb + kRowBlock, n);
     const size_t col_begin = rb + 1;
     if (col_begin >= n) break;

@@ -10,6 +10,7 @@
 #include "distance/rule_evaluator.h"
 #include "obs/observer.h"
 #include "record/dataset.h"
+#include "util/run_controller.h"
 #include "util/thread_pool.h"
 
 namespace adalsh {
@@ -44,15 +45,34 @@ class PairwiseComputer {
   /// default (empty) instrumentation the only cost is one boolean test per
   /// Apply — nothing per pair.
   PairwiseComputer(const Dataset& dataset, const MatchRule& rule,
-                   ThreadPool* pool = nullptr, Instrumentation instr = {});
+                   ThreadPool* pool = nullptr, Instrumentation instr = {},
+                   RunController* controller = nullptr);
 
   PairwiseComputer(const PairwiseComputer&) = delete;
   PairwiseComputer& operator=(const PairwiseComputer&) = delete;
 
+  /// Attaches/detaches the cooperative-cancellation controller (borrowed,
+  /// may be null). Long-lived computers (streaming) point this at the
+  /// controller of the current TopK call; per-run computers pass it at
+  /// construction.
+  void set_controller(RunController* controller) { controller_ = controller; }
+
   /// Splits `records` into the connected components of the exact match graph,
   /// building trees in `forest`. Returns the component roots.
+  ///
+  /// Anytime behavior: the sweep checks the attached RunController once per
+  /// kRowBlock row stripe — the same record-index boundaries on the serial
+  /// and the tiled path, so a stop lands after an identical completed prefix
+  /// of canonical-order merges at any thread count. When stopped,
+  /// last_apply_interrupted() turns true and the returned roots describe the
+  /// partially merged components (every applied merge is a P-certified
+  /// match; callers treating interruption as "round discarded" simply ignore
+  /// the returned roots — the input records' previous trees are untouched).
   std::vector<NodeId> Apply(const std::vector<RecordId>& records,
                             ParentPointerForest* forest);
+
+  /// True when the last Apply was stopped mid-sweep by the controller.
+  bool last_apply_interrupted() const { return interrupted_; }
 
   /// Rule evaluations actually performed (pairs skipped via transitive
   /// closure are not counted) — the n_P of the Definition 3 cost accounting.
@@ -79,12 +99,19 @@ class PairwiseComputer {
                     size_t row_end, size_t col_tile_begin, size_t col_tile_end,
                     size_t col_begin, uint8_t* decisions) const;
 
+  /// Stripe-boundary cooperative check (fault-injection site
+  /// kPairwiseTile): reports progress and returns true when the sweep must
+  /// stop. Hit once per kRowBlock rows on both sweep paths.
+  bool StripeCheck();
+
   const Dataset* dataset_;
   const MatchRule* rule_;
   FeatureCache cache_;
   RuleEvaluator evaluator_;
   ThreadPool* pool_;
   Instrumentation instr_;
+  RunController* controller_;
+  bool interrupted_ = false;
   uint64_t total_similarities_ = 0;
 };
 

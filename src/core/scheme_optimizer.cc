@@ -8,6 +8,29 @@
 #include "util/numeric.h"
 
 namespace adalsh {
+
+Status OptimizerConfig::Validate() const {
+  if (!(epsilon > 0.0) || !(epsilon < 1.0)) {
+    return Status::InvalidArgument(
+        "optimizer epsilon must be in the open interval (0, 1)");
+  }
+  if (search_intervals < 1 || final_intervals < 1) {
+    return Status::InvalidArgument(
+        "optimizer Simpson interval counts must be >= 1");
+  }
+  if (max_w < 1) {
+    return Status::InvalidArgument("optimizer max_w must be >= 1");
+  }
+  if (objective_candidates < 1) {
+    return Status::InvalidArgument(
+        "optimizer objective_candidates must be >= 1");
+  }
+  if (or_split_steps < 1) {
+    return Status::InvalidArgument("optimizer or_split_steps must be >= 1");
+  }
+  return Status::Ok();
+}
+
 namespace {
 
 /// Collision probability of one AND group at per-unit distances x:

@@ -6,6 +6,7 @@
 #include "distance/collision_model.h"
 #include "lsh/composite_scheme.h"
 #include "lsh/scheme.h"
+#include "util/status.h"
 
 namespace adalsh {
 
@@ -34,6 +35,11 @@ struct OptimizerConfig {
 
   /// Number of budget-split candidates per group pair in the OR program.
   int or_split_steps = 32;
+
+  /// InvalidArgument with a field-specific message on the first out-of-range
+  /// knob; called from the config Validate() of every method that embeds an
+  /// OptimizerConfig.
+  Status Validate() const;
 };
 
 /// One hashable unit as the optimizer sees it: its collision model p(x)

@@ -1,10 +1,12 @@
 #include "core/streaming_adaptive_lsh.h"
 
+#include <optional>
 #include <unordered_set>
 #include <utility>
 
 #include "clustering/bin_index.h"
 #include "clustering/clustering.h"
+#include "core/termination.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "util/check.h"
@@ -20,6 +22,8 @@ StreamingAdaptiveLsh::StreamingAdaptiveLsh(const Dataset& dataset,
       config_(config),
       pool_(config.threads),
       sequence_([&] {
+        Status valid = config.Validate();
+        ADALSH_CHECK(valid.ok()) << valid.ToString();
         StatusOr<FunctionSequence> built =
             FunctionSequence::Build(rule, dataset.record(0), config.sequence);
         ADALSH_CHECK(built.ok()) << built.status().ToString();
@@ -110,8 +114,27 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
   uint64_t sims_before = pairwise_.total_similarities();
   uint64_t hashes_before = engine_.total_hashes_computed();
 
+  // Anytime execution (docs/robustness.md). The engine and the pairwise
+  // computer are long-lived and their counters are cumulative across the
+  // stream, so the controller is armed with the current totals as the zero
+  // points of this call's budgets; the persistent hasher/pairwise borrow the
+  // controller only for the duration of this call.
+  std::optional<RunController> local_controller;
+  RunController* controller =
+      ResolveController(config_.controller, config_.budget, &local_controller,
+                        hashes_before, sims_before);
+  hasher_.set_controller(controller);
+  pairwise_.set_controller(controller);
+  auto stop_now = [&] {
+    if (controller == nullptr) return false;
+    controller->ReportHashes(engine_.total_hashes_computed());
+    controller->ReportPairwise(pairwise_.total_similarities());
+    return controller->ShouldStop();
+  };
+
   std::vector<NodeId> finals;
   while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+    if (stop_now()) break;  // round boundary (anytime exit)
     NodeId root = bins.PopLargest();
     int producer = forest_.Producer(root);
     if (producer == kProducerPairwise || producer == last_function) {
@@ -136,6 +159,11 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
       instr.observer->OnRoundStart(start);
     }
 
+    // Interruption handling, as in AdaptiveLsh::Run: an interrupted sweep's
+    // partial trees are orphaned, the original tree (and leaf_of_, which
+    // still points into it) is untouched, and the cluster keeps its previous
+    // verification level.
+    bool interrupted = false;
     std::vector<NodeId> new_roots;
     if (cost_model_.ShouldJumpToPairwise(sequence_.budget(producer),
                                          sequence_.budget(next),
@@ -144,7 +172,10 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
       round.modeled_cost = cost_model_.PairwiseCost(records.size());
       new_roots = pairwise_.Apply(records, &forest_);
       round.pairwise_seconds = round_timer.ElapsedSeconds();
-      for (RecordId r : records) last_fn_[r] = kLastFunctionPairwise;
+      interrupted = pairwise_.last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn_[r] = kLastFunctionPairwise;
+      }
     } else {
       round.action = RoundAction::kHash;
       round.function_index = next;
@@ -154,8 +185,12 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
           static_cast<double>(records.size());
       new_roots = hasher_.Apply(records, sequence_.plan(next), next);
       round.hash_seconds = round_timer.ElapsedSeconds();
-      for (RecordId r : records) last_fn_[r] = next;
+      interrupted = hasher_.last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn_[r] = next;
+      }
     }
+    round.interrupted = interrupted;
     round.hashes_computed =
         engine_.total_hashes_computed() - round_hashes_before;
     round.pairwise_similarities =
@@ -173,6 +208,13 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
       instr.observer->OnRoundEnd(stats.round_records.back());
     }
 
+    if (interrupted) {
+      // Discard the round: do NOT reindex (leaf_of_ must keep pointing into
+      // the original tree). The stuck controller ends the loop at its next
+      // check; the fill below may still return this cluster.
+      bins.Insert(root, forest_.LeafCount(root));
+      continue;
+    }
     for (NodeId new_root : new_roots) {
       // Track the new leaves so future arrivals and TopK calls resolve the
       // current cluster of every record.
@@ -180,10 +222,26 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
       bins.Insert(new_root, forest_.LeafCount(new_root));
     }
   }
+  if (controller != nullptr && controller->stopped()) {
+    // Graceful degradation: the largest pending clusters complete the top-k
+    // at their current verification level (pops stay non-increasing, so the
+    // ranking is preserved).
+    while (finals.size() < static_cast<size_t>(k) && !bins.empty()) {
+      finals.push_back(bins.PopLargest());
+    }
+  }
+  // Detach before returning: a run-local controller dies with this call, and
+  // Add() must never observe a stale pointer.
+  hasher_.set_controller(nullptr);
+  pairwise_.set_controller(nullptr);
 
   FilterOutput output;
   output.clusters = MaterializeClusters(forest_, finals);
+  FillClusterVerification(forest_, finals, &stats);
   output.clusters.SortBySizeDescending();
+  stats.termination_reason = controller != nullptr
+                                 ? controller->reason()
+                                 : TerminationReason::kCompleted;
   stats.filtering_seconds = timer.ElapsedSeconds();
   stats.pairwise_similarities = pairwise_.total_similarities() - sims_before;
   stats.hashes_computed = engine_.total_hashes_computed() - hashes_before;
@@ -202,6 +260,7 @@ FilterOutput StreamingAdaptiveLsh::TopK(int k) {
       cost_model_.cost_per_hash() * static_cast<double>(stats.hashes_computed) +
       cost_model_.cost_per_pair() *
           static_cast<double>(stats.pairwise_similarities);
+  ReportTermination(instr, stats, output.clusters.clusters.size());
   output.stats = std::move(stats);
   return output;
 }

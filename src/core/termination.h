@@ -1,0 +1,89 @@
+#ifndef ADALSH_CORE_TERMINATION_H_
+#define ADALSH_CORE_TERMINATION_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+#include "core/filter_output.h"
+#include "obs/metrics_registry.h"
+#include "obs/observer.h"
+#include "util/run_controller.h"
+
+namespace adalsh {
+
+/// Shared anytime-execution plumbing of the filtering methods
+/// (docs/robustness.md). Header-only: three small helpers every method's
+/// epilogue calls the same way, so the run report and the obs layer see
+/// identical semantics regardless of method.
+
+/// Resolves the effective controller of one run. An externally supplied
+/// controller wins (the caller owns its budget and may Cancel() it from
+/// another thread); otherwise a non-trivial budget gets a run-local
+/// controller emplaced into `local`; with neither the run is uncontrolled
+/// (null — every cooperative check degenerates to one pointer test). The
+/// chosen controller is armed here, so deadlines are measured from run entry
+/// and exclude construction/calibration.
+inline RunController* ResolveController(RunController* external,
+                                        const RunBudget& budget,
+                                        std::optional<RunController>* local,
+                                        uint64_t hash_base = 0,
+                                        uint64_t pairwise_base = 0) {
+  RunController* controller = external;
+  if (controller == nullptr && !budget.unlimited()) {
+    local->emplace(budget);
+    controller = &local->value();
+  }
+  if (controller != nullptr) controller->Arm(hash_base, pairwise_base);
+  return controller;
+}
+
+/// Verification level of a cluster root for
+/// FilterStats::cluster_verification: kLastFunctionPairwise for P-certified
+/// trees, otherwise the 0-based sequence index of the producing function.
+inline int VerificationLevel(const ParentPointerForest& forest, NodeId root) {
+  const int producer = forest.Producer(root);
+  return producer == kProducerPairwise ? kLastFunctionPairwise : producer;
+}
+
+/// Fills FilterStats::cluster_verification from the final roots. Call with
+/// `finals` already in output (descending-size) order so the levels stay
+/// parallel to FilterOutput::clusters.clusters after materialization.
+inline void FillClusterVerification(const ParentPointerForest& forest,
+                                    const std::vector<NodeId>& finals,
+                                    FilterStats* stats) {
+  stats->cluster_verification.clear();
+  stats->cluster_verification.reserve(finals.size());
+  for (NodeId root : finals) {
+    stats->cluster_verification.push_back(VerificationLevel(forest, root));
+  }
+}
+
+/// Shared run epilogue: bumps the per-reason run_controller metric and fires
+/// Observer::OnTermination — the last callback of every run, completed or
+/// degraded. Call after FilterStats is fully populated.
+inline void ReportTermination(const Instrumentation& instr,
+                              const FilterStats& stats,
+                              size_t clusters_returned) {
+  if (instr.metrics != nullptr) {
+    instr.metrics->AddCounter(
+        std::string("run_controller_terminations_") +
+        TerminationReasonName(stats.termination_reason));
+  }
+  if (instr.observer != nullptr) {
+    TerminationInfo info;
+    info.reason = stats.termination_reason;
+    info.rounds = stats.rounds;
+    info.clusters_returned = clusters_returned;
+    info.hashes_computed = stats.hashes_computed;
+    info.pairwise_similarities = stats.pairwise_similarities;
+    info.elapsed_seconds = stats.filtering_seconds;
+    instr.observer->OnTermination(info);
+  }
+}
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_TERMINATION_H_

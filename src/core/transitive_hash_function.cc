@@ -8,6 +8,7 @@
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "util/check.h"
+#include "util/fault_injection.h"
 #include "util/timer.h"
 
 namespace adalsh {
@@ -23,8 +24,13 @@ constexpr size_t kKeyBlock = 8192;
 TransitiveHasher::TransitiveHasher(HashEngine* engine,
                                    ParentPointerForest* forest,
                                    size_t num_records, ThreadPool* pool,
-                                   Instrumentation instr)
-    : engine_(engine), forest_(forest), pool_(pool), instr_(instr) {
+                                   Instrumentation instr,
+                                   RunController* controller)
+    : engine_(engine),
+      forest_(forest),
+      pool_(pool),
+      instr_(instr),
+      controller_(controller) {
   ADALSH_CHECK(engine != nullptr && forest != nullptr);
   leaf_of_.assign(num_records, kInvalidNode);
   leaf_epoch_.assign(num_records, 0);
@@ -35,6 +41,7 @@ std::vector<NodeId> TransitiveHasher::Apply(
     int producer) {
   ++epoch_;
   ADALSH_CHECK_NE(epoch_, 0u) << "epoch counter wrapped";
+  interrupted_ = false;
 
   const bool observed = instr_.enabled();
   const uint64_t hashes_before = engine_->total_hashes_computed();
@@ -53,6 +60,16 @@ std::vector<NodeId> TransitiveHasher::Apply(
   engine_->PreparePlan(plan);
 
   for (size_t base = 0; base < records.size(); base += kKeyBlock) {
+    // Block-boundary cooperative check, on the driving thread at
+    // input-deterministic boundaries (fault-injection site kHashApply).
+    FaultInjectionPoint(FaultSite::kHashApply);
+    if (controller_ != nullptr) {
+      controller_->ReportHashes(engine_->total_hashes_computed());
+      if (controller_->ShouldStop()) {
+        interrupted_ = true;
+        break;
+      }
+    }
     const size_t count = std::min(kKeyBlock, records.size() - base);
     std::span<const RecordId> block(records.data() + base, count);
 
@@ -73,6 +90,7 @@ std::vector<NodeId> TransitiveHasher::Apply(
 
     // Stateful merge over precomputed keys: strictly serial, in record order,
     // so any thread count reproduces the single-threaded forest exactly.
+    FaultInjectionPoint(FaultSite::kMerge);
     TraceRecorder::Span merge_span(instr_.trace, "merge", "hash");
     merge_span.AddArg("records", static_cast<double>(count));
     for (size_t i = 0; i < count; ++i) {
@@ -115,14 +133,18 @@ std::vector<NodeId> TransitiveHasher::Apply(
     }
   }
 
-  // Collect the distinct roots of the invocation's trees.
+  // Collect the distinct roots of the invocation's trees. Skipped on an
+  // interrupted pass: records in unprocessed blocks have no leaf, and the
+  // empty root set tells callers the round must be discarded.
   std::vector<NodeId> roots;
-  std::unordered_set<NodeId> seen;
-  seen.reserve(records.size());
-  for (RecordId r : records) {
-    ADALSH_CHECK(has_leaf(r));
-    NodeId root = forest_->FindRoot(leaf_of_[r]);
-    if (seen.insert(root).second) roots.push_back(root);
+  if (!interrupted_) {
+    std::unordered_set<NodeId> seen;
+    seen.reserve(records.size());
+    for (RecordId r : records) {
+      ADALSH_CHECK(has_leaf(r));
+      NodeId root = forest_->FindRoot(leaf_of_[r]);
+      if (seen.insert(root).second) roots.push_back(root);
+    }
   }
 
   if (observed) {

@@ -8,6 +8,7 @@
 #include "core/hash_engine.h"
 #include "lsh/composite_scheme.h"
 #include "obs/observer.h"
+#include "util/run_controller.h"
 
 namespace adalsh {
 
@@ -38,24 +39,43 @@ class TransitiveHasher {
   /// per Apply.
   TransitiveHasher(HashEngine* engine, ParentPointerForest* forest,
                    size_t num_records, ThreadPool* pool = nullptr,
-                   Instrumentation instr = {});
+                   Instrumentation instr = {},
+                   RunController* controller = nullptr);
 
   TransitiveHasher(const TransitiveHasher&) = delete;
   TransitiveHasher& operator=(const TransitiveHasher&) = delete;
+
+  /// Attaches/detaches the cooperative-cancellation controller (borrowed,
+  /// may be null). Long-lived hashers (streaming) point this at the
+  /// controller of the current TopK call.
+  void set_controller(RunController* controller) { controller_ = controller; }
 
   /// Applies the function described by `plan` to `records`, producing one new
   /// tree per output cluster, each tagged with `producer` (the function's
   /// 0-based sequence index). Returns the new roots. Hash computation goes
   /// through the engine's caches, so values computed by earlier functions are
   /// reused (incremental computation, Appendix B.2).
+  ///
+  /// Anytime behavior: the attached RunController is checked once per
+  /// kKeyBlock record block, on the driving thread, at input-deterministic
+  /// boundaries. A stopped Apply sets last_apply_interrupted() and returns
+  /// an empty root set: records in unprocessed blocks were never hashed, so
+  /// the invocation's partial trees are incomplete and callers must discard
+  /// the round (the input records' previous trees are untouched — see
+  /// docs/robustness.md).
   std::vector<NodeId> Apply(const std::vector<RecordId>& records,
                             const SchemePlan& plan, int producer);
+
+  /// True when the last Apply was stopped mid-pass by the controller.
+  bool last_apply_interrupted() const { return interrupted_; }
 
  private:
   HashEngine* engine_;
   ParentPointerForest* forest_;
   ThreadPool* pool_;
   Instrumentation instr_;
+  RunController* controller_;
+  bool interrupted_ = false;
   std::vector<NodeId> leaf_of_;      // valid when leaf_epoch_[r] == epoch_
   std::vector<uint32_t> leaf_epoch_;
   std::vector<uint64_t> key_block_;  // reused per-block key buffer

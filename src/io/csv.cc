@@ -7,14 +7,22 @@ StatusOr<bool> CsvReader::ReadRow(std::vector<std::string>* fields) {
   int c = in_->get();
   if (c == EOF) return false;
   ++line_;
+  const size_t row_start_line = line_;
   std::string current;
   bool in_quotes = false;
   bool row_done = false;
   while (!row_done) {
     if (c == EOF) {
       if (in_quotes) {
-        return Status::InvalidArgument("unterminated quote at line " +
-                                       std::to_string(line_));
+        std::string message =
+            "unterminated quote at line " + std::to_string(line_);
+        if (row_start_line != line_) {
+          // The quoted field swallowed newlines; point back at the row that
+          // opened it, which is where the missing quote usually is.
+          message += " (row started at line " +
+                     std::to_string(row_start_line) + ")";
+        }
+        return Status::InvalidArgument(message);
       }
       break;
     }

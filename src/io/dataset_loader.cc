@@ -1,5 +1,6 @@
 #include "io/dataset_loader.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <sstream>
 #include <unordered_map>
@@ -26,8 +27,22 @@ std::string Trim(const std::string& s) {
   return s.substr(begin, end - begin + 1);
 }
 
+// Clips the tail of a parse error's context so one corrupt megabyte-long
+// field cannot flood the error message.
+std::string ErrorSnippet(const char* cursor) {
+  constexpr size_t kMaxSnippet = 24;
+  std::string snippet(cursor);
+  if (snippet.size() > kMaxSnippet) {
+    snippet.resize(kMaxSnippet);
+    snippet += "...";
+  }
+  return snippet;
+}
+
 StatusOr<std::vector<float>> ParseDenseVector(const std::string& text,
-                                              size_t line) {
+                                              size_t line, size_t column) {
+  const std::string where =
+      "line " + std::to_string(line) + ", column " + std::to_string(column + 1);
   std::vector<float> values;
   const char* cursor = text.c_str();
   while (*cursor != '\0') {
@@ -38,17 +53,20 @@ StatusOr<std::vector<float>> ParseDenseVector(const std::string& text,
     char* end = nullptr;
     float value = std::strtof(cursor, &end);
     if (end == cursor) {
+      return Status::InvalidArgument(where +
+                                     ": vector column is not numeric near '" +
+                                     ErrorSnippet(cursor) + "'");
+    }
+    if (!std::isfinite(value)) {
       return Status::InvalidArgument(
-          "line " + std::to_string(line) +
-          ": vector column is not numeric near '" + std::string(cursor) +
-          "'");
+          where + ": vector column has a non-finite value near '" +
+          ErrorSnippet(cursor) + "' (overflow, inf, or nan)");
     }
     values.push_back(value);
     cursor = end;
   }
   if (values.empty()) {
-    return Status::InvalidArgument("line " + std::to_string(line) +
-                                   ": empty vector column");
+    return Status::InvalidArgument(where + ": empty vector column");
   }
   return values;
 }
@@ -96,6 +114,20 @@ StatusOr<std::vector<ColumnSpec>> ParseColumnSpecs(const std::string& spec) {
 StatusOr<Dataset> LoadCsvDataset(std::istream* in,
                                  const std::vector<ColumnSpec>& specs,
                                  bool has_header, const std::string& name) {
+  // Reject a featureless spec before touching the stream: every record needs
+  // at least one feature column, so no row could ever load under this spec.
+  bool any_feature = false;
+  for (const ColumnSpec& spec : specs) {
+    any_feature |= spec.kind == ColumnSpec::Kind::kTextShingles ||
+                   spec.kind == ColumnSpec::Kind::kTextSpotSigs ||
+                   spec.kind == ColumnSpec::Kind::kDenseVector;
+  }
+  if (!any_feature) {
+    return Status::InvalidArgument(
+        "column spec declares no feature columns (need at least one of "
+        "text/textN/spotsigs/vector)");
+  }
+
   Dataset dataset(name);
   CsvReader reader(in);
   std::vector<std::string> row;
@@ -119,6 +151,7 @@ StatusOr<Dataset> LoadCsvDataset(std::istream* in,
           std::to_string(row.size()));
     }
     std::vector<Field> fields;
+    std::vector<size_t> field_column;  // FieldId -> originating CSV column
     std::string label;
     std::string entity_key;
     bool has_entity = false;
@@ -134,25 +167,24 @@ StatusOr<Dataset> LoadCsvDataset(std::istream* in,
         case ColumnSpec::Kind::kTextShingles:
           fields.push_back(Field::TokenSet(
               WordShingles(row[c], specs[c].shingle_size)));
+          field_column.push_back(c);
           break;
         case ColumnSpec::Kind::kTextSpotSigs:
           fields.push_back(
               Field::TokenSet(SpotSignatures(row[c], spotsig_config)));
+          field_column.push_back(c);
           break;
         case ColumnSpec::Kind::kDenseVector: {
           StatusOr<std::vector<float>> values =
-              ParseDenseVector(row[c], reader.line());
+              ParseDenseVector(row[c], reader.line(), c);
           if (!values.ok()) return values.status();
           fields.push_back(Field::DenseVector(std::move(values).value()));
+          field_column.push_back(c);
           break;
         }
         case ColumnSpec::Kind::kIgnore:
           break;
       }
-    }
-    if (fields.empty()) {
-      return Status::InvalidArgument(
-          "column spec declares no feature columns");
     }
     // Dense fields must be uniform-dimensional across the file.
     if (dataset.num_records() > 0) {
@@ -161,8 +193,8 @@ StatusOr<Dataset> LoadCsvDataset(std::istream* in,
         if (fields[f].is_dense() &&
             fields[f].size() != prototype.field(f).size()) {
           return Status::InvalidArgument(
-              "line " + std::to_string(reader.line()) + ": vector column " +
-              std::to_string(f) + " has dimension " +
+              "line " + std::to_string(reader.line()) + ", column " +
+              std::to_string(field_column[f] + 1) + ": vector has dimension " +
               std::to_string(fields[f].size()) + " but earlier rows had " +
               std::to_string(prototype.field(f).size()));
         }
@@ -179,7 +211,9 @@ StatusOr<Dataset> LoadCsvDataset(std::istream* in,
     dataset.AddRecord(Record(std::move(fields), label), entity);
   }
   if (dataset.num_records() == 0) {
-    return Status::InvalidArgument("input contains no records");
+    return Status::InvalidArgument(
+        has_header ? "input contains no records after the header row"
+                   : "input contains no records");
   }
   return dataset;
 }

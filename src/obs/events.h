@@ -48,6 +48,13 @@ struct RoundRecord {
   /// 0 when the method ran without a model (LSH-X, Pairs).
   double modeled_cost = 0.0;
 
+  /// True when a RunController stopped the round mid-sweep (deadline,
+  /// cancellation or budget exhaustion). An interrupted round contributed
+  /// nothing to the output clustering — the treated cluster stays at its
+  /// previous verification level — but its counter deltas are real work and
+  /// are recorded here so the FilterStats sum invariants keep holding.
+  bool interrupted = false;
+
   /// Measured minus modeled cost — the per-round diagnostic of how far
   /// Definition 3's accounting is from wall-clock reality. Meaningful only
   /// when modeled_cost is nonzero.

@@ -5,6 +5,7 @@
 #include <cstdint>
 
 #include "obs/events.h"
+#include "util/run_controller.h"
 
 namespace adalsh {
 
@@ -37,6 +38,15 @@ struct PairwiseBatchInfo {
   double seconds = 0.0;     // wall time of the sweep
 };
 
+struct TerminationInfo {
+  TerminationReason reason = TerminationReason::kCompleted;
+  size_t rounds = 0;           // rounds recorded (incl. an interrupted one)
+  size_t clusters_returned = 0;
+  uint64_t hashes_computed = 0;
+  uint64_t pairwise_similarities = 0;
+  double elapsed_seconds = 0.0;
+};
+
 /// Pluggable pipeline observer. AdaptiveLsh, StreamingAdaptiveLsh,
 /// LshBlocking, PairsBaseline, PairwiseComputer, the TransitiveHasher and
 /// the cost-model calibration all report through this interface when one is
@@ -64,6 +74,10 @@ class Observer {
 
   /// The exact pairwise function P swept a record set.
   virtual void OnPairwiseBatch(const PairwiseBatchInfo&) {}
+
+  /// The run ended — the last callback of every run, fired whether it
+  /// completed or degraded (deadline/cancel/budget; docs/robustness.md).
+  virtual void OnTermination(const TerminationInfo&) {}
 };
 
 /// Bundle of observability sinks threaded through the pipeline. All pointers

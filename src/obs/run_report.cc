@@ -66,8 +66,15 @@ std::string WriteRunReportJson(const FilterStats& stats,
       .Double(stats.modeled_cost)
       .EndObject();
 
+  json.Key("termination_reason")
+      .String(TerminationReasonName(stats.termination_reason));
+
   json.Key("records_last_hashed_at").BeginArray();
   for (size_t n : stats.records_last_hashed_at) json.Uint(n);
+  json.EndArray();
+
+  json.Key("cluster_verification").BeginArray();
+  for (int level : stats.cluster_verification) json.Int(level);
   json.EndArray();
 
   json.Key("rounds_detail").BeginArray();
@@ -95,6 +102,8 @@ std::string WriteRunReportJson(const FilterStats& stats,
         .Double(record.modeled_cost)
         .Key("cost_delta")
         .Double(record.CostDelta())
+        .Key("interrupted")
+        .Bool(record.interrupted)
         .EndObject();
   }
   json.EndArray();

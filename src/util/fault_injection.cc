@@ -1,0 +1,72 @@
+#include "util/fault_injection.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "util/check.h"
+#include "util/run_controller.h"
+
+namespace adalsh {
+
+namespace internal_fault {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace internal_fault
+
+const char* FaultSiteName(FaultSite site) {
+  switch (site) {
+    case FaultSite::kHashApply:
+      return "hash_apply";
+    case FaultSite::kPairwiseTile:
+      return "pairwise_tile";
+    case FaultSite::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+void FaultInjector::InjectLatency(FaultSite site, int micros) {
+  ADALSH_CHECK_GE(micros, 0);
+  sites_[static_cast<int>(site)].latency_micros = micros;
+}
+
+void FaultInjector::TriggerAt(FaultSite site, uint64_t nth_hit,
+                              std::function<void()> trigger) {
+  ADALSH_CHECK_GE(nth_hit, 1u);
+  SiteState& state = sites_[static_cast<int>(site)];
+  state.trigger_at = nth_hit;
+  state.trigger = std::move(trigger);
+}
+
+void FaultInjector::CancelAt(FaultSite site, uint64_t nth_hit,
+                             RunController* controller) {
+  ADALSH_CHECK(controller != nullptr);
+  TriggerAt(site, nth_hit, [controller] { controller->Cancel(); });
+}
+
+void FaultInjector::OnSite(FaultSite site) {
+  SiteState& state = sites_[static_cast<int>(site)];
+  uint64_t hit = state.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (state.latency_micros > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(state.latency_micros));
+  }
+  if (state.trigger_at != 0 && hit == state.trigger_at) state.trigger();
+}
+
+uint64_t FaultInjector::hits(FaultSite site) const {
+  return sites_[static_cast<int>(site)].hits.load(std::memory_order_relaxed);
+}
+
+ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector) {
+  ADALSH_CHECK(injector != nullptr);
+  FaultInjector* previous = internal_fault::g_injector.exchange(
+      injector, std::memory_order_acq_rel);
+  ADALSH_CHECK(previous == nullptr) << "nested ScopedFaultInjector installs";
+}
+
+ScopedFaultInjector::~ScopedFaultInjector() {
+  internal_fault::g_injector.store(nullptr, std::memory_order_release);
+}
+
+}  // namespace adalsh

@@ -1,0 +1,101 @@
+#ifndef ADALSH_UTIL_FAULT_INJECTION_H_
+#define ADALSH_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+namespace adalsh {
+
+class RunController;
+
+/// Named instrumentation points in the filtering hot paths. Each site is hit
+/// exactly once per unit of cooperative-cancellation granularity, always from
+/// the thread driving the run, in an order that is a pure function of the
+/// input (never of the thread count) — the property the deterministic
+/// degradation tests rely on (docs/robustness.md).
+enum class FaultSite {
+  kHashApply = 0,  // TransitiveHasher::Apply, once per record block
+  kPairwiseTile,   // PairwiseComputer sweep, once per row stripe
+  kMerge,          // TransitiveHasher's serial merge, once per record block
+};
+inline constexpr int kNumFaultSites = 3;
+
+/// "hash_apply" / "pairwise_tile" / "merge".
+const char* FaultSiteName(FaultSite site);
+
+/// Deterministic fault-injection harness, compiled in always and zero-cost
+/// when disabled (one relaxed atomic pointer load per site hit, branch
+/// predicted to null). Install with ScopedFaultInjector; production code
+/// reports sites via FaultInjectionPoint().
+///
+/// Two fault kinds, independently configurable per site:
+///   * latency: every hit of the site sleeps a fixed number of microseconds,
+///     turning wall-clock deadline expiry into a deterministic event ("the
+///     deadline fires by the Nth hit");
+///   * cancellation: the Nth hit of the site invokes a trigger (typically
+///     RunController::Cancel), so every degradation path can be exercised at
+///     an exact, thread-count-independent point of the run.
+///
+/// Hit counters are atomics only so concurrent installs in multi-run test
+/// binaries stay race-free; in a single run all hits come from the driving
+/// thread and the observed sequence is deterministic.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Every hit of `site` sleeps `micros` microseconds (0 disables).
+  void InjectLatency(FaultSite site, int micros);
+
+  /// The `nth_hit`-th hit of `site` (1-based) invokes `trigger` once.
+  void TriggerAt(FaultSite site, uint64_t nth_hit,
+                 std::function<void()> trigger);
+
+  /// Convenience: TriggerAt with RunController::Cancel as the trigger.
+  void CancelAt(FaultSite site, uint64_t nth_hit, RunController* controller);
+
+  /// Called by instrumented code (via FaultInjectionPoint).
+  void OnSite(FaultSite site);
+
+  /// Total hits of `site` so far — lets tests discover how many sites a
+  /// reference run passes before choosing an injection point.
+  uint64_t hits(FaultSite site) const;
+
+ private:
+  struct SiteState {
+    std::atomic<uint64_t> hits{0};
+    int latency_micros = 0;
+    uint64_t trigger_at = 0;  // 0 = never
+    std::function<void()> trigger;
+  };
+  SiteState sites_[kNumFaultSites];
+};
+
+namespace internal_fault {
+extern std::atomic<FaultInjector*> g_injector;
+}  // namespace internal_fault
+
+/// The production-side hook: nearly free when no injector is installed.
+inline void FaultInjectionPoint(FaultSite site) {
+  FaultInjector* injector =
+      internal_fault::g_injector.load(std::memory_order_acquire);
+  if (injector != nullptr) injector->OnSite(site);
+}
+
+/// RAII process-global installation. Not reentrant: one installed injector at
+/// a time (nested installs are a test bug and abort).
+class ScopedFaultInjector {
+ public:
+  explicit ScopedFaultInjector(FaultInjector* injector);
+  ~ScopedFaultInjector();
+
+  ScopedFaultInjector(const ScopedFaultInjector&) = delete;
+  ScopedFaultInjector& operator=(const ScopedFaultInjector&) = delete;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_UTIL_FAULT_INJECTION_H_

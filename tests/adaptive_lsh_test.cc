@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/cost_model.h"
 #include "test_util.h"
 
 namespace adalsh {
@@ -166,6 +167,13 @@ TEST(AdaptiveLshTest, IncrementalReuseAblationSameAnswerMoreHashes) {
   AdaptiveLsh with_reuse(generated.dataset, generated.rule, config);
   config.ablate_incremental_reuse = true;
   AdaptiveLsh without_reuse(generated.dataset, generated.rule, config);
+  // Replace both wall-clock-calibrated models with one fixed model so the
+  // two instances make identical jump decisions; otherwise calibration noise
+  // can flip a jump and invert the hash-count comparison below.
+  CostModel fixed(1e-8, 1e-6);
+  fixed.set_pairwise_noise_factor(config.pairwise_noise_factor);
+  with_reuse.set_cost_model(fixed);
+  without_reuse.set_cost_model(fixed);
   FilterOutput reuse = with_reuse.Run(2);
   FilterOutput no_reuse = without_reuse.Run(2);
   EXPECT_EQ(reuse.clusters.UnionOfTopClusters(2),

@@ -101,5 +101,62 @@ TEST(DatasetLoaderTest, EmptyInputIsError) {
   EXPECT_FALSE(LoadCsvDataset(&in, *specs, false, "x").ok());
 }
 
+// Corrupt-input table: every malformed file must surface a Status (never a
+// crash) whose message pinpoints the failure — row and column where they
+// apply — so a CLI user can fix the file from the error alone.
+struct CorruptInputCase {
+  const char* name;
+  const char* columns;      // column spec
+  bool has_header;
+  const char* input;        // raw CSV bytes
+  const char* want_error;   // substring the Status message must carry
+};
+
+class CorruptInputTest : public ::testing::TestWithParam<CorruptInputCase> {};
+
+TEST_P(CorruptInputTest, ReportsContextualError) {
+  const CorruptInputCase& c = GetParam();
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs(c.columns);
+  ASSERT_TRUE(specs.ok()) << specs.status().ToString();
+  std::istringstream in(c.input);
+  StatusOr<Dataset> dataset =
+      LoadCsvDataset(&in, *specs, c.has_header, "corrupt");
+  ASSERT_FALSE(dataset.ok()) << "expected failure for case " << c.name;
+  EXPECT_NE(dataset.status().message().find(c.want_error), std::string::npos)
+      << "case " << c.name << ": error '" << dataset.status().message()
+      << "' does not mention '" << c.want_error << "'";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DatasetLoader, CorruptInputTest,
+    ::testing::Values(
+        CorruptInputCase{"short_row", "text,text", false,
+                         "a,b\nonly one\n", "line 2"},
+        CorruptInputCase{"long_row", "text,text", false,
+                         "a,b\nc,d,e\n", "expected 2 columns, got 3"},
+        CorruptInputCase{"bad_vector_token", "label,vector", false,
+                         "ok,0.1;0.2\nbad,0.3;zebra\n",
+                         "line 2, column 2"},
+        CorruptInputCase{"vector_overflow", "vector", false,
+                         "1e10;1e39\n", "non-finite"},
+        CorruptInputCase{"empty_vector_cell", "text,vector", false,
+                         "words here,0.5\nmore words,\n",
+                         "line 2, column 2: empty vector"},
+        CorruptInputCase{"ragged_vector", "text,vector", false,
+                         "w,0.1;0.2\nw,0.1;0.2;0.3\n",
+                         "line 2, column 2: vector has dimension 3"},
+        CorruptInputCase{"unterminated_quote", "text", false,
+                         "fine row\n\"never closed\n", "unterminated quote"},
+        CorruptInputCase{"unterminated_multiline_quote", "text", false,
+                         "fine row\n\"spans\nthree\nlines\n",
+                         "row started at line 2"},
+        CorruptInputCase{"featureless_spec", "label,entity", false,
+                         "a,b\n", "no feature columns"},
+        CorruptInputCase{"header_only", "entity,text", true,
+                         "id,story\n", "after the header row"}),
+    [](const ::testing::TestParamInfo<CorruptInputCase>& info) {
+      return info.param.name;
+    });
+
 }  // namespace
 }  // namespace adalsh

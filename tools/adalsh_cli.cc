@@ -7,6 +7,8 @@
 //              [--header] [--bk=10] [--recover] [--output=clusters.csv]
 //              [--threads=N] [--trace-out=trace.json]
 //              [--stats-json=report.json]
+//              [--deadline-ms=MS] [--max-pairwise=N] [--max-hashes=N]
+//              [--cancel-after-ms=MS]
 //
 // --threads sizes the worker pool for the hash hot path (default: hardware
 // concurrency). Results are identical at any thread count; see
@@ -20,6 +22,13 @@
 // Either flag enables instrumentation; with neither, the run is
 // uninstrumented (zero overhead).
 //
+// --deadline-ms / --max-pairwise / --max-hashes set anytime-execution limits
+// (docs/robustness.md): when one fires, the run stops at the next
+// cooperative check and returns the best-effort clusters found so far, with
+// the termination reason printed and carried in the --stats-json report.
+// --cancel-after-ms demonstrates cooperative cancellation: a helper thread
+// calls RunController::Cancel() after the given wall-clock time.
+//
 // Columns (one token per CSV column):
 //   label    record display label        entity   ground-truth key
 //   text     word-shingle feature        textN    N-word shingles
@@ -30,10 +39,14 @@
 // label. When the input has an entity column, gold accuracy against its
 // ground truth is printed.
 
+#include <chrono>
+#include <condition_variable>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
 
 #include "core/adaptive_lsh.h"
 #include "core/lsh_blocking.h"
@@ -47,6 +60,7 @@
 #include "obs/run_report.h"
 #include "obs/trace_recorder.h"
 #include "util/flags.h"
+#include "util/run_controller.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -76,10 +90,25 @@ int main(int argc, char** argv) {
   int threads = static_cast<int>(flags.GetInt("threads", 0));
   std::string trace_path = flags.GetString("trace-out", "");
   std::string stats_json_path = flags.GetString("stats-json", "");
+  double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  uint64_t max_pairwise =
+      static_cast<uint64_t>(flags.GetInt("max-pairwise", 0));
+  uint64_t max_hashes = static_cast<uint64_t>(flags.GetInt("max-hashes", 0));
+  double cancel_after_ms = flags.GetDouble("cancel-after-ms", 0.0);
   flags.CheckNoUnusedFlags();
 
+  if (k < 1) return Fail("--k must be >= 1");
+  if (bk < k) return Fail("--bk must be >= --k");
   if (threads < 0) return Fail("--threads must be >= 1");
   if (threads > 0) SetGlobalThreadCount(threads);
+
+  RunBudget budget;
+  budget.deadline_ms = deadline_ms;
+  budget.max_pairwise = max_pairwise;
+  budget.max_hashes = max_hashes;
+  Status budget_valid = budget.Validate();
+  if (!budget_valid.ok()) return Fail(budget_valid.ToString());
+  if (cancel_after_ms < 0.0) return Fail("--cancel-after-ms must be >= 0");
 
   if (input.empty() || columns.empty() || rule_text.empty()) {
     return Fail(
@@ -122,12 +151,40 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Anytime-execution controller. ---
+  // An external controller is needed only for --cancel-after-ms (so a helper
+  // thread can Cancel() it); plain budgets ride inside the method config.
+  // The method re-arms the controller at Run() entry, so the deadline clock
+  // excludes loading and calibration — but the canceller thread starts here,
+  // since cancellation models an outside caller's wall clock.
+  std::optional<RunController> controller;
+  std::thread canceller;
+  std::mutex cancel_mu;
+  std::condition_variable cancel_cv;
+  bool run_done = false;
+  if (cancel_after_ms > 0.0) {
+    controller.emplace(budget);
+    canceller = std::thread([&] {
+      std::unique_lock<std::mutex> lock(cancel_mu);
+      const auto wait = std::chrono::duration<double, std::milli>(
+          cancel_after_ms);
+      if (!cancel_cv.wait_for(lock, wait, [&] { return run_done; })) {
+        controller->Cancel();
+      }
+    });
+  }
+  RunController* external = controller.has_value() ? &*controller : nullptr;
+
   // --- Filter. ---
   FilterOutput result;
   if (method == "adalsh") {
     AdaptiveLshConfig config;
     config.seed = seed;
     config.instrumentation = instr;
+    config.budget = budget;
+    config.controller = external;
+    Status config_valid = config.Validate();
+    if (!config_valid.ok()) return Fail(config_valid.ToString());
     AdaptiveLsh adalsh(dataset, *rule, config);
     result = adalsh.Run(bk);
   } else if (method == "lsh") {
@@ -135,13 +192,26 @@ int main(int argc, char** argv) {
     config.num_hashes = lsh_x;
     config.seed = seed;
     config.instrumentation = instr;
+    config.budget = budget;
+    config.controller = external;
+    Status config_valid = config.Validate();
+    if (!config_valid.ok()) return Fail(config_valid.ToString());
     LshBlocking blocking(dataset, *rule, config);
     result = blocking.Run(bk);
   } else if (method == "pairs") {
-    PairsBaseline pairs(dataset, *rule, /*threads=*/1, instr);
+    PairsBaseline pairs(dataset, *rule, /*threads=*/1, instr, budget,
+                        external);
     result = pairs.Run(bk);
   } else {
     return Fail("unknown --method '" + method + "'");
+  }
+  if (canceller.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(cancel_mu);
+      run_done = true;
+    }
+    cancel_cv.notify_all();
+    canceller.join();
   }
 
   // --- Observability exports. ---
@@ -181,6 +251,11 @@ int main(int argc, char** argv) {
             << (recover ? ", recovery sims " + std::to_string(recovery_sims)
                         : "")
             << "\n";
+  if (result.stats.termination_reason != TerminationReason::kCompleted) {
+    std::cerr << "terminated early ("
+              << TerminationReasonName(result.stats.termination_reason)
+              << "): returned best-effort partial result\n";
+  }
 
   // --- Gold metrics if the file carried ground truth. ---
   bool has_entity_column = false;

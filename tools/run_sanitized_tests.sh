@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Build and run the test suite under a sanitizer.
 #
-#   tools/run_sanitized_tests.sh thread    # ThreadSanitizer  -> build-thread/
-#   tools/run_sanitized_tests.sh address   # AddressSanitizer -> build-address/
+#   tools/run_sanitized_tests.sh thread     # ThreadSanitizer   -> build-thread/
+#   tools/run_sanitized_tests.sh address    # AddressSanitizer  -> build-address/
+#   tools/run_sanitized_tests.sh undefined  # UBSanitizer       -> build-undefined/
 #
 # Extra arguments are forwarded to ctest, e.g. restrict to the concurrency
 # suites while iterating:
@@ -14,15 +15,19 @@
 # change to the hash hot path (ThreadPool, HashEngine, HashCache,
 # TransitiveHashFunction, CostModel::Calibrate) and by docs/observability.md
 # for the obs layer (MetricsRegistry shards, TraceRecorder, the ParallelFor
-# tracer hook).
+# tracer hook). The UBSan run is required by docs/robustness.md for the
+# anytime-execution machinery (RunController, the interrupted-sweep paths,
+# FaultInjector):
+#
+#   tools/run_sanitized_tests.sh undefined -R 'run_controller|deadline_smoke'
 
 set -euo pipefail
 
 sanitizer="${1:-}"
 case "${sanitizer}" in
-  thread|address) shift ;;
+  thread|address|undefined) shift ;;
   *)
-    echo "usage: $0 <thread|address> [ctest args...]" >&2
+    echo "usage: $0 <thread|address|undefined> [ctest args...]" >&2
     exit 2
     ;;
 esac
@@ -37,5 +42,6 @@ cmake --build "${build_dir}" -j "$(nproc)"
 # of scrolling past inside otherwise-green output.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
 export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
+export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 
 ctest --test-dir "${build_dir}" --output-on-failure "$@"
