@@ -1,0 +1,223 @@
+// Micro-benchmarks for the resident engine (docs/engine.md), written as a
+// JSON baseline (BENCH_engine.json) so perf regressions are diffable:
+//
+//   * ingest: streaming a Cora-like workload through ResidentEngine::Ingest
+//     at several batch sizes — small batches pay a refinement pass per
+//     batch, large batches amortize it, and the spread is the price of
+//     freshness the engine's incremental caches are supposed to bound;
+//   * one_shot: the same records in a single batch (the from-scratch
+//     filter's work shape), the reference point for the streaming overhead;
+//   * mutations: remove/update round-trips on a resident population, each
+//     of which dismantles and re-refines a level-1 component;
+//   * queries: TopK/Cluster served from the published snapshot — these ride
+//     the read path only and should be orders of magnitude above mutations.
+//
+// Flags:
+//   --out=PATH   where to write the JSON document (default
+//                BENCH_engine.json in the working directory)
+//   --smoke      tiny workloads and time budgets; used by the engine_bench_smoke
+//                ctest target to validate the schema, not to measure
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "datagen/cora_like.h"
+#include "engine/resident_engine.h"
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adalsh {
+namespace {
+
+ResidentEngine::Options EngineOptions() {
+  ResidentEngine::Options options;
+  options.config.seed = 3;
+  options.config.sequence.max_budget = 640;
+  options.top_k = 10;
+  // Pinned unit costs: the baseline must not move with calibration noise.
+  options.cost_model = CostModel(1e-8, 1e-6);
+  return options;
+}
+
+std::vector<Record> CopyRecords(const Dataset& dataset, size_t begin,
+                                size_t end) {
+  std::vector<Record> records;
+  records.reserve(end - begin);
+  for (size_t i = begin; i < end; ++i) records.push_back(dataset.record(i));
+  return records;
+}
+
+int Main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const std::string out = flags.GetString("out", "BENCH_engine.json");
+  const bool smoke = flags.GetBool("smoke", false);
+  flags.CheckNoUnusedFlags();
+
+  CoraLikeConfig config;
+  config.num_entities = smoke ? 12 : 100;
+  config.num_records = smoke ? 60 : 600;
+  config.seed = bench::kDataSeed;
+  GeneratedDataset workload = GenerateCoraLike(config);
+  const size_t n = workload.dataset.num_records();
+
+  bench::JsonWriter json;
+  json.BeginObject()
+      .Key("benchmark")
+      .String("micro_engine")
+      .Key("smoke")
+      .Bool(smoke)
+      .Key("records")
+      .Uint(n);
+
+  // --- Streaming ingest at several batch sizes. ---
+  json.Key("ingest").BeginArray();
+  double streamed_full_seconds = 0;
+  for (size_t batch : {size_t{4}, size_t{32}, n}) {
+    ResidentEngine engine(workload.rule, EngineOptions());
+    Timer timer;
+    for (size_t begin = 0; begin < n; begin += batch) {
+      const size_t end = std::min(begin + batch, n);
+      StatusOr<EngineMutationResult> result =
+          engine.Ingest(CopyRecords(workload.dataset, begin, end));
+      ADALSH_CHECK(result.ok()) << result.status().message();
+    }
+    const double seconds = timer.ElapsedSeconds();
+    if (batch == 4) streamed_full_seconds = seconds;
+    json.BeginObject()
+        .Key("batch")
+        .Uint(batch)
+        .Key("seconds")
+        .Double(seconds)
+        .Key("records_per_second")
+        .Double(static_cast<double>(n) / seconds)
+        .Key("generations")
+        .Uint(engine.counters().generation)
+        .Key("total_hashes")
+        .Uint(engine.counters().total_hashes)
+        .EndObject();
+  }
+  json.EndArray();
+
+  // --- One-shot reference: the whole workload in a single batch, timed
+  // against the batch=4 streamed run. The ratio is the cost of keeping the
+  // top-k continuously certified instead of filtering once at the end. ---
+  {
+    ResidentEngine engine(workload.rule, EngineOptions());
+    Timer timer;
+    StatusOr<EngineMutationResult> result =
+        engine.Ingest(CopyRecords(workload.dataset, 0, n));
+    ADALSH_CHECK(result.ok()) << result.status().message();
+    const double seconds = timer.ElapsedSeconds();
+    json.Key("one_shot")
+        .BeginObject()
+        .Key("seconds")
+        .Double(seconds)
+        .Key("records_per_second")
+        .Double(static_cast<double>(n) / seconds)
+        .Key("streamed_over_one_shot")
+        .Double(seconds > 0 ? streamed_full_seconds / seconds : 0.0)
+        .EndObject();
+  }
+
+  // --- Mutations and queries against a resident population. ---
+  ResidentEngine engine(workload.rule, EngineOptions());
+  StatusOr<EngineMutationResult> seeded =
+      engine.Ingest(CopyRecords(workload.dataset, 0, n));
+  ADALSH_CHECK(seeded.ok()) << seeded.status().message();
+  std::vector<ExternalId> live = seeded.value().assigned_ids;
+
+  Rng rng(bench::kDataSeed);
+  const size_t mutation_rounds = smoke ? 8 : 64;
+  Timer timer;
+  for (size_t i = 0; i < mutation_rounds; ++i) {
+    const size_t victim = rng.NextBelow(live.size());
+    const ExternalId id = live[victim];
+    StatusOr<EngineMutationResult> removed =
+        engine.Remove(std::vector<ExternalId>{id});
+    ADALSH_CHECK(removed.ok()) << removed.status().message();
+    live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+  }
+  const double remove_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  for (size_t i = 0; i < mutation_rounds; ++i) {
+    const ExternalId id = live[rng.NextBelow(live.size())];
+    StatusOr<EngineMutationResult> updated =
+        engine.Update(id, workload.dataset.record(rng.NextBelow(n)));
+    ADALSH_CHECK(updated.ok()) << updated.status().message();
+  }
+  const double update_seconds = timer.ElapsedSeconds();
+
+  json.Key("mutations")
+      .BeginObject()
+      .Key("rounds")
+      .Uint(mutation_rounds)
+      .Key("removes_per_second")
+      .Double(static_cast<double>(mutation_rounds) / remove_seconds)
+      .Key("updates_per_second")
+      .Double(static_cast<double>(mutation_rounds) / update_seconds)
+      .EndObject();
+
+  const size_t query_rounds = smoke ? 1000 : 100000;
+  const ExternalId probe = engine.Snapshot()->clusters.empty()
+                               ? 0
+                               : engine.Snapshot()->clusters[0][0];
+  timer.Reset();
+  uint64_t topk_members = 0;
+  for (size_t i = 0; i < query_rounds; ++i) {
+    StatusOr<std::vector<std::vector<ExternalId>>> top = engine.TopK(10);
+    ADALSH_CHECK(top.ok()) << top.status().message();
+    topk_members += top.value().size();
+  }
+  const double topk_seconds = timer.ElapsedSeconds();
+
+  timer.Reset();
+  uint64_t cluster_hits = 0;
+  for (size_t i = 0; i < query_rounds; ++i) {
+    cluster_hits += engine.Cluster(probe).ok();
+  }
+  const double cluster_seconds = timer.ElapsedSeconds();
+
+  json.Key("queries")
+      .BeginObject()
+      .Key("rounds")
+      .Uint(query_rounds)
+      .Key("topk_per_second")
+      .Double(static_cast<double>(query_rounds) / topk_seconds)
+      .Key("cluster_per_second")
+      .Double(static_cast<double>(query_rounds) / cluster_seconds)
+      .Key("topk_clusters_seen")
+      .Uint(topk_members)
+      .Key("cluster_hits")
+      .Uint(cluster_hits)
+      .EndObject();
+
+  json.Key("final")
+      .BeginObject()
+      .Key("generation")
+      .Uint(engine.counters().generation)
+      .Key("live_records")
+      .Uint(engine.counters().live_records)
+      .EndObject();
+
+  json.EndObject();
+  std::string doc = json.TakeString();
+  std::ofstream file(out);
+  ADALSH_CHECK(file.good()) << "cannot open " << out;
+  file << doc;
+  ADALSH_CHECK(file.good()) << "failed writing " << out;
+  std::cout << doc;
+  std::cout << "wrote " << out << "\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace adalsh
+
+int main(int argc, char** argv) { return adalsh::Main(argc, argv); }

@@ -22,6 +22,11 @@ HashEngine::HashEngine(const Dataset& dataset, RuleHashStructure structure,
   }
 }
 
+void HashEngine::GrowTo(size_t num_records) {
+  ADALSH_CHECK_LE(num_records, dataset_->num_records());
+  for (HashCache& cache : caches_) cache.GrowTo(num_records);
+}
+
 void HashEngine::EnsureHashes(RecordId r, const SchemePlan& plan) {
   ADALSH_CHECK_EQ(plan.hashes_per_unit.size(), caches_.size());
   const Record& record = dataset_->record(r);

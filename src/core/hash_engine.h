@@ -46,6 +46,12 @@ class HashEngine {
   /// this is for callers that fold hashing into their own ParallelFor).
   void PreparePlan(const SchemePlan& plan);
 
+  /// Extends every unit's cache to cover records [old, num_records) appended
+  /// to the dataset since construction (no-op when nothing was appended).
+  /// Existing cached prefixes are untouched — see HashCache::GrowTo. Call
+  /// from the ingesting thread, outside any concurrent hash pass.
+  void GrowTo(size_t num_records);
+
   /// Bucket key of record r for one table of `plan`. EnsureHashes must have
   /// covered the plan for r.
   uint64_t TableKey(RecordId r, const TablePlan& table) const;

@@ -57,6 +57,11 @@ class PairwiseComputer {
   /// construction.
   void set_controller(RunController* controller) { controller_ = controller; }
 
+  /// Re-syncs the FeatureCache after records were appended to the dataset
+  /// (resident-engine ingest). Call from the ingesting thread, outside any
+  /// concurrent Apply.
+  void NotifyDatasetGrown() { cache_.GrowTo(*dataset_); }
+
   /// Splits `records` into the connected components of the exact match graph,
   /// building trees in `forest`. Returns the component roots.
   ///

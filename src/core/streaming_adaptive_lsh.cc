@@ -1,6 +1,7 @@
 #include "core/streaming_adaptive_lsh.h"
 
 #include <optional>
+#include <string>
 #include <unordered_set>
 #include <utility>
 
@@ -88,6 +89,45 @@ void StreamingAdaptiveLsh::Add(RecordId r) {
     forest_.MakeTree(r, 0, &leaf_of_[r]);
   }
   arrivals_merged_ += merged_any ? 1 : 0;
+}
+
+Status StreamingAdaptiveLsh::Extend(std::span<const RecordId> records) {
+  if (config_.controller != nullptr &&
+      config_.controller->cancel_requested()) {
+    return Status::FailedPrecondition(
+        "Extend after Cancel(): the attached controller is sticky-cancelled; "
+        "attach a fresh controller to keep ingesting");
+  }
+  // Validate the full batch before touching any state (all-or-nothing).
+  std::unordered_set<RecordId> batch;
+  batch.reserve(records.size());
+  for (RecordId r : records) {
+    if (r >= dataset_->num_records()) {
+      return Status::OutOfRange("Extend: record id " + std::to_string(r) +
+                                " >= dataset size " +
+                                std::to_string(dataset_->num_records()));
+    }
+    if (r < leaf_of_.size() && leaf_of_[r] != kInvalidNode) {
+      return Status::InvalidArgument("Extend: record " + std::to_string(r) +
+                                     " was already ingested");
+    }
+    if (!batch.insert(r).second) {
+      return Status::InvalidArgument("Extend: record " + std::to_string(r) +
+                                     " appears twice in the batch");
+    }
+  }
+  // The dataset may have grown since construction (resident-engine append);
+  // extend every per-record structure before ingesting.
+  const size_t n = dataset_->num_records();
+  if (n > leaf_of_.size()) {
+    leaf_of_.resize(n, kInvalidNode);
+    last_fn_.resize(n, 0);
+    engine_.GrowTo(n);
+    hasher_.GrowTo(n);
+    pairwise_.NotifyDatasetGrown();
+  }
+  for (RecordId r : records) Add(r);
+  return Status::Ok();
 }
 
 FilterOutput StreamingAdaptiveLsh::TopK(int k) {

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -52,6 +53,18 @@ class StreamingAdaptiveLsh {
   /// Ingests record r: applies H_1's hash functions and merges r into the
   /// clusters sharing a bucket. O(budget_1) hashes plus table operations.
   void Add(RecordId r);
+
+  /// Batch-ingest hook for long-lived owners (the resident engine): validates
+  /// the whole batch up front, then ingests every record via Add() in the
+  /// given order. Transparently grows the per-record state when the dataset
+  /// gained records since construction. All-or-nothing: a validation failure
+  /// returns before any record is ingested.
+  ///   * FailedPrecondition — the attached controller holds a sticky
+  ///     Cancel(); an extend must not race a pending cancellation.
+  ///   * OutOfRange — an id is >= dataset.num_records().
+  ///   * InvalidArgument — an id appears twice in the batch or was already
+  ///     ingested.
+  Status Extend(std::span<const RecordId> records);
 
   /// Runs the adaptive refinement loop over the current clusters and returns
   /// the k largest (all verified by H_L or P as in Algorithm 1). Idempotent:

@@ -36,6 +36,12 @@ TransitiveHasher::TransitiveHasher(HashEngine* engine,
   leaf_epoch_.assign(num_records, 0);
 }
 
+void TransitiveHasher::GrowTo(size_t num_records) {
+  if (num_records <= leaf_of_.size()) return;
+  leaf_of_.resize(num_records, kInvalidNode);
+  leaf_epoch_.resize(num_records, 0);
+}
+
 std::vector<NodeId> TransitiveHasher::Apply(
     const std::vector<RecordId>& records, const SchemePlan& plan,
     int producer) {

@@ -50,6 +50,11 @@ class TransitiveHasher {
   /// controller of the current TopK call.
   void set_controller(RunController* controller) { controller_ = controller; }
 
+  /// Extends the per-record scratch maps after records were appended to the
+  /// dataset (resident-engine ingest). New entries start unstamped, so they
+  /// are invisible until an Apply touches them. Ingesting thread only.
+  void GrowTo(size_t num_records);
+
   /// Applies the function described by `plan` to `records`, producing one new
   /// tree per output cluster, each tagged with `producer` (the function's
   /// 0-based sequence index). Returns the new roots. Hash computation goes

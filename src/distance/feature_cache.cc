@@ -5,44 +5,62 @@
 
 namespace adalsh {
 
-FeatureCache::FeatureCache(const Dataset& dataset)
-    : num_records_(dataset.num_records()) {
-  ADALSH_CHECK_GE(num_records_, 1u) << "FeatureCache over an empty dataset";
+FeatureCache::FeatureCache(const Dataset& dataset) : num_records_(0) {
+  ADALSH_CHECK_GE(dataset.num_records(), 1u)
+      << "FeatureCache over an empty dataset";
   const Record& prototype = dataset.record(0);
   fields_.resize(prototype.num_fields());
   for (FieldId f = 0; f < fields_.size(); ++f) {
     FieldCache& cache = fields_[f];
     const Field& proto_field = prototype.field(f);
     cache.dense = proto_field.is_dense();
+    if (cache.dense) cache.dim = proto_field.size();
+  }
+  GrowTo(dataset);
+}
+
+void FeatureCache::GrowTo(const Dataset& dataset) {
+  const size_t new_count = dataset.num_records();
+  ADALSH_CHECK_GE(new_count, num_records_)
+      << "FeatureCache::GrowTo on a dataset that shrank";
+  for (FieldCache& cache : fields_) {
     if (cache.dense) {
-      cache.dim = proto_field.size();
-      cache.dense_ptrs.resize(num_records_);
-      cache.norms.resize(num_records_);
+      cache.dense_ptrs.resize(new_count);
+      cache.norms.resize(new_count);
     } else {
-      cache.token_ptrs.resize(num_records_);
+      cache.token_ptrs.resize(new_count);
     }
   }
-  for (RecordId r = 0; r < num_records_; ++r) {
+  for (RecordId r = 0; r < new_count; ++r) {
     const Record& record = dataset.record(r);
-    ADALSH_CHECK_EQ(record.num_fields(), fields_.size())
-        << "record " << r << " deviates from the schema of record 0";
+    const bool fresh = r >= num_records_;
+    if (fresh) {
+      ADALSH_CHECK_EQ(record.num_fields(), fields_.size())
+          << "record " << r << " deviates from the schema of record 0";
+    }
     for (FieldId f = 0; f < fields_.size(); ++f) {
       FieldCache& cache = fields_[f];
       const Field& field = record.field(f);
-      ADALSH_CHECK_EQ(field.is_dense(), cache.dense)
-          << "record " << r << " field " << f << " kind differs from record 0";
-      if (cache.dense) {
-        ADALSH_CHECK_EQ(field.size(), cache.dim)
+      if (fresh) {
+        ADALSH_CHECK_EQ(field.is_dense(), cache.dense)
             << "record " << r << " field " << f
-            << " dimensionality differs from record 0";
+            << " kind differs from record 0";
+      }
+      if (cache.dense) {
+        if (fresh) {
+          ADALSH_CHECK_EQ(field.size(), cache.dim)
+              << "record " << r << " field " << f
+              << " dimensionality differs from record 0";
+        }
         const std::vector<float>& values = field.dense();
         cache.dense_ptrs[r] = values.data();
-        cache.norms[r] = L2Norm(values.data(), values.size());
+        if (fresh) cache.norms[r] = L2Norm(values.data(), values.size());
       } else {
         cache.token_ptrs[r] = &field.tokens();
       }
     }
   }
+  num_records_ = new_count;
 }
 
 }  // namespace adalsh

@@ -25,13 +25,24 @@ namespace adalsh {
 ///
 /// The cache stores pointers into the Dataset's records; the Dataset must
 /// outlive it and not grow while it is alive (Dataset records are immutable
-/// once added, so any fully-built dataset qualifies).
+/// once added, so any fully-built dataset qualifies) — unless the owner calls
+/// GrowTo after each append, which re-resolves every pointer.
 class FeatureCache {
  public:
   explicit FeatureCache(const Dataset& dataset);
 
   FeatureCache(const FeatureCache&) = delete;
   FeatureCache& operator=(const FeatureCache&) = delete;
+
+  /// Re-syncs the cache with a dataset that grew since construction (must be
+  /// the same dataset object): validates the appended records against the
+  /// schema, computes their norms, and re-resolves ALL payload pointers —
+  /// appending to the dataset's record vector may have moved the Record
+  /// objects, which invalidates token pointers (the float payloads survive
+  /// moves, but re-resolving everything keeps the invariant trivial). Cached
+  /// norms of existing records are kept (records are immutable). Call from
+  /// the ingesting thread, outside any concurrent pairwise evaluation.
+  void GrowTo(const Dataset& dataset);
 
   size_t num_fields() const { return fields_.size(); }
   size_t num_records() const { return num_records_; }

@@ -1,0 +1,76 @@
+#include "engine/engine_report.h"
+
+#include <memory>
+
+#include "obs/json_writer.h"
+#include "obs/run_report.h"
+
+namespace adalsh {
+
+std::string WriteEngineReportJson(const ResidentEngine& engine,
+                                  const MetricsSnapshot* metrics) {
+  const std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+  const EngineCounters counters = engine.counters();
+
+  JsonWriter json;
+  json.BeginObject()
+      .Key("schema")
+      .String("adalsh-engine-report-v1")
+      .Key("top_k")
+      .Int(engine.top_k());
+
+  json.Key("counters")
+      .BeginObject()
+      .Key("batches")
+      .Uint(counters.batches)
+      .Key("ingested")
+      .Uint(counters.ingested)
+      .Key("removed")
+      .Uint(counters.removed)
+      .Key("updated")
+      .Uint(counters.updated)
+      .Key("arrivals_merged")
+      .Uint(counters.arrivals_merged)
+      .Key("refinements_completed")
+      .Uint(counters.refinements_completed)
+      .Key("refinements_interrupted")
+      .Uint(counters.refinements_interrupted)
+      .Key("generation")
+      .Uint(counters.generation)
+      .Key("live_records")
+      .Uint(counters.live_records)
+      .Key("internal_records")
+      .Uint(counters.internal_records)
+      .Key("total_hashes")
+      .Uint(counters.total_hashes)
+      .Key("total_similarities")
+      .Uint(counters.total_similarities)
+      .EndObject();
+
+  json.Key("snapshot")
+      .BeginObject()
+      .Key("generation")
+      .Uint(snap->generation)
+      .Key("live_records")
+      .Uint(snap->live_records);
+  json.Key("cluster_sizes").BeginArray();
+  for (const auto& cluster : snap->clusters) json.Uint(cluster.size());
+  json.EndArray();
+  json.Key("cluster_verification").BeginArray();
+  for (int level : snap->verification) json.Int(level);
+  json.EndArray();
+  // The refinement pass that published this snapshot, with the run report's
+  // keys (obs/run_report.h).
+  json.Key("refinement").BeginObject();
+  AppendFilterStats(snap->stats, &json);
+  json.EndObject();
+  json.EndObject();
+
+  if (metrics != nullptr) {
+    json.Key("metrics");
+    AppendMetricsSnapshot(*metrics, &json);
+  }
+  return json.EndObject().TakeString();
+}
+
+}  // namespace adalsh

@@ -1,0 +1,25 @@
+#ifndef ADALSH_ENGINE_ENGINE_REPORT_H_
+#define ADALSH_ENGINE_ENGINE_REPORT_H_
+
+#include <string>
+
+#include "engine/resident_engine.h"
+#include "obs/metrics_registry.h"
+
+namespace adalsh {
+
+/// The resident engine's machine-readable report (schema
+/// "adalsh-engine-report-v1", documented in docs/engine.md): whole-life
+/// counters, the current snapshot's shape (generation, live records, cluster
+/// sizes, verification levels), the accounting of the refinement pass that
+/// published it — emitted with the exact keys of the run report via the
+/// shared AppendFilterStats — and optionally a metrics snapshot.
+///
+/// Reads the engine's published snapshot and counters; safe to call from any
+/// thread (it may block behind an in-flight mutation for the counters).
+std::string WriteEngineReportJson(const ResidentEngine& engine,
+                                  const MetricsSnapshot* metrics = nullptr);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_ENGINE_ENGINE_REPORT_H_

@@ -1,0 +1,687 @@
+#include "engine/resident_engine.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/termination.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adalsh {
+namespace {
+
+/// Structural schema check against the engine's prototype record — the same
+/// invariants FeatureCache asserts with CHECKs, surfaced as a Status before
+/// any engine state is touched.
+Status CheckSchema(const Record& prototype, const Record& record,
+                   size_t index) {
+  if (record.num_fields() != prototype.num_fields()) {
+    return Status::InvalidArgument(
+        "record " + std::to_string(index) + " has " +
+        std::to_string(record.num_fields()) + " fields, engine schema has " +
+        std::to_string(prototype.num_fields()));
+  }
+  for (FieldId f = 0; f < record.num_fields(); ++f) {
+    const Field& field = record.field(f);
+    const Field& proto = prototype.field(f);
+    if (field.is_dense() != proto.is_dense()) {
+      return Status::InvalidArgument("record " + std::to_string(index) +
+                                     " field " + std::to_string(f) +
+                                     " kind differs from the engine schema");
+    }
+    if (field.is_dense() && field.size() != proto.size()) {
+      return Status::InvalidArgument(
+          "record " + std::to_string(index) + " field " + std::to_string(f) +
+          " has dimension " + std::to_string(field.size()) +
+          ", engine schema has " + std::to_string(proto.size()));
+    }
+  }
+  return Status::Ok();
+}
+
+Status CancelledStatus(const char* op) {
+  return Status::FailedPrecondition(
+      std::string(op) +
+      " after Cancel(): the effective controller is sticky-cancelled; "
+      "attach a fresh controller to keep mutating");
+}
+
+}  // namespace
+
+ResidentEngine::ResidentEngine(MatchRule rule, Options options)
+    : rule_(std::move(rule)),
+      options_(std::move(options)),
+      pool_(options_.config.threads),
+      dataset_("resident") {
+  Status valid = options_.config.Validate();
+  ADALSH_CHECK(valid.ok()) << valid.ToString();
+  ADALSH_CHECK_GE(options_.top_k, 1) << "ResidentEngine top_k must be >= 1";
+  // Generation 0: the published view before any completed refinement.
+  snapshot_ = std::make_shared<EngineSnapshot>();
+}
+
+EngineBatchOptions ResidentEngine::EffectiveOptions(
+    const EngineBatchOptions& opts) const {
+  EngineBatchOptions eff = opts;
+  if (eff.controller == nullptr && eff.budget.unlimited()) {
+    eff.controller = options_.config.controller;
+    eff.budget = options_.config.budget;
+  }
+  return eff;
+}
+
+StatusOr<EngineMutationResult> ResidentEngine::Ingest(
+    std::vector<Record> records, const EngineBatchOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineBatchOptions eff = EffectiveOptions(opts);
+  if (eff.controller != nullptr && eff.controller->cancel_requested()) {
+    return CancelledStatus("Ingest");
+  }
+  if (!records.empty()) {
+    const Record& prototype =
+        dataset_.num_records() > 0 ? dataset_.record(0) : records.front();
+    for (size_t i = 0; i < records.size(); ++i) {
+      Status schema = CheckSchema(prototype, records[i], i);
+      if (!schema.ok()) return schema;
+    }
+    if (!initialized_) {
+      // Build the sequence before mutating anything: it is the only fallible
+      // initialization step, and Ingest is all-or-nothing.
+      StatusOr<FunctionSequence> built = FunctionSequence::Build(
+          rule_, records.front(), options_.config.sequence);
+      if (!built.ok()) return built.status();
+      sequence_.emplace(std::move(built).value());
+    }
+  }
+  std::vector<ExternalId> ids;
+  ids.reserve(records.size());
+  for (size_t i = 0; i < records.size(); ++i) ids.push_back(next_ext_id_++);
+  return ApplyBatch(std::move(records), std::move(ids), {}, eff);
+}
+
+StatusOr<EngineMutationResult> ResidentEngine::Remove(
+    std::span<const ExternalId> ids, const EngineBatchOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineBatchOptions eff = EffectiveOptions(opts);
+  if (eff.controller != nullptr && eff.controller->cancel_requested()) {
+    return CancelledStatus("Remove");
+  }
+  std::vector<RecordId> ints;
+  ints.reserve(ids.size());
+  std::unordered_set<ExternalId> seen;
+  for (ExternalId id : ids) {
+    auto it = int_of_.find(id);
+    if (it == int_of_.end()) {
+      return Status::NotFound("Remove: no live record with id " +
+                              std::to_string(id));
+    }
+    if (!seen.insert(id).second) {
+      return Status::InvalidArgument("Remove: id " + std::to_string(id) +
+                                     " appears twice in the batch");
+    }
+    ints.push_back(it->second);
+  }
+  return ApplyBatch({}, {}, ints, eff);
+}
+
+StatusOr<EngineMutationResult> ResidentEngine::Update(
+    ExternalId id, Record record, const EngineBatchOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineBatchOptions eff = EffectiveOptions(opts);
+  if (eff.controller != nullptr && eff.controller->cancel_requested()) {
+    return CancelledStatus("Update");
+  }
+  auto it = int_of_.find(id);
+  if (it == int_of_.end()) {
+    return Status::NotFound("Update: no live record with id " +
+                            std::to_string(id));
+  }
+  Status schema = CheckSchema(dataset_.record(0), record, 0);
+  if (!schema.ok()) return schema;
+  std::vector<Record> adds;
+  adds.push_back(std::move(record));
+  ++counters_.updated;
+  return ApplyBatch(std::move(adds), {id}, {it->second}, eff);
+}
+
+StatusOr<EngineMutationResult> ResidentEngine::Flush(
+    const EngineBatchOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineBatchOptions eff = EffectiveOptions(opts);
+  if (eff.controller != nullptr && eff.controller->cancel_requested()) {
+    return CancelledStatus("Flush");
+  }
+  return ApplyBatch({}, {}, {}, eff);
+}
+
+EngineMutationResult ResidentEngine::ApplyBatch(
+    std::vector<Record> adds, std::vector<ExternalId> add_ext_ids,
+    const std::vector<RecordId>& removed_ints,
+    const EngineBatchOptions& opts) {
+  const Instrumentation& instr = options_.config.instrumentation;
+  TraceRecorder::Span span(instr.trace, "engine_batch", "engine");
+  span.AddArg("adds", static_cast<double>(adds.size()));
+  span.AddArg("removes", static_cast<double>(removed_ints.size()));
+  ++counters_.batches;
+
+  if (!removed_ints.empty()) {
+    RemoveLocked(removed_ints);
+    counters_.removed += removed_ints.size();
+  }
+
+  if (!adds.empty()) {
+    const RecordId first_new = static_cast<RecordId>(dataset_.num_records());
+    for (Record& record : adds) {
+      // The engine has no ground truth; entity 0 is a placeholder (the
+      // dataset's truth accessors are never used through this path).
+      dataset_.AddRecord(std::move(record), /*entity=*/0);
+    }
+    if (!initialized_) InitializeLocked();
+    GrowStateLocked();
+    for (size_t i = 0; i < adds.size(); ++i) {
+      const RecordId r = first_new + static_cast<RecordId>(i);
+      live_[r] = 1;
+      ext_of_[r] = add_ext_ids[i];
+      int_of_[add_ext_ids[i]] = r;
+      ArriveLocked(r);
+    }
+    counters_.ingested += adds.size();
+  }
+
+  EngineMutationResult result;
+  result.assigned_ids = std::move(add_ext_ids);
+  if (initialized_) {
+    std::vector<NodeId> finals;
+    result.refinement = RefineLocked(opts, &finals, &result.stats);
+    if (result.refinement == TerminationReason::kCompleted) {
+      ++counters_.refinements_completed;
+      PublishLocked(finals, result.stats);
+    } else {
+      ++counters_.refinements_interrupted;
+    }
+  }
+  result.generation = generation_;
+  if (instr.metrics != nullptr) {
+    instr.metrics->AddCounter("engine_batches", 1);
+    instr.metrics->AddCounter("engine_records_ingested", adds.size());
+    instr.metrics->AddCounter("engine_records_removed", removed_ints.size());
+    instr.metrics->SetGauge("engine_generation",
+                            static_cast<double>(generation_));
+    instr.metrics->SetGauge("engine_live_records",
+                            static_cast<double>(int_of_.size()));
+  }
+  return result;
+}
+
+void ResidentEngine::InitializeLocked() {
+  ADALSH_CHECK(!initialized_);
+  ADALSH_CHECK(sequence_.has_value());
+  if (options_.cost_model.has_value()) {
+    cost_model_.emplace(*options_.cost_model);
+  } else {
+    cost_model_.emplace(CostModel::Calibrate(
+        dataset_, rule_, options_.config.calibration_samples,
+        options_.config.seed, pool_.get(), options_.config.instrumentation));
+  }
+  cost_model_->set_pairwise_noise_factor(options_.config.pairwise_noise_factor);
+  engine_.emplace(dataset_, sequence_->structure(), options_.config.seed);
+  hasher_.emplace(&*engine_, &forest_, dataset_.num_records(), pool_.get(),
+                  options_.config.instrumentation);
+  pairwise_.emplace(dataset_, rule_, pool_.get(),
+                    options_.config.instrumentation);
+  buckets_.resize(sequence_->plan(0).tables.size());
+  initialized_ = true;
+}
+
+void ResidentEngine::GrowStateLocked() {
+  const size_t n = dataset_.num_records();
+  counters_.internal_records = n;
+  if (live_.size() >= n) return;
+  live_.resize(n, 0);
+  leaf_of_.resize(n, kInvalidNode);
+  last_fn_.resize(n, 0);
+  ext_of_.resize(n, 0);
+  engine_->GrowTo(n);
+  hasher_->GrowTo(n);
+  pairwise_->NotifyDatasetGrown();
+}
+
+void ResidentEngine::ArriveLocked(RecordId r) {
+  const SchemePlan& plan0 = sequence_->plan(0);
+  engine_->EnsureHashes(r, plan0);
+  last_fn_[r] = 0;  // arrival evidence is level-1 only
+  bool merged_any = false;
+  for (size_t t = 0; t < plan0.tables.size(); ++t) {
+    const uint64_t key = engine_->TableKey(r, plan0.tables[t]);
+    std::vector<RecordId>& members = buckets_[t][key];
+    // The newest live member is the merge partner (every live member of a
+    // bucket is in the same component, so any one works); dead tail entries
+    // are pruned on the way.
+    while (!members.empty() && !live_[members.back()]) members.pop_back();
+    if (members.empty()) {
+      if (leaf_of_[r] == kInvalidNode) {
+        forest_.MakeTree(r, /*producer=*/0, &leaf_of_[r]);
+      }
+    } else {
+      const RecordId other = members.back();
+      NodeId other_root = forest_.FindRoot(leaf_of_[other]);
+      if (forest_.Producer(other_root) != 0) {
+        // The partner sits in a refined piece, so its component may be split
+        // across several trees. The reference semantics restart the whole
+        // level-1 cluster — the arrival may bridge two pieces at a deeper
+        // hash level — so the component is merged back into one open tree.
+        other_root = ReopenComponentLocked(other);
+      }
+      if (leaf_of_[r] == kInvalidNode) {
+        leaf_of_[r] = forest_.AddLeaf(other_root, r);
+        // New member joined on level-1 evidence: the cluster must be
+        // re-verified by the next refinement pass.
+        forest_.SetProducer(other_root, 0);
+        merged_any = true;
+      } else {
+        const NodeId my_root = forest_.FindRoot(leaf_of_[r]);
+        if (my_root != other_root) {
+          forest_.SetProducer(forest_.Merge(my_root, other_root), 0);
+          merged_any = true;
+        }
+      }
+    }
+    members.push_back(r);
+  }
+  if (plan0.tables.empty() && leaf_of_[r] == kInvalidNode) {
+    forest_.MakeTree(r, 0, &leaf_of_[r]);
+  }
+  counters_.arrivals_merged += merged_any ? 1 : 0;
+}
+
+NodeId ResidentEngine::ReopenComponentLocked(RecordId seed) {
+  const SchemePlan& plan0 = sequence_->plan(0);
+  std::unordered_set<RecordId> visited = {seed};
+  std::vector<RecordId> stack = {seed};
+  NodeId root = forest_.FindRoot(leaf_of_[seed]);
+  while (!stack.empty()) {
+    const RecordId cur = stack.back();
+    stack.pop_back();
+    for (size_t t = 0; t < plan0.tables.size(); ++t) {
+      const uint64_t key = engine_->TableKey(cur, plan0.tables[t]);
+      auto it = buckets_[t].find(key);
+      if (it == buckets_[t].end()) continue;
+      for (RecordId m : it->second) {
+        if (!live_[m] || !visited.insert(m).second) continue;
+        stack.push_back(m);
+        const NodeId m_root = forest_.FindRoot(leaf_of_[m]);
+        if (m_root != root) root = forest_.Merge(root, m_root);
+      }
+    }
+  }
+  // Merge keeps every leaf node intact, so leaf_of_ needs no reindexing;
+  // last_fn_ keeps recording the last function actually applied.
+  forest_.SetProducer(root, 0);
+  return root;
+}
+
+void ResidentEngine::RemoveLocked(const std::vector<RecordId>& removed_ints) {
+  const SchemePlan& plan0 = sequence_->plan(0);
+  const std::unordered_set<RecordId> in_batch(removed_ints.begin(),
+                                              removed_ints.end());
+
+  // 1. The dirty region: every record reachable from a removed record
+  // through shared level-1 bucket keys, where the removed records themselves
+  // still conduct (they may be the only bridge between two live subsets
+  // whose merge evidence dies with them). Records removed by earlier batches
+  // never conduct — their components were regrouped when they left — and are
+  // pruned from the member lists as the walk touches them.
+  std::unordered_set<RecordId> visited(removed_ints.begin(),
+                                       removed_ints.end());
+  std::vector<RecordId> frontier(removed_ints.begin(), removed_ints.end());
+  while (!frontier.empty()) {
+    const RecordId r = frontier.back();
+    frontier.pop_back();
+    for (size_t t = 0; t < plan0.tables.size(); ++t) {
+      const uint64_t key = engine_->TableKey(r, plan0.tables[t]);
+      auto it = buckets_[t].find(key);
+      if (it == buckets_[t].end()) continue;
+      std::erase_if(it->second, [&](RecordId m) {
+        return !live_[m] && in_batch.count(m) == 0;
+      });
+      for (RecordId m : it->second) {
+        if (visited.insert(m).second) frontier.push_back(m);
+      }
+    }
+  }
+  std::vector<RecordId> dirty_live;
+  for (RecordId m : visited) {
+    if (in_batch.count(m) == 0) dirty_live.push_back(m);
+  }
+
+  // 2. The removed records die: liveness, id binding, tree membership, and
+  // their bucket entries all go (their trees are dismantled with the dirty
+  // region below, so no live tree ever contains a dead record).
+  for (RecordId r : removed_ints) {
+    live_[r] = 0;
+    int_of_.erase(ext_of_[r]);
+    leaf_of_[r] = kInvalidNode;
+    last_fn_[r] = 0;
+  }
+  for (RecordId r : removed_ints) {
+    for (size_t t = 0; t < plan0.tables.size(); ++t) {
+      const uint64_t key = engine_->TableKey(r, plan0.tables[t]);
+      auto it = buckets_[t].find(key);
+      if (it == buckets_[t].end()) continue;
+      std::erase(it->second, r);
+      if (it->second.empty()) buckets_[t].erase(it);
+    }
+  }
+
+  // 3. Dismantle the dirty survivors back to level 1: their old trees (and
+  // any refinement level those trees had earned) may rest on evidence routed
+  // through a removed record, so all of it is conservatively discarded. The
+  // orphaned trees simply stop being referenced — forest nodes are never
+  // freed.
+  std::sort(dirty_live.begin(), dirty_live.end());
+  for (RecordId r : dirty_live) {
+    leaf_of_[r] = kInvalidNode;
+    last_fn_[r] = 0;
+  }
+
+  // 4. Regroup the survivors by their post-removal connectivity (live
+  // records only) and rebuild each group as a fresh level-1 tree — exactly
+  // the partition a fresh engine's level-1 pass would produce, which is what
+  // keeps removal confluent with from-scratch ingestion.
+  std::unordered_set<RecordId> grouped;
+  for (RecordId seed : dirty_live) {
+    if (grouped.count(seed) != 0) continue;
+    grouped.insert(seed);
+    std::vector<RecordId> group;
+    std::vector<RecordId> stack = {seed};
+    while (!stack.empty()) {
+      const RecordId r = stack.back();
+      stack.pop_back();
+      group.push_back(r);
+      for (size_t t = 0; t < plan0.tables.size(); ++t) {
+        const uint64_t key = engine_->TableKey(r, plan0.tables[t]);
+        auto it = buckets_[t].find(key);
+        if (it == buckets_[t].end()) continue;
+        for (RecordId m : it->second) {
+          if (!live_[m] || grouped.count(m) != 0) continue;
+          // Post-removal connectivity only shrinks, so the walk stays inside
+          // the dirty region.
+          ADALSH_CHECK_EQ(leaf_of_[m], kInvalidNode);
+          grouped.insert(m);
+          stack.push_back(m);
+        }
+      }
+    }
+    std::sort(group.begin(), group.end());
+    NodeId leaf = kInvalidNode;
+    const NodeId root = forest_.MakeTree(group[0], /*producer=*/0, &leaf);
+    leaf_of_[group[0]] = leaf;
+    for (size_t i = 1; i < group.size(); ++i) {
+      leaf_of_[group[i]] = forest_.AddLeaf(root, group[i]);
+    }
+  }
+}
+
+ExternalId ResidentEngine::MinExternalId(NodeId root) const {
+  ExternalId min_ext = std::numeric_limits<ExternalId>::max();
+  forest_.ForEachLeaf(
+      root, [&](RecordId r) { min_ext = std::min(min_ext, ext_of_[r]); });
+  return min_ext;
+}
+
+void ResidentEngine::ReindexLeaves(NodeId root) {
+  forest_.ForEachLeafNode(
+      root, [this](RecordId r, NodeId leaf) { leaf_of_[r] = leaf; });
+}
+
+TerminationReason ResidentEngine::RefineLocked(const EngineBatchOptions& opts,
+                                               std::vector<NodeId>* finals,
+                                               FilterStats* out_stats) {
+  Timer timer;
+  const Instrumentation instr = options_.config.instrumentation;
+  TraceRecorder::Span refine_span(instr.trace, "engine_refine", "engine");
+  const int k = options_.top_k;
+  const int last_function = static_cast<int>(sequence_->size()) - 1;
+
+  // Canonical Largest-First selection: size descending, ties by ascending
+  // smallest external id (unique per cluster, so the order is total and
+  // engine-history-independent — the root id never actually decides).
+  struct Candidate {
+    uint32_t size;
+    ExternalId min_ext;
+    NodeId root;
+  };
+  struct CandidateLess {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      if (a.size != b.size) return a.size > b.size;
+      if (a.min_ext != b.min_ext) return a.min_ext < b.min_ext;
+      return a.root < b.root;
+    }
+  };
+  std::set<Candidate, CandidateLess> pending;
+  auto insert_root = [&](NodeId root) {
+    pending.insert({forest_.LeafCount(root), MinExternalId(root), root});
+  };
+  {
+    std::unordered_set<NodeId> seen;
+    for (size_t r = 0; r < live_.size(); ++r) {
+      if (!live_[r]) continue;
+      const NodeId root = forest_.FindRoot(leaf_of_[r]);
+      if (seen.insert(root).second) insert_root(root);
+    }
+  }
+
+  FilterStats stats;
+  const uint64_t sims_before = pairwise_->total_similarities();
+  const uint64_t hashes_before = engine_->total_hashes_computed();
+  // Per-request SLO (docs/engine.md): the effective controller is armed with
+  // the engine's cumulative counters as this pass's zero points; the
+  // long-lived hasher/pairwise borrow it for the duration of the pass.
+  std::optional<RunController> local_controller;
+  RunController* controller =
+      ResolveController(opts.controller, opts.budget, &local_controller,
+                        hashes_before, sims_before);
+  hasher_->set_controller(controller);
+  pairwise_->set_controller(controller);
+  auto stop_now = [&] {
+    if (controller == nullptr) return false;
+    controller->ReportHashes(engine_->total_hashes_computed());
+    controller->ReportPairwise(pairwise_->total_similarities());
+    return controller->ShouldStop();
+  };
+
+  finals->clear();
+  while (finals->size() < static_cast<size_t>(k) && !pending.empty()) {
+    if (stop_now()) break;  // round boundary (anytime exit)
+    const Candidate top = *pending.begin();
+    pending.erase(pending.begin());
+    const NodeId root = top.root;
+    const int producer = forest_.Producer(root);
+    if (producer == kProducerPairwise || producer == last_function) {
+      finals->push_back(root);
+      continue;
+    }
+    std::vector<RecordId> records = forest_.Leaves(root);
+    const int next = producer + 1;
+
+    RoundRecord round;
+    round.round = stats.rounds + 1;
+    round.cluster_size = records.size();
+    const uint64_t round_hashes_before = engine_->total_hashes_computed();
+    const uint64_t round_sims_before = pairwise_->total_similarities();
+    Timer round_timer;
+    TraceRecorder::Span round_span(instr.trace, "round", "round");
+    if (instr.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = round.round;
+      start.cluster_size = records.size();
+      start.producer = producer;
+      instr.observer->OnRoundStart(start);
+    }
+
+    // Interruption handling as in the streaming mode: an interrupted sweep's
+    // partial trees are orphaned, the original tree (and leaf_of_, which
+    // still points into it) is untouched, and the cluster keeps its previous
+    // verification level.
+    bool interrupted = false;
+    std::vector<NodeId> new_roots;
+    if (cost_model_->ShouldJumpToPairwise(sequence_->budget(producer),
+                                          sequence_->budget(next),
+                                          records.size())) {
+      round.action = RoundAction::kPairwise;
+      round.modeled_cost = cost_model_->PairwiseCost(records.size());
+      new_roots = pairwise_->Apply(records, &forest_);
+      round.pairwise_seconds = round_timer.ElapsedSeconds();
+      interrupted = pairwise_->last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn_[r] = kLastFunctionPairwise;
+      }
+    } else {
+      round.action = RoundAction::kHash;
+      round.function_index = next;
+      round.modeled_cost =
+          cost_model_->HashUpgradeCost(sequence_->budget(producer),
+                                       sequence_->budget(next)) *
+          static_cast<double>(records.size());
+      new_roots = hasher_->Apply(records, sequence_->plan(next), next);
+      round.hash_seconds = round_timer.ElapsedSeconds();
+      interrupted = hasher_->last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn_[r] = next;
+      }
+    }
+    round.interrupted = interrupted;
+    round.hashes_computed =
+        engine_->total_hashes_computed() - round_hashes_before;
+    round.pairwise_similarities =
+        pairwise_->total_similarities() - round_sims_before;
+    round.wall_seconds = round_timer.ElapsedSeconds();
+    ++stats.rounds;
+    if (instr.metrics != nullptr) {
+      instr.metrics->AddCounter("rounds", 1);
+      instr.metrics->RecordValue("round_cluster_size",
+                                 static_cast<double>(round.cluster_size));
+      instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+    }
+    stats.round_records.push_back(round);
+    if (instr.observer != nullptr) {
+      instr.observer->OnRoundEnd(stats.round_records.back());
+    }
+
+    if (interrupted) {
+      // Discard the round: leaf_of_ must keep pointing into the original
+      // tree. The stuck controller ends the loop at its next check.
+      insert_root(root);
+      continue;
+    }
+    for (NodeId new_root : new_roots) {
+      ReindexLeaves(new_root);
+      insert_root(new_root);
+    }
+  }
+  // Detach before returning: a request-local controller dies with this pass.
+  hasher_->set_controller(nullptr);
+  pairwise_->set_controller(nullptr);
+
+  stats.termination_reason = controller != nullptr
+                                 ? controller->reason()
+                                 : TerminationReason::kCompleted;
+  stats.filtering_seconds = timer.ElapsedSeconds();
+  stats.pairwise_similarities = pairwise_->total_similarities() - sims_before;
+  stats.hashes_computed = engine_->total_hashes_computed() - hashes_before;
+  // Definition 3 snapshot over every live record: each is counted exactly
+  // once, under the last function applied to it (filter_output.h invariants).
+  stats.records_last_hashed_at.assign(sequence_->size(), 0);
+  for (size_t r = 0; r < live_.size(); ++r) {
+    if (!live_[r]) continue;
+    if (last_fn_[r] == kLastFunctionPairwise) {
+      ++stats.records_finished_by_pairwise;
+    } else {
+      ++stats.records_last_hashed_at[last_fn_[r]];
+    }
+  }
+  stats.modeled_cost =
+      cost_model_->cost_per_hash() *
+          static_cast<double>(stats.hashes_computed) +
+      cost_model_->cost_per_pair() *
+          static_cast<double>(stats.pairwise_similarities);
+  FillClusterVerification(forest_, *finals, &stats);
+  ReportTermination(instr, stats, finals->size());
+  *out_stats = std::move(stats);
+  return out_stats->termination_reason;
+}
+
+void ResidentEngine::PublishLocked(const std::vector<NodeId>& finals,
+                                   FilterStats stats) {
+  auto snap = std::make_shared<EngineSnapshot>();
+  snap->generation = ++generation_;
+  snap->live_records = int_of_.size();
+  snap->clusters.reserve(finals.size());
+  snap->verification.reserve(finals.size());
+  for (size_t i = 0; i < finals.size(); ++i) {
+    const NodeId root = finals[i];
+    std::vector<ExternalId> members;
+    members.reserve(forest_.LeafCount(root));
+    forest_.ForEachLeaf(root,
+                        [&](RecordId r) { members.push_back(ext_of_[r]); });
+    std::sort(members.begin(), members.end());
+    for (ExternalId member : members) snap->cluster_of.emplace(member, i);
+    snap->clusters.push_back(std::move(members));
+    snap->verification.push_back(VerificationLevel(forest_, root));
+  }
+  snap->stats = std::move(stats);
+  counters_.generation = generation_;
+  const Instrumentation& instr = options_.config.instrumentation;
+  if (instr.metrics != nullptr) {
+    instr.metrics->AddCounter("engine_snapshots_published", 1);
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const EngineSnapshot> ResidentEngine::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+StatusOr<std::vector<std::vector<ExternalId>>> ResidentEngine::TopK(
+    int k) const {
+  if (k < 1) return Status::InvalidArgument("TopK: k must be >= 1");
+  std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+  const size_t count =
+      std::min(static_cast<size_t>(k), snap->clusters.size());
+  return std::vector<std::vector<ExternalId>>(
+      snap->clusters.begin(), snap->clusters.begin() + count);
+}
+
+StatusOr<std::vector<ExternalId>> ResidentEngine::Cluster(
+    ExternalId id) const {
+  std::shared_ptr<const EngineSnapshot> snap = Snapshot();
+  auto it = snap->cluster_of.find(id);
+  if (it == snap->cluster_of.end()) {
+    return Status::NotFound("record " + std::to_string(id) +
+                            " is in no cluster of snapshot generation " +
+                            std::to_string(snap->generation));
+  }
+  return snap->clusters[it->second];
+}
+
+EngineCounters ResidentEngine::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  EngineCounters counters = counters_;
+  counters.generation = generation_;
+  counters.live_records = int_of_.size();
+  counters.internal_records = dataset_.num_records();
+  if (initialized_) {
+    counters.total_hashes = engine_->total_hashes_computed();
+    counters.total_similarities = pairwise_->total_similarities();
+  }
+  return counters;
+}
+
+}  // namespace adalsh

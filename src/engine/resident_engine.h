@@ -1,0 +1,303 @@
+#ifndef ADALSH_ENGINE_RESIDENT_ENGINE_H_
+#define ADALSH_ENGINE_RESIDENT_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+#include "core/adaptive_lsh.h"
+#include "core/cost_model.h"
+#include "core/filter_output.h"
+#include "core/function_sequence.h"
+#include "core/hash_engine.h"
+#include "core/pairwise.h"
+#include "core/transitive_hash_function.h"
+#include "distance/rule.h"
+#include "record/dataset.h"
+#include "util/run_controller.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace adalsh {
+
+/// Stable client-facing record handle of the resident engine. External ids
+/// are assigned by Ingest (monotonically increasing) and survive Update — an
+/// update rebinds the id to the new record contents. Internal RecordIds are
+/// an implementation detail: the engine's dataset grows monotonically and an
+/// updated record gets a fresh internal id, which is what keeps every hash
+/// cache entry valid forever (a given internal id's contents never change).
+using ExternalId = uint64_t;
+
+/// An immutable point-in-time view of the engine's certified top-k, shared
+/// with query threads by shared_ptr. A snapshot is only ever published by a
+/// refinement pass that ran to completion; interrupted passes (deadline,
+/// budget, cancel) leave the previous snapshot in place, so queries always
+/// see a fully certified answer (docs/engine.md).
+struct EngineSnapshot {
+  /// Publication counter: strictly increasing, 0 = the empty pre-ingest
+  /// snapshot. A query comparing generations can detect concurrent progress.
+  uint64_t generation = 0;
+
+  /// Live records at publication time.
+  size_t live_records = 0;
+
+  /// The certified top-k clusters in canonical order — descending size, ties
+  /// by ascending smallest member id — with each cluster's members sorted
+  /// ascending. Canonical ordering makes the snapshot byte-comparable across
+  /// engines that ingested the same live set by different histories (the
+  /// confluence property the differential tests assert).
+  std::vector<std::vector<ExternalId>> clusters;
+
+  /// Verification level per cluster, parallel to `clusters`:
+  /// kLastFunctionPairwise for P-certified clusters, otherwise the 0-based
+  /// index of the producing hash function (L-1 = fully hash-verified).
+  std::vector<int> verification;
+
+  /// Member -> index into `clusters` for O(1) Cluster(id) lookups.
+  std::unordered_map<ExternalId, size_t> cluster_of;
+
+  /// Accounting of the refinement pass that published this snapshot.
+  FilterStats stats;
+};
+
+/// Per-mutation execution limits: the request's SLO. The controller (when
+/// set) overrides the budget and allows cross-thread Cancel(), mirroring
+/// AdaptiveLshConfig::controller.
+struct EngineBatchOptions {
+  RunBudget budget;
+  RunController* controller = nullptr;
+};
+
+/// What a mutation did. `refinement` tells whether the post-mutation
+/// refinement pass completed (kCompleted => `generation` is a new snapshot
+/// containing this mutation) or was interrupted by the request's SLO
+/// (`generation` is then the previous published snapshot; the mutation's
+/// records are ingested and a later mutation or Flush() will certify them).
+struct EngineMutationResult {
+  /// Ids bound to the mutation's records, in record order: freshly assigned
+  /// for Ingest, the (stable) rebound id for Update, empty otherwise.
+  std::vector<ExternalId> assigned_ids;
+  uint64_t generation = 0;
+  TerminationReason refinement = TerminationReason::kCompleted;
+  FilterStats stats;  // the refinement pass's accounting
+};
+
+/// Monotonic whole-life counters (engine report / `stats` CLI verb).
+struct EngineCounters {
+  uint64_t batches = 0;     // mutations applied (ingest/remove/update/flush)
+  uint64_t ingested = 0;    // records ever ingested (includes updates)
+  uint64_t removed = 0;     // records ever removed (includes updates)
+  uint64_t updated = 0;     // update operations
+  uint64_t arrivals_merged = 0;
+  uint64_t refinements_completed = 0;
+  uint64_t refinements_interrupted = 0;
+  uint64_t generation = 0;
+  size_t live_records = 0;
+  size_t internal_records = 0;  // dataset rows ever allocated
+  uint64_t total_hashes = 0;
+  uint64_t total_similarities = 0;
+};
+
+/// Long-lived resident entity-resolution engine: the streaming mode
+/// (Section 9's online direction) wrapped into a service-shaped object that
+/// supports batched Ingest / Remove / Update while continuously maintaining
+/// the certified top-k, and serves concurrent TopK/Cluster queries against
+/// an immutable snapshot while mutations proceed.
+///
+/// Semantics (docs/engine.md):
+///   * Confluence: after any history of mutations whose refinement completed,
+///     the published snapshot is byte-identical to the snapshot of a fresh
+///     engine that ingested the final live records in one batch. Level-1
+///     clusters are connected components of shared bucket keys (arrival-order
+///     invariant); refinement of a (member set, level) cluster is
+///     deterministic; removals dismantle every cluster whose level-1
+///     component contained a removed record back to level 1, discarding any
+///     merge evidence that may have flowed through the removed "bridge".
+///   * Snapshots: generation advances only when a refinement pass runs to
+///     completion. An SLO-interrupted mutation keeps its records (they are
+///     ingested, at whatever verification level they reached) but leaves the
+///     previous snapshot published.
+///   * Caches: hash values, feature norms and the parent-pointer forest are
+///     reused across batches — internal record ids are content-immutable, so
+///     nothing is ever invalidated; re-refining after an arrival only pays
+///     for hash levels not yet computed.
+///
+/// Threading: mutations are serialized internally (mu_); queries (TopK,
+/// Cluster, Snapshot) never take the mutation lock and are safe from any
+/// thread at any time. counters() may block behind an in-flight mutation.
+class ResidentEngine {
+ public:
+  struct Options {
+    /// Sequence/selection/threads/seed/instrumentation; `budget` and
+    /// `controller` act as the ambient default SLO applied when a mutation
+    /// passes no EngineBatchOptions of its own.
+    AdaptiveLshConfig config;
+
+    /// How many top clusters every refinement pass certifies and every
+    /// snapshot holds. Queries asking for more are truncated to this.
+    int top_k = 10;
+
+    /// Fixed unit costs, skipping wall-clock calibration. Calibration times
+    /// real code, so two engines calibrating separately can disagree on the
+    /// jump-to-P point; tests and the serve golden transcript pin the model
+    /// to make runs reproducible.
+    std::optional<CostModel> cost_model;
+  };
+
+  ResidentEngine(MatchRule rule, Options options);
+
+  ResidentEngine(const ResidentEngine&) = delete;
+  ResidentEngine& operator=(const ResidentEngine&) = delete;
+
+  /// Ingests a batch of records, assigning each a fresh ExternalId, then
+  /// runs a refinement pass under the request's SLO. All-or-nothing
+  /// validation before any state changes:
+  ///   * FailedPrecondition — the effective controller holds a sticky
+  ///     Cancel().
+  ///   * InvalidArgument — a record's schema (field count/kinds/dense dims)
+  ///     deviates from the engine's first record, or the first batch's rule/
+  ///     sequence construction fails.
+  StatusOr<EngineMutationResult> Ingest(std::vector<Record> records,
+                                        const EngineBatchOptions& opts = {});
+
+  /// Removes records by external id (NotFound if any id is not live;
+  /// all-or-nothing), dismantles and rebuilds the affected level-1
+  /// components, then refines under the request's SLO.
+  StatusOr<EngineMutationResult> Remove(std::span<const ExternalId> ids,
+                                        const EngineBatchOptions& opts = {});
+
+  /// Replaces the record bound to `id` (NotFound if not live) with new
+  /// contents, keeping the external id stable, then refines.
+  StatusOr<EngineMutationResult> Update(ExternalId id, Record record,
+                                        const EngineBatchOptions& opts = {});
+
+  /// Runs a refinement pass with no new mutation — completes certification
+  /// left unfinished by SLO-interrupted mutations. With default (unlimited)
+  /// options the pass always completes and publishes.
+  StatusOr<EngineMutationResult> Flush(const EngineBatchOptions& opts = {});
+
+  /// The current published snapshot; never null (generation 0 = empty).
+  std::shared_ptr<const EngineSnapshot> Snapshot() const;
+
+  /// The k largest certified clusters of the current snapshot (truncated to
+  /// the snapshot's size). InvalidArgument when k < 1.
+  StatusOr<std::vector<std::vector<ExternalId>>> TopK(int k) const;
+
+  /// Members of the snapshot cluster containing `id`. NotFound when `id` is
+  /// in no cluster of the current snapshot (never ingested, removed, or in a
+  /// cluster below the maintained top-k).
+  StatusOr<std::vector<ExternalId>> Cluster(ExternalId id) const;
+
+  EngineCounters counters() const;
+
+  int top_k() const { return options_.top_k; }
+
+ private:
+  /// One serialized mutation: validation has already passed. Applies
+  /// removals (dismantle + rebuild), appends `adds` (arrival merges), then
+  /// refines and publishes on completion.
+  EngineMutationResult ApplyBatch(std::vector<Record> adds,
+                                  std::vector<ExternalId> add_ext_ids,
+                                  const std::vector<RecordId>& removed_ints,
+                                  const EngineBatchOptions& opts);
+
+  /// First non-empty ingest: builds cost model/engine/hasher/pairwise over
+  /// the just-appended records (sequence_ was already built — fallibly — by
+  /// Ingest before mutating anything).
+  void InitializeLocked();
+
+  /// Appends per-record bookkeeping slots and grows the core caches.
+  void GrowStateLocked();
+
+  /// Level-1 arrival of internal record r (mirrors StreamingAdaptiveLsh::Add
+  /// over persistent member-list buckets), with one strengthening that the
+  /// confluence guarantee needs: before merging into a refined (closed)
+  /// piece, the piece's whole level-1 component is reopened.
+  void ArriveLocked(RecordId r);
+
+  /// Merges every tree of `seed`'s level-1 component back into a single
+  /// producer-0 tree and returns its root. A new arrival that touches a
+  /// component discards the component's refinement: the reference semantics
+  /// re-refine the whole level-1 cluster, and a later-arriving record may
+  /// bridge two previously split pieces at a higher hash level — evidence a
+  /// per-piece merge would never consider. Invariant maintained everywhere:
+  /// an open (producer-0) tree always contains its entire component, so this
+  /// walk runs at most once per refined component per batch.
+  NodeId ReopenComponentLocked(RecordId seed);
+
+  /// Dismantles every level-1 component containing a record of
+  /// `removed_ints` and rebuilds the surviving members as fresh level-1
+  /// trees grouped by their new (post-removal) components.
+  void RemoveLocked(const std::vector<RecordId>& removed_ints);
+
+  /// The Algorithm 1 refinement loop with canonical Largest-First selection
+  /// (size desc, smallest external id asc). Returns the termination reason;
+  /// on kCompleted fills `finals` with the certified roots in canonical
+  /// order.
+  TerminationReason RefineLocked(const EngineBatchOptions& opts,
+                                 std::vector<NodeId>* finals,
+                                 FilterStats* stats);
+
+  /// Builds and publishes a new snapshot from certified roots.
+  void PublishLocked(const std::vector<NodeId>& finals, FilterStats stats);
+
+  /// Effective SLO of one mutation: explicit options win, else the ambient
+  /// config budget/controller.
+  EngineBatchOptions EffectiveOptions(const EngineBatchOptions& opts) const;
+
+  /// Smallest external id among the leaves of `root` (canonical tie-break).
+  ExternalId MinExternalId(NodeId root) const;
+
+  /// Refreshes leaf_of_ for every record under `root`.
+  void ReindexLeaves(NodeId root);
+
+  MatchRule rule_;
+  Options options_;
+  ScopedThreadPool pool_;
+  Dataset dataset_;
+
+  // Lazy-initialized on the first non-empty ingest (sequence construction
+  // needs a prototype record; calibration needs data).
+  bool initialized_ = false;
+  std::optional<FunctionSequence> sequence_;
+  std::optional<CostModel> cost_model_;
+  std::optional<HashEngine> engine_;
+  ParentPointerForest forest_;
+  std::optional<TransitiveHasher> hasher_;
+  std::optional<PairwiseComputer> pairwise_;
+
+  /// Persistent level-1 buckets, one map per table: key -> every internal
+  /// record ever inserted with that key (dead members are skipped on read
+  /// and pruned opportunistically). Invariant: all *live* records sharing a
+  /// key are in the same level-1 component.
+  std::vector<std::unordered_map<uint64_t, std::vector<RecordId>>> buckets_;
+
+  // Per-internal-record state (parallel vectors, grown on append).
+  std::vector<char> live_;
+  std::vector<NodeId> leaf_of_;
+  std::vector<int> last_fn_;
+  std::vector<ExternalId> ext_of_;
+
+  std::unordered_map<ExternalId, RecordId> int_of_;  // live records only
+  ExternalId next_ext_id_ = 0;
+
+  EngineCounters counters_;
+
+  /// Serializes mutations. Queries never take it.
+  mutable std::mutex mu_;
+
+  /// Guards only the snapshot pointer swap/read.
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const EngineSnapshot> snapshot_;
+  uint64_t generation_ = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_ENGINE_RESIDENT_ENGINE_H_

@@ -111,6 +111,58 @@ StatusOr<std::vector<ColumnSpec>> ParseColumnSpecs(const std::string& spec) {
   return specs;
 }
 
+StatusOr<ParsedCsvRecord> ParseCsvRecord(const std::vector<std::string>& row,
+                                         const std::vector<ColumnSpec>& specs,
+                                         size_t line) {
+  if (row.size() != specs.size()) {
+    return Status::InvalidArgument(
+        "line " + std::to_string(line) + ": expected " +
+        std::to_string(specs.size()) + " columns, got " +
+        std::to_string(row.size()));
+  }
+  SpotSigConfig spotsig_config;
+  std::vector<Field> fields;
+  std::vector<size_t> field_columns;
+  std::string label;
+  std::string entity_key;
+  bool has_entity = false;
+  for (size_t c = 0; c < specs.size(); ++c) {
+    switch (specs[c].kind) {
+      case ColumnSpec::Kind::kLabel:
+        label = row[c];
+        break;
+      case ColumnSpec::Kind::kEntity:
+        entity_key = row[c];
+        has_entity = true;
+        break;
+      case ColumnSpec::Kind::kTextShingles:
+        fields.push_back(
+            Field::TokenSet(WordShingles(row[c], specs[c].shingle_size)));
+        field_columns.push_back(c);
+        break;
+      case ColumnSpec::Kind::kTextSpotSigs:
+        fields.push_back(
+            Field::TokenSet(SpotSignatures(row[c], spotsig_config)));
+        field_columns.push_back(c);
+        break;
+      case ColumnSpec::Kind::kDenseVector: {
+        StatusOr<std::vector<float>> values =
+            ParseDenseVector(row[c], line, c);
+        if (!values.ok()) return values.status();
+        fields.push_back(Field::DenseVector(std::move(values).value()));
+        field_columns.push_back(c);
+        break;
+      }
+      case ColumnSpec::Kind::kIgnore:
+        break;
+    }
+  }
+  ParsedCsvRecord parsed{Record(std::move(fields), std::move(label)),
+                         std::move(entity_key), has_entity};
+  parsed.field_columns = std::move(field_columns);
+  return parsed;
+}
+
 StatusOr<Dataset> LoadCsvDataset(std::istream* in,
                                  const std::vector<ColumnSpec>& specs,
                                  bool has_header, const std::string& name) {
@@ -132,7 +184,6 @@ StatusOr<Dataset> LoadCsvDataset(std::istream* in,
   CsvReader reader(in);
   std::vector<std::string> row;
   std::unordered_map<std::string, EntityId> entity_ids;
-  SpotSigConfig spotsig_config;
 
   bool first = true;
   for (;;) {
@@ -144,71 +195,33 @@ StatusOr<Dataset> LoadCsvDataset(std::istream* in,
       continue;
     }
     first = false;
-    if (row.size() != specs.size()) {
-      return Status::InvalidArgument(
-          "line " + std::to_string(reader.line()) + ": expected " +
-          std::to_string(specs.size()) + " columns, got " +
-          std::to_string(row.size()));
-    }
-    std::vector<Field> fields;
-    std::vector<size_t> field_column;  // FieldId -> originating CSV column
-    std::string label;
-    std::string entity_key;
-    bool has_entity = false;
-    for (size_t c = 0; c < specs.size(); ++c) {
-      switch (specs[c].kind) {
-        case ColumnSpec::Kind::kLabel:
-          label = row[c];
-          break;
-        case ColumnSpec::Kind::kEntity:
-          entity_key = row[c];
-          has_entity = true;
-          break;
-        case ColumnSpec::Kind::kTextShingles:
-          fields.push_back(Field::TokenSet(
-              WordShingles(row[c], specs[c].shingle_size)));
-          field_column.push_back(c);
-          break;
-        case ColumnSpec::Kind::kTextSpotSigs:
-          fields.push_back(
-              Field::TokenSet(SpotSignatures(row[c], spotsig_config)));
-          field_column.push_back(c);
-          break;
-        case ColumnSpec::Kind::kDenseVector: {
-          StatusOr<std::vector<float>> values =
-              ParseDenseVector(row[c], reader.line(), c);
-          if (!values.ok()) return values.status();
-          fields.push_back(Field::DenseVector(std::move(values).value()));
-          field_column.push_back(c);
-          break;
-        }
-        case ColumnSpec::Kind::kIgnore:
-          break;
-      }
-    }
+    StatusOr<ParsedCsvRecord> parsed =
+        ParseCsvRecord(row, specs, reader.line());
+    if (!parsed.ok()) return parsed.status();
     // Dense fields must be uniform-dimensional across the file.
     if (dataset.num_records() > 0) {
       const Record& prototype = dataset.record(0);
-      for (FieldId f = 0; f < fields.size(); ++f) {
-        if (fields[f].is_dense() &&
-            fields[f].size() != prototype.field(f).size()) {
+      for (FieldId f = 0; f < parsed->record.num_fields(); ++f) {
+        const Field& field = parsed->record.field(f);
+        if (field.is_dense() && field.size() != prototype.field(f).size()) {
           return Status::InvalidArgument(
               "line " + std::to_string(reader.line()) + ", column " +
-              std::to_string(field_column[f] + 1) + ": vector has dimension " +
-              std::to_string(fields[f].size()) + " but earlier rows had " +
+              std::to_string(parsed->field_columns[f] + 1) +
+              ": vector has dimension " + std::to_string(field.size()) +
+              " but earlier rows had " +
               std::to_string(prototype.field(f).size()));
         }
       }
     }
     EntityId entity;
-    if (has_entity) {
+    if (parsed->has_entity) {
       auto [it, inserted] = entity_ids.try_emplace(
-          entity_key, static_cast<EntityId>(entity_ids.size()));
+          parsed->entity_key, static_cast<EntityId>(entity_ids.size()));
       entity = it->second;
     } else {
       entity = static_cast<EntityId>(dataset.num_records());
     }
-    dataset.AddRecord(Record(std::move(fields), label), entity);
+    dataset.AddRecord(std::move(parsed->record), entity);
   }
   if (dataset.num_records() == 0) {
     return Status::InvalidArgument(

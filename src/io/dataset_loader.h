@@ -30,6 +30,26 @@ struct ColumnSpec {
 /// Example for a citation file: "entity,text,text,text".
 StatusOr<std::vector<ColumnSpec>> ParseColumnSpecs(const std::string& spec);
 
+/// One CSV row parsed under a column spec: the record (feature fields +
+/// label) plus the ground-truth entity key when the spec has an entity
+/// column. Row-level counterpart of LoadCsvDataset, shared with the resident
+/// serve mode (tools/adalsh_cli.cc), which feeds rows one at a time.
+struct ParsedCsvRecord {
+  Record record;
+  std::string entity_key;
+  bool has_entity = false;
+  /// FieldId -> originating CSV column (for cross-row error messages).
+  std::vector<size_t> field_columns;
+};
+
+/// Parses one already-split CSV row under `specs`. `line` is the 1-based
+/// input line, used only for error messages. Fails with InvalidArgument on a
+/// column-count mismatch or a malformed vector column. Cross-row invariants
+/// (uniform dense dimensions) are the caller's to enforce.
+StatusOr<ParsedCsvRecord> ParseCsvRecord(const std::vector<std::string>& row,
+                                         const std::vector<ColumnSpec>& specs,
+                                         size_t line);
+
 /// Loads a CSV stream into a Dataset under `specs` (one spec per column;
 /// rows with a different column count are an error). With a kEntity column,
 /// ground truth comes from the file; otherwise every record becomes its own

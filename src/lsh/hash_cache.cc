@@ -28,6 +28,16 @@ HashCache::HashCache(HashCache&& other) noexcept
       total_computed_(
           other.total_computed_.load(std::memory_order_relaxed)) {}
 
+void HashCache::GrowTo(size_t num_records) {
+  if (num_records <= computed_.size()) return;
+  if (binary_) {
+    bits_.resize(num_records);
+  } else {
+    values_.resize(num_records);
+  }
+  computed_.resize(num_records, 0);
+}
+
 void HashCache::Ensure(const Record& record, RecordId r, size_t count) {
   ADALSH_CHECK_LT(r, computed_.size());
   size_t have = computed_[r];

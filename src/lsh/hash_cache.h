@@ -49,6 +49,15 @@ class HashCache {
   /// prefixes up to `count` — see HashFamily::Prepare.
   void Prepare(size_t count) { family_->Prepare(count); }
 
+  /// Extends the per-record slot tables to `num_records` (no-op when already
+  /// at least that large) so long-lived engines can ingest records appended
+  /// to the dataset after construction. New slots start with an empty prefix;
+  /// existing slots — and every cached value — are untouched, which is what
+  /// makes cross-batch hash reuse sound: values depend only on record content
+  /// and the family seed, never on when the record arrived. Call from the
+  /// ingesting thread only, outside any concurrent Ensure region.
+  void GrowTo(size_t num_records);
+
   /// Number of values computed so far for record r.
   size_t computed_count(RecordId r) const { return computed_[r]; }
 

@@ -32,24 +32,8 @@ void AppendMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* json) {
   json->EndObject().EndObject();
 }
 
-std::string WriteRunReportJson(const FilterStats& stats,
-                               const RunReportOptions& options,
-                               const MetricsSnapshot* metrics) {
-  JsonWriter json;
-  json.BeginObject()
-      .Key("schema")
-      .String("adalsh-run-report-v1")
-      .Key("method")
-      .String(options.method)
-      .Key("dataset")
-      .String(options.dataset)
-      .Key("k")
-      .Int(options.k)
-      .Key("num_records")
-      .Uint(options.num_records)
-      .Key("threads")
-      .Int(options.threads);
-
+void AppendFilterStats(const FilterStats& stats, JsonWriter* out) {
+  JsonWriter& json = *out;
   json.Key("totals")
       .BeginObject()
       .Key("filtering_seconds")
@@ -107,6 +91,27 @@ std::string WriteRunReportJson(const FilterStats& stats,
         .EndObject();
   }
   json.EndArray();
+}
+
+std::string WriteRunReportJson(const FilterStats& stats,
+                               const RunReportOptions& options,
+                               const MetricsSnapshot* metrics) {
+  JsonWriter json;
+  json.BeginObject()
+      .Key("schema")
+      .String("adalsh-run-report-v1")
+      .Key("method")
+      .String(options.method)
+      .Key("dataset")
+      .String(options.dataset)
+      .Key("k")
+      .Int(options.k)
+      .Key("num_records")
+      .Uint(options.num_records)
+      .Key("threads")
+      .Int(options.threads);
+
+  AppendFilterStats(stats, &json);
 
   if (metrics != nullptr) {
     json.Key("metrics");

@@ -26,6 +26,13 @@ struct RunReportOptions {
 /// BENCH_*.json baselines.
 void AppendMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* json);
 
+/// Appends the FilterStats portion of a report — the "totals" object,
+/// "termination_reason", "records_last_hashed_at", "cluster_verification"
+/// and "rounds_detail" keys — into `json`, which must be inside an open
+/// object. Shared by the run report and the engine report so the two schemas
+/// describe a filtering pass with identical keys.
+void AppendFilterStats(const FilterStats& stats, JsonWriter* json);
+
 /// The compact machine-readable run report (schema "adalsh-run-report-v1",
 /// documented in docs/observability.md): run context, FilterStats totals,
 /// one entry per round with counters/stage-times/modeled-vs-measured cost,

@@ -1,0 +1,163 @@
+#ifndef ADALSH_TESTS_ENGINE_HARNESS_H_
+#define ADALSH_TESTS_ENGINE_HARNESS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "engine/resident_engine.h"
+#include "record/dataset.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace adalsh {
+namespace test {
+
+/// Fixed unit costs shared by every engine under comparison. Calibration is
+/// wall-clock based, so two engines calibrating independently could disagree
+/// on jump-to-P decisions and the differential comparison would be
+/// meaningless (same convention as parallel_equivalence_test.cc).
+inline CostModel EngineFixedCostModel() { return CostModel(1e-8, 1e-6); }
+
+/// Small-sequence engine options mirroring the streaming tests' SmallConfig,
+/// with the cost model pinned.
+inline ResidentEngine::Options EngineOptions(int threads, int top_k,
+                                             uint64_t seed = 3) {
+  ResidentEngine::Options options;
+  options.config.sequence.max_budget = 640;
+  options.config.seed = seed;
+  options.config.threads = threads;
+  options.top_k = top_k;
+  options.cost_model = EngineFixedCostModel();
+  return options;
+}
+
+/// Byte-comparable canonical serialization of a snapshot: live count, then
+/// one line per cluster (verification level + ascending members). `relabel`
+/// maps the snapshot's member ids into another engine's id space; the map
+/// must be monotone so the canonical cluster order is preserved.
+inline std::string CanonicalSnapshot(
+    const EngineSnapshot& snap,
+    const std::unordered_map<ExternalId, ExternalId>* relabel = nullptr) {
+  std::string out =
+      "live=" + std::to_string(snap.live_records) + "\n";
+  for (size_t i = 0; i < snap.clusters.size(); ++i) {
+    out += "v=" + std::to_string(snap.verification[i]) + " [";
+    for (ExternalId member : snap.clusters[i]) {
+      const ExternalId id = relabel != nullptr ? relabel->at(member) : member;
+      out += " " + std::to_string(id);
+    }
+    out += " ]\n";
+  }
+  return out;
+}
+
+/// The logical state a mutation script drives an engine through: every live
+/// external id, bound to the index of the source-dataset record currently
+/// holding its contents.
+using LiveMap = std::map<ExternalId, size_t>;
+
+/// Knobs for RunRandomScript. The deterministic mutation history depends
+/// only on (seed, source size, these knobs) — never on engine behaviour — so
+/// engines at different thread counts see the identical script.
+struct ScriptOptions {
+  bool with_removes = true;
+  bool with_updates = true;
+  size_t max_batch = 7;
+};
+
+/// Drives `engine` through a deterministic pseudo-random mutation history:
+/// the source records are ingested in shuffled order across random-size
+/// batches, with removals of random live ids and updates (rebinding a live
+/// id to another source record's contents) interleaved between batches.
+/// Aborts on any non-ok engine status. Returns the final logical state.
+inline LiveMap RunRandomScript(ResidentEngine* engine, const Dataset& source,
+                               uint64_t seed,
+                               const ScriptOptions& script = {}) {
+  Rng rng(DeriveSeed(seed, 0xe191e));
+  std::vector<size_t> order(source.num_records());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  LiveMap live;
+  auto pick_live = [&]() {
+    auto it = live.begin();
+    std::advance(it, rng.NextBelow(live.size()));
+    return it;
+  };
+
+  size_t pos = 0;
+  while (pos < order.size()) {
+    const size_t batch = 1 + rng.NextBelow(std::min<uint64_t>(
+                                 order.size() - pos, script.max_batch));
+    std::vector<Record> records;
+    std::vector<size_t> indices;
+    for (size_t i = 0; i < batch; ++i, ++pos) {
+      indices.push_back(order[pos]);
+      records.push_back(source.record(order[pos]));
+    }
+    auto ingested = engine->Ingest(std::move(records));
+    ADALSH_CHECK(ingested.ok()) << ingested.status().ToString();
+    for (size_t i = 0; i < indices.size(); ++i) {
+      live[ingested.value().assigned_ids[i]] = indices[i];
+    }
+
+    if (script.with_removes && !live.empty() && rng.NextBelow(2) == 0) {
+      const size_t count =
+          1 + rng.NextBelow(std::min<uint64_t>(live.size(), 3));
+      std::vector<ExternalId> ids;
+      for (size_t c = 0; c < count; ++c) {
+        const ExternalId id = pick_live()->first;
+        if (std::find(ids.begin(), ids.end(), id) == ids.end()) {
+          ids.push_back(id);
+        }
+      }
+      auto removed = engine->Remove(ids);
+      ADALSH_CHECK(removed.ok()) << removed.status().ToString();
+      for (ExternalId id : ids) live.erase(id);
+    }
+
+    if (script.with_updates && !live.empty() && rng.NextBelow(3) == 0) {
+      auto it = pick_live();
+      const size_t new_index = rng.NextBelow(source.num_records());
+      auto updated = engine->Update(it->first, source.record(new_index));
+      ADALSH_CHECK(updated.ok()) << updated.status().ToString();
+      it->second = new_index;
+    }
+  }
+  return live;
+}
+
+/// The from-scratch reference: a fresh single-threaded engine ingesting the
+/// final live records in ONE batch, in ascending subject-id order. Because
+/// ingestion order is ascending, the map (reference id -> subject id) is
+/// monotone, so relabeling preserves the canonical cluster order and the
+/// serialized snapshots of a confluent subject engine must match
+/// byte-for-byte.
+inline std::string ReferenceCanonical(const Dataset& source,
+                                      const MatchRule& rule,
+                                      const LiveMap& live, int top_k) {
+  ResidentEngine reference(rule, EngineOptions(/*threads=*/1, top_k));
+  if (live.empty()) return CanonicalSnapshot(*reference.Snapshot());
+  std::vector<Record> records;
+  std::vector<ExternalId> subject_ids;
+  for (const auto& [ext, index] : live) {  // std::map: ascending ext ids
+    records.push_back(source.record(index));
+    subject_ids.push_back(ext);
+  }
+  auto ingested = reference.Ingest(std::move(records));
+  ADALSH_CHECK(ingested.ok()) << ingested.status().ToString();
+  std::unordered_map<ExternalId, ExternalId> relabel;
+  for (size_t i = 0; i < subject_ids.size(); ++i) {
+    relabel[ingested.value().assigned_ids[i]] = subject_ids[i];
+  }
+  return CanonicalSnapshot(*reference.Snapshot(), &relabel);
+}
+
+}  // namespace test
+}  // namespace adalsh
+
+#endif  // ADALSH_TESTS_ENGINE_HARNESS_H_

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+#include <vector>
+
 #include "test_util.h"
+#include "util/run_controller.h"
 
 namespace adalsh {
 namespace {
@@ -90,6 +94,63 @@ TEST(StreamingTest, ArrivalOrderInvariantResult) {
   for (RecordId r = 0; r < n; ++r) backward.Add(static_cast<RecordId>(n - 1 - r));
   EXPECT_EQ(forward.TopK(2).clusters.UnionOfTopClusters(2),
             backward.TopK(2).clusters.UnionOfTopClusters(2));
+}
+
+TEST(StreamingTest, ExtendIngestsBatchLikeAddLoop) {
+  GeneratedDataset generated = test::MakePlantedDataset({14, 8, 5, 2}, 19);
+  StreamingAdaptiveLsh stream(generated.dataset, generated.rule,
+                              SmallConfig());
+  std::vector<RecordId> ids(generated.dataset.num_records());
+  std::iota(ids.begin(), ids.end(), 0u);
+  Status status = stream.Extend(ids);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(stream.num_added(), ids.size());
+  FilterOutput output = stream.TopK(2);
+  GroundTruth truth = generated.dataset.BuildGroundTruth();
+  EXPECT_EQ(output.clusters.UnionOfTopClusters(2), truth.TopKRecords(2));
+}
+
+TEST(StreamingTest, ExtendValidatesTheWholeBatchBeforeIngesting) {
+  GeneratedDataset generated = test::MakePlantedDataset({6, 3}, 21);
+  StreamingAdaptiveLsh stream(generated.dataset, generated.rule,
+                              SmallConfig());
+  const RecordId beyond =
+      static_cast<RecordId>(generated.dataset.num_records());
+  // A bad id anywhere in the batch rejects the batch with nothing ingested —
+  // even the valid ids that precede it.
+  std::vector<RecordId> out_of_range = {0, 1, beyond};
+  Status status = stream.Extend(out_of_range);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(stream.num_added(), 0u);
+
+  std::vector<RecordId> duplicated = {0, 1, 1};
+  status = stream.Extend(duplicated);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stream.num_added(), 0u);
+
+  stream.Add(2);
+  std::vector<RecordId> already_added = {0, 2};
+  status = stream.Extend(already_added);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(stream.num_added(), 1u);
+}
+
+TEST(StreamingTest, ExtendAfterStickyCancelReturnsFailedPrecondition) {
+  GeneratedDataset generated = test::MakePlantedDataset({6, 3}, 23);
+  AdaptiveLshConfig config = SmallConfig();
+  RunController controller;
+  config.controller = &controller;
+  StreamingAdaptiveLsh stream(generated.dataset, generated.rule, config);
+  std::vector<RecordId> first = {0, 1, 2};
+  ASSERT_TRUE(stream.Extend(first).ok());
+
+  controller.Cancel();
+  // Cancel() is sticky across Arm(); an extend must not race it, and the
+  // failure is reported as a Status instead of aborting the process.
+  std::vector<RecordId> second = {3, 4};
+  Status status = stream.Extend(second);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stream.num_added(), 3u);
 }
 
 TEST(StreamingDeathTest, DoubleAddAborts) {

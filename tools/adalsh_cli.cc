@@ -1,4 +1,5 @@
-// adalsh_cli — run top-k entity-resolution filtering on a CSV file.
+// adalsh_cli — run top-k entity-resolution filtering on a CSV file, or serve
+// a long-lived resident engine over stdin/stdout.
 //
 // Usage:
 //   adalsh_cli --input=records.csv --columns=entity,text,text,text
@@ -38,8 +39,32 @@
 // The output CSV has one row per kept record: cluster_rank, record_index,
 // label. When the input has an entity column, gold accuracy against its
 // ground truth is printed.
+//
+// Serve mode (docs/engine.md):
+//   adalsh_cli serve --columns=<spec> --rule=<rule DSL> [--k=10]
+//              [--threads=N] [--seed=N] [--cost-model=hash_cost,pair_cost]
+//              [--deadline-ms=MS] [--max-pairwise=N] [--max-hashes=N]
+//
+// Runs a ResidentEngine and speaks a newline-delimited protocol on
+// stdin/stdout (one reply line — or cluster lines followed by an "ok" line —
+// per command; failures answer "err <message>" and the session continues):
+//   add <csv row>        stage a record (parsed under --columns)
+//   commit               ingest the staged batch, refine, publish
+//   remove <id> [...]    remove by external id (all-or-nothing)
+//   update <id> <row>    replace a record's contents, id stays stable
+//   topk [k]             certified clusters of the current snapshot
+//   cluster <id>         the snapshot cluster containing <id>
+//   stats                one-line engine report JSON (adalsh-engine-report-v1)
+//   flush                refinement pass without a mutation
+//   quit                 exit
+// --deadline-ms / --max-* act as the ambient per-mutation SLO; an
+// interrupted refinement keeps the previous snapshot serving (reply carries
+// reason=deadline/budget) until a flush certifies. --cost-model pins the
+// jump-to-P unit costs so transcripts are reproducible (tools/engine_smoke.sh
+// diffs this mode against a golden transcript).
 
 #include <chrono>
+#include <cstdlib>
 #include <condition_variable>
 #include <fstream>
 #include <iostream>
@@ -48,10 +73,14 @@
 #include <optional>
 #include <thread>
 
+#include <sstream>
+
 #include "core/adaptive_lsh.h"
 #include "core/lsh_blocking.h"
 #include "core/pairs_baseline.h"
 #include "distance/rule_parser.h"
+#include "engine/engine_report.h"
+#include "engine/resident_engine.h"
 #include "eval/metrics.h"
 #include "eval/recovery.h"
 #include "io/csv.h"
@@ -72,9 +101,244 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+// --- Serve mode ---
+
+/// Parses one CSV row (with full quoting support) from the payload of an
+/// add/update command.
+StatusOr<std::vector<std::string>> SplitCsvPayload(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("missing csv row");
+  std::istringstream in(text);
+  CsvReader reader(&in);
+  std::vector<std::string> row;
+  StatusOr<bool> more = reader.ReadRow(&row);
+  if (!more.ok()) return more.status();
+  if (!*more) return Status::InvalidArgument("missing csv row");
+  return row;
+}
+
+StatusOr<uint64_t> ParseExternalId(const std::string& token) {
+  if (token.empty() || token.find_first_not_of("0123456789") != std::string::npos) {
+    return Status::InvalidArgument("bad record id '" + token + "'");
+  }
+  return static_cast<uint64_t>(std::strtoull(token.c_str(), nullptr, 10));
+}
+
+std::string VerificationName(int level) {
+  return level == kLastFunctionPairwise ? "P" : std::to_string(level);
+}
+
+std::string MutationReply(const EngineMutationResult& result) {
+  std::string reply = "ok gen=" + std::to_string(result.generation);
+  if (!result.assigned_ids.empty()) {
+    reply += " ids=" + std::to_string(result.assigned_ids.front()) + ".." +
+             std::to_string(result.assigned_ids.back());
+  }
+  reply += " reason=";
+  reply += TerminationReasonName(result.refinement);
+  return reply;
+}
+
+void PrintClusters(const std::vector<std::vector<ExternalId>>& clusters,
+                   const std::vector<int>& verification) {
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    std::cout << "cluster rank=" << (i + 1)
+              << " v=" << VerificationName(verification[i]) << " members=";
+    for (size_t m = 0; m < clusters[i].size(); ++m) {
+      std::cout << (m > 0 ? "," : "") << clusters[i][m];
+    }
+    std::cout << "\n";
+  }
+}
+
+int RunServe(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string columns = flags.GetString("columns", "");
+  std::string rule_text = flags.GetString("rule", "");
+  int k = static_cast<int>(flags.GetInt("k", 10));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
+  std::vector<double> cost_model = flags.GetDoubleList("cost-model", {});
+  double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  uint64_t max_pairwise =
+      static_cast<uint64_t>(flags.GetInt("max-pairwise", 0));
+  uint64_t max_hashes = static_cast<uint64_t>(flags.GetInt("max-hashes", 0));
+  flags.CheckNoUnusedFlags();
+
+  if (columns.empty() || rule_text.empty()) {
+    return Fail("serve requires --columns=<spec> and --rule=<rule DSL>");
+  }
+  if (k < 1) return Fail("--k must be >= 1");
+  if (threads < 0) return Fail("--threads must be >= 1");
+  if (!cost_model.empty() && cost_model.size() != 2) {
+    return Fail("--cost-model takes two comma-separated unit costs "
+                "(cost-per-hash,cost-per-pair)");
+  }
+
+  StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs(columns);
+  if (!specs.ok()) return Fail(specs.status().ToString());
+  StatusOr<MatchRule> rule = ParseRule(rule_text);
+  if (!rule.ok()) return Fail(rule.status().ToString());
+
+  ResidentEngine::Options options;
+  options.top_k = k;
+  options.config.seed = seed;
+  options.config.threads = threads;
+  options.config.budget.deadline_ms = deadline_ms;
+  options.config.budget.max_pairwise = max_pairwise;
+  options.config.budget.max_hashes = max_hashes;
+  Status budget_valid = options.config.budget.Validate();
+  if (!budget_valid.ok()) return Fail(budget_valid.ToString());
+  if (!cost_model.empty()) {
+    options.cost_model = CostModel(cost_model[0], cost_model[1]);
+  }
+  ResidentEngine engine(*rule, options);
+
+  std::vector<Record> staged;
+  std::string line;
+  auto reply_status = [](const Status& status) {
+    std::cout << "err " << status.message() << "\n" << std::flush;
+  };
+  while (std::getline(std::cin, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    const size_t space = line.find(' ');
+    const std::string cmd = line.substr(0, space);
+    const std::string payload =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    if (cmd.empty()) continue;
+
+    if (cmd == "add") {
+      StatusOr<std::vector<std::string>> row = SplitCsvPayload(payload);
+      if (!row.ok()) {
+        reply_status(row.status());
+        continue;
+      }
+      StatusOr<ParsedCsvRecord> parsed = ParseCsvRecord(*row, *specs, 0);
+      if (!parsed.ok()) {
+        reply_status(parsed.status());
+        continue;
+      }
+      staged.push_back(std::move(parsed->record));
+      std::cout << "staged " << staged.size() << "\n" << std::flush;
+    } else if (cmd == "commit") {
+      auto result = engine.Ingest(std::move(staged));
+      staged.clear();  // all-or-nothing either way: a rejected batch is dropped
+      if (!result.ok()) {
+        reply_status(result.status());
+        continue;
+      }
+      std::cout << MutationReply(result.value()) << "\n" << std::flush;
+    } else if (cmd == "remove") {
+      std::istringstream tokens(payload);
+      std::vector<ExternalId> ids;
+      std::string token;
+      Status parse = Status::Ok();
+      while (tokens >> token) {
+        StatusOr<uint64_t> id = ParseExternalId(token);
+        if (!id.ok()) {
+          parse = id.status();
+          break;
+        }
+        ids.push_back(*id);
+      }
+      if (!parse.ok()) {
+        reply_status(parse);
+        continue;
+      }
+      if (ids.empty()) {
+        reply_status(Status::InvalidArgument("remove needs at least one id"));
+        continue;
+      }
+      auto result = engine.Remove(ids);
+      if (!result.ok()) {
+        reply_status(result.status());
+        continue;
+      }
+      std::cout << MutationReply(result.value()) << "\n" << std::flush;
+    } else if (cmd == "update") {
+      const size_t id_end = payload.find(' ');
+      StatusOr<uint64_t> id = ParseExternalId(payload.substr(0, id_end));
+      if (!id.ok()) {
+        reply_status(id.status());
+        continue;
+      }
+      StatusOr<std::vector<std::string>> row = SplitCsvPayload(
+          id_end == std::string::npos ? "" : payload.substr(id_end + 1));
+      if (!row.ok()) {
+        reply_status(row.status());
+        continue;
+      }
+      StatusOr<ParsedCsvRecord> parsed = ParseCsvRecord(*row, *specs, 0);
+      if (!parsed.ok()) {
+        reply_status(parsed.status());
+        continue;
+      }
+      auto result = engine.Update(*id, std::move(parsed->record));
+      if (!result.ok()) {
+        reply_status(result.status());
+        continue;
+      }
+      std::cout << MutationReply(result.value()) << "\n" << std::flush;
+    } else if (cmd == "topk") {
+      int query_k = k;
+      if (!payload.empty()) {
+        StatusOr<uint64_t> parsed_k = ParseExternalId(payload);
+        if (!parsed_k.ok() || *parsed_k < 1) {
+          reply_status(Status::InvalidArgument("bad k '" + payload + "'"));
+          continue;
+        }
+        query_k = static_cast<int>(*parsed_k);
+      }
+      std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+      const size_t count = std::min<size_t>(
+          static_cast<size_t>(query_k), snap->clusters.size());
+      PrintClusters({snap->clusters.begin(), snap->clusters.begin() + count},
+                    {snap->verification.begin(),
+                     snap->verification.begin() + count});
+      std::cout << "ok gen=" << snap->generation << " clusters=" << count
+                << " live=" << snap->live_records << "\n"
+                << std::flush;
+    } else if (cmd == "cluster") {
+      StatusOr<uint64_t> id = ParseExternalId(payload);
+      if (!id.ok()) {
+        reply_status(id.status());
+        continue;
+      }
+      std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+      auto it = snap->cluster_of.find(*id);
+      if (it == snap->cluster_of.end()) {
+        reply_status(Status::NotFound(
+            "record " + payload + " is in no cluster of generation " +
+            std::to_string(snap->generation)));
+        continue;
+      }
+      PrintClusters({snap->clusters[it->second]},
+                    {snap->verification[it->second]});
+      std::cout << "ok gen=" << snap->generation << "\n" << std::flush;
+    } else if (cmd == "stats") {
+      std::cout << WriteEngineReportJson(engine) << "\n" << std::flush;
+    } else if (cmd == "flush") {
+      auto result = engine.Flush();
+      if (!result.ok()) {
+        reply_status(result.status());
+        continue;
+      }
+      std::cout << MutationReply(result.value()) << "\n" << std::flush;
+    } else if (cmd == "quit") {
+      std::cout << "bye\n" << std::flush;
+      return 0;
+    } else {
+      reply_status(Status::InvalidArgument("unknown command '" + cmd + "'"));
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "serve") {
+    return RunServe(argc - 1, argv + 1);
+  }
   Flags flags(argc, argv);
   std::string input = flags.GetString("input", "");
   std::string columns = flags.GetString("columns", "");

@@ -1,0 +1,305 @@
+// In-process load generator for the resident engine (docs/engine.md):
+// replays a randomized mutation history — batched ingests with interleaved
+// removes and updates over a Cora-like workload — against a ResidentEngine
+// while reader threads concurrently hammer TopK/Cluster against the
+// published snapshots, then reports throughput and latency percentiles as a
+// JSON document (schema adalsh-engine-loadgen-v1).
+//
+// Readers double as a consistency probe: every observation asserts the
+// snapshot generation is monotone and that cluster sizes are descending, so
+// a torn snapshot fails the run instead of skewing the numbers.
+//
+// Flags:
+//   --records=N     dataset size to stream in (default 800)
+//   --entities=N    ground-truth entities in the workload (default 120)
+//   --batch=N       max records per ingest batch (default 32)
+//   --readers=N     concurrent query threads (default 2)
+//   --threads=N     engine worker threads, 0 = hardware (default 0)
+//   --k=N           maintained top-k (default 10)
+//   --seed=N        workload + history seed (default 1)
+//   --out=PATH      write the JSON document here (default: stdout)
+//   --smoke         tiny workload; schema validation, not measurement
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "datagen/cora_like.h"
+#include "engine/resident_engine.h"
+#include "obs/json_writer.h"
+#include "util/check.h"
+#include "util/flags.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace adalsh {
+namespace {
+
+struct LatencyStats {
+  size_t count = 0;
+  double p50_us = 0;
+  double p95_us = 0;
+  double max_us = 0;
+};
+
+LatencyStats Summarize(std::vector<double>* micros) {
+  LatencyStats stats;
+  stats.count = micros->size();
+  if (micros->empty()) return stats;
+  std::sort(micros->begin(), micros->end());
+  stats.p50_us = (*micros)[micros->size() / 2];
+  stats.p95_us = (*micros)[micros->size() * 95 / 100];
+  stats.max_us = micros->back();
+  return stats;
+}
+
+void WriteLatency(JsonWriter* json, const std::string& name,
+                  const LatencyStats& stats) {
+  json->Key(name)
+      .BeginObject()
+      .Key("count")
+      .Uint(stats.count)
+      .Key("p50_us")
+      .Double(stats.p50_us)
+      .Key("p95_us")
+      .Double(stats.p95_us)
+      .Key("max_us")
+      .Double(stats.max_us)
+      .EndObject();
+}
+
+struct ReaderResult {
+  std::vector<double> topk_us;
+  std::vector<double> cluster_us;
+  uint64_t observations = 0;
+};
+
+// Queries the engine until `stop`, checking each snapshot for the invariants
+// the engine promises (docs/engine.md): monotone generation, descending
+// cluster sizes, cluster_of consistent with TopK.
+ReaderResult RunReader(const ResidentEngine& engine, int k,
+                       const std::atomic<bool>& stop) {
+  ReaderResult result;
+  uint64_t last_generation = 0;
+  while (!stop.load(std::memory_order_relaxed)) {
+    Timer timer;
+    std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+    StatusOr<std::vector<std::vector<ExternalId>>> top = engine.TopK(k);
+    result.topk_us.push_back(timer.ElapsedSeconds() * 1e6);
+    ADALSH_CHECK(top.ok()) << top.status().message();
+    ADALSH_CHECK(snap->generation >= last_generation) <<
+                 "snapshot generation went backwards";
+    last_generation = snap->generation;
+    for (size_t i = 1; i < snap->clusters.size(); ++i) {
+      ADALSH_CHECK(snap->clusters[i - 1].size() >= snap->clusters[i].size()) <<
+                   "snapshot cluster sizes are not descending";
+    }
+    if (!snap->clusters.empty()) {
+      const ExternalId probe = snap->clusters[0][0];
+      timer.Reset();
+      StatusOr<std::vector<ExternalId>> cluster = engine.Cluster(probe);
+      result.cluster_us.push_back(timer.ElapsedSeconds() * 1e6);
+      // The engine may have published a newer snapshot between the two
+      // calls, so the probe can legitimately have vanished; a *served*
+      // answer must be a well-formed cluster.
+      if (cluster.ok()) {
+        ADALSH_CHECK(!cluster.value().empty()) << "empty cluster served";
+      }
+    }
+    ++result.observations;
+  }
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  const bool smoke = flags.GetBool("smoke", false);
+  const size_t records =
+      static_cast<size_t>(flags.GetInt("records", smoke ? 60 : 800));
+  const size_t entities =
+      static_cast<size_t>(flags.GetInt("entities", smoke ? 12 : 120));
+  const size_t max_batch =
+      static_cast<size_t>(flags.GetInt("batch", smoke ? 8 : 32));
+  const int readers = static_cast<int>(flags.GetInt("readers", 2));
+  const int threads = static_cast<int>(flags.GetInt("threads", 0));
+  const int top_k = static_cast<int>(flags.GetInt("k", 10));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string out = flags.GetString("out", "");
+  flags.CheckNoUnusedFlags();
+  ADALSH_CHECK(records > 0 && max_batch > 0 && readers >= 0) <<
+               "need --records > 0, --batch > 0, --readers >= 0";
+
+  CoraLikeConfig data_config;
+  data_config.num_records = records;
+  data_config.num_entities = entities;
+  data_config.seed = DeriveSeed(seed, 0xda7a);
+  GeneratedDataset workload = GenerateCoraLike(data_config);
+
+  ResidentEngine::Options options;
+  options.config.seed = 3;
+  options.config.threads = threads;
+  options.config.sequence.max_budget = 640;
+  options.top_k = top_k;
+  // Pinned unit costs: load-gen runs must be comparable run-over-run, so the
+  // jump-to-P point cannot depend on wall-clock calibration noise.
+  options.cost_model = CostModel(1e-8, 1e-6);
+  ResidentEngine engine(workload.rule, options);
+
+  std::atomic<bool> stop(false);
+  std::vector<ReaderResult> reader_results(static_cast<size_t>(readers));
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(reader_results.size());
+  for (ReaderResult& slot : reader_results) {
+    reader_threads.emplace_back(
+        [&engine, top_k, &stop, &slot] { slot = RunReader(engine, top_k, stop); });
+  }
+
+  // The mutation history: shuffled ingest order, randomized batch sizes,
+  // occasional removes/updates — the same shape the differential tests
+  // replay, but timed.
+  Rng rng(DeriveSeed(seed, 0x10ad));
+  std::vector<size_t> order(workload.dataset.num_records());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+
+  std::vector<ExternalId> live;
+  std::vector<double> ingest_us;
+  std::vector<double> remove_us;
+  std::vector<double> update_us;
+  Timer wall;
+  size_t cursor = 0;
+  uint64_t interrupted = 0;
+  while (cursor < order.size()) {
+    const size_t take =
+        1 + rng.NextBelow(std::min(order.size() - cursor, max_batch));
+    std::vector<Record> batch;
+    batch.reserve(take);
+    for (size_t i = 0; i < take; ++i) {
+      batch.push_back(workload.dataset.record(order[cursor + i]));
+    }
+    cursor += take;
+    Timer timer;
+    StatusOr<EngineMutationResult> ingested = engine.Ingest(std::move(batch));
+    ingest_us.push_back(timer.ElapsedSeconds() * 1e6);
+    ADALSH_CHECK(ingested.ok()) << ingested.status().message();
+    interrupted +=
+        ingested.value().refinement != TerminationReason::kCompleted;
+    live.insert(live.end(), ingested.value().assigned_ids.begin(),
+                ingested.value().assigned_ids.end());
+
+    if (live.size() > 2 && rng.NextBelow(4) == 0) {
+      const size_t victim = rng.NextBelow(live.size());
+      const ExternalId id = live[victim];
+      live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
+      timer.Reset();
+      StatusOr<EngineMutationResult> removed =
+          engine.Remove(std::vector<ExternalId>{id});
+      remove_us.push_back(timer.ElapsedSeconds() * 1e6);
+      ADALSH_CHECK(removed.ok()) << removed.status().message();
+    }
+    if (!live.empty() && rng.NextBelow(4) == 0) {
+      const ExternalId id = live[rng.NextBelow(live.size())];
+      Record contents =
+          workload.dataset.record(rng.NextBelow(workload.dataset.num_records()));
+      timer.Reset();
+      StatusOr<EngineMutationResult> updated =
+          engine.Update(id, std::move(contents));
+      update_us.push_back(timer.ElapsedSeconds() * 1e6);
+      ADALSH_CHECK(updated.ok()) << updated.status().message();
+    }
+  }
+  StatusOr<EngineMutationResult> flushed = engine.Flush();
+  ADALSH_CHECK(flushed.ok()) << flushed.status().message();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : reader_threads) t.join();
+
+  std::vector<double> topk_us;
+  std::vector<double> cluster_us;
+  uint64_t observations = 0;
+  for (ReaderResult& r : reader_results) {
+    topk_us.insert(topk_us.end(), r.topk_us.begin(), r.topk_us.end());
+    cluster_us.insert(cluster_us.end(), r.cluster_us.begin(),
+                      r.cluster_us.end());
+    observations += r.observations;
+  }
+
+  const EngineCounters counters = engine.counters();
+  JsonWriter json;
+  json.BeginObject()
+      .Key("schema")
+      .String("adalsh-engine-loadgen-v1")
+      .Key("config")
+      .BeginObject()
+      .Key("records")
+      .Uint(records)
+      .Key("entities")
+      .Uint(entities)
+      .Key("max_batch")
+      .Uint(max_batch)
+      .Key("readers")
+      .Int(readers)
+      .Key("threads")
+      .Int(threads)
+      .Key("k")
+      .Int(top_k)
+      .Key("seed")
+      .Uint(seed)
+      .Key("smoke")
+      .Bool(smoke)
+      .EndObject()
+      .Key("mutations")
+      .BeginObject()
+      .Key("wall_seconds")
+      .Double(wall_seconds)
+      .Key("records_per_second")
+      .Double(wall_seconds > 0 ? static_cast<double>(counters.ingested) /
+                                     wall_seconds
+                               : 0.0)
+      .Key("interrupted_refinements")
+      .Uint(interrupted);
+  WriteLatency(&json, "ingest", Summarize(&ingest_us));
+  WriteLatency(&json, "remove", Summarize(&remove_us));
+  WriteLatency(&json, "update", Summarize(&update_us));
+  json.EndObject().Key("queries").BeginObject().Key("observations").Uint(
+      observations);
+  WriteLatency(&json, "topk", Summarize(&topk_us));
+  WriteLatency(&json, "cluster", Summarize(&cluster_us));
+  json.EndObject()
+      .Key("final")
+      .BeginObject()
+      .Key("generation")
+      .Uint(counters.generation)
+      .Key("live_records")
+      .Uint(counters.live_records)
+      .Key("clusters")
+      .Uint(engine.Snapshot()->clusters.size())
+      .Key("total_hashes")
+      .Uint(counters.total_hashes)
+      .Key("total_similarities")
+      .Uint(counters.total_similarities)
+      .EndObject()
+      .EndObject();
+
+  const std::string doc = json.TakeString();
+  if (out.empty()) {
+    std::cout << doc << "\n";
+  } else {
+    std::ofstream file(out);
+    ADALSH_CHECK(file.good()) << "cannot open --out file " + out;
+    file << doc << "\n";
+    std::cerr << "engine_load_gen: wrote " << out << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adalsh
+
+int main(int argc, char** argv) { return adalsh::Run(argc, argv); }

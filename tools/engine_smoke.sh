@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Smoke test for the resident serve mode (docs/engine.md): drives
+# `adalsh_cli serve` through a scripted session covering every protocol verb
+# — staged adds, commits, queries, an update that moves a record between
+# clusters, removals, error replies, and a flush — and diffs the transcript
+# against tests/golden/engine_smoke.golden byte-for-byte. The session pins
+# the cost model and seed, so the transcript is reproducible at any thread
+# count; a second session checks the (wall-clock-bearing, so not
+# byte-diffable) `stats` report carries the engine-report schema.
+#
+# Wired into ctest as `engine_smoke` (mirrors tools/trace_smoke.sh).
+#
+# Usage: engine_smoke.sh <adalsh_cli binary> <golden file> <scratch dir>
+set -euo pipefail
+
+if [[ $# -ne 3 ]]; then
+  echo "usage: $0 <adalsh_cli binary> <golden file> <scratch dir>" >&2
+  exit 2
+fi
+
+cli="$1"
+golden="$2"
+scratch="$3"
+mkdir -p "$scratch"
+transcript="$scratch/engine_smoke_transcript.txt"
+rm -f "$transcript"
+
+serve=("$cli" serve --columns=text "--rule=leaf(0;0.5)" --k=3 --threads=1
+       --seed=3 --cost-model=1e-8,1e-6)
+
+printf '%s\n' \
+  "topk" \
+  "add alpha beta gamma delta epsilon zeta eta theta" \
+  "add alpha beta gamma delta epsilon zeta eta iota" \
+  "add alpha beta kappa delta epsilon zeta eta theta" \
+  "add red orange yellow green blue indigo violet pink" \
+  "add red orange yellow green blue indigo violet black" \
+  "commit" \
+  "topk" \
+  "cluster 1" \
+  "add red orange cyan green blue indigo violet pink" \
+  "add lonely solitary single unique alone only sole one" \
+  "commit" \
+  "topk" \
+  "update 4 alpha beta gamma delta epsilon zeta kappa theta" \
+  "topk" \
+  "remove 0 1" \
+  "topk" \
+  "remove 99" \
+  "bogus" \
+  "flush" \
+  "quit" \
+  | "${serve[@]}" > "$transcript"
+
+if ! diff -u "$golden" "$transcript"; then
+  echo "FAIL: serve transcript deviates from $golden" >&2
+  exit 1
+fi
+
+# The transcript above must be thread-count-independent: replay it at 8
+# worker threads and expect the identical bytes.
+threaded=("${serve[@]}")
+threaded=("${threaded[@]/--threads=1/--threads=8}")
+printf '%s\n' \
+  "topk" \
+  "add alpha beta gamma delta epsilon zeta eta theta" \
+  "add alpha beta gamma delta epsilon zeta eta iota" \
+  "add alpha beta kappa delta epsilon zeta eta theta" \
+  "add red orange yellow green blue indigo violet pink" \
+  "add red orange yellow green blue indigo violet black" \
+  "commit" \
+  "topk" \
+  "cluster 1" \
+  "add red orange cyan green blue indigo violet pink" \
+  "add lonely solitary single unique alone only sole one" \
+  "commit" \
+  "topk" \
+  "update 4 alpha beta gamma delta epsilon zeta kappa theta" \
+  "topk" \
+  "remove 0 1" \
+  "topk" \
+  "remove 99" \
+  "bogus" \
+  "flush" \
+  "quit" \
+  | "${threaded[@]}" > "$transcript.t8"
+if ! diff -u "$golden" "$transcript.t8"; then
+  echo "FAIL: serve transcript differs at --threads=8" >&2
+  exit 1
+fi
+
+# `stats` embeds wall-clock seconds, so it is checked by shape, not bytes.
+stats=$(printf 'add a b c\ncommit\nstats\nquit\n' | "${serve[@]}")
+for key in adalsh-engine-report-v1 counters snapshot refinement; do
+  if ! grep -q "\"$key\"" <<< "$stats"; then
+    echo "FAIL: stats report lacks \"$key\"" >&2
+    exit 1
+  fi
+done
+
+echo "engine_smoke OK: $transcript"

@@ -20,6 +20,12 @@
 # FaultInjector):
 #
 #   tools/run_sanitized_tests.sh undefined -R 'run_controller|deadline_smoke'
+#
+# docs/engine.md requires the TSan run for any change to the resident engine
+# (snapshot publication and the query read path run concurrently with
+# mutations):
+#
+#   tools/run_sanitized_tests.sh thread -R 'resident_engine|engine_equivalence'
 
 set -euo pipefail
 
