@@ -33,6 +33,8 @@
 #include "obs/run_report.h"
 #include "util/flags.h"
 #include "util/rng.h"
+#include "util/simd.h"
+#include "util/simd_kernels.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -83,6 +85,39 @@ double MeasureHashesPerSecond(HashFamily* family, const Record& record,
   return static_cast<double>(hashes) / timer.ElapsedSeconds();
 }
 
+// Folds a fixed hash prefix into one checksum. The SIMD levels are certified
+// bit-identical (docs/simd.md), so every pinned level must produce the same
+// checksum before its throughput is worth reporting.
+uint64_t HashChecksum(HashFamily* family, const Record& record, size_t count) {
+  std::vector<uint64_t> out(count);
+  family->HashRange(record, 0, count, out.data());
+  uint64_t sum = 0;
+  for (uint64_t h : out) sum = SplitMix64(sum ^ h);
+  return sum;
+}
+
+// Per-SIMD-level rates for one family/record workload, emitted as a "simd"
+// array next to the auto-dispatch rate. Asserts level equivalence first.
+void AppendPerLevelRates(HashFamily* family, const Record& record,
+                         double min_seconds, bench::JsonWriter* json) {
+  const uint64_t reference = HashChecksum(family, record, 256);
+  json->Key("simd").BeginArray();
+  for (SimdLevel level : SupportedSimdLevels()) {
+    int previous = SetSimdPin(static_cast<int>(level));
+    ADALSH_CHECK_EQ(HashChecksum(family, record, 256), reference)
+        << "hash outputs diverged on level " << SimdLevelName(level);
+    double rate = MeasureHashesPerSecond(family, record, min_seconds, 4096);
+    SetSimdPin(previous);
+    json->BeginObject()
+        .Key("level")
+        .String(SimdLevelName(level))
+        .Key("hashes_per_second")
+        .Double(rate)
+        .EndObject();
+  }
+  json->EndArray();
+}
+
 int Main(int argc, char** argv) {
   Flags flags(argc, argv);
   const std::string out = flags.GetString("out", "BENCH_hashing.json");
@@ -99,6 +134,16 @@ int Main(int argc, char** argv) {
       .Key("smoke")
       .Bool(smoke);
 
+  // Record what auto dispatch resolved to on this machine, so a committed
+  // baseline says which kernels its numbers were measured with.
+  json.Key("simd_active")
+      .BeginObject()
+      .Key("dot")
+      .String(SimdLevelName(simd::ActiveDotLevel()))
+      .Key("minhash")
+      .String(SimdLevelName(simd::ActiveMinHashLevel()))
+      .EndObject();
+
   // --- MinHash throughput by token-set size. ---
   json.Key("minhash").BeginArray();
   for (size_t set_size : {size_t{16}, size_t{64}, size_t{128}, size_t{256}}) {
@@ -110,8 +155,9 @@ int Main(int argc, char** argv) {
         .Key("set_size")
         .Uint(set_size)
         .Key("hashes_per_second")
-        .Double(rate)
-        .EndObject();
+        .Double(rate);
+    AppendPerLevelRates(&family, record, family_seconds, &json);
+    json.EndObject();
   }
   json.EndArray();
 
@@ -126,8 +172,9 @@ int Main(int argc, char** argv) {
         .Key("dim")
         .Uint(dim)
         .Key("hashes_per_second")
-        .Double(rate)
-        .EndObject();
+        .Double(rate);
+    AppendPerLevelRates(&family, record, family_seconds, &json);
+    json.EndObject();
   }
   json.EndArray();
 

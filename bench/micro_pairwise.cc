@@ -4,7 +4,9 @@
 //   * kernel: single-pair rule evaluations (the cost_P unit of Definition 3)
 //     through the scalar path (MatchRule::Matches — per-pair norms, acos,
 //     record/field lookups) versus the cached path (RuleEvaluator over a
-//     FeatureCache — cached norms, threshold-aware kernels);
+//     FeatureCache — cached norms, threshold-aware kernels), plus the cached
+//     path pinned to each supported SIMD dispatch target; every path must
+//     make identical per-pass match decisions (asserted, even in --smoke);
 //   * engine: the full P function with transitive-closure skipping
 //     (PairwiseComputer::Apply) across thread counts.
 //
@@ -30,6 +32,7 @@
 #include "util/flags.h"
 #include "util/numeric.h"
 #include "util/rng.h"
+#include "util/simd.h"
 #include "util/thread_pool.h"
 #include "util/timer.h"
 
@@ -56,23 +59,40 @@ PairList RandomPairs(size_t num_records, size_t count, uint64_t seed) {
   return pairs;
 }
 
+// One counting pass over the pair list. Decision equivalence across
+// evaluation paths is asserted on these per-pass counts — the old bench
+// reported counts accumulated over however many timed passes each path ran,
+// which made scalar_matches and cached_matches incomparable numbers.
+template <typename Evaluate>
+uint64_t CountMatches(const PairList& pairs, Evaluate&& evaluate) {
+  uint64_t matches = 0;
+  for (size_t i = 0; i < pairs.a.size(); ++i) {
+    matches += evaluate(i) ? 1 : 0;
+  }
+  return matches;
+}
+
 // Repeats `evaluate(pair index)` over the pair list until `min_seconds` of
-// wall clock accumulated; returns evaluations per second. The sink defeats
-// dead-code elimination and is reported so runs are comparable.
+// wall clock accumulated; returns evaluations per second. The match sink
+// defeats dead-code elimination; cross-checking it against the per-pass
+// count also catches an evaluation path that is nondeterministic across
+// passes.
 template <typename Evaluate>
 double MeasurePairsPerSecond(const PairList& pairs, double min_seconds,
-                             Evaluate&& evaluate, uint64_t* matches_out) {
+                             uint64_t matches_per_pass, Evaluate&& evaluate) {
   uint64_t matches = 0;
-  uint64_t evals = 0;
+  uint64_t passes = 0;
   Timer timer;
   do {
     for (size_t i = 0; i < pairs.a.size(); ++i) {
       matches += evaluate(i) ? 1 : 0;
     }
-    evals += pairs.a.size();
+    ++passes;
   } while (timer.ElapsedSeconds() < min_seconds);
-  *matches_out = matches;
-  return static_cast<double>(evals) / timer.ElapsedSeconds();
+  ADALSH_CHECK_EQ(matches, passes * matches_per_pass)
+      << "evaluation path changed its decisions between passes";
+  return static_cast<double>(passes * pairs.a.size()) /
+         timer.ElapsedSeconds();
 }
 
 void BenchWorkload(const GeneratedDataset& workload, const std::string& name,
@@ -84,23 +104,28 @@ void BenchWorkload(const GeneratedDataset& workload, const std::string& name,
 
   json->BeginObject().Key("name").String(name).Key("num_records").Uint(n);
 
-  // --- Kernel: scalar vs cached on the same random pair list. ---
+  // --- Kernel: scalar vs cached on the same random pair list, and the
+  // cached path once per supported SIMD dispatch target. The equivalence
+  // checks run in smoke mode too: the two paths — and every dispatch
+  // target — must make identical decisions on every pair (docs/simd.md). ---
   PairList pairs = RandomPairs(n, smoke ? 2000 : 100000, /*seed=*/3);
   FeatureCache cache(workload.dataset);
   RuleEvaluator evaluator(workload.rule, cache);
-  uint64_t scalar_matches = 0;
-  double scalar_rate = MeasurePairsPerSecond(
-      pairs, kernel_seconds,
-      [&](size_t i) {
-        return workload.rule.Matches(workload.dataset.record(pairs.a[i]),
-                                     workload.dataset.record(pairs.b[i]));
-      },
-      &scalar_matches);
-  uint64_t cached_matches = 0;
-  double cached_rate = MeasurePairsPerSecond(
-      pairs, kernel_seconds,
-      [&](size_t i) { return evaluator.Matches(pairs.a[i], pairs.b[i]); },
-      &cached_matches);
+  auto scalar_eval = [&](size_t i) {
+    return workload.rule.Matches(workload.dataset.record(pairs.a[i]),
+                                 workload.dataset.record(pairs.b[i]));
+  };
+  auto cached_eval = [&](size_t i) {
+    return evaluator.Matches(pairs.a[i], pairs.b[i]);
+  };
+  const uint64_t scalar_matches = CountMatches(pairs, scalar_eval);
+  const uint64_t cached_matches = CountMatches(pairs, cached_eval);
+  ADALSH_CHECK_EQ(scalar_matches, cached_matches)
+      << name << ": cached evaluator diverged from MatchRule::Matches";
+  double scalar_rate = MeasurePairsPerSecond(pairs, kernel_seconds,
+                                             scalar_matches, scalar_eval);
+  double cached_rate = MeasurePairsPerSecond(pairs, kernel_seconds,
+                                             cached_matches, cached_eval);
   json->Key("kernel")
       .BeginObject()
       .Key("scalar_pairs_per_second")
@@ -113,7 +138,27 @@ void BenchWorkload(const GeneratedDataset& workload, const std::string& name,
       .Uint(scalar_matches)
       .Key("cached_matches")
       .Uint(cached_matches)
-      .EndObject();
+      .Key("simd")
+      .BeginArray();
+  for (SimdLevel level : SupportedSimdLevels()) {
+    int previous = SetSimdPin(static_cast<int>(level));
+    const uint64_t level_matches = CountMatches(pairs, cached_eval);
+    ADALSH_CHECK_EQ(level_matches, scalar_matches)
+        << name << ": dispatch target " << SimdLevelName(level)
+        << " diverged from the scalar reference";
+    double level_rate = MeasurePairsPerSecond(pairs, kernel_seconds,
+                                              level_matches, cached_eval);
+    SetSimdPin(previous);
+    json->BeginObject()
+        .Key("level")
+        .String(SimdLevelName(level))
+        .Key("cached_pairs_per_second")
+        .Double(level_rate)
+        .Key("matches")
+        .Uint(level_matches)
+        .EndObject();
+  }
+  json->EndArray().EndObject();
 
   // --- Engine: the full P sweep across thread counts. The nominal pair
   // count n*(n-1)/2 is the unit, so closure skipping shows up as rate, and

@@ -24,10 +24,37 @@ constexpr size_t kColTile = 128;  // columns per parallel work item
 // machinery costs more than it saves; run the plain sweep.
 constexpr size_t kSerialCutoff = 2 * kRowBlock;
 
+// Minimum sweep size for which the tiled path is worth dispatching at all.
+// A few-hundred-record sweep is microseconds of kernel work: the fork/join
+// round trips, snapshot passes and decision-buffer traffic cost more than
+// the evaluations they spread, which made the engine *slower* at 2-4
+// threads than at 1 on the 800-record bench. Path choice is free to depend
+// on anything — both sweeps produce byte-identical output (see SweepTiled's
+// replay argument); this only decides where the crossover sits.
+constexpr size_t kParallelMinRecords = 4096;
+
+// Test override (0 = none): lets the parallel-equivalence suites force the
+// tiled path on few-hundred-record inputs that real runs now sweep serially.
+size_t g_parallel_cutoff_override = 0;
+
+size_t EffectiveParallelCutoff() {
+  // Never below kSerialCutoff: under it a single stripe covers the whole
+  // triangle and tiling is pure overhead regardless of what a test asked.
+  return std::max(kSerialCutoff, g_parallel_cutoff_override != 0
+                                     ? g_parallel_cutoff_override
+                                     : kParallelMinRecords);
+}
+
 // Per-pair decision recorded by a tile, consumed by the serial replay.
 enum : uint8_t { kSkipped = 0, kNoMatch = 1, kMatched = 2 };
 
 }  // namespace
+
+size_t PairwiseComputer::OverrideParallelCutoffForTest(size_t cutoff) {
+  size_t previous = g_parallel_cutoff_override;
+  g_parallel_cutoff_override = cutoff;
+  return previous;
+}
 
 PairwiseComputer::PairwiseComputer(const Dataset& dataset,
                                    const MatchRule& rule, ThreadPool* pool,
@@ -61,7 +88,7 @@ std::vector<NodeId> PairwiseComputer::Apply(
   for (size_t i = 0; i < records.size(); ++i) {
     forest->MakeTree(records[i], kProducerPairwise, &leaf_of[i]);
   }
-  if (pool_ == nullptr || records.size() < kSerialCutoff) {
+  if (pool_ == nullptr || records.size() < EffectiveParallelCutoff()) {
     SweepSerial(records, leaf_of, forest);
   } else {
     SweepTiled(records, leaf_of, forest);

@@ -35,6 +35,12 @@ namespace adalsh {
 /// snapshot roots skips pairs connected by matches found earlier (in
 /// canonical order) within the same tile. Inputs that fit a single tile
 /// therefore perform exactly the evaluations of the strictly serial sweep.
+///
+/// Because both paths are byte-identical, the choice between them is purely
+/// a performance decision: sweeps below a minimum size run serially even
+/// when a pool is attached (the fork/join and snapshot overhead exceeds the
+/// kernel work and made small benches slower at 2-4 threads than at 1 —
+/// see kParallelMinRecords in pairwise.cc and docs/threading.md).
 class PairwiseComputer {
  public:
   /// `pool` (borrowed, may be null) runs the tile evaluations; null means
@@ -78,6 +84,15 @@ class PairwiseComputer {
 
   /// True when the last Apply was stopped mid-sweep by the controller.
   bool last_apply_interrupted() const { return interrupted_; }
+
+  /// Overrides the minimum sweep size at which Apply dispatches the tiled
+  /// parallel path (0 restores the built-in threshold; the override never
+  /// drops below the single-stripe cutoff). Returns the previous override.
+  /// Process-global, for tests only: the equivalence suites use it to force
+  /// the tiled path on few-hundred-record inputs that real runs sweep
+  /// serially — which is safe precisely because both paths produce
+  /// byte-identical output.
+  static size_t OverrideParallelCutoffForTest(size_t cutoff);
 
   /// Rule evaluations actually performed (pairs skipped via transitive
   /// closure are not counted) — the n_P of the Definition 3 cost accounting.

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/simd_kernels.h"
 
 namespace adalsh {
 
@@ -27,19 +28,11 @@ double CosineDistance(const std::vector<float>& a,
 }
 
 double DotProduct(const float* a, const float* b, size_t size) {
-  // Four independent accumulators break the loop-carried add dependency so
-  // the compiler can keep the FMA pipeline full; the final reduction order is
-  // fixed, so the result depends only on `size`.
-  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-  size_t i = 0;
-  for (; i + 4 <= size; i += 4) {
-    s0 += static_cast<double>(a[i]) * b[i];
-    s1 += static_cast<double>(a[i + 1]) * b[i + 1];
-    s2 += static_cast<double>(a[i + 2]) * b[i + 2];
-    s3 += static_cast<double>(a[i + 3]) * b[i + 3];
-  }
-  for (; i < size; ++i) s0 += static_cast<double>(a[i]) * b[i];
-  return (s0 + s1) + (s2 + s3);
+  // Runtime-dispatched vector kernel (docs/simd.md): 16 independent double
+  // accumulators in a canonical lane order, reduced by a fixed tree, so the
+  // result depends only on the operands and `size` — never on the dispatch
+  // target, alignment, or caller.
+  return simd::DotProductF32(a, b, size);
 }
 
 double L2Norm(const float* values, size_t size) {

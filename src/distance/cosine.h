@@ -15,9 +15,11 @@ namespace adalsh {
 /// zero the distance is 1 (maximally far).
 double CosineDistance(const std::vector<float>& a, const std::vector<float>& b);
 
-/// Unrolled 4-accumulator dot product with double accumulation — the inner
-/// kernel of the cached-norm cosine path. Deterministic: the accumulation
-/// order depends only on `size`, never on the caller or thread.
+/// The inner kernel of the cached-norm cosine path: a runtime-dispatched
+/// SIMD dot product with double accumulation (simd_kernels.h, docs/simd.md).
+/// Deterministic: every dispatch target executes the same canonical 16-lane
+/// accumulation order, so the result depends only on the operand values and
+/// `size` — never on the machine's vector width, the caller, or the thread.
 double DotProduct(const float* a, const float* b, size_t size);
 
 /// L2 norm of a dense vector, accumulated in the same element order as

@@ -1,5 +1,7 @@
 #include "distance/feature_cache.h"
 
+#include <cstring>
+
 #include "distance/cosine.h"
 #include "util/check.h"
 
@@ -14,7 +16,10 @@ FeatureCache::FeatureCache(const Dataset& dataset) : num_records_(0) {
     FieldCache& cache = fields_[f];
     const Field& proto_field = prototype.field(f);
     cache.dense = proto_field.is_dense();
-    if (cache.dense) cache.dim = proto_field.size();
+    if (cache.dense) {
+      cache.dim = proto_field.size();
+      cache.stride = PadFloats(cache.dim);
+    }
   }
   GrowTo(dataset);
 }
@@ -25,7 +30,9 @@ void FeatureCache::GrowTo(const Dataset& dataset) {
       << "FeatureCache::GrowTo on a dataset that shrank";
   for (FieldCache& cache : fields_) {
     if (cache.dense) {
-      cache.dense_ptrs.resize(new_count);
+      // The arena zero-fills the appended rows, which is what makes the
+      // padding lanes read as 0.0f for full-stride vector loads.
+      cache.values.GrowTo(new_count * cache.stride);
       cache.norms.resize(new_count);
     } else {
       cache.token_ptrs.resize(new_count);
@@ -47,14 +54,20 @@ void FeatureCache::GrowTo(const Dataset& dataset) {
             << " kind differs from record 0";
       }
       if (cache.dense) {
+        // Dense rows are copied once into the SoA arena; nothing to re-sync
+        // for existing records (the arena is ours, record moves don't touch
+        // it).
         if (fresh) {
           ADALSH_CHECK_EQ(field.size(), cache.dim)
               << "record " << r << " field " << f
               << " dimensionality differs from record 0";
+          const std::vector<float>& values = field.dense();
+          if (cache.dim > 0) {
+            std::memcpy(cache.values.data() + r * cache.stride, values.data(),
+                        cache.dim * sizeof(float));
+          }
+          cache.norms[r] = L2Norm(values.data(), values.size());
         }
-        const std::vector<float>& values = field.dense();
-        cache.dense_ptrs[r] = values.data();
-        if (fresh) cache.norms[r] = L2Norm(values.data(), values.size());
       } else {
         cache.token_ptrs[r] = &field.tokens();
       }

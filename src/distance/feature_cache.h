@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "record/dataset.h"
+#include "util/simd.h"
 
 namespace adalsh {
 
@@ -15,18 +16,25 @@ namespace adalsh {
 ///   * one L2 norm per dense field per record, computed once — per-pair
 ///     cosine collapses to a single dot product (CosineDistanceWithNorms /
 ///     CosineWithinBound);
-///   * direct payload pointers per field per record, so the hot loops never
-///     walk Dataset -> Record -> Field indirections per pair.
+///   * dense payloads copied into a structure-of-arrays arena: one
+///     64-byte-aligned buffer per field, rows padded to the SIMD stride
+///     (util/simd.h) and zero-filled, so the vector dot kernels stream
+///     cache-line-aligned rows with no Dataset -> Record -> Field
+///     indirection per pair (docs/simd.md, "SoA layout");
+///   * direct token-payload pointers per field per record for the merge
+///     kernels, which stay pointer-based (token sets are variable-length).
 ///
 /// Building the cache also validates the dataset's schema once: every record
 /// must have the same field count, field kinds, and dense dimensionalities as
 /// record 0. That single validation is what lets the per-pair
 /// ADALSH_CHECK_EQ in CosineDistance drop to a debug-only ADALSH_DCHECK.
 ///
-/// The cache stores pointers into the Dataset's records; the Dataset must
-/// outlive it and not grow while it is alive (Dataset records are immutable
-/// once added, so any fully-built dataset qualifies) — unless the owner calls
-/// GrowTo after each append, which re-resolves every pointer.
+/// Dense rows are *copies* (the price of alignment and contiguity — for the
+/// paper's feature sizes the arena is a few MB per million records per
+/// field), so they survive Dataset growth untouched; token pointers still
+/// point into the Dataset's records, so the Dataset must outlive the cache
+/// and not grow while it is alive — unless the owner calls GrowTo after each
+/// append, which re-resolves every token pointer.
 class FeatureCache {
  public:
   explicit FeatureCache(const Dataset& dataset);
@@ -36,12 +44,13 @@ class FeatureCache {
 
   /// Re-syncs the cache with a dataset that grew since construction (must be
   /// the same dataset object): validates the appended records against the
-  /// schema, computes their norms, and re-resolves ALL payload pointers —
-  /// appending to the dataset's record vector may have moved the Record
-  /// objects, which invalidates token pointers (the float payloads survive
-  /// moves, but re-resolving everything keeps the invariant trivial). Cached
-  /// norms of existing records are kept (records are immutable). Call from
-  /// the ingesting thread, outside any concurrent pairwise evaluation.
+  /// schema, copies their dense rows into the arena, computes their norms,
+  /// and re-resolves ALL token pointers — appending to the dataset's record
+  /// vector may have moved the Record objects, which invalidates token
+  /// pointers (dense rows live in the cache's own arena and survive). Cached
+  /// norms and rows of existing records are kept (records are immutable).
+  /// Call from the ingesting thread, outside any concurrent pairwise
+  /// evaluation.
   void GrowTo(const Dataset& dataset);
 
   size_t num_fields() const { return fields_.size(); }
@@ -53,9 +62,11 @@ class FeatureCache {
   /// Dense dimensionality, uniform across records (validated at build).
   size_t dim(FieldId f) const { return fields_[f].dim; }
 
-  /// Dense payload of record r's field f.
+  /// Dense payload of record r's field f: a 64-byte-aligned row of dim(f)
+  /// valid floats (followed by zero padding up to the SoA stride).
   const float* dense(RecordId r, FieldId f) const {
-    return fields_[f].dense_ptrs[r];
+    const FieldCache& field = fields_[f];
+    return field.values.data() + r * field.stride;
   }
 
   /// Cached L2 norm of record r's dense field f.
@@ -69,9 +80,10 @@ class FeatureCache {
  private:
   struct FieldCache {
     bool dense = false;
-    size_t dim = 0;                                   // dense fields only
-    std::vector<const float*> dense_ptrs;             // dense fields only
-    std::vector<double> norms;                        // dense fields only
+    size_t dim = 0;     // dense fields only: true dimensionality
+    size_t stride = 0;  // dense fields only: padded row length (floats)
+    AlignedFloatBuffer values;   // dense fields only: num_records * stride
+    std::vector<double> norms;   // dense fields only
     std::vector<const std::vector<uint64_t>*> token_ptrs;  // token fields
   };
 

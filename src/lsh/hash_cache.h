@@ -61,11 +61,12 @@ class HashCache {
   /// Number of values computed so far for record r.
   size_t computed_count(RecordId r) const { return computed_[r]; }
 
-  /// Folds values [begin, end) of record r into a running bucket key.
-  /// Requires Ensure(record, r, end) to have happened. Two records receive
-  /// equal results iff (with overwhelming probability) their raw values agree
-  /// on the whole range — this builds the AND-construction's concatenated
-  /// bucket index.
+  /// Folds values [begin, end) of record r into a running bucket key,
+  /// word-at-a-time: binary families fold 64 packed bits per mix round, wide
+  /// families two 32-bit values. Requires Ensure(record, r, end) to have
+  /// happened. Two records receive equal results iff (with overwhelming
+  /// probability) their raw values agree on the whole range — this builds
+  /// the AND-construction's concatenated bucket index.
   uint64_t CombineRange(RecordId r, size_t begin, size_t end,
                         uint64_t key) const;
 

@@ -1,9 +1,8 @@
 #include "lsh/minhash.h"
 
-#include <limits>
-
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/simd_kernels.h"
 
 namespace adalsh {
 
@@ -16,14 +15,13 @@ void MinHashFamily::HashRange(const Record& record, size_t begin, size_t end,
   const std::vector<uint64_t>& tokens = record.field(field_).tokens();
   for (size_t j = begin; j < end; ++j) {
     uint64_t function_seed = DeriveSeed(seed_, j);
-    uint64_t min_value = std::numeric_limits<uint64_t>::max();
-    for (uint64_t token : tokens) {
-      uint64_t value = SplitMix64(token ^ function_seed);
-      if (value < min_value) min_value = value;
-    }
-    // The empty set gets a sentinel that still compares equal across records,
-    // which is the right semantics: two empty sets have Jaccard distance 0.
-    out[j - begin] = min_value;
+    // Runtime-dispatched min-of-SplitMix64 kernel (docs/simd.md). All-integer
+    // and min-commutative, so every dispatch target returns the same bits.
+    // The empty set gets the kernel's UINT64_MAX sentinel, which still
+    // compares equal across records — the right semantics: two empty sets
+    // have Jaccard distance 0.
+    out[j - begin] =
+        simd::MinHashTokens(tokens.data(), tokens.size(), function_seed);
   }
 }
 

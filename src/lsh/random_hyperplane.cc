@@ -2,25 +2,28 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/simd_kernels.h"
 
 namespace adalsh {
 
 RandomHyperplaneFamily::RandomHyperplaneFamily(FieldId field, size_t dim,
                                                uint64_t seed)
-    : field_(field), dim_(dim), seed_(seed) {
+    : field_(field), dim_(dim), stride_(PadFloats(dim)), seed_(seed) {
   ADALSH_CHECK_GT(dim, 0u);
 }
 
 void RandomHyperplaneFamily::EnsureMaterialized(size_t count) {
-  while (hyperplanes_.size() < count) {
+  if (count <= num_materialized_) return;
+  normals_.GrowTo(count * stride_);  // zero-fills, including row padding
+  while (num_materialized_ < count) {
     // Each hyperplane gets its own derived seed so materialization order
     // (and batching) cannot change the functions.
-    Rng rng(DeriveSeed(seed_, hyperplanes_.size()));
-    std::vector<float> normal(dim_);
-    for (float& component : normal) {
-      component = static_cast<float>(rng.NextGaussian());
+    Rng rng(DeriveSeed(seed_, num_materialized_));
+    float* row = normals_.data() + num_materialized_ * stride_;
+    for (size_t d = 0; d < dim_; ++d) {
+      row[d] = static_cast<float>(rng.NextGaussian());
     }
-    hyperplanes_.push_back(std::move(normal));
+    ++num_materialized_;
   }
 }
 
@@ -31,11 +34,11 @@ void RandomHyperplaneFamily::HashRange(const Record& record, size_t begin,
   const std::vector<float>& vec = record.field(field_).dense();
   ADALSH_CHECK_EQ(vec.size(), dim_);
   for (size_t j = begin; j < end; ++j) {
-    const std::vector<float>& normal = hyperplanes_[j];
-    double dot = 0.0;
-    for (size_t d = 0; d < dim_; ++d) {
-      dot += static_cast<double>(normal[d]) * vec[d];
-    }
+    // Canonical-lane dot kernel over the true dimension (padding excluded),
+    // so the sign — and with it the hash value — is bit-identical on every
+    // dispatch target.
+    const float* normal = normals_.data() + j * stride_;
+    double dot = simd::DotProductF32(normal, vec.data(), dim_);
     out[j - begin] = dot >= 0.0 ? 1 : 0;
   }
 }

@@ -5,6 +5,7 @@
 
 #include "lsh/hash_family.h"
 #include "record/record.h"
+#include "util/simd.h"
 
 namespace adalsh {
 
@@ -13,6 +14,12 @@ namespace adalsh {
 /// vector); the hash value is which side of the hyperplane the record's
 /// vector lies on (0/1). For two records at normalized angle x, a uniformly
 /// drawn function collides with probability p(x) = 1 - x.
+///
+/// The normals live in a structure-of-arrays arena: one 64-byte-aligned
+/// buffer, rows padded to the SIMD stride (util/simd.h), streamed by the
+/// runtime-dispatched dot kernel. The sign test uses the canonical-lane dot
+/// product (docs/simd.md), so hash values are identical on every dispatch
+/// target.
 class RandomHyperplaneFamily : public HashFamily {
  public:
   /// `field` selects the dense field hashed by this family; `dim` is its
@@ -23,22 +30,24 @@ class RandomHyperplaneFamily : public HashFamily {
                  uint64_t* out) override;
 
   /// Materializes the first `count` hyperplanes so concurrent HashRange calls
-  /// below that index never mutate `hyperplanes_`.
+  /// below that index never mutate the arena.
   void Prepare(size_t count) override { EnsureMaterialized(count); }
 
   bool is_binary() const override { return true; }
 
   /// Number of hyperplanes materialized so far (for tests).
-  size_t num_materialized() const { return hyperplanes_.size(); }
+  size_t num_materialized() const { return num_materialized_; }
 
  private:
   void EnsureMaterialized(size_t count);
 
   FieldId field_;
   size_t dim_;
+  size_t stride_;  // padded row length (floats)
   uint64_t seed_;
-  /// Hyperplane normals, row-major, each of length dim_.
-  std::vector<std::vector<float>> hyperplanes_;
+  /// Hyperplane normals, row-major at stride_, aligned and zero-padded.
+  AlignedFloatBuffer normals_;
+  size_t num_materialized_ = 0;
 };
 
 }  // namespace adalsh

@@ -1,0 +1,64 @@
+#ifndef ADALSH_UTIL_SIMD_KERNELS_H_
+#define ADALSH_UTIL_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/simd.h"
+
+namespace adalsh {
+namespace simd {
+
+/// The two innermost kernels of the system — the dense dot product behind
+/// every cosine rule evaluation and hyperplane hash, and the keyed-min mix
+/// behind every MinHash — each with one implementation per SimdLevel.
+///
+/// Bit-identity contract (docs/simd.md): for any input, every level returns
+/// the same bits. Integer kernels get this for free (the operations are
+/// exact and the min-reduction is commutative); the floating dot product
+/// gets it by fixing a *canonical lane order* that every path executes:
+///
+///   * kDotLanes = 16 independent double accumulators; element i feeds
+///     accumulator i mod 16 (the main loop consumes 16 elements per step);
+///   * each term is float->double convert (exact), double multiply, double
+///     add — never FMA, which would round differently from the scalar path;
+///   * the trailing size % 16 elements accumulate into lanes 0.. in order;
+///   * the 16 lanes reduce in a fixed binary tree:
+///     ((l0+l1)+(l2+l3)) + ... computed by ReduceDotLanes.
+///
+/// A 512-bit path runs lanes 0-7 / 8-15 as two vector accumulators, a
+/// 256-bit path as four, a 128-bit path as eight, and the scalar path as
+/// sixteen doubles — all the same arithmetic in the same order.
+
+constexpr size_t kDotLanes = 16;
+
+/// Dispatch target each kernel currently uses: the process pin when one is
+/// set (SimdPin), otherwise this kernel's probed-best level, resolved once
+/// on first use (see util/simd.h — wide registers are not uniformly a win,
+/// and the two kernels can legitimately resolve to different levels).
+SimdLevel ActiveDotLevel();
+SimdLevel ActiveMinHashLevel();
+
+/// sum_i double(a[i]) * double(b[i]) in the canonical lane order, on the
+/// active dispatch level. Deterministic: the result depends only on the
+/// operand values and `size`, never on the level, alignment, or caller.
+double DotProductF32(const float* a, const float* b, size_t size);
+
+/// Same kernel forced to one level (differential tests, benches). Aborts if
+/// the level is unsupported on this machine.
+double DotProductF32At(SimdLevel level, const float* a, const float* b,
+                       size_t size);
+
+/// min over tokens of SplitMix64(token ^ seed) — the MinHash inner loop
+/// (one hash function against one token set). Returns UINT64_MAX for the
+/// empty set (the family's empty-set sentinel). Exact on every level.
+uint64_t MinHashTokens(const uint64_t* tokens, size_t size, uint64_t seed);
+
+/// Same kernel forced to one level.
+uint64_t MinHashTokensAt(SimdLevel level, const uint64_t* tokens, size_t size,
+                         uint64_t seed);
+
+}  // namespace simd
+}  // namespace adalsh
+
+#endif  // ADALSH_UTIL_SIMD_KERNELS_H_

@@ -149,6 +149,10 @@ TEST(AdaptiveLshTest, LargestFirstDoesLeastWork) {
     AdaptiveLshConfig config = SmallConfig();
     config.selection = strategy;
     AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+    // One fixed cost model for every strategy: the theorem compares
+    // selection orders under a common model, and the wall-clock calibration
+    // each instance would otherwise run is machine- and noise-dependent.
+    adalsh.set_cost_model(CostModel(1e-8, 1e-6));
     FilterOutput output = adalsh.Run(2);
     return output.stats.hashes_computed +
            output.stats.pairwise_similarities;

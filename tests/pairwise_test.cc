@@ -111,6 +111,7 @@ TEST(PairwiseTest, ParallelSweepMatchesSerialOnStripeCrossingInput) {
   // The tiled engine must reproduce the serial sweep bit for bit — same
   // clusters, same leaf-chain order, same root order, same similarity
   // count — on an input large enough to span many stripes and tiles.
+  test::ScopedParallelCutoff force_tiled(1);
   for (uint64_t seed : {1, 2, 3}) {
     GeneratedDataset generated = StripeCrossingDataset(seed);
     std::vector<RecordId> records = generated.dataset.AllRecordIds();
@@ -127,6 +128,7 @@ TEST(PairwiseTest, ParallelSweepMatchesSerialOnStripeCrossingInput) {
 TEST(PairwiseTest, ParallelSweepMatchesSerialOnSubsetOrder) {
   // Apply sees records in caller order, not id order; the equivalence must
   // hold for shuffled subsets too.
+  test::ScopedParallelCutoff force_tiled(1);
   GeneratedDataset generated = StripeCrossingDataset(9);
   std::vector<RecordId> records = generated.dataset.AllRecordIds();
   Rng rng(DeriveSeed(9, 0x5u));
@@ -143,6 +145,7 @@ TEST(PairwiseTest, PureClusterEvaluatesExactlyNMinusOnePairs) {
   // One 200-record entity: row 0 merges everything as it sweeps, so the
   // closure skip reduces C(200, 2) evaluations to exactly 199 — in the
   // serial sweep and, by the determinism contract, in the tiled sweep.
+  test::ScopedParallelCutoff force_tiled(1);
   GeneratedDataset generated = test::MakePlantedDataset({200}, 21);
   std::vector<RecordId> records = generated.dataset.AllRecordIds();
   ApplyResult serial = RunApply(generated, records, nullptr);

@@ -91,6 +91,9 @@ void ExpectAdaptiveLshInvariantToThreads(const GeneratedDataset& generated,
                                          const char* dataset_name,
                                          CostModel cost_model =
                                              FixedCostModel()) {
+  // These datasets are a few hundred records — real runs would sweep them
+  // serially; force the tiled path so the property actually exercises it.
+  test::ScopedParallelCutoff force_tiled(1);
   ComparableOutput reference;
   for (int threads : kThreadCounts) {
     AdaptiveLshConfig config;
@@ -117,6 +120,7 @@ void ExpectAdaptiveLshInvariantToThreads(const GeneratedDataset& generated,
 void ExpectLshBlockingInvariantToThreads(const GeneratedDataset& generated,
                                          uint64_t seed, int k,
                                          const char* dataset_name) {
+  test::ScopedParallelCutoff force_tiled(1);
   ComparableOutput reference;
   for (int threads : kThreadCounts) {
     LshBlockingConfig config;
@@ -139,6 +143,7 @@ void ExpectLshBlockingInvariantToThreads(const GeneratedDataset& generated,
 void ExpectPairsBaselineInvariantToThreads(const GeneratedDataset& generated,
                                            uint64_t seed, int k,
                                            const char* dataset_name) {
+  test::ScopedParallelCutoff force_tiled(1);
   ComparableOutput reference;
   for (int threads : kThreadCounts) {
     PairsBaseline pairs(generated.dataset, generated.rule, threads);

@@ -88,7 +88,16 @@ TEST(FeatureCacheTest, MirrorsDatasetSchemaAndNorms) {
       const Field& field = record.field(f);
       if (cache.is_dense(f)) {
         ASSERT_EQ(cache.dim(f), field.size());
-        EXPECT_EQ(cache.dense(r, f), field.dense().data());
+        // Dense rows are copies in the SoA arena: same values, 64-byte
+        // aligned, zero-padded up to the SIMD stride (docs/simd.md).
+        const float* row = cache.dense(r, f);
+        EXPECT_EQ(reinterpret_cast<uintptr_t>(row) % kSimdAlign, 0u);
+        for (size_t d = 0; d < cache.dim(f); ++d) {
+          EXPECT_EQ(row[d], field.dense()[d]) << "r=" << r << " d=" << d;
+        }
+        for (size_t d = cache.dim(f); d < PadFloats(cache.dim(f)); ++d) {
+          EXPECT_EQ(row[d], 0.0f) << "padding lane r=" << r << " d=" << d;
+        }
         EXPECT_DOUBLE_EQ(cache.norm(r, f),
                          L2Norm(field.dense().data(), field.size()));
       } else {

@@ -67,6 +67,10 @@ TEST(ShapeTest, AdaptiveHashWorkBetweenTheExtremes) {
   config.calibration_samples = 30;
   config.seed = 3;
   AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  // Fixed model (hashes 10x a pair evaluation): calibration is
+  // wall-clock-timed, and a loaded machine can shift the jump decision
+  // enough to move the hash count past the asserted bound.
+  adalsh.set_cost_model(CostModel(1e-7, 1e-8));
   FilterOutput adaptive = adalsh.Run(10);
   LshBlockingConfig big;
   big.num_hashes = 1280;
@@ -126,8 +130,16 @@ TEST(ShapeTest, CostNoiseUnderEstimateCausesEarlyPairwise) {
     AdaptiveLshConfig config;
     config.calibration_samples = 30;
     config.seed = 7;
-    config.pairwise_noise_factor = nf;
     AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+    // A fixed cost model instead of the wall-clock calibration: the shape
+    // under study (noise factor shifting the hash/P break-even) must not
+    // depend on how fast this machine's kernels happen to be. With budget
+    // deltas of 20·2^i and ~20-record story clusters (C(20,2) = 190), a
+    // hash/pair ratio of 4 puts the first upgrade decision on the
+    // break-even: nf=1 defers (20·4 < 190), nf=0.2 jumps (190 <= 20·4/0.2).
+    CostModel model(/*cost_per_hash=*/4e-8, /*cost_per_pair=*/1e-8);
+    model.set_pairwise_noise_factor(nf);
+    adalsh.set_cost_model(model);
     return adalsh.Run(10);
   };
   FilterOutput clean = run(1.0);

@@ -1,0 +1,101 @@
+// End-to-end certification that the SIMD dispatch target is invisible in
+// FilterOutput (docs/simd.md): for dense, token, and multimodal workloads,
+// AdaptiveLsh pinned to each supported level — crossed with thread counts
+// {1, 2, 8} — produces bit-identical output to the scalar serial run. This
+// is the product of the two independence contracts: docs/threading.md's
+// thread-count invariance and simd_kernels.h's level invariance.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/adaptive_lsh.h"
+#include "datagen/cora_like.h"
+#include "datagen/multimodal.h"
+#include "datagen/popular_images.h"
+#include "test_util.h"
+#include "util/simd.h"
+
+namespace adalsh {
+namespace {
+
+const int kThreadCounts[] = {1, 2, 8};
+
+struct ComparableOutput {
+  std::vector<std::vector<RecordId>> clusters;
+  size_t rounds;
+  uint64_t pairwise_similarities;
+  uint64_t hashes_computed;
+  std::vector<size_t> records_last_hashed_at;
+
+  bool operator==(const ComparableOutput&) const = default;
+};
+
+ComparableOutput RunPinned(const GeneratedDataset& generated, SimdLevel level,
+                           int threads, int k) {
+  int previous = SetSimdPin(static_cast<int>(level));
+  AdaptiveLshConfig config;
+  config.sequence.max_budget = 320;
+  config.calibration_samples = 5;
+  config.seed = 19;
+  config.threads = threads;
+  AdaptiveLsh adalsh(generated.dataset, generated.rule, config);
+  // Fixed cost model: calibration is wall-clock-timed and would otherwise
+  // make jump decisions depend on how fast the pinned level happens to be.
+  adalsh.set_cost_model(CostModel(1e-8, 1e-6));
+  FilterOutput output = adalsh.Run(k);
+  SetSimdPin(previous);
+  return ComparableOutput{output.clusters.clusters, output.stats.rounds,
+                          output.stats.pairwise_similarities,
+                          output.stats.hashes_computed,
+                          output.stats.records_last_hashed_at};
+}
+
+void ExpectInvariantToLevelAndThreads(const GeneratedDataset& generated,
+                                      int k, const char* name) {
+  // Small datasets would sweep serially; force the tiled path so the cross
+  // product also covers SIMD kernels running inside worker threads.
+  test::ScopedParallelCutoff force_tiled(1);
+  ComparableOutput reference =
+      RunPinned(generated, SimdLevel::kScalar, /*threads=*/1, k);
+  ASSERT_GT(reference.hashes_computed, 0u);
+  ASSERT_FALSE(reference.clusters.empty());
+  for (SimdLevel level : SupportedSimdLevels()) {
+    for (int threads : kThreadCounts) {
+      EXPECT_EQ(RunPinned(generated, level, threads, k), reference)
+          << name << ": level " << SimdLevelName(level) << " with " << threads
+          << " threads diverged from the scalar serial run";
+    }
+  }
+}
+
+TEST(SimdEquivalenceTest, DenseCosineWorkload) {
+  PopularImagesConfig config;
+  config.num_entities = 20;
+  config.num_records = 150;
+  config.seed = 5;
+  ExpectInvariantToLevelAndThreads(GeneratePopularImages(config), /*k=*/3,
+                                   "popular-images");
+}
+
+TEST(SimdEquivalenceTest, TokenJaccardWorkload) {
+  CoraLikeConfig config;
+  config.num_entities = 25;
+  config.num_records = 160;
+  config.seed = 6;
+  ExpectInvariantToLevelAndThreads(GenerateCoraLike(config), /*k=*/4,
+                                   "cora-like");
+}
+
+TEST(SimdEquivalenceTest, MultimodalOrWorkload) {
+  MultiModalConfig config;
+  config.num_entities = 18;
+  config.num_records = 140;
+  config.seed = 7;
+  ExpectInvariantToLevelAndThreads(GenerateMultiModal(config), /*k=*/3,
+                                   "multimodal");
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/pairwise.h"
 #include "datagen/generated_dataset.h"
 #include "distance/rule.h"
 #include "record/dataset.h"
@@ -12,6 +13,25 @@
 
 namespace adalsh {
 namespace test {
+
+/// Scoped PairwiseComputer::OverrideParallelCutoffForTest: the equivalence
+/// suites run few-hundred-record sweeps, which real Apply calls now route
+/// to the serial path — forcing the tiled path keeps them covering the
+/// stripe/tile/replay machinery they were written for. Restores the prior
+/// override on destruction.
+class ScopedParallelCutoff {
+ public:
+  explicit ScopedParallelCutoff(size_t cutoff)
+      : previous_(PairwiseComputer::OverrideParallelCutoffForTest(cutoff)) {}
+  ~ScopedParallelCutoff() {
+    PairwiseComputer::OverrideParallelCutoffForTest(previous_);
+  }
+  ScopedParallelCutoff(const ScopedParallelCutoff&) = delete;
+  ScopedParallelCutoff& operator=(const ScopedParallelCutoff&) = delete;
+
+ private:
+  size_t previous_;
+};
 
 /// Builds a planted-cluster token-set dataset: `cluster_sizes[e]` records per
 /// entity, each sharing a large entity-specific core of tokens and differing

@@ -6,14 +6,27 @@
 //              --rule="and(wavg(0,1;0.5,0.5;0.3), leaf(2;0.8))"
 //              --k=10 [--method=adalsh|lsh|pairs] [--lsh_x=1280]
 //              [--header] [--bk=10] [--recover] [--output=clusters.csv]
-//              [--threads=N] [--trace-out=trace.json]
+//              [--threads=N] [--simd=LEVEL] [--trace-out=trace.json]
 //              [--stats-json=report.json]
 //              [--deadline-ms=MS] [--max-pairwise=N] [--max-hashes=N]
-//              [--cancel-after-ms=MS]
+//              [--cancel-after-ms=MS] [--cost-model=hash_cost,pair_cost]
 //
 // --threads sizes the worker pool for the hash hot path (default: hardware
 // concurrency). Results are identical at any thread count; see
 // docs/threading.md.
+//
+// --simd pins the kernel dispatch level: auto (default), native, scalar,
+// avx2, avx512, neon. Results are identical at every level (docs/simd.md) —
+// the pin only changes speed, so it exists for benchmarking and parity
+// checks (tools/simd_parity_smoke.sh). Equivalent to setting ADALSH_SIMD.
+//
+// A `simd-level` subcommand prints the detected, supported, and per-kernel
+// active levels in a script-friendly key/value form and exits.
+//
+// --cost-model pins the jump-to-P unit costs for --method=adalsh instead of
+// wall-clock calibration, making the run's round schedule — and therefore
+// its output — reproducible across machines, thread counts, and SIMD
+// levels (the same knob serve mode has always had).
 //
 // --trace-out writes a Chrome trace_event JSON of the run (open in
 // chrome://tracing or https://ui.perfetto.dev): one span per round / hash
@@ -90,6 +103,8 @@
 #include "obs/trace_recorder.h"
 #include "util/flags.h"
 #include "util/run_controller.h"
+#include "util/simd.h"
+#include "util/simd_kernels.h"
 #include "util/thread_pool.h"
 
 namespace {
@@ -99,6 +114,34 @@ using namespace adalsh;  // NOLINT: tool brevity
 int Fail(const std::string& message) {
   std::cerr << "adalsh_cli: " << message << "\n";
   return 1;
+}
+
+/// Applies a --simd=LEVEL pin if one was given. Returns non-ok on an unknown
+/// or unsupported level name.
+Status ApplySimdFlag(const std::string& name) {
+  if (name.empty()) return Status::Ok();
+  StatusOr<int> pin = ParseSimdPin(name);
+  if (!pin.ok()) return pin.status();
+  SetSimdPin(*pin);
+  return Status::Ok();
+}
+
+/// `adalsh_cli simd-level` — prints the dispatch state as `key value` lines:
+/// the widest level this machine supports (detected), every runnable level
+/// (supported), and the level each kernel resolves to right now (dot,
+/// minhash — reflecting ADALSH_SIMD or the probe). Scripts key off these,
+/// e.g. tools/run_sanitized_tests.sh reruns kernel suites at `detected`.
+int RunSimdLevel() {
+  std::cout << "detected " << SimdLevelName(DetectSimdLevel()) << "\n";
+  std::cout << "supported";
+  for (SimdLevel level : SupportedSimdLevels()) {
+    std::cout << " " << SimdLevelName(level);
+  }
+  std::cout << "\n";
+  std::cout << "dot " << SimdLevelName(simd::ActiveDotLevel()) << "\n";
+  std::cout << "minhash " << SimdLevelName(simd::ActiveMinHashLevel())
+            << "\n";
+  return 0;
 }
 
 // --- Serve mode ---
@@ -162,8 +205,11 @@ int RunServe(int argc, char** argv) {
   uint64_t max_pairwise =
       static_cast<uint64_t>(flags.GetInt("max-pairwise", 0));
   uint64_t max_hashes = static_cast<uint64_t>(flags.GetInt("max-hashes", 0));
+  std::string simd = flags.GetString("simd", "");
   flags.CheckNoUnusedFlags();
 
+  Status simd_status = ApplySimdFlag(simd);
+  if (!simd_status.ok()) return Fail(simd_status.ToString());
   if (columns.empty() || rule_text.empty()) {
     return Fail("serve requires --columns=<spec> and --rule=<rule DSL>");
   }
@@ -339,6 +385,9 @@ int main(int argc, char** argv) {
   if (argc >= 2 && std::string(argv[1]) == "serve") {
     return RunServe(argc - 1, argv + 1);
   }
+  if (argc >= 2 && std::string(argv[1]) == "simd-level") {
+    return RunSimdLevel();
+  }
   Flags flags(argc, argv);
   std::string input = flags.GetString("input", "");
   std::string columns = flags.GetString("columns", "");
@@ -359,8 +408,16 @@ int main(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("max-pairwise", 0));
   uint64_t max_hashes = static_cast<uint64_t>(flags.GetInt("max-hashes", 0));
   double cancel_after_ms = flags.GetDouble("cancel-after-ms", 0.0);
+  std::string simd = flags.GetString("simd", "");
+  std::vector<double> cost_model = flags.GetDoubleList("cost-model", {});
   flags.CheckNoUnusedFlags();
 
+  Status simd_status = ApplySimdFlag(simd);
+  if (!simd_status.ok()) return Fail(simd_status.ToString());
+  if (!cost_model.empty() && cost_model.size() != 2) {
+    return Fail("--cost-model takes two comma-separated unit costs "
+                "(cost-per-hash,cost-per-pair)");
+  }
   if (k < 1) return Fail("--k must be >= 1");
   if (bk < k) return Fail("--bk must be >= --k");
   if (threads < 0) return Fail("--threads must be >= 1");
@@ -450,6 +507,9 @@ int main(int argc, char** argv) {
     Status config_valid = config.Validate();
     if (!config_valid.ok()) return Fail(config_valid.ToString());
     AdaptiveLsh adalsh(dataset, *rule, config);
+    if (!cost_model.empty()) {
+      adalsh.set_cost_model(CostModel(cost_model[0], cost_model[1]));
+    }
     result = adalsh.Run(bk);
   } else if (method == "lsh") {
     LshBlockingConfig config;

@@ -26,6 +26,14 @@
 # mutations):
 #
 #   tools/run_sanitized_tests.sh thread -R 'resident_engine|engine_equivalence'
+#
+# docs/simd.md requires the address and undefined runs for any change to the
+# vector kernels (util/simd_kernels.cc) or the SoA layouts feeding them
+# (FeatureCache, RandomHyperplaneFamily): after the main ctest pass (which
+# runs at whatever level auto dispatch probes), the kernel suites rerun with
+# the dispatch pinned to scalar and to the widest level the machine supports
+# (ADALSH_SIMD=native), so out-of-bounds tail reads and misaligned vector
+# loads can't hide behind the probe's choice.
 
 set -euo pipefail
 
@@ -51,3 +59,15 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 
 ctest --test-dir "${build_dir}" --output-on-failure "$@"
+
+# SIMD dispatch matrix (address/undefined only — the kernels hold no shared
+# state worth a TSan pass): rerun the suites that drive the vector kernels
+# with dispatch pinned to scalar and to the widest supported level.
+if [[ "${sanitizer}" != "thread" ]]; then
+  simd_suites='simd_kernels|simd_equivalence|cosine|rule_evaluator|hash_family|hash_cache|hash_engine|simd_parity'
+  for level in scalar native; do
+    echo "=== ADALSH_SIMD=${level}: kernel suites under ${sanitizer} ==="
+    ADALSH_SIMD="${level}" \
+      ctest --test-dir "${build_dir}" --output-on-failure -R "${simd_suites}"
+  done
+fi

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# Smoke test for the SIMD dispatch contract (docs/simd.md): the pinned
+# kernel level must be invisible in output. Runs adalsh_cli on a tiny
+# synthetic dataset with --simd=scalar and with --simd pinned to the widest
+# level this machine supports (per `adalsh_cli simd-level`), at 1 and 8
+# worker threads, and diffs the emitted cluster CSVs byte-for-byte. Also
+# checks that an unknown level name is rejected.
+#
+# Wired into ctest as `simd_parity` (mirrors tools/trace_smoke.sh).
+#
+# Usage: simd_parity_smoke.sh <adalsh_cli binary> <scratch dir>
+set -euo pipefail
+
+if [[ $# -ne 2 ]]; then
+  echo "usage: $0 <adalsh_cli binary> <scratch dir>" >&2
+  exit 2
+fi
+
+cli="$1"
+scratch="$2"
+mkdir -p "$scratch"
+csv="$scratch/simd_parity_records.csv"
+rm -f "$csv" "$scratch"/simd_parity_clusters_*.csv
+
+# Widest supported level — last word of the `supported` line. On a machine
+# with no vector unit this degenerates to scalar-vs-scalar, which still
+# exercises the pin plumbing.
+widest="$("$cli" simd-level | awk '/^supported/ {print $NF}')"
+echo "simd_parity: scalar vs $widest"
+
+# Tiny synthetic dataset mixing token text and dense vectors, so both hot
+# kernels (MinHash and the dot product) sit on the diffed path.
+python3 - "$csv" <<'EOF'
+import random, sys
+random.seed(7)
+vocab = [f"w{i}" for i in range(260)]
+rows = []
+for e in range(10):
+    base_words = random.sample(vocab, 24)
+    base_vec = [random.gauss(0.0, 1.0) for _ in range(32)]
+    for r in range(random.randint(3, 9)):
+        words = list(base_words)
+        for _ in range(random.randint(0, 4)):
+            words[random.randrange(len(words))] = random.choice(vocab)
+        vec = [v + random.gauss(0.0, 0.05) for v in base_vec]
+        rows.append((f"e{e}", " ".join(words),
+                     ";".join(f"{v:.5f}" for v in vec)))
+for s in range(30):
+    rows.append((f"s{s}", " ".join(random.sample(vocab, 24)),
+                 ";".join(f"{random.gauss(0.0, 1.0):.5f}" for _ in range(32))))
+random.shuffle(rows)
+open(sys.argv[1], "w").writelines(f"{e},{t},{v}\n" for e, t, v in rows)
+EOF
+
+rule="and(leaf(0;0.5), leaf(1;0.6))"
+reference="$scratch/simd_parity_clusters_scalar_t1.csv"
+"$cli" --input="$csv" --columns=entity,text,vector --rule="$rule" --k=5 \
+       --seed=11 --cost-model=1e-8,1e-6 --threads=1 --simd=scalar --output="$reference" \
+       2> /dev/null
+
+for level in scalar "$widest"; do
+  for threads in 1 8; do
+    out="$scratch/simd_parity_clusters_${level}_t${threads}.csv"
+    "$cli" --input="$csv" --columns=entity,text,vector --rule="$rule" \
+           --k=5 --seed=11 --cost-model=1e-8,1e-6 --threads="$threads" --simd="$level" \
+           --output="$out" 2> /dev/null
+    if ! cmp -s "$reference" "$out"; then
+      echo "FAIL: --simd=$level --threads=$threads diverged from scalar" >&2
+      diff "$reference" "$out" | head -5 >&2
+      exit 1
+    fi
+  done
+done
+
+# ADALSH_SIMD must be honored the same way as the flag.
+out="$scratch/simd_parity_clusters_env.csv"
+ADALSH_SIMD="$widest" \
+  "$cli" --input="$csv" --columns=entity,text,vector --rule="$rule" --k=5 \
+         --seed=11 --cost-model=1e-8,1e-6 --threads=1 --output="$out" 2> /dev/null
+if ! cmp -s "$reference" "$out"; then
+  echo "FAIL: ADALSH_SIMD=$widest diverged from scalar" >&2
+  exit 1
+fi
+
+# A bad level name must fail fast, not run with a silent default.
+if "$cli" --input="$csv" --columns=entity,text,vector --rule="$rule" \
+          --simd=sse9 > /dev/null 2>&1; then
+  echo "FAIL: --simd=sse9 was accepted" >&2
+  exit 1
+fi
+
+echo "simd_parity OK: scalar == $widest at 1 and 8 threads"
