@@ -10,7 +10,13 @@
 //   * mutations: remove/update round-trips on a resident population, each
 //     of which dismantles and re-refines a level-1 component;
 //   * queries: TopK/Cluster served from the published snapshot — these ride
-//     the read path only and should be orders of magnitude above mutations.
+//     the read path only and should be orders of magnitude above mutations;
+//   * sharded: the same concurrent multi-writer update load against the
+//     single-lock resident engine (shards=0) and the sharded engine at
+//     several shard counts — the A/B for the sharded executor's claim that
+//     partitioning the mutation lock buys writer throughput. Reported with
+//     the summed per-mutation lock wait so the contention that disappears
+//     is visible, not just inferred.
 //
 // Flags:
 //   --out=PATH   where to write the JSON document (default
@@ -22,11 +28,13 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "datagen/cora_like.h"
 #include "engine/resident_engine.h"
+#include "engine/sharded_executor.h"
 #include "util/check.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -51,6 +59,45 @@ std::vector<Record> CopyRecords(const Dataset& dataset, size_t begin,
   records.reserve(end - begin);
   for (size_t i = begin; i < end; ++i) records.push_back(dataset.record(i));
   return records;
+}
+
+/// W concurrent writers, each updating its own disjoint slice of the live
+/// ids (index mod W) with random replacement records. Returns wall seconds
+/// and the lock wait summed over every mutation — on the resident engine the
+/// wait is the single-lock queue; on the sharded engine writers only collide
+/// when their ids share a shard.
+template <typename Engine>
+void RunMultiWriterUpdates(Engine* engine, const Dataset& dataset,
+                           const std::vector<ExternalId>& live,
+                           size_t writers, size_t rounds, double* seconds,
+                           double* lock_wait_seconds) {
+  std::vector<double> waits(writers, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(writers);
+  Timer timer;
+  for (size_t w = 0; w < writers; ++w) {
+    threads.emplace_back([engine, &dataset, &live, writers, rounds, &waits,
+                          w] {
+      Rng rng(DeriveSeed(bench::kDataSeed, 0x3a4d + w));
+      std::vector<ExternalId> mine;
+      for (size_t i = w; i < live.size(); i += writers) {
+        mine.push_back(live[i]);
+      }
+      double wait = 0;
+      for (size_t r = 0; r < rounds; ++r) {
+        const ExternalId id = mine[r % mine.size()];
+        StatusOr<EngineMutationResult> updated = engine->Update(
+            id, dataset.record(rng.NextBelow(dataset.num_records())));
+        ADALSH_CHECK(updated.ok()) << updated.status().message();
+        wait += updated.value().lock_wait_seconds;
+      }
+      waits[w] = wait;
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  *seconds = timer.ElapsedSeconds();
+  *lock_wait_seconds = 0;
+  for (double w : waits) *lock_wait_seconds += w;
 }
 
 int Main(int argc, char** argv) {
@@ -197,6 +244,57 @@ int Main(int argc, char** argv) {
       .Key("cluster_hits")
       .Uint(cluster_hits)
       .EndObject();
+
+  // --- Sharded multi-writer A/B (docs/sharding.md). shards=0 is the
+  // resident engine's single lock under the identical load. ---
+  {
+    const size_t writers = smoke ? 2 : 4;
+    const size_t writer_rounds = smoke ? 4 : 48;
+    json.Key("sharded").BeginObject().Key("writers").Uint(writers).Key(
+        "rounds_per_writer").Uint(writer_rounds);
+    json.Key("sweep").BeginArray();
+    for (int shards : {0, 1, 2, 4, 8}) {
+      double seconds = 0;
+      double lock_wait_seconds = 0;
+      uint64_t total_hashes = 0;
+      if (shards == 0) {
+        ResidentEngine ab(workload.rule, EngineOptions());
+        StatusOr<EngineMutationResult> loaded =
+            ab.Ingest(CopyRecords(workload.dataset, 0, n));
+        ADALSH_CHECK(loaded.ok()) << loaded.status().message();
+        RunMultiWriterUpdates(&ab, workload.dataset,
+                              loaded.value().assigned_ids, writers,
+                              writer_rounds, &seconds, &lock_wait_seconds);
+        total_hashes = ab.counters().total_hashes;
+      } else {
+        ShardedEngine::Options options;
+        options.engine = EngineOptions();
+        options.shards = shards;
+        ShardedEngine ab(workload.rule, options);
+        StatusOr<EngineMutationResult> loaded =
+            ab.Ingest(CopyRecords(workload.dataset, 0, n));
+        ADALSH_CHECK(loaded.ok()) << loaded.status().message();
+        RunMultiWriterUpdates(&ab, workload.dataset,
+                              loaded.value().assigned_ids, writers,
+                              writer_rounds, &seconds, &lock_wait_seconds);
+        StatusOr<EngineMutationResult> flushed = ab.Flush();
+        ADALSH_CHECK(flushed.ok()) << flushed.status().message();
+        total_hashes = ab.counters().total_hashes;
+      }
+      const double ops = static_cast<double>(writers * writer_rounds);
+      json.BeginObject()
+          .Key("shards")
+          .Int(shards)
+          .Key("updates_per_second")
+          .Double(seconds > 0 ? ops / seconds : 0.0)
+          .Key("lock_wait_seconds")
+          .Double(lock_wait_seconds)
+          .Key("total_hashes")
+          .Uint(total_hashes)
+          .EndObject();
+    }
+    json.EndArray().EndObject();
+  }
 
   json.Key("final")
       .BeginObject()

@@ -1,0 +1,44 @@
+#ifndef ADALSH_CLUSTERING_FOREST_MERGE_H_
+#define ADALSH_CLUSTERING_FOREST_MERGE_H_
+
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+
+namespace adalsh {
+
+/// Tools for transplanting parent-pointer trees between forests — the
+/// mechanism behind the cross-shard merge (docs/sharding.md): each shard
+/// refines its own forest over its own internal record-id space, and the
+/// merge pass grafts every shard tree into one global forest over global
+/// record ids before continuing refinement where the shards left off.
+
+/// Copies the tree rooted at `src_root` in `src` into `dst` as a fresh tree:
+/// same leaf records (each mapped through `remap`, indexed by source record
+/// id), same producer tag, leaf-chain order preserved. Node ids are NOT
+/// preserved — the graft is a new root/leaf allocation in `dst` — so grafted
+/// trees compose with any trees `dst` already holds. Leaf-chain order is not
+/// part of the canonical output contract (cluster membership is
+/// order-invariant and snapshots sort members), but preserving it keeps the
+/// walk single-pass and allocation-ordered.
+///
+/// If `leaf_of` is non-null, `(*leaf_of)[remap[r]]` receives the new leaf's
+/// node id for every grafted record r. Returns the new root.
+NodeId GraftTree(const ParentPointerForest& src, NodeId src_root,
+                 ParentPointerForest* dst, const std::vector<RecordId>& remap,
+                 std::vector<NodeId>* leaf_of = nullptr);
+
+/// Merges the trees rooted at `roots` (all in `forest`, at least one) into a
+/// single tree by folding left-to-right in the given order, then stamps the
+/// surviving root with `producer`. The merge pass calls this with roots in
+/// canonical order (ascending shard, ascending shard-local discovery) and
+/// producer 0: a component split across shards may hold cross-shard merge
+/// evidence no shard ever saw, so — exactly like a reopened component in the
+/// resident engine — its refinement restarts from level 1. Returns the
+/// surviving root.
+NodeId MergeRoots(ParentPointerForest* forest, const std::vector<NodeId>& roots,
+                  int producer);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CLUSTERING_FOREST_MERGE_H_

@@ -67,6 +67,14 @@ void HashEngine::EnsureHashesParallel(std::span<const RecordId> records,
   }
 }
 
+void HashEngine::AdoptRecordHashes(const HashEngine& src, RecordId src_r,
+                                   RecordId dst_r) {
+  ADALSH_CHECK_EQ(src.caches_.size(), caches_.size());
+  for (size_t u = 0; u < caches_.size(); ++u) {
+    caches_[u].AdoptPrefix(src.caches_[u], src_r, dst_r);
+  }
+}
+
 uint64_t HashEngine::TableKey(RecordId r, const TablePlan& table) const {
   uint64_t key = 0x5ca1ab1e0adab1e5ULL;
   for (const TablePart& part : table.parts) {

@@ -56,6 +56,16 @@ class HashEngine {
   /// covered the plan for r.
   uint64_t TableKey(RecordId r, const TablePlan& table) const;
 
+  /// Adopts record `src_r`'s computed hash prefixes from `src` — an engine
+  /// built over the same rule structure and seed whose record `src_r` has
+  /// the same content as this engine's record `dst_r` — into this engine's
+  /// slots for `dst_r` (see HashCache::AdoptPrefix). The cross-shard merge
+  /// uses this to assemble a global engine from shard engines with zero
+  /// recomputation; adopted hashes never count toward
+  /// total_hashes_computed(). Single-threaded, outside any hash pass.
+  void AdoptRecordHashes(const HashEngine& src, RecordId src_r,
+                         RecordId dst_r);
+
   /// Total raw hash evaluations across all units (cost accounting).
   uint64_t total_hashes_computed() const;
 

@@ -1,0 +1,201 @@
+#include "core/refine_loop.h"
+
+#include <limits>
+#include <optional>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "core/termination.h"
+#include "obs/metrics_registry.h"
+#include "obs/trace_recorder.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace adalsh {
+namespace {
+
+/// Smallest order key among the leaves of `root` (canonical tie-break).
+uint64_t MinOrderKey(const ParentPointerForest& forest,
+                     const std::vector<uint64_t>& order_key, NodeId root) {
+  uint64_t min_key = std::numeric_limits<uint64_t>::max();
+  forest.ForEachLeaf(root, [&](RecordId r) {
+    min_key = std::min(min_key, order_key[r]);
+  });
+  return min_key;
+}
+
+}  // namespace
+
+TerminationReason RunRefineLoop(const RefineLoopDeps& deps, int k,
+                                const std::vector<NodeId>& initial_roots,
+                                RunController* external,
+                                const RunBudget& budget,
+                                std::vector<NodeId>* finals,
+                                FilterStats* stats) {
+  ADALSH_CHECK(deps.sequence != nullptr && deps.cost_model != nullptr &&
+               deps.engine != nullptr && deps.hasher != nullptr &&
+               deps.pairwise != nullptr && deps.forest != nullptr &&
+               deps.last_fn != nullptr && deps.order_key != nullptr);
+  Timer timer;
+  const Instrumentation& instr = deps.instrumentation;
+  TraceRecorder::Span refine_span(instr.trace, "engine_refine", "engine");
+  ParentPointerForest& forest = *deps.forest;
+  const FunctionSequence& sequence = *deps.sequence;
+  std::vector<int>& last_fn = *deps.last_fn;
+  const int last_function = static_cast<int>(sequence.size()) - 1;
+
+  // Canonical Largest-First selection: size descending, ties by ascending
+  // smallest order key (unique per cluster, so the order is total and
+  // engine-history-independent — the root id never actually decides).
+  struct Candidate {
+    uint32_t size;
+    uint64_t min_key;
+    NodeId root;
+  };
+  struct CandidateLess {
+    bool operator()(const Candidate& a, const Candidate& b) const {
+      if (a.size != b.size) return a.size > b.size;
+      if (a.min_key != b.min_key) return a.min_key < b.min_key;
+      return a.root < b.root;
+    }
+  };
+  std::set<Candidate, CandidateLess> pending;
+  auto insert_root = [&](NodeId root) {
+    pending.insert({forest.LeafCount(root),
+                    MinOrderKey(forest, *deps.order_key, root), root});
+  };
+  for (NodeId root : initial_roots) insert_root(root);
+
+  const uint64_t sims_before = deps.pairwise->total_similarities();
+  const uint64_t hashes_before = deps.engine->total_hashes_computed();
+  // Per-request SLO (docs/engine.md): the effective controller is armed with
+  // the cumulative counters as this pass's zero points; the long-lived
+  // hasher/pairwise borrow it for the duration of the pass.
+  std::optional<RunController> local_controller;
+  RunController* controller = ResolveController(
+      external, budget, &local_controller, hashes_before, sims_before);
+  deps.hasher->set_controller(controller);
+  deps.pairwise->set_controller(controller);
+  auto stop_now = [&] {
+    if (controller == nullptr) return false;
+    controller->ReportHashes(deps.engine->total_hashes_computed());
+    controller->ReportPairwise(deps.pairwise->total_similarities());
+    return controller->ShouldStop();
+  };
+
+  finals->clear();
+  while (finals->size() < static_cast<size_t>(k) && !pending.empty()) {
+    if (stop_now()) break;  // round boundary (anytime exit)
+    const Candidate top = *pending.begin();
+    pending.erase(pending.begin());
+    const NodeId root = top.root;
+    const int producer = forest.Producer(root);
+    if (producer == kProducerPairwise || producer == last_function) {
+      finals->push_back(root);
+      continue;
+    }
+    std::vector<RecordId> records = forest.Leaves(root);
+    const int next = producer + 1;
+
+    RoundRecord round;
+    round.round = stats->rounds + 1;
+    round.cluster_size = records.size();
+    const uint64_t round_hashes_before = deps.engine->total_hashes_computed();
+    const uint64_t round_sims_before = deps.pairwise->total_similarities();
+    Timer round_timer;
+    TraceRecorder::Span round_span(instr.trace, "round", "round");
+    if (instr.observer != nullptr) {
+      RoundStartInfo start;
+      start.round = round.round;
+      start.cluster_size = records.size();
+      start.producer = producer;
+      instr.observer->OnRoundStart(start);
+    }
+
+    // Interruption handling as in the streaming mode: an interrupted sweep's
+    // partial trees are orphaned, the original tree (and leaf_of, which
+    // still points into it) is untouched, and the cluster keeps its previous
+    // verification level.
+    bool interrupted = false;
+    std::vector<NodeId> new_roots;
+    if (deps.cost_model->ShouldJumpToPairwise(sequence.budget(producer),
+                                              sequence.budget(next),
+                                              records.size())) {
+      round.action = RoundAction::kPairwise;
+      round.modeled_cost = deps.cost_model->PairwiseCost(records.size());
+      new_roots = deps.pairwise->Apply(records, &forest);
+      round.pairwise_seconds = round_timer.ElapsedSeconds();
+      interrupted = deps.pairwise->last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn[r] = kLastFunctionPairwise;
+      }
+    } else {
+      round.action = RoundAction::kHash;
+      round.function_index = next;
+      round.modeled_cost =
+          deps.cost_model->HashUpgradeCost(sequence.budget(producer),
+                                           sequence.budget(next)) *
+          static_cast<double>(records.size());
+      new_roots = deps.hasher->Apply(records, sequence.plan(next), next);
+      round.hash_seconds = round_timer.ElapsedSeconds();
+      interrupted = deps.hasher->last_apply_interrupted();
+      if (!interrupted) {
+        for (RecordId r : records) last_fn[r] = next;
+      }
+    }
+    round.interrupted = interrupted;
+    round.hashes_computed =
+        deps.engine->total_hashes_computed() - round_hashes_before;
+    round.pairwise_similarities =
+        deps.pairwise->total_similarities() - round_sims_before;
+    round.wall_seconds = round_timer.ElapsedSeconds();
+    ++stats->rounds;
+    if (instr.metrics != nullptr) {
+      instr.metrics->AddCounter("rounds", 1);
+      instr.metrics->RecordValue("round_cluster_size",
+                                 static_cast<double>(round.cluster_size));
+      instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+    }
+    stats->round_records.push_back(round);
+    if (instr.observer != nullptr) {
+      instr.observer->OnRoundEnd(stats->round_records.back());
+    }
+
+    if (interrupted) {
+      // Discard the round: leaf_of must keep pointing into the original
+      // tree. The stuck controller ends the loop at its next check.
+      insert_root(root);
+      continue;
+    }
+    for (NodeId new_root : new_roots) {
+      if (deps.leaf_of != nullptr) {
+        forest.ForEachLeafNode(new_root, [&](RecordId r, NodeId leaf) {
+          (*deps.leaf_of)[r] = leaf;
+        });
+      }
+      insert_root(new_root);
+    }
+  }
+  // Detach before returning: a request-local controller dies with this pass.
+  deps.hasher->set_controller(nullptr);
+  deps.pairwise->set_controller(nullptr);
+
+  stats->termination_reason = controller != nullptr
+                                  ? controller->reason()
+                                  : TerminationReason::kCompleted;
+  stats->filtering_seconds = timer.ElapsedSeconds();
+  stats->pairwise_similarities =
+      deps.pairwise->total_similarities() - sims_before;
+  stats->hashes_computed =
+      deps.engine->total_hashes_computed() - hashes_before;
+  stats->modeled_cost =
+      deps.cost_model->cost_per_hash() *
+          static_cast<double>(stats->hashes_computed) +
+      deps.cost_model->cost_per_pair() *
+          static_cast<double>(stats->pairwise_similarities);
+  FillClusterVerification(forest, *finals, stats);
+  return stats->termination_reason;
+}
+
+}  // namespace adalsh

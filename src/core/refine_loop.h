@@ -1,0 +1,76 @@
+#ifndef ADALSH_CORE_REFINE_LOOP_H_
+#define ADALSH_CORE_REFINE_LOOP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "clustering/parent_pointer_forest.h"
+#include "core/cost_model.h"
+#include "core/filter_output.h"
+#include "core/function_sequence.h"
+#include "core/hash_engine.h"
+#include "core/pairwise.h"
+#include "core/transitive_hash_function.h"
+#include "obs/observer.h"
+#include "util/run_controller.h"
+
+namespace adalsh {
+
+/// The Algorithm 1 refinement round loop with canonical Largest-First
+/// selection, extracted from the resident engine so every execution context
+/// that must agree byte-for-byte — the resident engine's per-mutation
+/// refinement, each shard's local run, and the cross-shard merge pass
+/// (docs/sharding.md) — drives the identical code.
+///
+/// Selection is a total, history-independent order: cluster size descending,
+/// ties by ascending smallest per-record order key (the resident engine and
+/// the sharded merge use external ids, which are unique per cluster, so the
+/// root id never actually decides). Selection order cannot change final
+/// cluster membership — refinement of a (member set, level) cluster is
+/// deterministic in isolation — but a canonical order makes the emitted
+/// finals, round schedule and anytime prefixes reproducible.
+struct RefineLoopDeps {
+  const FunctionSequence* sequence = nullptr;
+  const CostModel* cost_model = nullptr;
+  HashEngine* engine = nullptr;
+  TransitiveHasher* hasher = nullptr;
+  PairwiseComputer* pairwise = nullptr;
+  ParentPointerForest* forest = nullptr;
+
+  /// Per internal record: last function applied (kLastFunctionPairwise for
+  /// P). Updated as rounds complete.
+  std::vector<int>* last_fn = nullptr;
+
+  /// Per internal record: the canonical tie-break key (the resident engine's
+  /// external id; the batch executor's global record id). Must be unique per
+  /// record so the selection order is total.
+  const std::vector<uint64_t>* order_key = nullptr;
+
+  /// Optional per-record record->leaf map, refreshed for every tree a
+  /// completed round produces (resident engine bookkeeping). May be null.
+  std::vector<NodeId>* leaf_of = nullptr;
+
+  Instrumentation instrumentation;
+};
+
+/// Runs the loop from `initial_roots` (deduplicated current tree roots, any
+/// mix of verification levels) until k finals are certified or the candidate
+/// set drains, honoring `controller`/`budget` at round boundaries exactly
+/// like ResidentEngine::RefineLocked always has. On kCompleted, `finals`
+/// holds the certified roots in canonical (pop) order.
+///
+/// Fills the loop's share of `stats`: rounds, round_records, hash/pairwise
+/// totals, filtering_seconds, modeled_cost, termination_reason and
+/// cluster_verification. The caller owns the per-record Definition 3
+/// snapshot (records_last_hashed_at) and the ReportTermination epilogue,
+/// which need the caller's live-record iteration.
+TerminationReason RunRefineLoop(const RefineLoopDeps& deps, int k,
+                                const std::vector<NodeId>& initial_roots,
+                                RunController* external,
+                                const RunBudget& budget,
+                                std::vector<NodeId>* finals,
+                                FilterStats* stats);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_CORE_REFINE_LOOP_H_

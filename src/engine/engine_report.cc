@@ -4,11 +4,17 @@
 
 #include "obs/json_writer.h"
 #include "obs/run_report.h"
+#include "util/simd_kernels.h"
 
 namespace adalsh {
+namespace {
 
-std::string WriteEngineReportJson(const ResidentEngine& engine,
-                                  const MetricsSnapshot* metrics) {
+/// Shared body for both engine shapes: they expose the same
+/// Snapshot()/counters()/top_k() surface, and the schema is identical except
+/// for the sharded engine's extra "shards" key.
+template <typename Engine>
+std::string WriteReport(const Engine& engine, int shards,
+                        const MetricsSnapshot* metrics) {
   const std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
   const EngineCounters counters = engine.counters();
 
@@ -18,6 +24,18 @@ std::string WriteEngineReportJson(const ResidentEngine& engine,
       .String("adalsh-engine-report-v1")
       .Key("top_k")
       .Int(engine.top_k());
+  if (shards > 0) json.Key("shards").Int(shards);
+
+  // The SIMD dispatch levels the kernels resolved to under this engine's
+  // worker count (re-probed at construction when --threads changes) — which
+  // code paths produced the numbers below, not a result-affecting choice.
+  json.Key("simd")
+      .BeginObject()
+      .Key("dot")
+      .String(SimdLevelName(simd::ActiveDotLevel()))
+      .Key("minhash")
+      .String(SimdLevelName(simd::ActiveMinHashLevel()))
+      .EndObject();
 
   json.Key("counters")
       .BeginObject()
@@ -71,6 +89,18 @@ std::string WriteEngineReportJson(const ResidentEngine& engine,
     AppendMetricsSnapshot(*metrics, &json);
   }
   return json.EndObject().TakeString();
+}
+
+}  // namespace
+
+std::string WriteEngineReportJson(const ResidentEngine& engine,
+                                  const MetricsSnapshot* metrics) {
+  return WriteReport(engine, /*shards=*/0, metrics);
+}
+
+std::string WriteEngineReportJson(const ShardedEngine& engine,
+                                  const MetricsSnapshot* metrics) {
+  return WriteReport(engine, engine.shards(), metrics);
 }
 
 }  // namespace adalsh

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "engine/resident_engine.h"
+#include "engine/sharded_executor.h"
 #include "obs/metrics_registry.h"
 
 namespace adalsh {
@@ -13,11 +14,18 @@ namespace adalsh {
 /// counters, the current snapshot's shape (generation, live records, cluster
 /// sizes, verification levels), the accounting of the refinement pass that
 /// published it — emitted with the exact keys of the run report via the
-/// shared AppendFilterStats — and optionally a metrics snapshot.
+/// shared AppendFilterStats — the SIMD levels the kernels resolved to, and
+/// optionally a metrics snapshot.
 ///
 /// Reads the engine's published snapshot and counters; safe to call from any
 /// thread (it may block behind an in-flight mutation for the counters).
 std::string WriteEngineReportJson(const ResidentEngine& engine,
+                                  const MetricsSnapshot* metrics = nullptr);
+
+/// Same schema for a sharded engine (docs/sharding.md): counters are the
+/// cross-shard sums, the snapshot is the last globally-merged one, and a
+/// "shards" key records the partition width.
+std::string WriteEngineReportJson(const ShardedEngine& engine,
                                   const MetricsSnapshot* metrics = nullptr);
 
 }  // namespace adalsh

@@ -1,25 +1,35 @@
 #include "engine/resident_engine.h"
 
 #include <algorithm>
-#include <limits>
-#include <set>
 #include <string>
 #include <utility>
 
+#include "core/refine_loop.h"
 #include "core/termination.h"
 #include "obs/metrics_registry.h"
 #include "obs/trace_recorder.h"
 #include "util/check.h"
+#include "util/simd_kernels.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace adalsh {
 namespace {
 
+Status CancelledStatus(const char* op) {
+  return Status::FailedPrecondition(
+      std::string(op) +
+      " after Cancel(): the effective controller is sticky-cancelled; "
+      "attach a fresh controller to keep mutating");
+}
+
+}  // namespace
+
 /// Structural schema check against the engine's prototype record — the same
 /// invariants FeatureCache asserts with CHECKs, surfaced as a Status before
 /// any engine state is touched.
-Status CheckSchema(const Record& prototype, const Record& record,
-                   size_t index) {
+Status ResidentEngine::CheckRecordSchema(const Record& prototype,
+                                         const Record& record, size_t index) {
   if (record.num_fields() != prototype.num_fields()) {
     return Status::InvalidArgument(
         "record " + std::to_string(index) + " has " +
@@ -44,15 +54,6 @@ Status CheckSchema(const Record& prototype, const Record& record,
   return Status::Ok();
 }
 
-Status CancelledStatus(const char* op) {
-  return Status::FailedPrecondition(
-      std::string(op) +
-      " after Cancel(): the effective controller is sticky-cancelled; "
-      "attach a fresh controller to keep mutating");
-}
-
-}  // namespace
-
 ResidentEngine::ResidentEngine(MatchRule rule, Options options)
     : rule_(std::move(rule)),
       options_(std::move(options)),
@@ -61,6 +62,12 @@ ResidentEngine::ResidentEngine(MatchRule rule, Options options)
   Status valid = options_.config.Validate();
   ADALSH_CHECK(valid.ok()) << valid.ToString();
   ADALSH_CHECK_GE(options_.top_k, 1) << "ResidentEngine top_k must be >= 1";
+  // --threads determines the load regime the SIMD kernels run under; if the
+  // worker count changed since the last probe, re-resolve the dispatch
+  // levels for it (simd_kernels.h — speed re-pick only, results identical).
+  simd::NotifyWorkerCount(options_.config.threads > 0
+                              ? options_.config.threads
+                              : ThreadPool::HardwareConcurrency());
   // Generation 0: the published view before any completed refinement.
   snapshot_ = std::make_shared<EngineSnapshot>();
 }
@@ -77,36 +84,86 @@ EngineBatchOptions ResidentEngine::EffectiveOptions(
 
 StatusOr<EngineMutationResult> ResidentEngine::Ingest(
     std::vector<Record> records, const EngineBatchOptions& opts) {
+  Timer wait_timer;
   std::lock_guard<std::mutex> lock(mu_);
+  const double lock_wait = wait_timer.ElapsedSeconds();
   EngineBatchOptions eff = EffectiveOptions(opts);
   if (eff.controller != nullptr && eff.controller->cancel_requested()) {
     return CancelledStatus("Ingest");
   }
-  if (!records.empty()) {
-    const Record& prototype =
-        dataset_.num_records() > 0 ? dataset_.record(0) : records.front();
-    for (size_t i = 0; i < records.size(); ++i) {
-      Status schema = CheckSchema(prototype, records[i], i);
-      if (!schema.ok()) return schema;
-    }
-    if (!initialized_) {
-      // Build the sequence before mutating anything: it is the only fallible
-      // initialization step, and Ingest is all-or-nothing.
-      StatusOr<FunctionSequence> built = FunctionSequence::Build(
-          rule_, records.front(), options_.config.sequence);
-      if (!built.ok()) return built.status();
-      sequence_.emplace(std::move(built).value());
-    }
-  }
+  Status valid = ValidateIngestLocked(records);
+  if (!valid.ok()) return valid;
   std::vector<ExternalId> ids;
   ids.reserve(records.size());
   for (size_t i = 0; i < records.size(); ++i) ids.push_back(next_ext_id_++);
-  return ApplyBatch(std::move(records), std::move(ids), {}, eff);
+  EngineMutationResult result =
+      ApplyBatch(std::move(records), std::move(ids), {}, eff);
+  result.lock_wait_seconds = lock_wait;
+  return result;
+}
+
+StatusOr<EngineMutationResult> ResidentEngine::IngestWithIds(
+    std::vector<Record> records, std::vector<ExternalId> ids,
+    const EngineBatchOptions& opts) {
+  Timer wait_timer;
+  std::lock_guard<std::mutex> lock(mu_);
+  const double lock_wait = wait_timer.ElapsedSeconds();
+  EngineBatchOptions eff = EffectiveOptions(opts);
+  if (eff.controller != nullptr && eff.controller->cancel_requested()) {
+    return CancelledStatus("IngestWithIds");
+  }
+  if (ids.size() != records.size()) {
+    return Status::InvalidArgument(
+        "IngestWithIds: " + std::to_string(ids.size()) + " ids for " +
+        std::to_string(records.size()) + " records");
+  }
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0 && ids[i] <= ids[i - 1]) {
+      return Status::InvalidArgument(
+          "IngestWithIds: ids must be strictly increasing within the batch; "
+          "id " + std::to_string(ids[i]) + " at index " + std::to_string(i) +
+          " follows " + std::to_string(ids[i - 1]));
+    }
+    if (int_of_.count(ids[i]) != 0) {
+      return Status::InvalidArgument("IngestWithIds: id " +
+                                     std::to_string(ids[i]) +
+                                     " is already bound to a live record");
+    }
+  }
+  Status valid = ValidateIngestLocked(records);
+  if (!valid.ok()) return valid;
+  if (!ids.empty()) next_ext_id_ = std::max(next_ext_id_, ids.back() + 1);
+  EngineMutationResult result =
+      ApplyBatch(std::move(records), std::move(ids), {}, eff);
+  result.lock_wait_seconds = lock_wait;
+  return result;
+}
+
+Status ResidentEngine::ValidateIngestLocked(
+    const std::vector<Record>& records) {
+  if (records.empty()) return Status::Ok();
+  const Record& prototype =
+      dataset_.num_records() > 0 ? dataset_.record(0) : records.front();
+  for (size_t i = 0; i < records.size(); ++i) {
+    Status schema = CheckRecordSchema(prototype, records[i], i);
+    if (!schema.ok()) return schema;
+  }
+  if (!initialized_) {
+    // Build the sequence before mutating anything: it is the only fallible
+    // initialization step, and ingest is all-or-nothing.
+    StatusOr<FunctionSequence> built = FunctionSequence::Build(
+        rule_, records.front(), options_.config.sequence);
+    if (!built.ok()) return built.status();
+    sequence_.emplace(std::move(built).value());
+  }
+  return Status::Ok();
 }
 
 StatusOr<EngineMutationResult> ResidentEngine::Remove(
     std::span<const ExternalId> ids, const EngineBatchOptions& opts) {
+  Timer wait_timer;
   std::lock_guard<std::mutex> lock(mu_);
+  const double lock_wait = wait_timer.ElapsedSeconds();
   EngineBatchOptions eff = EffectiveOptions(opts);
   if (eff.controller != nullptr && eff.controller->cancel_requested()) {
     return CancelledStatus("Remove");
@@ -126,12 +183,16 @@ StatusOr<EngineMutationResult> ResidentEngine::Remove(
     }
     ints.push_back(it->second);
   }
-  return ApplyBatch({}, {}, ints, eff);
+  EngineMutationResult result = ApplyBatch({}, {}, ints, eff);
+  result.lock_wait_seconds = lock_wait;
+  return result;
 }
 
 StatusOr<EngineMutationResult> ResidentEngine::Update(
     ExternalId id, Record record, const EngineBatchOptions& opts) {
+  Timer wait_timer;
   std::lock_guard<std::mutex> lock(mu_);
+  const double lock_wait = wait_timer.ElapsedSeconds();
   EngineBatchOptions eff = EffectiveOptions(opts);
   if (eff.controller != nullptr && eff.controller->cancel_requested()) {
     return CancelledStatus("Update");
@@ -141,22 +202,29 @@ StatusOr<EngineMutationResult> ResidentEngine::Update(
     return Status::NotFound("Update: no live record with id " +
                             std::to_string(id));
   }
-  Status schema = CheckSchema(dataset_.record(0), record, 0);
+  Status schema = CheckRecordSchema(dataset_.record(0), record, 0);
   if (!schema.ok()) return schema;
   std::vector<Record> adds;
   adds.push_back(std::move(record));
   ++counters_.updated;
-  return ApplyBatch(std::move(adds), {id}, {it->second}, eff);
+  EngineMutationResult result =
+      ApplyBatch(std::move(adds), {id}, {it->second}, eff);
+  result.lock_wait_seconds = lock_wait;
+  return result;
 }
 
 StatusOr<EngineMutationResult> ResidentEngine::Flush(
     const EngineBatchOptions& opts) {
+  Timer wait_timer;
   std::lock_guard<std::mutex> lock(mu_);
+  const double lock_wait = wait_timer.ElapsedSeconds();
   EngineBatchOptions eff = EffectiveOptions(opts);
   if (eff.controller != nullptr && eff.controller->cancel_requested()) {
     return CancelledStatus("Flush");
   }
-  return ApplyBatch({}, {}, {}, eff);
+  EngineMutationResult result = ApplyBatch({}, {}, {}, eff);
+  result.lock_wait_seconds = lock_wait;
+  return result;
 }
 
 EngineMutationResult ResidentEngine::ApplyBatch(
@@ -427,175 +495,39 @@ void ResidentEngine::RemoveLocked(const std::vector<RecordId>& removed_ints) {
   }
 }
 
-ExternalId ResidentEngine::MinExternalId(NodeId root) const {
-  ExternalId min_ext = std::numeric_limits<ExternalId>::max();
-  forest_.ForEachLeaf(
-      root, [&](RecordId r) { min_ext = std::min(min_ext, ext_of_[r]); });
-  return min_ext;
-}
-
-void ResidentEngine::ReindexLeaves(NodeId root) {
-  forest_.ForEachLeafNode(
-      root, [this](RecordId r, NodeId leaf) { leaf_of_[r] = leaf; });
-}
-
 TerminationReason ResidentEngine::RefineLocked(const EngineBatchOptions& opts,
                                                std::vector<NodeId>* finals,
                                                FilterStats* out_stats) {
-  Timer timer;
-  const Instrumentation instr = options_.config.instrumentation;
-  TraceRecorder::Span refine_span(instr.trace, "engine_refine", "engine");
-  const int k = options_.top_k;
-  const int last_function = static_cast<int>(sequence_->size()) - 1;
-
-  // Canonical Largest-First selection: size descending, ties by ascending
-  // smallest external id (unique per cluster, so the order is total and
-  // engine-history-independent — the root id never actually decides).
-  struct Candidate {
-    uint32_t size;
-    ExternalId min_ext;
-    NodeId root;
-  };
-  struct CandidateLess {
-    bool operator()(const Candidate& a, const Candidate& b) const {
-      if (a.size != b.size) return a.size > b.size;
-      if (a.min_ext != b.min_ext) return a.min_ext < b.min_ext;
-      return a.root < b.root;
-    }
-  };
-  std::set<Candidate, CandidateLess> pending;
-  auto insert_root = [&](NodeId root) {
-    pending.insert({forest_.LeafCount(root), MinExternalId(root), root});
-  };
+  const Instrumentation& instr = options_.config.instrumentation;
+  std::vector<NodeId> roots;
   {
     std::unordered_set<NodeId> seen;
     for (size_t r = 0; r < live_.size(); ++r) {
       if (!live_[r]) continue;
       const NodeId root = forest_.FindRoot(leaf_of_[r]);
-      if (seen.insert(root).second) insert_root(root);
+      if (seen.insert(root).second) roots.push_back(root);
     }
   }
+
+  RefineLoopDeps deps;
+  deps.sequence = &*sequence_;
+  deps.cost_model = &*cost_model_;
+  deps.engine = &*engine_;
+  deps.hasher = &*hasher_;
+  deps.pairwise = &*pairwise_;
+  deps.forest = &forest_;
+  deps.last_fn = &last_fn_;
+  deps.order_key = &ext_of_;
+  deps.leaf_of = &leaf_of_;
+  deps.instrumentation = instr;
 
   FilterStats stats;
-  const uint64_t sims_before = pairwise_->total_similarities();
-  const uint64_t hashes_before = engine_->total_hashes_computed();
-  // Per-request SLO (docs/engine.md): the effective controller is armed with
-  // the engine's cumulative counters as this pass's zero points; the
-  // long-lived hasher/pairwise borrow it for the duration of the pass.
-  std::optional<RunController> local_controller;
-  RunController* controller =
-      ResolveController(opts.controller, opts.budget, &local_controller,
-                        hashes_before, sims_before);
-  hasher_->set_controller(controller);
-  pairwise_->set_controller(controller);
-  auto stop_now = [&] {
-    if (controller == nullptr) return false;
-    controller->ReportHashes(engine_->total_hashes_computed());
-    controller->ReportPairwise(pairwise_->total_similarities());
-    return controller->ShouldStop();
-  };
-
-  finals->clear();
-  while (finals->size() < static_cast<size_t>(k) && !pending.empty()) {
-    if (stop_now()) break;  // round boundary (anytime exit)
-    const Candidate top = *pending.begin();
-    pending.erase(pending.begin());
-    const NodeId root = top.root;
-    const int producer = forest_.Producer(root);
-    if (producer == kProducerPairwise || producer == last_function) {
-      finals->push_back(root);
-      continue;
-    }
-    std::vector<RecordId> records = forest_.Leaves(root);
-    const int next = producer + 1;
-
-    RoundRecord round;
-    round.round = stats.rounds + 1;
-    round.cluster_size = records.size();
-    const uint64_t round_hashes_before = engine_->total_hashes_computed();
-    const uint64_t round_sims_before = pairwise_->total_similarities();
-    Timer round_timer;
-    TraceRecorder::Span round_span(instr.trace, "round", "round");
-    if (instr.observer != nullptr) {
-      RoundStartInfo start;
-      start.round = round.round;
-      start.cluster_size = records.size();
-      start.producer = producer;
-      instr.observer->OnRoundStart(start);
-    }
-
-    // Interruption handling as in the streaming mode: an interrupted sweep's
-    // partial trees are orphaned, the original tree (and leaf_of_, which
-    // still points into it) is untouched, and the cluster keeps its previous
-    // verification level.
-    bool interrupted = false;
-    std::vector<NodeId> new_roots;
-    if (cost_model_->ShouldJumpToPairwise(sequence_->budget(producer),
-                                          sequence_->budget(next),
-                                          records.size())) {
-      round.action = RoundAction::kPairwise;
-      round.modeled_cost = cost_model_->PairwiseCost(records.size());
-      new_roots = pairwise_->Apply(records, &forest_);
-      round.pairwise_seconds = round_timer.ElapsedSeconds();
-      interrupted = pairwise_->last_apply_interrupted();
-      if (!interrupted) {
-        for (RecordId r : records) last_fn_[r] = kLastFunctionPairwise;
-      }
-    } else {
-      round.action = RoundAction::kHash;
-      round.function_index = next;
-      round.modeled_cost =
-          cost_model_->HashUpgradeCost(sequence_->budget(producer),
-                                       sequence_->budget(next)) *
-          static_cast<double>(records.size());
-      new_roots = hasher_->Apply(records, sequence_->plan(next), next);
-      round.hash_seconds = round_timer.ElapsedSeconds();
-      interrupted = hasher_->last_apply_interrupted();
-      if (!interrupted) {
-        for (RecordId r : records) last_fn_[r] = next;
-      }
-    }
-    round.interrupted = interrupted;
-    round.hashes_computed =
-        engine_->total_hashes_computed() - round_hashes_before;
-    round.pairwise_similarities =
-        pairwise_->total_similarities() - round_sims_before;
-    round.wall_seconds = round_timer.ElapsedSeconds();
-    ++stats.rounds;
-    if (instr.metrics != nullptr) {
-      instr.metrics->AddCounter("rounds", 1);
-      instr.metrics->RecordValue("round_cluster_size",
-                                 static_cast<double>(round.cluster_size));
-      instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
-    }
-    stats.round_records.push_back(round);
-    if (instr.observer != nullptr) {
-      instr.observer->OnRoundEnd(stats.round_records.back());
-    }
-
-    if (interrupted) {
-      // Discard the round: leaf_of_ must keep pointing into the original
-      // tree. The stuck controller ends the loop at its next check.
-      insert_root(root);
-      continue;
-    }
-    for (NodeId new_root : new_roots) {
-      ReindexLeaves(new_root);
-      insert_root(new_root);
-    }
-  }
-  // Detach before returning: a request-local controller dies with this pass.
-  hasher_->set_controller(nullptr);
-  pairwise_->set_controller(nullptr);
-
-  stats.termination_reason = controller != nullptr
-                                 ? controller->reason()
-                                 : TerminationReason::kCompleted;
-  stats.filtering_seconds = timer.ElapsedSeconds();
-  stats.pairwise_similarities = pairwise_->total_similarities() - sims_before;
-  stats.hashes_computed = engine_->total_hashes_computed() - hashes_before;
+  RunRefineLoop(deps, options_.top_k, roots, opts.controller, opts.budget,
+                finals, &stats);
   // Definition 3 snapshot over every live record: each is counted exactly
   // once, under the last function applied to it (filter_output.h invariants).
+  // This stays with the engine — it needs the live-record iteration the loop
+  // doesn't have.
   stats.records_last_hashed_at.assign(sequence_->size(), 0);
   for (size_t r = 0; r < live_.size(); ++r) {
     if (!live_[r]) continue;
@@ -605,12 +537,6 @@ TerminationReason ResidentEngine::RefineLocked(const EngineBatchOptions& opts,
       ++stats.records_last_hashed_at[last_fn_[r]];
     }
   }
-  stats.modeled_cost =
-      cost_model_->cost_per_hash() *
-          static_cast<double>(stats.hashes_computed) +
-      cost_model_->cost_per_pair() *
-          static_cast<double>(stats.pairwise_similarities);
-  FillClusterVerification(forest_, *finals, &stats);
   ReportTermination(instr, stats, finals->size());
   *out_stats = std::move(stats);
   return out_stats->termination_reason;
@@ -669,6 +595,11 @@ StatusOr<std::vector<ExternalId>> ResidentEngine::Cluster(
                             std::to_string(snap->generation));
   }
   return snap->clusters[it->second];
+}
+
+bool ResidentEngine::IsLive(ExternalId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return int_of_.count(id) != 0;
 }
 
 EngineCounters ResidentEngine::counters() const {

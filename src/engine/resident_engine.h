@@ -86,6 +86,11 @@ struct EngineMutationResult {
   uint64_t generation = 0;
   TerminationReason refinement = TerminationReason::kCompleted;
   FilterStats stats;  // the refinement pass's accounting
+
+  /// Wall time this mutation spent waiting to acquire the engine's mutation
+  /// lock before any work started — the writer-contention signal the sharded
+  /// engine exists to shrink (engine_load_gen reports it as a histogram).
+  double lock_wait_seconds = 0;
 };
 
 /// Monotonic whole-life counters (engine report / `stats` CLI verb).
@@ -166,6 +171,18 @@ class ResidentEngine {
   StatusOr<EngineMutationResult> Ingest(std::vector<Record> records,
                                         const EngineBatchOptions& opts = {});
 
+  /// Ingest with caller-assigned external ids — the sharded engine routes a
+  /// global id space across shard engines, so each shard sees a sparse id
+  /// sequence, and concurrent routed batches may land out of global order.
+  /// `ids` must parallel `records`, be strictly increasing within the batch,
+  /// and not collide with any currently live id (InvalidArgument otherwise;
+  /// the caller owns global uniqueness across batches). Advances the
+  /// internal id counter past the largest assigned id so plain Ingest stays
+  /// collision-free.
+  StatusOr<EngineMutationResult> IngestWithIds(
+      std::vector<Record> records, std::vector<ExternalId> ids,
+      const EngineBatchOptions& opts = {});
+
   /// Removes records by external id (NotFound if any id is not live;
   /// all-or-nothing), dismantles and rebuilds the affected level-1
   /// components, then refines under the request's SLO.
@@ -196,9 +213,26 @@ class ResidentEngine {
 
   EngineCounters counters() const;
 
+  /// True when `id` is bound to a live record at the time of the call —
+  /// point-in-time only: a concurrent mutation may change the answer before
+  /// the caller acts on it. Takes the mutation lock briefly.
+  bool IsLive(ExternalId id) const;
+
+  /// The structural schema check Ingest applies to every record against the
+  /// engine's first record, exposed so wrappers (the sharded engine) can
+  /// pre-validate a whole batch before partitioning it across engines.
+  static Status CheckRecordSchema(const Record& prototype,
+                                  const Record& record, size_t index);
+
   int top_k() const { return options_.top_k; }
 
  private:
+  /// Shared Ingest/IngestWithIds validation: schema check against the
+  /// prototype and, on the first non-empty batch, the fallible sequence
+  /// construction (the batch is all-or-nothing, so this runs before any
+  /// state changes).
+  Status ValidateIngestLocked(const std::vector<Record>& records);
+
   /// One serialized mutation: validation has already passed. Applies
   /// removals (dismantle + rebuild), appends `adds` (arrival merges), then
   /// refines and publishes on completion.
@@ -237,9 +271,9 @@ class ResidentEngine {
   void RemoveLocked(const std::vector<RecordId>& removed_ints);
 
   /// The Algorithm 1 refinement loop with canonical Largest-First selection
-  /// (size desc, smallest external id asc). Returns the termination reason;
-  /// on kCompleted fills `finals` with the certified roots in canonical
-  /// order.
+  /// (size desc, smallest external id asc), delegated to the shared
+  /// core/refine_loop.h implementation. Returns the termination reason; on
+  /// kCompleted fills `finals` with the certified roots in canonical order.
   TerminationReason RefineLocked(const EngineBatchOptions& opts,
                                  std::vector<NodeId>* finals,
                                  FilterStats* stats);
@@ -251,11 +285,10 @@ class ResidentEngine {
   /// config budget/controller.
   EngineBatchOptions EffectiveOptions(const EngineBatchOptions& opts) const;
 
-  /// Smallest external id among the leaves of `root` (canonical tie-break).
-  ExternalId MinExternalId(NodeId root) const;
-
-  /// Refreshes leaf_of_ for every record under `root`.
-  void ReindexLeaves(NodeId root);
+  /// The cross-shard merge (engine/sharded_executor.cc) reads shard-engine
+  /// internals — live records, forests, hash caches, producers — under all
+  /// shard locks to build the canonical global result (docs/sharding.md).
+  friend class ShardedMergeAccess;
 
   MatchRule rule_;
   Options options_;

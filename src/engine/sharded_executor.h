@@ -1,0 +1,154 @@
+#ifndef ADALSH_ENGINE_SHARDED_EXECUTOR_H_
+#define ADALSH_ENGINE_SHARDED_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "engine/resident_engine.h"
+
+namespace adalsh {
+
+/// Sharded execution of the adaptive LSH engine (docs/sharding.md): records
+/// are partitioned across S shard engines by a deterministic hash of their
+/// external id, each shard runs the full adaptive round loop over its own
+/// HashCache/FeatureCache arenas and its own mutation lock, and a canonical
+/// cross-shard merge reconciles the shard forests into the global certified
+/// top-k. The contract is the repo's standing discipline: the canonical
+/// result (live set, cluster memberships, verification levels) is
+/// byte-identical for any shard count at any thread count, provided every
+/// configuration shares one cost model (shard_equivalence_test).
+
+/// The partition function: SplitMix64 of the external id, mod `shards`.
+/// Content-independent and stable across the engine's lifetime, so a record
+/// never migrates and removals/updates route without any directory lookup.
+int ShardOfExternalId(ExternalId id, int shards);
+
+/// A resident engine over S internal shards. Mutations route to their
+/// record's shard and serialize only on that shard's lock, so writers
+/// touching different shards proceed in parallel — the single-writer-lock
+/// bottleneck this layer exists to remove. Each shard continuously maintains
+/// its own shard-local certified top-k exactly like a standalone
+/// ResidentEngine.
+///
+/// Global certification is deferred: the globally-merged snapshot served by
+/// Snapshot()/TopK()/Cluster() advances only when Flush() runs the
+/// cross-shard merge (per-shard refinement alone cannot certify a global
+/// top-k, because a component split across shards may hold cross-shard merge
+/// evidence no shard ever saw). This is the sharded engine's explicit
+/// certification cadence: mutate freely, Flush() to publish.
+///
+/// Threading: Ingest/Remove/Update are safe from any thread; a single call
+/// that spans multiple shards applies per shard (see each method). Flush()
+/// serializes against other Flush() calls and briefly locks every shard.
+/// Queries never block on mutations.
+class ShardedEngine {
+ public:
+  struct Options {
+    /// Per-shard engine template. `engine.config.threads` is the TOTAL
+    /// worker budget: each shard engine gets max(1, threads / shards).
+    /// The observer (if any) is detached from shard engines — shard
+    /// refinement runs on mutator threads, violating the Observer
+    /// single-driving-thread contract; metrics/trace sinks are kept (both
+    /// are thread-safe) and report in per-shard lanes.
+    ResidentEngine::Options engine;
+    int shards = 1;
+  };
+
+  ShardedEngine(MatchRule rule, Options options);
+  ~ShardedEngine();
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  /// Assigns globally-unique ascending external ids, partitions the batch by
+  /// ShardOfExternalId, and ingests each shard's sub-batch into its engine —
+  /// concurrently on one thread per involved shard. The returned result
+  /// aggregates the per-shard passes; `lock_wait_seconds` is the summed
+  /// shard lock wait (the contention signal engine_load_gen histograms).
+  ///
+  /// On the first non-empty ingest, if the options did not pin a cost model,
+  /// one model is calibrated on that batch and shared by every shard — shard
+  /// engines calibrating separately would disagree on the jump-to-P point
+  /// and break cross-shard-count identity (docs/sharding.md).
+  StatusOr<EngineMutationResult> Ingest(std::vector<Record> records,
+                                        const EngineBatchOptions& opts = {});
+
+  /// Removes by external id, routed per shard. The batch is pre-validated
+  /// against every involved shard (NotFound/InvalidArgument before any state
+  /// changes); with concurrent removers racing on the *same* ids the
+  /// validation is best-effort and a later shard's apply may still fail,
+  /// leaving earlier shards' removals in place (the per-shard results are
+  /// each atomic).
+  StatusOr<EngineMutationResult> Remove(std::span<const ExternalId> ids,
+                                        const EngineBatchOptions& opts = {});
+
+  /// Replaces the record bound to `id` (single-shard: exactly the
+  /// ResidentEngine contract on `id`'s shard).
+  StatusOr<EngineMutationResult> Update(ExternalId id, Record record,
+                                        const EngineBatchOptions& opts = {});
+
+  /// Global certification point: flushes every shard (completing any
+  /// SLO-interrupted shard refinement), then runs the canonical cross-shard
+  /// merge under all shard locks and publishes the merged snapshot. The
+  /// merge itself always runs to completion. `opts` applies to the per-shard
+  /// flushes only.
+  StatusOr<EngineMutationResult> Flush(const EngineBatchOptions& opts = {});
+
+  /// The last globally-merged snapshot (generation 0 before the first
+  /// Flush). Mutations since the last Flush are NOT reflected — see the
+  /// class comment on deferred global certification.
+  std::shared_ptr<const EngineSnapshot> Snapshot() const;
+
+  /// TopK/Cluster against the last merged snapshot (ResidentEngine
+  /// semantics).
+  StatusOr<std::vector<std::vector<ExternalId>>> TopK(int k) const;
+  StatusOr<std::vector<ExternalId>> Cluster(ExternalId id) const;
+
+  /// Whole-life counters summed across shards; `generation` and
+  /// `live_records` describe the merged snapshot.
+  EngineCounters counters() const;
+
+  int shards() const { return options_.shards; }
+  int top_k() const { return options_.engine.top_k; }
+
+ private:
+  /// Lazily constructs the shard engines on the first non-empty ingest
+  /// (calibrating the shared cost model if none was pinned). Caller holds
+  /// id_mu_.
+  Status EnsureShardsLocked(const std::vector<Record>& prototype_batch);
+
+  MatchRule rule_;
+  Options options_;
+
+  /// Guards id assignment and lazy shard construction.
+  mutable std::mutex id_mu_;
+  ExternalId next_ext_id_ = 0;
+  std::vector<std::unique_ptr<ResidentEngine>> shards_;
+  std::optional<CostModel> shared_cost_model_;
+  std::optional<Record> prototype_;  // schema reference, set at first ingest
+
+  /// Serializes Flush() merges; publishes through snapshot_mu_.
+  mutable std::mutex flush_mu_;
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const EngineSnapshot> snapshot_;
+  uint64_t generation_ = 0;
+};
+
+/// One-shot batch entry point (the CLI's `--shards` path): ingests the whole
+/// dataset through a ShardedEngine — one concurrent per-shard batch — then
+/// flushes and returns the merged snapshot. External ids are the dataset's
+/// record indices. With `options.engine.cost_model` unset the model is
+/// calibrated once on the full dataset and shared, so the result is still
+/// identical across shard counts for one process (pin the model to make it
+/// reproducible across runs).
+StatusOr<EngineSnapshot> RunShardedBatch(const Dataset& dataset,
+                                         const MatchRule& rule,
+                                         const ShardedEngine::Options& options);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_ENGINE_SHARDED_EXECUTOR_H_

@@ -64,6 +64,21 @@ void HashCache::Ensure(const Record& record, RecordId r, size_t count) {
   computed_[r] = count;
 }
 
+void HashCache::AdoptPrefix(const HashCache& src, RecordId src_record,
+                            RecordId dst_record) {
+  ADALSH_CHECK_LT(src_record, src.computed_.size());
+  ADALSH_CHECK_LT(dst_record, computed_.size());
+  ADALSH_CHECK_EQ(binary_, src.binary_);
+  const size_t have = src.computed_[src_record];
+  if (have <= computed_[dst_record]) return;
+  if (binary_) {
+    bits_[dst_record] = src.bits_[src_record];
+  } else {
+    values_[dst_record] = src.values_[src_record];
+  }
+  computed_[dst_record] = have;
+}
+
 uint64_t HashCache::CombineRange(RecordId r, size_t begin, size_t end,
                                  uint64_t key) const {
   ADALSH_CHECK_LT(r, computed_.size());

@@ -61,6 +61,19 @@ class HashCache {
   /// Number of values computed so far for record r.
   size_t computed_count(RecordId r) const { return computed_[r]; }
 
+  /// Copies record `src_record`'s computed prefix from `src` (a cache built
+  /// over the same family seed and function stream) into this cache's slot
+  /// for `dst_record`, replacing whatever shorter prefix it held. Hash
+  /// values depend only on record content and the family seed, so when both
+  /// caches index the same underlying record the copied prefix is exactly
+  /// what this cache would have computed itself — the cross-shard merge uses
+  /// this to assemble a global cache from shard caches without recomputing a
+  /// single hash. Does NOT count toward total_hashes_computed(): adoption
+  /// moves already-paid-for work. Call from one thread, outside any
+  /// concurrent Ensure region.
+  void AdoptPrefix(const HashCache& src, RecordId src_record,
+                   RecordId dst_record);
+
   /// Folds values [begin, end) of record r into a running bucket key,
   /// word-at-a-time: binary families fold 64 packed bits per mix round, wide
   /// families two 32-bit values. Requires Ensure(record, r, end) to have

@@ -33,10 +33,21 @@ void RandomHyperplaneFamily::HashRange(const Record& record, size_t begin,
   EnsureMaterialized(end);
   const std::vector<float>& vec = record.field(field_).dense();
   ADALSH_CHECK_EQ(vec.size(), dim_);
-  for (size_t j = begin; j < end; ++j) {
-    // Canonical-lane dot kernel over the true dimension (padding excluded),
-    // so the sign — and with it the hash value — is bit-identical on every
-    // dispatch target.
+  // Adjacent hyperplanes evaluate pairwise per pass over the normals arena:
+  // the two-row kernel loads (and widens) the record vector once for both
+  // rows, with per-row canonical lane state, so every hash value stays
+  // bit-identical to the one-row kernel on every dispatch target. Padding is
+  // excluded: the kernels run over the true dimension.
+  size_t j = begin;
+  for (; j + 2 <= end; j += 2) {
+    const float* n0 = normals_.data() + j * stride_;
+    const float* n1 = normals_.data() + (j + 1) * stride_;
+    double dot0 = 0.0, dot1 = 0.0;
+    simd::DotProductF32x2(n0, n1, vec.data(), dim_, &dot0, &dot1);
+    out[j - begin] = dot0 >= 0.0 ? 1 : 0;
+    out[j + 1 - begin] = dot1 >= 0.0 ? 1 : 0;
+  }
+  if (j < end) {
     const float* normal = normals_.data() + j * stride_;
     double dot = simd::DotProductF32(normal, vec.data(), dim_);
     out[j - begin] = dot >= 0.0 ? 1 : 0;

@@ -1,6 +1,7 @@
 #include "util/simd_kernels.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
 #include "util/check.h"
@@ -48,6 +49,22 @@ double DotScalar(const float* a, const float* b, size_t size) {
     }
   }
   return FinishDot(lanes, a, b, size, i);
+}
+
+void DotScalarX2(const float* a0, const float* a1, const float* b, size_t size,
+                 double* out0, double* out1) {
+  double lanes0[kDotLanes] = {0.0};
+  double lanes1[kDotLanes] = {0.0};
+  size_t i = 0;
+  for (; i + kDotLanes <= size; i += kDotLanes) {
+    for (size_t k = 0; k < kDotLanes; ++k) {
+      const double bk = static_cast<double>(b[i + k]);
+      lanes0[k] += static_cast<double>(a0[i + k]) * bk;
+      lanes1[k] += static_cast<double>(a1[i + k]) * bk;
+    }
+  }
+  *out0 = FinishDot(lanes0, a0, b, size, i);
+  *out1 = FinishDot(lanes1, a1, b, size, i);
 }
 
 #ifdef ADALSH_X86
@@ -105,6 +122,79 @@ __attribute__((target("avx512f,avx512dq"))) double DotAvx512(const float* a,
   return FinishDot(lanes, a, b, size, i);
 }
 
+__attribute__((target("avx2"))) void DotAvx2X2(const float* a0,
+                                               const float* a1, const float* b,
+                                               size_t size, double* out0,
+                                               double* out1) {
+  // Four 256-bit accumulators per row; the shared operand is loaded and
+  // converted once per 16-element step and feeds both rows.
+  __m256d r0q0 = _mm256_setzero_pd(), r0q1 = _mm256_setzero_pd();
+  __m256d r0q2 = _mm256_setzero_pd(), r0q3 = _mm256_setzero_pd();
+  __m256d r1q0 = _mm256_setzero_pd(), r1q1 = _mm256_setzero_pd();
+  __m256d r1q2 = _mm256_setzero_pd(), r1q3 = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + kDotLanes <= size; i += kDotLanes) {
+    __m256d b0 = _mm256_cvtps_pd(_mm_loadu_ps(b + i));
+    __m256d b1 = _mm256_cvtps_pd(_mm_loadu_ps(b + i + 4));
+    __m256d b2 = _mm256_cvtps_pd(_mm_loadu_ps(b + i + 8));
+    __m256d b3 = _mm256_cvtps_pd(_mm_loadu_ps(b + i + 12));
+    r0q0 = _mm256_add_pd(r0q0, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a0 + i)), b0));
+    r0q1 = _mm256_add_pd(r0q1, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a0 + i + 4)), b1));
+    r0q2 = _mm256_add_pd(r0q2, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a0 + i + 8)), b2));
+    r0q3 = _mm256_add_pd(r0q3, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a0 + i + 12)), b3));
+    r1q0 = _mm256_add_pd(r1q0, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a1 + i)), b0));
+    r1q1 = _mm256_add_pd(r1q1, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a1 + i + 4)), b1));
+    r1q2 = _mm256_add_pd(r1q2, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a1 + i + 8)), b2));
+    r1q3 = _mm256_add_pd(r1q3, _mm256_mul_pd(
+        _mm256_cvtps_pd(_mm_loadu_ps(a1 + i + 12)), b3));
+  }
+  alignas(kSimdAlign) double lanes[kDotLanes];
+  _mm256_store_pd(lanes + 0, r0q0);
+  _mm256_store_pd(lanes + 4, r0q1);
+  _mm256_store_pd(lanes + 8, r0q2);
+  _mm256_store_pd(lanes + 12, r0q3);
+  *out0 = FinishDot(lanes, a0, b, size, i);
+  _mm256_store_pd(lanes + 0, r1q0);
+  _mm256_store_pd(lanes + 4, r1q1);
+  _mm256_store_pd(lanes + 8, r1q2);
+  _mm256_store_pd(lanes + 12, r1q3);
+  *out1 = FinishDot(lanes, a1, b, size, i);
+}
+
+__attribute__((target("avx512f,avx512dq"))) void DotAvx512X2(
+    const float* a0, const float* a1, const float* b, size_t size,
+    double* out0, double* out1) {
+  __m512d r0lo = _mm512_setzero_pd(), r0hi = _mm512_setzero_pd();
+  __m512d r1lo = _mm512_setzero_pd(), r1hi = _mm512_setzero_pd();
+  size_t i = 0;
+  for (; i + kDotLanes <= size; i += kDotLanes) {
+    __m512d blo = _mm512_cvtps_pd(_mm256_loadu_ps(b + i));
+    __m512d bhi = _mm512_cvtps_pd(_mm256_loadu_ps(b + i + 8));
+    r0lo = _mm512_add_pd(r0lo, _mm512_mul_pd(
+        _mm512_cvtps_pd(_mm256_loadu_ps(a0 + i)), blo));
+    r0hi = _mm512_add_pd(r0hi, _mm512_mul_pd(
+        _mm512_cvtps_pd(_mm256_loadu_ps(a0 + i + 8)), bhi));
+    r1lo = _mm512_add_pd(r1lo, _mm512_mul_pd(
+        _mm512_cvtps_pd(_mm256_loadu_ps(a1 + i)), blo));
+    r1hi = _mm512_add_pd(r1hi, _mm512_mul_pd(
+        _mm512_cvtps_pd(_mm256_loadu_ps(a1 + i + 8)), bhi));
+  }
+  alignas(kSimdAlign) double lanes[kDotLanes];
+  _mm512_store_pd(lanes + 0, r0lo);
+  _mm512_store_pd(lanes + 8, r0hi);
+  *out0 = FinishDot(lanes, a0, b, size, i);
+  _mm512_store_pd(lanes + 0, r1lo);
+  _mm512_store_pd(lanes + 8, r1hi);
+  *out1 = FinishDot(lanes, a1, b, size, i);
+}
+
 #endif  // ADALSH_X86
 
 #ifdef ADALSH_NEON
@@ -126,6 +216,28 @@ double DotNeon(const float* a, const float* b, size_t size) {
   alignas(kSimdAlign) double lanes[kDotLanes];
   for (size_t g = 0; g < 8; ++g) vst1q_f64(lanes + 2 * g, acc[g]);
   return FinishDot(lanes, a, b, size, i);
+}
+
+void DotNeonX2(const float* a0, const float* a1, const float* b, size_t size,
+               double* out0, double* out1) {
+  float64x2_t acc0[8], acc1[8];
+  for (auto& v : acc0) v = vdupq_n_f64(0.0);
+  for (auto& v : acc1) v = vdupq_n_f64(0.0);
+  size_t i = 0;
+  for (; i + kDotLanes <= size; i += kDotLanes) {
+    for (size_t g = 0; g < 8; ++g) {
+      float64x2_t bd = vcvt_f64_f32(vld1_f32(b + i + 2 * g));
+      acc0[g] = vaddq_f64(
+          acc0[g], vmulq_f64(vcvt_f64_f32(vld1_f32(a0 + i + 2 * g)), bd));
+      acc1[g] = vaddq_f64(
+          acc1[g], vmulq_f64(vcvt_f64_f32(vld1_f32(a1 + i + 2 * g)), bd));
+    }
+  }
+  alignas(kSimdAlign) double lanes[kDotLanes];
+  for (size_t g = 0; g < 8; ++g) vst1q_f64(lanes + 2 * g, acc0[g]);
+  *out0 = FinishDot(lanes, a0, b, size, i);
+  for (size_t g = 0; g < 8; ++g) vst1q_f64(lanes + 2 * g, acc1[g]);
+  *out1 = FinishDot(lanes, a1, b, size, i);
 }
 
 #endif  // ADALSH_NEON
@@ -263,8 +375,10 @@ SimdLevel FastestLevel(Probe&& probe) {
 }
 
 SimdLevel ProbeDotLevel() {
-  alignas(kSimdAlign) static float a[kProbeElems];
-  alignas(kSimdAlign) static float b[kProbeElems];
+  // Stack scratch, not static: probes may run concurrently (racing threads
+  // each probe, the CAS in ResolveProbed picks the winner).
+  alignas(kSimdAlign) float a[kProbeElems];
+  alignas(kSimdAlign) float b[kProbeElems];
   uint64_t state = 0x5eedu;
   for (size_t i = 0; i < kProbeElems; ++i) {
     state = SplitMix64(state);
@@ -279,7 +393,7 @@ SimdLevel ProbeDotLevel() {
 }
 
 SimdLevel ProbeMinHashLevel() {
-  static uint64_t tokens[kProbeElems];
+  uint64_t tokens[kProbeElems];  // stack scratch — see ProbeDotLevel
   uint64_t state = 0x70ce;
   for (size_t i = 0; i < kProbeElems; ++i) {
     state = SplitMix64(state);
@@ -292,20 +406,51 @@ SimdLevel ProbeMinHashLevel() {
   });
 }
 
+/// Probed-best levels, resettable (unlike function-local statics) so
+/// NotifyWorkerCount can discard a verdict measured under a different load
+/// regime. kLevelUnprobed marks "probe on next unpinned use"; the CAS keeps
+/// the first finished probe authoritative when several threads race — any
+/// stored level is valid (all are bit-identical), this only pins the choice.
+constexpr int kLevelUnprobed = -1;
+std::atomic<int> g_probed_dot_level{kLevelUnprobed};
+std::atomic<int> g_probed_minhash_level{kLevelUnprobed};
+std::atomic<int> g_probe_worker_count{0};
+
+SimdLevel ResolveProbed(std::atomic<int>* slot, SimdLevel (*probe)()) {
+  int level = slot->load(std::memory_order_acquire);
+  if (level == kLevelUnprobed) {
+    int fresh = static_cast<int>(probe());
+    int expected = kLevelUnprobed;
+    if (!slot->compare_exchange_strong(expected, fresh,
+                                       std::memory_order_acq_rel)) {
+      fresh = expected;  // another thread's probe won
+    }
+    level = fresh;
+  }
+  return static_cast<SimdLevel>(level);
+}
+
 }  // namespace
 
 SimdLevel ActiveDotLevel() {
   int pin = SimdPin();
   if (pin != kSimdLevelAuto) return static_cast<SimdLevel>(pin);
-  static const SimdLevel probed = ProbeDotLevel();
-  return probed;
+  return ResolveProbed(&g_probed_dot_level, &ProbeDotLevel);
 }
 
 SimdLevel ActiveMinHashLevel() {
   int pin = SimdPin();
   if (pin != kSimdLevelAuto) return static_cast<SimdLevel>(pin);
-  static const SimdLevel probed = ProbeMinHashLevel();
-  return probed;
+  return ResolveProbed(&g_probed_minhash_level, &ProbeMinHashLevel);
+}
+
+void NotifyWorkerCount(int workers) {
+  if (workers < 1) workers = 1;
+  const int last = g_probe_worker_count.exchange(workers,
+                                                 std::memory_order_acq_rel);
+  if (last == workers) return;
+  g_probed_dot_level.store(kLevelUnprobed, std::memory_order_release);
+  g_probed_minhash_level.store(kLevelUnprobed, std::memory_order_release);
 }
 
 double DotProductF32At(SimdLevel level, const float* a, const float* b,
@@ -332,6 +477,37 @@ double DotProductF32At(SimdLevel level, const float* a, const float* b,
 
 double DotProductF32(const float* a, const float* b, size_t size) {
   return DotProductF32At(ActiveDotLevel(), a, b, size);
+}
+
+void DotProductF32x2At(SimdLevel level, const float* a0, const float* a1,
+                       const float* b, size_t size, double* out0,
+                       double* out1) {
+  switch (level) {
+#ifdef ADALSH_X86
+    case SimdLevel::kAvx2:
+      DotAvx2X2(a0, a1, b, size, out0, out1);
+      return;
+    case SimdLevel::kAvx512:
+      DotAvx512X2(a0, a1, b, size, out0, out1);
+      return;
+#endif
+#ifdef ADALSH_NEON
+    case SimdLevel::kNeon:
+      DotNeonX2(a0, a1, b, size, out0, out1);
+      return;
+#endif
+    case SimdLevel::kScalar:
+      DotScalarX2(a0, a1, b, size, out0, out1);
+      return;
+    default:
+      ADALSH_CHECK(false) << "SIMD level '" << SimdLevelName(level)
+                          << "' not compiled into this binary";
+  }
+}
+
+void DotProductF32x2(const float* a0, const float* a1, const float* b,
+                     size_t size, double* out0, double* out1) {
+  DotProductF32x2At(ActiveDotLevel(), a0, a1, b, size, out0, out1);
 }
 
 uint64_t MinHashTokensAt(SimdLevel level, const uint64_t* tokens, size_t size,

@@ -49,6 +49,21 @@ double DotProductF32(const float* a, const float* b, size_t size);
 double DotProductF32At(SimdLevel level, const float* a, const float* b,
                        size_t size);
 
+/// Two dot products sharing one right-hand side in a single pass: the
+/// hyperplane hot loop evaluates adjacent hash functions per sweep over the
+/// SoA normals arena, loading (and converting) the record vector once for
+/// both rows. Each row keeps its OWN canonical 16-lane state and fixed-tree
+/// reduction, so out0/out1 are bit-identical to two DotProductF32 calls at
+/// every level — batching is a bandwidth optimization, never an arithmetic
+/// change.
+void DotProductF32x2(const float* a0, const float* a1, const float* b,
+                     size_t size, double* out0, double* out1);
+
+/// Same two-row kernel forced to one level.
+void DotProductF32x2At(SimdLevel level, const float* a0, const float* a1,
+                       const float* b, size_t size, double* out0,
+                       double* out1);
+
 /// min over tokens of SplitMix64(token ^ seed) — the MinHash inner loop
 /// (one hash function against one token set). Returns UINT64_MAX for the
 /// empty set (the family's empty-set sentinel). Exact on every level.
@@ -57,6 +72,16 @@ uint64_t MinHashTokens(const uint64_t* tokens, size_t size, uint64_t seed);
 /// Same kernel forced to one level.
 uint64_t MinHashTokensAt(SimdLevel level, const uint64_t* tokens, size_t size,
                          uint64_t seed);
+
+/// Tells the dispatcher how many worker threads the process is about to run
+/// the kernels under. The throughput probe's verdict depends on the load the
+/// vector units see — wide registers that win on an idle core can lose under
+/// SMT contention — so when the worker count changes (ResidentEngine
+/// construction honoring --threads), the probed-best levels are discarded
+/// and re-resolved on next unpinned use under the new regime. A no-op when a
+/// level is pinned (SimdPin), and never changes results: every level is
+/// bit-identical, so re-probing only re-picks speed.
+void NotifyWorkerCount(int workers);
 
 }  // namespace simd
 }  // namespace adalsh

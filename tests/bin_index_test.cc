@@ -1,6 +1,11 @@
 #include "clustering/bin_index.h"
 
+#include <algorithm>
+#include <vector>
+
 #include <gtest/gtest.h>
+
+#include "util/rng.h"
 
 namespace adalsh {
 namespace {
@@ -62,6 +67,88 @@ TEST(BinIndexTest, SingletonCapacity) {
   BinIndex bins(1);
   bins.Insert(1, 1);
   EXPECT_EQ(bins.PopLargest(), 1);
+}
+
+TEST(BinIndexTest, MegaBucketWithLongSingletonTail) {
+  // The skew shape sharded merges hammer (shard_equivalence_test's mega
+  // cluster): one huge cluster in the top bin, hundreds of singletons in bin
+  // 0, nothing in between. The top bin must drain first and cheaply — its
+  // scan touches one entry — then the tail in insertion-stable max order.
+  constexpr size_t kTail = 500;
+  BinIndex bins(4096);
+  for (size_t t = 0; t < kTail; ++t) {
+    bins.Insert(static_cast<NodeId>(100 + t), 1);
+  }
+  bins.Insert(/*root=*/1, /*leaf_count=*/3000);
+  EXPECT_EQ(bins.size(), kTail + 1);
+  EXPECT_EQ(bins.LargestCount(), 3000u);
+  EXPECT_EQ(bins.PopLargest(), 1);
+  // Every remaining pop is a singleton; count them out exactly.
+  for (size_t t = 0; t < kTail; ++t) {
+    EXPECT_EQ(bins.LargestCount(), 1u) << "tail pop " << t;
+    bins.PopLargest();
+  }
+  EXPECT_TRUE(bins.empty());
+}
+
+TEST(BinIndexTest, MegaBucketRefinesIntoTheTail) {
+  // A mega cluster popped, split, and re-inserted as shrinking pieces — the
+  // Largest-First working pattern over a skewed distribution. The index must
+  // always surface the true maximum even as the former mega pieces cross
+  // bin boundaries down into the tail's bins.
+  BinIndex bins(1 << 14);
+  for (NodeId r = 1000; r < 1100; ++r) bins.Insert(r, 2);
+  NodeId next_root = 1;
+  bins.Insert(next_root++, 10000);
+  uint32_t last = 10000;
+  int steps = 0;
+  while (bins.LargestCount() > 2) {
+    const uint32_t largest = bins.LargestCount();
+    EXPECT_LE(largest, last);  // Largest-First: non-increasing pop sizes
+    last = largest;
+    bins.PopLargest();
+    // Split ~60/40; singleton pieces retire instead of re-entering.
+    const uint32_t a = (largest * 3 + 4) / 5;
+    const uint32_t b = largest - a;
+    if (a > 1) bins.Insert(next_root++, a);
+    if (b > 1) bins.Insert(next_root++, b);
+    ASSERT_LT(++steps, 10000);  // the split chain must terminate
+  }
+  // Only the tail 2s (and terminal split pieces of size 2) remain.
+  while (!bins.empty()) {
+    EXPECT_EQ(bins.LargestCount(), 2u);
+    bins.PopLargest();
+  }
+}
+
+TEST(BinIndexTest, SkewedRandomStressMatchesSortedReference) {
+  // Zipf-ish random sizes (many 1s, few huge) inserted in random order with
+  // interleaved pops must replay the multiset of sizes in non-increasing
+  // order overall.
+  Rng rng(DeriveSeed(21, 0xb175));
+  std::vector<uint32_t> sizes;
+  for (int i = 0; i < 400; ++i) {
+    const uint64_t roll = rng.NextBelow(100);
+    uint32_t size = 1;
+    if (roll >= 98) {
+      size = 2000 + static_cast<uint32_t>(rng.NextBelow(2000));
+    } else if (roll >= 90) {
+      size = 16 + static_cast<uint32_t>(rng.NextBelow(200));
+    }
+    sizes.push_back(size);
+  }
+  BinIndex bins(1 << 13);
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    bins.Insert(static_cast<NodeId>(i), sizes[i]);
+  }
+  std::vector<uint32_t> popped;
+  while (!bins.empty()) {
+    popped.push_back(bins.LargestCount());
+    bins.PopLargest();
+  }
+  std::vector<uint32_t> expected = sizes;
+  std::sort(expected.begin(), expected.end(), std::greater<uint32_t>());
+  EXPECT_EQ(popped, expected);
 }
 
 TEST(BinIndexDeathTest, PopEmptyAborts) {

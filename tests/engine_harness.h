@@ -74,7 +74,11 @@ struct ScriptOptions {
 /// batches, with removals of random live ids and updates (rebinding a live
 /// id to another source record's contents) interleaved between batches.
 /// Aborts on any non-ok engine status. Returns the final logical state.
-inline LiveMap RunRandomScript(ResidentEngine* engine, const Dataset& source,
+/// Templated over the engine so the identical script drives ResidentEngine
+/// and ShardedEngine (shard_equivalence_test) — both expose the same
+/// Ingest/Remove/Update surface and assign ascending external ids.
+template <typename Engine>
+inline LiveMap RunRandomScript(Engine* engine, const Dataset& source,
                                uint64_t seed,
                                const ScriptOptions& script = {}) {
   Rng rng(DeriveSeed(seed, 0xe191e));

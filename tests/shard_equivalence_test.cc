@@ -1,0 +1,286 @@
+// Differential harness for sharded execution (docs/sharding.md), mirroring
+// engine_equivalence_test: the canonical snapshot produced through S shards —
+// batch or any randomized resident mutation history — must be byte-identical
+// to the from-scratch single-engine reference for every shard count at every
+// thread count. All configurations pin the same cost model; wall-clock
+// calibration is the one legitimate source of divergence (engine_harness.h).
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/sharded_executor.h"
+#include "engine_harness.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+constexpr int kShardCounts[] = {1, 2, 4, 8};
+constexpr int kThreadCounts[] = {1, 2, 8};
+
+ShardedEngine::Options ShardedOptions(int shards, int threads, int top_k,
+                                      uint64_t seed = 3) {
+  ShardedEngine::Options options;
+  options.engine = test::EngineOptions(threads, top_k, seed);
+  options.shards = shards;
+  return options;
+}
+
+std::vector<size_t> SizesForSeed(uint64_t seed) {
+  std::vector<size_t> sizes = {12, 9, 7, 5, 3, 2, 1};
+  sizes[seed % sizes.size()] += seed % 4;
+  if (seed % 3 == 0) sizes.push_back(1);
+  return sizes;
+}
+
+/// Identity live map for a whole-dataset batch: RunShardedBatch assigns
+/// external ids equal to record indices.
+test::LiveMap WholeDatasetLive(const Dataset& dataset) {
+  test::LiveMap live;
+  for (size_t r = 0; r < dataset.num_records(); ++r) live[r] = r;
+  return live;
+}
+
+TEST(ShardEquivalenceTest, BatchIsByteIdenticalAcrossShardAndThreadCounts) {
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    GeneratedDataset generated =
+        test::MakePlantedDataset(SizesForSeed(seed), seed);
+    const std::string reference = test::ReferenceCanonical(
+        generated.dataset, generated.rule, WholeDatasetLive(generated.dataset),
+        /*top_k=*/4);
+    for (int shards : kShardCounts) {
+      for (int threads : kThreadCounts) {
+        auto snap = RunShardedBatch(generated.dataset, generated.rule,
+                                    ShardedOptions(shards, threads, 4));
+        ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+        EXPECT_EQ(test::CanonicalSnapshot(snap.value()), reference)
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, RandomizedHistoriesAreConfluentAcrossShards) {
+  // The identical deterministic mutation script (engine_harness.h) drives a
+  // ShardedEngine at every (shards, threads) combination; after Flush the
+  // merged snapshot must equal the from-scratch reference over the surviving
+  // records. Thread count 2 is covered by the batch matrix above; here the
+  // extremes keep 240 scripts affordable while still crossing the
+  // serial/parallel shard-dispatch boundary.
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    GeneratedDataset generated =
+        test::MakePlantedDataset(SizesForSeed(seed), seed);
+    std::string reference;
+    test::LiveMap first_live;
+    bool have_reference = false;
+    for (int shards : kShardCounts) {
+      for (int threads : {1, 8}) {
+        ShardedEngine engine(generated.rule,
+                             ShardedOptions(shards, threads, /*top_k=*/4));
+        test::LiveMap live =
+            test::RunRandomScript(&engine, generated.dataset, seed);
+        auto flushed = engine.Flush();
+        ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+        EXPECT_EQ(flushed.value().refinement, TerminationReason::kCompleted);
+        if (!have_reference) {
+          have_reference = true;
+          first_live = live;
+          reference = test::ReferenceCanonical(generated.dataset,
+                                               generated.rule, live, 4);
+        } else {
+          // Ids are assigned in batch order regardless of sharding, so every
+          // configuration must walk the identical logical history.
+          ASSERT_EQ(live, first_live) << "seed " << seed;
+        }
+        EXPECT_EQ(test::CanonicalSnapshot(*engine.Snapshot()), reference)
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, SkewedMegaClusterStaysIdentical) {
+  // One mega-entity plus a long singleton tail: with S >= 2 the mega
+  // component is all but guaranteed to span shards, forcing the reopened
+  // producer-0 path through a heavily skewed bucket-size distribution (the
+  // sharded half of the bin_index skew coverage).
+  for (uint64_t seed : {5, 12}) {
+    GeneratedDataset generated = test::MakePlantedDataset(
+        {40, 3, 2, 1, 1, 1, 1, 1, 1, 1}, seed);
+    const std::string reference = test::ReferenceCanonical(
+        generated.dataset, generated.rule, WholeDatasetLive(generated.dataset),
+        /*top_k=*/3);
+    for (int shards : {1, 4, 8}) {
+      for (int threads : {1, 8}) {
+        auto snap = RunShardedBatch(generated.dataset, generated.rule,
+                                    ShardedOptions(shards, threads, 3));
+        ASSERT_TRUE(snap.ok()) << snap.status().ToString();
+        EXPECT_EQ(test::CanonicalSnapshot(snap.value()), reference)
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads;
+        ASSERT_FALSE(snap.value().clusters.empty());
+        EXPECT_GE(snap.value().clusters.front().size(), 40u);
+      }
+    }
+  }
+}
+
+TEST(ShardEquivalenceTest, ConcurrentWritersConvergeAfterFlush) {
+  // The multi-writer claim (and the suite's TSan target): several writer
+  // threads mutate concurrently — serializing only on their records' shard
+  // locks — while readers poll the merged snapshot. After a final Flush the
+  // result must equal the from-scratch reference over the union live set.
+  GeneratedDataset generated =
+      test::MakePlantedDataset({13, 9, 6, 4, 2, 1, 1}, 19);
+  ShardedEngine engine(generated.rule,
+                       ShardedOptions(/*shards=*/4, /*threads=*/4,
+                                      /*top_k=*/4));
+  const size_t total = generated.dataset.num_records();
+  constexpr int kWriters = 4;
+
+  // Seed the engine (and the shared cost model) before the writers race.
+  test::LiveMap live;
+  {
+    std::vector<Record> first = {generated.dataset.record(0)};
+    auto seeded = engine.Ingest(std::move(first));
+    ASSERT_TRUE(seeded.ok()) << seeded.status().ToString();
+    live[seeded.value().assigned_ids[0]] = 0;
+  }
+
+  std::mutex live_mu;
+  std::atomic<bool> done{false};
+  std::atomic<int> failures{0};
+  auto writer = [&](int w) {
+    test::LiveMap mine;
+    for (size_t r = 1 + w; r < total; r += kWriters) {
+      std::vector<Record> batch = {generated.dataset.record(r)};
+      auto ingested = engine.Ingest(std::move(batch));
+      if (!ingested.ok()) {
+        ++failures;
+        return;
+      }
+      mine[ingested.value().assigned_ids[0]] = r;
+    }
+    // Each writer removes one of its own ids — removals race only on
+    // distinct ids, so per-shard pre-validation stays exact.
+    if (!mine.empty()) {
+      const ExternalId victim = mine.begin()->first;
+      std::vector<ExternalId> ids = {victim};
+      auto removed = engine.Remove(ids);
+      if (!removed.ok()) {
+        ++failures;
+        return;
+      }
+      mine.erase(victim);
+    }
+    std::lock_guard<std::mutex> lock(live_mu);
+    live.insert(mine.begin(), mine.end());
+  };
+  auto reader = [&] {
+    uint64_t last_generation = 0;
+    while (!done.load(std::memory_order_acquire)) {
+      std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+      if (snap->generation < last_generation) ++failures;
+      last_generation = snap->generation;
+      if (snap->verification.size() != snap->clusters.size()) ++failures;
+    }
+  };
+
+  std::thread r1(reader);
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) writers.emplace_back(writer, w);
+  for (std::thread& t : writers) t.join();
+  done.store(true, std::memory_order_release);
+  r1.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  auto flushed = engine.Flush();
+  ASSERT_TRUE(flushed.ok()) << flushed.status().ToString();
+  EXPECT_EQ(flushed.value().refinement, TerminationReason::kCompleted);
+  EXPECT_EQ(test::CanonicalSnapshot(*engine.Snapshot()),
+            test::ReferenceCanonical(generated.dataset, generated.rule, live,
+                                     4));
+  EXPECT_EQ(engine.counters().live_records, live.size());
+}
+
+TEST(ShardEquivalenceTest, PartitionIsDeterministicAndCovering) {
+  for (int shards : kShardCounts) {
+    std::vector<int> seen(shards, 0);
+    for (ExternalId id = 0; id < 1000; ++id) {
+      const int s = ShardOfExternalId(id, shards);
+      ASSERT_GE(s, 0);
+      ASSERT_LT(s, shards);
+      EXPECT_EQ(s, ShardOfExternalId(id, shards));  // stable
+      ++seen[s];
+    }
+    // SplitMix64 spreads sequential ids roughly evenly.
+    for (int s = 0; s < shards; ++s) {
+      EXPECT_GT(seen[s], 1000 / shards / 2)
+          << "shard " << s << " of " << shards;
+    }
+  }
+  // shards == 1 bypasses the mix entirely.
+  EXPECT_EQ(ShardOfExternalId(12345, 1), 0);
+}
+
+TEST(ShardEquivalenceTest, DegenerateLifecycles) {
+  GeneratedDataset generated = test::MakePlantedDataset({3, 2, 1}, 7);
+  ShardedEngine engine(generated.rule, ShardedOptions(4, 1, /*top_k=*/2));
+
+  // Pre-ingest: queries serve the empty generation-0 snapshot; removals and
+  // updates have nothing to route to.
+  EXPECT_EQ(engine.Snapshot()->generation, 0u);
+  std::vector<ExternalId> none = {0};
+  EXPECT_FALSE(engine.Remove(none).ok());
+  EXPECT_FALSE(engine.Update(0, generated.dataset.record(0)).ok());
+  auto empty_ingest = engine.Ingest({});
+  ASSERT_TRUE(empty_ingest.ok());
+  EXPECT_TRUE(empty_ingest.value().assigned_ids.empty());
+  auto empty_flush = engine.Flush();
+  ASSERT_TRUE(empty_flush.ok());
+  EXPECT_EQ(empty_flush.value().generation, 0u);
+
+  // Ingest everything, remove everything, flush: the merged snapshot must
+  // come back to the empty canonical form.
+  std::vector<Record> records;
+  for (size_t r = 0; r < generated.dataset.num_records(); ++r) {
+    records.push_back(generated.dataset.record(r));
+  }
+  auto ingested = engine.Ingest(std::move(records));
+  ASSERT_TRUE(ingested.ok()) << ingested.status().ToString();
+  auto flushed = engine.Flush();
+  ASSERT_TRUE(flushed.ok());
+  EXPECT_EQ(engine.Snapshot()->live_records,
+            generated.dataset.num_records());
+
+  auto removed = engine.Remove(ingested.value().assigned_ids);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  auto reflushed = engine.Flush();
+  ASSERT_TRUE(reflushed.ok());
+  EXPECT_EQ(engine.Snapshot()->live_records, 0u);
+  EXPECT_TRUE(engine.Snapshot()->clusters.empty());
+
+  // Duplicate ids in one removal batch are rejected before any mutation.
+  auto dup_ingest = engine.Ingest({generated.dataset.record(0)});
+  ASSERT_TRUE(dup_ingest.ok());
+  const ExternalId id = dup_ingest.value().assigned_ids[0];
+  std::vector<ExternalId> dup = {id, id};
+  EXPECT_FALSE(engine.Remove(dup).ok());
+  auto single = engine.Cluster(id);
+  EXPECT_FALSE(single.ok());  // not merged yet: deferred certification
+  ASSERT_TRUE(engine.Flush().ok());
+  auto merged = engine.Cluster(id);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged.value(), std::vector<ExternalId>{id});
+}
+
+}  // namespace
+}  // namespace adalsh

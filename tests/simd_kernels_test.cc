@@ -110,6 +110,59 @@ TEST(SimdKernelsTest, DotProductIndependentOfAlignment) {
   }
 }
 
+TEST(SimdKernelsTest, TwoRowDotMatchesTwoSingleRowCalls) {
+  // The batched hyperplane kernel's contract: per-row canonical lane state,
+  // so each output is bit-identical to an independent one-row call at the
+  // same level — and through it to the scalar reference.
+  Rng rng(DeriveSeed(14, 0xd072));
+  for (size_t size : kDotSizes) {
+    for (int trial = 0; trial < 4; ++trial) {
+      std::vector<float> a0 = RandomFloats(size, &rng, 3.0f);
+      std::vector<float> a1 = RandomFloats(size, &rng, 3.0f);
+      std::vector<float> b = RandomFloats(size, &rng, 3.0f);
+      const double ref0 =
+          simd::DotProductF32At(SimdLevel::kScalar, a0.data(), b.data(), size);
+      const double ref1 =
+          simd::DotProductF32At(SimdLevel::kScalar, a1.data(), b.data(), size);
+      for (SimdLevel level : SupportedSimdLevels()) {
+        double out0 = 0.0, out1 = 0.0;
+        simd::DotProductF32x2At(level, a0.data(), a1.data(), b.data(), size,
+                                &out0, &out1);
+        ExpectSameBits(ref0, out0, "dot-x2-row0", level, size);
+        ExpectSameBits(ref1, out1, "dot-x2-row1", level, size);
+      }
+    }
+  }
+}
+
+TEST(SimdKernelsTest, TwoRowDotEdgeValues) {
+  const float denormal = std::numeric_limits<float>::denorm_min();
+  const std::vector<std::vector<float>> patterns = {
+      {},
+      {0.0f},
+      {-0.0f, 0.0f, -0.0f},
+      {denormal, -denormal, denormal * 7.0f},
+      {1e30f, 1.0f, -1e30f, 1.0f},
+      std::vector<float>(100, 1e-40f),
+  };
+  for (const std::vector<float>& a : patterns) {
+    for (const std::vector<float>& b : patterns) {
+      if (a.size() != b.size()) continue;
+      const double ref0 = simd::DotProductF32At(SimdLevel::kScalar, a.data(),
+                                                b.data(), a.size());
+      const double ref1 = simd::DotProductF32At(SimdLevel::kScalar, b.data(),
+                                                b.data(), b.size());
+      for (SimdLevel level : SupportedSimdLevels()) {
+        double out0 = 0.0, out1 = 0.0;
+        simd::DotProductF32x2At(level, a.data(), b.data(), b.data(), a.size(),
+                                &out0, &out1);
+        ExpectSameBits(ref0, out0, "dot-x2-edge-row0", level, a.size());
+        ExpectSameBits(ref1, out1, "dot-x2-edge-row1", level, a.size());
+      }
+    }
+  }
+}
+
 TEST(SimdKernelsTest, MinHashMatchesScalarOnRandomTokenSets) {
   Rng rng(DeriveSeed(13, 0x3147));
   for (size_t size : kTokenSizes) {
@@ -182,6 +235,26 @@ TEST(SimdDispatchTest, AutoResolvesToSupportedLevels) {
   int previous = SetSimdPin(kSimdLevelAuto);
   EXPECT_TRUE(SimdLevelSupported(simd::ActiveDotLevel()));
   EXPECT_TRUE(SimdLevelSupported(simd::ActiveMinHashLevel()));
+  SetSimdPin(previous);
+}
+
+TEST(SimdDispatchTest, WorkerCountChangeReprobesToSupportedLevels) {
+  // NotifyWorkerCount discards the probed verdicts when the count changes;
+  // the next unpinned use must re-resolve to some supported level and keep
+  // producing the identical results (bit-identity makes re-picks free).
+  int previous = SetSimdPin(kSimdLevelAuto);
+  Rng rng(DeriveSeed(15, 0x90b3));
+  std::vector<float> a = RandomFloats(64, &rng, 2.0f);
+  std::vector<float> b = RandomFloats(64, &rng, 2.0f);
+  const double reference =
+      simd::DotProductF32At(SimdLevel::kScalar, a.data(), b.data(), 64);
+  for (int workers : {1, 8, 8, 2}) {  // repeat is a no-op, change re-probes
+    simd::NotifyWorkerCount(workers);
+    EXPECT_TRUE(SimdLevelSupported(simd::ActiveDotLevel()));
+    EXPECT_TRUE(SimdLevelSupported(simd::ActiveMinHashLevel()));
+    ExpectSameBits(reference, simd::DotProductF32(a.data(), b.data(), 64),
+                   "dot-reprobe", simd::ActiveDotLevel(), 64);
+  }
   SetSimdPin(previous);
 }
 

@@ -10,10 +10,19 @@
 //              [--stats-json=report.json]
 //              [--deadline-ms=MS] [--max-pairwise=N] [--max-hashes=N]
 //              [--cancel-after-ms=MS] [--cost-model=hash_cost,pair_cost]
+//              [--shards=S]
 //
 // --threads sizes the worker pool for the hash hot path (default: hardware
 // concurrency). Results are identical at any thread count; see
 // docs/threading.md.
+//
+// --shards=S (method=adalsh only) runs the batch through the sharded
+// executor (docs/sharding.md): records partition across S shard engines,
+// each runs the adaptive round loop independently, and a canonical
+// cross-shard merge certifies the global top-k. With --cost-model pinned the
+// cluster CSV is byte-identical for every S at every thread count
+// (tools/shard_parity_smoke.sh). --shards=0 (default) keeps the in-process
+// batch filter.
 //
 // --simd pins the kernel dispatch level: auto (default), native, scalar,
 // avx2, avx512, neon. Results are identical at every level (docs/simd.md) —
@@ -57,6 +66,14 @@
 //   adalsh_cli serve --columns=<spec> --rule=<rule DSL> [--k=10]
 //              [--threads=N] [--seed=N] [--cost-model=hash_cost,pair_cost]
 //              [--deadline-ms=MS] [--max-pairwise=N] [--max-hashes=N]
+//              [--shards=S]
+//
+// --shards=S serves a ShardedEngine (docs/sharding.md): mutations route to
+// their record's shard and serialize only on that shard's lock; the
+// snapshot served by topk/cluster advances only at `flush`, which runs the
+// canonical cross-shard merge (deferred global certification). --shards=0
+// (default) keeps the single resident engine with its continuous
+// certification — the default transcript is unchanged.
 //
 // Runs a ResidentEngine and speaks a newline-delimited protocol on
 // stdin/stdout (one reply line — or cluster lines followed by an "ok" line —
@@ -94,6 +111,7 @@
 #include "distance/rule_parser.h"
 #include "engine/engine_report.h"
 #include "engine/resident_engine.h"
+#include "engine/sharded_executor.h"
 #include "eval/metrics.h"
 #include "eval/recovery.h"
 #include "io/csv.h"
@@ -206,6 +224,7 @@ int RunServe(int argc, char** argv) {
       static_cast<uint64_t>(flags.GetInt("max-pairwise", 0));
   uint64_t max_hashes = static_cast<uint64_t>(flags.GetInt("max-hashes", 0));
   std::string simd = flags.GetString("simd", "");
+  int shards = static_cast<int>(flags.GetInt("shards", 0));
   flags.CheckNoUnusedFlags();
 
   Status simd_status = ApplySimdFlag(simd);
@@ -215,6 +234,7 @@ int RunServe(int argc, char** argv) {
   }
   if (k < 1) return Fail("--k must be >= 1");
   if (threads < 0) return Fail("--threads must be >= 1");
+  if (shards < 0) return Fail("--shards must be >= 0");
   if (!cost_model.empty() && cost_model.size() != 2) {
     return Fail("--cost-model takes two comma-separated unit costs "
                 "(cost-per-hash,cost-per-pair)");
@@ -237,7 +257,40 @@ int RunServe(int argc, char** argv) {
   if (!cost_model.empty()) {
     options.cost_model = CostModel(cost_model[0], cost_model[1]);
   }
-  ResidentEngine engine(*rule, options);
+
+  // One of the two engine shapes, behind a uniform mutation/query surface;
+  // neither is movable (mutex members), so construct in place.
+  std::optional<ResidentEngine> resident;
+  std::optional<ShardedEngine> sharded;
+  if (shards > 0) {
+    ShardedEngine::Options sharded_options;
+    sharded_options.engine = std::move(options);
+    sharded_options.shards = shards;
+    sharded.emplace(*rule, std::move(sharded_options));
+  } else {
+    resident.emplace(*rule, std::move(options));
+  }
+  auto ingest = [&](std::vector<Record> records) {
+    return sharded ? sharded->Ingest(std::move(records))
+                   : resident->Ingest(std::move(records));
+  };
+  auto remove = [&](const std::vector<ExternalId>& ids) {
+    return sharded ? sharded->Remove(ids) : resident->Remove(ids);
+  };
+  auto update = [&](ExternalId id, Record record) {
+    return sharded ? sharded->Update(id, std::move(record))
+                   : resident->Update(id, std::move(record));
+  };
+  auto flush = [&]() {
+    return sharded ? sharded->Flush() : resident->Flush();
+  };
+  auto snapshot = [&]() {
+    return sharded ? sharded->Snapshot() : resident->Snapshot();
+  };
+  auto stats_json = [&]() {
+    return sharded ? WriteEngineReportJson(*sharded)
+                   : WriteEngineReportJson(*resident);
+  };
 
   std::vector<Record> staged;
   std::string line;
@@ -266,7 +319,7 @@ int RunServe(int argc, char** argv) {
       staged.push_back(std::move(parsed->record));
       std::cout << "staged " << staged.size() << "\n" << std::flush;
     } else if (cmd == "commit") {
-      auto result = engine.Ingest(std::move(staged));
+      auto result = ingest(std::move(staged));
       staged.clear();  // all-or-nothing either way: a rejected batch is dropped
       if (!result.ok()) {
         reply_status(result.status());
@@ -294,7 +347,7 @@ int RunServe(int argc, char** argv) {
         reply_status(Status::InvalidArgument("remove needs at least one id"));
         continue;
       }
-      auto result = engine.Remove(ids);
+      auto result = remove(ids);
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -318,7 +371,7 @@ int RunServe(int argc, char** argv) {
         reply_status(parsed.status());
         continue;
       }
-      auto result = engine.Update(*id, std::move(parsed->record));
+      auto result = update(*id, std::move(parsed->record));
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -334,7 +387,7 @@ int RunServe(int argc, char** argv) {
         }
         query_k = static_cast<int>(*parsed_k);
       }
-      std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+      std::shared_ptr<const EngineSnapshot> snap = snapshot();
       const size_t count = std::min<size_t>(
           static_cast<size_t>(query_k), snap->clusters.size());
       PrintClusters({snap->clusters.begin(), snap->clusters.begin() + count},
@@ -349,7 +402,7 @@ int RunServe(int argc, char** argv) {
         reply_status(id.status());
         continue;
       }
-      std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
+      std::shared_ptr<const EngineSnapshot> snap = snapshot();
       auto it = snap->cluster_of.find(*id);
       if (it == snap->cluster_of.end()) {
         reply_status(Status::NotFound(
@@ -361,9 +414,9 @@ int RunServe(int argc, char** argv) {
                     {snap->verification[it->second]});
       std::cout << "ok gen=" << snap->generation << "\n" << std::flush;
     } else if (cmd == "stats") {
-      std::cout << WriteEngineReportJson(engine) << "\n" << std::flush;
+      std::cout << stats_json() << "\n" << std::flush;
     } else if (cmd == "flush") {
-      auto result = engine.Flush();
+      auto result = flush();
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -410,6 +463,7 @@ int main(int argc, char** argv) {
   double cancel_after_ms = flags.GetDouble("cancel-after-ms", 0.0);
   std::string simd = flags.GetString("simd", "");
   std::vector<double> cost_model = flags.GetDoubleList("cost-model", {});
+  int shards = static_cast<int>(flags.GetInt("shards", 0));
   flags.CheckNoUnusedFlags();
 
   Status simd_status = ApplySimdFlag(simd);
@@ -422,6 +476,10 @@ int main(int argc, char** argv) {
   if (bk < k) return Fail("--bk must be >= --k");
   if (threads < 0) return Fail("--threads must be >= 1");
   if (threads > 0) SetGlobalThreadCount(threads);
+  if (shards < 0) return Fail("--shards must be >= 0");
+  if (shards > 0 && method != "adalsh") {
+    return Fail("--shards requires --method=adalsh");
+  }
 
   RunBudget budget;
   budget.deadline_ms = deadline_ms;
@@ -498,7 +556,40 @@ int main(int argc, char** argv) {
 
   // --- Filter. ---
   FilterOutput result;
-  if (method == "adalsh") {
+  if (method == "adalsh" && shards > 0) {
+    // Sharded batch execution (docs/sharding.md). The merge pass always
+    // runs to completion, so cooperative cancellation of the whole run is
+    // not available here; budgets still bound each per-shard pass.
+    if (cancel_after_ms > 0.0) {
+      return Fail("--cancel-after-ms is not supported with --shards");
+    }
+    ShardedEngine::Options engine_options;
+    engine_options.shards = shards;
+    engine_options.engine.top_k = bk;
+    engine_options.engine.config.seed = seed;
+    engine_options.engine.config.threads = threads;
+    engine_options.engine.config.budget = budget;
+    engine_options.engine.config.instrumentation = instr;
+    if (!cost_model.empty()) {
+      engine_options.engine.cost_model = CostModel(cost_model[0],
+                                                   cost_model[1]);
+    }
+    StatusOr<EngineSnapshot> snap =
+        RunShardedBatch(dataset, *rule, engine_options);
+    if (!snap.ok()) return Fail(snap.status().ToString());
+    result.stats = snap->stats;
+    // RunShardedBatch assigns external ids equal to record indices, so the
+    // snapshot's members cast straight back to RecordIds.
+    result.clusters.clusters.reserve(snap->clusters.size());
+    for (const std::vector<ExternalId>& cluster : snap->clusters) {
+      std::vector<RecordId> members;
+      members.reserve(cluster.size());
+      for (ExternalId id : cluster) {
+        members.push_back(static_cast<RecordId>(id));
+      }
+      result.clusters.clusters.push_back(std::move(members));
+    }
+  } else if (method == "adalsh") {
     AdaptiveLshConfig config;
     config.seed = seed;
     config.instrumentation = instr;

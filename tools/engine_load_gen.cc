@@ -1,19 +1,28 @@
-// In-process load generator for the resident engine (docs/engine.md):
-// replays a randomized mutation history — batched ingests with interleaved
-// removes and updates over a Cora-like workload — against a ResidentEngine
-// while reader threads concurrently hammer TopK/Cluster against the
-// published snapshots, then reports throughput and latency percentiles as a
-// JSON document (schema adalsh-engine-loadgen-v1).
+// In-process load generator for the resident engine (docs/engine.md) and its
+// sharded counterpart (docs/sharding.md): replays a randomized mutation
+// history — batched ingests with interleaved removes and updates over a
+// Cora-like workload, split across one or more writer threads — while reader
+// threads concurrently hammer TopK/Cluster against the published snapshots,
+// then reports throughput and latency percentiles as a JSON document (schema
+// adalsh-engine-loadgen-v1).
 //
 // Readers double as a consistency probe: every observation asserts the
 // snapshot generation is monotone and that cluster sizes are descending, so
 // a torn snapshot fails the run instead of skewing the numbers.
+//
+// Every mutation's time spent waiting for the engine lock (summed across
+// shard locks in the sharded engine) feeds the lock_wait histogram — the
+// before/after signal for the sharded engine's multi-writer claim: with
+// --writers=4 the resident engine's single lock shows the queueing that
+// --shards=4 removes.
 //
 // Flags:
 //   --records=N     dataset size to stream in (default 800)
 //   --entities=N    ground-truth entities in the workload (default 120)
 //   --batch=N       max records per ingest batch (default 32)
 //   --readers=N     concurrent query threads (default 2)
+//   --writers=N     concurrent mutation threads (default 1)
+//   --shards=N      0 = ResidentEngine; >=1 = ShardedEngine with N shards
 //   --threads=N     engine worker threads, 0 = hardware (default 0)
 //   --k=N           maintained top-k (default 10)
 //   --seed=N        workload + history seed (default 1)
@@ -31,6 +40,7 @@
 
 #include "datagen/cora_like.h"
 #include "engine/resident_engine.h"
+#include "engine/sharded_executor.h"
 #include "obs/json_writer.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -42,34 +52,34 @@ namespace {
 
 struct LatencyStats {
   size_t count = 0;
-  double p50_us = 0;
-  double p95_us = 0;
-  double max_us = 0;
+  double p50 = 0;
+  double p95 = 0;
+  double max = 0;
 };
 
-LatencyStats Summarize(std::vector<double>* micros) {
+LatencyStats Summarize(std::vector<double>* values) {
   LatencyStats stats;
-  stats.count = micros->size();
-  if (micros->empty()) return stats;
-  std::sort(micros->begin(), micros->end());
-  stats.p50_us = (*micros)[micros->size() / 2];
-  stats.p95_us = (*micros)[micros->size() * 95 / 100];
-  stats.max_us = micros->back();
+  stats.count = values->size();
+  if (values->empty()) return stats;
+  std::sort(values->begin(), values->end());
+  stats.p50 = (*values)[values->size() / 2];
+  stats.p95 = (*values)[values->size() * 95 / 100];
+  stats.max = values->back();
   return stats;
 }
 
 void WriteLatency(JsonWriter* json, const std::string& name,
-                  const LatencyStats& stats) {
+                  const LatencyStats& stats, const std::string& unit = "us") {
   json->Key(name)
       .BeginObject()
       .Key("count")
       .Uint(stats.count)
-      .Key("p50_us")
-      .Double(stats.p50_us)
-      .Key("p95_us")
-      .Double(stats.p95_us)
-      .Key("max_us")
-      .Double(stats.max_us)
+      .Key("p50_" + unit)
+      .Double(stats.p50)
+      .Key("p95_" + unit)
+      .Double(stats.p95)
+      .Key("max_" + unit)
+      .Double(stats.max)
       .EndObject();
 }
 
@@ -80,9 +90,10 @@ struct ReaderResult {
 };
 
 // Queries the engine until `stop`, checking each snapshot for the invariants
-// the engine promises (docs/engine.md): monotone generation, descending
-// cluster sizes, cluster_of consistent with TopK.
-ReaderResult RunReader(const ResidentEngine& engine, int k,
+// both engines promise (docs/engine.md, docs/sharding.md): monotone
+// generation, descending cluster sizes, cluster_of consistent with TopK.
+template <typename Engine>
+ReaderResult RunReader(const Engine& engine, int k,
                        const std::atomic<bool>& stop) {
   ReaderResult result;
   uint64_t last_generation = 0;
@@ -116,64 +127,26 @@ ReaderResult RunReader(const ResidentEngine& engine, int k,
   return result;
 }
 
-int Run(int argc, char** argv) {
-  Flags flags(argc, argv);
-  const bool smoke = flags.GetBool("smoke", false);
-  const size_t records =
-      static_cast<size_t>(flags.GetInt("records", smoke ? 60 : 800));
-  const size_t entities =
-      static_cast<size_t>(flags.GetInt("entities", smoke ? 12 : 120));
-  const size_t max_batch =
-      static_cast<size_t>(flags.GetInt("batch", smoke ? 8 : 32));
-  const int readers = static_cast<int>(flags.GetInt("readers", 2));
-  const int threads = static_cast<int>(flags.GetInt("threads", 0));
-  const int top_k = static_cast<int>(flags.GetInt("k", 10));
-  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
-  const std::string out = flags.GetString("out", "");
-  flags.CheckNoUnusedFlags();
-  ADALSH_CHECK(records > 0 && max_batch > 0 && readers >= 0) <<
-               "need --records > 0, --batch > 0, --readers >= 0";
-
-  CoraLikeConfig data_config;
-  data_config.num_records = records;
-  data_config.num_entities = entities;
-  data_config.seed = DeriveSeed(seed, 0xda7a);
-  GeneratedDataset workload = GenerateCoraLike(data_config);
-
-  ResidentEngine::Options options;
-  options.config.seed = 3;
-  options.config.threads = threads;
-  options.config.sequence.max_budget = 640;
-  options.top_k = top_k;
-  // Pinned unit costs: load-gen runs must be comparable run-over-run, so the
-  // jump-to-P point cannot depend on wall-clock calibration noise.
-  options.cost_model = CostModel(1e-8, 1e-6);
-  ResidentEngine engine(workload.rule, options);
-
-  std::atomic<bool> stop(false);
-  std::vector<ReaderResult> reader_results(static_cast<size_t>(readers));
-  std::vector<std::thread> reader_threads;
-  reader_threads.reserve(reader_results.size());
-  for (ReaderResult& slot : reader_results) {
-    reader_threads.emplace_back(
-        [&engine, top_k, &stop, &slot] { slot = RunReader(engine, top_k, stop); });
-  }
-
-  // The mutation history: shuffled ingest order, randomized batch sizes,
-  // occasional removes/updates — the same shape the differential tests
-  // replay, but timed.
-  Rng rng(DeriveSeed(seed, 0x10ad));
-  std::vector<size_t> order(workload.dataset.num_records());
-  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  rng.Shuffle(&order);
-
-  std::vector<ExternalId> live;
+struct WriterResult {
   std::vector<double> ingest_us;
   std::vector<double> remove_us;
   std::vector<double> update_us;
-  Timer wall;
-  size_t cursor = 0;
+  std::vector<double> lock_wait_ms;  // one entry per mutation call
   uint64_t interrupted = 0;
+};
+
+// One writer's slice of the mutation history: shuffled ingest order,
+// randomized batch sizes, occasional removes/updates of its *own* ids (so
+// concurrent writers never race on the same external id) — the same shape
+// the differential tests replay, but timed.
+template <typename Engine>
+WriterResult RunWriter(Engine* engine, const GeneratedDataset& workload,
+                       const std::vector<size_t>& order, size_t max_batch,
+                       uint64_t seed, int writer_index) {
+  WriterResult result;
+  Rng rng(DeriveSeed(seed, 0x10ad + static_cast<uint64_t>(writer_index)));
+  std::vector<ExternalId> live;
+  size_t cursor = 0;
   while (cursor < order.size()) {
     const size_t take =
         1 + rng.NextBelow(std::min(order.size() - cursor, max_batch));
@@ -184,10 +157,11 @@ int Run(int argc, char** argv) {
     }
     cursor += take;
     Timer timer;
-    StatusOr<EngineMutationResult> ingested = engine.Ingest(std::move(batch));
-    ingest_us.push_back(timer.ElapsedSeconds() * 1e6);
+    StatusOr<EngineMutationResult> ingested = engine->Ingest(std::move(batch));
+    result.ingest_us.push_back(timer.ElapsedSeconds() * 1e6);
     ADALSH_CHECK(ingested.ok()) << ingested.status().message();
-    interrupted +=
+    result.lock_wait_ms.push_back(ingested.value().lock_wait_seconds * 1e3);
+    result.interrupted +=
         ingested.value().refinement != TerminationReason::kCompleted;
     live.insert(live.end(), ingested.value().assigned_ids.begin(),
                 ingested.value().assigned_ids.end());
@@ -198,9 +172,10 @@ int Run(int argc, char** argv) {
       live.erase(live.begin() + static_cast<ptrdiff_t>(victim));
       timer.Reset();
       StatusOr<EngineMutationResult> removed =
-          engine.Remove(std::vector<ExternalId>{id});
-      remove_us.push_back(timer.ElapsedSeconds() * 1e6);
+          engine->Remove(std::vector<ExternalId>{id});
+      result.remove_us.push_back(timer.ElapsedSeconds() * 1e6);
       ADALSH_CHECK(removed.ok()) << removed.status().message();
+      result.lock_wait_ms.push_back(removed.value().lock_wait_seconds * 1e3);
     }
     if (!live.empty() && rng.NextBelow(4) == 0) {
       const ExternalId id = live[rng.NextBelow(live.size())];
@@ -208,12 +183,69 @@ int Run(int argc, char** argv) {
           workload.dataset.record(rng.NextBelow(workload.dataset.num_records()));
       timer.Reset();
       StatusOr<EngineMutationResult> updated =
-          engine.Update(id, std::move(contents));
-      update_us.push_back(timer.ElapsedSeconds() * 1e6);
+          engine->Update(id, std::move(contents));
+      result.update_us.push_back(timer.ElapsedSeconds() * 1e6);
       ADALSH_CHECK(updated.ok()) << updated.status().message();
+      result.lock_wait_ms.push_back(updated.value().lock_wait_seconds * 1e3);
     }
   }
-  StatusOr<EngineMutationResult> flushed = engine.Flush();
+  return result;
+}
+
+struct DriveConfig {
+  size_t records;
+  size_t entities;
+  size_t max_batch;
+  int readers;
+  int writers;
+  int shards;  // 0 = resident engine
+  int threads;
+  int top_k;
+  uint64_t seed;
+  bool smoke;
+  std::string out;
+};
+
+// Runs the full load: reader threads polling, writer threads replaying
+// disjoint strided slices of the shuffled history, one final Flush, then the
+// JSON report. Works identically over ResidentEngine and ShardedEngine.
+template <typename Engine>
+int Drive(Engine* engine, const GeneratedDataset& workload,
+          const DriveConfig& cfg) {
+  std::atomic<bool> stop(false);
+  std::vector<ReaderResult> reader_results(static_cast<size_t>(cfg.readers));
+  std::vector<std::thread> reader_threads;
+  reader_threads.reserve(reader_results.size());
+  for (ReaderResult& slot : reader_results) {
+    reader_threads.emplace_back([engine, &cfg, &stop, &slot] {
+      slot = RunReader(*engine, cfg.top_k, stop);
+    });
+  }
+
+  Rng rng(DeriveSeed(cfg.seed, 0x0bde));
+  std::vector<size_t> order(workload.dataset.num_records());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(&order);
+  // Writer w replays the strided slice order[w], order[w + W], ...
+  std::vector<std::vector<size_t>> slices(static_cast<size_t>(cfg.writers));
+  for (size_t i = 0; i < order.size(); ++i) {
+    slices[i % slices.size()].push_back(order[i]);
+  }
+
+  std::vector<WriterResult> writer_results(static_cast<size_t>(cfg.writers));
+  std::vector<std::thread> writer_threads;
+  writer_threads.reserve(writer_results.size());
+  Timer wall;
+  for (int w = 0; w < cfg.writers; ++w) {
+    writer_threads.emplace_back([engine, &workload, &slices, &cfg,
+                                 &writer_results, w] {
+      writer_results[static_cast<size_t>(w)] =
+          RunWriter(engine, workload, slices[static_cast<size_t>(w)],
+                    cfg.max_batch, cfg.seed, w);
+    });
+  }
+  for (std::thread& t : writer_threads) t.join();
+  StatusOr<EngineMutationResult> flushed = engine->Flush();
   ADALSH_CHECK(flushed.ok()) << flushed.status().message();
   const double wall_seconds = wall.ElapsedSeconds();
 
@@ -229,8 +261,22 @@ int Run(int argc, char** argv) {
                       r.cluster_us.end());
     observations += r.observations;
   }
+  std::vector<double> ingest_us;
+  std::vector<double> remove_us;
+  std::vector<double> update_us;
+  std::vector<double> lock_wait_ms;
+  uint64_t interrupted = 0;
+  for (WriterResult& r : writer_results) {
+    ingest_us.insert(ingest_us.end(), r.ingest_us.begin(), r.ingest_us.end());
+    remove_us.insert(remove_us.end(), r.remove_us.begin(), r.remove_us.end());
+    update_us.insert(update_us.end(), r.update_us.begin(), r.update_us.end());
+    lock_wait_ms.insert(lock_wait_ms.end(), r.lock_wait_ms.begin(),
+                        r.lock_wait_ms.end());
+    interrupted += r.interrupted;
+  }
+  lock_wait_ms.push_back(flushed.value().lock_wait_seconds * 1e3);
 
-  const EngineCounters counters = engine.counters();
+  const EngineCounters counters = engine->counters();
   JsonWriter json;
   json.BeginObject()
       .Key("schema")
@@ -238,21 +284,25 @@ int Run(int argc, char** argv) {
       .Key("config")
       .BeginObject()
       .Key("records")
-      .Uint(records)
+      .Uint(cfg.records)
       .Key("entities")
-      .Uint(entities)
+      .Uint(cfg.entities)
       .Key("max_batch")
-      .Uint(max_batch)
+      .Uint(cfg.max_batch)
       .Key("readers")
-      .Int(readers)
+      .Int(cfg.readers)
+      .Key("writers")
+      .Int(cfg.writers)
+      .Key("shards")
+      .Int(cfg.shards)
       .Key("threads")
-      .Int(threads)
+      .Int(cfg.threads)
       .Key("k")
-      .Int(top_k)
+      .Int(cfg.top_k)
       .Key("seed")
-      .Uint(seed)
+      .Uint(cfg.seed)
       .Key("smoke")
-      .Bool(smoke)
+      .Bool(cfg.smoke)
       .EndObject()
       .Key("mutations")
       .BeginObject()
@@ -267,6 +317,10 @@ int Run(int argc, char** argv) {
   WriteLatency(&json, "ingest", Summarize(&ingest_us));
   WriteLatency(&json, "remove", Summarize(&remove_us));
   WriteLatency(&json, "update", Summarize(&update_us));
+  // Time each mutation spent queueing for the engine lock (summed across
+  // shard locks when sharded) — the contention the sharded engine exists to
+  // relieve.
+  WriteLatency(&json, "lock_wait", Summarize(&lock_wait_ms), "ms");
   json.EndObject().Key("queries").BeginObject().Key("observations").Uint(
       observations);
   WriteLatency(&json, "topk", Summarize(&topk_us));
@@ -279,7 +333,7 @@ int Run(int argc, char** argv) {
       .Key("live_records")
       .Uint(counters.live_records)
       .Key("clusters")
-      .Uint(engine.Snapshot()->clusters.size())
+      .Uint(engine->Snapshot()->clusters.size())
       .Key("total_hashes")
       .Uint(counters.total_hashes)
       .Key("total_similarities")
@@ -288,15 +342,64 @@ int Run(int argc, char** argv) {
       .EndObject();
 
   const std::string doc = json.TakeString();
-  if (out.empty()) {
+  if (cfg.out.empty()) {
     std::cout << doc << "\n";
   } else {
-    std::ofstream file(out);
-    ADALSH_CHECK(file.good()) << "cannot open --out file " + out;
+    std::ofstream file(cfg.out);
+    ADALSH_CHECK(file.good()) << "cannot open --out file " + cfg.out;
     file << doc << "\n";
-    std::cerr << "engine_load_gen: wrote " << out << "\n";
+    std::cerr << "engine_load_gen: wrote " << cfg.out << "\n";
   }
   return 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  DriveConfig cfg;
+  cfg.smoke = flags.GetBool("smoke", false);
+  cfg.records =
+      static_cast<size_t>(flags.GetInt("records", cfg.smoke ? 60 : 800));
+  cfg.entities =
+      static_cast<size_t>(flags.GetInt("entities", cfg.smoke ? 12 : 120));
+  cfg.max_batch =
+      static_cast<size_t>(flags.GetInt("batch", cfg.smoke ? 8 : 32));
+  cfg.readers = static_cast<int>(flags.GetInt("readers", 2));
+  cfg.writers = static_cast<int>(flags.GetInt("writers", 1));
+  cfg.shards = static_cast<int>(flags.GetInt("shards", 0));
+  cfg.threads = static_cast<int>(flags.GetInt("threads", 0));
+  cfg.top_k = static_cast<int>(flags.GetInt("k", 10));
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  cfg.out = flags.GetString("out", "");
+  flags.CheckNoUnusedFlags();
+  ADALSH_CHECK(cfg.records > 0 && cfg.max_batch > 0 && cfg.readers >= 0) <<
+               "need --records > 0, --batch > 0, --readers >= 0";
+  ADALSH_CHECK(cfg.writers >= 1) << "need --writers >= 1";
+  ADALSH_CHECK(cfg.shards >= 0) << "need --shards >= 0";
+
+  CoraLikeConfig data_config;
+  data_config.num_records = cfg.records;
+  data_config.num_entities = cfg.entities;
+  data_config.seed = DeriveSeed(cfg.seed, 0xda7a);
+  GeneratedDataset workload = GenerateCoraLike(data_config);
+
+  ResidentEngine::Options options;
+  options.config.seed = 3;
+  options.config.threads = cfg.threads;
+  options.config.sequence.max_budget = 640;
+  options.top_k = cfg.top_k;
+  // Pinned unit costs: load-gen runs must be comparable run-over-run, so the
+  // jump-to-P point cannot depend on wall-clock calibration noise.
+  options.cost_model = CostModel(1e-8, 1e-6);
+
+  if (cfg.shards > 0) {
+    ShardedEngine::Options sharded_options;
+    sharded_options.engine = options;
+    sharded_options.shards = cfg.shards;
+    ShardedEngine engine(workload.rule, sharded_options);
+    return Drive(&engine, workload, cfg);
+  }
+  ResidentEngine engine(workload.rule, options);
+  return Drive(&engine, workload, cfg);
 }
 
 }  // namespace

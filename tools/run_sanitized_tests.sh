@@ -27,6 +27,12 @@
 #
 #   tools/run_sanitized_tests.sh thread -R 'resident_engine|engine_equivalence'
 #
+# docs/sharding.md requires the TSan run for any change to the sharded
+# executor or the cross-shard merge (shard locks are taken in bulk at Flush
+# while per-shard mutations and global queries proceed concurrently):
+#
+#   tools/run_sanitized_tests.sh thread -R 'shard_equivalence|shard_parity'
+#
 # docs/simd.md requires the address and undefined runs for any change to the
 # vector kernels (util/simd_kernels.cc) or the SoA layouts feeding them
 # (FeatureCache, RandomHyperplaneFamily): after the main ctest pass (which
