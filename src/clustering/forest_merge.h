@@ -22,11 +22,23 @@ namespace adalsh {
 /// order-invariant and snapshots sort members), but preserving it keeps the
 /// walk single-pass and allocation-ordered.
 ///
+/// Accumulated graft accounting, filled by GraftTree when a stats sink is
+/// passed: how many trees were transplanted and how many leaves they carried.
+/// The merge pass surfaces these per Flush in the telemetry plane
+/// (docs/observability.md) — graft volume is the cross-shard merge's unit of
+/// work, the way hashes/similarities are the refine loop's.
+struct GraftStats {
+  uint64_t trees = 0;
+  uint64_t leaves = 0;
+};
+
 /// If `leaf_of` is non-null, `(*leaf_of)[remap[r]]` receives the new leaf's
-/// node id for every grafted record r. Returns the new root.
+/// node id for every grafted record r. If `stats` is non-null, the graft is
+/// added to it (trees += 1, leaves += leaf count). Returns the new root.
 NodeId GraftTree(const ParentPointerForest& src, NodeId src_root,
                  ParentPointerForest* dst, const std::vector<RecordId>& remap,
-                 std::vector<NodeId>* leaf_of = nullptr);
+                 std::vector<NodeId>* leaf_of = nullptr,
+                 GraftStats* stats = nullptr);
 
 /// Merges the trees rooted at `roots` (all in `forest`, at least one) into a
 /// single tree by folding left-to-right in the given order, then stamps the

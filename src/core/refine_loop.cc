@@ -156,6 +156,16 @@ TerminationReason RunRefineLoop(const RefineLoopDeps& deps, int k,
       instr.metrics->RecordValue("round_cluster_size",
                                  static_cast<double>(round.cluster_size));
       instr.metrics->RecordValue("round_wall_seconds", round.wall_seconds);
+      // Exact-tail view of the same data: `round_seconds` (histogram) next
+      // to `round_wall_seconds` (mean/stddev), split by the action taken.
+      instr.metrics->RecordLatency("round_seconds", round.wall_seconds);
+      if (round.action == RoundAction::kPairwise) {
+        instr.metrics->RecordLatency("round_pairwise_seconds",
+                                     round.pairwise_seconds);
+      } else {
+        instr.metrics->RecordLatency("round_hash_seconds",
+                                     round.hash_seconds);
+      }
     }
     stats->round_records.push_back(round);
     if (instr.observer != nullptr) {

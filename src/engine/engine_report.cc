@@ -9,11 +9,45 @@
 namespace adalsh {
 namespace {
 
+void AppendCounters(const EngineCounters& counters, JsonWriter* out) {
+  out->BeginObject()
+      .Key("batches")
+      .Uint(counters.batches)
+      .Key("ingested")
+      .Uint(counters.ingested)
+      .Key("removed")
+      .Uint(counters.removed)
+      .Key("updated")
+      .Uint(counters.updated)
+      .Key("arrivals_merged")
+      .Uint(counters.arrivals_merged)
+      .Key("refinements_completed")
+      .Uint(counters.refinements_completed)
+      .Key("refinements_interrupted")
+      .Uint(counters.refinements_interrupted)
+      .Key("generation")
+      .Uint(counters.generation)
+      .Key("live_records")
+      .Uint(counters.live_records)
+      .Key("internal_records")
+      .Uint(counters.internal_records)
+      .Key("level1_buckets")
+      .Uint(counters.level1_buckets)
+      .Key("snapshot_lag_batches")
+      .Uint(counters.snapshot_lag_batches)
+      .Key("total_hashes")
+      .Uint(counters.total_hashes)
+      .Key("total_similarities")
+      .Uint(counters.total_similarities)
+      .EndObject();
+}
+
 /// Shared body for both engine shapes: they expose the same
 /// Snapshot()/counters()/top_k() surface, and the schema is identical except
-/// for the sharded engine's extra "shards" key.
+/// for the sharded engine's extra "shards" key and "per_shard" breakdown.
 template <typename Engine>
 std::string WriteReport(const Engine& engine, int shards,
+                        const std::vector<EngineCounters>* per_shard,
                         const MetricsSnapshot* metrics) {
   const std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
   const EngineCounters counters = engine.counters();
@@ -37,33 +71,20 @@ std::string WriteReport(const Engine& engine, int shards,
       .String(SimdLevelName(simd::ActiveMinHashLevel()))
       .EndObject();
 
-  json.Key("counters")
-      .BeginObject()
-      .Key("batches")
-      .Uint(counters.batches)
-      .Key("ingested")
-      .Uint(counters.ingested)
-      .Key("removed")
-      .Uint(counters.removed)
-      .Key("updated")
-      .Uint(counters.updated)
-      .Key("arrivals_merged")
-      .Uint(counters.arrivals_merged)
-      .Key("refinements_completed")
-      .Uint(counters.refinements_completed)
-      .Key("refinements_interrupted")
-      .Uint(counters.refinements_interrupted)
-      .Key("generation")
-      .Uint(counters.generation)
-      .Key("live_records")
-      .Uint(counters.live_records)
-      .Key("internal_records")
-      .Uint(counters.internal_records)
-      .Key("total_hashes")
-      .Uint(counters.total_hashes)
-      .Key("total_similarities")
-      .Uint(counters.total_similarities)
-      .EndObject();
+  json.Key("counters");
+  AppendCounters(counters, &json);
+
+  // Per-shard balance breakdown (sharded engine only): records, bucket
+  // load and work counters per shard, in shard order.
+  if (per_shard != nullptr && !per_shard->empty()) {
+    json.Key("per_shard").BeginArray();
+    for (size_t s = 0; s < per_shard->size(); ++s) {
+      json.BeginObject().Key("shard").Uint(s).Key("counters");
+      AppendCounters((*per_shard)[s], &json);
+      json.EndObject();
+    }
+    json.EndArray();
+  }
 
   json.Key("snapshot")
       .BeginObject()
@@ -95,12 +116,13 @@ std::string WriteReport(const Engine& engine, int shards,
 
 std::string WriteEngineReportJson(const ResidentEngine& engine,
                                   const MetricsSnapshot* metrics) {
-  return WriteReport(engine, /*shards=*/0, metrics);
+  return WriteReport(engine, /*shards=*/0, /*per_shard=*/nullptr, metrics);
 }
 
 std::string WriteEngineReportJson(const ShardedEngine& engine,
                                   const MetricsSnapshot* metrics) {
-  return WriteReport(engine, engine.shards(), metrics);
+  const std::vector<EngineCounters> per_shard = engine.shard_counters();
+  return WriteReport(engine, engine.shards(), &per_shard, metrics);
 }
 
 }  // namespace adalsh

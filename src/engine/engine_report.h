@@ -23,8 +23,10 @@ std::string WriteEngineReportJson(const ResidentEngine& engine,
                                   const MetricsSnapshot* metrics = nullptr);
 
 /// Same schema for a sharded engine (docs/sharding.md): counters are the
-/// cross-shard sums, the snapshot is the last globally-merged one, and a
-/// "shards" key records the partition width.
+/// cross-shard sums, the snapshot is the last globally-merged one, a
+/// "shards" key records the partition width, and a "per_shard" array breaks
+/// the counters down per shard (records, bucket load, refinement outcomes —
+/// the shard-imbalance view of the telemetry plane).
 std::string WriteEngineReportJson(const ShardedEngine& engine,
                                   const MetricsSnapshot* metrics = nullptr);
 

@@ -96,10 +96,8 @@ StatusOr<EngineMutationResult> ResidentEngine::Ingest(
   std::vector<ExternalId> ids;
   ids.reserve(records.size());
   for (size_t i = 0; i < records.size(); ++i) ids.push_back(next_ext_id_++);
-  EngineMutationResult result =
-      ApplyBatch(std::move(records), std::move(ids), {}, eff);
-  result.lock_wait_seconds = lock_wait;
-  return result;
+  return ApplyBatch("ingest", lock_wait, std::move(records), std::move(ids),
+                    {}, eff);
 }
 
 StatusOr<EngineMutationResult> ResidentEngine::IngestWithIds(
@@ -133,10 +131,8 @@ StatusOr<EngineMutationResult> ResidentEngine::IngestWithIds(
   Status valid = ValidateIngestLocked(records);
   if (!valid.ok()) return valid;
   if (!ids.empty()) next_ext_id_ = std::max(next_ext_id_, ids.back() + 1);
-  EngineMutationResult result =
-      ApplyBatch(std::move(records), std::move(ids), {}, eff);
-  result.lock_wait_seconds = lock_wait;
-  return result;
+  return ApplyBatch("ingest", lock_wait, std::move(records), std::move(ids),
+                    {}, eff);
 }
 
 Status ResidentEngine::ValidateIngestLocked(
@@ -183,9 +179,7 @@ StatusOr<EngineMutationResult> ResidentEngine::Remove(
     }
     ints.push_back(it->second);
   }
-  EngineMutationResult result = ApplyBatch({}, {}, ints, eff);
-  result.lock_wait_seconds = lock_wait;
-  return result;
+  return ApplyBatch("remove", lock_wait, {}, {}, ints, eff);
 }
 
 StatusOr<EngineMutationResult> ResidentEngine::Update(
@@ -207,10 +201,8 @@ StatusOr<EngineMutationResult> ResidentEngine::Update(
   std::vector<Record> adds;
   adds.push_back(std::move(record));
   ++counters_.updated;
-  EngineMutationResult result =
-      ApplyBatch(std::move(adds), {id}, {it->second}, eff);
-  result.lock_wait_seconds = lock_wait;
-  return result;
+  return ApplyBatch("update", lock_wait, std::move(adds), {id}, {it->second},
+                    eff);
 }
 
 StatusOr<EngineMutationResult> ResidentEngine::Flush(
@@ -222,19 +214,21 @@ StatusOr<EngineMutationResult> ResidentEngine::Flush(
   if (eff.controller != nullptr && eff.controller->cancel_requested()) {
     return CancelledStatus("Flush");
   }
-  EngineMutationResult result = ApplyBatch({}, {}, {}, eff);
-  result.lock_wait_seconds = lock_wait;
-  return result;
+  return ApplyBatch("flush", lock_wait, {}, {}, {}, eff);
 }
 
 EngineMutationResult ResidentEngine::ApplyBatch(
-    std::vector<Record> adds, std::vector<ExternalId> add_ext_ids,
+    const char* op, double lock_wait_seconds, std::vector<Record> adds,
+    std::vector<ExternalId> add_ext_ids,
     const std::vector<RecordId>& removed_ints,
     const EngineBatchOptions& opts) {
   const Instrumentation& instr = options_.config.instrumentation;
+  Timer batch_timer;
+  const double cpu_start = Timer::ThreadCpuSeconds();
   TraceRecorder::Span span(instr.trace, "engine_batch", "engine");
   span.AddArg("adds", static_cast<double>(adds.size()));
   span.AddArg("removes", static_cast<double>(removed_ints.size()));
+  span.AddArg("lock_wait_ms", lock_wait_seconds * 1e3);
   ++counters_.batches;
 
   if (!removed_ints.empty()) {
@@ -263,9 +257,12 @@ EngineMutationResult ResidentEngine::ApplyBatch(
 
   EngineMutationResult result;
   result.assigned_ids = std::move(add_ext_ids);
+  double refine_seconds = 0.0;
   if (initialized_) {
+    Timer refine_timer;
     std::vector<NodeId> finals;
     result.refinement = RefineLocked(opts, &finals, &result.stats);
+    refine_seconds = refine_timer.ElapsedSeconds();
     if (result.refinement == TerminationReason::kCompleted) {
       ++counters_.refinements_completed;
       PublishLocked(finals, result.stats);
@@ -274,14 +271,36 @@ EngineMutationResult ResidentEngine::ApplyBatch(
     }
   }
   result.generation = generation_;
+  result.lock_wait_seconds = lock_wait_seconds;
+  counters_.snapshot_lag_batches = counters_.batches - batches_at_publish_;
   if (instr.metrics != nullptr) {
     instr.metrics->AddCounter("engine_batches", 1);
     instr.metrics->AddCounter("engine_records_ingested", adds.size());
     instr.metrics->AddCounter("engine_records_removed", removed_ints.size());
+    instr.metrics->AddCounter(std::string("engine_op_") + op, 1);
+    instr.metrics->AddCounter(
+        result.refinement == TerminationReason::kCompleted
+            ? "engine_refinements_completed"
+            : "engine_refinements_interrupted",
+        1);
     instr.metrics->SetGauge("engine_generation",
                             static_cast<double>(generation_));
     instr.metrics->SetGauge("engine_live_records",
                             static_cast<double>(int_of_.size()));
+    instr.metrics->SetGauge(
+        "engine_snapshot_lag_batches",
+        static_cast<double>(counters_.snapshot_lag_batches));
+    const double wall = batch_timer.ElapsedSeconds();
+    const double cpu = Timer::ThreadCpuSeconds() - cpu_start;
+    instr.metrics->RecordLatency("engine_batch_wall_seconds", wall);
+    instr.metrics->RecordLatency(
+        std::string("engine_") + op + "_wall_seconds", wall);
+    instr.metrics->RecordLatency("engine_batch_cpu_seconds", cpu);
+    instr.metrics->RecordLatency("engine_lock_wait_seconds",
+                                 lock_wait_seconds);
+    if (initialized_) {
+      instr.metrics->RecordLatency("engine_refine_seconds", refine_seconds);
+    }
   }
   return result;
 }
@@ -562,6 +581,7 @@ void ResidentEngine::PublishLocked(const std::vector<NodeId>& finals,
   }
   snap->stats = std::move(stats);
   counters_.generation = generation_;
+  batches_at_publish_ = counters_.batches;
   const Instrumentation& instr = options_.config.instrumentation;
   if (instr.metrics != nullptr) {
     instr.metrics->AddCounter("engine_snapshots_published", 1);
@@ -608,6 +628,7 @@ EngineCounters ResidentEngine::counters() const {
   counters.generation = generation_;
   counters.live_records = int_of_.size();
   counters.internal_records = dataset_.num_records();
+  for (const auto& table : buckets_) counters.level1_buckets += table.size();
   if (initialized_) {
     counters.total_hashes = engine_->total_hashes_computed();
     counters.total_similarities = pairwise_->total_similarities();

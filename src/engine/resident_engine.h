@@ -105,6 +105,12 @@ struct EngineCounters {
   uint64_t generation = 0;
   size_t live_records = 0;
   size_t internal_records = 0;  // dataset rows ever allocated
+  /// Distinct level-1 bucket keys currently held across all tables — the
+  /// load-balance signal for the sharded engine's per-shard breakdown.
+  size_t level1_buckets = 0;
+  /// Mutations applied since the last published snapshot (0 = the snapshot
+  /// is current): the generation lag an SLO-interrupted tail builds up.
+  uint64_t snapshot_lag_batches = 0;
   uint64_t total_hashes = 0;
   uint64_t total_similarities = 0;
 };
@@ -235,8 +241,12 @@ class ResidentEngine {
 
   /// One serialized mutation: validation has already passed. Applies
   /// removals (dismantle + rebuild), appends `adds` (arrival merges), then
-  /// refines and publishes on completion.
-  EngineMutationResult ApplyBatch(std::vector<Record> adds,
+  /// refines and publishes on completion. `op` names the public entry point
+  /// ("ingest"/"remove"/"update"/"flush") for the per-op latency histograms;
+  /// `lock_wait_seconds` is the time the caller spent acquiring mu_ and is
+  /// both recorded and copied into the result.
+  EngineMutationResult ApplyBatch(const char* op, double lock_wait_seconds,
+                                  std::vector<Record> adds,
                                   std::vector<ExternalId> add_ext_ids,
                                   const std::vector<RecordId>& removed_ints,
                                   const EngineBatchOptions& opts);
@@ -321,6 +331,10 @@ class ResidentEngine {
   ExternalId next_ext_id_ = 0;
 
   EngineCounters counters_;
+
+  /// counters_.batches at the moment of the last PublishLocked; the
+  /// difference to counters_.batches is the snapshot generation lag.
+  uint64_t batches_at_publish_ = 0;
 
   /// Serializes mutations. Queries never take it.
   mutable std::mutex mu_;

@@ -105,6 +105,15 @@ EngineSnapshot MergeShardStatesLocked(
   TraceRecorder::Span span(instr.trace, "shard_merge", "engine");
   EngineSnapshot snap;
 
+  // Phase accounting: gather (steps 1-3: collect records, adopt hashes,
+  // global level-1 union-find), graft (steps 4-5: transplant shard trees,
+  // collapse cross-shard components), refine (step 6: the global loop).
+  // Spans live in optionals so each closes exactly at its phase boundary
+  // without restructuring the step-numbered flow below.
+  std::optional<TraceRecorder::Span> phase_span;
+  Timer phase_timer;
+  phase_span.emplace(instr.trace, "merge_gather", "engine");
+
   // 1. Gather every live record: (external id, owning shard, shard-local
   // internal id, last function applied).
   struct Src {
@@ -177,6 +186,11 @@ EngineSnapshot MergeShardStatesLocked(
       if (a != b) uf[std::max(a, b)] = std::min(a, b);
     }
   }
+  const double gather_seconds = phase_timer.ElapsedSeconds();
+  phase_span.reset();
+  phase_span.emplace(instr.trace, "merge_graft", "engine");
+  Timer graft_timer;
+  GraftStats graft_stats;
 
   // 4. Graft every shard tree into the global forest in canonical order
   // (ascending shard, ascending shard-local record id), grouping the
@@ -213,8 +227,8 @@ EngineSnapshot MergeShardStatesLocked(
       if (!live[r]) continue;
       const NodeId shard_root = shard_forest.FindRoot(shard_leaf_of[r]);
       if (!seen.insert(shard_root).second) continue;
-      const NodeId grafted =
-          GraftTree(shard_forest, shard_root, &forest, remap[s], &leaf_of);
+      const NodeId grafted = GraftTree(shard_forest, shard_root, &forest,
+                                       remap[s], &leaf_of, &graft_stats);
       // A tree never spans level-1 components, so any leaf names the
       // component; `r` is one of its leaves.
       const RecordId comp = find(remap[s][r]);
@@ -246,10 +260,18 @@ EngineSnapshot MergeShardStatesLocked(
   span.AddArg("records", static_cast<double>(n));
   span.AddArg("components", static_cast<double>(component_order.size()));
   span.AddArg("cross_shard_components", static_cast<double>(reopened));
+  span.AddArg("grafted_trees", static_cast<double>(graft_stats.trees));
   if (instr.metrics != nullptr) {
     instr.metrics->AddCounter("shard_merges", 1);
     instr.metrics->AddCounter("shard_merge_cross_components", reopened);
+    instr.metrics->AddCounter("shard_merge_grafted_trees", graft_stats.trees);
+    instr.metrics->AddCounter("shard_merge_grafted_leaves",
+                              graft_stats.leaves);
   }
+  const double graft_seconds = graft_timer.ElapsedSeconds();
+  phase_span.reset();
+  phase_span.emplace(instr.trace, "merge_refine", "engine");
+  Timer refine_timer;
 
   // 6. Continue the canonical refinement loop to the global top-k, over
   // merge-local hasher/pairwise arenas (the tiled PairwiseComputer sweeps
@@ -282,6 +304,13 @@ EngineSnapshot MergeShardStatesLocked(
     }
   }
   ReportTermination(instr, stats, finals.size());
+  const double refine_seconds = refine_timer.ElapsedSeconds();
+  phase_span.reset();
+  if (instr.metrics != nullptr) {
+    instr.metrics->RecordLatency("shard_merge_gather_seconds", gather_seconds);
+    instr.metrics->RecordLatency("shard_merge_graft_seconds", graft_seconds);
+    instr.metrics->RecordLatency("shard_merge_refine_seconds", refine_seconds);
+  }
 
   // 7. Canonical snapshot, exactly as ResidentEngine publishes one.
   snap.clusters.reserve(finals.size());
@@ -534,6 +563,8 @@ StatusOr<EngineMutationResult> ShardedEngine::Update(
 
 StatusOr<EngineMutationResult> ShardedEngine::Flush(
     const EngineBatchOptions& opts) {
+  const Instrumentation& instr = options_.engine.config.instrumentation;
+  Timer flush_timer;
   std::lock_guard<std::mutex> flush_lock(flush_mu_);
   EngineMutationResult result;
   if (shards_.empty()) {
@@ -564,9 +595,27 @@ StatusOr<EngineMutationResult> ShardedEngine::Flush(
   result.lock_wait_seconds += wait_timer.ElapsedSeconds();
   const int total_threads = options_.engine.config.threads;
   ScopedThreadPool merge_pool(total_threads);
+  Timer merge_timer;
   EngineSnapshot merged = MergeShardStatesLocked(
       rule_, options_.engine, *shared_cost_model_, shards_, merge_pool.get());
+  const double merge_seconds = merge_timer.ElapsedSeconds();
   shard_locks.clear();
+
+  // Per-shard balance gauges, read after the merge released the shard locks
+  // (counters() takes each shard's mutation lock itself).
+  if (instr.metrics != nullptr) {
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      const EngineCounters c = shards_[s]->counters();
+      const std::string prefix = "shard" + std::to_string(s);
+      instr.metrics->SetGauge(prefix + "_live_records",
+                              static_cast<double>(c.live_records));
+      instr.metrics->SetGauge(prefix + "_level1_buckets",
+                              static_cast<double>(c.level1_buckets));
+    }
+    instr.metrics->RecordLatency("shard_merge_seconds", merge_seconds);
+    instr.metrics->RecordLatency("shard_flush_seconds",
+                                 flush_timer.ElapsedSeconds());
+  }
 
   result.stats = merged.stats;
   auto snap = std::make_shared<EngineSnapshot>(std::move(merged));
@@ -615,6 +664,8 @@ EngineCounters ShardedEngine::counters() const {
     total.refinements_completed += c.refinements_completed;
     total.refinements_interrupted += c.refinements_interrupted;
     total.internal_records += c.internal_records;
+    total.level1_buckets += c.level1_buckets;
+    total.snapshot_lag_batches += c.snapshot_lag_batches;
     total.total_hashes += c.total_hashes;
     total.total_similarities += c.total_similarities;
   }
@@ -622,6 +673,15 @@ EngineCounters ShardedEngine::counters() const {
   total.generation = generation_;
   total.live_records = snapshot_->live_records;
   return total;
+}
+
+std::vector<EngineCounters> ShardedEngine::shard_counters() const {
+  std::vector<EngineCounters> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const std::unique_ptr<ResidentEngine>& shard : shards_) {
+    per_shard.push_back(shard->counters());
+  }
+  return per_shard;
 }
 
 StatusOr<EngineSnapshot> RunShardedBatch(

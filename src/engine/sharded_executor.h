@@ -112,6 +112,12 @@ class ShardedEngine {
   /// `live_records` describe the merged snapshot.
   EngineCounters counters() const;
 
+  /// One EngineCounters per shard, in shard order (empty before the first
+  /// ingest) — the per-shard breakdown of the engine report: record/bucket
+  /// balance, refinement outcomes and hash/pairwise work per shard. Takes
+  /// each shard's mutation lock briefly, like counters().
+  std::vector<EngineCounters> shard_counters() const;
+
   int shards() const { return options_.shards; }
   int top_k() const { return options_.engine.top_k; }
 

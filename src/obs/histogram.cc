@@ -1,0 +1,116 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace adalsh {
+namespace {
+
+// Rounds to three significant digits by printing through %.2e and parsing
+// back, so the ladder is bit-identical on every platform (no dependence on
+// how libm pow() rounds the last ulp).
+double RoundTo3SigDigits(double x) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2e", x);
+  return std::strtod(buf, nullptr);
+}
+
+std::vector<double> BuildDefaultBoundaries() {
+  // Five log-spaced buckets per decade from 1us to 1000s inclusive:
+  // 10^(-6 + i/5) for i = 0..45.
+  std::vector<double> boundaries;
+  boundaries.reserve(46);
+  for (int i = 0; i <= 45; ++i) {
+    boundaries.push_back(RoundTo3SigDigits(std::pow(10.0, -6.0 + i / 5.0)));
+  }
+  return boundaries;
+}
+
+}  // namespace
+
+const std::vector<double>& LatencyHistogram::DefaultBoundaries() {
+  static const std::vector<double>* kBoundaries =
+      new std::vector<double>(BuildDefaultBoundaries());
+  return *kBoundaries;
+}
+
+LatencyHistogram::LatencyHistogram() : boundaries_(&DefaultBoundaries()) {
+  counts_.assign(boundaries_->size() + 1, 0);
+}
+
+LatencyHistogram::LatencyHistogram(std::vector<double> boundaries)
+    : boundaries_(nullptr), owned_boundaries_(std::move(boundaries)) {
+  ADALSH_CHECK(!owned_boundaries_.empty()) << "histogram needs >= 1 boundary";
+  for (size_t i = 1; i < owned_boundaries_.size(); ++i) {
+    ADALSH_CHECK(owned_boundaries_[i - 1] < owned_boundaries_[i])
+        << "histogram boundaries must be strictly increasing";
+  }
+  boundaries_ = &owned_boundaries_;
+  counts_.assign(owned_boundaries_.size() + 1, 0);
+}
+
+void LatencyHistogram::Add(double value) {
+  const std::vector<double>& bounds = *boundaries_;
+  // First bucket whose upper boundary is >= value (`le` semantics); values
+  // beyond the last boundary fall through to the +Inf bucket at the end.
+  const size_t bucket =
+      std::lower_bound(bounds.begin(), bounds.end(), value) - bounds.begin();
+  ++counts_[bucket];
+  sum_ += value;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+}
+
+void LatencyHistogram::Merge(const LatencyHistogram& other) {
+  ADALSH_CHECK(SameBoundaries(other))
+      << "Merge() across histograms with different boundary ladders";
+  if (other.count_ == 0) return;
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  sum_ += other.sum_;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::Percentile(double p) const {
+  if (count_ == 0) return 0.0;
+  p = std::min(100.0, std::max(0.0, p));
+  // Nearest-rank with interpolation: target the k-th smallest sample where
+  // k = ceil(p/100 * count), clamped to [1, count].
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(p / 100.0 * count_)));
+  const std::vector<double>& bounds = *boundaries_;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    const uint64_t before = cumulative;
+    cumulative += counts_[i];
+    if (cumulative < rank) continue;
+    // The rank lands in bucket i: interpolate across the bucket's value
+    // range by the rank's position inside the bucket, then clamp to the
+    // observed extremes so a single-sample tail reports the true value.
+    const double lo = (i == 0) ? std::min(min_, bounds[0]) : bounds[i - 1];
+    const double hi = (i < bounds.size()) ? bounds[i] : max_;
+    const double fraction =
+        static_cast<double>(rank - before) / static_cast<double>(counts_[i]);
+    const double value = lo + (hi - lo) * fraction;
+    return std::min(max_, std::max(min_, value));
+  }
+  return max_;
+}
+
+}  // namespace adalsh

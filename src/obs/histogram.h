@@ -1,0 +1,85 @@
+#ifndef ADALSH_OBS_HISTOGRAM_H_
+#define ADALSH_OBS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace adalsh {
+
+/// Exact fixed-boundary histogram for latency-style distributions
+/// (docs/observability.md). Buckets are defined by an ascending list of
+/// upper boundaries with Prometheus `le` semantics: a value lands in the
+/// first bucket whose boundary is >= the value; values above the last
+/// boundary land in the implicit +Inf overflow bucket, so there are
+/// `boundaries().size() + 1` buckets in total.
+///
+/// Everything the histogram reports is exact and deterministic: bucket
+/// counts are integral, Merge() sums them bucket-for-bucket (two histograms
+/// built from the same multiset of samples are identical regardless of how
+/// the samples were split across threads or shards), and Percentile() is a
+/// pure function of the merged counts — tail quantiles (p99, p99.9) are
+/// resolved to bucket resolution with linear interpolation inside the
+/// bucket, clamped to the observed min/max. This is what the RunningStats
+/// distributions cannot do: mean/stddev say nothing about the tail, and the
+/// tail is the per-mutation SLO signal the resident engine serves under.
+///
+/// Not thread-safe; MetricsRegistry shards instances per thread exactly like
+/// its counters and merges them on Snapshot().
+class LatencyHistogram {
+ public:
+  /// The default boundary ladder used by every registry histogram:
+  /// log-spaced, five buckets per decade, covering 1 microsecond to 1000
+  /// seconds (46 boundaries, 47 buckets). Each boundary is rounded to three
+  /// significant digits so exported values are stable, human-readable
+  /// literals (1e-06, 1.58e-06, 2.51e-06, ..., 1000).
+  static const std::vector<double>& DefaultBoundaries();
+
+  /// Default-boundary histogram (the registry's configuration).
+  LatencyHistogram();
+
+  /// Custom boundaries: must be non-empty and strictly increasing.
+  explicit LatencyHistogram(std::vector<double> boundaries);
+
+  void Add(double value);
+
+  /// Folds `other` in bucket-for-bucket. Both histograms must share the
+  /// identical boundary ladder (CHECK).
+  void Merge(const LatencyHistogram& other);
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const { return min_; }
+  double max() const { return max_; }
+  const std::vector<double>& boundaries() const { return *boundaries_; }
+  /// Per-bucket (non-cumulative) counts; size() == boundaries().size() + 1,
+  /// the last entry being the +Inf overflow bucket.
+  const std::vector<uint64_t>& bucket_counts() const { return counts_; }
+
+  /// The p-th percentile (0..100) of the recorded values, exact to bucket
+  /// resolution: the rank's bucket is found by exact cumulative counts, and
+  /// the value is linearly interpolated across that bucket's range, clamped
+  /// to the observed min/max. 0 when empty. Deterministic: depends only on
+  /// the merged bucket counts and min/max, never on insertion order.
+  double Percentile(double p) const;
+
+  bool SameBoundaries(const LatencyHistogram& other) const {
+    return boundaries_ == other.boundaries_ ||
+           *boundaries_ == *other.boundaries_;
+  }
+
+ private:
+  /// Boundary ladders are shared immutable vectors (all default-boundary
+  /// histograms point at one static ladder), so copying a histogram across
+  /// the registry snapshot path never reallocates them.
+  const std::vector<double>* boundaries_;
+  std::vector<double> owned_boundaries_;  // only for custom ladders
+  std::vector<uint64_t> counts_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_HISTOGRAM_H_

@@ -51,6 +51,12 @@ void MetricsRegistry::RecordValue(std::string_view name, double value) {
   shard->distributions[std::string(name)].Add(value);
 }
 
+void MetricsRegistry::RecordLatency(std::string_view name, double seconds) {
+  Shard* shard = LocalShard();
+  std::unique_lock<std::mutex> lock(shard->mu);
+  shard->histograms[std::string(name)].Add(seconds);
+}
+
 MetricsSnapshot MetricsRegistry::Snapshot() const {
   MetricsSnapshot snapshot;
   // Copy the shard pointer list under the central lock, then read each
@@ -71,6 +77,9 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     for (const auto& [name, stats] : shard->distributions) {
       snapshot.distributions[name].Merge(stats);
+    }
+    for (const auto& [name, histogram] : shard->histograms) {
+      snapshot.histograms[name].Merge(histogram);
     }
   }
   return snapshot;

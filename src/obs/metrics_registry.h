@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/histogram.h"
 #include "util/stats.h"
 
 namespace adalsh {
@@ -21,6 +22,9 @@ struct MetricsSnapshot {
   std::map<std::string, double> gauges;
   /// Value distributions (RunningStats merged across shards).
   std::map<std::string, RunningStats> distributions;
+  /// Fixed-boundary latency histograms (exact bucket counts merged across
+  /// shards; see LatencyHistogram for the determinism contract).
+  std::map<std::string, LatencyHistogram> histograms;
 };
 
 /// Registry of named counters, gauges and value distributions shared by the
@@ -56,6 +60,13 @@ class MetricsRegistry {
   /// stddev, min, max).
   void RecordValue(std::string_view name, double value);
 
+  /// Folds `seconds` into the named fixed-boundary latency histogram
+  /// (LatencyHistogram with the default log-spaced ladder). Exact counts:
+  /// the merged Snapshot() histogram's count equals the number of
+  /// RecordLatency calls that happened-before the snapshot, regardless of
+  /// how those calls were spread across threads.
+  void RecordLatency(std::string_view name, double seconds);
+
   /// Aggregates all shards. Safe to call concurrently with updates; the
   /// result includes every update that completed before the call.
   MetricsSnapshot Snapshot() const;
@@ -65,6 +76,7 @@ class MetricsRegistry {
     std::mutex mu;
     std::unordered_map<std::string, uint64_t> counters;
     std::unordered_map<std::string, RunningStats> distributions;
+    std::unordered_map<std::string, LatencyHistogram> histograms;
   };
 
   /// The calling thread's shard, created on first use and cached in a

@@ -1,0 +1,97 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+
+namespace adalsh {
+namespace {
+
+std::string Sanitize(const std::string& name) {
+  std::string out = "adalsh_";
+  for (char c : name) {
+    const bool ok = std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+                    c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+void AppendFamily(const std::string& name, const char* type,
+                  std::string* out) {
+  out->append("# TYPE ").append(name).append(" ").append(type).append("\n");
+}
+
+void AppendSample(const std::string& name, double value, std::string* out) {
+  out->append(name).append(" ").append(FormatDouble(value)).append("\n");
+}
+
+void AppendSample(const std::string& name, uint64_t value, std::string* out) {
+  out->append(name).append(" ").append(std::to_string(value)).append("\n");
+}
+
+}  // namespace
+
+std::string WritePrometheusText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    const std::string family = Sanitize(name);
+    AppendFamily(family, "counter", &out);
+    AppendSample(family, value, &out);
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    const std::string family = Sanitize(name);
+    AppendFamily(family, "gauge", &out);
+    AppendSample(family, value, &out);
+  }
+  // RunningStats carry no buckets, so they export as a flat gauge group
+  // rather than a native summary (no quantile series to offer).
+  for (const auto& [name, stats] : snapshot.distributions) {
+    const std::string family = Sanitize(name);
+    AppendFamily(family + "_count", "gauge", &out);
+    AppendSample(family + "_count", stats.count(), &out);
+    AppendFamily(family + "_sum", "gauge", &out);
+    AppendSample(family + "_sum", stats.mean() * stats.count(), &out);
+    AppendFamily(family + "_min", "gauge", &out);
+    AppendSample(family + "_min", stats.min(), &out);
+    AppendFamily(family + "_max", "gauge", &out);
+    AppendSample(family + "_max", stats.max(), &out);
+  }
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    const std::string family = Sanitize(name);
+    AppendFamily(family, "histogram", &out);
+    const std::vector<double>& bounds = histogram.boundaries();
+    const std::vector<uint64_t>& counts = histogram.bucket_counts();
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += counts[i];
+      // Empty leading/inner buckets are still emitted: Prometheus scrapers
+      // expect the full cumulative ladder, and the fixed ladder keeps the
+      // series set stable across scrapes.
+      out.append(family)
+          .append("_bucket{le=\"")
+          .append(FormatDouble(bounds[i]))
+          .append("\"} ")
+          .append(std::to_string(cumulative))
+          .append("\n");
+    }
+    out.append(family)
+        .append("_bucket{le=\"+Inf\"} ")
+        .append(std::to_string(histogram.count()))
+        .append("\n");
+    AppendSample(family + "_sum", histogram.sum(), &out);
+    AppendSample(family + "_count", histogram.count(), &out);
+  }
+  return out;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,22 @@
+#ifndef ADALSH_OBS_PROMETHEUS_H_
+#define ADALSH_OBS_PROMETHEUS_H_
+
+#include <string>
+
+namespace adalsh {
+
+struct MetricsSnapshot;
+
+/// Renders a MetricsSnapshot in the Prometheus text exposition format
+/// (docs/observability.md). Every metric name is prefixed `adalsh_` and
+/// sanitized to [a-zA-Z0-9_:]. Counters become `counter` families,
+/// gauges `gauge`, RunningStats distributions a summary-style group of
+/// `<name>_count/_sum/_min/_max` gauges, and LatencyHistograms full
+/// `histogram` families with cumulative `_bucket{le="..."}` series, an
+/// explicit `le="+Inf"` bucket equal to `_count`, `_sum` and `_count`.
+/// Output is deterministic: families appear in sorted name order.
+std::string WritePrometheusText(const MetricsSnapshot& snapshot);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_PROMETHEUS_H_

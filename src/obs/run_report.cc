@@ -29,7 +29,48 @@ void AppendMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* json) {
         .Double(stats.max())
         .EndObject();
   }
+  json->EndObject().Key("histograms").BeginObject();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    json->Key(name);
+    AppendHistogram(histogram, json);
+  }
   json->EndObject().EndObject();
+}
+
+void AppendHistogram(const LatencyHistogram& histogram, JsonWriter* json) {
+  json->BeginObject()
+      .Key("count")
+      .Uint(histogram.count())
+      .Key("sum")
+      .Double(histogram.sum())
+      .Key("min")
+      .Double(histogram.min())
+      .Key("max")
+      .Double(histogram.max())
+      .Key("p50")
+      .Double(histogram.Percentile(50))
+      .Key("p90")
+      .Double(histogram.Percentile(90))
+      .Key("p99")
+      .Double(histogram.Percentile(99))
+      .Key("p99_9")
+      .Double(histogram.Percentile(99.9));
+  // Exact per-bucket counts, sparse: only non-empty buckets are listed. The
+  // final +Inf overflow bucket (no finite upper bound) is reported
+  // separately so every "le" is a number.
+  const std::vector<double>& bounds = histogram.boundaries();
+  const std::vector<uint64_t>& counts = histogram.bucket_counts();
+  json->Key("buckets").BeginArray();
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    if (counts[i] == 0) continue;
+    json->BeginObject()
+        .Key("le")
+        .Double(bounds[i])
+        .Key("count")
+        .Uint(counts[i])
+        .EndObject();
+  }
+  json->EndArray().Key("overflow").Uint(counts.back()).EndObject();
 }
 
 void AppendFilterStats(const FilterStats& stats, JsonWriter* out) {

@@ -21,10 +21,15 @@ struct RunReportOptions {
 };
 
 /// Writes a MetricsSnapshot as a JSON object value ({"counters": {...},
-/// "gauges": {...}, "distributions": {...}}) into `json`, which must be
-/// positioned where a value is expected. Shared by the run report and the
-/// BENCH_*.json baselines.
+/// "gauges": {...}, "distributions": {...}, "histograms": {...}}) into
+/// `json`, which must be positioned where a value is expected. Shared by the
+/// run report and the BENCH_*.json baselines.
 void AppendMetricsSnapshot(const MetricsSnapshot& snapshot, JsonWriter* json);
+
+/// Writes one LatencyHistogram as a JSON object value: exact count/sum/
+/// min/max, p50/p90/p99/p99_9, the non-empty finite buckets as
+/// {"le": upper, "count": n}, and the +Inf bucket as "overflow".
+void AppendHistogram(const LatencyHistogram& histogram, JsonWriter* json);
 
 /// Appends the FilterStats portion of a report — the "totals" object,
 /// "termination_reason", "records_last_hashed_at", "cluster_verification"

@@ -1,0 +1,58 @@
+#include "obs/slow_op_watchdog.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace adalsh {
+
+SlowOpWatchdog::SlowOpWatchdog(const Options& options, std::ostream* log)
+    : options_(options), log_(log) {}
+
+double SlowOpWatchdog::MedianOf(const History& history) const {
+  std::vector<double> sorted = history.samples;
+  const size_t mid = sorted.size() / 2;
+  std::nth_element(sorted.begin(), sorted.begin() + mid, sorted.end());
+  double median = sorted[mid];
+  if (sorted.size() % 2 == 0) {
+    // Lower-half max completes the even-count midpoint average.
+    const double below =
+        *std::max_element(sorted.begin(), sorted.begin() + mid);
+    median = (median + below) / 2.0;
+  }
+  return median;
+}
+
+bool SlowOpWatchdog::Observe(std::string_view op, double seconds,
+                             uint64_t span_id) {
+  if (options_.factor <= 0.0) return false;
+  auto it = history_.find(op);
+  if (it == history_.end()) {
+    it = history_.emplace(std::string(op), History{}).first;
+  }
+  History& history = it->second;
+
+  bool slow = false;
+  if (history.samples.size() >= options_.min_samples) {
+    const double median = MedianOf(history);
+    if (median > 0.0 && seconds > options_.factor * median) {
+      slow = true;
+      ++slow_ops_;
+      (*log_) << "[adalsh watchdog] slow " << op << ": " << seconds * 1e3
+              << " ms > " << options_.factor << "x median "
+              << median * 1e3 << " ms (span_id=" << span_id << ")\n";
+      log_->flush();
+    }
+  }
+
+  // Slow samples still enter the history: a durable regime change (bigger
+  // corpus, colder cache) should move the median rather than page forever.
+  if (history.samples.size() < options_.window) {
+    history.samples.push_back(seconds);
+  } else {
+    history.samples[history.next] = seconds;
+    history.next = (history.next + 1) % options_.window;
+  }
+  return slow;
+}
+
+}  // namespace adalsh

@@ -1,0 +1,63 @@
+#ifndef ADALSH_OBS_SLOW_OP_WATCHDOG_H_
+#define ADALSH_OBS_SLOW_OP_WATCHDOG_H_
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adalsh {
+
+/// Flags mutations/flushes that run anomalously slow relative to their own
+/// history: each observed duration is compared against `factor` times the
+/// running median of the previous `window` samples of the same op, and
+/// outliers are logged (with the op's trace span id, so the line joins to
+/// the --trace-out timeline) before being folded into the history. The
+/// median is exact — computed by nth_element over the bounded sample ring —
+/// not an estimate; with <= 256 samples per op that costs nothing next to
+/// the mutation itself.
+///
+/// Not thread-safe: designed for the serve loop, where one thread drives
+/// all mutations. docs/observability.md describes the knobs.
+class SlowOpWatchdog {
+ public:
+  struct Options {
+    /// An op is slow when duration > factor * running median. <= 0 disables
+    /// the watchdog entirely (Observe never logs, never stores).
+    double factor = 0.0;
+    /// No verdicts until this many samples of the op exist — early calls
+    /// only feed the history, so startup noise can't page.
+    size_t min_samples = 16;
+    /// Bounded per-op sample ring; the median tracks the recent regime
+    /// rather than the whole session.
+    size_t window = 256;
+  };
+
+  /// Logs to `log` (stderr in the CLI). `log` must outlive the watchdog.
+  SlowOpWatchdog(const Options& options, std::ostream* log);
+
+  /// Records one completed op. Returns true (and writes one log line) when
+  /// the duration exceeded factor x the running median of prior samples.
+  bool Observe(std::string_view op, double seconds, uint64_t span_id);
+
+  uint64_t slow_ops() const { return slow_ops_; }
+
+ private:
+  struct History {
+    std::vector<double> samples;  // ring of the last `window` durations
+    size_t next = 0;              // ring write cursor
+  };
+
+  double MedianOf(const History& history) const;
+
+  const Options options_;
+  std::ostream* const log_;
+  std::map<std::string, History, std::less<>> history_;
+  uint64_t slow_ops_ = 0;
+};
+
+}  // namespace adalsh
+
+#endif  // ADALSH_OBS_SLOW_OP_WATCHDOG_H_

@@ -8,7 +8,8 @@
 
 namespace adalsh {
 
-TraceRecorder::TraceRecorder() : epoch_(std::chrono::steady_clock::now()) {}
+TraceRecorder::TraceRecorder(size_t max_spans)
+    : max_spans_(max_spans), epoch_(std::chrono::steady_clock::now()) {}
 
 double TraceRecorder::NowSeconds() const {
   return SecondsSince(std::chrono::steady_clock::now());
@@ -21,7 +22,13 @@ double TraceRecorder::SecondsSince(
 
 void TraceRecorder::AddSpan(SpanRecord span) {
   std::unique_lock<std::mutex> lock(mu_);
-  spans_.push_back(std::move(span));
+  if (max_spans_ == 0 || spans_.size() < max_spans_) {
+    spans_.push_back(std::move(span));
+    return;
+  }
+  spans_[ring_next_] = std::move(span);
+  ring_next_ = (ring_next_ + 1) % max_spans_;
+  ++dropped_spans_;
 }
 
 size_t TraceRecorder::num_spans() const {
@@ -29,9 +36,21 @@ size_t TraceRecorder::num_spans() const {
   return spans_.size();
 }
 
+uint64_t TraceRecorder::dropped_spans() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return dropped_spans_;
+}
+
 std::vector<TraceRecorder::SpanRecord> TraceRecorder::Spans() const {
   std::unique_lock<std::mutex> lock(mu_);
-  return spans_;
+  std::vector<SpanRecord> spans;
+  spans.reserve(spans_.size());
+  // Unwrap the ring so callers always see recording order: the slot at
+  // ring_next_ holds the oldest retained span once the buffer has wrapped.
+  for (size_t i = 0; i < spans_.size(); ++i) {
+    spans.push_back(spans_[(ring_next_ + i) % spans_.size()]);
+  }
+  return spans;
 }
 
 std::string TraceRecorder::ToChromeTraceJson() const {
@@ -89,6 +108,9 @@ std::string TraceRecorder::ToChromeTraceJson() const {
         .BeginObject()
         .Key("cpu_ms")
         .Double(span.cpu_seconds * 1e3);
+    if (span.id != 0) {
+      json.Key("span_id").Uint(span.id);
+    }
     for (const auto& [key, value] : span.args) {
       json.Key(key).Double(value);
     }
@@ -104,6 +126,7 @@ TraceRecorder::Span::Span(TraceRecorder* recorder, const char* name,
   if (recorder_ == nullptr) return;
   record_.name = name;
   record_.category = category;
+  record_.id = recorder_->NextSpanId();
   record_.lane = CurrentThreadLane();
   record_.start_seconds = recorder_->NowSeconds();
   cpu_start_ = Timer::ThreadCpuSeconds();

@@ -1,8 +1,10 @@
 #ifndef ADALSH_OBS_TRACE_RECORDER_H_
 #define ADALSH_OBS_TRACE_RECORDER_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -33,6 +35,10 @@ class TraceRecorder {
   struct SpanRecord {
     std::string name;
     std::string category;
+    /// Recorder-unique id (1, 2, ...) assigned when the RAII Span opens, so
+    /// log lines (the slow-op watchdog) can reference a span before it is
+    /// exported. 0 for spans built outside the RAII helper.
+    uint64_t id = 0;
     double start_seconds = 0.0;
     double duration_seconds = 0.0;
     /// CLOCK_THREAD_CPUTIME_ID consumed by the recording thread inside the
@@ -43,7 +49,12 @@ class TraceRecorder {
     std::vector<std::pair<std::string, double>> args;
   };
 
-  TraceRecorder();
+  /// `max_spans` == 0 records unboundedly (batch runs, tests). A positive
+  /// cap turns the store into a ring: once full, each new span overwrites
+  /// the oldest and dropped_spans() counts the overwritten ones — a
+  /// long-lived serve session keeps the most recent window of activity at a
+  /// bounded memory ceiling instead of growing without limit.
+  explicit TraceRecorder(size_t max_spans = 0);
 
   TraceRecorder(const TraceRecorder&) = delete;
   TraceRecorder& operator=(const TraceRecorder&) = delete;
@@ -59,7 +70,11 @@ class TraceRecorder {
 
   size_t num_spans() const;
 
-  /// Snapshot of all recorded spans (tests and exporters).
+  /// Spans overwritten by the ring (0 while under the cap or uncapped).
+  uint64_t dropped_spans() const;
+
+  /// Snapshot of the retained spans in recording order (oldest first, even
+  /// after the ring has wrapped).
   std::vector<SpanRecord> Spans() const;
 
   /// The full trace as Chrome trace_event JSON ("X" complete events, one
@@ -81,6 +96,10 @@ class TraceRecorder {
     /// Attaches a numeric annotation (no-op without a recorder).
     void AddArg(const char* key, double value);
 
+    /// The span's recorder-unique id (0 with a null recorder). Stable from
+    /// construction, so it can be handed to logs while the span is open.
+    uint64_t id() const { return record_.id; }
+
    private:
     TraceRecorder* recorder_;
     SpanRecord record_;
@@ -88,9 +107,17 @@ class TraceRecorder {
   };
 
  private:
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  const size_t max_spans_;  // 0 = unbounded
   std::chrono::steady_clock::time_point epoch_;
+  std::atomic<uint64_t> next_span_id_{1};
   mutable std::mutex mu_;
   std::vector<SpanRecord> spans_;
+  size_t ring_next_ = 0;  // overwrite cursor once spans_ hit the cap
+  uint64_t dropped_spans_ = 0;
 };
 
 /// Installs a process-global ParallelFor tracer that records every executed

@@ -1,0 +1,190 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics_registry.h"
+#include "obs/prometheus.h"
+
+namespace adalsh {
+namespace {
+
+TEST(LatencyHistogramTest, DefaultBoundariesAreTheDocumentedLadder) {
+  const std::vector<double>& bounds = LatencyHistogram::DefaultBoundaries();
+  // Five buckets per decade from 1 microsecond through 1000 seconds.
+  ASSERT_EQ(bounds.size(), 46u);
+  EXPECT_DOUBLE_EQ(bounds.front(), 1e-6);
+  EXPECT_DOUBLE_EQ(bounds.back(), 1000.0);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]) << "ladder must strictly increase";
+  }
+  // Rounded to three significant digits: the second rung is 1.58e-06, not
+  // 10^(1/5) * 1e-6 = 1.5848...e-06.
+  EXPECT_DOUBLE_EQ(bounds[1], 1.58e-6);
+  EXPECT_DOUBLE_EQ(bounds[5], 1e-5);
+}
+
+TEST(LatencyHistogramTest, LeSemanticsAtExactBoundaries) {
+  LatencyHistogram h({1.0, 2.0, 4.0});
+  ASSERT_EQ(h.bucket_counts().size(), 4u);  // 3 boundaries + overflow
+  h.Add(1.0);   // le="1" includes the boundary itself
+  h.Add(1.5);   // first bucket with boundary >= value
+  h.Add(2.0);
+  h.Add(4.0);
+  h.Add(4.0001);  // above the last boundary -> +Inf overflow
+  EXPECT_EQ(h.bucket_counts()[0], 1u);
+  EXPECT_EQ(h.bucket_counts()[1], 2u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0001);
+  EXPECT_DOUBLE_EQ(h.sum(), 1.0 + 1.5 + 2.0 + 4.0 + 4.0001);
+}
+
+TEST(LatencyHistogramTest, ZeroAndSubMicrosecondLandInTheFirstBucket) {
+  LatencyHistogram h;
+  h.Add(0.0);
+  h.Add(1e-9);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(LatencyHistogramTest, PercentileOnEmptyHistogramIsZero) {
+  LatencyHistogram h;
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99.9), 0.0);
+}
+
+TEST(LatencyHistogramTest, PercentileClampsToObservedRange) {
+  LatencyHistogram h;
+  h.Add(3.3e-4);
+  // A single sample: every percentile must report that sample's bucket
+  // clamped to [min, max] — i.e. exactly the sample.
+  EXPECT_DOUBLE_EQ(h.Percentile(1), 3.3e-4);
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 3.3e-4);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 3.3e-4);
+}
+
+TEST(LatencyHistogramTest, PercentileRanksAreExact) {
+  // 100 samples spread one per value over [1, 100] in a unit-boundary
+  // ladder: pK must land in the bucket holding the K-th smallest sample.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 100; ++i) bounds.push_back(static_cast<double>(i));
+  LatencyHistogram h(bounds);
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Percentile(50), 50.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(90), 90.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(99), 99.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(100), 100.0);
+}
+
+TEST(LatencyHistogramTest, MergeMatchesSingleHistogramExactly) {
+  LatencyHistogram merged;
+  LatencyHistogram reference;
+  LatencyHistogram parts[3];
+  // A deterministic multiset split across three parts in round-robin order;
+  // the merged result must equal the single-histogram reference bucket for
+  // bucket, whatever the split.
+  for (int i = 0; i < 300; ++i) {
+    const double value = 1e-6 * static_cast<double>(1 + (i * 37) % 5000);
+    reference.Add(value);
+    parts[i % 3].Add(value);
+  }
+  for (const LatencyHistogram& part : parts) merged.Merge(part);
+  EXPECT_EQ(merged.count(), reference.count());
+  EXPECT_DOUBLE_EQ(merged.min(), reference.min());
+  EXPECT_DOUBLE_EQ(merged.max(), reference.max());
+  EXPECT_EQ(merged.bucket_counts(), reference.bucket_counts());
+  EXPECT_DOUBLE_EQ(merged.Percentile(50), reference.Percentile(50));
+  EXPECT_DOUBLE_EQ(merged.Percentile(99.9), reference.Percentile(99.9));
+}
+
+// The registry shards histograms per thread exactly like its counters:
+// however the samples are distributed over writer threads, the snapshot's
+// merged histogram is identical to a serial reference — exact counts, no
+// sampling, no loss.
+TEST(LatencyHistogramTest, RegistryMergeIsExactAcrossThreadCounts) {
+  constexpr int kSamples = 4000;
+  auto sample = [](int i) {
+    return 1e-6 * static_cast<double>(1 + (i * 131) % 20000);
+  };
+  LatencyHistogram reference;
+  for (int i = 0; i < kSamples; ++i) reference.Add(sample(i));
+
+  for (int threads : {1, 2, 8}) {
+    MetricsRegistry registry;
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&registry, &sample, t, threads] {
+        for (int i = t; i < kSamples; i += threads) {
+          registry.RecordLatency("lat_seconds", sample(i));
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    MetricsSnapshot snapshot = registry.Snapshot();
+    const LatencyHistogram& merged = snapshot.histograms.at("lat_seconds");
+    EXPECT_EQ(merged.count(), reference.count()) << "threads=" << threads;
+    EXPECT_EQ(merged.bucket_counts(), reference.bucket_counts())
+        << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(merged.Percentile(99), reference.Percentile(99))
+        << "threads=" << threads;
+  }
+}
+
+TEST(PrometheusTest, ExposesAllFourMetricKinds) {
+  MetricsRegistry registry;
+  registry.AddCounter("ops", 7);
+  registry.SetGauge("depth", 2.5);
+  registry.RecordValue("sizes", 10.0);
+  registry.RecordLatency("lat_seconds", 5e-4);
+  registry.RecordLatency("lat_seconds", 2.0e-3);
+  const std::string text = WritePrometheusText(registry.Snapshot());
+
+  EXPECT_NE(text.find("# TYPE adalsh_ops counter\nadalsh_ops 7\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE adalsh_depth gauge\nadalsh_depth 2.5\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adalsh_sizes_count 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE adalsh_lat_seconds histogram\n"),
+            std::string::npos);
+  // The +Inf bucket must equal the total count, and _count must agree.
+  EXPECT_NE(text.find("adalsh_lat_seconds_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("adalsh_lat_seconds_count 2\n"), std::string::npos);
+}
+
+TEST(PrometheusTest, HistogramLadderIsCumulativeAndComplete) {
+  MetricsRegistry registry;
+  registry.RecordLatency("lat_seconds", 1e-6);
+  registry.RecordLatency("lat_seconds", 1e-3);
+  registry.RecordLatency("lat_seconds", 5000.0);  // overflow bucket
+  const std::string text = WritePrometheusText(registry.Snapshot());
+
+  // Every boundary of the default ladder appears as a bucket series, and
+  // the cumulative counts never decrease.
+  size_t buckets = 0;
+  uint64_t last_cumulative = 0;
+  size_t pos = 0;
+  const std::string needle = "adalsh_lat_seconds_bucket{le=\"";
+  while ((pos = text.find(needle, pos)) != std::string::npos) {
+    const size_t value_at = text.find("} ", pos);
+    ASSERT_NE(value_at, std::string::npos);
+    const uint64_t cumulative =
+        std::stoull(text.substr(value_at + 2));
+    EXPECT_GE(cumulative, last_cumulative);
+    last_cumulative = cumulative;
+    ++buckets;
+    pos = value_at;
+  }
+  EXPECT_EQ(buckets, LatencyHistogram::DefaultBoundaries().size() + 1);
+  EXPECT_EQ(last_cumulative, 3u);  // the +Inf bucket counts everything
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -66,7 +66,9 @@
 //   adalsh_cli serve --columns=<spec> --rule=<rule DSL> [--k=10]
 //              [--threads=N] [--seed=N] [--cost-model=hash_cost,pair_cost]
 //              [--deadline-ms=MS] [--max-pairwise=N] [--max-hashes=N]
-//              [--shards=S]
+//              [--shards=S] [--trace-out=trace.json] [--trace-max-spans=N]
+//              [--metrics-out=FILE] [--metrics-interval-ms=MS]
+//              [--watchdog-factor=F] [--watchdog-min-samples=N]
 //
 // --shards=S serves a ShardedEngine (docs/sharding.md): mutations route to
 // their record's shard and serialize only on that shard's lock; the
@@ -85,6 +87,7 @@
 //   topk [k]             certified clusters of the current snapshot
 //   cluster <id>         the snapshot cluster containing <id>
 //   stats                one-line engine report JSON (adalsh-engine-report-v1)
+//   metrics              one-line metrics snapshot JSON (adalsh-metrics-v1)
 //   flush                refinement pass without a mutation
 //   quit                 exit
 // --deadline-ms / --max-* act as the ambient per-mutation SLO; an
@@ -92,7 +95,23 @@
 // reason=deadline/budget) until a flush certifies. --cost-model pins the
 // jump-to-P unit costs so transcripts are reproducible (tools/engine_smoke.sh
 // diffs this mode against a golden transcript).
+//
+// Serve-mode telemetry (docs/observability.md): the metrics registry is
+// always live — every mutation records exact latency histograms and
+// counters, readable via the `metrics` command or the `stats` report.
+// --metrics-out=FILE appends one adalsh-metrics-v1 JSON line per export
+// tick (every --metrics-interval-ms, plus a final tick at shutdown) and
+// rewrites FILE.prom with a Prometheus text exposition each tick.
+// --trace-out writes a Chrome trace at exit with one span per mutation plus
+// the engine's internal round/merge-phase spans; --trace-max-spans caps the
+// recorder's ring buffer (oldest spans overwritten, drops counted; 0 =
+// unbounded). --watchdog-factor=F logs any mutation slower than F times its
+// op's running median to stderr with the mutation's trace span id
+// (--watchdog-min-samples warm-up, default 16; 0 disables the watchdog).
+// Telemetry never feeds back into results: transcripts stay byte-identical
+// with every flag combination.
 
+#include <atomic>
 #include <chrono>
 #include <cstdlib>
 #include <condition_variable>
@@ -116,14 +135,18 @@
 #include "eval/recovery.h"
 #include "io/csv.h"
 #include "io/dataset_loader.h"
+#include "obs/json_writer.h"
 #include "obs/metrics_registry.h"
+#include "obs/prometheus.h"
 #include "obs/run_report.h"
+#include "obs/slow_op_watchdog.h"
 #include "obs/trace_recorder.h"
 #include "util/flags.h"
 #include "util/run_controller.h"
 #include "util/simd.h"
 #include "util/simd_kernels.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -225,6 +248,12 @@ int RunServe(int argc, char** argv) {
   uint64_t max_hashes = static_cast<uint64_t>(flags.GetInt("max-hashes", 0));
   std::string simd = flags.GetString("simd", "");
   int shards = static_cast<int>(flags.GetInt("shards", 0));
+  std::string trace_path = flags.GetString("trace-out", "");
+  int64_t trace_max_spans = flags.GetInt("trace-max-spans", 100000);
+  std::string metrics_out = flags.GetString("metrics-out", "");
+  double metrics_interval_ms = flags.GetDouble("metrics-interval-ms", 0.0);
+  double watchdog_factor = flags.GetDouble("watchdog-factor", 0.0);
+  int64_t watchdog_min_samples = flags.GetInt("watchdog-min-samples", 16);
   flags.CheckNoUnusedFlags();
 
   Status simd_status = ApplySimdFlag(simd);
@@ -235,6 +264,17 @@ int RunServe(int argc, char** argv) {
   if (k < 1) return Fail("--k must be >= 1");
   if (threads < 0) return Fail("--threads must be >= 1");
   if (shards < 0) return Fail("--shards must be >= 0");
+  if (trace_max_spans < 0) return Fail("--trace-max-spans must be >= 0");
+  if (metrics_interval_ms < 0.0) {
+    return Fail("--metrics-interval-ms must be >= 0");
+  }
+  if (metrics_interval_ms > 0.0 && metrics_out.empty()) {
+    return Fail("--metrics-interval-ms requires --metrics-out");
+  }
+  if (watchdog_factor < 0.0) return Fail("--watchdog-factor must be >= 0");
+  if (watchdog_min_samples < 1) {
+    return Fail("--watchdog-min-samples must be >= 1");
+  }
   if (!cost_model.empty() && cost_model.size() != 2) {
     return Fail("--cost-model takes two comma-separated unit costs "
                 "(cost-per-hash,cost-per-pair)");
@@ -257,6 +297,27 @@ int RunServe(int argc, char** argv) {
   if (!cost_model.empty()) {
     options.cost_model = CostModel(cost_model[0], cost_model[1]);
   }
+
+  // --- Telemetry plane (docs/observability.md). The registry is always
+  // live in serve mode — the `metrics`/`stats` commands read it and the
+  // per-thread shards cost nothing on the mutation path — and it never
+  // feeds back into results, so transcripts stay byte-identical. Declared
+  // before the engines so the sinks outlive them.
+  Timer serve_timer;
+  MetricsRegistry metrics;
+  std::unique_ptr<TraceRecorder> trace;
+  std::optional<ScopedParallelForTrace> parallel_trace;
+  if (!trace_path.empty()) {
+    trace = std::make_unique<TraceRecorder>(
+        static_cast<size_t>(trace_max_spans));
+    parallel_trace.emplace(trace.get());  // per-worker ParallelFor lanes
+  }
+  options.config.instrumentation.metrics = &metrics;
+  options.config.instrumentation.trace = trace.get();
+  SlowOpWatchdog::Options watchdog_options;
+  watchdog_options.factor = watchdog_factor;
+  watchdog_options.min_samples = static_cast<size_t>(watchdog_min_samples);
+  SlowOpWatchdog watchdog(watchdog_options, &std::cerr);
 
   // One of the two engine shapes, behind a uniform mutation/query surface;
   // neither is movable (mutex members), so construct in place.
@@ -288,8 +349,73 @@ int RunServe(int argc, char** argv) {
     return sharded ? sharded->Snapshot() : resident->Snapshot();
   };
   auto stats_json = [&]() {
-    return sharded ? WriteEngineReportJson(*sharded)
-                   : WriteEngineReportJson(*resident);
+    const MetricsSnapshot snapshot = metrics.Snapshot();
+    return sharded ? WriteEngineReportJson(*sharded, &snapshot)
+                   : WriteEngineReportJson(*resident, &snapshot);
+  };
+
+  // One adalsh-metrics-v1 line per emission, shared by the `metrics`
+  // command and the periodic exporter; the seq is unique across both.
+  std::atomic<uint64_t> metrics_seq{0};
+  auto metrics_line = [&](const MetricsSnapshot& snapshot) {
+    JsonWriter json;
+    json.BeginObject()
+        .Key("schema")
+        .String("adalsh-metrics-v1")
+        .Key("seq")
+        .Uint(++metrics_seq)
+        .Key("uptime_seconds")
+        .Double(serve_timer.ElapsedSeconds())
+        .Key("metrics");
+    AppendMetricsSnapshot(snapshot, &json);
+    return json.EndObject().TakeString();
+  };
+
+  // Periodic exporter: appends one JSON line per tick to --metrics-out and
+  // rewrites <file>.prom with the Prometheus text exposition. The final
+  // tick at shutdown runs on the main thread after the join, so the mutex
+  // only guards tick-vs-tick (a `metrics` command never touches the file).
+  std::ofstream metrics_file;
+  if (!metrics_out.empty()) {
+    metrics_file.open(metrics_out);
+    if (!metrics_file) return Fail("cannot write " + metrics_out);
+  }
+  std::mutex export_mu;
+  auto export_tick = [&]() {
+    const MetricsSnapshot snapshot = metrics.Snapshot();
+    std::lock_guard<std::mutex> lock(export_mu);
+    metrics_file << metrics_line(snapshot) << std::flush;
+    std::ofstream prom(metrics_out + ".prom");
+    if (prom) prom << WritePrometheusText(snapshot);
+  };
+  std::mutex stop_mu;
+  std::condition_variable stop_cv;
+  bool stopping = false;
+  std::thread exporter;
+  if (!metrics_out.empty() && metrics_interval_ms > 0.0) {
+    exporter = std::thread([&] {
+      std::unique_lock<std::mutex> lock(stop_mu);
+      const auto interval =
+          std::chrono::duration<double, std::milli>(metrics_interval_ms);
+      while (!stop_cv.wait_for(lock, interval, [&] { return stopping; })) {
+        export_tick();
+      }
+    });
+  }
+
+  // Exactly one observation per protocol mutation that reached the engine —
+  // in sharded mode a mutation fans out to per-shard sub-batches, so the
+  // engine-level histograms see more entries; this serve-level family is
+  // the one whose count equals the mutations issued.
+  auto observe_mutation = [&](const char* op, double seconds,
+                              uint64_t span_id) {
+    metrics.AddCounter("serve_mutations", 1);
+    metrics.AddCounter(std::string("serve_op_") + op, 1);
+    metrics.RecordLatency("serve_mutation_seconds", seconds);
+    metrics.RecordLatency(std::string("serve_") + op + "_seconds", seconds);
+    if (watchdog.Observe(op, seconds, span_id)) {
+      metrics.AddCounter("serve_slow_ops", 1);
+    }
   };
 
   std::vector<Record> staged;
@@ -319,8 +445,11 @@ int RunServe(int argc, char** argv) {
       staged.push_back(std::move(parsed->record));
       std::cout << "staged " << staged.size() << "\n" << std::flush;
     } else if (cmd == "commit") {
+      Timer op_timer;
+      TraceRecorder::Span op_span(trace.get(), "serve_commit", "serve");
       auto result = ingest(std::move(staged));
       staged.clear();  // all-or-nothing either way: a rejected batch is dropped
+      observe_mutation("commit", op_timer.ElapsedSeconds(), op_span.id());
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -347,7 +476,10 @@ int RunServe(int argc, char** argv) {
         reply_status(Status::InvalidArgument("remove needs at least one id"));
         continue;
       }
+      Timer op_timer;
+      TraceRecorder::Span op_span(trace.get(), "serve_remove", "serve");
       auto result = remove(ids);
+      observe_mutation("remove", op_timer.ElapsedSeconds(), op_span.id());
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -371,7 +503,10 @@ int RunServe(int argc, char** argv) {
         reply_status(parsed.status());
         continue;
       }
+      Timer op_timer;
+      TraceRecorder::Span op_span(trace.get(), "serve_update", "serve");
       auto result = update(*id, std::move(parsed->record));
+      observe_mutation("update", op_timer.ElapsedSeconds(), op_span.id());
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -415,8 +550,13 @@ int RunServe(int argc, char** argv) {
       std::cout << "ok gen=" << snap->generation << "\n" << std::flush;
     } else if (cmd == "stats") {
       std::cout << stats_json() << "\n" << std::flush;
+    } else if (cmd == "metrics") {
+      std::cout << metrics_line(metrics.Snapshot()) << std::flush;
     } else if (cmd == "flush") {
+      Timer op_timer;
+      TraceRecorder::Span op_span(trace.get(), "serve_flush", "serve");
       auto result = flush();
+      observe_mutation("flush", op_timer.ElapsedSeconds(), op_span.id());
       if (!result.ok()) {
         reply_status(result.status());
         continue;
@@ -424,10 +564,32 @@ int RunServe(int argc, char** argv) {
       std::cout << MutationReply(result.value()) << "\n" << std::flush;
     } else if (cmd == "quit") {
       std::cout << "bye\n" << std::flush;
-      return 0;
+      break;
     } else {
       reply_status(Status::InvalidArgument("unknown command '" + cmd + "'"));
     }
+  }
+
+  // --- Telemetry shutdown (both `quit` and stdin EOF land here): stop the
+  // exporter, emit one final tick so short sessions still leave a complete
+  // snapshot on disk, and dump the trace ring.
+  if (exporter.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(stop_mu);
+      stopping = true;
+    }
+    stop_cv.notify_all();
+    exporter.join();
+  }
+  if (!metrics_out.empty()) export_tick();
+  parallel_trace.reset();  // stop recording before exporting
+  if (!trace_path.empty()) {
+    std::ofstream trace_file(trace_path);
+    if (!trace_file) return Fail("cannot write " + trace_path);
+    trace_file << trace->ToChromeTraceJson();
+    std::cerr << "trace: " << trace->num_spans() << " spans ("
+              << trace->dropped_spans() << " dropped) -> " << trace_path
+              << "\n";
   }
   return 0;
 }

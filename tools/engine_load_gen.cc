@@ -41,6 +41,7 @@
 #include "datagen/cora_like.h"
 #include "engine/resident_engine.h"
 #include "engine/sharded_executor.h"
+#include "obs/histogram.h"
 #include "obs/json_writer.h"
 #include "util/check.h"
 #include "util/flags.h"
@@ -54,6 +55,8 @@ struct LatencyStats {
   size_t count = 0;
   double p50 = 0;
   double p95 = 0;
+  double p99 = 0;
+  double p99_9 = 0;
   double max = 0;
 };
 
@@ -64,6 +67,8 @@ LatencyStats Summarize(std::vector<double>* values) {
   std::sort(values->begin(), values->end());
   stats.p50 = (*values)[values->size() / 2];
   stats.p95 = (*values)[values->size() * 95 / 100];
+  stats.p99 = (*values)[values->size() * 99 / 100];
+  stats.p99_9 = (*values)[values->size() * 999 / 1000];
   stats.max = values->back();
   return stats;
 }
@@ -78,8 +83,36 @@ void WriteLatency(JsonWriter* json, const std::string& name,
       .Double(stats.p50)
       .Key("p95_" + unit)
       .Double(stats.p95)
+      .Key("p99_" + unit)
+      .Double(stats.p99)
+      .Key("p99_9_" + unit)
+      .Double(stats.p99_9)
       .Key("max_" + unit)
       .Double(stats.max)
+      .EndObject();
+}
+
+/// Same JSON shape as WriteLatency but fed from an exact obs histogram
+/// (seconds), scaled into the named unit. Percentiles are bucket-exact, so
+/// the lock_wait summary matches what a registry snapshot would report for
+/// the identical samples.
+void WriteHistogramLatency(JsonWriter* json, const std::string& name,
+                           const LatencyHistogram& histogram, double scale,
+                           const std::string& unit) {
+  json->Key(name)
+      .BeginObject()
+      .Key("count")
+      .Uint(histogram.count())
+      .Key("p50_" + unit)
+      .Double(histogram.Percentile(50) * scale)
+      .Key("p95_" + unit)
+      .Double(histogram.Percentile(95) * scale)
+      .Key("p99_" + unit)
+      .Double(histogram.Percentile(99) * scale)
+      .Key("p99_9_" + unit)
+      .Double(histogram.Percentile(99.9) * scale)
+      .Key("max_" + unit)
+      .Double(histogram.max() * scale)
       .EndObject();
 }
 
@@ -131,7 +164,7 @@ struct WriterResult {
   std::vector<double> ingest_us;
   std::vector<double> remove_us;
   std::vector<double> update_us;
-  std::vector<double> lock_wait_ms;  // one entry per mutation call
+  LatencyHistogram lock_wait;  // seconds; one entry per mutation call
   uint64_t interrupted = 0;
 };
 
@@ -160,7 +193,7 @@ WriterResult RunWriter(Engine* engine, const GeneratedDataset& workload,
     StatusOr<EngineMutationResult> ingested = engine->Ingest(std::move(batch));
     result.ingest_us.push_back(timer.ElapsedSeconds() * 1e6);
     ADALSH_CHECK(ingested.ok()) << ingested.status().message();
-    result.lock_wait_ms.push_back(ingested.value().lock_wait_seconds * 1e3);
+    result.lock_wait.Add(ingested.value().lock_wait_seconds);
     result.interrupted +=
         ingested.value().refinement != TerminationReason::kCompleted;
     live.insert(live.end(), ingested.value().assigned_ids.begin(),
@@ -175,7 +208,7 @@ WriterResult RunWriter(Engine* engine, const GeneratedDataset& workload,
           engine->Remove(std::vector<ExternalId>{id});
       result.remove_us.push_back(timer.ElapsedSeconds() * 1e6);
       ADALSH_CHECK(removed.ok()) << removed.status().message();
-      result.lock_wait_ms.push_back(removed.value().lock_wait_seconds * 1e3);
+      result.lock_wait.Add(removed.value().lock_wait_seconds);
     }
     if (!live.empty() && rng.NextBelow(4) == 0) {
       const ExternalId id = live[rng.NextBelow(live.size())];
@@ -186,7 +219,7 @@ WriterResult RunWriter(Engine* engine, const GeneratedDataset& workload,
           engine->Update(id, std::move(contents));
       result.update_us.push_back(timer.ElapsedSeconds() * 1e6);
       ADALSH_CHECK(updated.ok()) << updated.status().message();
-      result.lock_wait_ms.push_back(updated.value().lock_wait_seconds * 1e3);
+      result.lock_wait.Add(updated.value().lock_wait_seconds);
     }
   }
   return result;
@@ -264,17 +297,18 @@ int Drive(Engine* engine, const GeneratedDataset& workload,
   std::vector<double> ingest_us;
   std::vector<double> remove_us;
   std::vector<double> update_us;
-  std::vector<double> lock_wait_ms;
+  // Exact cross-writer aggregation: the merged histogram is identical to
+  // one built from all samples on a single thread (docs/observability.md).
+  LatencyHistogram lock_wait;
   uint64_t interrupted = 0;
   for (WriterResult& r : writer_results) {
     ingest_us.insert(ingest_us.end(), r.ingest_us.begin(), r.ingest_us.end());
     remove_us.insert(remove_us.end(), r.remove_us.begin(), r.remove_us.end());
     update_us.insert(update_us.end(), r.update_us.begin(), r.update_us.end());
-    lock_wait_ms.insert(lock_wait_ms.end(), r.lock_wait_ms.begin(),
-                        r.lock_wait_ms.end());
+    lock_wait.Merge(r.lock_wait);
     interrupted += r.interrupted;
   }
-  lock_wait_ms.push_back(flushed.value().lock_wait_seconds * 1e3);
+  lock_wait.Add(flushed.value().lock_wait_seconds);
 
   const EngineCounters counters = engine->counters();
   JsonWriter json;
@@ -320,7 +354,7 @@ int Drive(Engine* engine, const GeneratedDataset& workload,
   // Time each mutation spent queueing for the engine lock (summed across
   // shard locks when sharded) — the contention the sharded engine exists to
   // relieve.
-  WriteLatency(&json, "lock_wait", Summarize(&lock_wait_ms), "ms");
+  WriteHistogramLatency(&json, "lock_wait", lock_wait, /*scale=*/1e3, "ms");
   json.EndObject().Key("queries").BeginObject().Key("observations").Uint(
       observations);
   WriteLatency(&json, "topk", Summarize(&topk_us));

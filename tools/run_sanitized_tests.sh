@@ -33,6 +33,14 @@
 #
 #   tools/run_sanitized_tests.sh thread -R 'shard_equivalence|shard_parity'
 #
+# docs/observability.md requires the TSan run for any change to the
+# telemetry plane (histogram shards, the serve-mode exporter thread, the
+# trace ring) — the thread run finishes with a dedicated second pass over
+# the telemetry suites, which exercise 4 concurrent writers against a shared
+# registry and the exporter thread racing the serve loop:
+#
+#   tools/run_sanitized_tests.sh thread -R 'obs_histogram|engine_telemetry'
+#
 # docs/simd.md requires the address and undefined runs for any change to the
 # vector kernels (util/simd_kernels.cc) or the SoA layouts feeding them
 # (FeatureCache, RandomHyperplaneFamily): after the main ctest pass (which
@@ -65,6 +73,17 @@ export ASAN_OPTIONS="halt_on_error=1 ${ASAN_OPTIONS:-}"
 export UBSAN_OPTIONS="halt_on_error=1 print_stacktrace=1 ${UBSAN_OPTIONS:-}"
 
 ctest --test-dir "${build_dir}" --output-on-failure "$@"
+
+# Telemetry matrix (thread only): rerun the telemetry suites after the main
+# pass. They are the races-by-construction set — per-thread histogram
+# shards merged under concurrent writers, the serve exporter thread
+# snapshotting mid-mutation, the capped trace ring — and a second pass gives
+# a different interleaving a chance to surface under TSan.
+if [[ "${sanitizer}" == "thread" ]]; then
+  telemetry_suites='obs_histogram|engine_telemetry|metrics_registry|trace_recorder|telemetry_smoke'
+  echo "=== telemetry suites under thread sanitizer (second pass) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -R "${telemetry_suites}"
+fi
 
 # SIMD dispatch matrix (address/undefined only — the kernels hold no shared
 # state worth a TSan pass): rerun the suites that drive the vector kernels
