@@ -16,7 +16,11 @@
 //     several shard counts — the A/B for the sharded executor's claim that
 //     partitioning the mutation lock buys writer throughput. Reported with
 //     the summed per-mutation lock wait so the contention that disappears
-//     is visible, not just inferred.
+//     is visible, not just inferred;
+//   * durability: the streamed ingest through the durable engine at each
+//     WAL sync policy (none/batch/always) against the in-memory baseline —
+//     what write-ahead logging costs at each point of the durability dial
+//     (docs/durability.md).
 //
 // Flags:
 //   --out=PATH   where to write the JSON document (default
@@ -24,15 +28,20 @@
 //   --smoke      tiny workloads and time budgets; used by the engine_bench_smoke
 //                ctest target to validate the schema, not to measure
 
+#include <cstdlib>
+
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "datagen/cora_like.h"
+#include "engine/durability.h"
 #include "engine/resident_engine.h"
 #include "engine/sharded_executor.h"
 #include "util/check.h"
@@ -292,6 +301,76 @@ int Main(int argc, char** argv) {
           .Key("total_hashes")
           .Uint(total_hashes)
           .EndObject();
+    }
+    json.EndArray().EndObject();
+  }
+
+  // --- Durability overhead (docs/durability.md): the identical streamed
+  // ingest through the durable engine at each WAL sync policy, against the
+  // in-memory resident engine as the baseline. `always` pays an fsync per
+  // mutation, `batch` defers to the flush barrier, `none` is pure logging
+  // cost — the three points of the durability/throughput dial. ---
+  {
+    const size_t batch = 32;
+    ResidentEngine baseline(workload.rule, EngineOptions());
+    Timer baseline_timer;
+    for (size_t begin = 0; begin < n; begin += batch) {
+      StatusOr<EngineMutationResult> result = baseline.Ingest(
+          CopyRecords(workload.dataset, begin, std::min(begin + batch, n)));
+      ADALSH_CHECK(result.ok()) << result.status().message();
+    }
+    StatusOr<EngineMutationResult> base_flushed = baseline.Flush();
+    ADALSH_CHECK(base_flushed.ok()) << base_flushed.status().message();
+    const double baseline_seconds = baseline_timer.ElapsedSeconds();
+
+    json.Key("durability")
+        .BeginObject()
+        .Key("batch")
+        .Uint(batch)
+        .Key("baseline_seconds")
+        .Double(baseline_seconds)
+        .Key("sweep")
+        .BeginArray();
+    for (const char* sync_name : {"none", "batch", "always"}) {
+      char dir_template[] = "/tmp/adalsh_walbench_XXXXXX";
+      ADALSH_CHECK(mkdtemp(dir_template) != nullptr) << "mkdtemp failed";
+      const std::string dir = dir_template;
+      StatusOr<WalSyncPolicy> sync = ParseWalSyncPolicy(sync_name);
+      ADALSH_CHECK(sync.ok()) << sync.status().message();
+      DurableEngine::Options options;
+      options.engine = EngineOptions();
+      options.data_dir = dir;
+      options.sync = *sync;
+      StatusOr<std::unique_ptr<DurableEngine>> durable =
+          DurableEngine::Open(workload.rule, std::move(options));
+      ADALSH_CHECK(durable.ok()) << durable.status().message();
+      Timer timer;
+      for (size_t begin = 0; begin < n; begin += batch) {
+        StatusOr<EngineMutationResult> result = durable.value()->Ingest(
+            CopyRecords(workload.dataset, begin, std::min(begin + batch, n)));
+        ADALSH_CHECK(result.ok()) << result.status().message();
+      }
+      StatusOr<EngineMutationResult> flushed = durable.value()->Flush();
+      ADALSH_CHECK(flushed.ok()) << flushed.status().message();
+      const double seconds = timer.ElapsedSeconds();
+      const DurabilityStats wal = durable.value()->durability_stats();
+      json.BeginObject()
+          .Key("sync")
+          .String(sync_name)
+          .Key("seconds")
+          .Double(seconds)
+          .Key("records_per_second")
+          .Double(static_cast<double>(n) / seconds)
+          .Key("overhead_over_baseline")
+          .Double(baseline_seconds > 0 ? seconds / baseline_seconds : 0.0)
+          .Key("wal_bytes_appended")
+          .Uint(wal.wal_bytes_appended)
+          .Key("wal_syncs")
+          .Uint(wal.wal_syncs)
+          .EndObject();
+      durable.value().reset();  // close the log fds before cleanup
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
     }
     json.EndArray().EndObject();
   }

@@ -42,12 +42,52 @@ void AppendCounters(const EngineCounters& counters, JsonWriter* out) {
       .EndObject();
 }
 
-/// Shared body for both engine shapes: they expose the same
+void AppendDurability(const DurabilityStats& stats, JsonWriter* out) {
+  out->BeginObject()
+      .Key("wal_frames_appended")
+      .Uint(stats.wal_frames_appended)
+      .Key("wal_bytes_appended")
+      .Uint(stats.wal_bytes_appended)
+      .Key("wal_syncs")
+      .Uint(stats.wal_syncs)
+      .Key("wal_append_retries")
+      .Uint(stats.wal_append_retries)
+      .Key("wal_sync_retries")
+      .Uint(stats.wal_sync_retries)
+      .Key("wal_degraded")
+      .Bool(stats.wal_degraded)
+      .Key("checkpoints_written")
+      .Uint(stats.checkpoints_written)
+      .Key("checkpoint_failures")
+      .Uint(stats.checkpoint_failures)
+      .Key("recovery")
+      .BeginObject()
+      .Key("checkpoint_loaded")
+      .Bool(stats.checkpoint_loaded)
+      .Key("checkpoint_seq")
+      .Uint(stats.checkpoint_seq)
+      .Key("frames_replayed")
+      .Uint(stats.frames_replayed)
+      .Key("frames_discarded")
+      .Uint(stats.frames_discarded)
+      .Key("replay_apply_failures")
+      .Uint(stats.replay_apply_failures)
+      .Key("log_truncated")
+      .Bool(stats.log_truncated)
+      .Key("warnings")
+      .Uint(stats.recovery_warnings.size())
+      .EndObject()
+      .EndObject();
+}
+
+/// Shared body for all engine shapes: they expose the same
 /// Snapshot()/counters()/top_k() surface, and the schema is identical except
-/// for the sharded engine's extra "shards" key and "per_shard" breakdown.
+/// for the sharded engine's extra "shards" key and "per_shard" breakdown and
+/// the durable engine's "durability" object.
 template <typename Engine>
 std::string WriteReport(const Engine& engine, int shards,
                         const std::vector<EngineCounters>* per_shard,
+                        const DurabilityStats* durability,
                         const MetricsSnapshot* metrics) {
   const std::shared_ptr<const EngineSnapshot> snap = engine.Snapshot();
   const EngineCounters counters = engine.counters();
@@ -86,6 +126,12 @@ std::string WriteReport(const Engine& engine, int shards,
     json.EndArray();
   }
 
+  // Durability plane accounting (durable engine only, docs/durability.md).
+  if (durability != nullptr) {
+    json.Key("durability");
+    AppendDurability(*durability, &json);
+  }
+
   json.Key("snapshot")
       .BeginObject()
       .Key("generation")
@@ -116,13 +162,24 @@ std::string WriteReport(const Engine& engine, int shards,
 
 std::string WriteEngineReportJson(const ResidentEngine& engine,
                                   const MetricsSnapshot* metrics) {
-  return WriteReport(engine, /*shards=*/0, /*per_shard=*/nullptr, metrics);
+  return WriteReport(engine, /*shards=*/0, /*per_shard=*/nullptr,
+                     /*durability=*/nullptr, metrics);
 }
 
 std::string WriteEngineReportJson(const ShardedEngine& engine,
                                   const MetricsSnapshot* metrics) {
   const std::vector<EngineCounters> per_shard = engine.shard_counters();
-  return WriteReport(engine, engine.shards(), &per_shard, metrics);
+  return WriteReport(engine, engine.shards(), &per_shard,
+                     /*durability=*/nullptr, metrics);
+}
+
+std::string WriteEngineReportJson(const DurableEngine& engine,
+                                  const MetricsSnapshot* metrics) {
+  const std::vector<EngineCounters> per_shard = engine.shard_counters();
+  const DurabilityStats durability = engine.durability_stats();
+  return WriteReport(engine, engine.shards(),
+                     per_shard.empty() ? nullptr : &per_shard, &durability,
+                     metrics);
 }
 
 }  // namespace adalsh

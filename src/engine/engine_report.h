@@ -3,6 +3,7 @@
 
 #include <string>
 
+#include "engine/durability.h"
 #include "engine/resident_engine.h"
 #include "engine/sharded_executor.h"
 #include "obs/metrics_registry.h"
@@ -28,6 +29,14 @@ std::string WriteEngineReportJson(const ResidentEngine& engine,
 /// the counters down per shard (records, bucket load, refinement outcomes —
 /// the shard-imbalance view of the telemetry plane).
 std::string WriteEngineReportJson(const ShardedEngine& engine,
+                                  const MetricsSnapshot* metrics = nullptr);
+
+/// Same schema for a durable engine (docs/durability.md): the wrapped
+/// engine's report — sharded keys included when it wraps a ShardedEngine —
+/// plus a "durability" object with the wal_* accounting (frames/bytes
+/// appended, syncs, retries, checkpoints, recovery results and the
+/// wal_degraded read-only flag).
+std::string WriteEngineReportJson(const DurableEngine& engine,
                                   const MetricsSnapshot* metrics = nullptr);
 
 }  // namespace adalsh

@@ -622,6 +622,24 @@ bool ResidentEngine::IsLive(ExternalId id) const {
   return int_of_.count(id) != 0;
 }
 
+std::vector<std::pair<ExternalId, Record>> ResidentEngine::LiveRecords()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<ExternalId, Record>> out;
+  out.reserve(int_of_.size());
+  for (const auto& [ext, internal] : int_of_) {
+    out.emplace_back(ext, Record(dataset_.record(internal)));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::optional<CostModel> ResidentEngine::cost_model() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cost_model_;
+}
+
 EngineCounters ResidentEngine::counters() const {
   std::lock_guard<std::mutex> lock(mu_);
   EngineCounters counters = counters_;

@@ -8,6 +8,7 @@
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "clustering/parent_pointer_forest.h"
@@ -229,6 +230,17 @@ class ResidentEngine {
   /// pre-validate a whole batch before partitioning it across engines.
   static Status CheckRecordSchema(const Record& prototype,
                                   const Record& record, size_t index);
+
+  /// Copies of every live record with its external id, sorted by id — the
+  /// checkpoint payload of the durability plane (docs/durability.md). Takes
+  /// the mutation lock for the duration of the copy.
+  std::vector<std::pair<ExternalId, Record>> LiveRecords() const;
+
+  /// The engine's effective cost model: the pinned option, or the model the
+  /// first ingest calibrated, or nullopt before initialization. The durable
+  /// engine persists it so a recovery replay prices jump-to-P decisions
+  /// identically to the original run (docs/durability.md).
+  std::optional<CostModel> cost_model() const;
 
   int top_k() const { return options_.top_k; }
 

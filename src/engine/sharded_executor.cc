@@ -1,6 +1,7 @@
 #include "engine/sharded_executor.h"
 
 #include <algorithm>
+#include <iterator>
 #include <numeric>
 #include <string>
 #include <thread>
@@ -390,7 +391,6 @@ Status ShardedEngine::EnsureShardsLocked(
 
 StatusOr<EngineMutationResult> ShardedEngine::Ingest(
     std::vector<Record> records, const EngineBatchOptions& opts) {
-  const Instrumentation& instr = options_.engine.config.instrumentation;
   std::vector<ExternalId> ids;
   {
     std::lock_guard<std::mutex> lock(id_mu_);
@@ -410,13 +410,70 @@ StatusOr<EngineMutationResult> ShardedEngine::Ingest(
     for (size_t i = 0; i < records.size(); ++i) ids.push_back(next_ext_id_++);
   }
 
-  EngineMutationResult result;
-  result.assigned_ids = ids;
   if (records.empty() || shards_.empty()) {
+    EngineMutationResult result;
+    result.assigned_ids = ids;
     std::lock_guard<std::mutex> lock(snapshot_mu_);
     result.generation = generation_;
     return result;
   }
+  StatusOr<EngineMutationResult> routed =
+      RouteIngest(std::move(records), ids, opts);
+  if (!routed.ok()) return routed.status();
+  routed.value().assigned_ids = std::move(ids);
+  return routed;
+}
+
+StatusOr<EngineMutationResult> ShardedEngine::IngestWithIds(
+    std::vector<Record> records, std::vector<ExternalId> ids,
+    const EngineBatchOptions& opts) {
+  if (records.size() != ids.size()) {
+    return Status::InvalidArgument(
+        "IngestWithIds: " + std::to_string(ids.size()) + " ids for " +
+        std::to_string(records.size()) + " records");
+  }
+  for (size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] <= ids[i - 1]) {
+      return Status::InvalidArgument(
+          "IngestWithIds: ids must be strictly increasing within the batch");
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(id_mu_);
+    if (!records.empty()) {
+      const Record& prototype =
+          prototype_.has_value() ? *prototype_ : records.front();
+      for (size_t i = 0; i < records.size(); ++i) {
+        Status schema =
+            ResidentEngine::CheckRecordSchema(prototype, records[i], i);
+        if (!schema.ok()) return schema;
+      }
+      Status init = EnsureShardsLocked(records);
+      if (!init.ok()) return init;
+      if (!prototype_.has_value()) prototype_ = records.front();
+      next_ext_id_ = std::max(next_ext_id_, ids.back() + 1);
+    }
+  }
+  if (records.empty()) {
+    EngineMutationResult result;
+    std::lock_guard<std::mutex> lock(snapshot_mu_);
+    result.generation = generation_;
+    return result;
+  }
+  // Liveness collisions are caught by each shard's own IngestWithIds (the
+  // routed sub-batch lands on the shard that owns the colliding id).
+  StatusOr<EngineMutationResult> routed =
+      RouteIngest(std::move(records), ids, opts);
+  if (!routed.ok()) return routed.status();
+  routed.value().assigned_ids = std::move(ids);
+  return routed;
+}
+
+StatusOr<EngineMutationResult> ShardedEngine::RouteIngest(
+    std::vector<Record> records, const std::vector<ExternalId>& ids,
+    const EngineBatchOptions& opts) {
+  const Instrumentation& instr = options_.engine.config.instrumentation;
+  EngineMutationResult result;
 
   // Partition by shard, preserving batch order within each sub-batch (ids
   // stay strictly increasing per shard).
@@ -673,6 +730,30 @@ EngineCounters ShardedEngine::counters() const {
   total.generation = generation_;
   total.live_records = snapshot_->live_records;
   return total;
+}
+
+bool ShardedEngine::IsLive(ExternalId id) const {
+  if (shards_.empty()) return false;
+  return shards_[ShardOfExternalId(id, options_.shards)]->IsLive(id);
+}
+
+std::vector<std::pair<ExternalId, Record>> ShardedEngine::LiveRecords()
+    const {
+  std::vector<std::pair<ExternalId, Record>> out;
+  for (const std::unique_ptr<ResidentEngine>& shard : shards_) {
+    std::vector<std::pair<ExternalId, Record>> shard_live =
+        shard->LiveRecords();
+    out.insert(out.end(), std::make_move_iterator(shard_live.begin()),
+               std::make_move_iterator(shard_live.end()));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::optional<CostModel> ShardedEngine::cost_model() const {
+  std::lock_guard<std::mutex> lock(id_mu_);
+  return shared_cost_model_;
 }
 
 std::vector<EngineCounters> ShardedEngine::shard_counters() const {

@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "engine/resident_engine.h"
@@ -77,6 +78,17 @@ class ShardedEngine {
   StatusOr<EngineMutationResult> Ingest(std::vector<Record> records,
                                         const EngineBatchOptions& opts = {});
 
+  /// Ingest with caller-assigned external ids (ResidentEngine::IngestWithIds
+  /// semantics: strictly increasing within the batch, no collision with live
+  /// ids — InvalidArgument otherwise): routes each record by
+  /// ShardOfExternalId and advances the internal id counter past the largest
+  /// assigned id. The durable engine replays logged ingests through this, so
+  /// recovered records land on the shards that logged them
+  /// (docs/durability.md).
+  StatusOr<EngineMutationResult> IngestWithIds(
+      std::vector<Record> records, std::vector<ExternalId> ids,
+      const EngineBatchOptions& opts = {});
+
   /// Removes by external id, routed per shard. The batch is pre-validated
   /// against every involved shard (NotFound/InvalidArgument before any state
   /// changes); with concurrent removers racing on the *same* ids the
@@ -118,6 +130,19 @@ class ShardedEngine {
   /// each shard's mutation lock briefly, like counters().
   std::vector<EngineCounters> shard_counters() const;
 
+  /// True when `id` is live on its shard (ResidentEngine::IsLive routed;
+  /// point-in-time only). False before the first ingest.
+  bool IsLive(ExternalId id) const;
+
+  /// Copies of every live record with its external id across all shards,
+  /// sorted by id (ResidentEngine::LiveRecords aggregated) — the checkpoint
+  /// payload of the durability plane.
+  std::vector<std::pair<ExternalId, Record>> LiveRecords() const;
+
+  /// The shared cost model every shard prices with: the pinned option, the
+  /// first ingest's calibration, or nullopt before initialization.
+  std::optional<CostModel> cost_model() const;
+
   int shards() const { return options_.shards; }
   int top_k() const { return options_.engine.top_k; }
 
@@ -126,6 +151,14 @@ class ShardedEngine {
   /// (calibrating the shared cost model if none was pinned). Caller holds
   /// id_mu_.
   Status EnsureShardsLocked(const std::vector<Record>& prototype_batch);
+
+  /// Shared tail of Ingest/IngestWithIds: partitions (records, ids) by
+  /// shard, runs the involved shard passes (concurrently unless an external
+  /// controller forces serial execution) and aggregates their results. Ids
+  /// are already assigned/validated and shards_ is non-empty.
+  StatusOr<EngineMutationResult> RouteIngest(std::vector<Record> records,
+                                             const std::vector<ExternalId>& ids,
+                                             const EngineBatchOptions& opts);
 
   MatchRule rule_;
   Options options_;

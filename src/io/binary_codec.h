@@ -1,0 +1,144 @@
+#ifndef ADALSH_IO_BINARY_CODEC_H_
+#define ADALSH_IO_BINARY_CODEC_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "record/record.h"
+#include "util/status.h"
+
+namespace adalsh {
+
+/// Shared little-endian binary encoding for the durability plane (WAL frames
+/// and checkpoints). Fixed-width integers are stored byte-by-byte so the
+/// on-disk format is identical across hosts; floats are stored via their
+/// IEEE-754 bit patterns. Internal to src/io.
+
+class BinaryWriter {
+ public:
+  void PutU8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  void PutF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU32(bits);
+  }
+
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  void PutString(const std::string& s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte range. Every getter returns OutOfRange
+/// past the end instead of reading garbage — a truncated payload must decode
+/// as an error, not as a shorter value.
+class BinaryReader {
+ public:
+  BinaryReader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  StatusOr<uint8_t> GetU8() {
+    if (pos_ + 1 > size_) return Truncated();
+    return static_cast<uint8_t>(data_[pos_++]);
+  }
+
+  StatusOr<uint32_t> GetU32() {
+    if (pos_ + 4 > size_) return Truncated();
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  StatusOr<uint64_t> GetU64() {
+    if (pos_ + 8 > size_) return Truncated();
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  StatusOr<float> GetF32() {
+    auto bits = GetU32();
+    if (!bits.ok()) return bits.status();
+    float v;
+    uint32_t b = *bits;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+
+  StatusOr<double> GetF64() {
+    auto bits = GetU64();
+    if (!bits.ok()) return bits.status();
+    double v;
+    uint64_t b = *bits;
+    std::memcpy(&v, &b, sizeof(v));
+    return v;
+  }
+
+  StatusOr<std::string> GetString() {
+    auto n = GetU32();
+    if (!n.ok()) return n.status();
+    if (pos_ + *n > size_) return Truncated();
+    std::string s(data_ + pos_, *n);
+    pos_ += *n;
+    return s;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ == size_; }
+
+ private:
+  Status Truncated() const {
+    return Status::OutOfRange("binary payload truncated at byte " +
+                              std::to_string(pos_));
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+/// Record codec: u32 num_fields | fields | label. Each field is
+/// u8 kind | u32 size | payload (f32s for dense vectors, u64s for token
+/// sets, which Field re-canonicalizes on construction).
+void EncodeRecord(const Record& record, BinaryWriter* writer);
+StatusOr<Record> DecodeRecord(BinaryReader* reader);
+
+}  // namespace adalsh
+
+#endif  // ADALSH_IO_BINARY_CODEC_H_

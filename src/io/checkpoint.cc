@@ -1,0 +1,267 @@
+#include "io/checkpoint.h"
+
+#include <dirent.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <stdio.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cinttypes>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "io/binary_codec.h"
+#include "io/wal.h"
+#include "util/fault_injection.h"
+
+namespace adalsh {
+
+namespace {
+
+constexpr char kMagic[] = "ADLSHCP1";
+constexpr size_t kMagicBytes = 8;
+
+// checkpoint-<seq> with the seq zero-padded to 20 digits so lexicographic
+// and numeric order agree.
+std::string CheckpointFileName(uint64_t seq) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "checkpoint-%020" PRIu64, seq);
+  return buf;
+}
+
+// Parses "checkpoint-<digits>" (no .tmp suffix); returns false otherwise.
+bool ParseCheckpointFileName(const std::string& name, uint64_t* seq) {
+  constexpr char kPrefix[] = "checkpoint-";
+  constexpr size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (name.size() <= kPrefixLen || name.compare(0, kPrefixLen, kPrefix) != 0) {
+    return false;
+  }
+  uint64_t value = 0;
+  for (size_t i = kPrefixLen; i < name.size(); ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  *seq = value;
+  return true;
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::FailedPrecondition("open dir " + dir + ": " +
+                                      ::strerror(errno));
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::FailedPrecondition("fsync dir " + dir + ": " +
+                                      ::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+std::string EncodeCheckpointBody(const CheckpointData& data) {
+  BinaryWriter body;
+  body.PutU64(data.last_seq);
+  body.PutU64(data.next_external_id);
+  body.PutU64(data.generation);
+  body.PutU32(data.shards);
+  body.PutU8(data.has_cost_model ? 1 : 0);
+  body.PutF64(data.cost_per_hash);
+  body.PutF64(data.cost_per_pair);
+  body.PutU64(data.ids.size());
+  for (size_t i = 0; i < data.ids.size(); ++i) {
+    body.PutU64(data.ids[i]);
+    EncodeRecord(data.records[i], &body);
+  }
+  return body.Take();
+}
+
+StatusOr<CheckpointData> DecodeCheckpoint(const std::string& bytes) {
+  if (bytes.size() < kMagicBytes + 4 ||
+      bytes.compare(0, kMagicBytes, kMagic) != 0) {
+    return Status::InvalidArgument("bad checkpoint magic");
+  }
+  size_t body_size = bytes.size() - kMagicBytes - 4;
+  const char* body = bytes.data() + kMagicBytes;
+  BinaryReader crc_reader(bytes.data() + kMagicBytes + body_size, 4);
+  uint32_t stored_crc = *crc_reader.GetU32();
+  if (Crc32c(body, body_size) != stored_crc) {
+    return Status::InvalidArgument("checkpoint CRC mismatch");
+  }
+
+  BinaryReader reader(body, body_size);
+  CheckpointData data;
+  auto last_seq = reader.GetU64();
+  if (!last_seq.ok()) return last_seq.status();
+  data.last_seq = *last_seq;
+  auto next_id = reader.GetU64();
+  if (!next_id.ok()) return next_id.status();
+  data.next_external_id = *next_id;
+  auto generation = reader.GetU64();
+  if (!generation.ok()) return generation.status();
+  data.generation = *generation;
+  auto shards = reader.GetU32();
+  if (!shards.ok()) return shards.status();
+  data.shards = *shards;
+  auto has_model = reader.GetU8();
+  if (!has_model.ok()) return has_model.status();
+  data.has_cost_model = *has_model != 0;
+  auto hash_cost = reader.GetF64();
+  if (!hash_cost.ok()) return hash_cost.status();
+  data.cost_per_hash = *hash_cost;
+  auto pair_cost = reader.GetF64();
+  if (!pair_cost.ok()) return pair_cost.status();
+  data.cost_per_pair = *pair_cost;
+  auto n = reader.GetU64();
+  if (!n.ok()) return n.status();
+  for (uint64_t i = 0; i < *n; ++i) {
+    auto id = reader.GetU64();
+    if (!id.ok()) return id.status();
+    auto record = DecodeRecord(&reader);
+    if (!record.ok()) return record.status();
+    data.ids.push_back(*id);
+    data.records.push_back(*std::move(record));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("checkpoint body has trailing bytes");
+  }
+  return data;
+}
+
+// Names of directory entries, or FailedPrecondition when unreadable.
+StatusOr<std::vector<std::string>> ListDirectory(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    return Status::FailedPrecondition("opendir " + dir + ": " +
+                                      ::strerror(errno));
+  }
+  std::vector<std::string> names;
+  while (dirent* entry = ::readdir(d)) {
+    names.emplace_back(entry->d_name);
+  }
+  ::closedir(d);
+  return names;
+}
+
+}  // namespace
+
+StatusOr<std::string> WriteCheckpoint(const std::string& dir,
+                                      const CheckpointData& data) {
+  // Hit 1: before any bytes are written — a crash here leaves no trace.
+  if (auto injected = FaultStatusPoint(FaultSite::kCheckpointWrite)) {
+    return *injected;
+  }
+
+  std::string body = EncodeCheckpointBody(data);
+  std::string final_path = dir + "/" + CheckpointFileName(data.last_seq);
+  std::string tmp_path = final_path + ".tmp";
+
+  int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::FailedPrecondition("open " + tmp_path + ": " +
+                                      ::strerror(errno));
+  }
+  BinaryWriter trailer;
+  trailer.PutU32(Crc32c(body.data(), body.size()));
+  std::string bytes = std::string(kMagic, kMagicBytes) + body + trailer.Take();
+  size_t written = 0;
+  while (written < bytes.size()) {
+    ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      Status status = Status::FailedPrecondition("write " + tmp_path + ": " +
+                                                 ::strerror(errno));
+      ::close(fd);
+      ::unlink(tmp_path.c_str());
+      return status;
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    Status status = Status::FailedPrecondition("fsync " + tmp_path + ": " +
+                                               ::strerror(errno));
+    ::close(fd);
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  ::close(fd);
+
+  // Hit 2: the temp file is complete and durable but not yet visible under
+  // its final name — a crash here strands an orphaned .tmp that recovery
+  // must ignore and prune.
+  if (auto injected = FaultStatusPoint(FaultSite::kCheckpointWrite)) {
+    ::unlink(tmp_path.c_str());
+    return *injected;
+  }
+
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    Status status = Status::FailedPrecondition(
+        "rename " + tmp_path + ": " + ::strerror(errno));
+    ::unlink(tmp_path.c_str());
+    return status;
+  }
+  Status dir_sync = SyncDirectory(dir);
+  if (!dir_sync.ok()) return dir_sync;
+  return final_path;
+}
+
+StatusOr<CheckpointData> LoadNewestCheckpoint(
+    const std::string& dir, std::vector<std::string>* warnings) {
+  auto names = ListDirectory(dir);
+  if (!names.ok()) return names.status();
+
+  std::vector<std::pair<uint64_t, std::string>> candidates;
+  for (const std::string& name : *names) {
+    uint64_t seq = 0;
+    if (ParseCheckpointFileName(name, &seq)) candidates.emplace_back(seq, name);
+  }
+  // Newest first; fall back to older checkpoints when validation fails.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  for (const auto& [seq, name] : candidates) {
+    std::string path = dir + "/" + name;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      if (warnings) warnings->push_back(path + ": unreadable; skipping");
+      continue;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto data = DecodeCheckpoint(buffer.str());
+    if (!data.ok()) {
+      if (warnings) {
+        warnings->push_back(path + ": " + data.status().message() +
+                            "; skipping");
+      }
+      continue;
+    }
+    return data;
+  }
+  return Status::NotFound("no valid checkpoint in " + dir);
+}
+
+int PruneCheckpoints(const std::string& dir, uint64_t keep_seq) {
+  auto names = ListDirectory(dir);
+  if (!names.ok()) return 0;
+  int removed = 0;
+  for (const std::string& name : *names) {
+    std::string path = dir + "/" + name;
+    bool prune = false;
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      prune = true;  // orphaned temp from an interrupted checkpoint
+    } else {
+      uint64_t seq = 0;
+      if (ParseCheckpointFileName(name, &seq) && seq < keep_seq) prune = true;
+    }
+    if (prune && ::unlink(path.c_str()) == 0) ++removed;
+  }
+  return removed;
+}
+
+}  // namespace adalsh

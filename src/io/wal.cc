@@ -1,0 +1,381 @@
+#include "io/wal.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "io/binary_codec.h"
+#include "util/fault_injection.h"
+
+namespace adalsh {
+
+namespace {
+
+// Frame header: u32 payload length + u32 crc.
+constexpr size_t kFrameHeaderBytes = 8;
+
+// Sanity cap on a single frame's payload. A length field larger than this is
+// treated as corruption (a bit flip in the length must not make the reader
+// skip gigabytes into the file looking for the next frame).
+constexpr uint32_t kMaxFramePayloadBytes = 1u << 30;
+
+// Transient-failure policy for physical write/fsync attempts: a bounded
+// number of tries with linear backoff (docs/durability.md). Kept short —
+// a genuinely dead disk should reach the read-only degradation path in
+// milliseconds, not hang the mutation.
+constexpr int kMaxIoAttempts = 4;
+constexpr int kBackoffMicrosPerAttempt = 200;
+
+void Backoff(int attempt) {
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(kBackoffMicrosPerAttempt * attempt));
+}
+
+const uint32_t* Crc32cTable() {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    // Reflected Castagnoli polynomial.
+    constexpr uint32_t kPoly = 0x82F63B78u;
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t size) {
+  const uint32_t* table = Crc32cTable();
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  crc = ~crc;
+  for (size_t i = 0; i < size; ++i) {
+    crc = (crc >> 8) ^ table[(crc ^ bytes[i]) & 0xff];
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32cExtend(0, data, size);
+}
+
+const char* WalSyncPolicyName(WalSyncPolicy policy) {
+  switch (policy) {
+    case WalSyncPolicy::kNone:
+      return "none";
+    case WalSyncPolicy::kBatch:
+      return "batch";
+    case WalSyncPolicy::kAlways:
+      return "always";
+  }
+  return "unknown";
+}
+
+StatusOr<WalSyncPolicy> ParseWalSyncPolicy(const std::string& name) {
+  if (name == "none") return WalSyncPolicy::kNone;
+  if (name == "batch") return WalSyncPolicy::kBatch;
+  if (name == "always") return WalSyncPolicy::kAlways;
+  return Status::InvalidArgument("unknown sync policy: " + name +
+                                 " (want none|batch|always)");
+}
+
+std::string EncodeWalFrame(const WalFrame& frame) {
+  BinaryWriter payload;
+  payload.PutU8(static_cast<uint8_t>(frame.type));
+  payload.PutU64(frame.seq);
+  payload.PutU64(frame.generation);
+  switch (frame.type) {
+    case WalFrameType::kIngest:
+      payload.PutU32(frame.parts);
+      payload.PutU32(static_cast<uint32_t>(frame.records.size()));
+      for (size_t i = 0; i < frame.records.size(); ++i) {
+        payload.PutU64(frame.ids[i]);
+        EncodeRecord(frame.records[i], &payload);
+      }
+      break;
+    case WalFrameType::kRemove:
+      payload.PutU32(frame.parts);
+      payload.PutU32(static_cast<uint32_t>(frame.ids.size()));
+      for (uint64_t id : frame.ids) payload.PutU64(id);
+      break;
+    case WalFrameType::kUpdate:
+      payload.PutU64(frame.ids[0]);
+      EncodeRecord(frame.records[0], &payload);
+      break;
+    case WalFrameType::kFlush:
+      payload.PutU32(frame.parts);
+      break;
+    case WalFrameType::kCostModel:
+      payload.PutU32(frame.parts);
+      payload.PutF64(frame.cost_per_hash);
+      payload.PutF64(frame.cost_per_pair);
+      break;
+  }
+  const std::string& body = payload.bytes();
+  BinaryWriter out;
+  out.PutU32(static_cast<uint32_t>(body.size()));
+  out.PutU32(Crc32c(body.data(), body.size()));
+  std::string bytes = out.Take();
+  bytes.append(body);
+  return bytes;
+}
+
+Status DecodeWalFrame(const std::string& data, size_t offset, WalFrame* frame,
+                      size_t* consumed) {
+  if (offset + kFrameHeaderBytes > data.size()) {
+    return Status::OutOfRange("incomplete frame header");
+  }
+  BinaryReader header(data.data() + offset, kFrameHeaderBytes);
+  uint32_t length = *header.GetU32();
+  uint32_t crc = *header.GetU32();
+  if (length > kMaxFramePayloadBytes) {
+    return Status::InvalidArgument("frame length " + std::to_string(length) +
+                                   " exceeds sanity cap");
+  }
+  if (offset + kFrameHeaderBytes + length > data.size()) {
+    return Status::OutOfRange("incomplete frame payload");
+  }
+  const char* payload = data.data() + offset + kFrameHeaderBytes;
+  uint32_t actual = Crc32c(payload, length);
+  if (actual != crc) {
+    return Status::InvalidArgument("frame CRC mismatch");
+  }
+
+  BinaryReader reader(payload, length);
+  auto type = reader.GetU8();
+  if (!type.ok()) return type.status();
+  auto seq = reader.GetU64();
+  if (!seq.ok()) return seq.status();
+  auto generation = reader.GetU64();
+  if (!generation.ok()) return generation.status();
+
+  WalFrame out;
+  out.seq = *seq;
+  out.generation = *generation;
+  switch (static_cast<WalFrameType>(*type)) {
+    case WalFrameType::kIngest: {
+      out.type = WalFrameType::kIngest;
+      auto parts = reader.GetU32();
+      if (!parts.ok()) return parts.status();
+      out.parts = *parts;
+      auto n = reader.GetU32();
+      if (!n.ok()) return n.status();
+      for (uint32_t i = 0; i < *n; ++i) {
+        auto id = reader.GetU64();
+        if (!id.ok()) return id.status();
+        auto record = DecodeRecord(&reader);
+        if (!record.ok()) return record.status();
+        out.ids.push_back(*id);
+        out.records.push_back(*std::move(record));
+      }
+      break;
+    }
+    case WalFrameType::kRemove: {
+      out.type = WalFrameType::kRemove;
+      auto parts = reader.GetU32();
+      if (!parts.ok()) return parts.status();
+      out.parts = *parts;
+      auto n = reader.GetU32();
+      if (!n.ok()) return n.status();
+      if (reader.remaining() < static_cast<size_t>(*n) * 8) {
+        return Status::OutOfRange("remove frame overruns payload");
+      }
+      for (uint32_t i = 0; i < *n; ++i) {
+        out.ids.push_back(*reader.GetU64());
+      }
+      break;
+    }
+    case WalFrameType::kUpdate: {
+      out.type = WalFrameType::kUpdate;
+      auto id = reader.GetU64();
+      if (!id.ok()) return id.status();
+      auto record = DecodeRecord(&reader);
+      if (!record.ok()) return record.status();
+      out.ids.push_back(*id);
+      out.records.push_back(*std::move(record));
+      break;
+    }
+    case WalFrameType::kFlush: {
+      out.type = WalFrameType::kFlush;
+      auto parts = reader.GetU32();
+      if (!parts.ok()) return parts.status();
+      out.parts = *parts;
+      break;
+    }
+    case WalFrameType::kCostModel: {
+      out.type = WalFrameType::kCostModel;
+      auto parts = reader.GetU32();
+      if (!parts.ok()) return parts.status();
+      out.parts = *parts;
+      auto hash_cost = reader.GetF64();
+      if (!hash_cost.ok()) return hash_cost.status();
+      auto pair_cost = reader.GetF64();
+      if (!pair_cost.ok()) return pair_cost.status();
+      out.cost_per_hash = *hash_cost;
+      out.cost_per_pair = *pair_cost;
+      break;
+    }
+    default:
+      return Status::InvalidArgument("unknown frame type " +
+                                     std::to_string(*type));
+  }
+  if (!reader.exhausted()) {
+    return Status::InvalidArgument("frame payload has trailing bytes");
+  }
+  *frame = std::move(out);
+  *consumed = kFrameHeaderBytes + length;
+  return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<MutationLog>> MutationLog::Open(
+    const std::string& path, WalSyncPolicy policy, uint64_t committed_bytes) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::FailedPrecondition("open " + path + ": " +
+                                      ::strerror(errno));
+  }
+  // Physically drop anything past the committed prefix (a torn tail, or
+  // frames recovery discarded after a seq gap) so stale bytes can never be
+  // misread as frames once fresh appends land in front of them.
+  if (::ftruncate(fd, static_cast<off_t>(committed_bytes)) != 0) {
+    Status status = Status::FailedPrecondition("ftruncate " + path + ": " +
+                                               ::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<MutationLog>(
+      new MutationLog(path, policy, fd, committed_bytes));
+}
+
+MutationLog::~MutationLog() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status MutationLog::WriteAttempt(const std::string& bytes) {
+  if (auto injected = FaultStatusPoint(FaultSite::kWalAppend)) {
+    return *injected;
+  }
+  size_t limit = bytes.size();
+  bool torn = false;
+  if (auto cap = FaultShortWritePoint(FaultSite::kWalAppend)) {
+    limit = std::min(limit, *cap);
+    torn = true;
+  }
+  size_t written = 0;
+  while (written < limit) {
+    ssize_t n = ::pwrite(fd_, bytes.data() + written, limit - written,
+                         static_cast<off_t>(committed_bytes_ + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FailedPrecondition("pwrite " + path_ + ": " +
+                                        ::strerror(errno));
+    }
+    written += static_cast<size_t>(n);
+  }
+  if (torn) {
+    // The injected cap persisted a partial frame (exactly what a crash
+    // mid-write leaves behind); report the attempt as failed so the caller
+    // retries or degrades, and never advance the committed offset over it.
+    return Status::FailedPrecondition("injected short write after " +
+                                      std::to_string(limit) + " bytes");
+  }
+  return Status::Ok();
+}
+
+Status MutationLog::Append(const WalFrame& frame) {
+  std::string bytes = EncodeWalFrame(frame);
+  Status last;
+  for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.append_retries;
+      Backoff(attempt);
+    }
+    last = WriteAttempt(bytes);
+    if (last.ok()) break;
+  }
+  if (!last.ok()) return last;
+  committed_bytes_ += bytes.size();
+  ++stats_.frames_appended;
+  stats_.bytes_appended += bytes.size();
+  if (policy_ == WalSyncPolicy::kAlways) return Sync();
+  return Status::Ok();
+}
+
+Status MutationLog::Sync() {
+  Status last;
+  for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++stats_.sync_retries;
+      Backoff(attempt);
+    }
+    if (auto injected = FaultStatusPoint(FaultSite::kWalSync)) {
+      last = *injected;
+      continue;
+    }
+    if (::fsync(fd_) != 0) {
+      last = Status::FailedPrecondition("fsync " + path_ + ": " +
+                                        ::strerror(errno));
+      continue;
+    }
+    last = Status::Ok();
+    break;
+  }
+  if (last.ok()) ++stats_.syncs;
+  return last;
+}
+
+Status MutationLog::Truncate() {
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::FailedPrecondition("ftruncate " + path_ + ": " +
+                                      ::strerror(errno));
+  }
+  committed_bytes_ = 0;
+  if (::fsync(fd_) != 0) {
+    return Status::FailedPrecondition("fsync " + path_ + ": " +
+                                      ::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+StatusOr<WalReadResult> ReadMutationLog(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::NotFound("no log at " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string data = buffer.str();
+
+  WalReadResult result;
+  size_t offset = 0;
+  while (offset < data.size()) {
+    WalFrame frame;
+    size_t consumed = 0;
+    Status status = DecodeWalFrame(data, offset, &frame, &consumed);
+    if (!status.ok()) {
+      result.truncated = true;
+      result.warning = path + ": invalid frame at byte " +
+                       std::to_string(offset) + " (" + status.message() +
+                       "); truncating " + std::to_string(data.size() - offset) +
+                       " trailing bytes";
+      break;
+    }
+    result.frames.push_back(std::move(frame));
+    offset += consumed;
+  }
+  result.valid_bytes = offset;
+  return result;
+}
+
+}  // namespace adalsh

@@ -1,6 +1,7 @@
 #include "util/fault_injection.h"
 
 #include <chrono>
+#include <string>
 #include <thread>
 #include <utility>
 
@@ -21,8 +22,24 @@ const char* FaultSiteName(FaultSite site) {
       return "pairwise_tile";
     case FaultSite::kMerge:
       return "merge";
+    case FaultSite::kWalAppend:
+      return "wal_append";
+    case FaultSite::kWalSync:
+      return "wal_sync";
+    case FaultSite::kCheckpointWrite:
+      return "checkpoint_write";
+    case FaultSite::kRecoveryReplay:
+      return "recovery_replay";
   }
   return "unknown";
+}
+
+StatusOr<FaultSite> ParseFaultSite(const std::string& name) {
+  for (int i = 0; i < kNumFaultSites; ++i) {
+    FaultSite site = static_cast<FaultSite>(i);
+    if (name == FaultSiteName(site)) return site;
+  }
+  return Status::InvalidArgument("unknown fault site: " + name);
 }
 
 void FaultInjector::InjectLatency(FaultSite site, int micros) {
@@ -44,6 +61,24 @@ void FaultInjector::CancelAt(FaultSite site, uint64_t nth_hit,
   TriggerAt(site, nth_hit, [controller] { controller->Cancel(); });
 }
 
+void FaultInjector::FailAt(FaultSite site, uint64_t nth_hit, Status status,
+                           uint64_t repeat) {
+  ADALSH_CHECK_GE(nth_hit, 1u);
+  ADALSH_CHECK(!status.ok()) << "FailAt needs a non-ok status";
+  SiteState& state = sites_[static_cast<int>(site)];
+  state.fail_at = nth_hit;
+  state.fail_until = repeat == 0 ? 0 : nth_hit + repeat;
+  state.fail_status = std::move(status);
+}
+
+void FaultInjector::ShortWriteAt(FaultSite site, uint64_t nth_hit,
+                                 size_t max_bytes) {
+  ADALSH_CHECK_GE(nth_hit, 1u);
+  SiteState& state = sites_[static_cast<int>(site)];
+  state.short_write_at = nth_hit;
+  state.short_write_bytes = max_bytes;
+}
+
 void FaultInjector::OnSite(FaultSite site) {
   SiteState& state = sites_[static_cast<int>(site)];
   uint64_t hit = state.hits.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -54,19 +89,35 @@ void FaultInjector::OnSite(FaultSite site) {
   if (state.trigger_at != 0 && hit == state.trigger_at) state.trigger();
 }
 
+std::optional<Status> FaultInjector::ConsumeFailure(FaultSite site) {
+  SiteState& state = sites_[static_cast<int>(site)];
+  if (state.fail_at == 0) return std::nullopt;
+  uint64_t hit = state.hits.load(std::memory_order_relaxed);
+  if (hit < state.fail_at) return std::nullopt;
+  if (state.fail_until != 0 && hit >= state.fail_until) return std::nullopt;
+  return state.fail_status;
+}
+
 uint64_t FaultInjector::hits(FaultSite site) const {
   return sites_[static_cast<int>(site)].hits.load(std::memory_order_relaxed);
 }
 
+std::optional<size_t> FaultInjector::ConsumeShortWrite(FaultSite site) {
+  SiteState& state = sites_[static_cast<int>(site)];
+  if (state.short_write_at == 0) return std::nullopt;
+  uint64_t hit = state.hits.load(std::memory_order_relaxed);
+  if (hit != state.short_write_at) return std::nullopt;
+  return state.short_write_bytes;
+}
+
 ScopedFaultInjector::ScopedFaultInjector(FaultInjector* injector) {
   ADALSH_CHECK(injector != nullptr);
-  FaultInjector* previous = internal_fault::g_injector.exchange(
-      injector, std::memory_order_acq_rel);
-  ADALSH_CHECK(previous == nullptr) << "nested ScopedFaultInjector installs";
+  previous_ =
+      internal_fault::g_injector.exchange(injector, std::memory_order_acq_rel);
 }
 
 ScopedFaultInjector::~ScopedFaultInjector() {
-  internal_fault::g_injector.store(nullptr, std::memory_order_release);
+  internal_fault::g_injector.store(previous_, std::memory_order_release);
 }
 
 }  // namespace adalsh

@@ -1,0 +1,542 @@
+// Differential crash-recovery coverage for the durable engine
+// (docs/durability.md): reopening a data directory after an abrupt close must
+// converge to state byte-identical to the from-scratch reference — across
+// seeds, thread counts and shard counts, with and without checkpoints, and
+// with torn or bit-flipped log tails. Also the failure semantics: permanent
+// WAL errors degrade the engine to read-only without crashing, replay faults
+// fail Open gracefully, and stale shard layouts are rejected. The storage
+// layer's own unit tests live in wal_test.cc; the process-level kill-point
+// matrix is tools/crash_smoke.sh.
+
+#include <stdlib.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/durability.h"
+#include "engine/engine_report.h"
+#include "io/checkpoint.h"
+#include "io/wal.h"
+#include "util/fault_injection.h"
+#include "engine_harness.h"
+#include "test_util.h"
+
+namespace adalsh {
+namespace {
+
+/// mkdtemp-backed data directory, removed on destruction.
+class TempDir {
+ public:
+  TempDir() {
+    char buf[] = "/tmp/adalsh_recovery_test_XXXXXX";
+    char* made = ::mkdtemp(buf);
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : "/tmp";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  std::string file(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+DurableEngine::Options DurableOptions(
+    int shards, int threads, int top_k, std::string dir,
+    WalSyncPolicy sync = WalSyncPolicy::kNone, uint64_t checkpoint_every_n = 0,
+    uint64_t seed = 3) {
+  DurableEngine::Options options;
+  options.engine = test::EngineOptions(threads, top_k, seed);
+  options.shards = shards;
+  options.data_dir = std::move(dir);
+  options.sync = sync;
+  options.checkpoint_every_n = checkpoint_every_n;
+  return options;
+}
+
+std::vector<size_t> SizesForSeed(uint64_t seed) {
+  std::vector<size_t> sizes = {12, 9, 7, 5, 3, 2, 1};
+  sizes[seed % sizes.size()] += seed % 4;
+  if (seed % 3 == 0) sizes.push_back(1);
+  return sizes;
+}
+
+/// Records `first..first+count` of `dataset` as a fresh ingest batch.
+std::vector<Record> Slice(const Dataset& dataset, size_t first, size_t count) {
+  std::vector<Record> records;
+  for (size_t i = 0; i < count; ++i) records.push_back(dataset.record(first + i));
+  return records;
+}
+
+/// One-line recovery summary for failure messages.
+std::string StatsDebug(const DurabilityStats& stats) {
+  std::string out = "checkpoint_loaded=" +
+                    std::to_string(stats.checkpoint_loaded) +
+                    " checkpoint_seq=" + std::to_string(stats.checkpoint_seq) +
+                    " frames_replayed=" + std::to_string(stats.frames_replayed) +
+                    " frames_discarded=" +
+                    std::to_string(stats.frames_discarded) +
+                    " replay_apply_failures=" +
+                    std::to_string(stats.replay_apply_failures) +
+                    " log_truncated=" + std::to_string(stats.log_truncated);
+  for (const std::string& warning : stats.recovery_warnings) {
+    out += "\n  warning: " + warning;
+  }
+  return out;
+}
+
+TEST(WalRecoveryTest, FreshDirectoryOpensEmptyAndServes) {
+  TempDir dir;
+  auto engine = DurableEngine::Open(MatchRule::Leaf(0, 0.5),
+                                    DurableOptions(0, 1, 3, dir.path()));
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  const DurabilityStats stats = engine.value()->durability_stats();
+  EXPECT_FALSE(stats.checkpoint_loaded);
+  EXPECT_EQ(stats.frames_replayed, 0u);
+  EXPECT_FALSE(stats.log_truncated);
+  EXPECT_FALSE(engine.value()->degraded());
+  EXPECT_EQ(engine.value()->counters().live_records, 0u);
+
+  GeneratedDataset generated = test::MakePlantedDataset({3}, 3);
+  auto ingested = engine.value()->Ingest(Slice(generated.dataset, 0, 3));
+  ASSERT_TRUE(ingested.ok());
+  EXPECT_EQ(engine.value()->counters().live_records, 3u);
+  EXPECT_GT(engine.value()->durability_stats().wal_frames_appended, 0u);
+}
+
+// The acceptance sweep: a randomized mutation history against the durable
+// engine, an abrupt close (no flush, no checkpoint), and a reopen must yield
+// a canonical snapshot byte-identical to the from-scratch reference — for
+// every (shards, threads) combination on every seed. The reopened engine
+// replays the WAL through the same confluence contract the differential
+// harness certifies, so any divergence is a durability bug, not noise.
+TEST(WalRecoveryTest, RecoveredEngineMatchesReferenceAcrossSeedsThreadsShards) {
+  constexpr int kShardCounts[] = {0, 1, 4};
+  constexpr int kThreadCounts[] = {1, 2, 8};
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    GeneratedDataset generated =
+        test::MakePlantedDataset(SizesForSeed(seed), seed);
+    std::string reference;
+    test::LiveMap live;
+    bool have_reference = false;
+    for (int shards : kShardCounts) {
+      for (int threads : kThreadCounts) {
+        TempDir dir;
+        {
+          auto engine = DurableEngine::Open(
+              generated.rule,
+              DurableOptions(shards, threads, 4, dir.path(),
+                             WalSyncPolicy::kNone, /*checkpoint_every_n=*/0,
+                             seed));
+          ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+          test::LiveMap ran = test::RunRandomScript(engine.value().get(),
+                                                    generated.dataset, seed);
+          if (!have_reference) {
+            live = std::move(ran);
+            reference = test::ReferenceCanonical(generated.dataset,
+                                                 generated.rule, live, 4);
+            have_reference = true;
+          } else {
+            // The script is a pure function of (seed, dataset, knobs);
+            // every engine shape must walk the identical id history.
+            ASSERT_EQ(ran, live) << "seed " << seed;
+          }
+        }  // abrupt close: nothing flushed or checkpointed
+
+        auto recovered = DurableEngine::Open(
+            generated.rule,
+            DurableOptions(shards, threads, 4, dir.path(),
+                           WalSyncPolicy::kNone, /*checkpoint_every_n=*/0,
+                           seed));
+        ASSERT_TRUE(recovered.ok())
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads << ": " << recovered.status().ToString();
+        const DurabilityStats stats = recovered.value()->durability_stats();
+        EXPECT_FALSE(stats.checkpoint_loaded);
+        EXPECT_GT(stats.frames_replayed, 0u);
+        EXPECT_EQ(stats.replay_apply_failures, 0u);
+        ASSERT_TRUE(recovered.value()->Flush().ok());
+        EXPECT_EQ(test::CanonicalSnapshot(*recovered.value()->Snapshot()),
+                  reference)
+            << "seed " << seed << " shards " << shards << " threads "
+            << threads;
+      }
+    }
+  }
+}
+
+TEST(WalRecoveryTest, ExplicitCheckpointTruncatesLogsAndSeedsRecovery) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset(SizesForSeed(7), 7);
+  test::LiveMap live;
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(4, 2, 4, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    live = test::RunRandomScript(engine.value().get(), generated.dataset, 7);
+    ASSERT_TRUE(engine.value()->Checkpoint().ok());
+    EXPECT_EQ(engine.value()->durability_stats().checkpoints_written, 1u);
+    // The checkpoint superseded every logged frame.
+    for (int s = 0; s < 4; ++s) {
+      EXPECT_EQ(std::filesystem::file_size(
+                    dir.file("wal-" + std::to_string(s) + ".log")),
+                0u);
+    }
+  }
+  auto recovered = DurableEngine::Open(generated.rule,
+                                       DurableOptions(4, 2, 4, dir.path()));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const DurabilityStats stats = recovered.value()->durability_stats();
+  EXPECT_TRUE(stats.checkpoint_loaded);
+  EXPECT_GT(stats.checkpoint_seq, 0u);
+  EXPECT_EQ(stats.frames_replayed, 0u);
+  ASSERT_TRUE(recovered.value()->Flush().ok());
+  EXPECT_EQ(test::CanonicalSnapshot(*recovered.value()->Snapshot()),
+            test::ReferenceCanonical(generated.dataset, generated.rule, live,
+                                     4));
+}
+
+TEST(WalRecoveryTest, CheckpointPlusLogTailReplayMatchesReference) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset(SizesForSeed(11), 11);
+  test::LiveMap live;
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(4, 2, 4, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    live = test::RunRandomScript(engine.value().get(), generated.dataset, 11);
+    ASSERT_TRUE(engine.value()->Checkpoint().ok());
+    // Post-checkpoint tail: remove one live id, then the abrupt close.
+    const ExternalId victim = live.begin()->first;
+    std::vector<ExternalId> ids = {victim};
+    ASSERT_TRUE(engine.value()->Remove(ids).ok());
+    live.erase(victim);
+  }
+  auto recovered = DurableEngine::Open(generated.rule,
+                                       DurableOptions(4, 2, 4, dir.path()));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const DurabilityStats stats = recovered.value()->durability_stats();
+  EXPECT_TRUE(stats.checkpoint_loaded);
+  EXPECT_EQ(stats.frames_replayed, 1u);  // exactly the tail remove
+  ASSERT_TRUE(recovered.value()->Flush().ok());
+  EXPECT_EQ(test::CanonicalSnapshot(*recovered.value()->Snapshot()),
+            test::ReferenceCanonical(generated.dataset, generated.rule, live,
+                                     4));
+}
+
+TEST(WalRecoveryTest, AutomaticCheckpointEveryNMutations) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({8}, 5);
+  {
+    auto engine = DurableEngine::Open(
+        generated.rule, DurableOptions(0, 1, 3, dir.path(),
+                                       WalSyncPolicy::kBatch,
+                                       /*checkpoint_every_n=*/3));
+    ASSERT_TRUE(engine.ok());
+    for (size_t i = 0; i < 8; ++i) {
+      ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, i, 1)).ok());
+    }
+    EXPECT_GE(engine.value()->durability_stats().checkpoints_written, 2u);
+  }
+  auto recovered = DurableEngine::Open(
+      generated.rule, DurableOptions(0, 1, 3, dir.path(),
+                                     WalSyncPolicy::kBatch,
+                                     /*checkpoint_every_n=*/3));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(recovered.value()->durability_stats().checkpoint_loaded);
+  EXPECT_EQ(recovered.value()->counters().live_records, 8u);
+}
+
+TEST(WalRecoveryTest, ReopenedSessionsContinueIdAndSeqSpaces) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({12}, 9);
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(0, 1, 3, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    auto ingested = engine.value()->Ingest(Slice(generated.dataset, 0, 5));
+    ASSERT_TRUE(ingested.ok());
+    EXPECT_EQ(ingested.value().assigned_ids.back(), 4u);
+  }
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(0, 1, 3, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    // External ids must continue past the recovered history, never reuse.
+    auto ingested = engine.value()->Ingest(Slice(generated.dataset, 5, 5));
+    ASSERT_TRUE(ingested.ok());
+    EXPECT_EQ(ingested.value().assigned_ids.front(), 5u);
+    std::vector<ExternalId> ids = {2};
+    ASSERT_TRUE(engine.value()->Remove(ids).ok());
+  }
+  auto engine = DurableEngine::Open(generated.rule,
+                                    DurableOptions(0, 1, 3, dir.path()));
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine.value()->counters().live_records, 9u);
+  auto cluster = engine.value()->Cluster(9);
+  EXPECT_TRUE(cluster.ok());
+}
+
+TEST(WalRecoveryTest, GarbageTailIsTruncatedWithoutLosingMutations) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset(SizesForSeed(4), 4);
+  test::LiveMap live;
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(0, 2, 4, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    live = test::RunRandomScript(engine.value().get(), generated.dataset, 4);
+  }
+  // Torn bytes after the last complete frame: the post-crash shape when the
+  // process died mid-append. Recovery keeps every acked mutation.
+  {
+    std::ofstream out(dir.file("wal-0.log"),
+                      std::ios::binary | std::ios::app);
+    out << "torn tail bytes that are not a frame";
+  }
+  auto recovered = DurableEngine::Open(generated.rule,
+                                       DurableOptions(0, 2, 4, dir.path()));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const DurabilityStats stats = recovered.value()->durability_stats();
+  EXPECT_TRUE(stats.log_truncated);
+  ASSERT_FALSE(stats.recovery_warnings.empty());
+  EXPECT_NE(stats.recovery_warnings[0].find("invalid frame"),
+            std::string::npos);
+  ASSERT_TRUE(recovered.value()->Flush().ok());
+  EXPECT_EQ(test::CanonicalSnapshot(*recovered.value()->Snapshot()),
+            test::ReferenceCanonical(generated.dataset, generated.rule, live,
+                                     4));
+}
+
+TEST(WalRecoveryTest, BitFlippedTailDropsOnlyTheDamagedSuffix) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({8}, 6);
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(0, 1, 3, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 3)).ok());
+    ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 3, 2)).ok());
+  }
+  // Flip the last byte on disk: the second ingest's frame fails its CRC, the
+  // first survives untouched.
+  const std::string path = dir.file("wal-0.log");
+  {
+    std::fstream file(path, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekg(0, std::ios::end);
+    const std::streamoff size = file.tellg();
+    ASSERT_GT(size, 0);
+    file.seekg(size - 1);
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    file.seekp(size - 1);
+    file.write(&byte, 1);
+  }
+  auto recovered = DurableEngine::Open(generated.rule,
+                                       DurableOptions(0, 1, 3, dir.path()));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  const DurabilityStats stats = recovered.value()->durability_stats();
+  EXPECT_TRUE(stats.log_truncated);
+  EXPECT_EQ(stats.frames_replayed, 1u);
+  EXPECT_EQ(recovered.value()->counters().live_records, 3u);
+}
+
+TEST(WalRecoveryTest, IncompleteMultiShardMutationEndsReplayablePrefix) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({13}, 5);
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(4, 2, 4, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 3)).ok());
+    ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 3, 10)).ok());
+  }
+  // Drop one shard's sub-frame of the second mutation (seq 2): the loss an
+  // unsynced tail produces on exactly one disk. The whole mutation must be
+  // discarded — a partially applied batch would be a torn state.
+  bool dropped = false;
+  for (int s = 0; s < 4 && !dropped; ++s) {
+    const std::string path = dir.file("wal-" + std::to_string(s) + ".log");
+    auto read = ReadMutationLog(path);
+    ASSERT_TRUE(read.ok());
+    if (read.value().frames.empty() || read.value().frames.back().seq != 2) {
+      continue;
+    }
+    const size_t frame_bytes =
+        EncodeWalFrame(read.value().frames.back()).size();
+    std::filesystem::resize_file(path,
+                                 read.value().valid_bytes - frame_bytes);
+    dropped = true;
+  }
+  ASSERT_TRUE(dropped);
+
+  auto recovered = DurableEngine::Open(generated.rule,
+                                       DurableOptions(4, 2, 4, dir.path()));
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.value()->durability_stats().frames_replayed, 1u)
+      << StatsDebug(recovered.value()->durability_stats());
+  // The sharded engine's merged live count publishes at the flush barrier.
+  ASSERT_TRUE(recovered.value()->Flush().ok());
+  EXPECT_EQ(recovered.value()->counters().live_records, 3u)
+      << StatsDebug(recovered.value()->durability_stats());
+}
+
+TEST(WalRecoveryTest, PermanentAppendFailureDegradesToReadOnly) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({6}, 8);
+  auto engine = DurableEngine::Open(generated.rule,
+                                    DurableOptions(0, 1, 3, dir.path()));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 4)).ok());
+
+  {
+    FaultInjector injector;
+    injector.FailAt(FaultSite::kWalAppend, 1,
+                    Status::FailedPrecondition("injected dead disk"),
+                    /*repeat=*/0);
+    ScopedFaultInjector installed(&injector);
+    auto ingested = engine.value()->Ingest(Slice(generated.dataset, 4, 2));
+    ASSERT_FALSE(ingested.ok());
+    EXPECT_EQ(ingested.status().code(), StatusCode::kFailedPrecondition);
+  }
+
+  // Degradation is sticky (the log's committed offset can no longer be
+  // trusted to advance) and never crashes: mutations fail fast, queries keep
+  // serving the last applied state.
+  EXPECT_TRUE(engine.value()->degraded());
+  EXPECT_TRUE(engine.value()->durability_stats().wal_degraded);
+  std::vector<ExternalId> ids = {0};
+  EXPECT_EQ(engine.value()->Remove(ids).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.value()->Flush().status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.value()->Checkpoint().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(engine.value()->counters().live_records, 4u);
+  auto topk = engine.value()->TopK(2);
+  EXPECT_TRUE(topk.ok());
+}
+
+TEST(WalRecoveryTest, PermanentSyncFailureUnderAlwaysDegrades) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({6}, 8);
+  auto engine = DurableEngine::Open(
+      generated.rule,
+      DurableOptions(0, 1, 3, dir.path(), WalSyncPolicy::kAlways));
+  ASSERT_TRUE(engine.ok());
+
+  FaultInjector injector;
+  injector.FailAt(FaultSite::kWalSync, 1,
+                  Status::FailedPrecondition("injected fsync dead"),
+                  /*repeat=*/0);
+  ScopedFaultInjector installed(&injector);
+  EXPECT_FALSE(engine.value()->Ingest(Slice(generated.dataset, 0, 2)).ok());
+  EXPECT_TRUE(engine.value()->degraded());
+}
+
+TEST(WalRecoveryTest, TransientSyncFailureIsRetriedInvisibly) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({6}, 8);
+  auto engine = DurableEngine::Open(
+      generated.rule,
+      DurableOptions(0, 1, 3, dir.path(), WalSyncPolicy::kAlways));
+  ASSERT_TRUE(engine.ok());
+
+  FaultInjector injector;
+  injector.FailAt(FaultSite::kWalSync, 1,
+                  Status::FailedPrecondition("injected fsync EIO"),
+                  /*repeat=*/2);
+  ScopedFaultInjector installed(&injector);
+  ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 2)).ok());
+  EXPECT_FALSE(engine.value()->degraded());
+  EXPECT_EQ(engine.value()->durability_stats().wal_sync_retries, 2u);
+}
+
+TEST(WalRecoveryTest, ReplayFaultFailsOpenGracefully) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({6}, 8);
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(0, 1, 3, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 3)).ok());
+  }
+  FaultInjector injector;
+  injector.FailAt(FaultSite::kRecoveryReplay, 1,
+                  Status::FailedPrecondition("injected replay error"));
+  ScopedFaultInjector installed(&injector);
+  auto recovered = DurableEngine::Open(generated.rule,
+                                       DurableOptions(0, 1, 3, dir.path()));
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(WalRecoveryTest, StaleShardLayoutIsRejected) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({8}, 2);
+  {
+    auto engine = DurableEngine::Open(generated.rule,
+                                      DurableOptions(4, 1, 3, dir.path()));
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 8)).ok());
+    ASSERT_TRUE(engine.value()->Checkpoint().ok());
+  }
+  for (int wrong_shards : {0, 2}) {
+    auto reopened = DurableEngine::Open(
+        generated.rule, DurableOptions(wrong_shards, 1, 3, dir.path()));
+    ASSERT_FALSE(reopened.ok()) << "shards=" << wrong_shards;
+    EXPECT_EQ(reopened.status().code(), StatusCode::kFailedPrecondition);
+    EXPECT_NE(reopened.status().message().find("stale shard layout"),
+              std::string::npos);
+  }
+  // The original layout still opens.
+  auto reopened = DurableEngine::Open(generated.rule,
+                                      DurableOptions(4, 1, 3, dir.path()));
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  // The sharded engine's merged live count publishes at the flush barrier.
+  ASSERT_TRUE(reopened.value()->Flush().ok());
+  EXPECT_EQ(reopened.value()->counters().live_records, 8u)
+      << StatsDebug(reopened.value()->durability_stats());
+}
+
+TEST(WalRecoveryTest, CheckpointShardMismatchIsRejectedWithoutLogs) {
+  TempDir dir;
+  CheckpointData data;
+  data.last_seq = 3;
+  data.next_external_id = 10;
+  data.shards = 2;
+  ASSERT_TRUE(WriteCheckpoint(dir.path(), data).ok());
+  auto opened = DurableEngine::Open(MatchRule::Leaf(0, 0.5),
+                                    DurableOptions(4, 1, 3, dir.path()));
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(opened.status().message().find("stale shard layout"),
+            std::string::npos);
+}
+
+TEST(WalRecoveryTest, EngineReportCarriesDurabilityPlane) {
+  TempDir dir;
+  GeneratedDataset generated = test::MakePlantedDataset({5}, 3);
+  auto engine = DurableEngine::Open(generated.rule,
+                                    DurableOptions(0, 1, 3, dir.path()));
+  ASSERT_TRUE(engine.ok());
+  ASSERT_TRUE(engine.value()->Ingest(Slice(generated.dataset, 0, 5)).ok());
+  const std::string report = WriteEngineReportJson(*engine.value());
+  EXPECT_NE(report.find("\"durability\""), std::string::npos);
+  EXPECT_NE(report.find("\"wal_frames_appended\""), std::string::npos);
+  EXPECT_NE(report.find("\"wal_degraded\":false"), std::string::npos);
+  EXPECT_NE(report.find("\"recovery\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adalsh

@@ -69,6 +69,30 @@
 //              [--shards=S] [--trace-out=trace.json] [--trace-max-spans=N]
 //              [--metrics-out=FILE] [--metrics-interval-ms=MS]
 //              [--watchdog-factor=F] [--watchdog-min-samples=N]
+//              [--data-dir=DIR] [--sync=none|batch|always]
+//              [--checkpoint-every-n=N] [--crash-at=SITE:N]
+//              [--max-line-bytes=N]
+//
+// --data-dir=DIR turns on the durability plane (docs/durability.md): every
+// mutation is appended to a per-shard write-ahead log in DIR before it is
+// applied, and on startup the engine recovers from the newest valid
+// checkpoint plus the log tail (torn/corrupt tails are truncated with a
+// stderr warning; recovery results print as one `recovered ...` stderr
+// line). --sync picks the fsync policy (default batch: durable at flush/
+// checkpoint/clean-exit barriers). --checkpoint-every-n=N folds the live
+// set into an atomic checkpoint after every N mutations; the `checkpoint`
+// serve command does it on demand. A permanent WAL failure degrades the
+// session to read-only (mutations answer `err`, queries keep serving) and
+// raises the wal_degraded gauge — it never crashes the process.
+//
+// --crash-at=SITE:N (crash testing; tools/crash_smoke.sh) kills the process
+// with _Exit(42) at the Nth hit of the named fault site (wal_append,
+// wal_sync, checkpoint_write, recovery_replay, ...), so the kill lands
+// between two specific bytes reaching the disk.
+//
+// --max-line-bytes caps protocol input lines (default 1 MiB): an oversized
+// or binary-garbage line answers `err ...` and the session continues —
+// stdin hardening for the long-lived server (docs/robustness.md).
 //
 // --shards=S serves a ShardedEngine (docs/sharding.md): mutations route to
 // their record's shard and serialize only on that shard's lock; the
@@ -89,6 +113,7 @@
 //   stats                one-line engine report JSON (adalsh-engine-report-v1)
 //   metrics              one-line metrics snapshot JSON (adalsh-metrics-v1)
 //   flush                refinement pass without a mutation
+//   checkpoint           write a durability checkpoint now (needs --data-dir)
 //   quit                 exit
 // --deadline-ms / --max-* act as the ambient per-mutation SLO; an
 // interrupted refinement keeps the previous snapshot serving (reply carries
@@ -128,6 +153,7 @@
 #include "core/lsh_blocking.h"
 #include "core/pairs_baseline.h"
 #include "distance/rule_parser.h"
+#include "engine/durability.h"
 #include "engine/engine_report.h"
 #include "engine/resident_engine.h"
 #include "engine/sharded_executor.h"
@@ -141,6 +167,7 @@
 #include "obs/run_report.h"
 #include "obs/slow_op_watchdog.h"
 #include "obs/trace_recorder.h"
+#include "util/fault_injection.h"
 #include "util/flags.h"
 #include "util/run_controller.h"
 #include "util/simd.h"
@@ -254,6 +281,11 @@ int RunServe(int argc, char** argv) {
   double metrics_interval_ms = flags.GetDouble("metrics-interval-ms", 0.0);
   double watchdog_factor = flags.GetDouble("watchdog-factor", 0.0);
   int64_t watchdog_min_samples = flags.GetInt("watchdog-min-samples", 16);
+  std::string data_dir = flags.GetString("data-dir", "");
+  std::string sync_name = flags.GetString("sync", "batch");
+  int64_t checkpoint_every_n = flags.GetInt("checkpoint-every-n", 0);
+  std::string crash_at = flags.GetString("crash-at", "");
+  int64_t max_line_bytes = flags.GetInt("max-line-bytes", 1 << 20);
   flags.CheckNoUnusedFlags();
 
   Status simd_status = ApplySimdFlag(simd);
@@ -278,6 +310,35 @@ int RunServe(int argc, char** argv) {
   if (!cost_model.empty() && cost_model.size() != 2) {
     return Fail("--cost-model takes two comma-separated unit costs "
                 "(cost-per-hash,cost-per-pair)");
+  }
+  if (checkpoint_every_n < 0) return Fail("--checkpoint-every-n must be >= 0");
+  if (max_line_bytes < 1) return Fail("--max-line-bytes must be >= 1");
+  if ((checkpoint_every_n > 0 || !crash_at.empty()) && data_dir.empty()) {
+    return Fail("--checkpoint-every-n and --crash-at require --data-dir");
+  }
+  StatusOr<WalSyncPolicy> sync = ParseWalSyncPolicy(sync_name);
+  if (!sync.ok()) return Fail(sync.status().ToString());
+
+  // --crash-at=SITE:N — kill the process at an exact fault-site hit so
+  // crash tests can land between any two bytes reaching the disk. The
+  // injector outlives the engine (it is consulted from every WAL write).
+  FaultInjector crash_injector;
+  std::optional<ScopedFaultInjector> crash_scope;
+  if (!crash_at.empty()) {
+    const size_t colon = crash_at.rfind(':');
+    StatusOr<FaultSite> site = ParseFaultSite(crash_at.substr(0, colon));
+    if (colon == std::string::npos || !site.ok()) {
+      return Fail("--crash-at wants SITE:N (e.g. wal_append:3): " +
+                  (site.ok() ? "missing :N" : site.status().ToString()));
+    }
+    char* end = nullptr;
+    const std::string nth_text = crash_at.substr(colon + 1);
+    const uint64_t nth = std::strtoull(nth_text.c_str(), &end, 10);
+    if (nth < 1 || end == nth_text.c_str() || *end != '\0') {
+      return Fail("--crash-at hit count must be a positive integer");
+    }
+    crash_injector.TriggerAt(*site, nth, [] { std::_Exit(42); });
+    crash_scope.emplace(&crash_injector);
   }
 
   StatusOr<std::vector<ColumnSpec>> specs = ParseColumnSpecs(columns);
@@ -319,11 +380,34 @@ int RunServe(int argc, char** argv) {
   watchdog_options.min_samples = static_cast<size_t>(watchdog_min_samples);
   SlowOpWatchdog watchdog(watchdog_options, &std::cerr);
 
-  // One of the two engine shapes, behind a uniform mutation/query surface;
-  // neither is movable (mutex members), so construct in place.
+  // One of the three engine shapes, behind a uniform mutation/query
+  // surface; none is movable (mutex members), so construct in place. With
+  // --data-dir the durable wrapper owns whichever inner shape --shards
+  // picked and recovers it from disk before serving (docs/durability.md).
   std::optional<ResidentEngine> resident;
   std::optional<ShardedEngine> sharded;
-  if (shards > 0) {
+  std::unique_ptr<DurableEngine> durable;
+  if (!data_dir.empty()) {
+    DurableEngine::Options durable_options;
+    durable_options.engine = std::move(options);
+    durable_options.shards = shards;
+    durable_options.data_dir = data_dir;
+    durable_options.sync = *sync;
+    durable_options.checkpoint_every_n =
+        static_cast<uint64_t>(checkpoint_every_n);
+    StatusOr<std::unique_ptr<DurableEngine>> opened =
+        DurableEngine::Open(*rule, std::move(durable_options));
+    if (!opened.ok()) return Fail(opened.status().ToString());
+    durable = std::move(opened).value();
+    const DurabilityStats recovered = durable->durability_stats();
+    for (const std::string& warning : recovered.recovery_warnings) {
+      std::cerr << "wal: " << warning << "\n";
+    }
+    std::cerr << "recovered checkpoint_seq=" << recovered.checkpoint_seq
+              << " frames_replayed=" << recovered.frames_replayed
+              << " frames_discarded=" << recovered.frames_discarded
+              << " live=" << durable->counters().live_records << "\n";
+  } else if (shards > 0) {
     ShardedEngine::Options sharded_options;
     sharded_options.engine = std::move(options);
     sharded_options.shards = shards;
@@ -332,26 +416,35 @@ int RunServe(int argc, char** argv) {
     resident.emplace(*rule, std::move(options));
   }
   auto ingest = [&](std::vector<Record> records) {
-    return sharded ? sharded->Ingest(std::move(records))
-                   : resident->Ingest(std::move(records));
+    return durable  ? durable->Ingest(std::move(records))
+           : sharded ? sharded->Ingest(std::move(records))
+                     : resident->Ingest(std::move(records));
   };
   auto remove = [&](const std::vector<ExternalId>& ids) {
-    return sharded ? sharded->Remove(ids) : resident->Remove(ids);
+    return durable  ? durable->Remove(ids)
+           : sharded ? sharded->Remove(ids)
+                     : resident->Remove(ids);
   };
   auto update = [&](ExternalId id, Record record) {
-    return sharded ? sharded->Update(id, std::move(record))
-                   : resident->Update(id, std::move(record));
+    return durable  ? durable->Update(id, std::move(record))
+           : sharded ? sharded->Update(id, std::move(record))
+                     : resident->Update(id, std::move(record));
   };
   auto flush = [&]() {
-    return sharded ? sharded->Flush() : resident->Flush();
+    return durable  ? durable->Flush()
+           : sharded ? sharded->Flush()
+                     : resident->Flush();
   };
   auto snapshot = [&]() {
-    return sharded ? sharded->Snapshot() : resident->Snapshot();
+    return durable  ? durable->Snapshot()
+           : sharded ? sharded->Snapshot()
+                     : resident->Snapshot();
   };
   auto stats_json = [&]() {
     const MetricsSnapshot snapshot = metrics.Snapshot();
-    return sharded ? WriteEngineReportJson(*sharded, &snapshot)
-                   : WriteEngineReportJson(*resident, &snapshot);
+    return durable  ? WriteEngineReportJson(*durable, &snapshot)
+           : sharded ? WriteEngineReportJson(*sharded, &snapshot)
+                     : WriteEngineReportJson(*resident, &snapshot);
   };
 
   // One adalsh-metrics-v1 line per emission, shared by the `metrics`
@@ -425,6 +518,24 @@ int RunServe(int argc, char** argv) {
   };
   while (std::getline(std::cin, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
+    // Input hardening (docs/robustness.md): the server outlives its
+    // clients, so a runaway or binary-garbage line must answer `err` and
+    // leave the session serving, never abort or corrupt the protocol state.
+    if (line.size() > static_cast<size_t>(max_line_bytes)) {
+      reply_status(Status::InvalidArgument(
+          "line exceeds --max-line-bytes=" + std::to_string(max_line_bytes)));
+      continue;
+    }
+    bool has_control_bytes = false;
+    for (char c : line) {
+      has_control_bytes |=
+          static_cast<unsigned char>(c) < 0x20 && c != '\t';
+    }
+    if (has_control_bytes) {
+      reply_status(Status::InvalidArgument(
+          "malformed line: control bytes in input"));
+      continue;
+    }
     const size_t space = line.find(' ');
     const std::string cmd = line.substr(0, space);
     const std::string payload =
@@ -562,6 +673,24 @@ int RunServe(int argc, char** argv) {
         continue;
       }
       std::cout << MutationReply(result.value()) << "\n" << std::flush;
+    } else if (cmd == "checkpoint") {
+      if (!durable) {
+        reply_status(Status::FailedPrecondition(
+            "checkpoint needs a durable engine (--data-dir)"));
+        continue;
+      }
+      Timer op_timer;
+      TraceRecorder::Span op_span(trace.get(), "serve_checkpoint", "serve");
+      Status written = durable->Checkpoint();
+      observe_mutation("checkpoint", op_timer.ElapsedSeconds(), op_span.id());
+      if (!written.ok()) {
+        reply_status(written);
+        continue;
+      }
+      const DurabilityStats stats = durable->durability_stats();
+      std::cout << "ok checkpoints=" << stats.checkpoints_written
+                << " live=" << durable->counters().live_records << "\n"
+                << std::flush;
     } else if (cmd == "quit") {
       std::cout << "bye\n" << std::flush;
       break;

@@ -28,6 +28,13 @@
 //   --seed=N        workload + history seed (default 1)
 //   --out=PATH      write the JSON document here (default: stdout)
 //   --smoke         tiny workload; schema validation, not measurement
+//   --data-dir=DIR  run the load through the durable engine with its WAL and
+//                   checkpoints in DIR (docs/durability.md) — the A/B for
+//                   what the durability plane costs under load. Durable
+//                   mutations serialize on one lock, so combine with
+//                   --writers to see the contention price too.
+//   --sync=POLICY   WAL fsync policy with --data-dir: none|batch|always
+//                   (default batch)
 
 #include <algorithm>
 #include <atomic>
@@ -36,9 +43,11 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "datagen/cora_like.h"
+#include "engine/durability.h"
 #include "engine/resident_engine.h"
 #include "engine/sharded_executor.h"
 #include "obs/histogram.h"
@@ -237,6 +246,8 @@ struct DriveConfig {
   uint64_t seed;
   bool smoke;
   std::string out;
+  std::string data_dir;  // empty = no durability plane
+  std::string sync;
 };
 
 // Runs the full load: reader threads polling, writer threads replaying
@@ -337,6 +348,10 @@ int Drive(Engine* engine, const GeneratedDataset& workload,
       .Uint(cfg.seed)
       .Key("smoke")
       .Bool(cfg.smoke)
+      .Key("data_dir")
+      .String(cfg.data_dir)
+      .Key("sync")
+      .String(cfg.data_dir.empty() ? "" : cfg.sync)
       .EndObject()
       .Key("mutations")
       .BeginObject()
@@ -372,8 +387,31 @@ int Drive(Engine* engine, const GeneratedDataset& workload,
       .Uint(counters.total_hashes)
       .Key("total_similarities")
       .Uint(counters.total_similarities)
-      .EndObject()
       .EndObject();
+
+  // Durability accounting (durable engine only): what the WAL cost under
+  // this load — frames/bytes appended, fsyncs, retries, checkpoints.
+  if constexpr (std::is_same_v<Engine, DurableEngine>) {
+    const DurabilityStats wal = engine->durability_stats();
+    json.Key("durability")
+        .BeginObject()
+        .Key("wal_frames_appended")
+        .Uint(wal.wal_frames_appended)
+        .Key("wal_bytes_appended")
+        .Uint(wal.wal_bytes_appended)
+        .Key("wal_syncs")
+        .Uint(wal.wal_syncs)
+        .Key("wal_append_retries")
+        .Uint(wal.wal_append_retries)
+        .Key("wal_sync_retries")
+        .Uint(wal.wal_sync_retries)
+        .Key("checkpoints_written")
+        .Uint(wal.checkpoints_written)
+        .Key("wal_degraded")
+        .Bool(wal.wal_degraded)
+        .EndObject();
+  }
+  json.EndObject();
 
   const std::string doc = json.TakeString();
   if (cfg.out.empty()) {
@@ -404,6 +442,8 @@ int Run(int argc, char** argv) {
   cfg.top_k = static_cast<int>(flags.GetInt("k", 10));
   cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
   cfg.out = flags.GetString("out", "");
+  cfg.data_dir = flags.GetString("data-dir", "");
+  cfg.sync = flags.GetString("sync", "batch");
   flags.CheckNoUnusedFlags();
   ADALSH_CHECK(cfg.records > 0 && cfg.max_batch > 0 && cfg.readers >= 0) <<
                "need --records > 0, --batch > 0, --readers >= 0";
@@ -425,6 +465,19 @@ int Run(int argc, char** argv) {
   // jump-to-P point cannot depend on wall-clock calibration noise.
   options.cost_model = CostModel(1e-8, 1e-6);
 
+  if (!cfg.data_dir.empty()) {
+    StatusOr<WalSyncPolicy> sync = ParseWalSyncPolicy(cfg.sync);
+    ADALSH_CHECK(sync.ok()) << sync.status().message();
+    DurableEngine::Options durable_options;
+    durable_options.engine = options;
+    durable_options.shards = cfg.shards;
+    durable_options.data_dir = cfg.data_dir;
+    durable_options.sync = *sync;
+    StatusOr<std::unique_ptr<DurableEngine>> engine =
+        DurableEngine::Open(workload.rule, std::move(durable_options));
+    ADALSH_CHECK(engine.ok()) << engine.status().message();
+    return Drive(engine.value().get(), workload, cfg);
+  }
   if (cfg.shards > 0) {
     ShardedEngine::Options sharded_options;
     sharded_options.engine = options;

@@ -2,8 +2,10 @@
 # Smoke test for the resident serve mode (docs/engine.md): drives
 # `adalsh_cli serve` through a scripted session covering every protocol verb
 # — staged adds, commits, queries, an update that moves a record between
-# clusters, removals, error replies, and a flush — and diffs the transcript
-# against tests/golden/engine_smoke.golden byte-for-byte. The session pins
+# clusters, removals, error replies, input-hardening rejections (an oversized
+# line and a line with control bytes, docs/robustness.md), and a flush — and
+# diffs the transcript against tests/golden/engine_smoke.golden
+# byte-for-byte. The session pins
 # the cost model and seed, so the transcript is reproducible at any thread
 # count; a second session checks the (wall-clock-bearing, so not
 # byte-diffable) `stats` report carries the engine-report schema.
@@ -26,7 +28,12 @@ transcript="$scratch/engine_smoke_transcript.txt"
 rm -f "$transcript"
 
 serve=("$cli" serve --columns=text "--rule=leaf(0;0.5)" --k=3 --threads=1
-       --seed=3 --cost-model=1e-8,1e-6)
+       --seed=3 --cost-model=1e-8,1e-6 --max-line-bytes=256)
+
+# Input-hardening probes: a line past --max-line-bytes and a line carrying a
+# control byte. Both must answer `err` and leave the session serving.
+long_line="add $(printf 'x%.0s' $(seq 1 300))"
+ctrl_line=$'add alpha\x01beta'
 
 printf '%s\n' \
   "topk" \
@@ -48,6 +55,9 @@ printf '%s\n' \
   "topk" \
   "remove 99" \
   "bogus" \
+  "$long_line" \
+  "$ctrl_line" \
+  "topk" \
   "flush" \
   "quit" \
   | "${serve[@]}" > "$transcript"
@@ -81,6 +91,9 @@ printf '%s\n' \
   "topk" \
   "remove 99" \
   "bogus" \
+  "$long_line" \
+  "$ctrl_line" \
+  "topk" \
   "flush" \
   "quit" \
   | "${threaded[@]}" > "$transcript.t8"

@@ -41,6 +41,14 @@
 #
 #   tools/run_sanitized_tests.sh thread -R 'obs_histogram|engine_telemetry'
 #
+# docs/durability.md requires the address and undefined runs for any change
+# to the WAL, checkpoint, or recovery code (src/io/wal.cc,
+# src/io/checkpoint.cc, src/engine/durability.cc) — the frame decoder and
+# replay paths parse attacker-shaped bytes (torn tails, bit flips, hostile
+# length fields), which is exactly ASan/UBSan territory:
+#
+#   tools/run_sanitized_tests.sh address -R 'wal_test|wal_recovery|crash_smoke'
+#
 # docs/simd.md requires the address and undefined runs for any change to the
 # vector kernels (util/simd_kernels.cc) or the SoA layouts feeding them
 # (FeatureCache, RandomHyperplaneFamily): after the main ctest pass (which
@@ -83,6 +91,16 @@ if [[ "${sanitizer}" == "thread" ]]; then
   telemetry_suites='obs_histogram|engine_telemetry|metrics_registry|trace_recorder|telemetry_smoke'
   echo "=== telemetry suites under thread sanitizer (second pass) ==="
   ctest --test-dir "${build_dir}" --output-on-failure -R "${telemetry_suites}"
+fi
+
+# Durability matrix (address/undefined only — the WAL is serialized under
+# the durable mutation lock, so the value here is memory safety of the frame
+# decoder and replay paths, not interleavings): rerun the WAL, recovery, and
+# kill-point suites after the main pass.
+if [[ "${sanitizer}" != "thread" ]]; then
+  durability_suites='wal_test|wal_recovery|crash_smoke'
+  echo "=== durability suites under ${sanitizer} (second pass) ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -R "${durability_suites}"
 fi
 
 # SIMD dispatch matrix (address/undefined only — the kernels hold no shared
